@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks for the envelope machinery (Lemma 3.1):
+//! divide-and-conquer construction, pairwise merge, and the persistent
+//! merge against a static envelope.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hsr_core::envelope::{Envelope, Piece};
+use hsr_core::ptenv::PEnvelope;
+use std::hint::black_box;
+
+fn pseudo_pieces(n: usize, seed: u64) -> Vec<Piece> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    (0..n as u32)
+        .map(|e| {
+            let x0 = next() * (n as f64);
+            let w = next() * 20.0 + 0.5;
+            Piece { x0, x1: x0 + w, z0: next() * 30.0, z1: next() * 30.0, edge: e }
+        })
+        .collect()
+}
+
+fn bench_from_pieces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("envelope/from_pieces");
+    for n in [1 << 10, 1 << 13, 1 << 16] {
+        let pieces = pseudo_pieces(n, 1);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pieces, |b, p| {
+            b.iter(|| Envelope::from_pieces(black_box(p)).size())
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("envelope/merge");
+    for n in [1 << 10, 1 << 14] {
+        let a = Envelope::from_pieces(&pseudo_pieces(n, 2));
+        let b = Envelope::from_pieces(&pseudo_pieces(n, 3));
+        g.throughput(Throughput::Elements((a.size() + b.size()) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| Envelope::merge(black_box(a), black_box(b)).size())
+        });
+    }
+    g.finish();
+}
+
+fn bench_persistent_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("envelope/persistent_merge");
+    for n in [1 << 10, 1 << 14] {
+        let base = Envelope::from_pieces(&pseudo_pieces(n, 4));
+        let sigma = Envelope::from_pieces(&pseudo_pieces(n / 4, 5));
+        let pe = PEnvelope::from_envelope(&base);
+        g.throughput(Throughput::Elements(sigma.size() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(pe, sigma),
+            |bench, (pe, sigma)| bench.iter(|| pe.merge(black_box(sigma.pieces())).env.size()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_visible_parts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("envelope/visible_parts");
+    let base = Envelope::from_pieces(&pseudo_pieces(1 << 14, 6));
+    let (lo, hi) = base.span().unwrap();
+    let probe = Piece { x0: lo, x1: hi, z0: 15.0, z1: 15.0, edge: 1_000_000 };
+    g.bench_function("probe_16k", |b| {
+        b.iter(|| base.visible_parts(black_box(&probe)).0.len())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_from_pieces,
+    bench_merge,
+    bench_persistent_merge,
+    bench_visible_parts
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion end-to-end benchmarks: the full pipeline per algorithm and
+//! per workload family, plus the ordering step alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hsr_core::order::{depth_order, depth_order_parallel};
+use hsr_core::pipeline::{run, Algorithm, HsrConfig, Phase2Mode};
+use hsr_terrain::gen::Workload;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    for w in [
+        Workload::Fbm { nx: 48, ny: 48, seed: 1 },
+        Workload::Ridges { nx: 48, ny: 48, ridges: 6, seed: 2 },
+        Workload::Comb { m: 48 },
+    ] {
+        let tin = w.build();
+        g.throughput(Throughput::Elements(tin.edges().len() as u64));
+        for (name, alg) in [
+            ("parallel", Algorithm::Parallel(Phase2Mode::Persistent)),
+            ("rebuild", Algorithm::Parallel(Phase2Mode::Rebuild)),
+            ("sequential", Algorithm::Sequential),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, w.name()),
+                &tin,
+                |b, tin| {
+                    let cfg = HsrConfig { algorithm: alg, ..Default::default() };
+                    b.iter(|| run(black_box(tin), &cfg).unwrap().k)
+                },
+            );
+        }
+    }
+    // The naive baseline only at a size it can handle.
+    let small = Workload::Fbm { nx: 24, ny: 24, seed: 1 }.build();
+    g.bench_function("naive/fbm-24x24", |b| {
+        let cfg = HsrConfig { algorithm: Algorithm::Naive, ..Default::default() };
+        b.iter(|| run(black_box(&small), &cfg).unwrap().k)
+    });
+    g.finish();
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("order");
+    let tin = Workload::Fbm { nx: 64, ny: 64, seed: 3 }.build();
+    g.throughput(Throughput::Elements(tin.edges().len() as u64));
+    g.bench_function("kahn_sequential", |b| {
+        b.iter(|| depth_order(black_box(&tin)).unwrap().len())
+    });
+    g.bench_function("kahn_layered_parallel", |b| {
+        b.iter(|| depth_order_parallel(black_box(&tin)).unwrap().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_ordering);
+criterion_main!(benches);

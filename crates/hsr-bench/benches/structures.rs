@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the data-structure substrates: the
+//! persistent treap, the ACG hull tree (Lemmas 3.3–3.6) and the PRAM
+//! primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hsr_core::cg::HullTree;
+use hsr_core::envelope::{Envelope, Piece};
+use hsr_pram::merge::par_merge;
+use hsr_pram::scan::exclusive_scan;
+use hsr_pstruct::{CountAgg, PTreap};
+use std::hint::black_box;
+
+fn zigzag(m: usize) -> Envelope {
+    let mut pieces = Vec::with_capacity(2 * m);
+    for i in 0..m {
+        let x = 2.0 * i as f64;
+        pieces.push(Piece { x0: x, x1: x + 1.0, z0: 0.0, z1: 2.0, edge: 2 * i as u32 });
+        pieces.push(Piece { x0: x + 1.0, x1: x + 2.0, z0: 2.0, z1: 0.0, edge: 2 * i as u32 + 1 });
+    }
+    Envelope::from_sorted_pieces(pieces)
+}
+
+fn bench_ptreap(c: &mut Criterion) {
+    type T = PTreap<u64, u64, CountAgg>;
+    let mut g = c.benchmark_group("ptreap");
+    let base: T = T::from_sorted((0..(1 << 14)).map(|i| (i * 2, i)).collect());
+    g.bench_function("insert_16k", |b| {
+        let mut i = 1u64;
+        b.iter(|| {
+            i += 2;
+            black_box(base.insert(i % (1 << 15), i)).len()
+        })
+    });
+    g.bench_function("floor_16k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 7;
+            black_box(base.floor(&(i % (1 << 15))))
+        })
+    });
+    g.bench_function("split_join_16k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 13;
+            let (l, r) = base.split_at(&(i % (1 << 15)), true);
+            black_box(l.join_with(&r)).len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_hull_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cg");
+    for m in [1 << 10, 1 << 14] {
+        let env = zigzag(m / 2);
+        g.throughput(Throughput::Elements(m as u64));
+        g.bench_with_input(BenchmarkId::new("build", m), &env, |b, env| {
+            b.iter(|| HullTree::build(black_box(env)).unwrap().size())
+        });
+        let tree = HullTree::build(&env).unwrap();
+        let s = Piece { x0: 0.0, x1: m as f64, z0: 3.0, z1: 0.5, edge: 1_000_000 };
+        g.bench_with_input(BenchmarkId::new("first_crossing", m), &tree, |b, t| {
+            b.iter(|| t.first_crossing(black_box(&s), 0.0))
+        });
+        let low = Piece { x0: 0.0, x1: m as f64, z0: 1.0, z1: 1.0, edge: 1_000_001 };
+        g.bench_with_input(BenchmarkId::new("all_crossings", m), &tree, |b, t| {
+            b.iter(|| t.all_crossings(black_box(&low)).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pram_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pram");
+    let a: Vec<u64> = (0..(1 << 16)).map(|i| (i * 7) % 1000).collect();
+    g.throughput(Throughput::Elements(a.len() as u64));
+    g.bench_function("scan_64k", |b| {
+        b.iter(|| exclusive_scan(black_box(&a), 0u64, |x, y| x + y).1)
+    });
+    let mut left: Vec<u64> = (0..(1 << 15)).map(|i| i * 2).collect();
+    let mut right: Vec<u64> = (0..(1 << 15)).map(|i| i * 2 + 1).collect();
+    left.sort();
+    right.sort();
+    g.bench_function("merge_64k", |b| {
+        b.iter(|| par_merge(black_box(&left), black_box(&right)).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ptreap, bench_hull_tree, bench_pram_primitives);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! A1 / A2 — ablations of the design decisions DESIGN.md calls out.
+//!
+//! * **A1**: phase 2 with persistent shared prefix profiles vs the
+//!   rebuild-per-node static mode (what the paper's omitted Lemma 3.4
+//!   construction buys).
+//! * **A2**: the persistent merge's subtree pruning effectiveness —
+//!   shared/dropped subtrees and piece-pair comparisons per discovered
+//!   crossing.
+//!
+//! ```sh
+//! cargo run --release -p hsr-bench --bin exp_ablation
+//! ```
+
+use hsr_bench::harness::{md_table, time_best};
+use hsr_core::edges::project_edges;
+use hsr_core::order::depth_order;
+use hsr_core::pct::Pct;
+use hsr_terrain::gen::Workload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sides: &[usize] = if quick { &[24, 48] } else { &[24, 48, 96, 144] };
+
+    println!("## A1 — phase-2 engine: persistent sharing vs per-node rebuild");
+    let mut rows = Vec::new();
+    for &side in sides {
+        for w in [
+            Workload::Fbm { nx: side, ny: side, seed: 1 },
+            Workload::Ridges { nx: side, ny: side, ridges: 6, seed: 2 },
+            Workload::Comb { m: side },
+        ] {
+            let tin = w.build();
+            let edges = project_edges(&tin);
+            let order = depth_order(&tin).unwrap();
+            let ordered: Vec<_> = order.iter().map(|&e| edges[e as usize]).collect();
+            let pct = Pct::build(ordered);
+            let t_persistent = time_best(1, || pct.phase2(false).vis.output_size());
+            let t_rebuild = time_best(1, || pct.phase2_rebuild().vis.output_size());
+            let k = pct.phase2(false).vis.output_size();
+            rows.push(vec![
+                w.name(),
+                tin.edges().len().to_string(),
+                k.to_string(),
+                format!("{:.1}", t_persistent * 1e3),
+                format!("{:.1}", t_rebuild * 1e3),
+                format!("{:.2}", t_rebuild / t_persistent),
+            ]);
+        }
+    }
+    md_table(
+        &["workload", "n", "k", "persistent ms", "rebuild ms", "rebuild/persistent"],
+        &rows,
+    );
+
+    println!("## A2 — pruning effectiveness of the persistent merge");
+    let mut rows = Vec::new();
+    for &side in sides {
+        for w in [
+            Workload::Fbm { nx: side, ny: side, seed: 1 },
+            Workload::Knob { nx: side, ny: side, theta: 0.9, seed: 3 },
+        ] {
+            let tin = w.build();
+            let edges = project_edges(&tin);
+            let order = depth_order(&tin).unwrap();
+            let ordered: Vec<_> = order.iter().map(|&e| edges[e as usize]).collect();
+            let pct = Pct::build(ordered);
+            let out = pct.phase2(true);
+            let mut merges = hsr_core::ptenv::MergeStats::default();
+            let mut crossings = 0u64;
+            for l in &out.layers {
+                merges.absorb(&l.merges);
+                crossings += l.crossings;
+            }
+            rows.push(vec![
+                w.name(),
+                tin.edges().len().to_string(),
+                crossings.to_string(),
+                merges.subtrees_shared.to_string(),
+                merges.subtrees_dropped.to_string(),
+                merges.pairs.to_string(),
+                format!("{:.2}", merges.pairs as f64 / crossings.max(1) as f64),
+                merges.visits.to_string(),
+            ]);
+        }
+    }
+    md_table(
+        &[
+            "workload",
+            "n",
+            "crossings",
+            "subtrees shared",
+            "subtrees dropped",
+            "piece pairs",
+            "pairs/crossing",
+            "node visits",
+        ],
+        &rows,
+    );
+    println!("pairs/crossing staying small is the output-sensitive charging argument in action.");
+}

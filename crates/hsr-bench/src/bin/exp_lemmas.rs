@@ -1,0 +1,108 @@
+//! E6 / E7 / E8 — per-lemma scaling: envelope construction (Lemma 3.1),
+//! CG/ACG construction (Lemmas 3.3/3.5) and intersection queries
+//! (Lemmas 3.2/3.6).
+//!
+//! ```sh
+//! cargo run --release -p hsr-bench --bin exp_lemmas
+//! ```
+
+use hsr_bench::harness::{fit_exponent, lg, md_table, time_best};
+use hsr_core::cg::HullTree;
+use hsr_core::envelope::{Envelope, Piece};
+
+fn pseudo_pieces(n: usize, seed: u64) -> Vec<Piece> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    (0..n as u32)
+        .map(|e| {
+            let x0 = next() * (n as f64);
+            let w = next() * 20.0 + 0.5;
+            Piece { x0, x1: x0 + w, z0: next() * 30.0, z1: next() * 30.0, edge: e }
+        })
+        .collect()
+}
+
+/// Zig-zag profile of `2m` pieces with peaks at odd abscissae.
+fn zigzag(m: usize) -> Envelope {
+    let mut pieces = Vec::with_capacity(2 * m);
+    for i in 0..m {
+        let x = 2.0 * i as f64;
+        pieces.push(Piece { x0: x, x1: x + 1.0, z0: 0.0, z1: 2.0, edge: 2 * i as u32 });
+        pieces.push(Piece { x0: x + 1.0, x1: x + 2.0, z0: 2.0, z1: 0.0, edge: 2 * i as u32 + 1 });
+    }
+    Envelope::from_sorted_pieces(pieces)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] =
+        if quick { &[1 << 10, 1 << 12, 1 << 14] } else { &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18] };
+
+    println!("## E6 — Lemma 3.1: envelope construction");
+    let mut rows = Vec::new();
+    let mut pts = Vec::new();
+    for &m in sizes {
+        let pieces = pseudo_pieces(m, 11);
+        let t = time_best(if quick { 1 } else { 3 }, || Envelope::from_pieces(&pieces).size());
+        let env = Envelope::from_pieces(&pieces);
+        pts.push((m as f64, t));
+        rows.push(vec![
+            m.to_string(),
+            env.size().to_string(),
+            format!("{:.3}", env.size() as f64 / m as f64),
+            format!("{:.2}", t * 1e3),
+            format!("{:.1}", t * 1e9 / (m as f64 * lg(m))),
+        ]);
+    }
+    md_table(&["m segments", "envelope size", "size/m", "build ms", "ns/(m·lg m)"], &rows);
+    println!("fitted time exponent: m^{:.2} (bound: m·log m)\n", fit_exponent(&pts));
+
+    println!("## E7 — Lemmas 3.3/3.5: ACG construction");
+    let mut rows = Vec::new();
+    let mut pts = Vec::new();
+    for &m in sizes {
+        let env = zigzag(m / 2);
+        let t = time_best(if quick { 1 } else { 3 }, || {
+            HullTree::build(&env).map(|t| t.size()).unwrap_or(0)
+        });
+        pts.push((m as f64, t));
+        rows.push(vec![
+            m.to_string(),
+            format!("{:.2}", t * 1e3),
+            format!("{:.1}", t * 1e9 / (m as f64 * lg(m))),
+        ]);
+    }
+    md_table(&["profile size m", "build ms", "ns/(m·lg m)"], &rows);
+    println!("fitted time exponent: m^{:.2} (bound: m·log m)\n", fit_exponent(&pts));
+
+    println!("## E8 — Lemmas 3.2/3.6: intersection queries");
+    let mut rows = Vec::new();
+    for &m in sizes {
+        let env = zigzag(m / 2);
+        let tree = HullTree::build(&env).unwrap();
+        let span = m as f64;
+        // First-crossing query: a segment crossing once near the middle.
+        let s1 = Piece { x0: 0.0, x1: span, z0: 3.0, z1: 0.5, edge: 1_000_000 };
+        let t_first = time_best(if quick { 2 } else { 5 }, || tree.first_crossing(&s1, 0.0));
+        // All-crossings with k_s = Θ(m): a low horizontal segment.
+        let s2 = Piece { x0: 0.0, x1: span, z0: 1.0, z1: 1.0, edge: 1_000_001 };
+        let ks = tree.all_crossings(&s2).len();
+        let t_all = time_best(if quick { 1 } else { 3 }, || tree.all_crossings(&s2).len());
+        rows.push(vec![
+            m.to_string(),
+            format!("{:.2}", t_first * 1e6),
+            format!("{:.3}", t_first * 1e9 / (lg(m) * lg(m))),
+            ks.to_string(),
+            format!("{:.2}", t_all * 1e3),
+            format!("{:.1}", t_all * 1e9 / ((1.0 + ks as f64) * lg(m) * lg(m))),
+        ]);
+    }
+    md_table(
+        &["m", "first µs", "first ns/lg²m", "k_s", "all ms", "all ns/((1+k_s)·lg²m)"],
+        &rows,
+    );
+    println!("flat normalised columns reproduce the O(log²m) / O((1+k_s)·log²m) query bounds.");
+}

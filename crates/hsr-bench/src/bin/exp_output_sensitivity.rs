@@ -1,0 +1,92 @@
+//! E4 — output sensitivity (the title claim).
+//!
+//! Fixed `n`, sweep the occlusion knob `θ` (0 = everything visible,
+//! 1 = front wall hides almost everything): the parallel algorithm's cost
+//! must track `k`, while the naive `O(n²)` baseline stays flat. Also runs
+//! the comb adversary where `k = Θ(n²)`.
+//!
+//! ```sh
+//! cargo run --release -p hsr-bench --bin exp_output_sensitivity
+//! ```
+
+use hsr_bench::harness::{md_table, time_best};
+use hsr_core::pipeline::{run, Algorithm, HsrConfig, Phase2Mode};
+use hsr_pram::cost;
+use hsr_terrain::gen::Workload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let side = if quick { 48 } else { 96 };
+
+    println!("## E4a — occlusion knob at fixed n ({side}×{side} grid)");
+    let mut rows = Vec::new();
+    for theta in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        let tin = Workload::Knob { nx: side, ny: side, theta, seed: 7 }.build();
+        let n = tin.edges().len();
+        cost::reset();
+        let res = run(&tin, &HsrConfig::default()).unwrap();
+        let work = cost::CostReport::snapshot().total_work();
+        let t_par = time_best(1, || run(&tin, &HsrConfig::default()).unwrap().k);
+        let t_seq = time_best(1, || {
+            run(&tin, &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() })
+                .unwrap()
+                .k
+        });
+        let t_naive = time_best(1, || {
+            run(&tin, &HsrConfig { algorithm: Algorithm::Naive, ..Default::default() })
+                .unwrap()
+                .k
+        });
+        rows.push(vec![
+            format!("{theta:.2}"),
+            n.to_string(),
+            res.k.to_string(),
+            format!("{:.2}", res.k as f64 / n as f64),
+            work.to_string(),
+            format!("{:.1}", t_par * 1e3),
+            format!("{:.1}", t_seq * 1e3),
+            format!("{:.1}", t_naive * 1e3),
+        ]);
+    }
+    md_table(
+        &["θ", "n", "k", "k/n", "work", "parallel ms", "sequential ms", "naive ms"],
+        &rows,
+    );
+
+    println!("## E4b — comb adversary (k = Θ(n²))");
+    let mut rows = Vec::new();
+    for m in if quick { vec![16, 32, 64] } else { vec![16, 32, 64, 128, 256] } {
+        let tin = Workload::Comb { m }.build();
+        let n = tin.edges().len();
+        cost::reset();
+        let res = run(&tin, &HsrConfig::default()).unwrap();
+        let work = cost::CostReport::snapshot().total_work();
+        let t_par = time_best(1, || run(&tin, &HsrConfig::default()).unwrap().k);
+        let t_rebuild = time_best(1, || {
+            run(
+                &tin,
+                &HsrConfig {
+                    algorithm: Algorithm::Parallel(Phase2Mode::Rebuild),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .k
+        });
+        rows.push(vec![
+            m.to_string(),
+            n.to_string(),
+            res.k.to_string(),
+            format!("{:.1}", res.k as f64 / n as f64),
+            work.to_string(),
+            format!("{:.2}", work as f64 / (res.k.max(1) as f64)),
+            format!("{:.1}", t_par * 1e3),
+            format!("{:.1}", t_rebuild * 1e3),
+        ]);
+    }
+    md_table(
+        &["m", "n", "k", "k/n", "work", "work/k", "persistent ms", "rebuild ms"],
+        &rows,
+    );
+    println!("work/k staying bounded as k/n grows is the output-sensitivity claim.");
+}

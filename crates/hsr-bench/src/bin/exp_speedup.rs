@@ -1,0 +1,68 @@
+//! E3 — parallel speedup vs the Brent slow-down prediction (Lemmas
+//! 2.1/2.2).
+//!
+//! For each workload: measure work `W` and depth `D` once, calibrate
+//! `T_p = cw·W/p + cd·D`, then sweep the thread count and compare measured
+//! wall time against the model.
+//!
+//! ```sh
+//! cargo run --release -p hsr-bench --bin exp_speedup
+//! ```
+
+use hsr_bench::harness::{md_table, time_best};
+use hsr_core::pipeline::{run, HsrConfig};
+use hsr_pram::pool::{max_threads, with_threads};
+use hsr_pram::{cost, BrentModel};
+use hsr_terrain::gen::Workload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let side = if quick { 64 } else { 128 };
+    let workloads = [
+        Workload::Fbm { nx: side, ny: side, seed: 1 },
+        Workload::Ridges { nx: side, ny: side, ridges: 8, seed: 2 },
+        Workload::Comb { m: if quick { 64 } else { 128 } },
+    ];
+    let max_p = max_threads();
+
+    for w in workloads {
+        let tin = w.build();
+        println!("## E3 — {} (n = {})", w.name(), tin.edges().len());
+
+        cost::reset();
+        let res = run(&tin, &HsrConfig::default()).unwrap();
+        let c = cost::CostReport::snapshot();
+        let (work, depth) = (c.total_work(), c.total_depth());
+        println!("k = {}, work = {work}, depth = {depth}", res.k);
+
+        let measure = |p: usize| {
+            with_threads(p, || {
+                time_best(if quick { 1 } else { 2 }, || {
+                    run(&tin, &HsrConfig::default()).unwrap().k
+                })
+            })
+        };
+        let t1 = measure(1);
+        let tp = measure(max_p);
+        let model = BrentModel::calibrate(work, depth, t1, max_p, tp);
+
+        let mut rows = Vec::new();
+        let mut p = 1;
+        while p <= max_p {
+            let t = measure(p);
+            rows.push(vec![
+                p.to_string(),
+                format!("{:.1}", t * 1e3),
+                format!("{:.1}", model.predict(p) * 1e3),
+                format!("{:.2}", t1 / t),
+                format!("{:.2}", model.predicted_speedup(p)),
+            ]);
+            p *= 2;
+        }
+        md_table(
+            &["threads", "measured ms", "Brent ms", "speedup", "Brent speedup"],
+            &rows,
+        );
+        println!("speedup ceiling (critical path): {:.1}×\n", model.speedup_ceiling());
+    }
+}

@@ -1,0 +1,81 @@
+//! E1 + E2 — Theorem 3.1: work `O((k + n·α(n))·log³ n)` and depth
+//! `O(log⁴ n)`.
+//!
+//! Sweeps `n` over three workload families, measures the cost-model work
+//! `W` and structural depth `D` of the parallel algorithm, and reports the
+//! normalised ratios `W / ((k + n·α)·log³ n)` (should be ~flat in `n`) and
+//! `D / log n` (phase rounds are `O(log n)` many, each `O(log n)`-deep
+//! tasks measured structurally — flat ratio validates the polylog depth).
+//!
+//! ```sh
+//! cargo run --release -p hsr-bench --bin exp_theorem31
+//! ```
+
+use hsr_bench::harness::{alpha, fit_exponent, lg, md_table, time};
+use hsr_core::pipeline::{run, HsrConfig};
+use hsr_pram::cost;
+use hsr_terrain::gen::Workload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 96, 128, 192] };
+
+    for family in ["fbm", "hills", "ridges"] {
+        println!("## E1/E2 — {family}");
+        let mut rows = Vec::new();
+        let mut work_pts = Vec::new();
+        let mut time_pts = Vec::new();
+        for &side in sizes {
+            let w = match family {
+                "fbm" => Workload::Fbm { nx: side, ny: side, seed: 1 },
+                "hills" => Workload::Hills { nx: side, ny: side, hills: side / 4, seed: 2 },
+                _ => Workload::Ridges { nx: side, ny: side, ridges: 6, seed: 3 },
+            };
+            let tin = w.build();
+            let n = tin.edges().len();
+            cost::reset();
+            let (res, secs) = time(|| run(&tin, &HsrConfig::default()).unwrap());
+            let c = cost::CostReport::snapshot();
+            let work = c.total_work();
+            // Depth decomposition: the ordering substitute peels the
+            // occlusion DAG layer by layer (Θ(diameter) rounds — the
+            // documented Tamassia–Vitter substitution gap, DESIGN.md §4.2);
+            // the PCT phases themselves must be polylog.
+            let d_order = c.depth_of(cost::Category::Order);
+            let d_pct = c.total_depth() - d_order;
+            let k = res.k;
+            let bound = (k as f64 + n as f64 * alpha(n)) * lg(n).powi(3);
+            let work_ratio = work as f64 / bound;
+            work_pts.push((n as f64, work as f64));
+            time_pts.push((n as f64, secs));
+            rows.push(vec![
+                n.to_string(),
+                k.to_string(),
+                work.to_string(),
+                format!("{work_ratio:.4}"),
+                d_order.to_string(),
+                d_pct.to_string(),
+                format!("{:.2}", d_pct as f64 / lg(n).powi(2)),
+                format!("{:.1}", secs * 1e3),
+            ]);
+        }
+        md_table(
+            &[
+                "n",
+                "k",
+                "work W",
+                "W/((k+nα)·lg³n)",
+                "D order",
+                "D pct",
+                "D_pct/lg²n",
+                "ms",
+            ],
+            &rows,
+        );
+        println!(
+            "fitted exponents: work ~ n^{:.2}, wall-time ~ n^{:.2} (paper: near-linear in n + k)\n",
+            fit_exponent(&work_pts),
+            fit_exponent(&time_pts)
+        );
+    }
+}

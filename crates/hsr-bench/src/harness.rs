@@ -1,0 +1,79 @@
+//! Timing and table helpers for the experiment binaries.
+
+use std::time::Instant;
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+/// Times a closure after one warm-up run, taking the best of `reps`.
+pub fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Prints a Markdown table.
+pub fn md_table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    println!();
+}
+
+/// `log2(n)` as f64, safe for n >= 1.
+pub fn lg(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// The inverse-Ackermann-ish factor the bounds carry; effectively a small
+/// constant at any feasible scale.
+pub fn alpha(_n: usize) -> f64 {
+    4.0
+}
+
+/// Fits the least-squares exponent `b` of `y = a·x^b` from `(x, y)` pairs.
+pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if n < 2.0 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_fit_recovers_power() {
+        let pts: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 3.0 * (i as f64).powi(2))).collect();
+        assert!((fit_exponent(&pts) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timing_is_positive() {
+        let (_, s) = time(|| (0..10_000).sum::<u64>());
+        assert!(s >= 0.0);
+        assert!(time_best(2, || 1 + 1) >= 0.0);
+    }
+}

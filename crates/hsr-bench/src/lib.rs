@@ -1,0 +1,7 @@
+//! Experiment harness: shared helpers for the `exp_*` binaries that
+//! regenerate the paper's bounds and figures (see EXPERIMENTS.md for the
+//! index and recorded results).
+
+#![forbid(unsafe_code)]
+
+pub mod harness;

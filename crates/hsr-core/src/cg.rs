@@ -1,0 +1,585 @@
+//! The Chazelle–Guibas search structure with convex-chain augmentation —
+//! the paper's CG/ACG (Figure 2, Lemmas 3.2–3.6).
+//!
+//! A balanced binary tree over the pieces of a profile. Every node is
+//! augmented with the **upper and lower convex hulls** of the profile
+//! vertices in its range ("we augment each edge of the CG data structure
+//! with the lower convex chain of the vertices of the profile", §3.1 —
+//! following Preparata–Vitter we keep both hulls so every sign case of the
+//! query resolves in `O(log)`).
+//!
+//! *Query* (Lemma 3.6): does segment `s` cross the profile between two
+//! diagonals, and where first? Descend the tree; at each node compare `s`
+//! against the profile at the range ends; equal signs are resolved by an
+//! extreme-vertex test against the node's hull (a binary search over hull
+//! edge slopes), opposite signs guarantee a crossing. `O(log² m)` per
+//! first-crossing query.
+//!
+//! *All crossings* (Lemma 3.2): recursive range splitting with the same
+//! pruning — `O((1 + k_s) log² m)`, parallelisable over subranges.
+//!
+//! Gap semantics: a profile in the paper is a continuous monotone polygon.
+//! Our envelopes may have gaps; queries treat gaps as "no profile" (the
+//! segment counts as above) and only *true* function crossings are
+//! reported. Visibility-at-gap transitions are handled by the envelope
+//! code, not here.
+
+use crate::envelope::{relate, CrossEvent, Envelope, Piece, Relation};
+use hsr_geometry::Point2;
+use hsr_pram::cost::{add_work, Category};
+
+const LEAF: u32 = u32::MAX;
+
+struct HNode {
+    /// Piece range `[lo, hi)`.
+    lo: u32,
+    hi: u32,
+    left: u32,
+    right: u32,
+    /// Abscissa extent of the range.
+    x_lo: f64,
+    x_hi: f64,
+    /// True when two consecutive pieces in the range do not share an
+    /// abscissa boundary.
+    has_gap: bool,
+    /// Upper hull of the range's profile vertices: `(offset, len)` into the
+    /// hull arena.
+    upper: (u32, u32),
+    /// Lower hull likewise.
+    lower: (u32, u32),
+}
+
+/// The ACG structure over a profile.
+pub struct HullTree {
+    pieces: Vec<Piece>,
+    verts: Vec<Point2>,
+    /// For piece `i`, the index of its first vertex; its last vertex is
+    /// `first[i + 1] - 1`-ish via `piece_last`.
+    piece_first: Vec<u32>,
+    piece_last: Vec<u32>,
+    nodes: Vec<HNode>,
+    arena: Vec<u32>,
+    root: u32,
+}
+
+impl HullTree {
+    /// Builds the structure over a profile in `O(m log m)` (Lemma 3.3 +
+    /// Lemma 3.4 augmentation).
+    pub fn build(env: &Envelope) -> Option<HullTree> {
+        let pieces: Vec<Piece> = env.pieces().to_vec();
+        if pieces.is_empty() {
+            return None;
+        }
+        add_work(Category::CgBuild, (pieces.len() as u64).max(1) * 2);
+
+        // Polyline vertices with junction dedup.
+        let mut verts: Vec<Point2> = Vec::with_capacity(pieces.len() + 1);
+        let mut piece_first = Vec::with_capacity(pieces.len());
+        let mut piece_last = Vec::with_capacity(pieces.len());
+        for p in &pieces {
+            let a = Point2::new(p.x0, p.z0);
+            let b = Point2::new(p.x1, p.z1);
+            if verts.last() != Some(&a) {
+                verts.push(a);
+            }
+            piece_first.push((verts.len() - 1) as u32);
+            verts.push(b);
+            piece_last.push((verts.len() - 1) as u32);
+        }
+
+        let mut t = HullTree {
+            pieces,
+            verts,
+            piece_first,
+            piece_last,
+            nodes: Vec::new(),
+            arena: Vec::new(),
+            root: 0,
+        };
+        t.root = t.build_node(0, t.pieces.len() as u32);
+        Some(t)
+    }
+
+    fn build_node(&mut self, lo: u32, hi: u32) -> u32 {
+        let (vl, vh) = (self.piece_first[lo as usize], self.piece_last[(hi - 1) as usize]);
+        let upper = self.push_hull(vl, vh, true);
+        let lower = self.push_hull(vl, vh, false);
+        let has_gap = self.pieces[lo as usize..hi as usize]
+            .windows(2)
+            .any(|w| w[0].x1 != w[1].x0);
+        let x_lo = self.pieces[lo as usize].x0;
+        let x_hi = self.pieces[(hi - 1) as usize].x1;
+        let id = self.nodes.len() as u32;
+        self.nodes.push(HNode { lo, hi, left: LEAF, right: LEAF, x_lo, x_hi, has_gap, upper, lower });
+        if hi - lo >= 2 {
+            let mid = lo + (hi - lo) / 2;
+            let l = self.build_node(lo, mid);
+            let r = self.build_node(mid, hi);
+            self.nodes[id as usize].left = l;
+            self.nodes[id as usize].right = r;
+        }
+        id
+    }
+
+    /// Computes a convex hull (upper or lower) of the x-sorted vertex run
+    /// `[vl, vh]` with Andrew's monotone chain; stores vertex indices in
+    /// the arena.
+    fn push_hull(&mut self, vl: u32, vh: u32, upper: bool) -> (u32, u32) {
+        let off = self.arena.len() as u32;
+        let mut hull: Vec<u32> = Vec::with_capacity(16);
+        for i in vl..=vh {
+            let p = self.verts[i as usize];
+            while hull.len() >= 2 {
+                let a = self.verts[hull[hull.len() - 2] as usize];
+                let b = self.verts[hull[hull.len() - 1] as usize];
+                let cr = (b - a).cross(p - a);
+                let drop = if upper { cr >= 0.0 } else { cr <= 0.0 };
+                if drop {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(i);
+        }
+        self.arena.extend_from_slice(&hull);
+        (off, hull.len() as u32)
+    }
+
+    /// Profile value at `x` (`None` over gaps) via binary search.
+    pub fn eval(&self, x: f64) -> Option<f64> {
+        let i = self.pieces.partition_point(|p| p.x1 < x);
+        let p = self.pieces.get(i)?;
+        (p.x0 <= x).then(|| p.eval(x))
+    }
+
+    /// Number of pieces.
+    pub fn size(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Sign of `s − profile` at `x`: `> 0` s above (gaps count as above),
+    /// `< 0` s below, `0` equal.
+    fn sign_at(&self, s: &Piece, x: f64) -> f64 {
+        match self.eval(x) {
+            None => 1.0,
+            Some(z) => {
+                let d = s.eval(x) - z;
+                if d > 0.0 {
+                    1.0
+                } else if d < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Extreme-vertex test: is any profile vertex of the node's range
+    /// strictly above the supporting line of `s`? (Upper-hull search,
+    /// `O(log h)`.)
+    fn vertex_above(&self, node: &HNode, s: &Piece) -> bool {
+        let m = s.slope();
+        let (off, len) = node.upper;
+        let hull = &self.arena[off as usize..(off + len) as usize];
+        // Upper-hull edge slopes decrease; the extreme vertex in direction
+        // (-m, 1) is where the edge slope drops below m.
+        let i = hull_partition(hull, &self.verts, m);
+        let v = self.verts[hull[i] as usize];
+        v.y - s_line(s, v.x) > 0.0
+    }
+
+    /// Is any profile vertex strictly below the supporting line of `s`?
+    /// (Lower-hull search.)
+    fn vertex_below(&self, node: &HNode, s: &Piece) -> bool {
+        let m = s.slope();
+        let (off, len) = node.lower;
+        let hull = &self.arena[off as usize..(off + len) as usize];
+        // Lower-hull edge slopes increase; minimize v.y - m v.x.
+        let i = hull.partition_point2(|a, b| {
+            let (pa, pb) = (self.verts[a as usize], self.verts[b as usize]);
+            slope(pa, pb) < m
+        });
+        let v = self.verts[hull[i] as usize];
+        v.y - s_line(s, v.x) < 0.0
+    }
+
+    /// Does `s` cross the profile strictly inside `[qlo, qhi] ∩ range`?
+    fn exists_in(&self, id: u32, s: &Piece, qlo: f64, qhi: f64) -> bool {
+        let node = &self.nodes[id as usize];
+        let lo = qlo.max(node.x_lo).max(s.x0);
+        let hi = qhi.min(node.x_hi).min(s.x1);
+        if lo >= hi {
+            return false;
+        }
+        add_work(Category::Query, 1);
+        let (sl, sh) = (self.sign_at(s, lo), self.sign_at(s, hi));
+        if sl * sh < 0.0 {
+            return true;
+        }
+        if sl > 0.0 && sh > 0.0 {
+            // s above at both ends: crossing iff some vertex pokes above s.
+            return self.vertex_above(node, s);
+        }
+        if sl < 0.0 && sh < 0.0 {
+            // s below at both ends: crossing iff the profile dips below s
+            // (vertex below) — a gap alone does not create a function
+            // crossing under our gap semantics, but it hides vertices from
+            // the hull, so descend conservatively.
+            if node.has_gap {
+                if node.left == LEAF {
+                    return false;
+                }
+                return self.exists_in(node.left, s, lo, hi)
+                    || self.exists_in(node.right, s, lo, hi);
+            }
+            return self.vertex_below(node, s);
+        }
+        // A zero sign at an endpoint: resolve by descending.
+        if node.left == LEAF {
+            let p = self.pieces[node.lo as usize];
+            return matches!(
+                relate_clipped(&p, s, lo, hi),
+                Some(Relation::CrossAtoB { .. } | Relation::CrossBtoA { .. })
+            );
+        }
+        self.exists_in(node.left, s, lo, hi) || self.exists_in(node.right, s, lo, hi)
+    }
+
+    /// First crossing of `s` with the profile at abscissa `> from`
+    /// (Lemma 3.6: `O(log² m)`).
+    pub fn first_crossing(&self, s: &Piece, from: f64) -> Option<CrossEvent> {
+        self.first_in(self.root, s, from.max(s.x0), s.x1)
+    }
+
+    fn first_in(&self, id: u32, s: &Piece, qlo: f64, qhi: f64) -> Option<CrossEvent> {
+        if !self.exists_in(id, s, qlo, qhi) {
+            return None;
+        }
+        let node = &self.nodes[id as usize];
+        if node.left == LEAF {
+            let p = self.pieces[node.lo as usize];
+            let lo = qlo.max(node.x_lo).max(s.x0);
+            let hi = qhi.min(node.x_hi).min(s.x1);
+            return match relate_clipped(&p, s, lo, hi)? {
+                Relation::CrossAtoB { x, z } => {
+                    Some(CrossEvent { x, z, upper_left: p.edge, upper_right: s.edge })
+                }
+                Relation::CrossBtoA { x, z } => {
+                    Some(CrossEvent { x, z, upper_left: s.edge, upper_right: p.edge })
+                }
+                _ => None,
+            };
+        }
+        self.first_in(node.left, s, qlo, qhi)
+            .or_else(|| self.first_in(node.right, s, qlo, qhi))
+    }
+
+    /// All crossings of `s` with the profile (Lemma 3.2:
+    /// `O((1 + k_s) log² m)`).
+    pub fn all_crossings(&self, s: &Piece) -> Vec<CrossEvent> {
+        let mut out = Vec::new();
+        self.all_in(self.root, s, s.x0, s.x1, &mut out);
+        out
+    }
+
+    /// Parallel all-crossings (the parallel splitting of Lemma 3.2): the
+    /// recursion forks at internal nodes whose subranges still hold many
+    /// pieces, so the `k_s` crossings of a long segment are found with
+    /// `O(log m)` span.
+    pub fn all_crossings_par(&self, s: &Piece) -> Vec<CrossEvent> {
+        let mut out = self.all_par_rec(self.root, s, s.x0, s.x1);
+        out.sort_by(|a, b| a.x.total_cmp(&b.x));
+        out
+    }
+
+    fn all_par_rec(&self, id: u32, s: &Piece, qlo: f64, qhi: f64) -> Vec<CrossEvent> {
+        if !self.exists_in(id, s, qlo, qhi) {
+            return Vec::new();
+        }
+        let node = &self.nodes[id as usize];
+        if node.left == LEAF {
+            let mut out = Vec::with_capacity(1);
+            self.all_in(id, s, qlo, qhi, &mut out);
+            return out;
+        }
+        if node.hi - node.lo < 2048 {
+            let mut out = Vec::new();
+            self.all_in(node.left, s, qlo, qhi, &mut out);
+            self.all_in(node.right, s, qlo, qhi, &mut out);
+            return out;
+        }
+        let (mut l, r) = rayon::join(
+            || self.all_par_rec(node.left, s, qlo, qhi),
+            || self.all_par_rec(node.right, s, qlo, qhi),
+        );
+        l.extend(r);
+        l
+    }
+
+    fn all_in(&self, id: u32, s: &Piece, qlo: f64, qhi: f64, out: &mut Vec<CrossEvent>) {
+        if !self.exists_in(id, s, qlo, qhi) {
+            return;
+        }
+        let node = &self.nodes[id as usize];
+        if node.left == LEAF {
+            let p = self.pieces[node.lo as usize];
+            let lo = qlo.max(node.x_lo).max(s.x0);
+            let hi = qhi.min(node.x_hi).min(s.x1);
+            match relate_clipped(&p, s, lo, hi) {
+                Some(Relation::CrossAtoB { x, z }) => {
+                    out.push(CrossEvent { x, z, upper_left: p.edge, upper_right: s.edge })
+                }
+                Some(Relation::CrossBtoA { x, z }) => {
+                    out.push(CrossEvent { x, z, upper_left: s.edge, upper_right: p.edge })
+                }
+                _ => {}
+            }
+            return;
+        }
+        self.all_in(node.left, s, qlo, qhi, out);
+        self.all_in(node.right, s, qlo, qhi, out);
+    }
+
+    /// ASCII rendering of the tree (the Figure 2 reproduction): one line
+    /// per node with its diagonal range and hull sizes.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        self.render_node(self.root, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, id: u32, depth: usize, out: &mut String) {
+        let n = &self.nodes[id as usize];
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "{}[{}..{}) x∈[{:.2},{:.2}] upper-chain {} lower-chain {}{}",
+            "  ".repeat(depth),
+            n.lo,
+            n.hi,
+            n.x_lo,
+            n.x_hi,
+            n.upper.1,
+            n.lower.1,
+            if n.has_gap { " (gap)" } else { "" },
+        );
+        if n.left != LEAF {
+            self.render_node(n.left, depth + 1, out);
+            self.render_node(n.right, depth + 1, out);
+        }
+    }
+}
+
+/// Value of `s`'s supporting line at `x` (unclamped).
+#[inline]
+fn s_line(s: &Piece, x: f64) -> f64 {
+    s.z0 + s.slope() * (x - s.x0)
+}
+
+#[inline]
+fn slope(a: Point2, b: Point2) -> f64 {
+    if b.x == a.x {
+        f64::INFINITY
+    } else {
+        (b.y - a.y) / (b.x - a.x)
+    }
+}
+
+/// `relate` over the clipped common interval, `None` when empty.
+fn relate_clipped(p: &Piece, s: &Piece, lo: f64, hi: f64) -> Option<Relation> {
+    let u = lo.max(p.x0);
+    let v = hi.min(p.x1);
+    (u < v).then(|| relate(p, s, u, v))
+}
+
+/// Binary search for the extreme vertex of an upper hull in direction
+/// `(-m, 1)`: the first vertex whose outgoing hull edge has slope `< m`.
+fn hull_partition(hull: &[u32], verts: &[Point2], m: f64) -> usize {
+    let mut lo = 0usize;
+    let mut hi = hull.len() - 1;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let a = verts[hull[mid] as usize];
+        let b = verts[hull[mid + 1] as usize];
+        if slope(a, b) >= m {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Extension trait: `partition_point` over adjacent pairs.
+trait PartitionPoint2 {
+    fn partition_point2(&self, pred: impl Fn(u32, u32) -> bool) -> usize;
+}
+
+impl PartitionPoint2 for [u32] {
+    fn partition_point2(&self, pred: impl Fn(u32, u32) -> bool) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if pred(self[mid], self[mid + 1]) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn piece(x0: f64, z0: f64, x1: f64, z1: f64, edge: u32) -> Piece {
+        Piece { x0, x1, z0, z1, edge }
+    }
+
+    /// A zig-zag profile over [0, 2n] with peaks at odd integers.
+    fn zigzag(n: usize) -> Envelope {
+        let mut pieces = Vec::new();
+        for i in 0..n {
+            let x = 2.0 * i as f64;
+            pieces.push(piece(x, 0.0, x + 1.0, 2.0, 2 * i as u32));
+            pieces.push(piece(x + 1.0, 2.0, x + 2.0, 0.0, 2 * i as u32 + 1));
+        }
+        Envelope::from_sorted_pieces(pieces)
+    }
+
+    #[test]
+    fn build_and_eval() {
+        let env = zigzag(8);
+        let t = HullTree::build(&env).unwrap();
+        assert_eq!(t.size(), 16);
+        assert_eq!(t.eval(1.0), Some(2.0));
+        assert_eq!(t.eval(2.0), Some(0.0));
+        assert_eq!(t.eval(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn empty_envelope() {
+        assert!(HullTree::build(&Envelope::new()).is_none());
+    }
+
+    #[test]
+    fn all_crossings_zigzag() {
+        let env = zigzag(8);
+        let t = HullTree::build(&env).unwrap();
+        // A horizontal segment at z = 1 crosses every flank: 16 crossings.
+        let s = piece(0.0, 1.0, 16.0, 1.0, 99);
+        let crossings = t.all_crossings(&s);
+        assert_eq!(crossings.len(), 16);
+        // Crossings alternate rising/falling and are sorted.
+        for w in crossings.windows(2) {
+            assert!(w[0].x < w[1].x);
+        }
+    }
+
+    #[test]
+    fn first_crossing_advances() {
+        let env = zigzag(4);
+        let t = HullTree::build(&env).unwrap();
+        let s = piece(0.0, 1.0, 8.0, 1.0, 99);
+        let c1 = t.first_crossing(&s, f64::NEG_INFINITY).unwrap();
+        assert!((c1.x - 0.5).abs() < 1e-12);
+        let c2 = t.first_crossing(&s, c1.x + 1e-9).unwrap();
+        assert!((c2.x - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_crossing_above_profile() {
+        let env = zigzag(8);
+        let t = HullTree::build(&env).unwrap();
+        let s = piece(0.0, 5.0, 16.0, 5.0, 99);
+        assert!(t.all_crossings(&s).is_empty());
+        assert!(t.first_crossing(&s, f64::NEG_INFINITY).is_none());
+    }
+
+    #[test]
+    fn no_crossing_below_profile() {
+        // Profile strictly above a low segment: vertex_below must reject.
+        let env = Envelope::from_sorted_pieces(vec![
+            piece(0.0, 3.0, 4.0, 5.0, 0),
+            piece(4.0, 5.0, 8.0, 3.5, 1),
+        ]);
+        let t = HullTree::build(&env).unwrap();
+        let s = piece(0.0, 1.0, 8.0, 2.0, 99);
+        assert!(t.all_crossings(&s).is_empty());
+    }
+
+    #[test]
+    fn poke_detection_both_ways() {
+        // s above at both ends but a peak pokes through it.
+        let env = zigzag(3); // peaks z=2 at x=1,3,5
+        let t = HullTree::build(&env).unwrap();
+        let s = piece(0.0, 1.5, 6.0, 1.5, 99);
+        let c = t.all_crossings(&s);
+        assert_eq!(c.len(), 6);
+        // s below at both ends (tangent at its endpoints) but valleys dip
+        // below it: interior crossings at 1.5, 2.5, 3.5, 4.5.
+        let s2 = piece(0.5, 1.0, 5.5, 1.0, 98);
+        let c2 = t.all_crossings(&s2);
+        assert_eq!(c2.len(), 4);
+    }
+
+    #[test]
+    fn matches_brute_force_on_pseudorandom() {
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let pieces: Vec<Piece> = (0..50u32)
+            .map(|e| {
+                let x0 = e as f64 * 2.0;
+                piece(x0, next() * 10.0, x0 + 2.0, next() * 10.0, e)
+            })
+            .collect();
+        let env = Envelope::from_sorted_pieces(pieces);
+        let t = HullTree::build(&env).unwrap();
+        for q in 0..40 {
+            let s = piece(next() * 50.0, next() * 10.0, 50.0 + next() * 50.0, next() * 10.0, 1000 + q);
+            let got = t.all_crossings(&s);
+            // Brute force: relate against every piece.
+            let mut expect = 0;
+            for p in env.pieces() {
+                if let Some(r) = relate_clipped(p, &s, s.x0, s.x1) {
+                    if matches!(r, Relation::CrossAtoB { .. } | Relation::CrossBtoA { .. }) {
+                        expect += 1;
+                    }
+                }
+            }
+            assert_eq!(got.len(), expect, "query {q}");
+        }
+    }
+
+    #[test]
+    fn parallel_all_crossings_matches_sequential() {
+        let env = zigzag(4096);
+        let t = HullTree::build(&env).unwrap();
+        let s = piece(0.0, 1.0, 8192.0, 1.0, 99);
+        let seq = t.all_crossings(&s);
+        let par = t.all_crossings_par(&s);
+        assert_eq!(seq.len(), 8192);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.upper_left, b.upper_left);
+        }
+    }
+
+    #[test]
+    fn figure2_ascii_render() {
+        let env = zigzag(2);
+        let t = HullTree::build(&env).unwrap();
+        let s = t.render_ascii();
+        assert!(s.contains("[0..4)"));
+        assert!(s.lines().count() >= 7); // 4 leaves + internals
+    }
+}

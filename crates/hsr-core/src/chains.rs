@@ -1,0 +1,137 @@
+//! Monotone-chain decomposition of the projected terrain graph.
+//!
+//! The paper's Fact 1 (Tamassia–Vitter) decomposes the planar triangulated
+//! subdivision into monotone chains organised in a separator tree. Our
+//! ordering uses the occlusion DAG instead (DESIGN.md §4.2), but the chain
+//! structure is still worth reproducing: it measures how "separator-like"
+//! a terrain's edge set is and feeds the structure experiments.
+//!
+//! A chain is a maximal path of edges connected tip-to-tail with strictly
+//! increasing ground-`y` — exactly the monotonicity the separators of
+//! Lee–Preparata / Tamassia–Vitter have.
+
+use hsr_terrain::Tin;
+use serde::Serialize;
+
+/// Summary of a chain decomposition.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct ChainStats {
+    /// Number of chains.
+    pub chains: usize,
+    /// Number of edges covered (all of them).
+    pub edges: usize,
+    /// Longest chain length.
+    pub max_len: usize,
+    /// Mean chain length.
+    pub mean_len: f64,
+}
+
+/// Greedy decomposition of the edge set into `y`-monotone chains.
+/// Every edge belongs to exactly one chain.
+pub fn decompose(tin: &Tin) -> Vec<Vec<u32>> {
+    let n_e = tin.edges().len();
+    let verts = tin.vertices();
+    // Orient every edge from the lower-ground-y endpoint to the higher one;
+    // pure `y`-flat edges form their own singleton chains.
+    // outgoing[v] = edges whose lower endpoint is v.
+    let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(); verts.len()];
+    let mut flat: Vec<u32> = Vec::new();
+    for (e, &[a, b]) in tin.edges().iter().enumerate() {
+        let (ya, yb) = (verts[a as usize].y, verts[b as usize].y);
+        if ya < yb {
+            outgoing[a as usize].push(e as u32);
+        } else if yb < ya {
+            outgoing[b as usize].push(e as u32);
+        } else {
+            flat.push(e as u32);
+        }
+    }
+    let upper = |e: u32| -> u32 {
+        let [a, b] = tin.edges()[e as usize];
+        if verts[a as usize].y < verts[b as usize].y {
+            b
+        } else {
+            a
+        }
+    };
+
+    let mut used = vec![false; n_e];
+    let mut chains: Vec<Vec<u32>> = Vec::new();
+    // Deterministic: start from edges in id order.
+    for start in 0..n_e as u32 {
+        if used[start as usize] || flat.contains(&start) {
+            continue;
+        }
+        let mut chain = vec![start];
+        used[start as usize] = true;
+        // Extend upward while an unused continuation exists.
+        let mut tip = upper(start);
+        while let Some(&next) = outgoing[tip as usize].iter().find(|&&e| !used[e as usize]) {
+            used[next as usize] = true;
+            chain.push(next);
+            tip = upper(next);
+        }
+        chains.push(chain);
+    }
+    for e in flat {
+        chains.push(vec![e]);
+    }
+    chains
+}
+
+/// Statistics of a decomposition.
+pub fn stats(chains: &[Vec<u32>]) -> ChainStats {
+    let edges: usize = chains.iter().map(Vec::len).sum();
+    let max_len = chains.iter().map(Vec::len).max().unwrap_or(0);
+    ChainStats {
+        chains: chains.len(),
+        edges,
+        max_len,
+        mean_len: if chains.is_empty() { 0.0 } else { edges as f64 / chains.len() as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsr_terrain::gen;
+
+    #[test]
+    fn covers_every_edge_once() {
+        let tin = gen::fbm(8, 8, 3, 6.0, 2).to_tin().unwrap();
+        let chains = decompose(&tin);
+        let mut seen = vec![false; tin.edges().len()];
+        for c in &chains {
+            for &e in c {
+                assert!(!seen[e as usize], "edge {e} in two chains");
+                seen[e as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chains_are_monotone() {
+        let tin = gen::gaussian_hills(8, 8, 3, 3).to_tin().unwrap();
+        let verts = tin.vertices();
+        for chain in decompose(&tin) {
+            let mut last_y = f64::NEG_INFINITY;
+            for &e in &chain {
+                let [a, b] = tin.edges()[e as usize];
+                let (ya, yb) = (verts[a as usize].y, verts[b as usize].y);
+                let lo = ya.min(yb);
+                let hi = ya.max(yb);
+                assert!(lo >= last_y - 1e-12, "chain not monotone");
+                last_y = hi.max(last_y);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_produces_long_chains() {
+        let tin = gen::amphitheater(12, 12, 5.0, 1).to_tin().unwrap();
+        let s = stats(&decompose(&tin));
+        assert_eq!(s.edges, tin.edges().len());
+        assert!(s.max_len >= 11, "max chain {} too short", s.max_len);
+    }
+}

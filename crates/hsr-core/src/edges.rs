@@ -1,0 +1,89 @@
+//! Projection of terrain edges onto the image plane.
+//!
+//! The viewer sits at `x = +∞` looking along `-x`; the image plane is
+//! `y–z` (paper §2). Every terrain edge projects to an image segment whose
+//! abscissa is world `y` and ordinate is world `z`.
+
+use hsr_geometry::{Point2, Segment2};
+use hsr_terrain::Tin;
+
+use crate::envelope::Piece;
+
+/// A terrain edge with its image-plane projection.
+#[derive(Clone, Copy, Debug)]
+pub struct SceneEdge {
+    /// Edge id (index into [`Tin::edges`]).
+    pub id: u32,
+    /// Image-plane projection (abscissa = world `y`, ordinate = world `z`).
+    pub seg: Segment2,
+    /// True when the edge runs along the view direction and projects to a
+    /// vertical (zero-width) image segment; such edges contribute no
+    /// envelope pieces and their visibility reduces to a point query.
+    pub vertical: bool,
+}
+
+impl SceneEdge {
+    /// The envelope piece of this edge (`None` for vertical projections).
+    #[inline]
+    pub fn piece(&self) -> Option<Piece> {
+        Piece::from_segment(&self.seg, self.id)
+    }
+}
+
+/// Projects all edges of a TIN onto the image plane.
+pub fn project_edges(tin: &Tin) -> Vec<SceneEdge> {
+    tin.edges()
+        .iter()
+        .enumerate()
+        .map(|(id, &[a, b])| {
+            let pa = tin.vertices()[a as usize];
+            let pb = tin.vertices()[b as usize];
+            let seg = Segment2::new(Point2::new(pa.y, pa.z), Point2::new(pb.y, pb.z));
+            SceneEdge { id: id as u32, seg, vertical: seg.is_vertical() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsr_geometry::Point3;
+
+    #[test]
+    fn projection_drops_x() {
+        let tin = Tin::new(
+            vec![
+                Point3::new(0.0, 0.0, 1.0),
+                Point3::new(1.0, 2.0, 3.0),
+                Point3::new(0.0, 1.0, 0.0),
+            ],
+            vec![[0, 1, 2]],
+        )
+        .unwrap();
+        let edges = project_edges(&tin);
+        assert_eq!(edges.len(), 3);
+        for e in &edges {
+            // Projected coordinates must come from (y, z) of the endpoints.
+            assert!(e.seg.a.x <= e.seg.b.x);
+        }
+    }
+
+    #[test]
+    fn vertical_edge_detected() {
+        // Edge between two vertices with the same world y projects to a
+        // vertical image segment.
+        let tin = Tin::new(
+            vec![
+                Point3::new(0.0, 0.0, 0.0),
+                Point3::new(1.0, 0.0, 5.0),
+                Point3::new(0.5, 1.0, 0.0),
+            ],
+            vec![[0, 1, 2]],
+        )
+        .unwrap();
+        let edges = project_edges(&tin);
+        let vertical: Vec<_> = edges.iter().filter(|e| e.vertical).collect();
+        assert_eq!(vertical.len(), 1);
+        assert!(vertical[0].piece().is_none());
+    }
+}

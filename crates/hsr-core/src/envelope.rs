@@ -1,0 +1,601 @@
+//! Upper envelopes ("profiles") of image-plane segments.
+//!
+//! A *profile* (paper §1.1) is the pointwise maximum, in the `+z` direction,
+//! of a set of segments projected on the image plane — a piecewise-linear
+//! partial function of the abscissa, monotone as a polygonal chain. This
+//! module provides the static representation used by phase 1 of the
+//! algorithm: [`Envelope`] as a sorted vector of disjoint [`Piece`]s (gaps
+//! allowed), linear-time pairwise [`Envelope::merge`], and the
+//! divide-and-conquer [`Envelope::from_pieces`] construction of Lemma 3.1
+//! (`O(m log m)` work, `O(log² m)` depth, parallelised with rayon joins).
+
+use hsr_geometry::Segment2;
+use hsr_pram::cost::{add_work, Category};
+use serde::{Deserialize, Serialize};
+
+/// One linear piece of an envelope: the graph of a linear function over
+/// `[x0, x1]`, contributed by terrain edge `edge`.
+///
+/// Pieces are self-contained (they carry their endpoint ordinates), so a
+/// clipped piece evaluates *exactly* like its parent on the shared
+/// boundary — which is what keeps junctions of adjacent pieces watertight.
+///
+/// **Contract:** all pieces sharing an `edge` id must lie on one common
+/// supporting line (they come from one terrain segment). The builders rely
+/// on this to coalesce touching fragments of the same edge; feeding two
+/// unrelated pieces with the same id produces envelopes that interpolate
+/// across the spurious junction.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Piece {
+    /// Left abscissa.
+    pub x0: f64,
+    /// Right abscissa (`> x0` for all stored pieces).
+    pub x1: f64,
+    /// Ordinate at `x0`.
+    pub z0: f64,
+    /// Ordinate at `x1`.
+    pub z1: f64,
+    /// Id of the terrain edge this piece belongs to.
+    pub edge: u32,
+}
+
+impl Piece {
+    /// A piece covering the whole (non-vertical) segment.
+    #[inline]
+    pub fn from_segment(seg: &Segment2, edge: u32) -> Option<Piece> {
+        if seg.is_vertical() {
+            return None;
+        }
+        Some(Piece { x0: seg.a.x, x1: seg.b.x, z0: seg.a.y, z1: seg.b.y, edge })
+    }
+
+    /// Value at `x` (exact at the stored endpoints).
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= self.x0 {
+            return self.z0;
+        }
+        if x >= self.x1 {
+            return self.z1;
+        }
+        let t = (x - self.x0) / (self.x1 - self.x0);
+        self.z0 + t * (self.z1 - self.z0)
+    }
+
+    /// Slope of the supporting line.
+    #[inline]
+    pub fn slope(&self) -> f64 {
+        (self.z1 - self.z0) / (self.x1 - self.x0)
+    }
+
+    /// The sub-piece over `[u, v] ⊆ [x0, x1]`; `None` when the clip is
+    /// empty or degenerate.
+    #[inline]
+    pub fn clip(&self, u: f64, v: f64) -> Option<Piece> {
+        let u = u.max(self.x0);
+        let v = v.min(self.x1);
+        if u >= v {
+            return None;
+        }
+        Some(Piece { x0: u, x1: v, z0: self.eval(u), z1: self.eval(v), edge: self.edge })
+    }
+
+    /// Width of the piece.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Minimum ordinate over the piece.
+    #[inline]
+    pub fn z_min(&self) -> f64 {
+        self.z0.min(self.z1)
+    }
+
+    /// Maximum ordinate over the piece.
+    #[inline]
+    pub fn z_max(&self) -> f64 {
+        self.z0.max(self.z1)
+    }
+}
+
+/// A crossing between a segment and a profile — a vertex of the visible
+/// image (chargeable to the output size `k`).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CrossEvent {
+    /// Abscissa of the crossing.
+    pub x: f64,
+    /// Ordinate of the crossing.
+    pub z: f64,
+    /// The edge that is on top to the left of the crossing.
+    pub upper_left: u32,
+    /// The edge that is on top to the right of the crossing.
+    pub upper_right: u32,
+}
+
+/// Relation of two linear pieces over a common interval `[u, v]`.
+#[derive(Clone, Copy, Debug)]
+pub enum Relation {
+    /// `a` is on top over the whole interval (ties go to `a`).
+    AAbove,
+    /// `b` is strictly on top over the whole interval.
+    BAbove,
+    /// They cross at the contained point: `a` on top on `[u, x]`, `b` on
+    /// `[x, v]`.
+    CrossAtoB {
+        /// Crossing abscissa.
+        x: f64,
+        /// Crossing ordinate.
+        z: f64,
+    },
+    /// They cross at the contained point: `b` on top on `[u, x]`, `a` on
+    /// `[x, v]`.
+    CrossBtoA {
+        /// Crossing abscissa.
+        x: f64,
+        /// Crossing ordinate.
+        z: f64,
+    },
+}
+
+/// Classifies two linear pieces over `[u, v]`. Tie policy: where the
+/// functions are equal, `a` wins (callers pass the *front* / already-visible
+/// piece as `a`, so later edges never peek through ties).
+pub fn relate(a: &Piece, b: &Piece, u: f64, v: f64) -> Relation {
+    debug_assert!(u < v, "relate needs a non-degenerate interval");
+    let du = b.eval(u) - a.eval(u);
+    let dv = b.eval(v) - a.eval(v);
+    if du <= 0.0 && dv <= 0.0 {
+        return Relation::AAbove;
+    }
+    if du > 0.0 && dv > 0.0 {
+        return Relation::BAbove;
+    }
+    // Signs differ: exactly one crossing inside.
+    let t = du / (du - dv); // in [0, 1]
+    let x = (u + t * (v - u)).clamp(u, v);
+    let z = a.eval(x);
+    if du <= 0.0 {
+        // a on top first.
+        Relation::CrossAtoB { x, z }
+    } else {
+        Relation::CrossBtoA { x, z }
+    }
+}
+
+/// An upper envelope: sorted pieces with pairwise-disjoint interiors
+/// (gaps allowed where no segment spans).
+///
+/// ```
+/// use hsr_core::envelope::{Envelope, Piece};
+///
+/// // Two crossing roof lines: the envelope takes the higher one on
+/// // each side of their crossing at x = 1.
+/// let rising = Piece { x0: 0.0, x1: 2.0, z0: 0.0, z1: 2.0, edge: 0 };
+/// let falling = Piece { x0: 0.0, x1: 2.0, z0: 2.0, z1: 0.0, edge: 1 };
+/// let env = Envelope::from_pieces(&[rising, falling]);
+/// assert_eq!(env.size(), 2);
+/// assert_eq!(env.eval(0.5), Some(1.5)); // falling piece on top
+/// assert_eq!(env.eval(1.5), Some(1.5)); // rising piece on top
+/// assert_eq!(env.eval(5.0), None);      // outside: a gap
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Envelope {
+    pieces: Vec<Piece>,
+}
+
+impl Envelope {
+    /// The empty envelope.
+    pub fn new() -> Self {
+        Envelope { pieces: Vec::new() }
+    }
+
+    /// An envelope of a single piece.
+    pub fn from_piece(p: Piece) -> Self {
+        Envelope { pieces: vec![p] }
+    }
+
+    /// Wraps a sorted, disjoint piece vector (debug-checked).
+    pub fn from_sorted_pieces(pieces: Vec<Piece>) -> Self {
+        let e = Envelope { pieces };
+        debug_assert!(e.check_invariants().is_ok(), "{:?}", e.check_invariants());
+        e
+    }
+
+    /// The pieces, sorted by abscissa.
+    #[inline]
+    pub fn pieces(&self) -> &[Piece] {
+        &self.pieces
+    }
+
+    /// Number of pieces (the profile size `m` of the paper's lemmas).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// True when the envelope has no pieces.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// Envelope value at `x`, `None` over gaps.
+    pub fn eval(&self, x: f64) -> Option<f64> {
+        let i = self.pieces.partition_point(|p| p.x1 < x);
+        let p = self.pieces.get(i)?;
+        (p.x0 <= x).then(|| p.eval(x))
+    }
+
+    /// Builds the upper envelope of a set of pieces by parallel divide and
+    /// conquer (Lemma 3.1).
+    pub fn from_pieces(pieces: &[Piece]) -> Envelope {
+        match pieces.len() {
+            0 => Envelope::new(),
+            1 => Envelope::from_piece(pieces[0]),
+            n => {
+                let (l, r) = pieces.split_at(n / 2);
+                let (el, er) = if n > 256 {
+                    rayon::join(|| Envelope::from_pieces(l), || Envelope::from_pieces(r))
+                } else {
+                    (Envelope::from_pieces(l), Envelope::from_pieces(r))
+                };
+                Envelope::merge(&el, &er)
+            }
+        }
+    }
+
+    /// Merges two envelopes into their pointwise maximum in linear time.
+    /// Ties go to `a`'s pieces.
+    pub fn merge(a: &Envelope, b: &Envelope) -> Envelope {
+        if a.is_empty() {
+            return b.clone();
+        }
+        if b.is_empty() {
+            return a.clone();
+        }
+        add_work(Category::EnvelopeBuild, (a.size() + b.size()) as u64);
+
+        // Sweep over the union of piece boundaries.
+        let mut xs: Vec<f64> = Vec::with_capacity(2 * (a.size() + b.size()));
+        for p in a.pieces().iter().chain(b.pieces()) {
+            xs.push(p.x0);
+            xs.push(p.x1);
+        }
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+
+        let mut out = EnvelopeBuilder::with_capacity(a.size() + b.size());
+        let (mut i, mut j) = (0usize, 0usize);
+        for w in xs.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            if u >= v {
+                continue;
+            }
+            while i < a.pieces.len() && a.pieces[i].x1 <= u {
+                i += 1;
+            }
+            while j < b.pieces.len() && b.pieces[j].x1 <= u {
+                j += 1;
+            }
+            let pa = a.pieces.get(i).filter(|p| p.x0 <= u && v <= p.x1);
+            let pb = b.pieces.get(j).filter(|p| p.x0 <= u && v <= p.x1);
+            match (pa, pb) {
+                (None, None) => {}
+                (Some(p), None) | (None, Some(p)) => out.push_clip(p, u, v),
+                (Some(pa), Some(pb)) => match relate(pa, pb, u, v) {
+                    Relation::AAbove => out.push_clip(pa, u, v),
+                    Relation::BAbove => out.push_clip(pb, u, v),
+                    Relation::CrossAtoB { x, .. } => {
+                        out.push_clip(pa, u, x);
+                        out.push_clip(pb, x, v);
+                    }
+                    Relation::CrossBtoA { x, .. } => {
+                        out.push_clip(pb, u, x);
+                        out.push_clip(pa, x, v);
+                    }
+                },
+            }
+        }
+        Envelope { pieces: out.finish() }
+    }
+
+    /// Splits piece `s` against this envelope: returns the sub-pieces of
+    /// `s` strictly above the envelope (its *visible* parts when the
+    /// envelope is the profile of everything in front) and the crossings.
+    /// Linear in the number of envelope pieces overlapping `s`'s span.
+    pub fn visible_parts(&self, s: &Piece) -> (Vec<Piece>, Vec<CrossEvent>) {
+        let mut vis = EnvelopeBuilder::with_capacity(2);
+        let mut crossings = Vec::new();
+        let mut x = s.x0;
+        let mut i = self.pieces.partition_point(|p| p.x1 <= s.x0);
+        while x < s.x1 {
+            match self.pieces.get(i) {
+                Some(p) if p.x0 <= x => {
+                    // Overlap region [x, v].
+                    let v = p.x1.min(s.x1);
+                    if v > x {
+                        match relate(p, s, x, v) {
+                            Relation::AAbove => {}
+                            Relation::BAbove => vis.push_clip(s, x, v),
+                            Relation::CrossAtoB { x: cx, z } => {
+                                crossings.push(CrossEvent {
+                                    x: cx,
+                                    z,
+                                    upper_left: p.edge,
+                                    upper_right: s.edge,
+                                });
+                                vis.push_clip(s, cx, v);
+                            }
+                            Relation::CrossBtoA { x: cx, z } => {
+                                crossings.push(CrossEvent {
+                                    x: cx,
+                                    z,
+                                    upper_left: s.edge,
+                                    upper_right: p.edge,
+                                });
+                                vis.push_clip(s, x, cx);
+                            }
+                        }
+                    }
+                    x = v;
+                    if p.x1 <= x {
+                        i += 1;
+                    }
+                }
+                Some(p) => {
+                    // Gap until the next piece starts: s is visible there.
+                    let v = p.x0.min(s.x1);
+                    vis.push_clip(s, x, v);
+                    x = v;
+                }
+                None => {
+                    // Gap to the end.
+                    vis.push_clip(s, x, s.x1);
+                    x = s.x1;
+                }
+            }
+        }
+        (vis.finish(), crossings)
+    }
+
+    /// Structural sanity check (used by tests and debug assertions).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, p) in self.pieces.iter().enumerate() {
+            if p.x0 >= p.x1 || p.x0.is_nan() || p.x1.is_nan() {
+                return Err(format!("piece {i} degenerate: [{}, {}]", p.x0, p.x1));
+            }
+            if !p.x0.is_finite() || !p.z0.is_finite() || !p.z1.is_finite() {
+                return Err(format!("piece {i} non-finite"));
+            }
+        }
+        for w in self.pieces.windows(2) {
+            if w[0].x1 > w[1].x0 {
+                return Err(format!(
+                    "pieces overlap: [{}, {}] then [{}, {}]",
+                    w[0].x0, w[0].x1, w[1].x0, w[1].x1
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The abscissa range covered (hull of all pieces), `None` when empty.
+    pub fn span(&self) -> Option<(f64, f64)> {
+        Some((self.pieces.first()?.x0, self.pieces.last()?.x1))
+    }
+}
+
+/// Accumulates output pieces, coalescing adjacent fragments of the same
+/// edge into maximal pieces.
+pub(crate) struct EnvelopeBuilder {
+    out: Vec<Piece>,
+}
+
+impl EnvelopeBuilder {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        EnvelopeBuilder { out: Vec::with_capacity(n) }
+    }
+
+    pub(crate) fn push_clip(&mut self, p: &Piece, u: f64, v: f64) {
+        if let Some(c) = p.clip(u, v) {
+            self.push(c);
+        }
+    }
+
+    pub(crate) fn push(&mut self, c: Piece) {
+        if let Some(last) = self.out.last_mut() {
+            if last.edge == c.edge && last.x1 == c.x0 && last.z1 == c.z0 {
+                last.x1 = c.x1;
+                last.z1 = c.z1;
+                return;
+            }
+        }
+        self.out.push(c);
+    }
+
+    pub(crate) fn finish(self) -> Vec<Piece> {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsr_geometry::Point2;
+
+    fn piece(x0: f64, z0: f64, x1: f64, z1: f64, edge: u32) -> Piece {
+        Piece { x0, x1, z0, z1, edge }
+    }
+
+    #[test]
+    fn single_piece_eval() {
+        let p = piece(0.0, 0.0, 2.0, 4.0, 0);
+        assert_eq!(p.eval(0.0), 0.0);
+        assert_eq!(p.eval(2.0), 4.0);
+        assert_eq!(p.eval(1.0), 2.0);
+        assert_eq!(p.slope(), 2.0);
+    }
+
+    #[test]
+    fn clip_is_exact_at_boundaries() {
+        let p = piece(0.0, 0.0, 3.0, 9.0, 0);
+        let c = p.clip(1.0, 2.0).unwrap();
+        assert_eq!((c.x0, c.x1), (1.0, 2.0));
+        assert_eq!(c.z0, p.eval(1.0));
+        assert_eq!(c.z1, p.eval(2.0));
+        assert!(p.clip(3.0, 4.0).is_none());
+    }
+
+    #[test]
+    fn merge_disjoint() {
+        let a = Envelope::from_piece(piece(0.0, 1.0, 1.0, 1.0, 0));
+        let b = Envelope::from_piece(piece(2.0, 2.0, 3.0, 2.0, 1));
+        let m = Envelope::merge(&a, &b);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.eval(0.5), Some(1.0));
+        assert_eq!(m.eval(1.5), None); // gap
+        assert_eq!(m.eval(2.5), Some(2.0));
+    }
+
+    #[test]
+    fn merge_crossing() {
+        // a: rising 0->2 over [0,2]; b: falling 2->0 over [0,2]; cross at 1.
+        let a = Envelope::from_piece(piece(0.0, 0.0, 2.0, 2.0, 0));
+        let b = Envelope::from_piece(piece(0.0, 2.0, 2.0, 0.0, 1));
+        let m = Envelope::merge(&a, &b);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.eval(0.0), Some(2.0));
+        assert_eq!(m.eval(2.0), Some(2.0));
+        assert_eq!(m.eval(1.0), Some(1.0));
+        assert_eq!(m.pieces()[0].edge, 1);
+        assert_eq!(m.pieces()[1].edge, 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merge_containment() {
+        // High short piece inside a low long one.
+        let a = Envelope::from_piece(piece(0.0, 1.0, 10.0, 1.0, 0));
+        let b = Envelope::from_piece(piece(4.0, 5.0, 6.0, 5.0, 1));
+        let m = Envelope::merge(&a, &b);
+        assert_eq!(m.size(), 3);
+        assert_eq!(m.eval(5.0), Some(5.0));
+        assert_eq!(m.eval(1.0), Some(1.0));
+        assert_eq!(m.eval(9.0), Some(1.0));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ties_go_to_a() {
+        let a = Envelope::from_piece(piece(0.0, 1.0, 2.0, 1.0, 0));
+        let b = Envelope::from_piece(piece(0.0, 1.0, 2.0, 1.0, 1));
+        let m = Envelope::merge(&a, &b);
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.pieces()[0].edge, 0);
+    }
+
+    #[test]
+    fn from_pieces_matches_bruteforce() {
+        // Pseudo-random pieces; envelope must equal pointwise max at many
+        // sample abscissae.
+        let mut pieces = Vec::new();
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for e in 0..60u32 {
+            let x0 = next() * 90.0;
+            let w = next() * 10.0 + 0.5;
+            let (z0, z1) = (next() * 20.0, next() * 20.0);
+            pieces.push(piece(x0, z0, x0 + w, z1, e));
+        }
+        let env = Envelope::from_pieces(&pieces);
+        env.check_invariants().unwrap();
+        for s in 0..1000 {
+            let x = s as f64 * 0.1;
+            let expect = pieces
+                .iter()
+                .filter(|p| p.x0 <= x && x <= p.x1)
+                .map(|p| p.eval(x))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let got = env.eval(x).unwrap_or(f64::NEG_INFINITY);
+            if expect.is_finite() || got.is_finite() {
+                assert!(
+                    (expect - got).abs() < 1e-9,
+                    "mismatch at x={x}: brute={expect}, env={got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_segments_via_pieces() {
+        let segs = [
+            Segment2::new(Point2::new(0.0, 0.0), Point2::new(4.0, 4.0)),
+            Segment2::new(Point2::new(0.0, 3.0), Point2::new(4.0, 3.0)),
+        ];
+        let pieces: Vec<Piece> = segs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| Piece::from_segment(s, i as u32))
+            .collect();
+        let env = Envelope::from_pieces(&pieces);
+        // Flat wins until x=3, then the rising segment.
+        assert_eq!(env.eval(1.0), Some(3.0));
+        assert_eq!(env.eval(3.5), Some(3.5));
+        assert_eq!(env.size(), 2);
+    }
+
+    #[test]
+    fn vertical_segments_are_skipped() {
+        let s = Segment2::new(Point2::new(1.0, 0.0), Point2::new(1.0, 5.0));
+        assert!(Piece::from_segment(&s, 0).is_none());
+    }
+
+    #[test]
+    fn relate_tie_break() {
+        let a = piece(0.0, 1.0, 1.0, 2.0, 0);
+        let b = piece(0.0, 1.0, 1.0, 2.0, 1);
+        assert!(matches!(relate(&a, &b, 0.0, 1.0), Relation::AAbove));
+    }
+
+    #[test]
+    fn visible_parts_over_gap_and_pieces() {
+        // Envelope: flat z=2 on [1,3] and [5,7]; gaps elsewhere.
+        let env = Envelope::from_sorted_pieces(vec![
+            piece(1.0, 2.0, 3.0, 2.0, 0),
+            piece(5.0, 2.0, 7.0, 2.0, 1),
+        ]);
+        // s: flat z=1 over [0,8]: visible only over the gaps.
+        let s = piece(0.0, 1.0, 8.0, 1.0, 9);
+        let (vis, cross) = env.visible_parts(&s);
+        assert!(cross.is_empty());
+        let spans: Vec<(f64, f64)> = vis.iter().map(|p| (p.x0, p.x1)).collect();
+        assert_eq!(spans, vec![(0.0, 1.0), (3.0, 5.0), (7.0, 8.0)]);
+    }
+
+    #[test]
+    fn visible_parts_crossing() {
+        // Envelope: flat z=2 on [0,10]; s rises 0 -> 4 over [0,10]:
+        // crossing at x=5, visible on [5,10].
+        let env = Envelope::from_piece(piece(0.0, 2.0, 10.0, 2.0, 0));
+        let s = piece(0.0, 0.0, 10.0, 4.0, 9);
+        let (vis, cross) = env.visible_parts(&s);
+        assert_eq!(cross.len(), 1);
+        assert!((cross[0].x - 5.0).abs() < 1e-12);
+        assert_eq!(vis.len(), 1);
+        assert!((vis[0].x0 - 5.0).abs() < 1e-12);
+        assert_eq!(vis[0].x1, 10.0);
+    }
+
+    #[test]
+    fn visible_parts_fully_hidden() {
+        let env = Envelope::from_piece(piece(0.0, 5.0, 10.0, 5.0, 0));
+        let s = piece(2.0, 1.0, 8.0, 1.0, 9);
+        let (vis, cross) = env.visible_parts(&s);
+        assert!(vis.is_empty());
+        assert!(cross.is_empty());
+    }
+}

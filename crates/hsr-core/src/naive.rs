@@ -1,0 +1,146 @@
+//! The `O(n²)` object-space baseline.
+//!
+//! For every edge, test it against *all* edges in front of it and subtract
+//! the covered intervals. This is the worst-case-optimal strawman of the
+//! paper's introduction ("the worst case optimal algorithms … will have a
+//! running time of Ω(n²)") — insensitive to the output size, which is
+//! exactly what experiment E4's crossover demonstrates.
+
+use crate::edges::SceneEdge;
+use crate::envelope::{relate, CrossEvent, Piece, Relation};
+use crate::visibility::VisibilityMap;
+use hsr_pram::cost::{add_work, Category};
+use rayon::prelude::*;
+
+/// Runs the naive algorithm over edges already in front-to-back order.
+pub fn run_naive(edges: &[SceneEdge]) -> VisibilityMap {
+    add_work(Category::Other, (edges.len() * edges.len()) as u64);
+    let pieces: Vec<Option<Piece>> = edges.iter().map(|e| e.piece()).collect();
+
+    let per_edge: Vec<(Vec<Piece>, Vec<CrossEvent>, Option<u32>)> = edges
+        .par_iter()
+        .enumerate()
+        .map(|(i, edge)| {
+            let Some(s) = pieces[i] else {
+                // Vertical projection: visible iff the top clears every
+                // front edge at this abscissa.
+                let x = edge.seg.a.x;
+                let top = edge.seg.a.y.max(edge.seg.b.y);
+                let hidden = pieces[..i].iter().flatten().any(|f| {
+                    f.x0 <= x && x <= f.x1 && f.eval(x) >= top
+                });
+                return (Vec::new(), Vec::new(), (!hidden).then_some(edge.id));
+            };
+            // Covered intervals from all front edges.
+            let mut covered: Vec<(f64, f64)> = Vec::new();
+            let mut events: Vec<CrossEvent> = Vec::new();
+            for f in pieces[..i].iter().flatten() {
+                let u = f.x0.max(s.x0);
+                let v = f.x1.min(s.x1);
+                if u >= v {
+                    continue;
+                }
+                match relate(f, &s, u, v) {
+                    Relation::AAbove => covered.push((u, v)),
+                    Relation::BAbove => {}
+                    Relation::CrossAtoB { x, z } => {
+                        covered.push((u, x));
+                        events.push(CrossEvent {
+                            x,
+                            z,
+                            upper_left: f.edge,
+                            upper_right: s.edge,
+                        });
+                    }
+                    Relation::CrossBtoA { x, z } => {
+                        covered.push((x, v));
+                        events.push(CrossEvent {
+                            x,
+                            z,
+                            upper_left: s.edge,
+                            upper_right: f.edge,
+                        });
+                    }
+                }
+            }
+            // Visible = span minus union of covered.
+            covered.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut vis = Vec::new();
+            let mut x = s.x0;
+            for &(u, v) in &covered {
+                if u > x {
+                    if let Some(c) = s.clip(x, u) {
+                        vis.push(c);
+                    }
+                }
+                x = x.max(v);
+                if x >= s.x1 {
+                    break;
+                }
+            }
+            if x < s.x1 {
+                if let Some(c) = s.clip(x, s.x1) {
+                    vis.push(c);
+                }
+            }
+            // Keep only crossing events on the visibility boundary (events
+            // interior to a covered union are occluded intersections — the
+            // quantity `I` the paper distinguishes from `k`).
+            let on_boundary = |x: f64| {
+                vis.iter().any(|p| (p.x0 - x).abs() < 1e-9 || (p.x1 - x).abs() < 1e-9)
+            };
+            events.retain(|e| on_boundary(e.x));
+            (vis, events, None)
+        })
+        .collect();
+
+    let mut vis = VisibilityMap { n_edges: edges.len(), ..Default::default() };
+    for (pieces, crossings, vertical) in per_edge {
+        vis.pieces.extend(pieces);
+        vis.crossings.extend(crossings);
+        if let Some(e) = vertical {
+            vis.vertical_visible.push(e);
+        }
+    }
+    vis.canonicalize();
+    vis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::project_edges;
+    use crate::order::depth_order;
+    use crate::seq::run_sequential;
+    use hsr_terrain::gen;
+
+    fn ordered_edges(tin: &hsr_terrain::Tin) -> Vec<SceneEdge> {
+        let edges = project_edges(tin);
+        let order = depth_order(tin).unwrap();
+        order.iter().map(|&e| edges[e as usize]).collect()
+    }
+
+    #[test]
+    fn matches_sequential() {
+        for tin in [
+            gen::fbm(7, 7, 3, 8.0, 4).to_tin().unwrap(),
+            gen::amphitheater(6, 8, 10.0, 5).to_tin().unwrap(),
+            gen::quadratic_comb(4),
+        ] {
+            let edges = ordered_edges(&tin);
+            let a = run_naive(&edges);
+            let b = run_sequential(&edges);
+            let ag = a.agreement(&b);
+            assert!(ag > 0.9999, "agreement {ag}");
+            assert_eq!(a.vertical_visible, b.vertical_visible);
+        }
+    }
+
+    #[test]
+    fn single_edge_fully_visible() {
+        let tin = gen::fbm(3, 3, 2, 3.0, 1).to_tin().unwrap();
+        let edges = ordered_edges(&tin);
+        let vis = run_naive(&edges[..1]);
+        assert_eq!(vis.pieces.len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Exact brute-force visibility oracle.
+//!
+//! For a sample point on the terrain surface, walks *every* face and tests
+//! analytically whether the view ray (towards `x = +∞`) passes strictly
+//! below the surface anywhere — `O(n)` per query, no discretisation. Used
+//! by the test suite as the arbiter of correctness: the z-buffer
+//! ([`crate::zbuffer`]) aliases on grazing occluders (sub-pixel slivers in
+//! image space), which is precisely the image-space weakness the paper's
+//! introduction cites.
+
+use hsr_geometry::Point3;
+use hsr_terrain::Tin;
+
+/// Is the view ray from `p` towards `x = +∞` blocked by the terrain?
+///
+/// `eps_x` excludes a small band around the sample itself so that the
+/// faces *containing* the sample do not count as blockers at the contact
+/// point (they still count farther along the ray if they rise above it).
+pub fn occluded(tin: &Tin, p: Point3, eps_x: f64) -> bool {
+    let verts = tin.vertices();
+    for tri in tin.triangles() {
+        let a = verts[tri[0] as usize];
+        let b = verts[tri[1] as usize];
+        let c = verts[tri[2] as usize];
+        // The ray's ground projection is the horizontal line y = p.y at
+        // x > p.x. Intersect it with the triangle's ground projection.
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut touched = false;
+        for (u, v) in [(a, b), (b, c), (c, a)] {
+            let (y0, y1) = (u.y, v.y);
+            if (y0 - p.y) * (y1 - p.y) > 0.0 {
+                continue; // edge strictly on one side
+            }
+            if y0 == y1 {
+                // Horizontal edge exactly on the line.
+                x_lo = x_lo.min(u.x.min(v.x));
+                x_hi = x_hi.max(u.x.max(v.x));
+                touched = true;
+                continue;
+            }
+            let t = (p.y - y0) / (y1 - y0);
+            let x = u.x + t * (v.x - u.x);
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+            touched = true;
+        }
+        if !touched {
+            continue;
+        }
+        // Only the part of the crossing strictly in front of the sample.
+        let lo = x_lo.max(p.x + eps_x);
+        let hi = x_hi;
+        if lo >= hi {
+            continue;
+        }
+        // Surface height along the crossing is linear in x; check both
+        // interval ends.
+        let z_at = |x: f64| -> f64 {
+            // Barycentric on the ground projection at (x, p.y).
+            let det = (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
+            if det == 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            let l1 = ((b.x - a.x) * (p.y - a.y) - (x - a.x) * (b.y - a.y)) / det;
+            let l2 = ((x - a.x) * (c.y - a.y) - (c.x - a.x) * (p.y - a.y)) / det;
+            let l0 = 1.0 - l1 - l2;
+            l0 * a.z + l2 * b.z + l1 * c.z
+        };
+        if z_at(lo) > p.z || z_at(hi) > p.z {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsr_terrain::gen;
+
+    #[test]
+    fn front_of_wall_visible_behind_hidden() {
+        let tin = gen::occlusion_knob(12, 12, 1.0, 10.0, 2).to_tin().unwrap();
+        // A point far behind and below the wall is occluded.
+        let behind = Point3::new(1.0, 5.5, 0.5);
+        assert!(occluded(&tin, behind, 1e-6));
+        // A point above everything is visible.
+        let above = Point3::new(1.0, 5.5, 100.0);
+        assert!(!occluded(&tin, above, 1e-6));
+    }
+
+    #[test]
+    fn amphitheater_samples_visible() {
+        let tin = gen::amphitheater(8, 8, 10.0, 1).to_tin().unwrap();
+        // Every vertex of a rising terrain sees the viewer.
+        for v in tin.vertices() {
+            assert!(!occluded(&tin, *v, 1e-9), "vertex {v:?} wrongly occluded");
+        }
+    }
+
+    #[test]
+    fn algorithms_match_exact_oracle() {
+        use crate::edges::project_edges;
+        use crate::order::depth_order;
+        use crate::seq::run_sequential;
+
+        for tin in [
+            gen::fbm(10, 10, 3, 8.0, 3).to_tin().unwrap(),
+            gen::ridge_field(12, 10, 3, 12.0, 4).to_tin().unwrap(),
+            gen::occlusion_knob(10, 10, 0.7, 10.0, 5).to_tin().unwrap(),
+        ] {
+            let edges = project_edges(&tin);
+            let order = depth_order(&tin).unwrap();
+            let ordered: Vec<_> = order.iter().map(|&e| edges[e as usize]).collect();
+            let vis = run_sequential(&ordered);
+            let intervals = vis.per_edge_intervals();
+            let empty = Vec::new();
+
+            let (lo, hi) = tin.ground_bounds();
+            let extent = (hi.y - lo.y).max(1e-9);
+            let margin = 1e-6 * extent;
+            let (mut agree, mut total) = (0usize, 0usize);
+            for (e, &[a, b]) in tin.edges().iter().enumerate() {
+                let (pa, pb) = (tin.vertices()[a as usize], tin.vertices()[b as usize]);
+                if (pb.y - pa.y).abs() < 1e-9 {
+                    continue; // vertical projection: point visibility, skip
+                }
+                let iv = intervals.get(&(e as u32)).unwrap_or(&empty);
+                for s in 0..14 {
+                    let t = (s as f64 + 0.5) / 14.0;
+                    let y = pa.y + t * (pb.y - pa.y);
+                    // Skip samples numerically on a visibility transition.
+                    if iv
+                        .iter()
+                        .any(|&(u, v)| (y - u).abs() < margin || (y - v).abs() < margin)
+                    {
+                        continue;
+                    }
+                    let p = Point3::new(
+                        pa.x + t * (pb.x - pa.x),
+                        y,
+                        pa.z + t * (pb.z - pa.z),
+                    );
+                    let alg = iv.iter().any(|&(u, v)| u <= y && y <= v);
+                    let exact = !occluded(&tin, p, 1e-9 * extent);
+                    total += 1;
+                    if alg == exact {
+                        agree += 1;
+                    }
+                }
+            }
+            let ratio = agree as f64 / total.max(1) as f64;
+            assert!(ratio > 0.995, "exact-oracle agreement {ratio} ({agree}/{total})");
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Front-to-back edge ordering (the paper's step 1).
+//!
+//! The paper orders edges with the Tamassia–Vitter separator tree over
+//! monotone chains (its Fact 1). Any linear extension of the occlusion
+//! partial order `e_i ≺ e_j ⇔ some view ray meets e_i before e_j` makes the
+//! profile algorithm correct, so we build one from the *occlusion DAG*
+//! (DESIGN.md §4.2):
+//!
+//! For every projected triangle (CCW in the ground plane, viewer at
+//! `x = +∞`), the boundary edges traversed with increasing ground-`y` face
+//! the viewer and occlude the other boundary edges of the same triangle.
+//! Rays cross the triangulated region through a chain of such triangles, so
+//! the transitive closure of these `O(n)` local constraints is the full
+//! occlusion order — provided the ground projection is `x`-monotone
+//! (e.g. convex), which all our workloads satisfy.
+//!
+//! Three implementations:
+//! * [`depth_order`] — sequential Kahn with deterministic tie-breaking.
+//! * [`depth_order_parallel`] — layered Kahn (all zero-indegree edges peel
+//!   per round); rounds = DAG depth, reported to the cost model.
+//! * [`depth_order_pairwise`] — `O(n²)` reference that compares all pairs;
+//!   used by tests and by non-triangulated inputs.
+
+use hsr_pram::cost::{add_work, record_depth, Category};
+use hsr_terrain::Tin;
+use rayon::prelude::*;
+use std::collections::BinaryHeap;
+
+/// Error returned when the occlusion relation is cyclic — the input is not
+/// a terrain as seen from this direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CyclicOcclusion;
+
+impl std::fmt::Display for CyclicOcclusion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "occlusion relation is cyclic: input is not a terrain")
+    }
+}
+
+impl std::error::Error for CyclicOcclusion {}
+
+/// Per-triangle occlusion constraints `front ≺ back` as edge-id pairs.
+fn constraints(tin: &Tin) -> Vec<(u32, u32)> {
+    let verts = tin.vertices();
+    let mut cons = Vec::with_capacity(tin.triangles().len() * 2);
+    for (t, tri) in tin.triangles().iter().enumerate() {
+        let te = tin.tri_edges(t);
+        // Directed boundary edges in CCW order: corner i -> corner i+1 is
+        // the edge opposite corner i+2, i.e. te[(i + 2) % 3].
+        let mut front: Vec<u32> = Vec::with_capacity(2);
+        let mut back: Vec<u32> = Vec::with_capacity(2);
+        let mut flat: Vec<u32> = Vec::with_capacity(1);
+        for i in 0..3 {
+            let u = verts[tri[i] as usize];
+            let v = verts[tri[(i + 1) % 3] as usize];
+            let e = te[(i + 2) % 3];
+            // Outward normal of a CCW polygon edge (u -> v) is
+            // (dy, -dx); the edge faces the viewer (x = +∞) iff dy > 0.
+            let dy = v.y - u.y;
+            if dy > 0.0 {
+                front.push(e);
+            } else if dy < 0.0 {
+                back.push(e);
+            } else {
+                flat.push(e);
+            }
+        }
+        for &f in &front {
+            for &b in &back {
+                cons.push((f, b));
+            }
+            for &h in &flat {
+                cons.push((f, h));
+            }
+        }
+        for &h in &flat {
+            for &b in &back {
+                cons.push((h, b));
+            }
+        }
+    }
+    cons
+}
+
+fn adjacency(n_edges: usize, cons: &[(u32, u32)]) -> (Vec<Vec<u32>>, Vec<u32>) {
+    let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n_edges];
+    let mut indeg = vec![0u32; n_edges];
+    for &(f, b) in cons {
+        succ[f as usize].push(b);
+        indeg[b as usize] += 1;
+    }
+    (succ, indeg)
+}
+
+/// Sequential Kahn topological sort of the occlusion DAG with
+/// smallest-edge-id tie-breaking (fully deterministic).
+pub fn depth_order(tin: &Tin) -> Result<Vec<u32>, CyclicOcclusion> {
+    let n = tin.edges().len();
+    let cons = constraints(tin);
+    add_work(Category::Order, (n + cons.len()) as u64);
+    let (succ, mut indeg) = adjacency(n, &cons);
+
+    let mut heap: BinaryHeap<std::cmp::Reverse<u32>> = (0..n as u32)
+        .filter(|&e| indeg[e as usize] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(e)) = heap.pop() {
+        order.push(e);
+        for &b in &succ[e as usize] {
+            indeg[b as usize] -= 1;
+            if indeg[b as usize] == 0 {
+                heap.push(std::cmp::Reverse(b));
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(CyclicOcclusion);
+    }
+    Ok(order)
+}
+
+/// Layered ("peeling") Kahn: each round removes *all* current
+/// zero-indegree edges in parallel. The number of rounds is the DAG depth,
+/// recorded as the phase depth.
+pub fn depth_order_parallel(tin: &Tin) -> Result<Vec<u32>, CyclicOcclusion> {
+    let n = tin.edges().len();
+    let cons = constraints(tin);
+    add_work(Category::Order, (n + cons.len()) as u64);
+    let (succ, indeg) = adjacency(n, &cons);
+    let indeg: Vec<std::sync::atomic::AtomicU32> =
+        indeg.into_iter().map(std::sync::atomic::AtomicU32::new).collect();
+
+    let mut frontier: Vec<u32> = (0..n as u32)
+        .filter(|&e| indeg[e as usize].load(std::sync::atomic::Ordering::Relaxed) == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut rounds = 0u64;
+    while !frontier.is_empty() {
+        rounds += 1;
+        frontier.sort_unstable(); // deterministic within each layer
+        order.extend_from_slice(&frontier);
+        frontier = frontier
+            .par_iter()
+            .flat_map_iter(|&e| {
+                succ[e as usize].iter().filter_map(|&b| {
+                    let prev = indeg[b as usize]
+                        .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                    (prev == 1).then_some(b)
+                })
+            })
+            .collect();
+    }
+    record_depth(Category::Order, rounds);
+    if order.len() != n {
+        return Err(CyclicOcclusion);
+    }
+    Ok(order)
+}
+
+/// `O(n²)` reference order: compares every pair of projected ground
+/// segments directly. Exists to validate the DAG orders and to handle
+/// inputs whose ground projection is not `x`-monotone.
+pub fn depth_order_pairwise(tin: &Tin) -> Result<Vec<u32>, CyclicOcclusion> {
+    use hsr_geometry::{orient2d, Orientation, Point2};
+    let n = tin.edges().len();
+    add_work(Category::Order, (n * n) as u64);
+    let segs: Vec<(f64, f64, f64, f64)> = tin
+        .edges()
+        .iter()
+        .map(|&[a, b]| {
+            let (pa, pb) = (tin.vertices()[a as usize], tin.vertices()[b as usize]);
+            // Ground projection, normalised so y0 <= y1.
+            if pa.y <= pb.y {
+                (pa.y, pa.x, pb.y, pb.x)
+            } else {
+                (pb.y, pb.x, pa.y, pa.x)
+            }
+        })
+        .collect();
+    // x-coordinate of segment s at ground ordinate y.
+    let x_at = |s: &(f64, f64, f64, f64), y: f64| -> f64 {
+        let (y0, x0, y1, x1) = *s;
+        if y1 == y0 {
+            return x0.max(x1);
+        }
+        x0 + (y - y0) / (y1 - y0) * (x1 - x0)
+    };
+    // Two properly crossing ground projections occlude each other on
+    // opposite sides of the crossing: no linear order exists (the input is
+    // not a planar subdivision, hence not a terrain).
+    let crosses = |s: &(f64, f64, f64, f64), t: &(f64, f64, f64, f64)| -> bool {
+        let (a1, b1) = (Point2::new(s.1, s.0), Point2::new(s.3, s.2));
+        let (a2, b2) = (Point2::new(t.1, t.0), Point2::new(t.3, t.2));
+        let o1 = orient2d(a1, b1, a2);
+        let o2 = orient2d(a1, b1, b2);
+        let o3 = orient2d(a2, b2, a1);
+        let o4 = orient2d(a2, b2, b1);
+        o1 != Orientation::Collinear
+            && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear
+            && o4 != Orientation::Collinear
+            && o1 == o2.reversed()
+            && o3 == o4.reversed()
+    };
+    let pair_cons: Vec<Result<(u32, u32), CyclicOcclusion>> = (0..n)
+        .into_par_iter()
+        .flat_map_iter(|i| {
+            let segs = &segs;
+            (i + 1..n).filter_map(move |j| {
+                let (si, sj) = (&segs[i], &segs[j]);
+                let lo = si.0.max(sj.0);
+                let hi = si.2.min(sj.2);
+                if lo >= hi {
+                    return None; // no shared ground-y interior
+                }
+                if crosses(si, sj) {
+                    return Some(Err(CyclicOcclusion));
+                }
+                let mid = 0.5 * (lo + hi);
+                let (xi, xj) = (x_at(si, mid), x_at(sj, mid));
+                // Larger ground-x is closer to the viewer (in front).
+                if xi > xj {
+                    Some(Ok((i as u32, j as u32)))
+                } else if xj > xi {
+                    Some(Ok((j as u32, i as u32)))
+                } else {
+                    None
+                }
+            })
+        })
+        .collect();
+    let cons: Vec<(u32, u32)> = pair_cons.into_iter().collect::<Result<_, _>>()?;
+    let (succ, mut indeg) = adjacency(n, &cons);
+    let mut heap: BinaryHeap<std::cmp::Reverse<u32>> = (0..n as u32)
+        .filter(|&e| indeg[e as usize] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(e)) = heap.pop() {
+        order.push(e);
+        for &b in &succ[e as usize] {
+            indeg[b as usize] -= 1;
+            if indeg[b as usize] == 0 {
+                heap.push(std::cmp::Reverse(b));
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(CyclicOcclusion);
+    }
+    Ok(order)
+}
+
+/// Verifies that `order` is a linear extension of the sampled occlusion
+/// relation: for random ground ordinates, edges crossed by the view ray
+/// must appear in front-to-back order. Returns the number of violations.
+pub fn verify_order(tin: &Tin, order: &[u32], samples: usize) -> usize {
+    let pos: Vec<usize> = {
+        let mut p = vec![0usize; order.len()];
+        for (i, &e) in order.iter().enumerate() {
+            p[e as usize] = i;
+        }
+        p
+    };
+    let (lo, hi) = tin.ground_bounds();
+    let mut violations = 0;
+    for s in 0..samples {
+        let y = lo.y + (hi.y - lo.y) * (s as f64 + 0.5) / samples as f64;
+        // Collect (ground-x at y, edge) for all edges spanning y.
+        let mut hits: Vec<(f64, u32)> = Vec::new();
+        for (e, &[a, b]) in tin.edges().iter().enumerate() {
+            let (pa, pb) = (tin.vertices()[a as usize], tin.vertices()[b as usize]);
+            let (y0, y1) = (pa.y.min(pb.y), pa.y.max(pb.y));
+            if y0 < y && y < y1 {
+                let t = (y - pa.y) / (pb.y - pa.y);
+                hits.push((pa.x + t * (pb.x - pa.x), e as u32));
+            }
+        }
+        // Sort back-to-front; order positions must decrease front-to-back.
+        hits.sort_by(|a, b| b.0.total_cmp(&a.0));
+        for w in hits.windows(2) {
+            // w[0] closer to viewer: must come earlier in the order.
+            if w[0].0 > w[1].0 && pos[w[0].1 as usize] > pos[w[1].1 as usize] {
+                violations += 1;
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsr_terrain::gen;
+
+    fn small_tin() -> Tin {
+        gen::fbm(8, 8, 3, 5.0, 11).to_tin().unwrap()
+    }
+
+    #[test]
+    fn sequential_order_is_valid() {
+        let tin = small_tin();
+        let order = depth_order(&tin).unwrap();
+        assert_eq!(order.len(), tin.edges().len());
+        assert_eq!(verify_order(&tin, &order, 64), 0);
+    }
+
+    #[test]
+    fn parallel_order_is_valid() {
+        let tin = small_tin();
+        let order = depth_order_parallel(&tin).unwrap();
+        assert_eq!(order.len(), tin.edges().len());
+        assert_eq!(verify_order(&tin, &order, 64), 0);
+    }
+
+    #[test]
+    fn pairwise_order_is_valid() {
+        let tin = small_tin();
+        let order = depth_order_pairwise(&tin).unwrap();
+        assert_eq!(verify_order(&tin, &order, 64), 0);
+    }
+
+    #[test]
+    fn comb_orders_are_valid() {
+        let tin = gen::quadratic_comb(5);
+        for order in [
+            depth_order(&tin).unwrap(),
+            depth_order_parallel(&tin).unwrap(),
+            depth_order_pairwise(&tin).unwrap(),
+        ] {
+            assert_eq!(verify_order(&tin, &order, 200), 0);
+        }
+    }
+
+    #[test]
+    fn delaunay_order_is_valid() {
+        let tin = gen::random_tin(80, 8.0, 3);
+        let order = depth_order(&tin).unwrap();
+        assert_eq!(verify_order(&tin, &order, 100), 0);
+    }
+
+    #[test]
+    fn orders_are_deterministic() {
+        let tin = small_tin();
+        assert_eq!(depth_order(&tin).unwrap(), depth_order(&tin).unwrap());
+        assert_eq!(
+            depth_order_parallel(&tin).unwrap(),
+            depth_order_parallel(&tin).unwrap()
+        );
+    }
+}

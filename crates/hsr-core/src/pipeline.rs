@@ -1,0 +1,180 @@
+//! End-to-end pipeline: terrain in, visibility map + measurements out.
+
+use crate::edges::{project_edges, SceneEdge};
+use crate::order::{depth_order, depth_order_parallel, CyclicOcclusion};
+use crate::pct::{LayerStats, Pct};
+use crate::visibility::VisibilityMap;
+use hsr_pram::cost::CostReport;
+use hsr_terrain::Tin;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Which algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Algorithm {
+    /// The paper's parallel algorithm (PCT + persistent prefix profiles).
+    Parallel(Phase2Mode),
+    /// The sequential Reif–Sen baseline.
+    Sequential,
+    /// The `O(n²)` strawman.
+    Naive,
+}
+
+/// Phase-2 engine (DESIGN.md §4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Phase2Mode {
+    /// Persistent shared prefix profiles (default).
+    Persistent,
+    /// Static envelopes copied per node (rebuild ablation).
+    Rebuild,
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HsrConfig {
+    /// Algorithm selection.
+    pub algorithm: Algorithm,
+    /// Use the layered parallel Kahn ordering instead of sequential Kahn.
+    pub parallel_order: bool,
+    /// Collect per-layer sharing statistics (adds traversal cost).
+    pub collect_stats: bool,
+}
+
+impl Default for HsrConfig {
+    fn default() -> Self {
+        HsrConfig {
+            algorithm: Algorithm::Parallel(Phase2Mode::Persistent),
+            parallel_order: true,
+            collect_stats: false,
+        }
+    }
+}
+
+/// Wall-clock timings of the pipeline stages, in seconds.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct Timings {
+    /// Edge projection + front-to-back ordering.
+    pub order_s: f64,
+    /// Phase 1 (PCT build + intermediate profiles).
+    pub phase1_s: f64,
+    /// Phase 2 (prefix profiles + visibility extraction).
+    pub phase2_s: f64,
+    /// Total.
+    pub total_s: f64,
+}
+
+/// The result of a pipeline run.
+pub struct HsrResult {
+    /// The visible image.
+    pub vis: VisibilityMap,
+    /// Input size `n` (number of edges).
+    pub n: usize,
+    /// Output size `k` (pieces + crossings + vertical points).
+    pub k: usize,
+    /// Cost-model counters accumulated during this run.
+    pub cost: CostReport,
+    /// Stage timings.
+    pub timings: Timings,
+    /// Per-layer statistics (only when `collect_stats`).
+    pub layers: Vec<LayerStats>,
+    /// Crossings discovered at internal PCT merges.
+    pub internal_crossings: u64,
+}
+
+/// Projects, orders and runs the selected algorithm on a terrain.
+pub fn run(tin: &Tin, cfg: &HsrConfig) -> Result<HsrResult, CyclicOcclusion> {
+    let before = CostReport::snapshot();
+    let t_start = Instant::now();
+
+    let edges = project_edges(tin);
+    let order = if cfg.parallel_order {
+        depth_order_parallel(tin)?
+    } else {
+        depth_order(tin)?
+    };
+    let ordered: Vec<SceneEdge> = order.iter().map(|&e| edges[e as usize]).collect();
+    let t_order = Instant::now();
+
+    let (vis, layers, internal_crossings, t_phase1) = match cfg.algorithm {
+        Algorithm::Parallel(mode) => {
+            let pct = Pct::build(ordered);
+            let t_phase1 = Instant::now();
+            let out = match mode {
+                Phase2Mode::Persistent => pct.phase2(cfg.collect_stats),
+                Phase2Mode::Rebuild => pct.phase2_rebuild(),
+            };
+            (out.vis, out.layers, out.internal_crossings, t_phase1)
+        }
+        Algorithm::Sequential => {
+            let t_phase1 = Instant::now();
+            (crate::seq::run_sequential(&ordered), Vec::new(), 0, t_phase1)
+        }
+        Algorithm::Naive => {
+            let t_phase1 = Instant::now();
+            (crate::naive::run_naive(&ordered), Vec::new(), 0, t_phase1)
+        }
+    };
+
+    let t_end = Instant::now();
+    let cost = CostReport::snapshot().since(&before);
+    let k = vis.output_size();
+    Ok(HsrResult {
+        n: tin.edges().len(),
+        k,
+        vis,
+        cost,
+        timings: Timings {
+            order_s: (t_order - t_start).as_secs_f64(),
+            phase1_s: (t_phase1 - t_order).as_secs_f64(),
+            phase2_s: (t_end - t_phase1).as_secs_f64(),
+            total_s: (t_end - t_start).as_secs_f64(),
+        },
+        layers,
+        internal_crossings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsr_terrain::gen;
+
+    #[test]
+    fn all_algorithms_agree_end_to_end() {
+        let tin = gen::fbm(9, 9, 3, 8.0, 13).to_tin().unwrap();
+        let base = run(&tin, &HsrConfig::default()).unwrap();
+        for alg in [
+            Algorithm::Parallel(Phase2Mode::Rebuild),
+            Algorithm::Sequential,
+            Algorithm::Naive,
+        ] {
+            let other = run(&tin, &HsrConfig { algorithm: alg, ..Default::default() }).unwrap();
+            let ag = base.vis.agreement(&other.vis);
+            assert!(ag > 0.9999, "{alg:?} agreement {ag}");
+            assert_eq!(base.vis.vertical_visible, other.vis.vertical_visible, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn output_size_reported() {
+        let tin = gen::quadratic_comb(6);
+        let r = run(&tin, &HsrConfig::default()).unwrap();
+        assert_eq!(r.k, r.vis.output_size());
+        assert!(r.k > r.n, "comb must have superlinear output");
+        assert!(r.timings.total_s > 0.0);
+    }
+
+    #[test]
+    fn stats_collection_is_optional() {
+        let tin = gen::gaussian_hills(8, 8, 3, 17).to_tin().unwrap();
+        let with = run(
+            &tin,
+            &HsrConfig { collect_stats: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(!with.layers.is_empty());
+        let without = run(&tin, &HsrConfig::default()).unwrap();
+        assert!(without.layers.is_empty());
+        assert!(with.vis.agreement(&without.vis) > 0.9999);
+    }
+}

@@ -1,0 +1,526 @@
+//! Persistent prefix profiles — the realization of the paper's shared
+//! ACG + persistence machinery (DESIGN.md §4.3, realization 1).
+//!
+//! A prefix profile is stored as a persistent treap of envelope
+//! [`Piece`]s keyed by their left abscissa, with `O(1)` subtree aggregates
+//! ([`EnvAgg`]: abscissa extent, ordinate range, gap-freeness). Because the
+//! treap is persistent:
+//!
+//! * the *left* child of a PCT node inherits its parent's profile in `O(1)`
+//!   (an `Arc` clone), sharing every node — the sharing Figure 1 of the
+//!   paper depicts;
+//! * the *right* child's profile is produced by [`PEnvelope::merge`], which
+//!   path-copies only around the places where the intermediate profile
+//!   actually interacts with the prefix profile. Subtrees wholly above the
+//!   new segments are kept shared untouched; wholly buried subtrees are
+//!   dropped in `O(log)`; each genuinely interacting piece pair is resolved
+//!   in `O(1)` and two linear pieces cross at most once, so every leaf-level
+//!   interaction either produces an image vertex (chargeable to the output
+//!   size `k`) or finishes a pruned search path.
+
+use crate::envelope::{relate, CrossEvent, Envelope, EnvelopeBuilder, Piece, Relation};
+use hsr_geometry::TotalF64;
+use hsr_pram::cost::{add_work, Category};
+use hsr_pstruct::{Aggregate, PTreap};
+use serde::Serialize;
+
+/// Subtree aggregate of a piece treap: extent, ordinate range, and whether
+/// the subtree's pieces tile their extent without interior gaps.
+#[derive(Clone, Copy, Debug)]
+pub struct EnvAgg {
+    /// Leftmost abscissa of the subtree.
+    pub x_min: f64,
+    /// Rightmost abscissa of the subtree.
+    pub x_max: f64,
+    /// Minimum ordinate over all pieces.
+    pub z_min: f64,
+    /// Maximum ordinate over all pieces.
+    pub z_max: f64,
+    /// True when the pieces cover `[x_min, x_max]` with no interior gap.
+    pub covered: bool,
+}
+
+impl Aggregate<TotalF64, Piece> for EnvAgg {
+    fn of_item(_k: &TotalF64, p: &Piece) -> Self {
+        EnvAgg { x_min: p.x0, x_max: p.x1, z_min: p.z_min(), z_max: p.z_max(), covered: true }
+    }
+
+    fn combine(item: Self, left: Option<&Self>, right: Option<&Self>) -> Self {
+        let mut a = item;
+        if let Some(l) = left {
+            a.covered = a.covered && l.covered && l.x_max == a.x_min;
+            a.x_min = l.x_min;
+            a.z_min = a.z_min.min(l.z_min);
+            a.z_max = a.z_max.max(l.z_max);
+        }
+        if let Some(r) = right {
+            a.covered = a.covered && r.covered && a.x_max == r.x_min;
+            a.x_max = r.x_max;
+            a.z_min = a.z_min.min(r.z_min);
+            a.z_max = a.z_max.max(r.z_max);
+        }
+        a
+    }
+}
+
+type Tree = PTreap<TotalF64, Piece, EnvAgg>;
+
+/// Counters describing what one merge did (used by the sharing and
+/// ablation experiments).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct MergeStats {
+    /// Subtrees kept fully shared because the prefix profile dominated.
+    pub subtrees_shared: u64,
+    /// Subtrees dropped whole because the new segment dominated.
+    pub subtrees_dropped: u64,
+    /// Prefix-profile pieces buried (removed from the profile).
+    pub pieces_buried: u64,
+    /// Piece-vs-piece comparisons performed.
+    pub pairs: u64,
+    /// Treap nodes visited during the merge.
+    pub visits: u64,
+}
+
+impl MergeStats {
+    /// Accumulates another merge's counters into this one.
+    pub fn absorb(&mut self, o: &MergeStats) {
+        self.subtrees_shared += o.subtrees_shared;
+        self.subtrees_dropped += o.subtrees_dropped;
+        self.pieces_buried += o.pieces_buried;
+        self.pairs += o.pairs;
+        self.visits += o.visits;
+    }
+}
+
+/// Result of merging an intermediate profile into a prefix profile.
+pub struct MergeOutcome {
+    /// The new prefix profile version.
+    pub env: PEnvelope,
+    /// Interior crossings discovered (vertices of the visible image).
+    pub crossings: Vec<CrossEvent>,
+    /// The portions of the merged segments that surfaced (visible pieces).
+    pub inserted: Vec<Piece>,
+    /// Merge counters.
+    pub stats: MergeStats,
+}
+
+/// A persistent upper envelope (prefix profile). Cloning is `O(1)` and the
+/// clone shares all structure.
+#[derive(Clone, Default)]
+pub struct PEnvelope {
+    t: Tree,
+}
+
+impl PEnvelope {
+    /// The empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a static envelope in `O(m)`.
+    pub fn from_envelope(e: &Envelope) -> Self {
+        let items: Vec<(TotalF64, Piece)> =
+            e.pieces().iter().map(|p| (TotalF64(p.x0), *p)).collect();
+        PEnvelope { t: Tree::from_sorted(items) }
+    }
+
+    /// Number of pieces.
+    pub fn size(&self) -> usize {
+        self.t.len()
+    }
+
+    /// True when the profile has no pieces.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Profile value at `x`, `None` over gaps.
+    pub fn eval(&self, x: f64) -> Option<f64> {
+        let (_, p) = self.t.floor(&TotalF64(x))?;
+        (x <= p.x1).then(|| p.eval(x))
+    }
+
+    /// Materialises the profile as a static envelope (O(m)).
+    pub fn to_envelope(&self) -> Envelope {
+        let mut b = EnvelopeBuilder::with_capacity(self.t.len());
+        for (_, p) in self.t.iter() {
+            b.push(*p);
+        }
+        Envelope::from_sorted_pieces(b.finish())
+    }
+
+    /// The underlying treap (for sharing statistics).
+    pub fn treap(&self) -> &PTreap<TotalF64, Piece, EnvAgg> {
+        &self.t
+    }
+
+    /// Splits at abscissa `x`, cutting any straddling piece exactly so that
+    /// the left part holds everything on `[−∞, x]` and the right part
+    /// everything on `[x, +∞]`.
+    pub fn split_clip(&self, x: f64) -> (PEnvelope, PEnvelope) {
+        let (mut l, mut r) = self.t.split_at(&TotalF64(x), false);
+        if let Some((_, p)) = l.last() {
+            let p = *p;
+            if p.x1 > x {
+                l = l.remove(&TotalF64(p.x0));
+                if let Some(pl) = p.clip(p.x0, x) {
+                    l = l.insert(TotalF64(pl.x0), pl);
+                }
+                if let Some(pr) = p.clip(x, p.x1) {
+                    r = r.insert(TotalF64(pr.x0), pr);
+                }
+            }
+        }
+        (PEnvelope { t: l }, PEnvelope { t: r })
+    }
+
+    /// Merges the pieces of an intermediate profile (sorted, disjoint) into
+    /// this prefix profile, returning the new version plus the crossings
+    /// and surfaced pieces. `self` is untouched (persistence).
+    pub fn merge(&self, sigma: &[Piece]) -> MergeOutcome {
+        let (t, crossings, inserted_raw, stats) = rec(self.t.clone(), sigma);
+        add_work(Category::EnvelopeMerge, stats.visits + sigma.len() as u64);
+        add_work(Category::Crossings, crossings.len() as u64);
+        // Coalesce surfaced fragments of the same edge.
+        let mut b = EnvelopeBuilder::with_capacity(inserted_raw.len());
+        for p in inserted_raw {
+            b.push(p);
+        }
+        MergeOutcome { env: PEnvelope { t }, crossings, inserted: b.finish(), stats }
+    }
+}
+
+/// Fan-out over sigma with treap splitting; parallel above a cutoff.
+fn rec(t: Tree, sigma: &[Piece]) -> (Tree, Vec<CrossEvent>, Vec<Piece>, MergeStats) {
+    match sigma.len() {
+        0 => (t, Vec::new(), Vec::new(), MergeStats::default()),
+        1 => {
+            let mut stats = MergeStats::default();
+            let mut cross = Vec::new();
+            let mut ins = Vec::new();
+            let t = merge_piece(t, sigma[0], &mut cross, &mut ins, &mut stats);
+            (t, cross, ins, stats)
+        }
+        n => {
+            let mid = n / 2;
+            let xs = sigma[mid].x0;
+            let (pe_l, pe_r) = PEnvelope { t }.split_clip(xs);
+            let ((tl, mut cl, mut il, mut sl), (tr, cr, ir, sr)) = if n >= 64 {
+                rayon::join(|| rec(pe_l.t, &sigma[..mid]), || rec(pe_r.t, &sigma[mid..]))
+            } else {
+                (rec(pe_l.t, &sigma[..mid]), rec(pe_r.t, &sigma[mid..]))
+            };
+            cl.extend(cr);
+            il.extend(ir);
+            sl.absorb(&sr);
+            (tl.join_with(&tr), cl, il, sl)
+        }
+    }
+}
+
+/// Merges a single piece `s` into the profile: clip out the affected range,
+/// overlay, and rejoin.
+fn merge_piece(
+    t: Tree,
+    s: Piece,
+    cross: &mut Vec<CrossEvent>,
+    ins: &mut Vec<Piece>,
+    stats: &mut MergeStats,
+) -> Tree {
+    let pe = PEnvelope { t };
+    let (before, rest) = pe.split_clip(s.x0);
+    let (mid, after) = rest.split_clip(s.x1);
+    let mid = overlay(mid.t, s, cross, ins, stats);
+    before.t.join_with(&mid).join_with(&after.t)
+}
+
+/// Overlays piece `s` onto a treap whose pieces all lie within
+/// `[s.x0, s.x1]`.
+fn overlay(
+    t: Tree,
+    s: Piece,
+    cross: &mut Vec<CrossEvent>,
+    ins: &mut Vec<Piece>,
+    stats: &mut MergeStats,
+) -> Tree {
+    if s.width() <= 0.0 {
+        return t;
+    }
+    stats.visits += 1;
+    let Some(root) = t.root() else {
+        ins.push(s);
+        return Tree::singleton(TotalF64(s.x0), s);
+    };
+    let agg = *root.agg();
+    let s_lo = s.eval(agg.x_min);
+    let s_hi = s.eval(agg.x_max);
+    let (s_min, s_max) = (s_lo.min(s_hi), s_lo.max(s_hi));
+
+    // Prune 1: the profile dominates s over its whole (gap-free) extent —
+    // keep the entire subtree shared, surface s only in the flanking gaps.
+    if agg.covered && agg.z_min >= s_max {
+        stats.subtrees_shared += 1;
+        let mut out = t;
+        if let Some(lg) = s.clip(s.x0, agg.x_min) {
+            ins.push(lg);
+            out = Tree::singleton(TotalF64(lg.x0), lg).join_with(&out);
+        }
+        if let Some(rg) = s.clip(agg.x_max, s.x1) {
+            ins.push(rg);
+            out = out.join_with(&Tree::singleton(TotalF64(rg.x0), rg));
+        }
+        return out;
+    }
+
+    // Prune 2: s dominates the whole subtree — drop it and keep one piece.
+    if s_min > agg.z_max {
+        stats.subtrees_dropped += 1;
+        stats.pieces_buried += t.len() as u64;
+        ins.push(s);
+        return Tree::singleton(TotalF64(s.x0), s);
+    }
+
+    // Descend around the root piece.
+    let r = *root.value();
+    let lt = match s.clip(s.x0, r.x0) {
+        Some(sl) => overlay(root.left(), sl, cross, ins, stats),
+        None => root.left(),
+    };
+    let mid = piece_pair(r, s.clip(r.x0, r.x1), cross, ins, stats);
+    let rt = match s.clip(r.x1, s.x1) {
+        Some(sr) => overlay(root.right(), sr, cross, ins, stats),
+        None => root.right(),
+    };
+    lt.join_with(&mid).join_with(&rt)
+}
+
+/// Resolves one profile piece `r` against the overlapping part of `s`
+/// (`s_m ⊆ [r.x0, r.x1]`). Two linear pieces cross at most once.
+fn piece_pair(
+    r: Piece,
+    s_m: Option<Piece>,
+    cross: &mut Vec<CrossEvent>,
+    ins: &mut Vec<Piece>,
+    stats: &mut MergeStats,
+) -> Tree {
+    let Some(s) = s_m else {
+        return Tree::singleton(TotalF64(r.x0), r);
+    };
+    stats.pairs += 1;
+    let (u, v) = (s.x0, s.x1);
+    match relate(&r, &s, u, v) {
+        Relation::AAbove => Tree::singleton(TotalF64(r.x0), r),
+        Relation::BAbove => {
+            let mut pieces: Vec<Piece> = Vec::with_capacity(3);
+            if let Some(pre) = r.clip(r.x0, u) {
+                pieces.push(pre);
+            } else {
+                stats.pieces_buried += 1;
+            }
+            ins.push(s);
+            pieces.push(s);
+            if let Some(post) = r.clip(v, r.x1) {
+                pieces.push(post);
+            }
+            from_pieces(pieces)
+        }
+        Relation::CrossAtoB { x, z } => {
+            // r on top on [u, x], s on [x, v].
+            cross.push(CrossEvent { x, z, upper_left: r.edge, upper_right: s.edge });
+            let mut pieces: Vec<Piece> = Vec::with_capacity(3);
+            if let Some(rl) = r.clip(r.x0, x) {
+                pieces.push(rl);
+            }
+            if let Some(sv) = s.clip(x, v) {
+                ins.push(sv);
+                pieces.push(sv);
+            }
+            if let Some(post) = r.clip(v, r.x1) {
+                pieces.push(post);
+            }
+            from_pieces(pieces)
+        }
+        Relation::CrossBtoA { x, z } => {
+            // s on top on [u, x], r on [x, v] (and beyond).
+            cross.push(CrossEvent { x, z, upper_left: s.edge, upper_right: r.edge });
+            let mut pieces: Vec<Piece> = Vec::with_capacity(3);
+            if let Some(pre) = r.clip(r.x0, u) {
+                pieces.push(pre);
+            }
+            if let Some(su) = s.clip(u, x) {
+                ins.push(su);
+                pieces.push(su);
+            }
+            if let Some(rr) = r.clip(x, r.x1) {
+                pieces.push(rr);
+            }
+            from_pieces(pieces)
+        }
+    }
+}
+
+fn from_pieces(pieces: Vec<Piece>) -> Tree {
+    Tree::from_sorted(
+        pieces
+            .into_iter()
+            .filter(|p| p.width() > 0.0)
+            .map(|p| (TotalF64(p.x0), p))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsr_pstruct::SharingStats;
+
+    fn piece(x0: f64, z0: f64, x1: f64, z1: f64, edge: u32) -> Piece {
+        Piece { x0, x1, z0, z1, edge }
+    }
+
+    fn pseudo_pieces(n: usize, seed: u64) -> Vec<Piece> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        (0..n as u32)
+            .map(|e| {
+                let x0 = next() * 90.0;
+                let w = next() * 12.0 + 0.5;
+                piece(x0, next() * 20.0, x0 + w, next() * 20.0, e)
+            })
+            .collect()
+    }
+
+    fn envelopes_agree(a: &Envelope, b: &Envelope) {
+        let samples = 2000;
+        for s in 0..samples {
+            let x = s as f64 * 110.0 / samples as f64 - 2.0;
+            let (va, vb) = (a.eval(x), b.eval(x));
+            match (va, vb) {
+                (None, None) => {}
+                (Some(va), Some(vb)) => {
+                    assert!((va - vb).abs() < 1e-9, "value mismatch at x={x}: {va} vs {vb}")
+                }
+                _ => panic!("gap mismatch at x={x}: {va:?} vs {vb:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_eval() {
+        let base = Envelope::from_pieces(&pseudo_pieces(40, 7));
+        let pe = PEnvelope::from_envelope(&base);
+        assert_eq!(pe.size(), base.size());
+        for s in 0..500 {
+            let x = s as f64 * 0.2;
+            assert_eq!(pe.eval(x), base.eval(x), "at x={x}");
+        }
+        envelopes_agree(&pe.to_envelope(), &base);
+    }
+
+    #[test]
+    fn split_clip_partitions_exactly() {
+        let base = Envelope::from_pieces(&pseudo_pieces(30, 3));
+        let pe = PEnvelope::from_envelope(&base);
+        for x in [10.0, 33.3, 50.0, 77.7] {
+            let (l, r) = pe.split_clip(x);
+            if let Some((_, p)) = l.treap().last() {
+                assert!(p.x1 <= x);
+            }
+            if let Some((_, p)) = r.treap().first() {
+                assert!(p.x0 >= x);
+            }
+            // Values preserved on both sides (clipped pieces re-interpolate,
+            // so compare with a tolerance rather than bitwise).
+            for (got, want) in [
+                (l.eval(x - 1.0), pe.eval(x - 1.0)),
+                (r.eval(x + 1.0), pe.eval(x + 1.0)),
+            ] {
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
+                    _ => panic!("gap mismatch: {got:?} vs {want:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_static_merge() {
+        for seed in [1u64, 2, 3, 4, 5] {
+            let pa = pseudo_pieces(50, seed);
+            let pb: Vec<Piece> = pseudo_pieces(35, seed + 100)
+                .into_iter()
+                .map(|mut p| {
+                    p.edge += 1000;
+                    p
+                })
+                .collect();
+            let ea = Envelope::from_pieces(&pa);
+            let eb = Envelope::from_pieces(&pb);
+            let expect = Envelope::merge(&ea, &eb);
+
+            let pe = PEnvelope::from_envelope(&ea);
+            let got = pe.merge(eb.pieces());
+            envelopes_agree(&got.env.to_envelope(), &expect);
+            // Persistence: the original is untouched.
+            envelopes_agree(&pe.to_envelope(), &ea);
+        }
+    }
+
+    #[test]
+    fn merge_reports_crossings_and_insertions() {
+        // Flat profile at z=1; a tent pokes above it in the middle.
+        let base = Envelope::from_piece(piece(0.0, 1.0, 10.0, 1.0, 0));
+        let pe = PEnvelope::from_envelope(&base);
+        let tent = [piece(4.0, 0.0, 6.0, 4.0, 7), piece(6.0, 4.0, 8.0, 0.0, 8)];
+        let out = pe.merge(&tent);
+        assert_eq!(out.crossings.len(), 2);
+        assert_eq!(out.inserted.len(), 2);
+        let e = out.env.to_envelope();
+        assert!(e.eval(6.0).unwrap() > 3.9);
+        assert_eq!(e.eval(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn merge_buried_shares_everything() {
+        let base = Envelope::from_pieces(&pseudo_pieces(64, 9));
+        // Shift up to guarantee domination.
+        let raised: Vec<Piece> = base
+            .pieces()
+            .iter()
+            .map(|p| piece(p.x0, p.z0 + 100.0, p.x1, p.z1 + 100.0, p.edge))
+            .collect();
+        let high = Envelope::from_sorted_pieces(raised);
+        let pe = PEnvelope::from_envelope(&high);
+        let low = [piece(20.0, 0.5, 60.0, 0.7, 999)];
+        let out = pe.merge(&low);
+        assert!(out.crossings.is_empty());
+        // Either fully buried or surfacing only in gaps of the profile.
+        for p in &out.inserted {
+            assert!(high.eval(0.5 * (p.x0 + p.x1)).is_none());
+        }
+        // Structure shared: merging must not rebuild the whole tree.
+        let s = SharingStats::of(&[pe.treap(), out.env.treap()]);
+        assert!(
+            (s.unique_nodes as f64) < 1.3 * pe.size() as f64 + 64.0,
+            "unique={} size={}",
+            s.unique_nodes,
+            pe.size()
+        );
+    }
+
+    #[test]
+    fn dominating_merge_drops_subtrees() {
+        let base = Envelope::from_pieces(&pseudo_pieces(64, 21));
+        let pe = PEnvelope::from_envelope(&base);
+        let (lo, hi) = base.span().unwrap();
+        let cover = [piece(lo - 1.0, 500.0, hi + 1.0, 500.0, 777)];
+        let out = pe.merge(&cover);
+        assert_eq!(out.env.size(), 1);
+        assert!(out.stats.subtrees_dropped + out.stats.pieces_buried > 0);
+        assert_eq!(out.env.eval(0.5 * (lo + hi)), Some(500.0));
+    }
+}

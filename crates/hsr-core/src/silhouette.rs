@@ -1,0 +1,150 @@
+//! The terrain silhouette (horizon): the root profile of the PCT, wrapped
+//! in the CG query structure.
+//!
+//! The paper's "(upper) profile … other commonly used terms are
+//! upper-envelope and silhouette" (§1.1). The root of the PCT *is* the
+//! silhouette of the whole scene, and the ACG over it answers the classic
+//! horizon queries: what is the skyline height at an image abscissa, is a
+//! sky point visible, where does a sight-line graze the terrain.
+
+use crate::cg::HullTree;
+use crate::envelope::{CrossEvent, Envelope, Piece};
+use hsr_geometry::Point2;
+
+/// A queryable terrain silhouette.
+pub struct Silhouette {
+    env: Envelope,
+    tree: Option<HullTree>,
+}
+
+impl Silhouette {
+    /// Wraps a profile (typically [`crate::pct::Pct::root_profile`]).
+    pub fn new(env: Envelope) -> Silhouette {
+        let tree = HullTree::build(&env);
+        Silhouette { env, tree }
+    }
+
+    /// The skyline height at image abscissa `x` (`None` off the terrain).
+    pub fn horizon_at(&self, x: f64) -> Option<f64> {
+        self.env.eval(x)
+    }
+
+    /// True when an image point is strictly above the skyline — i.e. a
+    /// point at infinity depth ("sky") with this image position would be
+    /// visible past the whole terrain.
+    pub fn is_above(&self, p: Point2) -> bool {
+        match self.env.eval(p.x) {
+            None => true,
+            Some(z) => p.y > z,
+        }
+    }
+
+    /// All points where a sight-line (image-plane segment) grazes the
+    /// silhouette — the crossings of the segment with the horizon curve,
+    /// via the ACG query of Lemma 3.2.
+    pub fn graze_points(&self, s: &Piece) -> Vec<CrossEvent> {
+        match &self.tree {
+            Some(t) => t.all_crossings(s),
+            None => Vec::new(),
+        }
+    }
+
+    /// The ridgeline as a polyline: the vertices of the silhouette.
+    pub fn ridgeline(&self) -> Vec<Point2> {
+        let mut out = Vec::with_capacity(self.env.size() + 1);
+        for p in self.env.pieces() {
+            let a = Point2::new(p.x0, p.z0);
+            if out.last() != Some(&a) {
+                out.push(a);
+            }
+            out.push(Point2::new(p.x1, p.z1));
+        }
+        out
+    }
+
+    /// Number of silhouette pieces.
+    pub fn size(&self) -> usize {
+        self.env.size()
+    }
+
+    /// The underlying envelope.
+    pub fn envelope(&self) -> &Envelope {
+        &self.env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::project_edges;
+    use crate::order::depth_order;
+    use crate::pct::Pct;
+    use hsr_terrain::gen;
+
+    fn silhouette_of(tin: &hsr_terrain::Tin) -> Silhouette {
+        let edges = project_edges(tin);
+        let order = depth_order(tin).unwrap();
+        let ordered: Vec<_> = order.iter().map(|&e| edges[e as usize]).collect();
+        let pct = Pct::build(ordered);
+        Silhouette::new(pct.root_profile().clone())
+    }
+
+    #[test]
+    fn horizon_is_max_over_all_vertices_at_columns() {
+        let tin = gen::gaussian_hills(12, 12, 4, 5).to_tin().unwrap();
+        let sil = silhouette_of(&tin);
+        // At each vertex's image abscissa, the horizon is at least the
+        // vertex height (every vertex is on or under the skyline).
+        for v in tin.vertices() {
+            let h = sil.horizon_at(v.y).expect("vertex column on terrain");
+            assert!(
+                h >= v.z - 1e-9,
+                "vertex at y={} z={} above horizon {h}",
+                v.y,
+                v.z
+            );
+        }
+    }
+
+    #[test]
+    fn above_and_below() {
+        let tin = gen::ridge_field(12, 10, 3, 10.0, 6).to_tin().unwrap();
+        let sil = silhouette_of(&tin);
+        let (_, zhi) = tin.height_range();
+        let x = 4.5;
+        assert!(sil.is_above(Point2::new(x, zhi + 1.0)));
+        let h = sil.horizon_at(x).unwrap();
+        assert!(!sil.is_above(Point2::new(x, h - 0.1)));
+        // Way off the terrain: everything is "above".
+        assert!(sil.is_above(Point2::new(1e6, -1e6)));
+    }
+
+    #[test]
+    fn ridgeline_is_continuous_and_ordered() {
+        let tin = gen::fbm(10, 10, 3, 8.0, 7).to_tin().unwrap();
+        let sil = silhouette_of(&tin);
+        let line = sil.ridgeline();
+        assert!(line.len() > sil.size());
+        for w in line.windows(2) {
+            assert!(w[0].x <= w[1].x, "ridgeline not x-monotone");
+        }
+    }
+
+    #[test]
+    fn graze_points_match_direct_queries() {
+        let tin = gen::gaussian_hills(10, 10, 3, 8).to_tin().unwrap();
+        let sil = silhouette_of(&tin);
+        let (zlo, zhi) = tin.height_range();
+        let (lo, hi) = tin.ground_bounds();
+        let ray = Piece {
+            x0: lo.y,
+            x1: hi.y,
+            z0: 0.5 * (zlo + zhi),
+            z1: zhi + 0.1,
+            edge: u32::MAX,
+        };
+        let grazes = sil.graze_points(&ray);
+        let (_, walk) = sil.envelope().visible_parts(&ray);
+        assert_eq!(grazes.len(), walk.len());
+    }
+}

@@ -1,0 +1,266 @@
+//! Point-visibility queries ("is this object visible above the terrain?").
+//!
+//! A downstream application of the profile machinery: given query points
+//! above (or on) the terrain — aircraft, towers, markers — decide which
+//! are visible from the viewer at `x = +∞`.
+//!
+//! For a query point `q` **on or above the terrain surface**, `q` is
+//! occluded exactly when the upper profile of the edges *in front of* `q`
+//! exceeds its image height: along the view ray the surface cross-section
+//! is piecewise linear with its maxima on edge crossings, and every
+//! in-front crossing belongs to an edge the order places before `q`'s
+//! depth position. (For points *inside* the terrain this reduction is
+//! invalid — the face fragment directly overhead can occlude without any
+//! in-front edge reaching the query height — so callers must keep queries
+//! above the surface.) The implementation runs the sequential profile
+//! sweep with the queries spliced into the front-to-back order at their
+//! depth positions, so a batch of `Q` queries costs one HSR pass plus the
+//! rank computation — *not* `Q` ray marches.
+
+use crate::edges::SceneEdge;
+use crate::envelope::Piece;
+use hsr_geometry::{Point3, TotalF64};
+use hsr_terrain::Tin;
+use std::collections::BTreeMap;
+
+/// A visibility verdict for one query point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Nothing in front reaches the query point's image height.
+    Visible,
+    /// Some terrain in front strictly covers it.
+    Hidden,
+}
+
+/// Batch-classifies query points against a terrain view.
+///
+/// `order` is the front-to-back edge order (from [`crate::order`]);
+/// `edges` the projected scene edges indexed by edge id.
+pub fn classify_points(
+    tin: &Tin,
+    edges: &[SceneEdge],
+    order: &[u32],
+    queries: &[Point3],
+) -> Vec<Verdict> {
+    // Depth position of a query: the number of order entries whose ground
+    // crossing at the query's ordinate lies strictly in front (larger
+    // ground x). Edges not crossing the ordinate are irrelevant at that
+    // ordinate, so any consistent position among them is fine.
+    let verts = tin.vertices();
+    let ground = |e: u32| {
+        let [a, b] = tin.edges()[e as usize];
+        (verts[a as usize], verts[b as usize])
+    };
+    // For each query, find its insertion rank: after the last in-front
+    // crossing edge.
+    let mut insertions: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (qi, q) in queries.iter().enumerate() {
+        let mut last_front = 0usize;
+        for (pos, &e) in order.iter().enumerate() {
+            let (pa, pb) = ground(e);
+            let (ylo, yhi) = (pa.y.min(pb.y), pa.y.max(pb.y));
+            if !(ylo < q.y && q.y < yhi) {
+                continue;
+            }
+            let t = (q.y - pa.y) / (pb.y - pa.y);
+            let x_cross = pa.x + t * (pb.x - pa.x);
+            if x_cross > q.x {
+                last_front = pos + 1;
+            }
+        }
+        insertions.entry(last_front).or_default().push(qi);
+    }
+
+    // One sequential profile sweep with queries answered at their depth.
+    let mut profile: BTreeMap<TotalF64, Piece> = BTreeMap::new();
+    let mut verdicts = vec![Verdict::Visible; queries.len()];
+    let eval = |profile: &BTreeMap<TotalF64, Piece>, x: f64| -> Option<f64> {
+        let (_, p) = profile.range(..=TotalF64(x)).next_back()?;
+        (x <= p.x1).then(|| p.eval(x))
+    };
+    let mut answer = |profile: &BTreeMap<TotalF64, Piece>, qi: usize| {
+        let q = queries[qi];
+        let img_x = q.y; // image abscissa = world y
+        let img_z = q.z;
+        verdicts[qi] = match eval(profile, img_x) {
+            Some(env) if env >= img_z => Verdict::Hidden,
+            _ => Verdict::Visible,
+        };
+    };
+    if let Some(qs) = insertions.get(&0) {
+        for &qi in qs {
+            answer(&profile, qi);
+        }
+    }
+    for (pos, &e) in order.iter().enumerate() {
+        if let Some(piece) = edges[e as usize].piece() {
+            splice(&mut profile, piece);
+        }
+        if let Some(qs) = insertions.get(&(pos + 1)) {
+            for &qi in qs {
+                answer(&profile, qi);
+            }
+        }
+    }
+    verdicts
+}
+
+/// Minimal envelope splice (pointwise max) used by the sweep; mirrors the
+/// sequential algorithm's update but without visibility bookkeeping.
+fn splice(profile: &mut BTreeMap<TotalF64, Piece>, s: Piece) {
+    use crate::envelope::{relate, Relation};
+    let mut affected: Vec<Piece> = Vec::new();
+    if let Some((_, p)) = profile.range(..TotalF64(s.x0)).next_back() {
+        if p.x1 > s.x0 {
+            affected.push(*p);
+        }
+    }
+    affected.extend(profile.range(TotalF64(s.x0)..TotalF64(s.x1)).map(|(_, p)| *p));
+
+    let mut out: Vec<Piece> = Vec::with_capacity(affected.len() + 2);
+    let mut push = |p: Option<Piece>| {
+        if let Some(p) = p {
+            if p.width() > 0.0 {
+                out.push(p);
+            }
+        }
+    };
+    let mut x = s.x0;
+    for p in &affected {
+        if p.x0 < s.x0 {
+            push(p.clip(p.x0, s.x0));
+        }
+        if p.x0 > x {
+            push(s.clip(x, p.x0));
+            x = p.x0;
+        }
+        let v = p.x1.min(s.x1);
+        if v > x {
+            match relate(p, &s, x, v) {
+                Relation::AAbove => push(p.clip(x, v)),
+                Relation::BAbove => push(s.clip(x, v)),
+                Relation::CrossAtoB { x: cx, .. } => {
+                    push(p.clip(x, cx));
+                    push(s.clip(cx, v));
+                }
+                Relation::CrossBtoA { x: cx, .. } => {
+                    push(s.clip(x, cx));
+                    push(p.clip(cx, v));
+                }
+            }
+            x = v;
+        }
+        if p.x1 > s.x1 {
+            push(p.clip(s.x1, p.x1));
+        }
+    }
+    if x < s.x1 {
+        push(s.clip(x, s.x1));
+    }
+    for p in &affected {
+        profile.remove(&TotalF64(p.x0));
+    }
+    for p in out {
+        profile.insert(TotalF64(p.x0), p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::project_edges;
+    use crate::oracle;
+    use crate::order::depth_order;
+    use hsr_terrain::gen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(tin: &Tin) -> (Vec<SceneEdge>, Vec<u32>) {
+        (project_edges(tin), depth_order(tin).unwrap())
+    }
+
+    #[test]
+    fn high_points_visible_low_points_behind_wall_hidden() {
+        let tin = gen::occlusion_knob(12, 12, 1.0, 10.0, 2).to_tin().unwrap();
+        let (edges, order) = setup(&tin);
+        let queries = vec![
+            Point3::new(1.0, 5.5, 100.0), // far above everything
+            Point3::new(1.0, 5.5, 0.5),   // behind and below the wall
+            Point3::new(11.5, 5.5, 0.5),  // in front of the wall
+        ];
+        let v = classify_points(&tin, &edges, &order, &queries);
+        assert_eq!(v[0], Verdict::Visible);
+        assert_eq!(v[1], Verdict::Hidden);
+        assert_eq!(v[2], Verdict::Visible);
+    }
+
+    /// Terrain surface height at a ground position (test helper).
+    fn surface_z(tin: &Tin, x: f64, y: f64) -> Option<f64> {
+        let verts = tin.vertices();
+        for t in tin.triangles() {
+            let (a, b, c) = (
+                verts[t[0] as usize],
+                verts[t[1] as usize],
+                verts[t[2] as usize],
+            );
+            let det = (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
+            if det == 0.0 {
+                continue;
+            }
+            let l1 = ((b.x - a.x) * (y - a.y) - (x - a.x) * (b.y - a.y)) / det;
+            let l2 = ((x - a.x) * (c.y - a.y) - (c.x - a.x) * (y - a.y)) / det;
+            let l0 = 1.0 - l1 - l2;
+            if l0 >= 0.0 && l1 >= 0.0 && l2 >= 0.0 {
+                return Some(l0 * a.z + l2 * b.z + l1 * c.z);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn matches_exact_oracle_on_random_points() {
+        for (seed, theta) in [(3u64, 0.3), (4, 0.8)] {
+            let tin = gen::occlusion_knob(12, 12, theta, 10.0, seed).to_tin().unwrap();
+            let (edges, order) = setup(&tin);
+            let (lo, hi) = tin.ground_bounds();
+            let (_, zhi) = tin.height_range();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            // Queries strictly above the surface (the documented domain).
+            let queries: Vec<Point3> = std::iter::repeat_with(|| {
+                let x = rng.random_range(lo.x..hi.x);
+                let y = rng.random_range(lo.y..hi.y);
+                let floor = surface_z(&tin, x, y)?;
+                Some(Point3::new(
+                    x,
+                    y,
+                    floor + rng.random_range(1e-3..(zhi - floor).max(0.1) + 3.0),
+                ))
+            })
+            .flatten()
+            .take(200)
+            .collect();
+            let verdicts = classify_points(&tin, &edges, &order, &queries);
+            let mut agree = 0;
+            for (q, v) in queries.iter().zip(&verdicts) {
+                let exact = if oracle::occluded(&tin, *q, 1e-9) {
+                    Verdict::Hidden
+                } else {
+                    Verdict::Visible
+                };
+                if exact == *v {
+                    agree += 1;
+                }
+            }
+            // Points exactly on occlusion boundaries can tie-break either
+            // way; require near-perfect agreement.
+            assert!(agree >= 196, "agreement {agree}/200 (theta {theta})");
+        }
+    }
+
+    #[test]
+    fn empty_query_batch() {
+        let tin = gen::fbm(6, 6, 2, 4.0, 1).to_tin().unwrap();
+        let (edges, order) = setup(&tin);
+        assert!(classify_points(&tin, &edges, &order, &[]).is_empty());
+    }
+}

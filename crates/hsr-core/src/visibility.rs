@@ -1,0 +1,188 @@
+//! The device-independent description of the visible scene.
+//!
+//! The problem statement (paper §1.1) asks for an *object-space* output: a
+//! combinatorial description of the visible image — its pieces (visible
+//! edge portions) and vertices (projected endpoints and crossings) as a
+//! planar graph — that any display device can render.
+
+use crate::envelope::{CrossEvent, Piece};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The visible image.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VisibilityMap {
+    /// Visible portions of edges (image-plane pieces tagged by edge id).
+    pub pieces: Vec<Piece>,
+    /// Crossing vertices: points where an edge's visibility starts or ends
+    /// against the profile of the edges in front of it.
+    pub crossings: Vec<CrossEvent>,
+    /// Edges with vertical (zero-width) projection that are visible at
+    /// their top point.
+    pub vertical_visible: Vec<u32>,
+    /// Total number of input edges.
+    pub n_edges: usize,
+}
+
+impl VisibilityMap {
+    /// The output size `k`: vertices + edges of the displayed image
+    /// (pieces contribute their two endpoints, crossings are shared
+    /// vertices; the paper's `k` is this quantity up to a constant).
+    pub fn output_size(&self) -> usize {
+        self.pieces.len() + self.crossings.len() + self.vertical_visible.len()
+    }
+
+    /// Sorts pieces and crossings into a canonical order (by edge, then
+    /// abscissa) so maps from different algorithms compare deterministically.
+    pub fn canonicalize(&mut self) {
+        self.pieces.sort_by(|a, b| {
+            a.edge
+                .cmp(&b.edge)
+                .then(a.x0.total_cmp(&b.x0))
+                .then(a.x1.total_cmp(&b.x1))
+        });
+        // Merge touching fragments of the same edge.
+        let mut merged: Vec<Piece> = Vec::with_capacity(self.pieces.len());
+        for p in self.pieces.drain(..) {
+            if let Some(last) = merged.last_mut() {
+                if last.edge == p.edge && (last.x1 - p.x0).abs() < 1e-12 {
+                    last.x1 = p.x1;
+                    last.z1 = p.z1;
+                    continue;
+                }
+            }
+            merged.push(p);
+        }
+        self.pieces = merged;
+        self.crossings
+            .sort_by(|a, b| a.x.total_cmp(&b.x).then(a.z.total_cmp(&b.z)));
+        self.vertical_visible.sort_unstable();
+        self.vertical_visible.dedup();
+    }
+
+    /// Visible intervals per edge.
+    pub fn per_edge_intervals(&self) -> BTreeMap<u32, Vec<(f64, f64)>> {
+        let mut map: BTreeMap<u32, Vec<(f64, f64)>> = BTreeMap::new();
+        for p in &self.pieces {
+            map.entry(p.edge).or_default().push((p.x0, p.x1));
+        }
+        for iv in map.values_mut() {
+            iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        map
+    }
+
+    /// Total visible length (sum of piece widths in the image plane).
+    pub fn total_visible_width(&self) -> f64 {
+        self.pieces.iter().map(|p| p.width()).sum()
+    }
+
+    /// Agreement with another map in `[0, 1]`: one minus the relative
+    /// symmetric difference of the per-edge visible interval sets
+    /// (lengths measured on the abscissa). Two maps of the same scene
+    /// computed by different algorithms should agree to ~1.
+    pub fn agreement(&self, other: &VisibilityMap) -> f64 {
+        let a = self.per_edge_intervals();
+        let b = other.per_edge_intervals();
+        let mut sym = 0.0;
+        let mut total = 0.0;
+        let edges: std::collections::BTreeSet<u32> =
+            a.keys().chain(b.keys()).copied().collect();
+        for e in edges {
+            let empty = Vec::new();
+            let ia = a.get(&e).unwrap_or(&empty);
+            let ib = b.get(&e).unwrap_or(&empty);
+            let la: f64 = ia.iter().map(|(u, v)| v - u).sum();
+            let lb: f64 = ib.iter().map(|(u, v)| v - u).sum();
+            sym += interval_symdiff(ia, ib);
+            total += la.max(lb);
+        }
+        if total <= 0.0 {
+            1.0
+        } else {
+            (1.0 - sym / total).max(0.0)
+        }
+    }
+
+    /// True when a sample point on `edge` at abscissa `x` is visible.
+    pub fn is_visible_at(&self, edge: u32, x: f64) -> bool {
+        self.pieces
+            .iter()
+            .any(|p| p.edge == edge && p.x0 <= x && x <= p.x1)
+    }
+}
+
+/// Length of the symmetric difference of two sorted interval sets.
+fn interval_symdiff(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    // Sweep over all boundaries.
+    let mut xs: Vec<f64> = a
+        .iter()
+        .chain(b)
+        .flat_map(|&(u, v)| [u, v])
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    let inside = |iv: &[(f64, f64)], x: f64| iv.iter().any(|&(u, v)| u <= x && x < v);
+    let mut sym = 0.0;
+    for w in xs.windows(2) {
+        let mid = 0.5 * (w[0] + w[1]);
+        if inside(a, mid) != inside(b, mid) {
+            sym += w[1] - w[0];
+        }
+    }
+    sym
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn piece(edge: u32, x0: f64, x1: f64) -> Piece {
+        Piece { x0, x1, z0: 0.0, z1: 0.0, edge }
+    }
+
+    #[test]
+    fn canonicalize_merges_fragments() {
+        let mut m = VisibilityMap {
+            pieces: vec![piece(0, 1.0, 2.0), piece(0, 0.0, 1.0), piece(1, 0.0, 1.0)],
+            ..Default::default()
+        };
+        m.canonicalize();
+        assert_eq!(m.pieces.len(), 2);
+        assert_eq!((m.pieces[0].x0, m.pieces[0].x1), (0.0, 2.0));
+    }
+
+    #[test]
+    fn agreement_identical_is_one() {
+        let m = VisibilityMap {
+            pieces: vec![piece(0, 0.0, 2.0), piece(1, 1.0, 4.0)],
+            ..Default::default()
+        };
+        assert!((m.agreement(&m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_detects_difference() {
+        let a = VisibilityMap { pieces: vec![piece(0, 0.0, 2.0)], ..Default::default() };
+        let b = VisibilityMap { pieces: vec![piece(0, 0.0, 1.0)], ..Default::default() };
+        let ag = a.agreement(&b);
+        assert!(ag < 0.6, "agreement {ag}");
+        let c = VisibilityMap { pieces: vec![piece(0, 0.0, 1.9999)], ..Default::default() };
+        assert!(a.agreement(&c) > 0.99);
+    }
+
+    #[test]
+    fn symdiff_basics() {
+        assert_eq!(interval_symdiff(&[(0.0, 1.0)], &[(0.0, 1.0)]), 0.0);
+        assert_eq!(interval_symdiff(&[(0.0, 1.0)], &[]), 1.0);
+        assert!((interval_symdiff(&[(0.0, 2.0)], &[(1.0, 3.0)]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn visibility_point_query() {
+        let m = VisibilityMap { pieces: vec![piece(3, 1.0, 2.0)], ..Default::default() };
+        assert!(m.is_visible_at(3, 1.5));
+        assert!(!m.is_visible_at(3, 2.5));
+        assert!(!m.is_visible_at(4, 1.5));
+    }
+}

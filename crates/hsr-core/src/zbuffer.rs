@@ -1,0 +1,255 @@
+//! Image-space z-buffer reference renderer.
+//!
+//! The paper's introduction contrasts object-space solutions with
+//! image-space ones that "compute the visibility information at every
+//! pixel". We implement the image-space solution too — not as a
+//! contender but as an *oracle*: rasterize every terrain face into a depth
+//! buffer and statistically validate the object-space visibility maps
+//! against it.
+
+use crate::visibility::VisibilityMap;
+use hsr_terrain::Tin;
+
+/// A depth buffer over the image plane (`y` horizontal, `z` vertical).
+/// Depth is world `x`; the viewer is at `x = +∞`, so *larger is closer*
+/// and the buffer keeps the maximum.
+pub struct ZBuffer {
+    /// Pixels along the image `y` axis.
+    pub ny: usize,
+    /// Pixels along the image `z` axis.
+    pub nz: usize,
+    y0: f64,
+    y1: f64,
+    z0: f64,
+    z1: f64,
+    depth: Vec<f64>,
+}
+
+impl ZBuffer {
+    /// Rasterizes all faces of the terrain at `res` pixels along `y`.
+    pub fn render(tin: &Tin, res: usize) -> ZBuffer {
+        let (lo, hi) = tin.ground_bounds();
+        let (zlo, zhi) = tin.height_range();
+        // Pad the window slightly so boundary samples stay inside.
+        let pad_y = (hi.y - lo.y).max(1e-9) * 1e-3;
+        let pad_z = (zhi - zlo).max(1e-9) * 1e-3 + 1e-9;
+        let (y0, y1) = (lo.y - pad_y, hi.y + pad_y);
+        let (z0, z1) = (zlo - pad_z, zhi + pad_z);
+        let ny = res.max(8);
+        let nz = ((z1 - z0) / (y1 - y0) * ny as f64).ceil().max(8.0) as usize;
+        let mut zb = ZBuffer { ny, nz, y0, y1, z0, z1, depth: vec![f64::NEG_INFINITY; ny * nz] };
+
+        for tri in tin.triangles() {
+            let p: Vec<_> = tri.iter().map(|&v| tin.vertices()[v as usize]).collect();
+            zb.raster_triangle(
+                (p[0].y, p[0].z, p[0].x),
+                (p[1].y, p[1].z, p[1].x),
+                (p[2].y, p[2].z, p[2].x),
+            );
+        }
+        zb
+    }
+
+    fn px(&self, y: f64) -> f64 {
+        (y - self.y0) / (self.y1 - self.y0) * self.ny as f64
+    }
+    fn pz(&self, z: f64) -> f64 {
+        (z - self.z0) / (self.z1 - self.z0) * self.nz as f64
+    }
+    /// Image-plane size of one pixel, `(dy, dz)`.
+    pub fn pixel_size(&self) -> (f64, f64) {
+        (
+            (self.y1 - self.y0) / self.ny as f64,
+            (self.z1 - self.z0) / self.nz as f64,
+        )
+    }
+
+    /// Rasterizes one triangle given as `(y, z, depth)` triples.
+    fn raster_triangle(&mut self, a: (f64, f64, f64), b: (f64, f64, f64), c: (f64, f64, f64)) {
+        let det = (b.0 - a.0) * (c.1 - a.1) - (c.0 - a.0) * (b.1 - a.1);
+        if det == 0.0 {
+            return; // degenerate in the image plane
+        }
+        let iy0 = self.px(a.0.min(b.0).min(c.0)).floor().max(0.0) as usize;
+        let iy1 = (self.px(a.0.max(b.0).max(c.0)).ceil() as usize).min(self.ny - 1);
+        let iz0 = self.pz(a.1.min(b.1).min(c.1)).floor().max(0.0) as usize;
+        let iz1 = (self.pz(a.1.max(b.1).max(c.1)).ceil() as usize).min(self.nz - 1);
+        for iy in iy0..=iy1 {
+            let y = self.y0 + (iy as f64 + 0.5) / self.ny as f64 * (self.y1 - self.y0);
+            for iz in iz0..=iz1 {
+                let z = self.z0 + (iz as f64 + 0.5) / self.nz as f64 * (self.z1 - self.z0);
+                // Barycentric coordinates.
+                let l1 = ((b.0 - a.0) * (z - a.1) - (y - a.0) * (b.1 - a.1)) / det;
+                let l2 = ((y - a.0) * (c.1 - a.1) - (c.0 - a.0) * (z - a.1)) / det;
+                let l0 = 1.0 - l1 - l2;
+                if l0 < 0.0 || l1 < 0.0 || l2 < 0.0 {
+                    continue;
+                }
+                let d = l0 * a.2 + l2 * b.2 + l1 * c.2;
+                let cell = &mut self.depth[iy * self.nz + iz];
+                if d > *cell {
+                    *cell = d;
+                }
+            }
+        }
+    }
+
+    /// Depth at an image point (`NEG_INFINITY` when nothing covers it).
+    pub fn depth_at(&self, y: f64, z: f64) -> f64 {
+        let iy = self.px(y) as isize;
+        let iz = self.pz(z) as isize;
+        if iy < 0 || iz < 0 || iy >= self.ny as isize || iz >= self.nz as isize {
+            return f64::NEG_INFINITY;
+        }
+        self.depth[iy as usize * self.nz + iz as usize]
+    }
+
+    /// `(min, max)` depth over the 3×3 pixel neighborhood of an image
+    /// point. Used for conservative visibility classification: near
+    /// silhouettes the within-pixel depth range is unbounded, so a sample
+    /// only counts when its whole neighborhood agrees.
+    pub fn depth_minmax3(&self, y: f64, z: f64) -> (f64, f64) {
+        let iy = self.px(y) as isize;
+        let iz = self.pz(z) as isize;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for dy in -1..=1 {
+            for dz in -1..=1 {
+                let (jy, jz) = (iy + dy, iz + dz);
+                if jy < 0 || jz < 0 || jy >= self.ny as isize || jz >= self.nz as isize {
+                    continue;
+                }
+                let d = self.depth[jy as usize * self.nz + jz as usize];
+                lo = lo.min(d);
+                hi = hi.max(d);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+/// Statistical agreement between an object-space visibility map and the
+/// z-buffer: the fraction of edge samples where both agree. Samples within
+/// a couple of pixels of a visibility transition are skipped (both methods
+/// quantise such boundary pixels arbitrarily).
+pub fn agreement_with_zbuffer(
+    tin: &Tin,
+    vis: &VisibilityMap,
+    res: usize,
+    samples_per_edge: usize,
+) -> f64 {
+    let zb = ZBuffer::render(tin, res);
+    let (px_y, _) = zb.pixel_size();
+    let margin = 2.5 * px_y;
+    let depth_extent = {
+        let (lo, hi) = tin.ground_bounds();
+        (hi.x - lo.x).max(1e-9)
+    };
+    // Depth tolerance: a few pixels worth of average depth slope
+    // (depth_extent spread over ~res pixels).
+    let tol = (6.0 * depth_extent / res as f64).max(1e-6);
+
+    let intervals = vis.per_edge_intervals();
+    let empty = Vec::new();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (e, &[a, b]) in tin.edges().iter().enumerate() {
+        let (pa, pb) = (tin.vertices()[a as usize], tin.vertices()[b as usize]);
+        let iv = intervals.get(&(e as u32)).unwrap_or(&empty);
+        for s in 0..samples_per_edge {
+            let t = (s as f64 + 0.5) / samples_per_edge as f64;
+            let y = pa.y + t * (pb.y - pa.y);
+            let z = pa.z + t * (pb.z - pa.z);
+            let x = pa.x + t * (pb.x - pa.x);
+            // Skip samples too close to a visibility transition.
+            let near_boundary = iv
+                .iter()
+                .any(|&(u, v)| (y - u).abs() < margin || (y - v).abs() < margin);
+            if near_boundary || (pb.y - pa.y).abs() < 4.0 * margin {
+                continue;
+            }
+            let alg_visible = iv.iter().any(|&(u, v)| u <= y && y <= v);
+            let (dmin, dmax) = zb.depth_minmax3(y, z);
+            // Conservative classification: skip samples whose pixel
+            // neighborhood is ambiguous (silhouettes, steep faces).
+            let zb_visible = if x + tol >= dmax {
+                true
+            } else if x + tol < dmin {
+                false
+            } else {
+                continue;
+            };
+            total += 1;
+            if alg_visible == zb_visible {
+                agree += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        agree as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::project_edges;
+    use crate::order::depth_order;
+    use crate::seq::run_sequential;
+    use hsr_terrain::gen;
+
+    #[test]
+    fn flat_terrain_all_visible() {
+        let tin = gen::amphitheater(8, 8, 10.0, 1).to_tin().unwrap();
+        let zb = ZBuffer::render(&tin, 128);
+        // Every vertex must be visible: its own depth equals the buffer.
+        let mut visible = 0;
+        for v in tin.vertices() {
+            if zb.depth_at(v.y, v.z) <= v.x + 0.5 {
+                visible += 1;
+            }
+        }
+        assert!(visible as f64 > 0.9 * tin.vertices().len() as f64);
+    }
+
+    #[test]
+    fn wall_hides_back_vertices() {
+        let tin = gen::occlusion_knob(12, 12, 1.0, 10.0, 2).to_tin().unwrap();
+        let zb = ZBuffer::render(&tin, 256);
+        // Vertices of the far rows sit below the wall: buffer depth at
+        // their pixel must be much closer (larger x) than they are.
+        let mut hidden = 0;
+        let mut back = 0;
+        for v in tin.vertices() {
+            if v.x < 3.0 && v.z < 5.0 {
+                back += 1;
+                if zb.depth_at(v.y, v.z) > v.x + 0.5 {
+                    hidden += 1;
+                }
+            }
+        }
+        assert!(back > 0);
+        assert!(hidden as f64 > 0.8 * back as f64, "{hidden}/{back}");
+    }
+
+    #[test]
+    fn object_space_statistically_matches_zbuffer() {
+        // The z-buffer aliases on grazing occluders (sub-pixel slivers in
+        // image space) and always errs towards "visible" there, so this is
+        // a statistical sanity bound; the exact arbiter lives in
+        // `oracle::tests`.
+        for tin in [
+            gen::fbm(10, 10, 3, 8.0, 3).to_tin().unwrap(),
+            gen::ridge_field(12, 10, 3, 12.0, 4).to_tin().unwrap(),
+        ] {
+            let edges = project_edges(&tin);
+            let order = depth_order(&tin).unwrap();
+            let ordered: Vec<_> = order.iter().map(|&e| edges[e as usize]).collect();
+            let vis = run_sequential(&ordered);
+            let ag = agreement_with_zbuffer(&tin, &vis, 512, 16);
+            assert!(ag > 0.80, "zbuffer agreement {ag}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Axis-aligned bounding boxes in the plane.
+
+use crate::point::Point2;
+use serde::{Deserialize, Serialize};
+
+/// A 2-D axis-aligned bounding box (possibly empty).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Point2,
+    /// Maximum corner.
+    pub max: Point2,
+}
+
+impl Aabb {
+    /// The canonical empty box (`min > max` in both axes).
+    pub fn empty() -> Self {
+        Aabb {
+            min: Point2::new(f64::INFINITY, f64::INFINITY),
+            max: Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// A box spanning two corners (in any order).
+    pub fn from_corners(a: Point2, b: Point2) -> Self {
+        Aabb {
+            min: Point2::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The tight box around a point set.
+    pub fn from_points(pts: impl IntoIterator<Item = Point2>) -> Self {
+        let mut b = Self::empty();
+        for p in pts {
+            b.grow(p);
+        }
+        b
+    }
+
+    /// True when no point has been added.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Expands to contain `p`.
+    pub fn grow(&mut self, p: Point2) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Expands to contain another box.
+    pub fn union(&self, o: &Aabb) -> Aabb {
+        if self.is_empty() {
+            return *o;
+        }
+        if o.is_empty() {
+            return *self;
+        }
+        Aabb {
+            min: Point2::new(self.min.x.min(o.min.x), self.min.y.min(o.min.y)),
+            max: Point2::new(self.max.x.max(o.max.x), self.max.y.max(o.max.y)),
+        }
+    }
+
+    /// Closed containment test.
+    pub fn contains(&self, p: Point2) -> bool {
+        self.min.x <= p.x && p.x <= self.max.x && self.min.y <= p.y && p.y <= self.max.y
+    }
+
+    /// True when the closed boxes share a point.
+    pub fn intersects(&self, o: &Aabb) -> bool {
+        !self.is_empty()
+            && !o.is_empty()
+            && self.min.x <= o.max.x
+            && o.min.x <= self.max.x
+            && self.min.y <= o.max.y
+            && o.min.y <= self.max.y
+    }
+
+    /// Width and height.
+    pub fn extent(&self) -> (f64, f64) {
+        if self.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (self.max.x - self.min.x, self.max.y - self.min.y)
+        }
+    }
+
+    /// Center point (meaningless for empty boxes).
+    pub fn center(&self) -> Point2 {
+        Point2::new(0.5 * (self.min.x + self.max.x), 0.5 * (self.min.y + self.max.y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_and_contain() {
+        let mut b = Aabb::empty();
+        assert!(b.is_empty());
+        b.grow(Point2::new(1.0, 2.0));
+        b.grow(Point2::new(-1.0, 5.0));
+        assert!(b.contains(Point2::new(0.0, 3.0)));
+        assert!(!b.contains(Point2::new(2.0, 3.0)));
+        assert_eq!(b.extent(), (2.0, 3.0));
+        assert_eq!(b.center(), Point2::new(0.0, 3.5));
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let a = Aabb::from_corners(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0));
+        let b = Aabb::from_corners(Point2::new(1.0, 1.0), Point2::new(3.0, 3.0));
+        let c = Aabb::from_corners(Point2::new(5.0, 5.0), Point2::new(6.0, 6.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let u = a.union(&c);
+        assert!(u.contains(Point2::new(4.0, 4.0)));
+        assert_eq!(a.union(&Aabb::empty()), a);
+    }
+
+    #[test]
+    fn from_points_tight() {
+        let b = Aabb::from_points([
+            Point2::new(3.0, -1.0),
+            Point2::new(-2.0, 4.0),
+            Point2::new(0.0, 0.0),
+        ]);
+        assert_eq!(b.min, Point2::new(-2.0, -1.0));
+        assert_eq!(b.max, Point2::new(3.0, 4.0));
+    }
+}

@@ -1,0 +1,311 @@
+//! Floating-point expansion arithmetic after Shewchuk.
+//!
+//! An *expansion* is a sum of `f64` components `e = e_0 + e_1 + … + e_{m-1}`
+//! stored least-significant first, where the components are non-overlapping
+//! and increasing in magnitude. Sums and products of f64 values can be
+//! represented exactly as expansions, which is what makes the exact
+//! fallbacks of the geometric predicates possible.
+//!
+//! The primitives (`two_sum`, `two_product`, …) are the classical
+//! error-free transformations; the higher-level [`Expansion`] type provides
+//! exact `+`, `-` and `*` over expansions with zero-elimination.
+
+/// Exact sum of two doubles: returns `(hi, lo)` with `hi + lo == a + b`
+/// exactly and `hi = fl(a + b)`.
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bvirt = x - a;
+    let avirt = x - bvirt;
+    let bround = b - bvirt;
+    let around = a - avirt;
+    (x, around + bround)
+}
+
+/// Exact sum of two doubles when `|a| >= |b|` is known.
+#[inline]
+pub fn fast_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bvirt = x - a;
+    (x, b - bvirt)
+}
+
+/// Exact difference of two doubles: `(hi, lo)` with `hi + lo == a - b`.
+#[inline]
+pub fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let x = a - b;
+    let bvirt = a - x;
+    let avirt = x + bvirt;
+    let bround = bvirt - b;
+    let around = a - avirt;
+    (x, around + bround)
+}
+
+/// Splitter constant `2^27 + 1` used by [`split`].
+const SPLITTER: f64 = 134_217_729.0;
+
+/// Split a double into two non-overlapping halves `(hi, lo)` with
+/// `hi + lo == a` and each half having at most 26 significant bits.
+#[inline]
+pub fn split(a: f64) -> (f64, f64) {
+    let c = SPLITTER * a;
+    let abig = c - a;
+    let ahi = c - abig;
+    (ahi, a - ahi)
+}
+
+/// Exact product of two doubles: `(hi, lo)` with `hi + lo == a * b`.
+#[inline]
+pub fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let x = a * b;
+    let (ahi, alo) = split(a);
+    let (bhi, blo) = split(b);
+    let err1 = x - ahi * bhi;
+    let err2 = err1 - alo * bhi;
+    let err3 = err2 - ahi * blo;
+    (x, alo * blo - err3)
+}
+
+/// An exact multi-component floating-point value.
+///
+/// Components are stored least-significant first. The representation is kept
+/// zero-eliminated (no interior zero components, though the canonical zero is
+/// the empty expansion).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Expansion {
+    comps: Vec<f64>,
+}
+
+impl Expansion {
+    /// The zero expansion.
+    #[inline]
+    pub fn zero() -> Self {
+        Expansion { comps: Vec::new() }
+    }
+
+    /// An expansion holding a single double.
+    #[inline]
+    pub fn from_f64(v: f64) -> Self {
+        if v == 0.0 {
+            Self::zero()
+        } else {
+            Expansion { comps: vec![v] }
+        }
+    }
+
+    /// An expansion holding the exact value `a - b`.
+    #[inline]
+    pub fn from_diff(a: f64, b: f64) -> Self {
+        let (x, y) = two_diff(a, b);
+        Expansion::from_parts(y, x)
+    }
+
+    /// An expansion holding the exact value `a * b`.
+    #[inline]
+    pub fn from_product(a: f64, b: f64) -> Self {
+        let (x, y) = two_product(a, b);
+        Expansion::from_parts(y, x)
+    }
+
+    #[inline]
+    fn from_parts(lo: f64, hi: f64) -> Self {
+        let mut comps = Vec::with_capacity(2);
+        if lo != 0.0 {
+            comps.push(lo);
+        }
+        if hi != 0.0 {
+            comps.push(hi);
+        }
+        Expansion { comps }
+    }
+
+    /// Number of non-zero components.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Whether the expansion is exactly zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.comps.is_empty()
+    }
+
+    /// Exact sum of two expansions (fast expansion sum with zero
+    /// elimination).
+    pub fn add(&self, other: &Expansion) -> Expansion {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        // Merge components by increasing magnitude.
+        let mut merged = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.len() && j < other.len() {
+            if self.comps[i].abs() <= other.comps[j].abs() {
+                merged.push(self.comps[i]);
+                i += 1;
+            } else {
+                merged.push(other.comps[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.comps[i..]);
+        merged.extend_from_slice(&other.comps[j..]);
+
+        let mut out = Vec::with_capacity(merged.len());
+        let (mut q, h) = fast_two_sum(merged[1], merged[0]);
+        if h != 0.0 {
+            out.push(h);
+        }
+        for &c in &merged[2..] {
+            let (qn, hn) = two_sum(q, c);
+            q = qn;
+            if hn != 0.0 {
+                out.push(hn);
+            }
+        }
+        if q != 0.0 {
+            out.push(q);
+        }
+        Expansion { comps: out }
+    }
+
+    /// Exact difference `self - other`.
+    pub fn sub(&self, other: &Expansion) -> Expansion {
+        self.add(&other.neg())
+    }
+
+    /// Exact negation.
+    pub fn neg(&self) -> Expansion {
+        Expansion {
+            comps: self.comps.iter().map(|&c| -c).collect(),
+        }
+    }
+
+    /// Exact product of an expansion by a single double
+    /// (scale-expansion with zero elimination).
+    pub fn scale(&self, b: f64) -> Expansion {
+        if self.is_empty() || b == 0.0 {
+            return Expansion::zero();
+        }
+        let mut out = Vec::with_capacity(self.len() * 2);
+        let (mut q, h) = two_product(self.comps[0], b);
+        if h != 0.0 {
+            out.push(h);
+        }
+        for &c in &self.comps[1..] {
+            let (p_hi, p_lo) = two_product(c, b);
+            let (sum, h1) = two_sum(q, p_lo);
+            if h1 != 0.0 {
+                out.push(h1);
+            }
+            let (qn, h2) = fast_two_sum(p_hi, sum);
+            q = qn;
+            if h2 != 0.0 {
+                out.push(h2);
+            }
+        }
+        if q != 0.0 {
+            out.push(q);
+        }
+        Expansion { comps: out }
+    }
+
+    /// Exact product of two expansions (distributes `scale` over the shorter
+    /// operand and sums).
+    pub fn mul(&self, other: &Expansion) -> Expansion {
+        let (short, long) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut acc = Expansion::zero();
+        for &c in &short.comps {
+            acc = acc.add(&long.scale(c));
+        }
+        acc
+    }
+
+    /// The approximate `f64` value of the expansion (sum of components,
+    /// most-significant last so the result is a good approximation).
+    pub fn estimate(&self) -> f64 {
+        self.comps.iter().sum()
+    }
+
+    /// Exact sign of the expansion: the sign of its most significant
+    /// (last) component.
+    pub fn sign(&self) -> std::cmp::Ordering {
+        match self.comps.last() {
+            None => std::cmp::Ordering::Equal,
+            Some(&c) => c.partial_cmp(&0.0).expect("expansion components are finite"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn two_sum_exact() {
+        let (hi, lo) = two_sum(1.0, 1e-30);
+        assert_eq!(hi, 1.0);
+        assert_eq!(lo, 1e-30);
+    }
+
+    #[test]
+    fn two_product_exact() {
+        // (1 + 2^-30)^2 = 1 + 2^-29 + 2^-60; the low part captures 2^-60.
+        let a = 1.0 + (2.0f64).powi(-30);
+        let (hi, lo) = two_product(a, a);
+        assert_eq!(hi + lo, a * a); // representable check
+        assert_ne!(lo, 0.0);
+    }
+
+    #[test]
+    fn expansion_add_cancellation() {
+        let a = Expansion::from_f64(1e20);
+        let b = Expansion::from_f64(1.0);
+        let c = a.add(&b); // exactly 1e20 + 1
+        let d = c.sub(&Expansion::from_f64(1e20));
+        assert_eq!(d.estimate(), 1.0);
+    }
+
+    #[test]
+    fn expansion_mul_simple() {
+        let a = Expansion::from_f64(3.0);
+        let b = Expansion::from_f64(7.0);
+        assert_eq!(a.mul(&b).estimate(), 21.0);
+    }
+
+    #[test]
+    fn expansion_mul_catches_rounding() {
+        // (2^53 + 1) * (2^53 - 1) = 2^106 - 1; plain f64 loses the -1
+        // (2^53 + 1 is not even representable), expansions keep it exactly.
+        let big = (2.0f64).powi(53);
+        let a = Expansion::from_f64(big).add(&Expansion::from_f64(1.0));
+        let b = Expansion::from_f64(big).sub(&Expansion::from_f64(1.0));
+        let p = a.mul(&b);
+        let q = p.sub(&Expansion::from_f64((2.0f64).powi(106)));
+        assert_eq!(q.estimate(), -1.0);
+    }
+
+    #[test]
+    fn sign_of_zero() {
+        assert_eq!(Expansion::zero().sign(), Ordering::Equal);
+        let a = Expansion::from_f64(5.0).sub(&Expansion::from_f64(5.0));
+        assert_eq!(a.sign(), Ordering::Equal);
+    }
+
+    #[test]
+    fn from_diff_exact() {
+        let e = Expansion::from_diff(1.0, 1e-40);
+        // 1.0 - 1e-40 is not representable; expansion keeps both parts.
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.estimate(), 1.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Closed 1-D intervals on the abscissa axis.
+
+use serde::{Deserialize, Serialize};
+
+/// A closed interval `[lo, hi]` with `lo <= hi`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower end.
+    pub lo: f64,
+    /// Upper end.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval, panicking in debug builds when `lo > hi`.
+    #[inline]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        debug_assert!(lo <= hi, "interval bounds out of order: [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Width of the interval.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True for zero-width intervals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// True if `x` lies in the closed interval.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Intersection with another interval, `None` when disjoint (touching
+    /// intervals yield a zero-width intersection, not `None`).
+    #[inline]
+    pub fn intersect(&self, o: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(o.lo);
+        let hi = self.hi.min(o.hi);
+        (lo <= hi).then(|| Interval::new(lo, hi))
+    }
+
+    /// Smallest interval containing both operands.
+    #[inline]
+    pub fn hull(&self, o: &Interval) -> Interval {
+        Interval::new(self.lo.min(o.lo), self.hi.max(o.hi))
+    }
+
+    /// True when the interiors overlap (not merely touch).
+    #[inline]
+    pub fn overlaps_interior(&self, o: &Interval) -> bool {
+        self.lo.max(o.lo) < self.hi.min(o.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_and_hull() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        assert_eq!(a.intersect(&b), Some(Interval::new(1.0, 2.0)));
+        assert_eq!(a.hull(&b), Interval::new(0.0, 3.0));
+    }
+
+    #[test]
+    fn touching_is_zero_width_not_none() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(1.0, 2.0);
+        let i = a.intersect(&b).unwrap();
+        assert!(i.is_empty());
+        assert!(!a.overlaps_interior(&b));
+    }
+
+    #[test]
+    fn disjoint() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(2.0, 3.0);
+        assert_eq!(a.intersect(&b), None);
+    }
+}

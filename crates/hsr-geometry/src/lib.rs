@@ -1,0 +1,41 @@
+//! Robust computational-geometry substrate for the terrain hidden-surface
+//! removal system.
+//!
+//! This crate provides the numeric foundation every other crate builds on:
+//!
+//! * [`expansion`] — Shewchuk-style floating-point expansion arithmetic
+//!   (exact addition and multiplication of f64 values as multi-component
+//!   expansions), used as the exact fallback of the filtered predicates.
+//! * [`predicates`] — robust orientation (`orient2d`) and in-circle
+//!   (`incircle`) predicates with a fast floating-point filter and an exact
+//!   expansion fallback.
+//! * [`point`] / [`segment`] — plain `f64` geometric types for the image
+//!   plane and for 3-D terrain vertices.
+//! * [`interval`] — closed 1-D interval helpers used by envelope code.
+//! * [`util`] — total-order wrappers for `f64` keys.
+//!
+//! # Numeric policy
+//!
+//! All *predicates* (sign-of-determinant questions) are exact. *Constructed*
+//! coordinates — e.g. the abscissa where two segments cross — are computed in
+//! `f64` and are therefore approximate; downstream code never branches on a
+//! predicate applied to constructed points where that could create an
+//! inconsistency, and the validation oracles in `hsr-core` use tolerances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aabb;
+pub mod expansion;
+pub mod interval;
+pub mod point;
+pub mod predicates;
+pub mod segment;
+pub mod util;
+
+pub use aabb::Aabb;
+pub use interval::Interval;
+pub use point::{Point2, Point3};
+pub use predicates::{incircle, orient2d, orient3d, Orientation};
+pub use segment::Segment2;
+pub use util::TotalF64;

@@ -1,0 +1,146 @@
+//! Plain 2-D and 3-D point types.
+//!
+//! Conventions used throughout the workspace:
+//!
+//! * World space is `(x, y, z)` with the terrain a function `z = f(x, y)`,
+//!   the viewer at `x = +∞` looking along `-x`, and the image plane the
+//!   `y–z` plane.
+//! * Image space reuses [`Point2`] with `Point2.x` holding the world `y`
+//!   (the abscissa of the image plane) and `Point2.y` holding the world `z`
+//!   (the ordinate). Upper profiles are upper envelopes over the abscissa.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or vector) in the plane.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Abscissa (image-plane horizontal coordinate, world `y`).
+    pub x: f64,
+    /// Ordinate (image-plane vertical coordinate, world `z`).
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(self, o: Point2) -> f64 {
+        ((self.x - o.x).powi(2) + (self.y - o.y).powi(2)).sqrt()
+    }
+
+    /// Squared Euclidean distance (no square root).
+    #[inline]
+    pub fn dist2(self, o: Point2) -> f64 {
+        (self.x - o.x).powi(2) + (self.y - o.y).powi(2)
+    }
+
+    /// Cross product of vectors `self` and `o` treated as 2-D vectors.
+    #[inline]
+    pub fn cross(self, o: Point2) -> f64 {
+        self.x * o.y - self.y * o.x
+    }
+
+    /// True if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, o: Point2) -> Point2 {
+        Point2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, o: Point2) -> Point2 {
+        Point2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Mul<f64> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn mul(self, s: f64) -> Point2 {
+        Point2::new(self.x * s, self.y * s)
+    }
+}
+
+/// A point in 3-D world space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Point3 {
+    /// Depth axis: the viewer sits at `x = +∞`.
+    pub x: f64,
+    /// Ground-plane axis perpendicular to the view direction.
+    pub y: f64,
+    /// Height.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Orthographic projection onto the image (`y–z`) plane.
+    #[inline]
+    pub fn project(self) -> Point2 {
+        Point2::new(self.y, self.z)
+    }
+
+    /// Projection onto the ground (`x–y`) plane, used for the occlusion
+    /// order.
+    #[inline]
+    pub fn ground(self) -> Point2 {
+        Point2::new(self.x, self.y)
+    }
+
+    /// True if all coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projections() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        assert_eq!(p.project(), Point2::new(2.0, 3.0));
+        assert_eq!(p.ground(), Point2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, 5.0);
+        assert_eq!(a + b, Point2::new(4.0, 7.0));
+        assert_eq!(b - a, Point2::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Point2::new(2.0, 4.0));
+        assert_eq!(a.cross(b), 1.0 * 5.0 - 2.0 * 3.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist2(b), 25.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Robust geometric predicates: filtered `f64` evaluation with an exact
+//! expansion-arithmetic fallback.
+//!
+//! The fast path evaluates the predicate determinant in plain `f64` and
+//! accepts the sign whenever the magnitude exceeds a forward error bound
+//! (Shewchuk's A-stage bounds). Otherwise the determinant is recomputed
+//! exactly with [`crate::expansion::Expansion`] arithmetic, whose sign is
+//! always correct.
+
+use crate::expansion::Expansion;
+use crate::point::{Point2, Point3};
+use std::cmp::Ordering;
+
+/// Relative orientation of an ordered point triple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise turn (positive determinant).
+    Ccw,
+    /// Clockwise turn (negative determinant).
+    Cw,
+    /// Exactly collinear.
+    Collinear,
+}
+
+impl Orientation {
+    /// Maps an exact ordering of the determinant against zero.
+    #[inline]
+    fn from_ordering(o: Ordering) -> Self {
+        match o {
+            Ordering::Greater => Orientation::Ccw,
+            Ordering::Less => Orientation::Cw,
+            Ordering::Equal => Orientation::Collinear,
+        }
+    }
+
+    /// The opposite orientation (collinear is self-inverse).
+    #[inline]
+    pub fn reversed(self) -> Self {
+        match self {
+            Orientation::Ccw => Orientation::Cw,
+            Orientation::Cw => Orientation::Ccw,
+            Orientation::Collinear => Orientation::Collinear,
+        }
+    }
+}
+
+const EPS: f64 = f64::EPSILON / 2.0; // machine epsilon in Shewchuk's convention
+const CCW_ERRBOUND_A: f64 = (3.0 + 16.0 * EPS) * EPS;
+const ICC_ERRBOUND_A: f64 = (10.0 + 96.0 * EPS) * EPS;
+
+/// Exact sign of the 2-D orientation determinant
+/// `| ax-cx  ay-cy ; bx-cx  by-cy |`.
+///
+/// Returns [`Orientation::Ccw`] when `c` lies to the left of the directed
+/// line `a -> b` in standard orientation (equivalently the triple
+/// `(a, b, c)` makes a counter-clockwise turn).
+pub fn orient2d(a: Point2, b: Point2, c: Point2) -> Orientation {
+    let detleft = (a.x - c.x) * (b.y - c.y);
+    let detright = (a.y - c.y) * (b.x - c.x);
+    let det = detleft - detright;
+
+    let detsum = if detleft > 0.0 {
+        if detright <= 0.0 {
+            return Orientation::from_ordering(det.partial_cmp(&0.0).unwrap());
+        }
+        detleft + detright
+    } else if detleft < 0.0 {
+        if detright >= 0.0 {
+            return Orientation::from_ordering(det.partial_cmp(&0.0).unwrap());
+        }
+        -detleft - detright
+    } else {
+        return Orientation::from_ordering((-detright).partial_cmp(&0.0).unwrap());
+    };
+
+    let errbound = CCW_ERRBOUND_A * detsum;
+    if det >= errbound || -det >= errbound {
+        return Orientation::from_ordering(det.partial_cmp(&0.0).unwrap());
+    }
+
+    orient2d_exact(a, b, c)
+}
+
+/// Fully exact orientation via expansion arithmetic.
+fn orient2d_exact(a: Point2, b: Point2, c: Point2) -> Orientation {
+    let acx = Expansion::from_diff(a.x, c.x);
+    let acy = Expansion::from_diff(a.y, c.y);
+    let bcx = Expansion::from_diff(b.x, c.x);
+    let bcy = Expansion::from_diff(b.y, c.y);
+    let det = acx.mul(&bcy).sub(&acy.mul(&bcx));
+    Orientation::from_ordering(det.sign())
+}
+
+/// Exact sign of the in-circle determinant: positive result means `d` lies
+/// strictly inside the circle through `a`, `b`, `c` (which must be in CCW
+/// order).
+///
+/// Returns `Ordering::Greater` for inside, `Less` for outside and `Equal`
+/// for cocircular.
+pub fn incircle(a: Point2, b: Point2, c: Point2, d: Point2) -> Ordering {
+    let adx = a.x - d.x;
+    let ady = a.y - d.y;
+    let bdx = b.x - d.x;
+    let bdy = b.y - d.y;
+    let cdx = c.x - d.x;
+    let cdy = c.y - d.y;
+
+    let alift = adx * adx + ady * ady;
+    let blift = bdx * bdx + bdy * bdy;
+    let clift = cdx * cdx + cdy * cdy;
+
+    let bdxcdy = bdx * cdy;
+    let cdxbdy = cdx * bdy;
+    let cdxady = cdx * ady;
+    let adxcdy = adx * cdy;
+    let adxbdy = adx * bdy;
+    let bdxady = bdx * ady;
+
+    let det =
+        alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) + clift * (adxbdy - bdxady);
+
+    let permanent = (bdxcdy.abs() + cdxbdy.abs()) * alift
+        + (cdxady.abs() + adxcdy.abs()) * blift
+        + (adxbdy.abs() + bdxady.abs()) * clift;
+    let errbound = ICC_ERRBOUND_A * permanent;
+    if det > errbound || -det > errbound {
+        return det.partial_cmp(&0.0).unwrap();
+    }
+
+    incircle_exact(a, b, c, d)
+}
+
+/// Exact sign of the 3-D orientation determinant: `Greater` when `d` lies
+/// below the plane through `a`, `b`, `c` oriented counter-clockwise seen
+/// from above (the standard "positive side" convention).
+pub fn orient3d(a: Point3, b: Point3, c: Point3, d: Point3) -> Ordering {
+    let adx = a.x - d.x;
+    let ady = a.y - d.y;
+    let adz = a.z - d.z;
+    let bdx = b.x - d.x;
+    let bdy = b.y - d.y;
+    let bdz = b.z - d.z;
+    let cdx = c.x - d.x;
+    let cdy = c.y - d.y;
+    let cdz = c.z - d.z;
+
+    let bdxcdy = bdx * cdy;
+    let cdxbdy = cdx * bdy;
+    let cdxady = cdx * ady;
+    let adxcdy = adx * cdy;
+    let adxbdy = adx * bdy;
+    let bdxady = bdx * ady;
+
+    let det = adz * (bdxcdy - cdxbdy) + bdz * (cdxady - adxcdy) + cdz * (adxbdy - bdxady);
+    let permanent = (bdxcdy.abs() + cdxbdy.abs()) * adz.abs()
+        + (cdxady.abs() + adxcdy.abs()) * bdz.abs()
+        + (adxbdy.abs() + bdxady.abs()) * cdz.abs();
+    const O3D_ERRBOUND_A: f64 = (7.0 + 56.0 * EPS) * EPS;
+    let errbound = O3D_ERRBOUND_A * permanent;
+    if det > errbound || -det > errbound {
+        return det.partial_cmp(&0.0).unwrap();
+    }
+    orient3d_exact(a, b, c, d)
+}
+
+fn orient3d_exact(a: Point3, b: Point3, c: Point3, d: Point3) -> Ordering {
+    let adx = Expansion::from_diff(a.x, d.x);
+    let ady = Expansion::from_diff(a.y, d.y);
+    let adz = Expansion::from_diff(a.z, d.z);
+    let bdx = Expansion::from_diff(b.x, d.x);
+    let bdy = Expansion::from_diff(b.y, d.y);
+    let bdz = Expansion::from_diff(b.z, d.z);
+    let cdx = Expansion::from_diff(c.x, d.x);
+    let cdy = Expansion::from_diff(c.y, d.y);
+    let cdz = Expansion::from_diff(c.z, d.z);
+
+    let bc = bdx.mul(&cdy).sub(&cdx.mul(&bdy));
+    let ca = cdx.mul(&ady).sub(&adx.mul(&cdy));
+    let ab = adx.mul(&bdy).sub(&bdx.mul(&ady));
+    let det = adz.mul(&bc).add(&bdz.mul(&ca)).add(&cdz.mul(&ab));
+    det.sign()
+}
+
+/// Fully exact in-circle predicate via expansion arithmetic.
+fn incircle_exact(a: Point2, b: Point2, c: Point2, d: Point2) -> Ordering {
+    let adx = Expansion::from_diff(a.x, d.x);
+    let ady = Expansion::from_diff(a.y, d.y);
+    let bdx = Expansion::from_diff(b.x, d.x);
+    let bdy = Expansion::from_diff(b.y, d.y);
+    let cdx = Expansion::from_diff(c.x, d.x);
+    let cdy = Expansion::from_diff(c.y, d.y);
+
+    let alift = adx.mul(&adx).add(&ady.mul(&ady));
+    let blift = bdx.mul(&bdx).add(&bdy.mul(&bdy));
+    let clift = cdx.mul(&cdx).add(&cdy.mul(&cdy));
+
+    let bc = bdx.mul(&cdy).sub(&cdx.mul(&bdy));
+    let ca = cdx.mul(&ady).sub(&adx.mul(&cdy));
+    let ab = adx.mul(&bdy).sub(&bdx.mul(&ady));
+
+    let det = alift.mul(&bc).add(&blift.mul(&ca)).add(&clift.mul(&ab));
+    det.sign()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn orientation_basic() {
+        assert_eq!(orient2d(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)), Orientation::Ccw);
+        assert_eq!(orient2d(p(0.0, 0.0), p(0.0, 1.0), p(1.0, 0.0)), Orientation::Cw);
+        assert_eq!(
+            orient2d(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn orientation_degenerate_near_collinear() {
+        // Classic adversarial case: points nearly collinear along y = x,
+        // differing in the last ulp. Plain f64 evaluation gets these wrong.
+        let a = p(0.5, 0.5);
+        let b = p(12.0, 12.0);
+        let base = p(24.0, 24.0);
+        let eps = f64::EPSILON;
+        let above = p(24.0, 24.0 * (1.0 + eps));
+        let below = p(24.0, 24.0 * (1.0 - eps));
+        assert_eq!(orient2d(a, b, base), Orientation::Collinear);
+        assert_eq!(orient2d(a, b, above), Orientation::Ccw);
+        assert_eq!(orient2d(a, b, below), Orientation::Cw);
+    }
+
+    #[test]
+    fn orientation_antisymmetry() {
+        let (a, b, c) = (p(0.1, 0.7), p(3.4, -2.2), p(5.5, 9.1));
+        assert_eq!(orient2d(a, b, c), orient2d(b, c, a));
+        assert_eq!(orient2d(a, b, c), orient2d(a, c, b).reversed());
+    }
+
+    #[test]
+    fn incircle_basic() {
+        // Unit circle through (1,0), (0,1), (-1,0); origin is inside.
+        let a = p(1.0, 0.0);
+        let b = p(0.0, 1.0);
+        let c = p(-1.0, 0.0);
+        assert_eq!(incircle(a, b, c, p(0.0, 0.0)), Ordering::Greater);
+        assert_eq!(incircle(a, b, c, p(2.0, 0.0)), Ordering::Less);
+        assert_eq!(incircle(a, b, c, p(0.0, -1.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn orient3d_basic() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(1.0, 0.0, 0.0);
+        let c = Point3::new(0.0, 1.0, 0.0);
+        // Plane z = 0, CCW from above: points below give Greater.
+        assert_eq!(orient3d(a, b, c, Point3::new(0.2, 0.2, -1.0)), Ordering::Greater);
+        assert_eq!(orient3d(a, b, c, Point3::new(0.2, 0.2, 1.0)), Ordering::Less);
+        assert_eq!(orient3d(a, b, c, Point3::new(5.0, 7.0, 0.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn orient3d_near_coplanar_is_exact() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(1.0, 0.0, 1.0);
+        let c = Point3::new(0.0, 1.0, 1.0);
+        // d on the plane x+y = z (dyadic coordinates, so exactly on it),
+        // perturbed by one ulp in z.
+        let on = Point3::new(0.25, 0.375, 0.625);
+        assert_eq!(orient3d(a, b, c, on), Ordering::Equal);
+        let below = Point3::new(0.25, 0.375, 0.625 - 1.2e-16);
+        let above = Point3::new(0.25, 0.375, 0.625 + 1.2e-16);
+        assert_eq!(orient3d(a, b, c, below), Ordering::Greater);
+        assert_eq!(orient3d(a, b, c, above), Ordering::Less);
+    }
+
+    #[test]
+    fn incircle_near_cocircular() {
+        let a = p(1.0, 0.0);
+        let b = p(0.0, 1.0);
+        let c = p(-1.0, 0.0);
+        let just_in = p(0.0, -1.0 + 1e-15);
+        let just_out = p(0.0, -1.0 - 1e-15);
+        assert_eq!(incircle(a, b, c, just_in), Ordering::Greater);
+        assert_eq!(incircle(a, b, c, just_out), Ordering::Less);
+    }
+}

@@ -1,0 +1,211 @@
+//! Image-plane line segments and the pairwise operations the envelope
+//! machinery needs: evaluation, above/below tests and crossing computation.
+
+use crate::point::Point2;
+use crate::predicates::{orient2d, Orientation};
+use serde::{Deserialize, Serialize};
+
+/// A closed line segment in the image plane, stored with `a.x <= b.x`.
+///
+/// Segments whose endpoints share an abscissa (`a.x == b.x`) are *vertical*;
+/// they arise from terrain edges parallel to the view direction and
+/// contribute only their upper endpoint to an upper envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Segment2 {
+    /// Left endpoint (smallest abscissa).
+    pub a: Point2,
+    /// Right endpoint (largest abscissa).
+    pub b: Point2,
+}
+
+impl Segment2 {
+    /// Creates a segment, normalising endpoint order so `a.x <= b.x`.
+    #[inline]
+    pub fn new(p: Point2, q: Point2) -> Self {
+        if p.x <= q.x {
+            Segment2 { a: p, b: q }
+        } else {
+            Segment2 { a: q, b: p }
+        }
+    }
+
+    /// True when both endpoints share an abscissa.
+    #[inline]
+    pub fn is_vertical(&self) -> bool {
+        self.a.x == self.b.x
+    }
+
+    /// Abscissa extent as `(min, max)`.
+    #[inline]
+    pub fn span(&self) -> (f64, f64) {
+        (self.a.x, self.b.x)
+    }
+
+    /// Slope `dy/dx`; `0` for vertical segments by convention (callers must
+    /// branch on [`Self::is_vertical`] first where it matters).
+    #[inline]
+    pub fn slope(&self) -> f64 {
+        if self.is_vertical() {
+            0.0
+        } else {
+            (self.b.y - self.a.y) / (self.b.x - self.a.x)
+        }
+    }
+
+    /// Value of the supporting line at abscissa `x`.
+    ///
+    /// For vertical segments returns the *upper* endpoint's ordinate, which
+    /// is the value relevant to upper envelopes.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.is_vertical() {
+            return self.a.y.max(self.b.y);
+        }
+        // Interpolation form chosen for stability at the endpoints.
+        if x == self.a.x {
+            return self.a.y;
+        }
+        if x == self.b.x {
+            return self.b.y;
+        }
+        let t = (x - self.a.x) / (self.b.x - self.a.x);
+        self.a.y + t * (self.b.y - self.a.y)
+    }
+
+    /// Exact test of a point against the supporting line:
+    /// `Ccw` means `p` lies strictly above the line directed `a -> b`
+    /// (for non-vertical segments with `a.x < b.x`).
+    #[inline]
+    pub fn side_of(&self, p: Point2) -> Orientation {
+        orient2d(self.a, self.b, p)
+    }
+
+    /// Abscissa at which the supporting lines of `self` and `other` cross,
+    /// or `None` when they are parallel (or either is vertical).
+    ///
+    /// The returned coordinate is a *constructed* value computed in `f64`.
+    pub fn line_cross_x(&self, other: &Segment2) -> Option<f64> {
+        if self.is_vertical() || other.is_vertical() {
+            return None;
+        }
+        let s1 = self.slope();
+        let s2 = other.slope();
+        let d = s1 - s2;
+        if d == 0.0 {
+            return None;
+        }
+        // y = y1 + s1 (x - x1) = y2 + s2 (x - x2)
+        let c1 = self.a.y - s1 * self.a.x;
+        let c2 = other.a.y - s2 * other.a.x;
+        let x = (c2 - c1) / d;
+        x.is_finite().then_some(x)
+    }
+
+    /// The point on the supporting line at abscissa `x`.
+    #[inline]
+    pub fn point_at(&self, x: f64) -> Point2 {
+        Point2::new(x, self.eval(x))
+    }
+
+    /// Length of the segment.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// True if the segment is degenerate (endpoints coincide).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// Proper intersection test: the two closed segments cross at a point
+    /// interior to both (exact, via orientation predicates). Shared
+    /// endpoints and collinear overlap return `false`.
+    pub fn properly_intersects(&self, other: &Segment2) -> bool {
+        let o1 = orient2d(self.a, self.b, other.a);
+        let o2 = orient2d(self.a, self.b, other.b);
+        let o3 = orient2d(other.a, other.b, self.a);
+        let o4 = orient2d(other.a, other.b, self.b);
+        o1 != Orientation::Collinear
+            && o3 != Orientation::Collinear
+            && o1 == o2.reversed()
+            && o3 == o4.reversed()
+    }
+
+    /// Intersection point of two properly crossing segments (constructed
+    /// in `f64`; call [`Self::properly_intersects`] first).
+    pub fn intersection_point(&self, other: &Segment2) -> Option<Point2> {
+        let d1 = self.b - self.a;
+        let d2 = other.b - other.a;
+        let denom = d1.cross(d2);
+        if denom == 0.0 {
+            return None;
+        }
+        let t = (other.a - self.a).cross(d2) / denom;
+        if !(0.0..=1.0).contains(&t) {
+            return None;
+        }
+        Some(self.a + d1 * t)
+    }
+
+    /// The axis-aligned bounding box of the segment.
+    #[inline]
+    pub fn aabb(&self) -> crate::aabb::Aabb {
+        crate::aabb::Aabb::from_corners(self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(x0: f64, y0: f64, x1: f64, y1: f64) -> Segment2 {
+        Segment2::new(Point2::new(x0, y0), Point2::new(x1, y1))
+    }
+
+    #[test]
+    fn normalises_order() {
+        let s = seg(2.0, 0.0, 1.0, 5.0);
+        assert_eq!(s.a.x, 1.0);
+        assert_eq!(s.b.x, 2.0);
+    }
+
+    #[test]
+    fn eval_endpoints_exact() {
+        let s = seg(1.0, 3.0, 4.0, 9.0);
+        assert_eq!(s.eval(1.0), 3.0);
+        assert_eq!(s.eval(4.0), 9.0);
+        assert_eq!(s.eval(2.5), 6.0);
+    }
+
+    #[test]
+    fn vertical_takes_upper_endpoint() {
+        let s = seg(1.0, 3.0, 1.0, 9.0);
+        assert!(s.is_vertical());
+        assert_eq!(s.eval(1.0), 9.0);
+    }
+
+    #[test]
+    fn crossing_of_two_lines() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0); // y = x
+        let s2 = seg(0.0, 2.0, 2.0, 0.0); // y = 2 - x
+        let x = s1.line_cross_x(&s2).unwrap();
+        assert!((x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_lines_do_not_cross() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0);
+        let s2 = seg(0.0, 1.0, 2.0, 3.0);
+        assert_eq!(s1.line_cross_x(&s2), None);
+    }
+
+    #[test]
+    fn side_of_tests() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        assert_eq!(s.side_of(Point2::new(1.0, 1.0)), Orientation::Ccw);
+        assert_eq!(s.side_of(Point2::new(1.0, -1.0)), Orientation::Cw);
+        assert_eq!(s.side_of(Point2::new(1.0, 0.0)), Orientation::Collinear);
+    }
+}

@@ -1,0 +1,72 @@
+//! Small numeric utilities shared across the workspace.
+
+use std::cmp::Ordering;
+
+/// A totally ordered `f64` wrapper (IEEE `total_cmp` order), usable as a
+/// `BTreeMap` key. Inputs are expected to be finite; NaN ordering follows
+/// `total_cmp` and never panics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TotalF64(pub f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for TotalF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        TotalF64(v)
+    }
+}
+
+impl std::hash::Hash for TotalF64 {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+/// Approximate equality with an absolute tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Approximate equality mixing absolute and relative tolerance, suitable for
+/// comparing constructed coordinates of differing magnitude.
+#[inline]
+pub fn approx_eq_rel(a: f64, b: f64, tol: f64) -> bool {
+    let scale = 1.0f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order() {
+        let mut v = vec![TotalF64(2.0), TotalF64(-1.0), TotalF64(0.5)];
+        v.sort();
+        assert_eq!(v, vec![TotalF64(-1.0), TotalF64(0.5), TotalF64(2.0)]);
+    }
+
+    #[test]
+    fn approx() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(approx_eq_rel(1e9, 1e9 + 1.0, 1e-8));
+    }
+}

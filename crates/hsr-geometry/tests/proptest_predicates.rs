@@ -1,0 +1,102 @@
+//! Property tests for the exact predicates and expansion arithmetic.
+
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+use hsr_geometry::expansion::Expansion;
+use hsr_geometry::{incircle, orient2d, Orientation, Point2};
+
+/// Doubles whose products/sums stay exactly representable in i128, so a
+/// plain integer computation is an exact reference.
+fn small_coord() -> impl Strategy<Value = f64> {
+    (-1_000_000i64..1_000_000).prop_map(|v| v as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn orient2d_matches_integer_reference(
+        ax in small_coord(), ay in small_coord(),
+        bx in small_coord(), by in small_coord(),
+        cx in small_coord(), cy in small_coord(),
+    ) {
+        let det: i128 = (ax as i128 - cx as i128) * (by as i128 - cy as i128)
+            - (ay as i128 - cy as i128) * (bx as i128 - cx as i128);
+        let expect = match det.cmp(&0) {
+            Ordering::Greater => Orientation::Ccw,
+            Ordering::Less => Orientation::Cw,
+            Ordering::Equal => Orientation::Collinear,
+        };
+        let got = orient2d(
+            Point2::new(ax, ay),
+            Point2::new(bx, by),
+            Point2::new(cx, cy),
+        );
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn incircle_antisymmetry_under_swap(
+        ax in small_coord(), ay in small_coord(),
+        bx in small_coord(), by in small_coord(),
+        cx in small_coord(), cy in small_coord(),
+        dx in small_coord(), dy in small_coord(),
+    ) {
+        let (a, b, c, d) = (
+            Point2::new(ax, ay),
+            Point2::new(bx, by),
+            Point2::new(cx, cy),
+            Point2::new(dx, dy),
+        );
+        // Swapping two points of the circle triple flips the sign.
+        let s1 = incircle(a, b, c, d);
+        let s2 = incircle(b, a, c, d);
+        prop_assert_eq!(s1, s2.reverse());
+    }
+
+    #[test]
+    fn expansion_sum_is_exact(
+        vals in prop::collection::vec(-1e12f64..1e12, 1..30),
+    ) {
+        // Summing in two different orders through expansions must agree
+        // exactly (both are the true real-number sum).
+        let forward = vals
+            .iter()
+            .fold(Expansion::zero(), |acc, &v| acc.add(&Expansion::from_f64(v)));
+        let backward = vals
+            .iter()
+            .rev()
+            .fold(Expansion::zero(), |acc, &v| acc.add(&Expansion::from_f64(v)));
+        let diff = forward.sub(&backward);
+        prop_assert_eq!(diff.sign(), Ordering::Equal);
+    }
+
+    #[test]
+    fn expansion_product_distributes(
+        a in -1e6f64..1e6,
+        b in -1e6f64..1e6,
+        c in -1e6f64..1e6,
+    ) {
+        // a·(b + c) == a·b + a·c exactly in expansion arithmetic.
+        let ea = Expansion::from_f64(a);
+        let left = ea.mul(&Expansion::from_f64(b).add(&Expansion::from_f64(c)));
+        let right = Expansion::from_product(a, b).add(&Expansion::from_product(a, c));
+        prop_assert_eq!(left.sub(&right).sign(), Ordering::Equal);
+    }
+
+    #[test]
+    fn orientation_translation_invariant_on_lattice(
+        ax in -1000i64..1000, ay in -1000i64..1000,
+        bx in -1000i64..1000, by in -1000i64..1000,
+        cx in -1000i64..1000, cy in -1000i64..1000,
+        tx in -1000i64..1000, ty in -1000i64..1000,
+    ) {
+        // On integer coordinates, translation is exact, so orientation must
+        // be invariant.
+        let p = |x: i64, y: i64| Point2::new(x as f64, y as f64);
+        let o1 = orient2d(p(ax, ay), p(bx, by), p(cx, cy));
+        let o2 = orient2d(p(ax + tx, ay + ty), p(bx + tx, by + ty), p(cx + tx, cy + ty));
+        prop_assert_eq!(o1, o2);
+    }
+}

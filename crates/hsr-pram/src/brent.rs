@@ -1,0 +1,95 @@
+//! Brent slow-down simulation (the paper's Lemmas 2.1 / 2.2).
+//!
+//! Lemma 2.1: an algorithm with `N` tasks over `λ` phases runs in
+//! `O(λ(t_{p,N} + t) + N·t/p)` on `p` processors. With work-stealing
+//! scheduling the allocation term `t_{p,N}` is a small constant per phase,
+//! so the usable prediction is `T_p ≈ c_w·W/p + c_d·D`: work divided by
+//! processors plus the critical path. [`BrentModel`] calibrates the two
+//! constants from measured runs and predicts scaling curves, which the
+//! speedup experiment (E3) compares against measurements.
+
+use serde::Serialize;
+
+/// A calibrated two-parameter Brent model `T_p = cw·W/p + cd·D`.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct BrentModel {
+    /// Seconds per unit of work.
+    pub cw: f64,
+    /// Seconds per unit of depth.
+    pub cd: f64,
+    /// Total work `W` of the measured computation.
+    pub work: u64,
+    /// Total depth `D` of the measured computation.
+    pub depth: u64,
+}
+
+impl BrentModel {
+    /// Calibrates from a single-thread measurement `t1` (seconds) and a
+    /// many-thread measurement `(p_hi, t_hi)`.
+    ///
+    /// Solves the 2×2 system `t1 = cw·W + cd·D`, `t_hi = cw·W/p_hi + cd·D`;
+    /// clamps `cd` at zero when the system is degenerate (perfect scaling).
+    pub fn calibrate(work: u64, depth: u64, t1: f64, p_hi: usize, t_hi: f64) -> Self {
+        let w = work.max(1) as f64;
+        let d = depth.max(1) as f64;
+        let p = p_hi.max(2) as f64;
+        // t1 - t_hi = cw * W * (1 - 1/p)
+        let cw = ((t1 - t_hi) / (w * (1.0 - 1.0 / p))).max(0.0);
+        let cd = ((t1 - cw * w) / d).max(0.0);
+        BrentModel { cw, cd, work, depth }
+    }
+
+    /// Predicted wall time on `p` processors.
+    pub fn predict(&self, p: usize) -> f64 {
+        let p = p.max(1) as f64;
+        self.cw * self.work as f64 / p + self.cd * self.depth as f64
+    }
+
+    /// Predicted speedup over one processor.
+    pub fn predicted_speedup(&self, p: usize) -> f64 {
+        self.predict(1) / self.predict(p)
+    }
+
+    /// The asymptotic speedup ceiling `T_1 / (cd·D)` implied by the critical
+    /// path (infinite for `cd = 0`).
+    pub fn speedup_ceiling(&self) -> f64 {
+        let serial = self.cd * self.depth as f64;
+        if serial <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.predict(1) / serial
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_inputs() {
+        // Synthetic machine: cw = 1e-8, cd = 1e-5, W = 1e8, D = 1e3.
+        let (w, d) = (100_000_000u64, 1_000u64);
+        let t = |p: f64| 1e-8 * w as f64 / p + 1e-5 * d as f64;
+        let m = BrentModel::calibrate(w, d, t(1.0), 8, t(8.0));
+        assert!((m.predict(1) - t(1.0)).abs() / t(1.0) < 1e-9);
+        assert!((m.predict(4) - t(4.0)).abs() / t(4.0) < 1e-9);
+        assert!((m.predict(16) - t(16.0)).abs() / t(16.0) < 1e-9);
+    }
+
+    #[test]
+    fn speedup_monotone_and_bounded() {
+        let m = BrentModel::calibrate(1_000_000, 100, 1.0, 8, 0.2);
+        let s2 = m.predicted_speedup(2);
+        let s8 = m.predicted_speedup(8);
+        assert!(s2 > 1.0 && s8 > s2);
+        assert!(m.predicted_speedup(1_000_000) <= m.speedup_ceiling() * 1.001);
+    }
+
+    #[test]
+    fn perfect_scaling_degenerate() {
+        // t1 == p * t_hi => cd clamps to ~0, ceiling infinite.
+        let m = BrentModel::calibrate(1_000, 10, 1.0, 4, 0.25);
+        assert!(m.speedup_ceiling() > 1e6);
+    }
+}

@@ -1,0 +1,89 @@
+//! Parallel compaction (stream filtering) via prefix sums — the classic
+//! PRAM pattern for turning a parallel predicate pass into a dense output
+//! array: flag, scan, scatter. `O(n)` work, `O(log n)` depth.
+
+use crate::cost::{add_work, Category, DepthScope};
+use crate::scan::exclusive_scan;
+use rayon::prelude::*;
+
+/// Sequential cutoff.
+const SEQ_CUTOFF: usize = 4096;
+
+/// Keeps the items satisfying `pred`, preserving order, with scan-based
+/// parallel placement.
+pub fn par_compact<T, F>(items: &[T], pred: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    let n = items.len();
+    add_work(Category::Primitive, n as u64);
+    let _d = DepthScope::logarithmic(Category::Primitive, n);
+    if n <= SEQ_CUTOFF {
+        return items.iter().filter(|x| pred(x)).cloned().collect();
+    }
+    // Flag pass.
+    let flags: Vec<u64> = items.par_iter().map(|x| u64::from(pred(x))).collect();
+    // Scan for destinations.
+    let (dests, total) = exclusive_scan(&flags, 0u64, |a, b| a + b);
+    // Scatter.
+    let mut out: Vec<Option<T>> = Vec::with_capacity(total as usize);
+    out.resize_with(total as usize, || None);
+    let slots: Vec<(usize, T)> = items
+        .par_iter()
+        .zip(flags.par_iter().zip(dests.par_iter()))
+        .filter_map(|(x, (&f, &d))| (f == 1).then(|| (d as usize, x.clone())))
+        .collect();
+    for (d, x) in slots {
+        out[d] = Some(x);
+    }
+    out.into_iter().map(|o| o.expect("scatter filled every slot")).collect()
+}
+
+/// Parallel map + compact in one pass: applies `f` and keeps the `Some`s.
+pub fn par_filter_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Option<U> + Send + Sync,
+{
+    add_work(Category::Primitive, items.len() as u64);
+    let _d = DepthScope::logarithmic(Category::Primitive, items.len());
+    items.par_iter().filter_map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_matches_filter() {
+        let v: Vec<u32> = (0..100).collect();
+        assert_eq!(
+            par_compact(&v, |x| x % 3 == 0),
+            v.iter().copied().filter(|x| x % 3 == 0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn large_preserves_order() {
+        let v: Vec<u64> = (0..50_000).map(|i| (i * 2_654_435_761) % 1000).collect();
+        let ours = par_compact(&v, |&x| x < 250);
+        let std: Vec<u64> = v.iter().copied().filter(|&x| x < 250).collect();
+        assert_eq!(ours, std);
+    }
+
+    #[test]
+    fn empty_and_all() {
+        let v: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        assert!(par_compact(&v, |_| false).is_empty());
+        assert_eq!(par_compact(&v, |_| true), v);
+    }
+
+    #[test]
+    fn filter_map_works() {
+        let v: Vec<i32> = (-10..10).collect();
+        let out = par_filter_map(&v, |&x| (x > 0).then_some(x * x));
+        assert_eq!(out, vec![1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Work and depth accounting.
+//!
+//! *Work* is counted in abstract "tasks" (the paper's unit in Lemma 2.1):
+//! algorithms call [`add_work`] with a category and a batch count at natural
+//! chunk boundaries; relaxed atomic adds keep the overhead negligible
+//! compared to per-operation counting.
+//!
+//! *Depth* is structural: each algorithm phase knows its dependent-round
+//! count (PCT layers, recursion depth of a divide-and-conquer, rounds of a
+//! topological peel) and records it through [`record_depth`] or the
+//! [`DepthScope`] guard. Sequential phases add; the maximum nesting within a
+//! phase is what the phase records.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Work/depth categories, roughly one per paper ingredient.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[repr(usize)]
+pub enum Category {
+    /// Front-to-back ordering (separator-tree substitute).
+    Order,
+    /// Phase-1 intermediate profile construction (Lemma 3.1).
+    EnvelopeBuild,
+    /// Phase-2 prefix profile merging.
+    EnvelopeMerge,
+    /// Persistent-treap node copies (the persistence cost).
+    TreapOps,
+    /// CG/ACG structure construction (Lemmas 3.3–3.5).
+    CgBuild,
+    /// Intersection queries (Lemmas 3.2, 3.6).
+    Query,
+    /// Crossings actually found (chargeable to the output size `k`).
+    Crossings,
+    /// Basic parallel routines (scan / merge / sort).
+    Primitive,
+    /// Everything else.
+    Other,
+}
+
+/// Number of categories (length of the counter arrays).
+pub const N_CATEGORIES: usize = 9;
+
+/// All categories in `repr` order.
+pub const ALL_CATEGORIES: [Category; N_CATEGORIES] = [
+    Category::Order,
+    Category::EnvelopeBuild,
+    Category::EnvelopeMerge,
+    Category::TreapOps,
+    Category::CgBuild,
+    Category::Query,
+    Category::Crossings,
+    Category::Primitive,
+    Category::Other,
+];
+
+#[allow(clippy::declare_interior_mutable_const)] // used purely as an array initializer
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static WORK: [AtomicU64; N_CATEGORIES] = [ZERO; N_CATEGORIES];
+static DEPTH: [AtomicU64; N_CATEGORIES] = [ZERO; N_CATEGORIES];
+
+/// Adds `n` units of work in `cat`.
+#[inline]
+pub fn add_work(cat: Category, n: u64) {
+    WORK[cat as usize].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records that a phase of category `cat` ran `d` dependent rounds;
+/// sequential phases of the same category accumulate.
+#[inline]
+pub fn record_depth(cat: Category, d: u64) {
+    DEPTH[cat as usize].fetch_add(d, Ordering::Relaxed);
+}
+
+/// Resets all counters (call at the start of a measured run).
+pub fn reset() {
+    for c in &WORK {
+        c.store(0, Ordering::Relaxed);
+    }
+    for c in &DEPTH {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of all counters.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct CostReport {
+    /// Work per category, `repr` order (see [`ALL_CATEGORIES`]).
+    pub work: Vec<u64>,
+    /// Accumulated structural depth per category.
+    pub depth: Vec<u64>,
+}
+
+impl CostReport {
+    /// Captures the current counter state.
+    pub fn snapshot() -> Self {
+        CostReport {
+            work: WORK.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            depth: DEPTH.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Work in one category.
+    pub fn work_of(&self, cat: Category) -> u64 {
+        self.work[cat as usize]
+    }
+
+    /// Depth of one category.
+    pub fn depth_of(&self, cat: Category) -> u64 {
+        self.depth[cat as usize]
+    }
+
+    /// Total work over all categories.
+    pub fn total_work(&self) -> u64 {
+        self.work.iter().sum()
+    }
+
+    /// Total depth (sum of per-category accumulated phase depths; phases of
+    /// different categories run sequentially in the pipeline).
+    pub fn total_depth(&self) -> u64 {
+        self.depth.iter().sum()
+    }
+
+    /// Counter-wise difference `self - earlier` (for bracketing a region).
+    pub fn since(&self, earlier: &CostReport) -> CostReport {
+        CostReport {
+            work: self
+                .work
+                .iter()
+                .zip(&earlier.work)
+                .map(|(a, b)| a - b)
+                .collect(),
+            depth: self
+                .depth
+                .iter()
+                .zip(&earlier.depth)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+/// RAII guard that records the depth of a phase as `ceil(log2(n)) + 1`
+/// rounds — the canonical depth of a balanced divide-and-conquer or a
+/// layer-by-layer pass over a balanced tree of `n` leaves.
+pub struct DepthScope {
+    cat: Category,
+    rounds: u64,
+}
+
+impl DepthScope {
+    /// Opens a scope for a phase over `n` items with logarithmic round
+    /// structure.
+    pub fn logarithmic(cat: Category, n: usize) -> Self {
+        let rounds = (usize::BITS - n.max(1).leading_zeros()) as u64;
+        DepthScope { cat, rounds }
+    }
+
+    /// Opens a scope for a phase with an explicit round count.
+    pub fn rounds(cat: Category, rounds: u64) -> Self {
+        DepthScope { cat, rounds }
+    }
+}
+
+impl Drop for DepthScope {
+    fn drop(&mut self) {
+        record_depth(self.cat, self.rounds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The counters are process-global; serialize the tests that reset them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn work_accumulates_and_resets() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        add_work(Category::Query, 10);
+        add_work(Category::Query, 5);
+        add_work(Category::Crossings, 2);
+        let r = CostReport::snapshot();
+        assert_eq!(r.work_of(Category::Query), 15);
+        assert_eq!(r.work_of(Category::Crossings), 2);
+        assert_eq!(r.total_work(), 17);
+        reset();
+        assert_eq!(CostReport::snapshot().total_work(), 0);
+    }
+
+    #[test]
+    fn depth_scope_logs() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        {
+            let _s = DepthScope::logarithmic(Category::EnvelopeBuild, 1024);
+        }
+        let r = CostReport::snapshot();
+        assert_eq!(r.depth_of(Category::EnvelopeBuild), 11); // ceil(log2(1024)) + 1
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        add_work(Category::Order, 7);
+        let a = CostReport::snapshot();
+        add_work(Category::Order, 3);
+        let b = CostReport::snapshot();
+        assert_eq!(b.since(&a).work_of(Category::Order), 3);
+    }
+}

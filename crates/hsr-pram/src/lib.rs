@@ -1,0 +1,34 @@
+//! CREW-PRAM substitute: cost accounting, Brent slow-down simulation and
+//! instrumented parallel primitives.
+//!
+//! The paper states its results in the CREW PRAM model and relies on the
+//! Brent slow-down lemma (its Lemmas 2.1 and 2.2) to trade processors for
+//! time. Real hardware is a fixed small set of cores behind a work-stealing
+//! scheduler, so this crate reproduces the *model*:
+//!
+//! * [`cost`] — global work counters (per category) and structural depth
+//!   meters that algorithms update as they run. Work corresponds to the
+//!   PRAM "total number of tasks"; depth to the number of dependent phases.
+//! * [`brent`] — given `(W, D)` measured by [`cost`], predicts `T_p ≈
+//!   c·(W/p + D)` and compares against measured wall-clock scaling.
+//! * [`scan`] / [`merge`] / [`sort`] — the "basic parallel routines" of the
+//!   paper's §3: parallel prefix (Ladner–Fischer), parallel merge by rank
+//!   splitting, and parallel merge sort, all instrumented.
+//! * [`pool`] — helpers to run a closure on a dedicated rayon pool with an
+//!   exact thread count (used by the speedup experiments).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brent;
+pub mod compact;
+pub mod cost;
+pub mod merge;
+pub mod pool;
+pub mod ranking;
+pub mod scan;
+pub mod sort;
+
+pub use brent::BrentModel;
+pub use cost::{Category, CostReport, DepthScope};
+pub use pool::with_threads;

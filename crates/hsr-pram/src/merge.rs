@@ -1,0 +1,152 @@
+//! Parallel merge of two sorted sequences by merge-path rank splitting
+//! (the Shiloach–Vishkin-flavoured routine the paper cites as [23]).
+//!
+//! `O(n + m)` work, `O(log(n + m))` splitting depth: find the pair of ranks
+//! `(i, j)` with `i + j = (n + m) / 2` such that the first half of the
+//! stable merge is exactly `a[..i] ++ b[..j]` (double binary search), then
+//! recurse on the two halves in parallel. Equal keys keep `a` items first.
+
+use crate::cost::{add_work, Category, DepthScope};
+
+/// Sequential cutoff below which a plain two-finger merge is used.
+const SEQ_CUTOFF: usize = 4096;
+
+/// Merges two sorted slices by `key` into a single sorted vector.
+/// Stable: for equal keys, items of `a` precede items of `b`.
+pub fn par_merge_by<T, K, F>(a: &[T], b: &[T], key: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Send + Sync + Copy,
+{
+    let _depth = DepthScope::logarithmic(Category::Primitive, a.len() + b.len());
+    add_work(Category::Primitive, (a.len() + b.len()) as u64);
+    let mut out = vec_with_len(a.len() + b.len());
+    merge_into(a, b, &mut out, key);
+    out.into_iter().map(|o| o.expect("filled")).collect()
+}
+
+/// Merges two sorted slices of `Ord` items (stable, `a` first on ties).
+pub fn par_merge<T: Clone + Send + Sync + Ord>(a: &[T], b: &[T]) -> Vec<T> {
+    par_merge_by(a, b, |x| x.clone())
+}
+
+fn vec_with_len<T>(n: usize) -> Vec<Option<T>> {
+    let mut v = Vec::with_capacity(n);
+    v.resize_with(n, || None);
+    v
+}
+
+fn merge_into<T, K, F>(a: &[T], b: &[T], out: &mut [Option<T>], key: F)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Send + Sync + Copy,
+{
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    let total = a.len() + b.len();
+    if total <= SEQ_CUTOFF {
+        let (mut i, mut j) = (0, 0);
+        for slot in out.iter_mut() {
+            let take_a = match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => key(x) <= key(y),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("output longer than inputs"),
+            };
+            if take_a {
+                *slot = Some(a[i].clone());
+                i += 1;
+            } else {
+                *slot = Some(b[j].clone());
+                j += 1;
+            }
+        }
+        return;
+    }
+
+    // Merge-path split: find (i, j), i + j = k, with the first k items of
+    // the stable merge equal to a[..i] ++ b[..j]:
+    //   (1) i == 0 || j == b.len() || key(a[i-1]) <= key(b[j])
+    //   (2) j == 0 || i == a.len() || key(b[j-1]) <  key(a[i])
+    let k = total / 2;
+    let mut lo = k.saturating_sub(b.len());
+    let mut hi = k.min(a.len());
+    let i = loop {
+        let i = lo + (hi - lo) / 2;
+        let j = k - i;
+        if i < a.len() && j > 0 && key(&b[j - 1]) >= key(&a[i]) {
+            lo = i + 1; // (2) violated: need more items from a
+        } else if i > 0 && j < b.len() && key(&a[i - 1]) > key(&b[j]) {
+            hi = i - 1; // (1) violated: need fewer items from a
+        } else {
+            break i;
+        }
+    };
+    let j = k - i;
+
+    let (a_lo, a_hi) = a.split_at(i);
+    let (b_lo, b_hi) = b.split_at(j);
+    let (out_lo, out_hi) = out.split_at_mut(k);
+    rayon::join(
+        || merge_into(a_lo, b_lo, out_lo, key),
+        || merge_into(a_hi, b_hi, out_hi, key),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_merge() {
+        assert_eq!(par_merge(&[1, 3, 5], &[2, 4, 6]), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(par_merge::<i32>(&[], &[]), Vec::<i32>::new());
+        assert_eq!(par_merge(&[1], &[]), vec![1]);
+    }
+
+    #[test]
+    fn large_merge_matches_sort() {
+        let mut a: Vec<u64> = (0..60_000).map(|i| (i * 2_654_435_761) % 1_000_003).collect();
+        let mut b: Vec<u64> = (0..80_000).map(|i| (i * 40_503 + 7) % 1_000_003).collect();
+        a.sort();
+        b.sort();
+        let merged = par_merge(&a, &b);
+        let mut expect = [a, b].concat();
+        expect.sort();
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn stability_equal_keys() {
+        let a: Vec<(u32, char)> = vec![(1, 'a'), (2, 'a'), (2, 'a'), (3, 'a')];
+        let b: Vec<(u32, char)> = vec![(2, 'b'), (3, 'b')];
+        let m = par_merge_by(&a, &b, |x| x.0);
+        assert_eq!(
+            m,
+            vec![(1, 'a'), (2, 'a'), (2, 'a'), (2, 'b'), (3, 'a'), (3, 'b')]
+        );
+    }
+
+    #[test]
+    fn stability_equal_keys_forced_parallel() {
+        // All-equal keys stress the split logic; the merge must still place
+        // every a-item before every b-item.
+        let a: Vec<(u32, u32)> = (0..6_000).map(|i| (7, i)).collect();
+        let b: Vec<(u32, u32)> = (0..6_000).map(|i| (7, 100_000 + i)).collect();
+        let m = par_merge_by(&a, &b, |x| x.0);
+        assert_eq!(m.len(), 12_000);
+        assert!(m[..6_000].iter().all(|x| x.1 < 100_000));
+        assert!(m[6_000..].iter().all(|x| x.1 >= 100_000));
+        assert!(m[..6_000].windows(2).all(|w| w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn forced_parallel_path() {
+        let a: Vec<u64> = (0..10_000).map(|i| i * 2).collect();
+        let b: Vec<u64> = (0..10_000).map(|i| i * 2 + 1).collect();
+        let m = par_merge(&a, &b);
+        assert_eq!(m.len(), 20_000);
+        assert!(m.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,51 @@
+//! Thread-pool helpers for controlled-parallelism experiments.
+
+use rayon::ThreadPoolBuilder;
+
+/// Runs `f` on a dedicated rayon pool with exactly `threads` worker
+/// threads. All rayon parallelism inside `f` (parallel iterators, `join`,
+/// `scope`) is confined to that pool.
+///
+/// This is how the speedup experiments sweep `p` without restarting the
+/// process.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build thread pool");
+    pool.install(f)
+}
+
+/// Number of logical CPUs rayon would use by default.
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_confines_parallelism() {
+        let n = with_threads(2, || {
+            (0..1000u64).into_par_iter().map(|i| i * i).sum::<u64>()
+        });
+        assert_eq!(n, (0..1000u64).map(|i| i * i).sum::<u64>());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let v = with_threads(1, || {
+            let mut v: Vec<u32> = (0..64).rev().collect();
+            v.par_sort();
+            v
+        });
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn max_threads_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

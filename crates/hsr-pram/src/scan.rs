@@ -1,0 +1,138 @@
+//! Parallel prefix computation (Ladner–Fischer / blocked two-pass).
+//!
+//! The paper's phase 2 is "an approach similar to the systolic
+//! implementation of parallel prefix computation [9]" (Ladner & Fischer).
+//! This module supplies the routine itself, instrumented for work/depth:
+//! an upsweep computing block sums, a scan over block sums, and a downsweep
+//! applying block offsets — `O(n)` work, `O(log n)` depth.
+
+use crate::cost::{add_work, Category, DepthScope};
+use rayon::prelude::*;
+
+/// Minimum block size before falling back to a sequential scan; keeps the
+/// constant factors sane on small inputs.
+const SEQ_CUTOFF: usize = 4096;
+
+/// Exclusive prefix scan under an associative `combine` with `identity`.
+///
+/// Returns a vector `out` with `out[i] = combine(identity, a[0], …,
+/// a[i-1])` and the total reduction as the second tuple element.
+pub fn exclusive_scan<T, F>(a: &[T], identity: T, combine: F) -> (Vec<T>, T)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    let n = a.len();
+    add_work(Category::Primitive, n as u64);
+    let _depth = DepthScope::logarithmic(Category::Primitive, n);
+    if n == 0 {
+        return (Vec::new(), identity);
+    }
+    if n <= SEQ_CUTOFF {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = identity;
+        for x in a {
+            out.push(acc.clone());
+            acc = combine(&acc, x);
+        }
+        return (out, acc);
+    }
+
+    let nblocks = rayon::current_num_threads().max(2) * 4;
+    let block = n.div_ceil(nblocks);
+
+    // Upsweep: per-block reductions.
+    let block_sums: Vec<T> = a
+        .par_chunks(block)
+        .map(|c| {
+            let mut acc = c[0].clone();
+            for x in &c[1..] {
+                acc = combine(&acc, x);
+            }
+            acc
+        })
+        .collect();
+
+    // Scan of the (small) block-sum vector.
+    let mut block_offsets = Vec::with_capacity(block_sums.len());
+    let mut acc = identity.clone();
+    for s in &block_sums {
+        block_offsets.push(acc.clone());
+        acc = combine(&acc, s);
+    }
+    let total = acc;
+
+    // Downsweep: local scans seeded with block offsets.
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let blocks: Vec<Vec<T>> = a
+        .par_chunks(block)
+        .zip(block_offsets.par_iter())
+        .map(|(c, off)| {
+            let mut local = Vec::with_capacity(c.len());
+            let mut acc = off.clone();
+            for x in c {
+                local.push(acc.clone());
+                acc = combine(&acc, x);
+            }
+            local
+        })
+        .collect();
+    for b in blocks {
+        out.extend(b);
+    }
+    (out, total)
+}
+
+/// Inclusive prefix sums of `u64` values (convenience wrapper).
+pub fn inclusive_sum(a: &[u64]) -> Vec<u64> {
+    let (mut ex, _) = exclusive_scan(a, 0u64, |x, y| x + y);
+    for (e, v) in ex.iter_mut().zip(a) {
+        *e += *v;
+    }
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_matches_sequential() {
+        let a: Vec<u64> = (1..=10).collect();
+        let (scan, total) = exclusive_scan(&a, 0, |x, y| x + y);
+        assert_eq!(scan, vec![0, 1, 3, 6, 10, 15, 21, 28, 36, 45]);
+        assert_eq!(total, 55);
+    }
+
+    #[test]
+    fn large_matches_sequential() {
+        let a: Vec<u64> = (0..100_000).map(|i| (i * 7 + 3) % 101).collect();
+        let (scan, total) = exclusive_scan(&a, 0, |x, y| x + y);
+        let mut acc = 0u64;
+        for (i, x) in a.iter().enumerate() {
+            assert_eq!(scan[i], acc, "mismatch at {i}");
+            acc += x;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn inclusive_wrapper() {
+        assert_eq!(inclusive_sum(&[1, 2, 3]), vec![1, 3, 6]);
+        assert_eq!(inclusive_sum(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn non_commutative_monoid() {
+        // String concatenation is associative but not commutative; a correct
+        // parallel scan must preserve order.
+        let a: Vec<String> = (0..10_000).map(|i| format!("{},", i % 10)).collect();
+        let (scan, total) = exclusive_scan(&a, String::new(), |x, y| format!("{x}{y}"));
+        let mut acc = String::new();
+        for (i, x) in a.iter().enumerate() {
+            assert_eq!(&scan[i], &acc, "mismatch at {i}");
+            acc.push_str(x);
+        }
+        assert_eq!(total, acc);
+    }
+}

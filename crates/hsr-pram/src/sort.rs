@@ -1,0 +1,72 @@
+//! Parallel merge sort built on the instrumented [`crate::merge`] routine.
+//!
+//! `O(n log n)` work, `O(log² n)` depth — the classical PRAM merge sort the
+//! paper's separator-tree step presupposes. Stability follows from the
+//! stable parallel merge.
+
+use crate::cost::{add_work, Category, DepthScope};
+use crate::merge::par_merge_by;
+
+/// Sequential cutoff (std's sort is used below it).
+const SEQ_CUTOFF: usize = 8192;
+
+/// Sorts a vector by `key`, stably, in parallel.
+pub fn par_sort_by_key<T, K, F>(items: Vec<T>, key: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Send + Sync + Copy,
+{
+    let n = items.len();
+    let _depth = DepthScope::logarithmic(Category::Primitive, n);
+    add_work(Category::Primitive, (n.max(1) as u64).ilog2() as u64 * n as u64);
+    sort_rec(items, key)
+}
+
+fn sort_rec<T, K, F>(mut items: Vec<T>, key: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Send + Sync + Copy,
+{
+    if items.len() <= SEQ_CUTOFF {
+        items.sort_by_key(|a| key(a));
+        return items;
+    }
+    let right = items.split_off(items.len() / 2);
+    let (l, r) = rayon::join(|| sort_rec(items, key), || sort_rec(right, key));
+    par_merge_by(&l, &r, key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_small() {
+        let v = par_sort_by_key(vec![3, 1, 2], |&x| x);
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(par_sort_by_key(Vec::<u8>::new(), |&x| x), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn sorts_large_matches_std() {
+        let v: Vec<u64> = (0..100_000).map(|i| (i * 2_654_435_761) % 65_536).collect();
+        let ours = par_sort_by_key(v.clone(), |&x| x);
+        let mut expect = v;
+        expect.sort();
+        assert_eq!(ours, expect);
+    }
+
+    #[test]
+    fn stable_on_equal_keys() {
+        // (key, original index): equal keys must keep index order.
+        let v: Vec<(u8, u32)> = (0..50_000u32).map(|i| ((i % 7) as u8, i)).collect();
+        let sorted = par_sort_by_key(v, |x| x.0);
+        for w in sorted.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "instability at {:?}", w);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the PRAM primitives: every parallel routine must be
+//! extensionally equal to its obvious sequential counterpart.
+
+use proptest::prelude::*;
+
+use hsr_pram::compact::par_compact;
+use hsr_pram::merge::{par_merge, par_merge_by};
+use hsr_pram::ranking::{list_rank, NIL};
+use hsr_pram::scan::exclusive_scan;
+use hsr_pram::sort::par_sort_by_key;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_equals_sequential(v in prop::collection::vec(0u64..1000, 0..2000)) {
+        let (scan, total) = exclusive_scan(&v, 0u64, |a, b| a + b);
+        let mut acc = 0u64;
+        for (i, x) in v.iter().enumerate() {
+            prop_assert_eq!(scan[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn merge_equals_sorted_concat(
+        mut a in prop::collection::vec(any::<u32>(), 0..500),
+        mut b in prop::collection::vec(any::<u32>(), 0..500),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let merged = par_merge(&a, &b);
+        let mut expect = [a, b].concat();
+        expect.sort_unstable();
+        prop_assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn merge_stability(
+        a in prop::collection::vec(0u8..8, 0..200),
+        b in prop::collection::vec(0u8..8, 0..200),
+    ) {
+        // Tag items with their source and position; equal keys must keep
+        // a-before-b and stable within each side.
+        let mut ta: Vec<(u8, usize)> = a.iter().map(|&k| (k, 0usize)).collect();
+        let mut tb: Vec<(u8, usize)> = b.iter().map(|&k| (k, 1usize)).collect();
+        ta.sort_by_key(|x| x.0);
+        tb.sort_by_key(|x| x.0);
+        let merged = par_merge_by(&ta, &tb, |x| x.0);
+        for w in merged.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 <= w[1].1, "b item before equal a item");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_equals_std(v in prop::collection::vec(any::<i64>(), 0..3000)) {
+        let ours = par_sort_by_key(v.clone(), |&x| x);
+        let mut expect = v;
+        expect.sort();
+        prop_assert_eq!(ours, expect);
+    }
+
+    #[test]
+    fn compact_equals_filter(v in prop::collection::vec(any::<u32>(), 0..3000)) {
+        let ours = par_compact(&v, |&x| x % 7 < 3);
+        let expect: Vec<u32> = v.iter().copied().filter(|&x| x % 7 < 3).collect();
+        prop_assert_eq!(ours, expect);
+    }
+
+    #[test]
+    fn list_rank_equals_walk(perm_seed in any::<u64>(), n in 1usize..300) {
+        // Build a random permutation chain via an LCG shuffle.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = perm_seed | 1;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut succ = vec![NIL; n];
+        for w in order.windows(2) {
+            succ[w[0]] = w[1] as u32;
+        }
+        let rank = list_rank(&succ).unwrap();
+        for (pos, &node) in order.iter().enumerate() {
+            prop_assert_eq!(rank[node] as usize, n - 1 - pos);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Persistent (fully functional, path-copying) data structures.
+//!
+//! The paper's phase 2 keeps *one* visibility structure per PCT layer and
+//! lets the many prefix profiles of a layer share their common visible
+//! portions "along the lines of a persistent binary tree structure
+//! (Driscoll et al.)". This crate supplies that substrate:
+//!
+//! * [`ptreap::PTreap`] — a persistent treap with deterministic priorities
+//!   (canonical shape for a given key set), O(log n) expected
+//!   insert/remove/split/join by path copying, and user-defined **subtree
+//!   aggregates** used by the pruned envelope merge in `hsr-core`.
+//! * [`stats`] — version-sharing statistics: how many distinct nodes back a
+//!   set of versions vs. the sum of their logical sizes (the quantity
+//!   Figure 3 of the paper illustrates).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ptreap;
+pub mod stats;
+
+pub use ptreap::{Aggregate, CountAgg, NoAgg, NodeHandle, PTreap};
+pub use stats::SharingStats;

@@ -1,0 +1,638 @@
+//! A persistent treap with deterministic priorities and subtree aggregates.
+//!
+//! Every operation is non-destructive: it returns a new version that shares
+//! all untouched subtrees with the old one (path copying). Priorities are
+//! derived from a deterministic hash of the key, so a given key *set* always
+//! produces the same canonical tree shape regardless of insertion order —
+//! which makes structure-sharing statistics and golden tests reproducible
+//! across runs.
+//!
+//! Subtree aggregates (the [`Aggregate`] trait) are recomputed only along
+//! copied paths; they are what allows `hsr-core`'s envelope merge to prune
+//! entire shared subtrees in `O(1)` (e.g. "every piece in this subtree lies
+//! above the new segment").
+
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A user-defined subtree summary maintained at every treap node.
+pub trait Aggregate<K, V>: Clone + Send + Sync {
+    /// Summary of a single `(key, value)` item.
+    fn of_item(key: &K, value: &V) -> Self;
+    /// Combine the item's own summary with the children's summaries
+    /// (in-order: `left`, item, `right`).
+    fn combine(item: Self, left: Option<&Self>, right: Option<&Self>) -> Self;
+}
+
+/// The trivial aggregate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoAgg;
+
+impl<K, V> Aggregate<K, V> for NoAgg {
+    #[inline]
+    fn of_item(_: &K, _: &V) -> Self {
+        NoAgg
+    }
+    #[inline]
+    fn combine(_: Self, _: Option<&Self>, _: Option<&Self>) -> Self {
+        NoAgg
+    }
+}
+
+/// Subtree element count (node sizes are also tracked natively; this exists
+/// for tests of the aggregate plumbing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountAgg(pub usize);
+
+impl<K, V> Aggregate<K, V> for CountAgg {
+    #[inline]
+    fn of_item(_: &K, _: &V) -> Self {
+        CountAgg(1)
+    }
+    #[inline]
+    fn combine(item: Self, left: Option<&Self>, right: Option<&Self>) -> Self {
+        CountAgg(item.0 + left.map_or(0, |a| a.0) + right.map_or(0, |a| a.0))
+    }
+}
+
+struct Node<K, V, A> {
+    key: K,
+    value: V,
+    prio: u64,
+    size: usize,
+    agg: A,
+    left: Link<K, V, A>,
+    right: Link<K, V, A>,
+}
+
+type Link<K, V, A> = Option<Arc<Node<K, V, A>>>;
+
+/// Deterministic FNV-1a based priority with a splitmix64 finaliser.
+fn det_prio<K: Hash>(key: &K) -> u64 {
+    struct Fnv1a(u64);
+    impl Hasher for Fnv1a {
+        #[inline]
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        #[inline]
+        fn finish(&self) -> u64 {
+            self.0
+        }
+    }
+    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+    key.hash(&mut h);
+    // splitmix64 finaliser: decorrelates nearby keys.
+    let mut z = h.finish().wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A persistent ordered map backed by a treap.
+///
+/// Cloning a `PTreap` is `O(1)` (an `Arc` clone); all mutating operations
+/// return new versions.
+///
+/// ```
+/// use hsr_pstruct::{PTreap, CountAgg};
+///
+/// let v1: PTreap<u32, &str, CountAgg> = PTreap::new().insert(2, "b").insert(1, "a");
+/// let v2 = v1.insert(3, "c");
+/// // v1 is untouched — persistence.
+/// assert_eq!(v1.len(), 2);
+/// assert_eq!(v2.len(), 3);
+/// assert_eq!(v2.floor(&9), Some((&3, &"c")));
+/// // Subtree aggregates ride along.
+/// assert_eq!(v2.agg().unwrap().0, 3);
+/// ```
+pub struct PTreap<K, V, A = NoAgg> {
+    root: Link<K, V, A>,
+}
+
+impl<K, V, A> Clone for PTreap<K, V, A> {
+    #[inline]
+    fn clone(&self) -> Self {
+        PTreap {
+            root: self.root.clone(),
+        }
+    }
+}
+
+impl<K, V, A> Default for PTreap<K, V, A> {
+    #[inline]
+    fn default() -> Self {
+        PTreap { root: None }
+    }
+}
+
+/// An owned handle onto a treap node, exposing the structure for custom
+/// recursions (used by the envelope merge in `hsr-core`).
+pub struct NodeHandle<K, V, A>(Arc<Node<K, V, A>>);
+
+impl<K, V, A> Clone for NodeHandle<K, V, A> {
+    #[inline]
+    fn clone(&self) -> Self {
+        NodeHandle(Arc::clone(&self.0))
+    }
+}
+
+impl<K, V, A> NodeHandle<K, V, A> {
+    /// The node's key.
+    #[inline]
+    pub fn key(&self) -> &K {
+        &self.0.key
+    }
+    /// The node's value.
+    #[inline]
+    pub fn value(&self) -> &V {
+        &self.0.value
+    }
+    /// The node's subtree aggregate.
+    #[inline]
+    pub fn agg(&self) -> &A {
+        &self.0.agg
+    }
+    /// Size of the subtree rooted here.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.0.size
+    }
+    /// Left subtree as a treap (O(1)).
+    #[inline]
+    pub fn left(&self) -> PTreap<K, V, A> {
+        PTreap {
+            root: self.0.left.clone(),
+        }
+    }
+    /// Right subtree as a treap (O(1)).
+    #[inline]
+    pub fn right(&self) -> PTreap<K, V, A> {
+        PTreap {
+            root: self.0.right.clone(),
+        }
+    }
+    /// Stable address of the backing allocation; equal addresses imply the
+    /// identical shared subtree. Used by sharing statistics.
+    #[inline]
+    pub fn ptr_id(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+}
+
+impl<K, V, A> PTreap<K, V, A>
+where
+    K: Clone + Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    A: Aggregate<K, V>,
+{
+    /// The empty map.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single-entry map.
+    pub fn singleton(key: K, value: V) -> Self {
+        PTreap {
+            root: Some(mk_node(key, value, None, None)),
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.root.as_ref().map_or(0, |n| n.size)
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// The root node handle, if any.
+    #[inline]
+    pub fn root(&self) -> Option<NodeHandle<K, V, A>> {
+        self.root.as_ref().map(|n| NodeHandle(Arc::clone(n)))
+    }
+
+    /// The whole-tree aggregate, if non-empty.
+    #[inline]
+    pub fn agg(&self) -> Option<&A> {
+        self.root.as_ref().map(|n| &n.agg)
+    }
+
+    /// Builds a treap from strictly increasing `(key, value)` pairs in
+    /// `O(n)` using the right-spine construction.
+    pub fn from_sorted(items: Vec<(K, V)>) -> Self {
+        struct B<K, V> {
+            k: K,
+            v: V,
+            prio: u64,
+            left: Option<usize>,
+            right: Option<usize>,
+        }
+        if items.is_empty() {
+            return Self::new();
+        }
+        debug_assert!(items.windows(2).all(|w| w[0].0 < w[1].0), "keys must be strictly increasing");
+        let mut nodes: Vec<B<K, V>> = items
+            .into_iter()
+            .map(|(k, v)| {
+                let prio = det_prio(&k);
+                B { k, v, prio, left: None, right: None }
+            })
+            .collect();
+        let mut spine: Vec<usize> = Vec::new();
+        for i in 0..nodes.len() {
+            let mut last_popped = None;
+            while let Some(&top) = spine.last() {
+                if nodes[top].prio < nodes[i].prio {
+                    last_popped = spine.pop();
+                } else {
+                    break;
+                }
+            }
+            nodes[i].left = last_popped;
+            if let Some(&parent) = spine.last() {
+                nodes[parent].right = Some(i);
+            }
+            spine.push(i);
+        }
+        let root_idx = spine[0];
+
+        // Freeze into Arc nodes bottom-up with an explicit stack (avoids
+        // deep recursion on adversarial priority sequences).
+        fn freeze<K, V, A>(nodes: &mut [Option<FrozenSlot<K, V>>], idx: usize) -> Arc<Node<K, V, A>>
+        where
+            K: Clone + Ord + Hash + Send + Sync,
+            V: Clone + Send + Sync,
+            A: Aggregate<K, V>,
+        {
+            enum Phase {
+                Descend(usize),
+                Build(usize),
+            }
+            let mut stack = vec![Phase::Descend(idx)];
+            let mut built: std::collections::HashMap<usize, Arc<Node<K, V, A>>> =
+                std::collections::HashMap::new();
+            while let Some(phase) = stack.pop() {
+                match phase {
+                    Phase::Descend(i) => {
+                        let slot = nodes[i].as_ref().expect("slot present");
+                        let (l, r) = (slot.left, slot.right);
+                        stack.push(Phase::Build(i));
+                        if let Some(l) = l {
+                            stack.push(Phase::Descend(l));
+                        }
+                        if let Some(r) = r {
+                            stack.push(Phase::Descend(r));
+                        }
+                    }
+                    Phase::Build(i) => {
+                        let slot = nodes[i].take().expect("slot present");
+                        let left = slot.left.map(|l| built.remove(&l).expect("left built"));
+                        let right = slot.right.map(|r| built.remove(&r).expect("right built"));
+                        built.insert(i, mk_node_prio(slot.k, slot.v, slot.prio, left, right));
+                    }
+                }
+            }
+            built.remove(&idx).expect("root built")
+        }
+        struct FrozenSlot<K, V> {
+            k: K,
+            v: V,
+            prio: u64,
+            left: Option<usize>,
+            right: Option<usize>,
+        }
+        let mut slots: Vec<Option<FrozenSlot<K, V>>> = nodes
+            .drain(..)
+            .map(|b| {
+                Some(FrozenSlot { k: b.k, v: b.v, prio: b.prio, left: b.left, right: b.right })
+            })
+            .collect();
+        PTreap {
+            root: Some(freeze::<K, V, A>(&mut slots, root_idx)),
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                Ordering::Less => cur = &n.left,
+                Ordering::Greater => cur = &n.right,
+                Ordering::Equal => return Some(&n.value),
+            }
+        }
+        None
+    }
+
+    /// Largest entry with key `<= key`.
+    pub fn floor(&self, key: &K) -> Option<(&K, &V)> {
+        let mut cur = &self.root;
+        let mut best = None;
+        while let Some(n) = cur {
+            if n.key <= *key {
+                best = Some(n);
+                cur = &n.right;
+            } else {
+                cur = &n.left;
+            }
+        }
+        best.map(|n| (&n.key, &n.value))
+    }
+
+    /// Smallest entry with key `>= key`.
+    pub fn ceiling(&self, key: &K) -> Option<(&K, &V)> {
+        let mut cur = &self.root;
+        let mut best = None;
+        while let Some(n) = cur {
+            if n.key >= *key {
+                best = Some(n);
+                cur = &n.left;
+            } else {
+                cur = &n.right;
+            }
+        }
+        best.map(|n| (&n.key, &n.value))
+    }
+
+    /// First (smallest-key) entry.
+    pub fn first(&self) -> Option<(&K, &V)> {
+        let mut cur = self.root.as_ref()?;
+        while let Some(l) = cur.left.as_ref() {
+            cur = l;
+        }
+        Some((&cur.key, &cur.value))
+    }
+
+    /// Last (largest-key) entry.
+    pub fn last(&self) -> Option<(&K, &V)> {
+        let mut cur = self.root.as_ref()?;
+        while let Some(r) = cur.right.as_ref() {
+            cur = r;
+        }
+        Some((&cur.key, &cur.value))
+    }
+
+    /// Returns a version with `key` mapped to `value` (replacing any
+    /// previous mapping).
+    pub fn insert(&self, key: K, value: V) -> Self {
+        let (lt, geq) = split(&self.root, &key, false);
+        let (_eq, gt) = split(&geq, &key, true);
+        let mid = Some(mk_node(key, value, None, None));
+        PTreap {
+            root: join(&join(&lt, &mid), &gt),
+        }
+    }
+
+    /// Returns a version without `key`.
+    pub fn remove(&self, key: &K) -> Self {
+        let (lt, geq) = split(&self.root, key, false);
+        let (_eq, gt) = split(&geq, key, true);
+        PTreap {
+            root: join(&lt, &gt),
+        }
+    }
+
+    /// Splits into `(keys <= key, keys > key)` when `inclusive`, else
+    /// `(keys < key, keys >= key)`.
+    pub fn split_at(&self, key: &K, inclusive: bool) -> (Self, Self) {
+        let (l, r) = split(&self.root, key, inclusive);
+        (PTreap { root: l }, PTreap { root: r })
+    }
+
+    /// Joins two treaps; every key of `self` must be smaller than every key
+    /// of `other` (checked in debug builds).
+    pub fn join_with(&self, other: &Self) -> Self {
+        debug_assert!(match (self.last(), other.first()) {
+            (Some((a, _)), Some((b, _))) => a < b,
+            _ => true,
+        });
+        PTreap {
+            root: join(&self.root, &other.root),
+        }
+    }
+
+    /// In-order iterator over entries.
+    pub fn iter(&self) -> Iter<'_, K, V, A> {
+        let mut stack = Vec::new();
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            stack.push(n);
+            cur = n.left.as_deref();
+        }
+        Iter { stack }
+    }
+
+    /// Collects entries into a vector (mostly for tests).
+    pub fn to_vec(&self) -> Vec<(K, V)> {
+        self.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+}
+
+/// In-order borrowed iterator.
+pub struct Iter<'a, K, V, A> {
+    stack: Vec<&'a Node<K, V, A>>,
+}
+
+impl<'a, K, V, A> Iterator for Iter<'a, K, V, A> {
+    type Item = (&'a K, &'a V);
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        let mut cur = n.right.as_deref();
+        while let Some(c) = cur {
+            self.stack.push(c);
+            cur = c.left.as_deref();
+        }
+        Some((&n.key, &n.value))
+    }
+}
+
+fn mk_node<K, V, A>(key: K, value: V, left: Link<K, V, A>, right: Link<K, V, A>) -> Arc<Node<K, V, A>>
+where
+    K: Clone + Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    A: Aggregate<K, V>,
+{
+    let prio = det_prio(&key);
+    mk_node_prio(key, value, prio, left, right)
+}
+
+fn mk_node_prio<K, V, A>(
+    key: K,
+    value: V,
+    prio: u64,
+    left: Link<K, V, A>,
+    right: Link<K, V, A>,
+) -> Arc<Node<K, V, A>>
+where
+    K: Clone + Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    A: Aggregate<K, V>,
+{
+    let size = 1 + left.as_ref().map_or(0, |n| n.size) + right.as_ref().map_or(0, |n| n.size);
+    let agg = A::combine(
+        A::of_item(&key, &value),
+        left.as_ref().map(|n| &n.agg),
+        right.as_ref().map(|n| &n.agg),
+    );
+    Arc::new(Node { key, value, prio, size, agg, left, right })
+}
+
+fn split<K, V, A>(link: &Link<K, V, A>, key: &K, inclusive: bool) -> (Link<K, V, A>, Link<K, V, A>)
+where
+    K: Clone + Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    A: Aggregate<K, V>,
+{
+    let Some(n) = link else {
+        return (None, None);
+    };
+    let go_left = match n.key.cmp(key) {
+        Ordering::Less => false,
+        Ordering::Greater => true,
+        Ordering::Equal => !inclusive,
+    };
+    if go_left {
+        // n and its right subtree belong to the right part.
+        let (ll, lr) = split(&n.left, key, inclusive);
+        let right = mk_node_prio(n.key.clone(), n.value.clone(), n.prio, lr, n.right.clone());
+        (ll, Some(right))
+    } else {
+        let (rl, rr) = split(&n.right, key, inclusive);
+        let left = mk_node_prio(n.key.clone(), n.value.clone(), n.prio, n.left.clone(), rl);
+        (Some(left), rr)
+    }
+}
+
+fn join<K, V, A>(l: &Link<K, V, A>, r: &Link<K, V, A>) -> Link<K, V, A>
+where
+    K: Clone + Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    A: Aggregate<K, V>,
+{
+    match (l, r) {
+        (None, _) => r.clone(),
+        (_, None) => l.clone(),
+        (Some(ln), Some(rn)) => {
+            if ln.prio >= rn.prio {
+                let new_right = join(&ln.right, r);
+                Some(mk_node_prio(
+                    ln.key.clone(),
+                    ln.value.clone(),
+                    ln.prio,
+                    ln.left.clone(),
+                    new_right,
+                ))
+            } else {
+                let new_left = join(l, &rn.left);
+                Some(mk_node_prio(
+                    rn.key.clone(),
+                    rn.value.clone(),
+                    rn.prio,
+                    new_left,
+                    rn.right.clone(),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type T = PTreap<u64, u64, CountAgg>;
+
+    #[test]
+    fn insert_get_remove() {
+        let t = T::new();
+        let t1 = t.insert(5, 50).insert(3, 30).insert(8, 80);
+        assert_eq!(t1.len(), 3);
+        assert_eq!(t1.get(&3), Some(&30));
+        assert_eq!(t1.get(&9), None);
+        let t2 = t1.remove(&3);
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t2.get(&3), None);
+        // persistence: t1 unchanged
+        assert_eq!(t1.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn canonical_shape_independent_of_order() {
+        let a = T::new().insert(1, 1).insert(2, 2).insert(3, 3);
+        let b = T::new().insert(3, 3).insert(1, 1).insert(2, 2);
+        // same key set => same root key (shape canonical)
+        assert_eq!(
+            a.root().map(|n| *n.key()),
+            b.root().map(|n| *n.key())
+        );
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn from_sorted_matches_inserts() {
+        let items: Vec<(u64, u64)> = (0..100).map(|i| (i * 3, i)).collect();
+        let a = T::from_sorted(items.clone());
+        let mut b = T::new();
+        for (k, v) in &items {
+            b = b.insert(*k, *v);
+        }
+        assert_eq!(a.to_vec(), b.to_vec());
+        assert_eq!(a.root().map(|n| *n.key()), b.root().map(|n| *n.key()));
+        assert_eq!(a.agg().unwrap().0, 100);
+    }
+
+    #[test]
+    fn floor_ceiling() {
+        let t = T::from_sorted(vec![(10, 0), (20, 1), (30, 2)]);
+        assert_eq!(t.floor(&25).map(|(k, _)| *k), Some(20));
+        assert_eq!(t.floor(&20).map(|(k, _)| *k), Some(20));
+        assert_eq!(t.floor(&5), None);
+        assert_eq!(t.ceiling(&25).map(|(k, _)| *k), Some(30));
+        assert_eq!(t.ceiling(&35), None);
+        assert_eq!(t.first().map(|(k, _)| *k), Some(10));
+        assert_eq!(t.last().map(|(k, _)| *k), Some(30));
+    }
+
+    #[test]
+    fn split_join_roundtrip() {
+        let t = T::from_sorted((0..50).map(|i| (i, i)).collect());
+        let (l, r) = t.split_at(&25, true);
+        assert_eq!(l.len(), 26);
+        assert_eq!(r.len(), 24);
+        let j = l.join_with(&r);
+        assert_eq!(j.to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn structural_sharing_after_insert() {
+        let t1 = T::from_sorted((0..1000).map(|i| (i, i)).collect());
+        let t2 = t1.insert(5000, 1);
+        // The new version must share almost all nodes with the old one.
+        let stats = crate::stats::SharingStats::of(&[&t1, &t2]);
+        assert!(stats.unique_nodes < t1.len() + 50, "unique={}", stats.unique_nodes);
+        assert_eq!(stats.total_logical, t1.len() + t2.len());
+    }
+
+    #[test]
+    fn heap_property_holds() {
+        let t = T::from_sorted((0..200).map(|i| (i, i)).collect());
+        fn check(n: &NodeHandle<u64, u64, CountAgg>) {
+            for c in [n.left().root(), n.right().root()].into_iter().flatten() {
+                assert!(det_prio(n.key()) >= det_prio(c.key()));
+                check(&c);
+            }
+        }
+        check(&t.root().unwrap());
+    }
+}

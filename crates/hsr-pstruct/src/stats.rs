@@ -1,0 +1,89 @@
+//! Version-sharing statistics for persistent structures.
+//!
+//! Figure 3 of the paper shows several profiles' convex chains hanging off
+//! one ACG edge, sharing their common parts through persistence. The
+//! measurable analogue is: across a set of live versions, how many *distinct*
+//! tree nodes exist compared to the sum of the versions' logical sizes? A
+//! ratio well below 1 is the memory/work saving persistence buys.
+
+use crate::ptreap::{Aggregate, NodeHandle, PTreap};
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Sharing statistics over a set of persistent-tree versions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharingStats {
+    /// Number of distinct allocated nodes reachable from any version.
+    pub unique_nodes: usize,
+    /// Sum over versions of their logical entry counts.
+    pub total_logical: usize,
+}
+
+impl SharingStats {
+    /// Walks all versions, deduplicating subtrees by allocation identity.
+    pub fn of<K, V, A>(versions: &[&PTreap<K, V, A>]) -> SharingStats
+    where
+        K: Clone + Ord + Hash + Send + Sync,
+        V: Clone + Send + Sync,
+        A: Aggregate<K, V>,
+    {
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut total_logical = 0;
+        for v in versions {
+            total_logical += v.len();
+            let mut stack: Vec<NodeHandle<K, V, A>> = v.root().into_iter().collect();
+            while let Some(n) = stack.pop() {
+                if !seen.insert(n.ptr_id()) {
+                    continue; // shared subtree already counted
+                }
+                stack.extend(n.left().root());
+                stack.extend(n.right().root());
+            }
+        }
+        SharingStats {
+            unique_nodes: seen.len(),
+            total_logical,
+        }
+    }
+
+    /// `unique_nodes / total_logical`; `1.0` means no sharing at all,
+    /// values near `0` mean almost everything is shared.
+    pub fn sharing_ratio(&self) -> f64 {
+        if self.total_logical == 0 {
+            1.0
+        } else {
+            self.unique_nodes as f64 / self.total_logical as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptreap::{CountAgg, PTreap};
+
+    #[test]
+    fn versions_share() {
+        let base: PTreap<u64, u64, CountAgg> =
+            PTreap::from_sorted((0..512).map(|i| (i, i)).collect());
+        let mut versions = vec![base.clone()];
+        let mut cur = base;
+        for i in 0..32 {
+            cur = cur.insert(10_000 + i, i);
+            versions.push(cur.clone());
+        }
+        let refs: Vec<&PTreap<u64, u64, CountAgg>> = versions.iter().collect();
+        let s = SharingStats::of(&refs);
+        // 33 versions of ~512 entries each, but only ~512 + 32*O(log) nodes.
+        assert!(s.total_logical > 16_000);
+        assert!(s.unique_nodes < 1_500, "unique={}", s.unique_nodes);
+        assert!(s.sharing_ratio() < 0.1);
+    }
+
+    #[test]
+    fn empty() {
+        let s = SharingStats::of::<u64, u64, CountAgg>(&[]);
+        assert_eq!(s.unique_nodes, 0);
+        assert_eq!(s.sharing_ratio(), 1.0);
+    }
+}

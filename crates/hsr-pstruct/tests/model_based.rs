@@ -1,0 +1,110 @@
+//! Model-based property tests: the persistent treap must behave exactly
+//! like `BTreeMap` under arbitrary operation sequences, and old versions
+//! must never change (persistence).
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use hsr_pstruct::{CountAgg, PTreap, SharingStats};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    SplitJoin(u16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        any::<u16>().prop_map(|k| Op::SplitJoin(k % 512)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn treap_matches_btreemap(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        let mut t: PTreap<u16, u32, CountAgg> = PTreap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    model.insert(k, v);
+                    t = t.insert(k, v);
+                }
+                Op::Remove(k) => {
+                    model.remove(&k);
+                    t = t.remove(&k);
+                }
+                Op::SplitJoin(k) => {
+                    // split + join must be the identity.
+                    let (l, r) = t.split_at(&k, true);
+                    t = l.join_with(&r);
+                }
+            }
+            prop_assert_eq!(t.len(), model.len());
+        }
+        // Full content equality.
+        let got: Vec<(u16, u32)> = t.to_vec();
+        let want: Vec<(u16, u32)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+        // Ordered queries match.
+        for probe in [0u16, 100, 255, 300, 511] {
+            prop_assert_eq!(t.get(&probe), model.get(&probe));
+            prop_assert_eq!(
+                t.floor(&probe).map(|(k, _)| *k),
+                model.range(..=probe).next_back().map(|(&k, _)| k)
+            );
+            prop_assert_eq!(
+                t.ceiling(&probe).map(|(k, _)| *k),
+                model.range(probe..).next().map(|(&k, _)| k)
+            );
+        }
+        // Aggregate plumbing: CountAgg equals the size.
+        prop_assert_eq!(t.agg().map(|a| a.0).unwrap_or(0), model.len());
+    }
+
+    #[test]
+    fn old_versions_are_immutable(
+        base in prop::collection::btree_map(any::<u16>(), any::<u32>(), 1..100),
+        edits in prop::collection::vec((any::<u16>(), any::<u32>()), 1..50),
+    ) {
+        let t0: PTreap<u16, u32, CountAgg> =
+            PTreap::from_sorted(base.iter().map(|(&k, &v)| (k, v)).collect());
+        let snapshot: Vec<(u16, u32)> = t0.to_vec();
+        let mut versions = vec![t0.clone()];
+        let mut cur = t0.clone();
+        for &(k, v) in &edits {
+            cur = if v % 3 == 0 { cur.remove(&k) } else { cur.insert(k, v) };
+            versions.push(cur.clone());
+        }
+        // The original version still holds exactly its original content.
+        prop_assert_eq!(t0.to_vec(), snapshot);
+        // And all versions share structure.
+        let refs: Vec<&PTreap<u16, u32, CountAgg>> = versions.iter().collect();
+        let stats = SharingStats::of(&refs);
+        let worst: usize = versions.iter().map(|v| v.len()).sum();
+        prop_assert!(stats.unique_nodes <= worst);
+    }
+
+    #[test]
+    fn canonical_shape_for_any_insertion_order(
+        mut keys in prop::collection::vec(any::<u16>(), 1..60),
+    ) {
+        keys.sort_unstable();
+        keys.dedup();
+        let forward: PTreap<u16, u16, CountAgg> =
+            keys.iter().fold(PTreap::new(), |t, &k| t.insert(k, k));
+        let backward: PTreap<u16, u16, CountAgg> =
+            keys.iter().rev().fold(PTreap::new(), |t, &k| t.insert(k, k));
+        let bulk: PTreap<u16, u16, CountAgg> =
+            PTreap::from_sorted(keys.iter().map(|&k| (k, k)).collect());
+        // Deterministic priorities ⇒ identical root for the same key set.
+        prop_assert_eq!(forward.root().map(|n| *n.key()), backward.root().map(|n| *n.key()));
+        prop_assert_eq!(forward.root().map(|n| *n.key()), bulk.root().map(|n| *n.key()));
+        prop_assert_eq!(forward.to_vec(), bulk.to_vec());
+    }
+}

@@ -1,0 +1,296 @@
+//! Incremental Bowyer–Watson Delaunay triangulation.
+//!
+//! Used to triangulate scattered ground points into irregular TINs — the
+//! stand-in for the paper's Atallah–Cole–Goodrich triangulation step (see
+//! DESIGN.md §4.6). Point location walks from the most recent triangle;
+//! the cavity is grown by exact [`hsr_geometry::incircle`] tests, so the
+//! empty-circumcircle property holds exactly for points in general
+//! position.
+
+use hsr_geometry::{incircle, orient2d, Orientation, Point2};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Debug)]
+struct Tri {
+    /// Vertex indices, CCW.
+    v: [usize; 3],
+    /// Neighbor triangle across the edge opposite each vertex.
+    n: [Option<usize>; 3],
+    alive: bool,
+}
+
+/// A Delaunay triangulation of a point set.
+pub struct Delaunay {
+    /// Input points plus the three synthetic super-triangle vertices at the
+    /// end.
+    points: Vec<Point2>,
+    tris: Vec<Tri>,
+    n_real: usize,
+    last_alive: usize,
+}
+
+impl Delaunay {
+    /// Triangulates `points`. Duplicate points are rejected.
+    ///
+    /// Returns `None` when fewer than 3 points are given or all points are
+    /// collinear (no triangulation exists).
+    pub fn build(points: &[Point2]) -> Option<Delaunay> {
+        if points.len() < 3 {
+            return None;
+        }
+        // Super-triangle big enough to strictly contain everything.
+        let (mut lo, mut hi) = (
+            Point2::new(f64::INFINITY, f64::INFINITY),
+            Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        );
+        for p in points {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        }
+        let d = (hi.x - lo.x).max(hi.y - lo.y).max(1.0) * 64.0;
+        let mid = Point2::new((lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0);
+        let n_real = points.len();
+        let mut pts = points.to_vec();
+        pts.push(Point2::new(mid.x - 2.0 * d, mid.y - d));
+        pts.push(Point2::new(mid.x + 2.0 * d, mid.y - d));
+        pts.push(Point2::new(mid.x, mid.y + 2.0 * d));
+
+        let mut dt = Delaunay {
+            points: pts,
+            tris: vec![Tri { v: [n_real, n_real + 1, n_real + 2], n: [None; 3], alive: true }],
+            n_real,
+            last_alive: 0,
+        };
+        for i in 0..n_real {
+            if !dt.insert(i) {
+                return None; // duplicate point
+            }
+        }
+        Some(dt)
+    }
+
+    /// The triangles among real (non-super) vertices, CCW.
+    pub fn triangles(&self) -> Vec<[usize; 3]> {
+        self.tris
+            .iter()
+            .filter(|t| t.alive && t.v.iter().all(|&v| v < self.n_real))
+            .map(|t| t.v)
+            .collect()
+    }
+
+    /// Walks from the last created triangle to one whose closed interior
+    /// contains `p`.
+    fn locate(&self, p: Point2) -> Option<usize> {
+        let mut cur = self.last_alive;
+        let mut hops = 0usize;
+        'walk: loop {
+            hops += 1;
+            if hops > self.tris.len() * 4 + 16 {
+                // Fallback for pathological walks: scan everything.
+                return (0..self.tris.len())
+                    .find(|&t| self.tris[t].alive && self.contains(t, p));
+            }
+            let t = &self.tris[cur];
+            for e in 0..3 {
+                let a = self.points[t.v[(e + 1) % 3]];
+                let b = self.points[t.v[(e + 2) % 3]];
+                if orient2d(a, b, p) == Orientation::Cw {
+                    match t.n[e] {
+                        Some(nb) => {
+                            cur = nb;
+                            continue 'walk;
+                        }
+                        None => return None, // outside the super-triangle: impossible
+                    }
+                }
+            }
+            return Some(cur);
+        }
+    }
+
+    fn contains(&self, t: usize, p: Point2) -> bool {
+        let tv = self.tris[t].v;
+        (0..3).all(|e| {
+            let a = self.points[tv[(e + 1) % 3]];
+            let b = self.points[tv[(e + 2) % 3]];
+            orient2d(a, b, p) != Orientation::Cw
+        })
+    }
+
+    /// Inserts point `i`; returns false when it coincides with an existing
+    /// vertex.
+    fn insert(&mut self, i: usize) -> bool {
+        let p = self.points[i];
+        let seed = self.locate(p).expect("point inside super-triangle");
+        if self.tris[seed].v.iter().any(|&v| self.points[v] == p) {
+            return false;
+        }
+
+        // Grow the cavity: all triangles whose circumcircle contains p.
+        let mut bad = vec![seed];
+        let mut seen = vec![false; self.tris.len()];
+        seen[seed] = true;
+        let mut stack = vec![seed];
+        while let Some(t) = stack.pop() {
+            for nb in self.tris[t].n.into_iter().flatten() {
+                if seen[nb] || !self.tris[nb].alive {
+                    continue;
+                }
+                seen[nb] = true;
+                let v = self.tris[nb].v;
+                let inside = incircle(self.points[v[0]], self.points[v[1]], self.points[v[2]], p)
+                    == Ordering::Greater;
+                if inside {
+                    bad.push(nb);
+                    stack.push(nb);
+                }
+            }
+        }
+
+        // Boundary edges of the cavity (directed CCW as seen from inside).
+        let is_bad = |t: Option<usize>, bad: &[usize]| t.is_some_and(|t| bad.contains(&t));
+        let mut boundary: Vec<(usize, usize, Option<usize>)> = Vec::new();
+        for &t in &bad {
+            let tri = self.tris[t];
+            for e in 0..3 {
+                if !is_bad(tri.n[e], &bad) {
+                    boundary.push((tri.v[(e + 1) % 3], tri.v[(e + 2) % 3], tri.n[e]));
+                }
+            }
+        }
+        for &t in &bad {
+            self.tris[t].alive = false;
+        }
+
+        // Fan of new triangles from p to each boundary edge.
+        let mut edge_owner: HashMap<(usize, usize), usize> = HashMap::new();
+        let first_new = self.tris.len();
+        for &(a, b, outer) in &boundary {
+            let id = self.tris.len();
+            self.tris.push(Tri { v: [i, a, b], n: [outer, None, None], alive: true });
+            // Fix the outer neighbor's back-pointer.
+            if let Some(o) = outer {
+                let ot = &mut self.tris[o];
+                for e in 0..3 {
+                    let (u, v) = (ot.v[(e + 1) % 3], ot.v[(e + 2) % 3]);
+                    if (u, v) == (b, a) {
+                        ot.n[e] = Some(id);
+                    }
+                }
+            }
+            edge_owner.insert((a, b), id);
+        }
+        // Link the fan triangles to each other around p.
+        for &(a, b, _) in &boundary {
+            let id = edge_owner[&(a, b)];
+            // Edge opposite vertex 1 (= a) connects (b, p): shared with the
+            // fan triangle owning boundary edge starting at b.
+            if let Some(&next) = edge_owner.get(&find_next(&boundary, b)) {
+                self.tris[id].n[1] = Some(next);
+            }
+            // Edge opposite vertex 2 (= b) connects (p, a): shared with the
+            // fan triangle owning the boundary edge ending at a.
+            if let Some(&prev) = edge_owner.get(&find_prev(&boundary, a)) {
+                self.tris[id].n[2] = Some(prev);
+            }
+        }
+        self.last_alive = first_new;
+        true
+    }
+}
+
+fn find_next(boundary: &[(usize, usize, Option<usize>)], start: usize) -> (usize, usize) {
+    boundary
+        .iter()
+        .find(|&&(a, _, _)| a == start)
+        .map(|&(a, b, _)| (a, b))
+        .unwrap_or((usize::MAX, usize::MAX))
+}
+
+fn find_prev(boundary: &[(usize, usize, Option<usize>)], end: usize) -> (usize, usize) {
+    boundary
+        .iter()
+        .find(|&&(_, b, _)| b == end)
+        .map(|&(a, b, _)| (a, b))
+        .unwrap_or((usize::MAX, usize::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_delaunay_property(points: &[Point2], tris: &[[usize; 3]]) {
+        for t in tris {
+            let (a, b, c) = (points[t[0]], points[t[1]], points[t[2]]);
+            for (i, &p) in points.iter().enumerate() {
+                if t.contains(&i) {
+                    continue;
+                }
+                assert_ne!(
+                    incircle(a, b, c, p),
+                    Ordering::Greater,
+                    "point {i} inside circumcircle of {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn square_two_triangles() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let dt = Delaunay::build(&pts).unwrap();
+        let tris = dt.triangles();
+        assert_eq!(tris.len(), 2);
+        check_delaunay_property(&pts, &tris);
+    }
+
+    #[test]
+    fn random_points_satisfy_empty_circle() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let pts: Vec<Point2> = (0..120)
+            .map(|_| Point2::new(rng.random::<f64>() * 100.0, rng.random::<f64>() * 100.0))
+            .collect();
+        let dt = Delaunay::build(&pts).unwrap();
+        let tris = dt.triangles();
+        // Euler: for n points with h hull points, triangles = 2n - 2 - h.
+        assert!(tris.len() > pts.len());
+        check_delaunay_property(&pts, &tris);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_degenerate() {
+        let dup = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 0.0),
+        ];
+        assert!(Delaunay::build(&dup).is_none());
+        assert!(Delaunay::build(&[Point2::new(0.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn grid_points_handle_cocircularity() {
+        // A 5×5 integer grid is maximally cocircular; the triangulation must
+        // still be valid (no strictly-inside violations).
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                pts.push(Point2::new(i as f64, j as f64));
+            }
+        }
+        let dt = Delaunay::build(&pts).unwrap();
+        let tris = dt.triangles();
+        assert_eq!(tris.len(), 2 * 4 * 4); // full grid, 2 per cell
+        check_delaunay_property(&pts, &tris);
+    }
+}

@@ -1,0 +1,603 @@
+//! Seeded synthetic terrain generators with controllable output size.
+//!
+//! The paper evaluates nothing empirically, so the reproduction needs
+//! workload families that sweep the two quantities its bounds depend on:
+//! the input size `n` and the output (visible-image) size `k`.
+//!
+//! | family | `k` behaviour |
+//! |---|---|
+//! | [`fbm`], [`diamond_square`], [`gaussian_hills`] | "realistic" mid-range `k` |
+//! | [`amphitheater`] | terrain rises away from the viewer ⇒ `k ≈ Θ(n)` (everything visible) |
+//! | [`ridge_field`] | tall front ridge ⇒ `k ≪ n` (almost everything hidden) |
+//! | [`occlusion_knob`] | continuous interpolation between the two above |
+//! | [`quadratic_comb`] | `k = Θ(n²)` visible pieces (the worst-case the paper cites) |
+//! | [`random_tin`] | irregular Delaunay TIN with fBm heights |
+
+use crate::delaunay::Delaunay;
+use crate::grid::GridTerrain;
+use crate::tin::Tin;
+use hsr_geometry::{Point2, Point3};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic per-sample jitter in `[-1, 1]` from integer coordinates;
+/// used to pull structured terrains into general position.
+fn hash_jitter(seed: u64, i: u64, j: u64) -> f64 {
+    let mut z = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ j.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+/// Lattice value noise with bilinear interpolation and smoothstep fade.
+struct ValueNoise {
+    seed: u64,
+}
+
+impl ValueNoise {
+    fn sample(&self, x: f64, y: f64) -> f64 {
+        let (xi, yi) = (x.floor(), y.floor());
+        let (fx, fy) = (x - xi, y - yi);
+        let fade = |t: f64| t * t * (3.0 - 2.0 * t);
+        let (ux, uy) = (fade(fx), fade(fy));
+        let (xi, yi) = (xi as i64 as u64, yi as i64 as u64);
+        let v00 = hash_jitter(self.seed, xi, yi);
+        let v10 = hash_jitter(self.seed, xi.wrapping_add(1), yi);
+        let v01 = hash_jitter(self.seed, xi, yi.wrapping_add(1));
+        let v11 = hash_jitter(self.seed, xi.wrapping_add(1), yi.wrapping_add(1));
+        let a = v00 + (v10 - v00) * ux;
+        let b = v01 + (v11 - v01) * ux;
+        a + (b - a) * uy
+    }
+
+    /// Fractional Brownian motion: `octaves` layers of value noise.
+    fn fbm(&self, mut x: f64, mut y: f64, octaves: u32) -> f64 {
+        let mut sum = 0.0;
+        let mut amp = 1.0;
+        let mut norm = 0.0;
+        for o in 0..octaves {
+            sum += amp * ValueNoise { seed: self.seed.wrapping_add(o as u64) }.sample(x, y);
+            norm += amp;
+            amp *= 0.5;
+            x *= 2.0;
+            y *= 2.0;
+        }
+        sum / norm
+    }
+}
+
+/// Fractal (fBm value-noise) terrain on an `nx × ny` grid.
+pub fn fbm(nx: usize, ny: usize, octaves: u32, amplitude: f64, seed: u64) -> GridTerrain {
+    let mut g = GridTerrain::flat(nx, ny);
+    let noise = ValueNoise { seed };
+    let scale = 8.0 / nx.max(ny) as f64;
+    g.fill(|i, j, x, y| {
+        amplitude * noise.fbm(x * scale, y * scale, octaves)
+            + 1e-7 * hash_jitter(seed ^ 0xfeed, i as u64, j as u64)
+    });
+    g
+}
+
+/// Diamond-square fractal terrain on a `(2^k + 1)²` grid.
+pub fn diamond_square(size_pow2: u32, roughness: f64, amplitude: f64, seed: u64) -> GridTerrain {
+    let n = (1usize << size_pow2) + 1;
+    let mut g = GridTerrain::flat(n, n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut step = n - 1;
+    let mut amp = amplitude;
+    // Seed corners.
+    for (i, j) in [(0, 0), (0, n - 1), (n - 1, 0), (n - 1, n - 1)] {
+        *g.h_mut(i, j) = rng.random_range(-amp..amp);
+    }
+    while step > 1 {
+        let half = step / 2;
+        // Diamond step.
+        for i in (half..n).step_by(step) {
+            for j in (half..n).step_by(step) {
+                let avg = (g.h(i - half, j - half)
+                    + g.h(i - half, j + half)
+                    + g.h(i + half, j - half)
+                    + g.h(i + half, j + half))
+                    / 4.0;
+                *g.h_mut(i, j) = avg + rng.random_range(-amp..amp);
+            }
+        }
+        // Square step.
+        for i in (0..n).step_by(half) {
+            let j0 = if (i / half).is_multiple_of(2) { half } else { 0 };
+            for j in (j0..n).step_by(step) {
+                let mut sum = 0.0;
+                let mut cnt = 0.0;
+                if i >= half {
+                    sum += g.h(i - half, j);
+                    cnt += 1.0;
+                }
+                if i + half < n {
+                    sum += g.h(i + half, j);
+                    cnt += 1.0;
+                }
+                if j >= half {
+                    sum += g.h(i, j - half);
+                    cnt += 1.0;
+                }
+                if j + half < n {
+                    sum += g.h(i, j + half);
+                    cnt += 1.0;
+                }
+                *g.h_mut(i, j) = sum / cnt + rng.random_range(-amp..amp);
+            }
+        }
+        step = half;
+        amp *= roughness;
+    }
+    g
+}
+
+/// A field of `n_hills` Gaussian hills at random positions/widths/heights.
+pub fn gaussian_hills(nx: usize, ny: usize, n_hills: usize, seed: u64) -> GridTerrain {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let hills: Vec<(f64, f64, f64, f64)> = (0..n_hills)
+        .map(|_| {
+            (
+                rng.random_range(0.0..nx as f64),
+                rng.random_range(0.0..ny as f64),
+                rng.random_range(nx.min(ny) as f64 / 24.0..nx.min(ny) as f64 / 6.0),
+                rng.random_range(2.0..14.0),
+            )
+        })
+        .collect();
+    let mut g = GridTerrain::flat(nx, ny);
+    g.fill(|i, j, x, y| {
+        let mut z = 0.0;
+        for &(cx, cy, w, h) in &hills {
+            let d2 = (x - cx).powi(2) + (y - cy).powi(2);
+            z += h * (-d2 / (2.0 * w * w)).exp();
+        }
+        z + 1e-7 * hash_jitter(seed ^ 0x1115, i as u64, j as u64)
+    });
+    g
+}
+
+/// Terrain rising away from the viewer: every edge is visible, `k = Θ(n)`.
+pub fn amphitheater(nx: usize, ny: usize, amplitude: f64, seed: u64) -> GridTerrain {
+    let mut g = GridTerrain::flat(nx, ny);
+    g.fill(|i, j, _x, y| {
+        // Viewer at x = +∞ ⇒ smaller i (smaller x) is farther ⇒ higher.
+        let rise = amplitude * (nx - 1 - i) as f64 / (nx - 1) as f64;
+        let bowl = 0.05 * amplitude * (y * 0.37).sin();
+        rise + bowl + 1e-6 * hash_jitter(seed, i as u64, j as u64)
+    });
+    g
+}
+
+/// `n_ridges` ridges perpendicular to the view, front ridge tallest:
+/// almost everything behind it is hidden (`k ≪ n`).
+pub fn ridge_field(nx: usize, ny: usize, n_ridges: usize, amplitude: f64, seed: u64) -> GridTerrain {
+    let mut g = GridTerrain::flat(nx, ny);
+    let period = (nx / n_ridges.max(1)).max(2);
+    g.fill(|i, j, _x, y| {
+        let phase = (i % period) as f64 / period as f64;
+        let ridge = (phase * std::f64::consts::PI).sin();
+        // Closer ridges (larger i) are taller: the front one occludes.
+        let gain = amplitude * (0.2 + 0.8 * i as f64 / (nx - 1) as f64);
+        gain * ridge + 0.02 * amplitude * (y * 0.13).sin()
+            + 1e-6 * hash_jitter(seed, i as u64, j as u64)
+    });
+    g
+}
+
+/// Output-size knob: interpolates between [`amphitheater`] (`theta = 0`,
+/// `k ≈ n`) and a single tall front wall (`theta = 1`, `k ≪ n`).
+pub fn occlusion_knob(nx: usize, ny: usize, theta: f64, amplitude: f64, seed: u64) -> GridTerrain {
+    assert!((0.0..=1.0).contains(&theta), "theta must be in [0, 1]");
+    let mut g = GridTerrain::flat(nx, ny);
+    let noise = ValueNoise { seed };
+    let scale = 8.0 / nx.max(ny) as f64;
+    let wall_row = nx - 2;
+    g.fill(|i, j, x, y| {
+        let rise = (1.0 - theta) * amplitude * (nx - 1 - i) as f64 / (nx - 1) as f64;
+        let wall = if i == wall_row { theta * 3.0 * amplitude } else { 0.0 };
+        let tex = 0.05 * amplitude * noise.fbm(x * scale, y * scale, 3);
+        rise + wall + tex + 1e-6 * hash_jitter(seed, i as u64, j as u64)
+    });
+    g
+}
+
+/// Impact-crater field: overlapping ring craters on a gentle plain —
+/// concave shapes with strong self-occlusion at grazing views.
+pub fn craters(nx: usize, ny: usize, n_craters: usize, seed: u64) -> GridTerrain {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let craters: Vec<(f64, f64, f64, f64)> = (0..n_craters)
+        .map(|_| {
+            (
+                rng.random_range(0.0..nx as f64),
+                rng.random_range(0.0..ny as f64),
+                rng.random_range(nx.min(ny) as f64 / 16.0..nx.min(ny) as f64 / 5.0),
+                rng.random_range(1.5..6.0),
+            )
+        })
+        .collect();
+    let mut g = GridTerrain::flat(nx, ny);
+    g.fill(|i, j, x, y| {
+        let mut z = 0.0;
+        for &(cx, cy, r, depth) in &craters {
+            let d = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt() / r;
+            if d < 1.4 {
+                // Rim at d = 1, bowl below the plain inside.
+                let rim = (-(d - 1.0).powi(2) * 8.0).exp() * 0.6 * depth;
+                let bowl = if d < 1.0 { -depth * (1.0 - d * d) } else { 0.0 };
+                z += rim + bowl;
+            }
+        }
+        z + 1e-6 * hash_jitter(seed ^ 0xc2a7, i as u64, j as u64)
+    });
+    g
+}
+
+/// A canyon cut through a plateau along the view direction: steep walls
+/// whose visibility flips abruptly with the view azimuth.
+pub fn canyon(nx: usize, ny: usize, depth: f64, seed: u64) -> GridTerrain {
+    let mut g = GridTerrain::flat(nx, ny);
+    let center = ny as f64 / 2.0;
+    let half_width = ny as f64 / 6.0;
+    g.fill(|i, j, _x, y| {
+        let d = ((y - center).abs() / half_width).min(1.5);
+        // Plateau at `depth`, canyon floor at 0, smooth walls.
+        let wall = (d.min(1.0) * std::f64::consts::FRAC_PI_2).sin();
+        depth * wall + 1e-6 * hash_jitter(seed, i as u64, j as u64)
+    });
+    g
+}
+
+/// Agricultural terraces: broad steps rising away from the viewer, each
+/// step edge a long visible silhouette — output size concentrated in a
+/// few long image features.
+pub fn terraces(nx: usize, ny: usize, n_steps: usize, seed: u64) -> GridTerrain {
+    let mut g = GridTerrain::flat(nx, ny);
+    let step = (nx / n_steps.max(1)).max(1);
+    g.fill(|i, j, _x, y| {
+        let level = (nx - 1 - i) / step; // higher away from the viewer
+        level as f64 * 3.0 + 0.05 * (y * 0.41).sin()
+            + 1e-6 * hash_jitter(seed, i as u64, j as u64)
+    });
+    g
+}
+
+/// The quadratic-visibility adversary: a front comb of `m` teeth and `m`
+/// long ridges behind it, rising with distance. Every ridge is visible
+/// through every gap, so the visible image has `Θ(m²)` vertices while the
+/// terrain has only `Θ(m)` vertices — the worst case the paper cites
+/// ("even for terrains … the maximum size of the visible image can be
+/// Ω(n²)").
+pub fn quadratic_comb(m: usize) -> Tin {
+    assert!(m >= 2, "comb needs at least 2 teeth");
+    let cols = 2 * m + 1; // fence sample columns
+    let width = (cols - 1) as f64;
+    let tooth_h = 10.0;
+    let mut vertices: Vec<Point3> = Vec::with_capacity(3 * cols + 2 * m);
+    let mut triangles: Vec<[u32; 3]> = Vec::new();
+
+    // Fence rows at x = m+1 (base, z=0), x = m+2 (sawtooth), x = m+3 (base).
+    let xf = m as f64;
+    let row_base_back: Vec<u32> = (0..cols)
+        .map(|j| {
+            vertices.push(Point3::new(xf + 1.0, j as f64, 0.0));
+            (vertices.len() - 1) as u32
+        })
+        .collect();
+    let row_crest: Vec<u32> = (0..cols)
+        .map(|j| {
+            let z = if j % 2 == 1 { tooth_h } else { 0.0 };
+            vertices.push(Point3::new(xf + 2.0, j as f64, z));
+            (vertices.len() - 1) as u32
+        })
+        .collect();
+    let row_base_front: Vec<u32> = (0..cols)
+        .map(|j| {
+            vertices.push(Point3::new(xf + 3.0, j as f64, 0.0));
+            (vertices.len() - 1) as u32
+        })
+        .collect();
+    for j in 0..cols - 1 {
+        for (r0, r1) in [(&row_base_back, &row_crest), (&row_crest, &row_base_front)] {
+            triangles.push([r0[j], r1[j], r1[j + 1]]);
+            triangles.push([r0[j], r1[j + 1], r0[j + 1]]);
+        }
+    }
+
+    // Back ridges: ridge i at x = m - i, height rising with distance but
+    // always below the teeth.
+    let mut ridge_lr: Vec<(u32, u32)> = Vec::with_capacity(m);
+    for i in 0..m {
+        let x = (m - i) as f64;
+        let h = 1.0 + 4.0 * i as f64 / (m.max(2) - 1) as f64; // in [1, 5]
+        vertices.push(Point3::new(x, 0.0, h));
+        let l = (vertices.len() - 1) as u32;
+        vertices.push(Point3::new(x, width, h));
+        let r = (vertices.len() - 1) as u32;
+        ridge_lr.push((l, r));
+    }
+    // Strip between the nearest ridge (x = m) and the fence base row
+    // (x = m+1): a fan from the ridge's left endpoint over the base row,
+    // closed by a triangle to the ridge's right endpoint.
+    let (l0, r0) = ridge_lr[0];
+    for j in 0..cols - 1 {
+        triangles.push([l0, row_base_back[j], row_base_back[j + 1]]);
+    }
+    triangles.push([l0, row_base_back[cols - 1], r0]);
+    // Strips between consecutive ridges: one rectangle each.
+    for w in ridge_lr.windows(2) {
+        let ((la, ra), (lb, rb)) = (w[0], w[1]);
+        triangles.push([lb, la, ra]);
+        triangles.push([lb, ra, rb]);
+    }
+
+    Tin::new(vertices, triangles).expect("comb construction is valid")
+}
+
+/// An irregular TIN: `n` random ground points, Delaunay-triangulated, with
+/// fBm heights.
+pub fn random_tin(n: usize, amplitude: f64, seed: u64) -> Tin {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let extent = (n as f64).sqrt() * 4.0;
+    let mut pts: Vec<Point2> = Vec::with_capacity(n);
+    while pts.len() < n {
+        let p = Point2::new(rng.random_range(0.0..extent), rng.random_range(0.0..extent));
+        // Exact duplicates would violate the function-graph property.
+        if !pts.contains(&p) {
+            pts.push(p);
+        }
+    }
+    let dt = Delaunay::build(&pts).expect("random points triangulate");
+    let noise = ValueNoise { seed: seed ^ 0xabcd };
+    let scale = 8.0 / extent;
+    let vertices: Vec<Point3> = pts
+        .iter()
+        .map(|p| Point3::new(p.x, p.y, amplitude * noise.fbm(p.x * scale, p.y * scale, 4)))
+        .collect();
+    let triangles: Vec<[u32; 3]> = dt
+        .triangles()
+        .into_iter()
+        .map(|t| [t[0] as u32, t[1] as u32, t[2] as u32])
+        .collect();
+    Tin::new(vertices, triangles).expect("delaunay TIN is valid")
+}
+
+/// A named, serializable workload description used by the bench harness.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Workload {
+    /// Fractal terrain (`fbm`).
+    Fbm {
+        /// Grid size (depth × breadth).
+        nx: usize,
+        /// Grid size across the view.
+        ny: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Gaussian hills.
+    Hills {
+        /// Grid size (depth).
+        nx: usize,
+        /// Grid size (breadth).
+        ny: usize,
+        /// Number of hills.
+        hills: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Ridge field (small `k`).
+    Ridges {
+        /// Grid size (depth).
+        nx: usize,
+        /// Grid size (breadth).
+        ny: usize,
+        /// Number of ridges.
+        ridges: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Rising terrain (large `k`).
+    Amphitheater {
+        /// Grid size (depth).
+        nx: usize,
+        /// Grid size (breadth).
+        ny: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Output-size knob `theta ∈ [0, 1]`.
+    Knob {
+        /// Grid size (depth).
+        nx: usize,
+        /// Grid size (breadth).
+        ny: usize,
+        /// Occlusion parameter: 0 = everything visible, 1 = front wall.
+        theta: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Quadratic-visibility comb with `m` teeth.
+    Comb {
+        /// Number of teeth (and of back ridges).
+        m: usize,
+    },
+    /// Irregular Delaunay TIN.
+    DelaunayFbm {
+        /// Number of scattered points.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Impact-crater field.
+    Craters {
+        /// Grid size (depth).
+        nx: usize,
+        /// Grid size (breadth).
+        ny: usize,
+        /// Number of craters.
+        craters: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Canyon through a plateau.
+    Canyon {
+        /// Grid size (depth).
+        nx: usize,
+        /// Grid size (breadth).
+        ny: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Terraced steps rising away from the viewer.
+    Terraces {
+        /// Grid size (depth).
+        nx: usize,
+        /// Grid size (breadth).
+        ny: usize,
+        /// Number of steps.
+        steps: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Workload {
+    /// Builds the TIN for this workload.
+    pub fn build(&self) -> Tin {
+        match *self {
+            Workload::Fbm { nx, ny, seed } => fbm(nx, ny, 5, 12.0, seed).to_tin().unwrap(),
+            Workload::Hills { nx, ny, hills, seed } => {
+                gaussian_hills(nx, ny, hills, seed).to_tin().unwrap()
+            }
+            Workload::Ridges { nx, ny, ridges, seed } => {
+                ridge_field(nx, ny, ridges, 15.0, seed).to_tin().unwrap()
+            }
+            Workload::Amphitheater { nx, ny, seed } => {
+                amphitheater(nx, ny, 10.0, seed).to_tin().unwrap()
+            }
+            Workload::Knob { nx, ny, theta, seed } => {
+                occlusion_knob(nx, ny, theta, 10.0, seed).to_tin().unwrap()
+            }
+            Workload::Comb { m } => quadratic_comb(m),
+            Workload::DelaunayFbm { n, seed } => random_tin(n, 10.0, seed),
+            Workload::Craters { nx, ny, craters: c, seed } => {
+                craters(nx, ny, c, seed).to_tin().unwrap()
+            }
+            Workload::Canyon { nx, ny, seed } => canyon(nx, ny, 8.0, seed).to_tin().unwrap(),
+            Workload::Terraces { nx, ny, steps, seed } => {
+                terraces(nx, ny, steps, seed).to_tin().unwrap()
+            }
+        }
+    }
+
+    /// Short name for report tables.
+    pub fn name(&self) -> String {
+        match self {
+            Workload::Fbm { nx, ny, .. } => format!("fbm-{nx}x{ny}"),
+            Workload::Hills { nx, ny, hills, .. } => format!("hills{hills}-{nx}x{ny}"),
+            Workload::Ridges { nx, ny, ridges, .. } => format!("ridges{ridges}-{nx}x{ny}"),
+            Workload::Amphitheater { nx, ny, .. } => format!("amph-{nx}x{ny}"),
+            Workload::Knob { nx, ny, theta, .. } => format!("knob{theta:.2}-{nx}x{ny}"),
+            Workload::Comb { m } => format!("comb-{m}"),
+            Workload::DelaunayFbm { n, .. } => format!("delaunay-{n}"),
+            Workload::Craters { nx, ny, craters, .. } => format!("craters{craters}-{nx}x{ny}"),
+            Workload::Canyon { nx, ny, .. } => format!("canyon-{nx}x{ny}"),
+            Workload::Terraces { nx, ny, steps, .. } => format!("terraces{steps}-{nx}x{ny}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fbm_is_deterministic() {
+        let a = fbm(16, 16, 4, 10.0, 7);
+        let b = fbm(16, 16, 4, 10.0, 7);
+        assert_eq!(a.heights, b.heights);
+        let c = fbm(16, 16, 4, 10.0, 8);
+        assert_ne!(a.heights, c.heights);
+    }
+
+    #[test]
+    fn generators_produce_valid_tins() {
+        for w in [
+            Workload::Fbm { nx: 12, ny: 14, seed: 1 },
+            Workload::Hills { nx: 12, ny: 12, hills: 5, seed: 2 },
+            Workload::Ridges { nx: 16, ny: 10, ridges: 4, seed: 3 },
+            Workload::Amphitheater { nx: 10, ny: 10, seed: 4 },
+            Workload::Knob { nx: 12, ny: 12, theta: 0.5, seed: 5 },
+            Workload::Comb { m: 4 },
+            Workload::DelaunayFbm { n: 60, seed: 6 },
+        ] {
+            let tin = w.build();
+            let (nv, ne, nt) = tin.counts();
+            assert!(nv > 4 && ne > 4 && nt > 2, "workload {} too small", w.name());
+        }
+    }
+
+    #[test]
+    fn diamond_square_sizes() {
+        let g = diamond_square(4, 0.5, 8.0, 9);
+        assert_eq!(g.nx, 17);
+        assert_eq!(g.ny, 17);
+        assert!(g.to_tin().is_ok());
+    }
+
+    #[test]
+    fn amphitheater_rises_away() {
+        let g = amphitheater(10, 4, 10.0, 0);
+        // Row 0 is farthest (smallest x) and must be highest.
+        assert!(g.h(0, 2) > g.h(9, 2));
+    }
+
+    #[test]
+    fn new_generators_are_valid_and_shaped() {
+        let c = craters(20, 20, 5, 3);
+        assert!(c.to_tin().is_ok());
+        // Craters dig below the plain somewhere.
+        assert!(c.heights.iter().cloned().fold(f64::INFINITY, f64::min) < -0.5);
+
+        let k = canyon(16, 18, 8.0, 4);
+        let tin = k.to_tin().unwrap();
+        let (zlo, zhi) = tin.height_range();
+        assert!(zhi - zlo > 7.0, "canyon relief {}", zhi - zlo);
+        // Floor near the centerline, plateau at the edges.
+        assert!(k.h(8, 9) < 1.0);
+        assert!(k.h(8, 0) > 7.0);
+
+        let t = terraces(24, 10, 6, 5);
+        assert!(t.to_tin().is_ok());
+        // Monotone steps away from the viewer.
+        assert!(t.h(0, 5) > t.h(23, 5));
+    }
+
+    #[test]
+    fn comb_structure() {
+        let tin = quadratic_comb(8);
+        let (nv, _, _) = tin.counts();
+        assert_eq!(nv, 3 * 17 + 16);
+        let (zlo, zhi) = tin.height_range();
+        assert_eq!(zlo, 0.0);
+        assert_eq!(zhi, 10.0);
+    }
+
+    #[test]
+    fn knob_bounds_checked() {
+        let g0 = occlusion_knob(10, 10, 0.0, 10.0, 1);
+        let g1 = occlusion_knob(10, 10, 1.0, 10.0, 1);
+        // theta=1 has a dominant wall row.
+        let wall_max = (0..10).map(|j| g1.h(8, j)).fold(f64::MIN, f64::max);
+        let rest_max = (0..8)
+            .flat_map(|i| (0..10).map(move |j| (i, j)))
+            .map(|(i, j)| g1.h(i, j))
+            .fold(f64::MIN, f64::max);
+        assert!(wall_max > 2.0 * rest_max.max(1.0));
+        // theta=0 rises monotonically away.
+        assert!(g0.h(0, 5) > g0.h(9, 5));
+    }
+}

@@ -1,0 +1,201 @@
+//! Regular-grid terrains (heightfields) and their triangulation.
+
+use crate::tin::{Tin, TinError};
+use hsr_geometry::Point3;
+use serde::{Deserialize, Serialize};
+
+/// A heightfield sampled on a regular `nx × ny` grid.
+///
+/// Grid index `(i, j)` maps to world position `(origin_x + i·dx,
+/// origin_y + j·dy)`: the `i` axis is the *depth* axis (viewer at
+/// `x = +∞` sees row `i = nx-1` in front) and `j` runs across the image.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GridTerrain {
+    /// Samples along the depth axis.
+    pub nx: usize,
+    /// Samples across the view.
+    pub ny: usize,
+    /// Grid spacing along `x`.
+    pub dx: f64,
+    /// Grid spacing along `y`.
+    pub dy: f64,
+    /// World position of sample `(0, 0)`.
+    pub origin: (f64, f64),
+    /// Heights in row-major order (`i * ny + j`).
+    pub heights: Vec<f64>,
+}
+
+impl GridTerrain {
+    /// Creates a flat grid of zeros.
+    pub fn flat(nx: usize, ny: usize) -> Self {
+        assert!(nx >= 2 && ny >= 2, "grid must be at least 2×2");
+        GridTerrain {
+            nx,
+            ny,
+            dx: 1.0,
+            dy: 1.0,
+            origin: (0.0, 0.0),
+            heights: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Height at grid index `(i, j)`.
+    #[inline]
+    pub fn h(&self, i: usize, j: usize) -> f64 {
+        self.heights[i * self.ny + j]
+    }
+
+    /// Mutable height at grid index `(i, j)`.
+    #[inline]
+    pub fn h_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.heights[i * self.ny + j]
+    }
+
+    /// Applies `f(i, j, x, y) -> z` to every sample.
+    pub fn fill(&mut self, mut f: impl FnMut(usize, usize, f64, f64) -> f64) {
+        for i in 0..self.nx {
+            for j in 0..self.ny {
+                let x = self.origin.0 + i as f64 * self.dx;
+                let y = self.origin.1 + j as f64 * self.dy;
+                *self.h_mut(i, j) = f(i, j, x, y);
+            }
+        }
+    }
+
+    /// Triangulates into a TIN, splitting each cell along alternating
+    /// diagonals (checkerboard) for isotropy.
+    pub fn to_tin(&self) -> Result<Tin, TinError> {
+        let mut vertices = Vec::with_capacity(self.nx * self.ny);
+        for i in 0..self.nx {
+            for j in 0..self.ny {
+                vertices.push(Point3::new(
+                    self.origin.0 + i as f64 * self.dx,
+                    self.origin.1 + j as f64 * self.dy,
+                    self.h(i, j),
+                ));
+            }
+        }
+        let idx = |i: usize, j: usize| (i * self.ny + j) as u32;
+        let mut triangles = Vec::with_capacity(2 * (self.nx - 1) * (self.ny - 1));
+        for i in 0..self.nx - 1 {
+            for j in 0..self.ny - 1 {
+                let (a, b, c, d) = (idx(i, j), idx(i + 1, j), idx(i + 1, j + 1), idx(i, j + 1));
+                if (i + j) % 2 == 0 {
+                    triangles.push([a, b, c]);
+                    triangles.push([a, c, d]);
+                } else {
+                    triangles.push([a, b, d]);
+                    triangles.push([b, c, d]);
+                }
+            }
+        }
+        Tin::new(vertices, triangles)
+    }
+
+    /// Bilinear height interpolation at a world position (clamped to the
+    /// grid).
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let fx = ((x - self.origin.0) / self.dx).clamp(0.0, (self.nx - 1) as f64);
+        let fy = ((y - self.origin.1) / self.dy).clamp(0.0, (self.ny - 1) as f64);
+        let (i0, j0) = (fx.floor() as usize, fy.floor() as usize);
+        let (i1, j1) = ((i0 + 1).min(self.nx - 1), (j0 + 1).min(self.ny - 1));
+        let (tx, ty) = (fx - i0 as f64, fy - j0 as f64);
+        let a = self.h(i0, j0) + (self.h(i1, j0) - self.h(i0, j0)) * tx;
+        let b = self.h(i0, j1) + (self.h(i1, j1) - self.h(i0, j1)) * tx;
+        a + (b - a) * ty
+    }
+
+    /// Resamples onto a coarser/finer grid of `nx × ny` samples over the
+    /// same world extent (bilinear).
+    pub fn resample(&self, nx: usize, ny: usize) -> GridTerrain {
+        assert!(nx >= 2 && ny >= 2);
+        let (w, h) = (
+            (self.nx - 1) as f64 * self.dx,
+            (self.ny - 1) as f64 * self.dy,
+        );
+        let mut g = GridTerrain {
+            nx,
+            ny,
+            dx: w / (nx - 1) as f64,
+            dy: h / (ny - 1) as f64,
+            origin: self.origin,
+            heights: vec![0.0; nx * ny],
+        };
+        g.fill(|_, _, x, y| self.sample(x, y));
+        g
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.heights.len()
+    }
+
+    /// True when the grid holds no samples (cannot occur for constructed
+    /// grids; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.heights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangulation_counts() {
+        let g = GridTerrain::flat(4, 5);
+        let tin = g.to_tin().unwrap();
+        let (nv, ne, nt) = tin.counts();
+        assert_eq!(nv, 20);
+        assert_eq!(nt, 2 * 3 * 4);
+        // Euler: E = V + F - 1 - 1 for a planar triangulated disc:
+        // each of the 12 cells has 2 triangles and the edge count is
+        // horizontal + vertical + diagonal edges.
+        let expect_edges = 4 * 4 /* vertical (along y) */ + 3 * 5 /* along x */ + 3 * 4;
+        assert_eq!(ne, expect_edges);
+    }
+
+    #[test]
+    fn fill_and_height_access() {
+        let mut g = GridTerrain::flat(3, 3);
+        g.fill(|i, j, _, _| (i * 10 + j) as f64);
+        assert_eq!(g.h(2, 1), 21.0);
+        assert_eq!(g.len(), 9);
+    }
+
+    #[test]
+    fn sample_interpolates() {
+        let mut g = GridTerrain::flat(3, 3);
+        g.fill(|_, _, x, y| x + 10.0 * y);
+        // Bilinear reproduction of a bilinear function is exact.
+        assert!((g.sample(0.5, 0.5) - 5.5).abs() < 1e-12);
+        assert!((g.sample(1.25, 1.75) - 18.75).abs() < 1e-12);
+        // Clamping outside the grid.
+        assert_eq!(g.sample(-5.0, -5.0), g.h(0, 0));
+    }
+
+    #[test]
+    fn resample_preserves_extent_and_shape() {
+        let mut g = GridTerrain::flat(9, 9);
+        g.fill(|_, _, x, y| x * x + y);
+        let r = g.resample(5, 17);
+        assert_eq!((r.nx, r.ny), (5, 17));
+        // Same world extent.
+        assert!((r.dx * 4.0 - 8.0).abs() < 1e-12);
+        assert!((r.dy * 16.0 - 8.0).abs() < 1e-12);
+        // Values close to the original surface at matching positions.
+        assert!((r.sample(4.0, 4.0) - g.sample(4.0, 4.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn to_tin_respects_spacing() {
+        let mut g = GridTerrain::flat(2, 2);
+        g.dx = 2.0;
+        g.dy = 3.0;
+        g.origin = (10.0, 20.0);
+        let tin = g.to_tin().unwrap();
+        let (lo, hi) = tin.ground_bounds();
+        assert_eq!((lo.x, lo.y), (10.0, 20.0));
+        assert_eq!((hi.x, hi.y), (12.0, 23.0));
+    }
+}

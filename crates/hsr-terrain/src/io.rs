@@ -1,0 +1,162 @@
+//! Wavefront-OBJ import/export for TINs.
+//!
+//! A minimal but standards-conforming subset: `v x y z` vertices and
+//! triangular `f` faces (1-based indices, negative indices supported,
+//! `f v/vt/vn` forms accepted with the extra attributes ignored). Lets the
+//! reproduction exchange terrains with standard mesh tooling.
+
+use crate::tin::{Tin, TinError};
+use hsr_geometry::Point3;
+use std::fmt::Write as _;
+
+/// Errors from OBJ parsing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObjError {
+    /// A malformed line, with its 1-based line number.
+    Parse(usize, String),
+    /// A face index out of range.
+    BadFaceIndex(usize),
+    /// Only triangles are supported; a polygon with another arity appeared.
+    NonTriangleFace(usize),
+    /// The mesh failed terrain validation.
+    Tin(TinError),
+}
+
+impl std::fmt::Display for ObjError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObjError::Parse(line, what) => write!(f, "line {line}: cannot parse {what}"),
+            ObjError::BadFaceIndex(line) => write!(f, "line {line}: face index out of range"),
+            ObjError::NonTriangleFace(line) => {
+                write!(f, "line {line}: only triangular faces are supported")
+            }
+            ObjError::Tin(e) => write!(f, "terrain validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+/// Serialises a TIN as OBJ text.
+pub fn to_obj(tin: &Tin) -> String {
+    let mut out = String::with_capacity(tin.vertices().len() * 32);
+    let _ = writeln!(out, "# terrain-hsr TIN: {} vertices, {} faces", tin.vertices().len(), tin.triangles().len());
+    for v in tin.vertices() {
+        let _ = writeln!(out, "v {} {} {}", v.x, v.y, v.z);
+    }
+    for t in tin.triangles() {
+        let _ = writeln!(out, "f {} {} {}", t[0] + 1, t[1] + 1, t[2] + 1);
+    }
+    out
+}
+
+/// Parses OBJ text into a validated TIN.
+pub fn from_obj(text: &str) -> Result<Tin, ObjError> {
+    let mut vertices: Vec<Point3> = Vec::new();
+    let mut triangles: Vec<[u32; 3]> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("v") => {
+                let mut coord = |what: &str| -> Result<f64, ObjError> {
+                    it.next()
+                        .ok_or_else(|| ObjError::Parse(line_no, what.into()))?
+                        .parse()
+                        .map_err(|_| ObjError::Parse(line_no, what.into()))
+                };
+                let (x, y, z) = (coord("x")?, coord("y")?, coord("z")?);
+                vertices.push(Point3::new(x, y, z));
+            }
+            Some("f") => {
+                let idx: Vec<&str> = it.collect();
+                if idx.len() != 3 {
+                    return Err(ObjError::NonTriangleFace(line_no));
+                }
+                let mut tri = [0u32; 3];
+                for (slot, tok) in tri.iter_mut().zip(&idx) {
+                    // `f v`, `f v/vt`, `f v//vn`, `f v/vt/vn`.
+                    let v = tok.split('/').next().unwrap_or("");
+                    let i: i64 = v
+                        .parse()
+                        .map_err(|_| ObjError::Parse(line_no, format!("face index {tok:?}")))?;
+                    let resolved = if i > 0 {
+                        i - 1
+                    } else if i < 0 {
+                        vertices.len() as i64 + i
+                    } else {
+                        return Err(ObjError::BadFaceIndex(line_no));
+                    };
+                    if resolved < 0 || resolved >= vertices.len() as i64 {
+                        return Err(ObjError::BadFaceIndex(line_no));
+                    }
+                    *slot = resolved as u32;
+                }
+                triangles.push(tri);
+            }
+            // Ignore normals, texcoords, groups, materials, smoothing…
+            Some(_) => {}
+            None => {}
+        }
+    }
+    Tin::new(vertices, triangles).map_err(ObjError::Tin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip() {
+        let tin = gen::gaussian_hills(8, 8, 3, 7).to_tin().unwrap();
+        let obj = to_obj(&tin);
+        let back = from_obj(&obj).unwrap();
+        assert_eq!(tin.counts(), back.counts());
+        for (a, b) in tin.vertices().iter().zip(back.vertices()) {
+            assert_eq!(a, b, "vertex drift through OBJ");
+        }
+    }
+
+    #[test]
+    fn accepts_slash_forms_and_comments() {
+        let obj = "# comment\n\
+                   v 0 0 1\n\
+                   v 1 0 2   # inline comment\n\
+                   v 0 1 3\n\
+                   f 1/1/1 2//2 3\n";
+        let tin = from_obj(obj).unwrap();
+        assert_eq!(tin.counts(), (3, 3, 1));
+    }
+
+    #[test]
+    fn negative_indices() {
+        let obj = "v 0 0 1\nv 1 0 2\nv 0 1 3\nf -3 -2 -1\n";
+        let tin = from_obj(obj).unwrap();
+        assert_eq!(tin.triangles()[0], [0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(from_obj("v 1 2\n"), Err(ObjError::Parse(1, _))));
+        assert!(matches!(
+            from_obj("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 9\n"),
+            Err(ObjError::BadFaceIndex(4))
+        ));
+        assert!(matches!(
+            from_obj("v 0 0 0\nv 1 0 0\nv 0 1 0\nv 1 1 0\nf 1 2 3 4\n"),
+            Err(ObjError::NonTriangleFace(5))
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_terrain() {
+        // Two vertices at the same ground position.
+        let obj = "v 0 0 1\nv 0 0 2\nv 1 0 0\nf 1 2 3\n";
+        assert!(matches!(from_obj(obj), Err(ObjError::Tin(_))));
+    }
+}

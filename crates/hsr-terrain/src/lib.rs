@@ -1,0 +1,31 @@
+//! Terrain substrate: polyhedral terrain (TIN) models, triangulation and
+//! synthetic workload generators.
+//!
+//! A *terrain* is a piecewise-linear surface `z = f(x, y)` — every vertical
+//! line meets it exactly once (paper §1.1). The viewer sits at `x = +∞`
+//! looking along `-x`; the image plane is `y–z`.
+//!
+//! * [`tin`] — triangulated irregular networks with validated structure and
+//!   edge/triangle adjacency (the graph `G` of the paper's §2).
+//! * [`grid`] — regular-grid terrains and their triangulation into TINs.
+//! * [`gen`] — seeded synthetic terrain families with controllable output
+//!   size `k`: fractal (value-noise fBm, diamond-square), Gaussian hills,
+//!   ridge fields, the `occlusion knob` interpolating between
+//!   "everything visible" and "almost everything hidden", and the
+//!   quadratic-visibility comb adversary.
+//! * [`delaunay`] — incremental Bowyer–Watson Delaunay triangulation used
+//!   to build irregular TINs from scattered points (the substitute for the
+//!   paper's Atallah–Cole–Goodrich triangulation step, see DESIGN.md §4.6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delaunay;
+pub mod gen;
+pub mod grid;
+pub mod io;
+pub mod stats;
+pub mod tin;
+
+pub use grid::GridTerrain;
+pub use tin::{Tin, TinError};

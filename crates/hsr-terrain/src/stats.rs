@@ -1,0 +1,113 @@
+//! Terrain metrics used to characterise benchmark workloads.
+//!
+//! Output size in hidden-surface removal depends on the terrain's *shape*,
+//! not just its size; these metrics (relief, slope distribution,
+//! view-facing fraction) are what EXPERIMENTS.md uses to explain why one
+//! family produces a large `k` and another a small one.
+
+use crate::tin::Tin;
+use serde::Serialize;
+
+/// Summary statistics of a terrain.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct TerrainStats {
+    /// Vertices / edges / faces.
+    pub vertices: usize,
+    /// Edge count (the algorithm's `n`).
+    pub edges: usize,
+    /// Face count.
+    pub faces: usize,
+    /// Height range `max z − min z`.
+    pub relief: f64,
+    /// Mean face gradient magnitude `|∇f|`.
+    pub mean_slope: f64,
+    /// Maximum face gradient magnitude.
+    pub max_slope: f64,
+    /// Fraction of faces whose normal has a positive component towards
+    /// the viewer (`+x`): the fraction of the surface that *could* be
+    /// visible front-on.
+    pub view_facing_fraction: f64,
+    /// Mean ground-plane area per face.
+    pub mean_face_area: f64,
+}
+
+/// Computes the statistics in one pass over the faces.
+pub fn terrain_stats(tin: &Tin) -> TerrainStats {
+    let (nv, ne, nf) = tin.counts();
+    let (zlo, zhi) = tin.height_range();
+    let mut slope_sum = 0.0;
+    let mut slope_max: f64 = 0.0;
+    let mut facing = 0usize;
+    let mut area_sum = 0.0;
+    for t in tin.triangles() {
+        let a = tin.vertices()[t[0] as usize];
+        let b = tin.vertices()[t[1] as usize];
+        let c = tin.vertices()[t[2] as usize];
+        // Ground-plane edge vectors and signed area (CCW ⇒ positive).
+        let (ux, uy, uz) = (b.x - a.x, b.y - a.y, b.z - a.z);
+        let (vx, vy, vz) = (c.x - a.x, c.y - a.y, c.z - a.z);
+        let area2 = ux * vy - uy * vx;
+        if area2 == 0.0 {
+            continue;
+        }
+        // Plane z = p·x + q·y + r over the face: solve the 2×2 system.
+        let p = (uz * vy - vz * uy) / area2;
+        let q = (ux * vz - vx * uz) / area2;
+        let slope = (p * p + q * q).sqrt();
+        slope_sum += slope;
+        slope_max = slope_max.max(slope);
+        // Surface normal ∝ (−p, −q, 1); faces the viewer when the x
+        // component is positive, i.e. p < 0.
+        if p < 0.0 {
+            facing += 1;
+        }
+        area_sum += area2.abs() / 2.0;
+    }
+    TerrainStats {
+        vertices: nv,
+        edges: ne,
+        faces: nf,
+        relief: zhi - zlo,
+        mean_slope: if nf == 0 { 0.0 } else { slope_sum / nf as f64 },
+        max_slope: slope_max,
+        view_facing_fraction: if nf == 0 { 0.0 } else { facing as f64 / nf as f64 },
+        mean_face_area: if nf == 0 { 0.0 } else { area_sum / nf as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn flat_terrain_has_zero_slope() {
+        let mut g = crate::grid::GridTerrain::flat(6, 6);
+        g.fill(|i, j, _, _| 1e-9 * ((i * 31 + j) as f64)); // epsilon tilt for validity
+        let s = terrain_stats(&g.to_tin().unwrap());
+        assert!(s.mean_slope < 1e-6);
+        assert!(s.relief < 1e-6);
+        assert!((s.mean_face_area - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amphitheater_faces_the_viewer() {
+        // Rising away from the viewer ⇒ normals tilt towards +x everywhere.
+        let tin = gen::amphitheater(10, 10, 10.0, 1).to_tin().unwrap();
+        let s = terrain_stats(&tin);
+        assert!(s.view_facing_fraction > 0.95, "{}", s.view_facing_fraction);
+        assert!(s.relief > 5.0);
+    }
+
+    #[test]
+    fn ridge_field_is_half_facing() {
+        let tin = gen::ridge_field(24, 12, 6, 10.0, 2).to_tin().unwrap();
+        let s = terrain_stats(&tin);
+        assert!(
+            (0.25..=0.75).contains(&s.view_facing_fraction),
+            "{}",
+            s.view_facing_fraction
+        );
+        assert!(s.max_slope >= s.mean_slope);
+    }
+}

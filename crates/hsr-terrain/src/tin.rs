@@ -1,0 +1,293 @@
+//! Triangulated irregular networks (TINs).
+//!
+//! The TIN is the graph `G` of the paper's §2: vertices are `(x, y, z)`
+//! triples with `z = f(x, y)`, edges are the segments of the polyhedral
+//! surface. Construction validates the terrain property prerequisites
+//! (finite coordinates, distinct ground positions, non-degenerate projected
+//! triangles) and derives the edge set and edge↔triangle adjacency used by
+//! the front-to-back ordering.
+
+use hsr_geometry::{orient2d, Orientation, Point2, Point3};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Errors raised by [`Tin::new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TinError {
+    /// A vertex coordinate is NaN or infinite.
+    NonFiniteVertex(usize),
+    /// Two vertices share the same `(x, y)` ground position, violating the
+    /// function-graph property.
+    DuplicateGroundPosition(usize, usize),
+    /// A triangle references a vertex index out of range.
+    BadIndex(usize),
+    /// A triangle is degenerate (collinear) in ground projection.
+    DegenerateTriangle(usize),
+    /// An edge is shared by more than two triangles (non-manifold input).
+    NonManifoldEdge(u32, u32),
+}
+
+impl std::fmt::Display for TinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TinError::NonFiniteVertex(i) => write!(f, "vertex {i} has a non-finite coordinate"),
+            TinError::DuplicateGroundPosition(i, j) => {
+                write!(f, "vertices {i} and {j} share a ground (x, y) position")
+            }
+            TinError::BadIndex(t) => write!(f, "triangle {t} references an invalid vertex"),
+            TinError::DegenerateTriangle(t) => {
+                write!(f, "triangle {t} is degenerate in ground projection")
+            }
+            TinError::NonManifoldEdge(a, b) => {
+                write!(f, "edge ({a}, {b}) is shared by more than two triangles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TinError {}
+
+/// A validated triangulated terrain.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Tin {
+    vertices: Vec<Point3>,
+    /// Triangles as vertex-index triples, normalised CCW in ground
+    /// projection.
+    triangles: Vec<[u32; 3]>,
+    /// Unique undirected edges, each stored with the smaller index first.
+    edges: Vec<[u32; 2]>,
+    /// For each triangle, the ids of its three edges
+    /// (edge `i` is opposite corner `i`, i.e. connects corners `i+1, i+2`).
+    tri_edges: Vec<[u32; 3]>,
+    /// For each edge, the (up to two) incident triangles.
+    edge_tris: Vec<[Option<u32>; 2]>,
+}
+
+impl Tin {
+    /// Builds and validates a TIN from vertices and triangles.
+    pub fn new(vertices: Vec<Point3>, triangles: Vec<[u32; 3]>) -> Result<Self, TinError> {
+        for (i, v) in vertices.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(TinError::NonFiniteVertex(i));
+            }
+        }
+        // Distinct ground positions: sort indices by (x, y) and scan.
+        let mut order: Vec<usize> = (0..vertices.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (va, vb) = (vertices[a], vertices[b]);
+            va.x.total_cmp(&vb.x).then(va.y.total_cmp(&vb.y))
+        });
+        for w in order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if vertices[a].x == vertices[b].x && vertices[a].y == vertices[b].y {
+                return Err(TinError::DuplicateGroundPosition(a.min(b), a.max(b)));
+            }
+        }
+
+        let ground = |i: u32| -> Point2 { vertices[i as usize].ground() };
+        let mut tris = Vec::with_capacity(triangles.len());
+        for (t, &[a, b, c]) in triangles.iter().enumerate() {
+            let n = vertices.len() as u32;
+            if a >= n || b >= n || c >= n || a == b || b == c || a == c {
+                return Err(TinError::BadIndex(t));
+            }
+            match orient2d(ground(a), ground(b), ground(c)) {
+                Orientation::Ccw => tris.push([a, b, c]),
+                Orientation::Cw => tris.push([a, c, b]),
+                Orientation::Collinear => return Err(TinError::DegenerateTriangle(t)),
+            }
+        }
+
+        // Edge extraction with adjacency.
+        let mut edge_ids: HashMap<(u32, u32), u32> = HashMap::with_capacity(tris.len() * 2);
+        let mut edges: Vec<[u32; 2]> = Vec::with_capacity(tris.len() * 2);
+        let mut edge_tris: Vec<[Option<u32>; 2]> = Vec::with_capacity(tris.len() * 2);
+        let mut tri_edges = Vec::with_capacity(tris.len());
+        for (t, &[a, b, c]) in tris.iter().enumerate() {
+            let mut te = [0u32; 3];
+            for (slot, (u, v)) in [(b, c), (c, a), (a, b)].into_iter().enumerate() {
+                let key = (u.min(v), u.max(v));
+                let id = *edge_ids.entry(key).or_insert_with(|| {
+                    edges.push([key.0, key.1]);
+                    edge_tris.push([None, None]);
+                    (edges.len() - 1) as u32
+                });
+                let et = &mut edge_tris[id as usize];
+                if et[0].is_none() {
+                    et[0] = Some(t as u32);
+                } else if et[1].is_none() {
+                    et[1] = Some(t as u32);
+                } else {
+                    return Err(TinError::NonManifoldEdge(key.0, key.1));
+                }
+                te[slot] = id;
+            }
+            tri_edges.push(te);
+        }
+
+        Ok(Tin { vertices, triangles: tris, edges, tri_edges, edge_tris })
+    }
+
+    /// Vertex positions.
+    #[inline]
+    pub fn vertices(&self) -> &[Point3] {
+        &self.vertices
+    }
+
+    /// Triangles (CCW in ground projection).
+    #[inline]
+    pub fn triangles(&self) -> &[[u32; 3]] {
+        &self.triangles
+    }
+
+    /// Unique undirected edges.
+    #[inline]
+    pub fn edges(&self) -> &[[u32; 2]] {
+        &self.edges
+    }
+
+    /// Edge ids of a triangle (edge `i` is opposite corner `i`).
+    #[inline]
+    pub fn tri_edges(&self, t: usize) -> [u32; 3] {
+        self.tri_edges[t]
+    }
+
+    /// Incident triangles of an edge.
+    #[inline]
+    pub fn edge_tris(&self, e: usize) -> [Option<u32>; 2] {
+        self.edge_tris[e]
+    }
+
+    /// Number of vertices / edges / triangles.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.vertices.len(), self.edges.len(), self.triangles.len())
+    }
+
+    /// The two 3-D endpoints of an edge.
+    #[inline]
+    pub fn edge_points(&self, e: usize) -> (Point3, Point3) {
+        let [a, b] = self.edges[e];
+        (self.vertices[a as usize], self.vertices[b as usize])
+    }
+
+    /// A copy of the terrain with the ground plane rotated by `angle`
+    /// radians about the `z` axis (equivalently: a different view
+    /// direction). Heights are preserved; the result is re-validated
+    /// because a rotation can collapse ground positions only by numeric
+    /// accident.
+    pub fn rotated_about_z(&self, angle: f64) -> Result<Tin, TinError> {
+        let (s, c) = angle.sin_cos();
+        let vertices = self
+            .vertices
+            .iter()
+            .map(|v| Point3::new(c * v.x - s * v.y, s * v.x + c * v.y, v.z))
+            .collect();
+        Tin::new(vertices, self.triangles.clone())
+    }
+
+    /// Bounding box of the ground projection, `((min_x, min_y), (max_x,
+    /// max_y))`.
+    pub fn ground_bounds(&self) -> (Point2, Point2) {
+        let mut lo = Point2::new(f64::INFINITY, f64::INFINITY);
+        let mut hi = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in &self.vertices {
+            lo.x = lo.x.min(v.x);
+            lo.y = lo.y.min(v.y);
+            hi.x = hi.x.max(v.x);
+            hi.y = hi.y.max(v.y);
+        }
+        (lo, hi)
+    }
+
+    /// Height range `(min_z, max_z)`.
+    pub fn height_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in &self.vertices {
+            lo = lo.min(v.z);
+            hi = hi.max(v.z);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f64, y: f64, z: f64) -> Point3 {
+        Point3::new(x, y, z)
+    }
+
+    #[test]
+    fn two_triangle_tin() {
+        // Unit square split along a diagonal.
+        let tin = Tin::new(
+            vec![v(0., 0., 1.), v(1., 0., 2.), v(1., 1., 3.), v(0., 1., 4.)],
+            vec![[0, 1, 2], [0, 2, 3]],
+        )
+        .unwrap();
+        let (nv, ne, nt) = tin.counts();
+        assert_eq!((nv, ne, nt), (4, 5, 2));
+        // The diagonal edge 0-2 is shared by both triangles.
+        let diag = tin
+            .edges()
+            .iter()
+            .position(|&[a, b]| (a, b) == (0, 2))
+            .unwrap();
+        let et = tin.edge_tris(diag);
+        assert!(et[0].is_some() && et[1].is_some());
+    }
+
+    #[test]
+    fn rejects_nonfinite() {
+        let err = Tin::new(vec![v(0., 0., f64::NAN)], vec![]).unwrap_err();
+        assert_eq!(err, TinError::NonFiniteVertex(0));
+    }
+
+    #[test]
+    fn rejects_duplicate_ground() {
+        let err = Tin::new(vec![v(0., 0., 1.), v(0., 0., 2.)], vec![]).unwrap_err();
+        assert_eq!(err, TinError::DuplicateGroundPosition(0, 1));
+    }
+
+    #[test]
+    fn rejects_degenerate_triangle() {
+        let err = Tin::new(
+            vec![v(0., 0., 0.), v(1., 1., 0.), v(2., 2., 0.)],
+            vec![[0, 1, 2]],
+        )
+        .unwrap_err();
+        assert_eq!(err, TinError::DegenerateTriangle(0));
+    }
+
+    #[test]
+    fn normalises_orientation() {
+        let tin = Tin::new(
+            vec![v(0., 0., 0.), v(1., 0., 0.), v(0., 1., 0.)],
+            vec![[0, 2, 1]], // CW input
+        )
+        .unwrap();
+        let [a, b, c] = tin.triangles()[0];
+        assert_eq!(
+            orient2d(
+                tin.vertices()[a as usize].ground(),
+                tin.vertices()[b as usize].ground(),
+                tin.vertices()[c as usize].ground()
+            ),
+            Orientation::Ccw
+        );
+    }
+
+    #[test]
+    fn rotation_preserves_structure() {
+        let tin = Tin::new(
+            vec![v(0., 0., 1.), v(1., 0., 2.), v(1., 1., 3.), v(0., 1., 4.)],
+            vec![[0, 1, 2], [0, 2, 3]],
+        )
+        .unwrap();
+        let rot = tin.rotated_about_z(0.3).unwrap();
+        assert_eq!(rot.counts(), tin.counts());
+        assert_eq!(rot.height_range(), tin.height_range());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the terrain substrate: Delaunay correctness on
+//! random point sets and generator validity across their parameter space.
+
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+use hsr_geometry::{incircle, Point2};
+use hsr_terrain::delaunay::Delaunay;
+use hsr_terrain::gen;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn delaunay_empty_circumcircle(
+        raw in prop::collection::vec((0i32..200, 0i32..200), 4..40),
+    ) {
+        // Deduplicate (the triangulator rejects exact duplicates).
+        let mut seen = std::collections::HashSet::new();
+        let pts: Vec<Point2> = raw
+            .into_iter()
+            .filter(|p| seen.insert(*p))
+            .map(|(x, y)| Point2::new(x as f64, y as f64))
+            .collect();
+        prop_assume!(pts.len() >= 3);
+        let Some(dt) = Delaunay::build(&pts) else {
+            // All collinear — legitimately no triangulation.
+            return Ok(());
+        };
+        let tris = dt.triangles();
+        for t in &tris {
+            let (a, b, c) = (pts[t[0]], pts[t[1]], pts[t[2]]);
+            for (i, p) in pts.iter().enumerate() {
+                if t.contains(&i) {
+                    continue;
+                }
+                prop_assert_ne!(
+                    incircle(a, b, c, *p),
+                    Ordering::Greater,
+                    "point {} strictly inside circumcircle of {:?}",
+                    i,
+                    t
+                );
+            }
+        }
+        // Euler count: for n points with h on the hull, 2n − 2 − h
+        // triangles; we only check the upper bound (collinear subsets
+        // reduce the count).
+        prop_assert!(tris.len() <= 2 * pts.len());
+    }
+
+    #[test]
+    fn generators_always_produce_valid_tins(
+        seed in any::<u64>(),
+        nx in 4usize..16,
+        ny in 4usize..16,
+        theta in 0.0f64..1.0,
+    ) {
+        // Every generator must yield a TIN that passes validation for any
+        // seed/size — construction is `unwrap`ped inside `build`.
+        for w in [
+            gen::Workload::Fbm { nx, ny, seed },
+            gen::Workload::Knob { nx, ny, theta, seed },
+            gen::Workload::Amphitheater { nx, ny, seed },
+        ] {
+            let tin = w.build();
+            let (nv, ne, nt) = tin.counts();
+            prop_assert_eq!(nv, nx * ny);
+            prop_assert_eq!(nt, 2 * (nx - 1) * (ny - 1));
+            prop_assert!(ne > nv);
+        }
+    }
+
+    #[test]
+    fn grid_tin_euler_formula(nx in 2usize..24, ny in 2usize..24) {
+        let tin = gen::fbm(nx, ny, 3, 5.0, 7).to_tin().unwrap();
+        let (v, e, f) = tin.counts();
+        // Euler for a planar triangulated disc: v − e + (f + 1) = 2.
+        prop_assert_eq!(v as i64 - e as i64 + f as i64 + 1, 2);
+    }
+
+    #[test]
+    fn obj_roundtrip_any_grid(seed in any::<u64>(), n in 4usize..12) {
+        let tin = gen::gaussian_hills(n, n, 3, seed).to_tin().unwrap();
+        let back = hsr_terrain::io::from_obj(&hsr_terrain::io::to_obj(&tin)).unwrap();
+        prop_assert_eq!(tin.counts(), back.counts());
+    }
+}

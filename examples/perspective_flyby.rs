@@ -1,0 +1,55 @@
+//! Perspective fly-by: the paper's §2 remark ("the algorithm works for
+//! perspective projection as well") in action. A camera descends towards
+//! a crater field; each frame is a true perspective view computed by the
+//! ordinary pipeline after the projective pre-transform.
+//!
+//! ```sh
+//! cargo run --release --example perspective_flyby
+//! ```
+
+use terrain_hsr::core::perspective::{perspective_tin, Viewpoint};
+use terrain_hsr::core::pipeline::{run, Algorithm, HsrConfig};
+use terrain_hsr::terrain::gen;
+
+fn main() {
+    let grid = gen::craters(64, 64, 9, 21);
+    let tin = grid.to_tin().expect("valid terrain");
+    let (lo, hi) = tin.ground_bounds();
+    let (_, zhi) = tin.height_range();
+    println!(
+        "crater field: {} edges, heights up to {zhi:.1}; camera flying in from x = {:.0}…",
+        tin.edges().len(),
+        hi.x + 120.0
+    );
+    println!("| camera (x, z) | n | k | visible width | ms |");
+    println!("|---|---|---|---|---|");
+    for step in 0..6 {
+        let view = Viewpoint {
+            vx: hi.x + 120.0 / (1 << step) as f64,
+            vy: 0.5 * (lo.y + hi.y),
+            vz: zhi + 30.0 / (1 << step) as f64,
+        };
+        let ptin = perspective_tin(&tin, view).expect("camera outside the scene");
+        let report = run(&ptin, &HsrConfig::default()).expect("acyclic");
+        // Sanity: the sequential baseline agrees frame by frame.
+        let seq = run(
+            &ptin,
+            &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() },
+        )
+        .unwrap();
+        assert!(report.vis.agreement(&seq.vis) > 0.9999);
+        println!(
+            "| ({:.1}, {:.1}) | {} | {} | {:.4} | {:.1} |",
+            view.vx,
+            view.vz,
+            report.n,
+            report.k,
+            report.vis.total_visible_width(),
+            report.timings.total_s * 1e3,
+        );
+    }
+    println!();
+    println!("as the camera closes in, foreshortening exposes different crater");
+    println!("rims frame to frame while every frame stays an exact object-space");
+    println!("perspective solution — no z-buffer, no resolution.");
+}

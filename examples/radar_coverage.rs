@@ -1,0 +1,53 @@
+//! Radar coverage: which of a fleet of low-flying aircraft can a coastal
+//! radar (sitting at `x = +∞`, i.e. far off-shore) actually see over the
+//! terrain? A direct application of the batched point-visibility queries
+//! built on the profile sweep.
+//!
+//! ```sh
+//! cargo run --release --example radar_coverage
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use terrain_hsr::core::edges::project_edges;
+use terrain_hsr::core::order::depth_order;
+use terrain_hsr::core::viewshed::{classify_points, Verdict};
+use terrain_hsr::geometry::Point3;
+use terrain_hsr::terrain::gen;
+
+fn main() {
+    // Mountainous coast: ridges across the radar's line of sight.
+    let grid = gen::ridge_field(96, 96, 7, 16.0, 13);
+    let tin = grid.to_tin().expect("valid terrain");
+    let edges = project_edges(&tin);
+    let order = depth_order(&tin).expect("terrain is acyclic");
+
+    // A fleet of aircraft at random positions, at a few altitude bands.
+    let mut rng = SmallRng::seed_from_u64(99);
+    let (lo, hi) = tin.ground_bounds();
+    println!("terrain: {} edges; radar looking along -x", tin.edges().len());
+    println!("| altitude | aircraft | visible | coverage |");
+    println!("|---|---|---|---|");
+    for altitude in [2.0, 6.0, 10.0, 14.0, 18.0] {
+        let fleet: Vec<Point3> = (0..400)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(lo.x..hi.x),
+                    rng.random_range(lo.y..hi.y),
+                    altitude,
+                )
+            })
+            .collect();
+        let verdicts = classify_points(&tin, &edges, &order, &fleet);
+        let visible = verdicts.iter().filter(|v| **v == Verdict::Visible).count();
+        println!(
+            "| {altitude:.0} | {} | {visible} | {:.0}% |",
+            fleet.len(),
+            100.0 * visible as f64 / fleet.len() as f64
+        );
+    }
+    println!();
+    println!("higher altitude bands clear the ridge silhouettes and coverage");
+    println!("rises towards 100% — the same profile machinery that renders the");
+    println!("terrain answers the operational question directly.");
+}

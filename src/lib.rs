@@ -1,0 +1,37 @@
+//! # terrain-hsr
+//!
+//! Output-size sensitive parallel hidden-surface removal for polyhedral
+//! terrains — a reproduction of Gupta & Sen, *"An Improved Output-size
+//! Sensitive Parallel Algorithm for Hidden-Surface Removal for Terrains"*
+//! (IPPS 1998).
+//!
+//! This facade crate re-exports the workspace crates and offers a small
+//! high-level API ([`Scene`]) plus SVG/PPM rendering of visibility maps.
+//!
+//! ```
+//! use terrain_hsr::{Scene, Algorithm};
+//! use terrain_hsr::terrain::gen;
+//!
+//! // A small fractal terrain, viewed from x = +∞.
+//! let scene = Scene::from_grid(&gen::fbm(16, 16, 4, 8.0, 7)).unwrap();
+//! let report = scene.compute().unwrap();
+//! assert!(report.k > 0);
+//!
+//! // The parallel algorithm agrees with the sequential baseline.
+//! let seq = scene.compute_with(Algorithm::Sequential).unwrap();
+//! assert!(report.vis.agreement(&seq.vis) > 0.9999);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hsr_core as core;
+pub use hsr_geometry as geometry;
+pub use hsr_pram as pram;
+pub use hsr_pstruct as pstruct;
+pub use hsr_terrain as terrain;
+
+pub mod render;
+pub mod scene;
+
+pub use scene::{Algorithm, Phase2Mode, Scene, SceneReport};

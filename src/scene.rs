@@ -1,0 +1,84 @@
+//! High-level API: build a scene, compute its visibility map.
+
+use hsr_core::order::CyclicOcclusion;
+use hsr_core::pipeline::{self, HsrConfig, HsrResult};
+use hsr_terrain::{GridTerrain, Tin, TinError};
+
+pub use hsr_core::pipeline::{Algorithm, Phase2Mode};
+
+/// A terrain scene viewed from `x = +∞` (image plane `y–z`).
+pub struct Scene {
+    tin: Tin,
+}
+
+/// Everything a run produced: the visibility map plus measurements.
+pub type SceneReport = HsrResult;
+
+impl Scene {
+    /// Wraps an already validated TIN.
+    pub fn from_tin(tin: Tin) -> Scene {
+        Scene { tin }
+    }
+
+    /// Builds a scene from a heightfield.
+    pub fn from_grid(grid: &GridTerrain) -> Result<Scene, TinError> {
+        Ok(Scene { tin: grid.to_tin()? })
+    }
+
+    /// The underlying terrain.
+    pub fn tin(&self) -> &Tin {
+        &self.tin
+    }
+
+    /// Scene size `(vertices, edges, faces)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        self.tin.counts()
+    }
+
+    /// Runs hidden-surface removal with the default (parallel, persistent)
+    /// algorithm.
+    pub fn compute(&self) -> Result<SceneReport, CyclicOcclusion> {
+        pipeline::run(&self.tin, &HsrConfig::default())
+    }
+
+    /// Runs hidden-surface removal with an explicit algorithm choice.
+    pub fn compute_with(&self, algorithm: Algorithm) -> Result<SceneReport, CyclicOcclusion> {
+        pipeline::run(&self.tin, &HsrConfig { algorithm, ..Default::default() })
+    }
+
+    /// Runs with full per-layer statistics collection.
+    pub fn compute_with_stats(&self) -> Result<SceneReport, CyclicOcclusion> {
+        pipeline::run(
+            &self.tin,
+            &HsrConfig { collect_stats: true, ..Default::default() },
+        )
+    }
+
+    /// The same terrain viewed from direction `angle` radians (rotated
+    /// about the vertical axis).
+    pub fn rotated_view(&self, angle: f64) -> Result<Scene, TinError> {
+        Ok(Scene { tin: self.tin.rotated_about_z(angle)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsr_terrain::gen;
+
+    #[test]
+    fn end_to_end_via_facade() {
+        let scene = Scene::from_grid(&gen::fbm(8, 8, 3, 6.0, 5)).unwrap();
+        let report = scene.compute().unwrap();
+        assert!(report.k > 0);
+        assert_eq!(report.n, scene.counts().1);
+    }
+
+    #[test]
+    fn rotated_view_still_works() {
+        let scene = Scene::from_grid(&gen::gaussian_hills(8, 8, 3, 6)).unwrap();
+        let rotated = scene.rotated_view(0.4).unwrap();
+        let report = rotated.compute().unwrap();
+        assert!(report.k > 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-validation of the two ACG realizations (DESIGN.md §4.3): the
+//! static hull-tree (`cg::HullTree`, the faithful Chazelle–Guibas
+//! structure) and the walking scan (`Envelope::visible_parts`) must report
+//! exactly the same crossings for the same segment against the same
+//! profile — and the persistent merge must find the same events again.
+
+use terrain_hsr::core::cg::HullTree;
+use terrain_hsr::core::envelope::{Envelope, Piece};
+use terrain_hsr::core::ptenv::PEnvelope;
+
+fn pseudo_pieces(n: usize, seed: u64) -> Vec<Piece> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    (0..n as u32)
+        .map(|e| {
+            let x0 = next() * 100.0;
+            let w = next() * 15.0 + 0.5;
+            Piece { x0, x1: x0 + w, z0: next() * 25.0, z1: next() * 25.0, edge: e }
+        })
+        .collect()
+}
+
+#[test]
+fn hull_tree_and_walk_agree_on_crossings() {
+    for seed in 1u64..8 {
+        let env = Envelope::from_pieces(&pseudo_pieces(120, seed));
+        let tree = HullTree::build(&env).unwrap();
+        let mut state = seed ^ 0xbeef;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for q in 0..50u32 {
+            let x0 = next() * 110.0 - 5.0;
+            let w = next() * 60.0 + 1.0;
+            let s = Piece { x0, x1: x0 + w, z0: next() * 25.0, z1: next() * 25.0, edge: 5000 + q };
+            let tree_events = tree.all_crossings(&s);
+            let (_, walk_events) = env.visible_parts(&s);
+            assert_eq!(
+                tree_events.len(),
+                walk_events.len(),
+                "seed {seed} query {q}: hull tree found {} crossings, walk found {}",
+                tree_events.len(),
+                walk_events.len()
+            );
+            for (a, b) in tree_events.iter().zip(&walk_events) {
+                assert!(
+                    (a.x - b.x).abs() < 1e-9,
+                    "crossing abscissa mismatch: {} vs {}",
+                    a.x,
+                    b.x
+                );
+                assert_eq!(a.upper_left, b.upper_left);
+                assert_eq!(a.upper_right, b.upper_right);
+            }
+        }
+    }
+}
+
+#[test]
+fn persistent_merge_finds_the_same_events_as_hull_tree() {
+    for seed in 11u64..15 {
+        let base = Envelope::from_pieces(&pseudo_pieces(100, seed));
+        let tree = HullTree::build(&base).unwrap();
+        let sigma: Vec<Piece> = pseudo_pieces(10, seed ^ 0x77)
+            .into_iter()
+            .map(|mut p| {
+                p.edge += 9_000;
+                p
+            })
+            .collect();
+        let sigma_env = Envelope::from_pieces(&sigma);
+
+        // Hull-tree reference: crossings of each sigma-envelope piece.
+        let mut expect = 0usize;
+        for p in sigma_env.pieces() {
+            expect += tree.all_crossings(p).len();
+        }
+        // Persistent merge.
+        let out = PEnvelope::from_envelope(&base).merge(sigma_env.pieces());
+        assert_eq!(
+            out.crossings.len(),
+            expect,
+            "seed {seed}: persistent merge found {} crossings, hull tree {}",
+            out.crossings.len(),
+            expect
+        );
+    }
+}
+
+#[test]
+fn first_crossing_is_leftmost_of_all_crossings() {
+    let env = Envelope::from_pieces(&pseudo_pieces(200, 42));
+    let tree = HullTree::build(&env).unwrap();
+    let mut state = 7u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let mut checked = 0;
+    for q in 0..100u32 {
+        let x0 = next() * 100.0;
+        let s = Piece {
+            x0,
+            x1: x0 + next() * 50.0 + 1.0,
+            z0: next() * 25.0,
+            z1: next() * 25.0,
+            edge: 7000 + q,
+        };
+        let all = tree.all_crossings(&s);
+        let first = tree.first_crossing(&s, f64::NEG_INFINITY);
+        match (all.first(), first) {
+            (None, None) => {}
+            (Some(a), Some(f)) => {
+                assert!((a.x - f.x).abs() < 1e-12, "first {} vs leftmost {}", f.x, a.x);
+                checked += 1;
+            }
+            (a, f) => panic!("existence disagreement: all={a:?} first={f:?}"),
+        }
+    }
+    assert!(checked > 20, "too few crossing queries exercised: {checked}");
+}

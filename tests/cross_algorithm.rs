@@ -1,0 +1,92 @@
+//! Integration: all four algorithm configurations must produce the same
+//! visible image on every workload family, deterministically, at any
+//! thread count.
+
+use terrain_hsr::core::pipeline::{run, Algorithm, HsrConfig, Phase2Mode};
+use terrain_hsr::pram::with_threads;
+use terrain_hsr::terrain::gen::{self, Workload};
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::Fbm { nx: 14, ny: 12, seed: 1 },
+        Workload::Fbm { nx: 10, ny: 18, seed: 99 },
+        Workload::Hills { nx: 12, ny: 12, hills: 6, seed: 2 },
+        Workload::Ridges { nx: 16, ny: 10, ridges: 4, seed: 3 },
+        Workload::Amphitheater { nx: 10, ny: 12, seed: 4 },
+        Workload::Knob { nx: 12, ny: 12, theta: 0.8, seed: 5 },
+        Workload::Comb { m: 6 },
+        Workload::DelaunayFbm { n: 90, seed: 6 },
+        Workload::Craters { nx: 14, ny: 14, craters: 4, seed: 7 },
+        Workload::Canyon { nx: 12, ny: 14, seed: 8 },
+        Workload::Terraces { nx: 16, ny: 10, steps: 4, seed: 9 },
+    ]
+}
+
+#[test]
+fn all_algorithms_agree_on_all_families() {
+    for w in workloads() {
+        let tin = w.build();
+        let reference = run(
+            &tin,
+            &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() },
+        )
+        .unwrap();
+        for alg in [
+            Algorithm::Parallel(Phase2Mode::Persistent),
+            Algorithm::Parallel(Phase2Mode::Rebuild),
+            Algorithm::Naive,
+        ] {
+            let got = run(&tin, &HsrConfig { algorithm: alg, ..Default::default() }).unwrap();
+            let ag = got.vis.agreement(&reference.vis);
+            assert!(ag > 0.9999, "{}: {alg:?} agreement {ag}", w.name());
+            assert_eq!(
+                got.vis.vertical_visible, reference.vis.vertical_visible,
+                "{}: vertical edges differ under {alg:?}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_is_deterministic_across_runs_and_threads() {
+    let tin = gen::fbm(20, 20, 4, 10.0, 77).to_tin().unwrap();
+    let reference = run(&tin, &HsrConfig::default()).unwrap();
+    let ser_ref = serde_json::to_string(&reference.vis).unwrap();
+    for threads in [1, 2, 4] {
+        let got = with_threads(threads, || run(&tin, &HsrConfig::default()).unwrap());
+        let ser = serde_json::to_string(&got.vis).unwrap();
+        assert_eq!(ser, ser_ref, "nondeterminism at {threads} threads");
+    }
+}
+
+#[test]
+fn output_size_matches_across_modes_on_comb() {
+    // On the adversary the output counts themselves should match (not just
+    // interval measure).
+    let tin = gen::quadratic_comb(10);
+    let a = run(&tin, &HsrConfig::default()).unwrap();
+    let b = run(
+        &tin,
+        &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(a.vis.pieces.len(), b.vis.pieces.len());
+    assert!(a.k as f64 > 0.8 * b.k as f64 && (a.k as f64) < 1.2 * b.k as f64);
+}
+
+#[test]
+fn rotated_views_stay_consistent() {
+    let base = gen::gaussian_hills(14, 14, 5, 21).to_tin().unwrap();
+    for deg in [0.0f64, 17.0, 45.0, 90.0, 133.0] {
+        let tin = base.rotated_about_z(deg.to_radians()).unwrap();
+        let par = run(&tin, &HsrConfig::default()).unwrap();
+        let seq = run(
+            &tin,
+            &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() },
+        )
+        .unwrap();
+        let ag = par.vis.agreement(&seq.vis);
+        assert!(ag > 0.9999, "angle {deg}: agreement {ag}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Deep invariants of the Profile Computation Tree — the claims §2.1 of
+//! the paper rests on, checked directly against the structures.
+
+use terrain_hsr::core::edges::{project_edges, SceneEdge};
+use terrain_hsr::core::envelope::{Envelope, Piece};
+use terrain_hsr::core::order::depth_order;
+use terrain_hsr::core::pct::Pct;
+use terrain_hsr::core::seq;
+use terrain_hsr::terrain::gen::Workload;
+
+fn ordered_edges(tin: &hsr_terrain::Tin) -> Vec<SceneEdge> {
+    let edges = project_edges(tin);
+    let order = depth_order(tin).unwrap();
+    order.iter().map(|&e| edges[e as usize]).collect()
+}
+
+fn envelopes_agree(a: &Envelope, b: &Envelope, span: (f64, f64)) {
+    for s in 0..800 {
+        let x = span.0 + (span.1 - span.0) * (s as f64 + 0.3) / 800.0;
+        match (a.eval(x), b.eval(x)) {
+            (None, None) => {}
+            (Some(p), Some(q)) => {
+                assert!((p - q).abs() < 1e-9, "envelope mismatch at {x}: {p} vs {q}")
+            }
+            (p, q) => panic!("gap mismatch at {x}: {p:?} vs {q:?}"),
+        }
+    }
+}
+
+/// Phase 1's root envelope must equal the direct envelope of all edges —
+/// and so must every subtree's, which we check by comparing the root
+/// envelope of a PCT built on each half (the recursion invariant).
+#[test]
+fn phase1_envelopes_are_subtree_envelopes() {
+    for w in [
+        Workload::Fbm { nx: 10, ny: 10, seed: 3 },
+        Workload::Craters { nx: 10, ny: 10, craters: 3, seed: 4 },
+    ] {
+        let tin = w.build();
+        let edges = ordered_edges(&tin);
+        let pieces: Vec<Piece> = edges.iter().filter_map(|e| e.piece()).collect();
+        let direct = Envelope::from_pieces(&pieces);
+        let pct = Pct::build(edges.clone());
+        let span = direct.span().unwrap();
+        envelopes_agree(pct.root_profile(), &direct, span);
+
+        // Recursion invariant at the first split.
+        let mid = edges.len() / 2;
+        let left_pct = Pct::build(edges[..mid].to_vec());
+        let left_pieces: Vec<Piece> =
+            edges[..mid].iter().filter_map(|e| e.piece()).collect();
+        let left_direct = Envelope::from_pieces(&left_pieces);
+        if let Some(lspan) = left_direct.span() {
+            envelopes_agree(left_pct.root_profile(), &left_direct, lspan);
+        }
+    }
+}
+
+/// Every internal crossing discovered in phase 2 must be a vertex of the
+/// final image (the charging argument of the paper: intersections on
+/// actual profiles are visible in the final image). We verify the
+/// *count* consequence: internal crossings never exceed the final image's
+/// vertex count by more than the coalescing slack.
+#[test]
+fn internal_crossings_are_bounded_by_output() {
+    for w in [
+        Workload::Fbm { nx: 12, ny: 12, seed: 5 },
+        Workload::Comb { m: 8 },
+        Workload::Knob { nx: 12, ny: 12, theta: 0.6, seed: 6 },
+    ] {
+        let tin = w.build();
+        let pct = Pct::build(ordered_edges(&tin));
+        let out = pct.phase2(false);
+        let k = out.vis.output_size() as u64;
+        assert!(
+            out.internal_crossings <= 2 * k + 16,
+            "{}: internal {} vs k {}",
+            w.name(),
+            out.internal_crossings,
+            k
+        );
+    }
+}
+
+/// The sequential final profile and the PCT root profile describe the
+/// same silhouette.
+#[test]
+fn silhouette_consistency_between_algorithms() {
+    let tin = Workload::Terraces { nx: 14, ny: 12, steps: 4, seed: 7 }.build();
+    let edges = ordered_edges(&tin);
+    let pct = Pct::build(edges.clone());
+    let seq_profile = seq::final_profile(&edges);
+    let span = seq_profile.span().unwrap();
+    envelopes_agree(pct.root_profile(), &seq_profile, span);
+}
+
+/// Visibility is monotone in occluder height: raising a front wall can
+/// only shrink (never grow) the visible set behind it.
+#[test]
+fn visibility_monotone_in_occlusion() {
+    use terrain_hsr::core::pipeline::{run, HsrConfig};
+    let mut widths = Vec::new();
+    for theta in [0.0, 0.3, 0.6, 0.9] {
+        let tin = Workload::Knob { nx: 14, ny: 14, theta, seed: 11 }.build();
+        let res = run(&tin, &HsrConfig::default()).unwrap();
+        widths.push(res.vis.total_visible_width());
+    }
+    for w in widths.windows(2) {
+        assert!(
+            w[1] <= w[0] * 1.02,
+            "visible width grew as the wall rose: {widths:?}"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based integration tests: randomized terrains and segment sets
+//! must uphold the core invariants of the system.
+
+use proptest::prelude::*;
+use terrain_hsr::core::envelope::{Envelope, Piece};
+use terrain_hsr::core::pipeline::{run, Algorithm, HsrConfig};
+use terrain_hsr::core::ptenv::PEnvelope;
+use terrain_hsr::geometry::{orient2d, Point2};
+use terrain_hsr::terrain::gen;
+
+/// Random pieces with **unique** edge ids (the `Piece::edge` contract:
+/// one id per supporting line).
+fn arb_pieces(max: usize) -> impl Strategy<Value = Vec<Piece>> {
+    prop::collection::vec(
+        (0.0f64..100.0, 0.1f64..30.0, -20.0f64..20.0, -20.0f64..20.0),
+        1..max,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x0, w, z0, z1))| Piece { x0, x1: x0 + w, z0, z1, edge: i as u32 })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn envelope_is_pointwise_max(pieces in arb_pieces(80)) {
+        let env = Envelope::from_pieces(&pieces);
+        env.check_invariants().unwrap();
+        for i in 0..100 {
+            let x = i as f64 * 1.35;
+            let brute = pieces
+                .iter()
+                .filter(|p| p.x0 <= x && x <= p.x1)
+                .map(|p| p.eval(x))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let got = env.eval(x).unwrap_or(f64::NEG_INFINITY);
+            prop_assert!(
+                (brute - got).abs() < 1e-6 || (brute.is_infinite() && got.is_infinite()),
+                "x={x}: brute={brute} env={got}"
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_merge_equals_static_merge(
+        a in arb_pieces(50),
+        b in arb_pieces(50),
+    ) {
+        // Distinct id spaces for the two sets.
+        let b: Vec<Piece> = b
+            .into_iter()
+            .map(|mut p| {
+                p.edge += 10_000;
+                p
+            })
+            .collect();
+        let ea = Envelope::from_pieces(&a);
+        let eb = Envelope::from_pieces(&b);
+        let expect = Envelope::merge(&ea, &eb);
+        let got = PEnvelope::from_envelope(&ea).merge(eb.pieces()).env.to_envelope();
+        for i in 0..120 {
+            let x = i as f64 * 1.1;
+            let (ve, vg) = (expect.eval(x), got.eval(x));
+            match (ve, vg) {
+                (None, None) => {}
+                (Some(p), Some(q)) => prop_assert!((p - q).abs() < 1e-6, "x={x}: {p} vs {q}"),
+                _ => prop_assert!(false, "gap mismatch at {x}: {ve:?} vs {vg:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_is_antisymmetric_and_cyclic(
+        ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+        bx in -1e3f64..1e3, by in -1e3f64..1e3,
+        cx in -1e3f64..1e3, cy in -1e3f64..1e3,
+    ) {
+        let (a, b, c) = (Point2::new(ax, ay), Point2::new(bx, by), Point2::new(cx, cy));
+        let o = orient2d(a, b, c);
+        prop_assert_eq!(o, orient2d(b, c, a));
+        prop_assert_eq!(o, orient2d(c, a, b));
+        prop_assert_eq!(o, orient2d(a, c, b).reversed());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_terrains(
+        seed in 0u64..5000,
+        nx in 6usize..14,
+        ny in 6usize..14,
+        amp in 2.0f64..20.0,
+    ) {
+        let tin = gen::fbm(nx, ny, 3, amp, seed).to_tin().unwrap();
+        let par = run(&tin, &HsrConfig::default()).unwrap();
+        let seq = run(
+            &tin,
+            &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() },
+        )
+        .unwrap();
+        let ag = par.vis.agreement(&seq.vis);
+        prop_assert!(ag > 0.9999, "agreement {ag}");
+    }
+
+    #[test]
+    fn visible_width_never_exceeds_projected_width(
+        seed in 0u64..5000,
+        theta in 0.0f64..1.0,
+    ) {
+        let tin = gen::occlusion_knob(10, 10, theta, 10.0, seed).to_tin().unwrap();
+        let res = run(&tin, &HsrConfig::default()).unwrap();
+        let total: f64 = tin
+            .edges()
+            .iter()
+            .map(|&[a, b]| {
+                (tin.vertices()[b as usize].y - tin.vertices()[a as usize].y).abs()
+            })
+            .sum();
+        prop_assert!(res.vis.total_visible_width() <= total * (1.0 + 1e-9));
+        // The silhouette (root profile) is always part of the image: k > 0.
+        prop_assert!(res.k > 0);
+    }
+}
