@@ -10,7 +10,9 @@ use std::hint::black_box;
 fn pseudo_pieces(n: usize, seed: u64) -> Vec<Piece> {
     let mut state = seed;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as f64 / (1u64 << 31) as f64
     };
     (0..n as u32)
@@ -54,11 +56,9 @@ fn bench_persistent_merge(c: &mut Criterion) {
         let sigma = Envelope::from_pieces(&pseudo_pieces(n / 4, 5));
         let pe = PEnvelope::from_envelope(&base);
         g.throughput(Throughput::Elements(sigma.size() as u64));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(n),
-            &(pe, sigma),
-            |bench, (pe, sigma)| bench.iter(|| pe.merge(black_box(sigma.pieces())).env.size()),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(pe, sigma), |bench, (pe, sigma)| {
+            bench.iter(|| pe.merge(black_box(sigma.pieces())).env.size())
+        });
     }
     g.finish();
 }
@@ -68,9 +68,7 @@ fn bench_visible_parts(c: &mut Criterion) {
     let base = Envelope::from_pieces(&pseudo_pieces(1 << 14, 6));
     let (lo, hi) = base.span().unwrap();
     let probe = Piece { x0: lo, x1: hi, z0: 15.0, z1: 15.0, edge: 1_000_000 };
-    g.bench_function("probe_16k", |b| {
-        b.iter(|| base.visible_parts(black_box(&probe)).0.len())
-    });
+    g.bench_function("probe_16k", |b| b.iter(|| base.visible_parts(black_box(&probe)).0.len()));
     g.finish();
 }
 

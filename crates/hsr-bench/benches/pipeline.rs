@@ -22,14 +22,10 @@ fn bench_end_to_end(c: &mut Criterion) {
             ("rebuild", Algorithm::Parallel(Phase2Mode::Rebuild)),
             ("sequential", Algorithm::Sequential),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(name, w.name()),
-                &tin,
-                |b, tin| {
-                    let cfg = HsrConfig { algorithm: alg, ..Default::default() };
-                    b.iter(|| run(black_box(tin), &cfg).unwrap().k)
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, w.name()), &tin, |b, tin| {
+                let cfg = HsrConfig { algorithm: alg, ..Default::default() };
+                b.iter(|| run(black_box(tin), &cfg).unwrap().k)
+            });
         }
     }
     // The naive baseline only at a size it can handle.
@@ -45,9 +41,7 @@ fn bench_ordering(c: &mut Criterion) {
     let mut g = c.benchmark_group("order");
     let tin = Workload::Fbm { nx: 64, ny: 64, seed: 3 }.build();
     g.throughput(Throughput::Elements(tin.edges().len() as u64));
-    g.bench_function("kahn_sequential", |b| {
-        b.iter(|| depth_order(black_box(&tin)).unwrap().len())
-    });
+    g.bench_function("kahn_sequential", |b| b.iter(|| depth_order(black_box(&tin)).unwrap().len()));
     g.bench_function("kahn_layered_parallel", |b| {
         b.iter(|| depth_order_parallel(black_box(&tin)).unwrap().len())
     });

@@ -48,7 +48,14 @@ fn main() {
         }
     }
     md_table(
-        &["workload", "n", "k", "persistent ms", "rebuild ms", "rebuild/persistent"],
+        &[
+            "workload",
+            "n",
+            "k",
+            "persistent ms",
+            "rebuild ms",
+            "rebuild/persistent",
+        ],
         &rows,
     );
 

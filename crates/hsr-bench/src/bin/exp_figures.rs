@@ -22,7 +22,11 @@ use hsr_core::pct::Pct;
 use hsr_terrain::gen::Workload;
 
 fn main() {
-    let side = if std::env::args().any(|a| a == "--quick") { 32 } else { 64 };
+    let side = if std::env::args().any(|a| a == "--quick") {
+        32
+    } else {
+        64
+    };
 
     // ---------------- F1 ----------------
     println!("## F1 — intermediate profile sizes per PCT layer (Figure 1)");
@@ -76,7 +80,10 @@ fn main() {
     println!(
         "a horizontal probe at z = 2 crosses the profile {} times at x = {:?}\n",
         crossings.len(),
-        crossings.iter().map(|c| (c.x * 100.0).round() / 100.0).collect::<Vec<_>>()
+        crossings
+            .iter()
+            .map(|c| (c.x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 
     // ---------------- F3 ----------------
@@ -112,7 +119,14 @@ fn main() {
             })
             .collect();
         md_table(
-            &["layer", "profiles", "Σ logical pieces", "distinct nodes", "ratio", "crossings"],
+            &[
+                "layer",
+                "profiles",
+                "Σ logical pieces",
+                "distinct nodes",
+                "ratio",
+                "crossings",
+            ],
             &rows,
         );
         println!(

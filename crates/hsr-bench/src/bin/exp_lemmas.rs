@@ -13,7 +13,9 @@ use hsr_core::envelope::{Envelope, Piece};
 fn pseudo_pieces(n: usize, seed: u64) -> Vec<Piece> {
     let mut state = seed;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as f64 / (1u64 << 31) as f64
     };
     (0..n as u32)
@@ -38,8 +40,11 @@ fn zigzag(m: usize) -> Envelope {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let sizes: &[usize] =
-        if quick { &[1 << 10, 1 << 12, 1 << 14] } else { &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18] };
+    let sizes: &[usize] = if quick {
+        &[1 << 10, 1 << 12, 1 << 14]
+    } else {
+        &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]
+    };
 
     println!("## E6 — Lemma 3.1: envelope construction");
     let mut rows = Vec::new();
@@ -57,7 +62,16 @@ fn main() {
             format!("{:.1}", t * 1e9 / (m as f64 * lg(m))),
         ]);
     }
-    md_table(&["m segments", "envelope size", "size/m", "build ms", "ns/(m·lg m)"], &rows);
+    md_table(
+        &[
+            "m segments",
+            "envelope size",
+            "size/m",
+            "build ms",
+            "ns/(m·lg m)",
+        ],
+        &rows,
+    );
     println!("fitted time exponent: m^{:.2} (bound: m·log m)\n", fit_exponent(&pts));
 
     println!("## E7 — Lemmas 3.3/3.5: ACG construction");
@@ -101,7 +115,14 @@ fn main() {
         ]);
     }
     md_table(
-        &["m", "first µs", "first ns/lg²m", "k_s", "all ms", "all ns/((1+k_s)·lg²m)"],
+        &[
+            "m",
+            "first µs",
+            "first ns/lg²m",
+            "k_s",
+            "all ms",
+            "all ns/((1+k_s)·lg²m)",
+        ],
         &rows,
     );
     println!("flat normalised columns reproduce the O(log²m) / O((1+k_s)·log²m) query bounds.");

@@ -49,13 +49,26 @@ fn main() {
         ]);
     }
     md_table(
-        &["θ", "n", "k", "k/n", "work", "parallel ms", "sequential ms", "naive ms"],
+        &[
+            "θ",
+            "n",
+            "k",
+            "k/n",
+            "work",
+            "parallel ms",
+            "sequential ms",
+            "naive ms",
+        ],
         &rows,
     );
 
     println!("## E4b — comb adversary (k = Θ(n²))");
     let mut rows = Vec::new();
-    for m in if quick { vec![16, 32, 64] } else { vec![16, 32, 64, 128, 256] } {
+    for m in if quick {
+        vec![16, 32, 64]
+    } else {
+        vec![16, 32, 64, 128, 256]
+    } {
         let tin = Workload::Comb { m }.build();
         let n = tin.edges().len();
         cost::reset();
@@ -85,7 +98,16 @@ fn main() {
         ]);
     }
     md_table(
-        &["m", "n", "k", "k/n", "work", "work/k", "persistent ms", "rebuild ms"],
+        &[
+            "m",
+            "n",
+            "k",
+            "k/n",
+            "work",
+            "work/k",
+            "persistent ms",
+            "rebuild ms",
+        ],
         &rows,
     );
     println!("work/k staying bounded as k/n grows is the output-sensitivity claim.");

@@ -37,9 +37,7 @@ fn main() {
 
         let measure = |p: usize| {
             with_threads(p, || {
-                time_best(if quick { 1 } else { 2 }, || {
-                    run(&tin, &HsrConfig::default()).unwrap().k
-                })
+                time_best(if quick { 1 } else { 2 }, || run(&tin, &HsrConfig::default()).unwrap().k)
             })
         };
         let t1 = measure(1);
@@ -60,7 +58,13 @@ fn main() {
             p *= 2;
         }
         md_table(
-            &["threads", "measured ms", "Brent ms", "speedup", "Brent speedup"],
+            &[
+                "threads",
+                "measured ms",
+                "Brent ms",
+                "speedup",
+                "Brent speedup",
+            ],
             &rows,
         );
         println!("speedup ceiling (critical path): {:.1}×\n", model.speedup_ceiling());

@@ -18,7 +18,11 @@ use hsr_terrain::gen::Workload;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let sizes: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 96, 128, 192] };
+    let sizes: &[usize] = if quick {
+        &[16, 32, 64]
+    } else {
+        &[16, 32, 64, 96, 128, 192]
+    };
 
     for family in ["fbm", "hills", "ridges"] {
         println!("## E1/E2 — {family}");

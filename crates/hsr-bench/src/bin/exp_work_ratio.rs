@@ -16,7 +16,11 @@ use hsr_terrain::gen::Workload;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let sizes: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 96, 128, 192] };
+    let sizes: &[usize] = if quick {
+        &[16, 32, 64]
+    } else {
+        &[16, 32, 64, 96, 128, 192]
+    };
 
     for family in ["fbm", "hills"] {
         println!("## E5 — parallel/sequential work ratio — {family}");
@@ -34,11 +38,9 @@ fn main() {
             let w_par = cost::CostReport::snapshot().total_work();
 
             cost::reset();
-            let _ = run(
-                &tin,
-                &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() },
-            )
-            .unwrap();
+            let _ =
+                run(&tin, &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() })
+                    .unwrap();
             let w_seq = cost::CostReport::snapshot().total_work();
 
             let ratio = w_par as f64 / w_seq.max(1) as f64;
@@ -51,7 +53,17 @@ fn main() {
                 format!("{:.3}", ratio / lg(n)),
             ]);
         }
-        md_table(&["n", "k", "W parallel", "W sequential", "ratio", "ratio/lg n"], &rows);
+        md_table(
+            &[
+                "n",
+                "k",
+                "W parallel",
+                "W sequential",
+                "ratio",
+                "ratio/lg n",
+            ],
+            &rows,
+        );
     }
     println!("ratio/lg n staying bounded reproduces the Remark after Theorem 3.1.");
 }

@@ -66,7 +66,9 @@ mod tests {
 
     #[test]
     fn exponent_fit_recovers_power() {
-        let pts: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 3.0 * (i as f64).powi(2))).collect();
+        let pts: Vec<(f64, f64)> = (1..20)
+            .map(|i| (i as f64, 3.0 * (i as f64).powi(2)))
+            .collect();
         assert!((fit_exponent(&pts) - 2.0).abs() < 1e-9);
     }
 

@@ -110,7 +110,17 @@ impl HullTree {
         let x_lo = self.pieces[lo as usize].x0;
         let x_hi = self.pieces[(hi - 1) as usize].x1;
         let id = self.nodes.len() as u32;
-        self.nodes.push(HNode { lo, hi, left: LEAF, right: LEAF, x_lo, x_hi, has_gap, upper, lower });
+        self.nodes.push(HNode {
+            lo,
+            hi,
+            left: LEAF,
+            right: LEAF,
+            x_lo,
+            x_hi,
+            has_gap,
+            upper,
+            lower,
+        });
         if hi - lo >= 2 {
             let mid = lo + (hi - lo) / 2;
             let l = self.build_node(lo, mid);
@@ -532,7 +542,9 @@ mod tests {
     fn matches_brute_force_on_pseudorandom() {
         let mut state = 99u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let pieces: Vec<Piece> = (0..50u32)
@@ -544,7 +556,8 @@ mod tests {
         let env = Envelope::from_sorted_pieces(pieces);
         let t = HullTree::build(&env).unwrap();
         for q in 0..40 {
-            let s = piece(next() * 50.0, next() * 10.0, 50.0 + next() * 50.0, next() * 10.0, 1000 + q);
+            let s =
+                piece(next() * 50.0, next() * 10.0, 50.0 + next() * 50.0, next() * 10.0, 1000 + q);
             let got = t.all_crossings(&s);
             // Brute force: relate against every piece.
             let mut expect = 0;

@@ -11,10 +11,10 @@
 //! Lee–Preparata / Tamassia–Vitter have.
 
 use hsr_terrain::Tin;
-use serde::Serialize;
 
 /// Summary of a chain decomposition.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct ChainStats {
     /// Number of chains.
     pub chains: usize,
@@ -87,7 +87,11 @@ pub fn stats(chains: &[Vec<u32>]) -> ChainStats {
         chains: chains.len(),
         edges,
         max_len,
-        mean_len: if chains.is_empty() { 0.0 } else { edges as f64 / chains.len() as f64 },
+        mean_len: if chains.is_empty() {
+            0.0
+        } else {
+            edges as f64 / chains.len() as f64
+        },
     }
 }
 

@@ -11,7 +11,6 @@
 
 use hsr_geometry::Segment2;
 use hsr_pram::cost::{add_work, Category};
-use serde::{Deserialize, Serialize};
 
 /// One linear piece of an envelope: the graph of a linear function over
 /// `[x0, x1]`, contributed by terrain edge `edge`.
@@ -25,7 +24,8 @@ use serde::{Deserialize, Serialize};
 /// on this to coalesce touching fragments of the same edge; feeding two
 /// unrelated pieces with the same id produces envelopes that interpolate
 /// across the spurious junction.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Piece {
     /// Left abscissa.
     pub x0: f64,
@@ -101,7 +101,8 @@ impl Piece {
 
 /// A crossing between a segment and a profile — a vertex of the visible
 /// image (chargeable to the output size `k`).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CrossEvent {
     /// Abscissa of the crossing.
     pub x: f64,
@@ -179,7 +180,8 @@ pub fn relate(a: &Piece, b: &Piece, u: f64, v: f64) -> Relation {
 /// assert_eq!(env.eval(1.5), Some(1.5)); // rising piece on top
 /// assert_eq!(env.eval(5.0), None);      // outside: a gap
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Envelope {
     pieces: Vec<Piece>,
 }
@@ -502,7 +504,9 @@ mod tests {
         let mut pieces = Vec::new();
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         for e in 0..60u32 {

@@ -26,9 +26,10 @@ pub fn run_naive(edges: &[SceneEdge]) -> VisibilityMap {
                 // front edge at this abscissa.
                 let x = edge.seg.a.x;
                 let top = edge.seg.a.y.max(edge.seg.b.y);
-                let hidden = pieces[..i].iter().flatten().any(|f| {
-                    f.x0 <= x && x <= f.x1 && f.eval(x) >= top
-                });
+                let hidden = pieces[..i]
+                    .iter()
+                    .flatten()
+                    .any(|f| f.x0 <= x && x <= f.x1 && f.eval(x) >= top);
                 return (Vec::new(), Vec::new(), (!hidden).then_some(edge.id));
             };
             // Covered intervals from all front edges.
@@ -45,21 +46,11 @@ pub fn run_naive(edges: &[SceneEdge]) -> VisibilityMap {
                     Relation::BAbove => {}
                     Relation::CrossAtoB { x, z } => {
                         covered.push((u, x));
-                        events.push(CrossEvent {
-                            x,
-                            z,
-                            upper_left: f.edge,
-                            upper_right: s.edge,
-                        });
+                        events.push(CrossEvent { x, z, upper_left: f.edge, upper_right: s.edge });
                     }
                     Relation::CrossBtoA { x, z } => {
                         covered.push((x, v));
-                        events.push(CrossEvent {
-                            x,
-                            z,
-                            upper_left: s.edge,
-                            upper_right: f.edge,
-                        });
+                        events.push(CrossEvent { x, z, upper_left: s.edge, upper_right: f.edge });
                     }
                 }
             }
@@ -87,7 +78,8 @@ pub fn run_naive(edges: &[SceneEdge]) -> VisibilityMap {
             // interior to a covered union are occluded intersections — the
             // quantity `I` the paper distinguishes from `k`).
             let on_boundary = |x: f64| {
-                vis.iter().any(|p| (p.x0 - x).abs() < 1e-9 || (p.x1 - x).abs() < 1e-9)
+                vis.iter()
+                    .any(|p| (p.x0 - x).abs() < 1e-9 || (p.x1 - x).abs() < 1e-9)
             };
             events.retain(|e| on_boundary(e.x));
             (vis, events, None)

@@ -136,11 +136,7 @@ mod tests {
                     {
                         continue;
                     }
-                    let p = Point3::new(
-                        pa.x + t * (pb.x - pa.x),
-                        y,
-                        pa.z + t * (pb.z - pa.z),
-                    );
+                    let p = Point3::new(pa.x + t * (pb.x - pa.x), y, pa.z + t * (pb.z - pa.z));
                     let alg = iv.iter().any(|&(u, v)| u <= y && y <= v);
                     let exact = !occluded(&tin, p, 1e-9 * extent);
                     total += 1;

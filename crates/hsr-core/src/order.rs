@@ -128,8 +128,10 @@ pub fn depth_order_parallel(tin: &Tin) -> Result<Vec<u32>, CyclicOcclusion> {
     let cons = constraints(tin);
     add_work(Category::Order, (n + cons.len()) as u64);
     let (succ, indeg) = adjacency(n, &cons);
-    let indeg: Vec<std::sync::atomic::AtomicU32> =
-        indeg.into_iter().map(std::sync::atomic::AtomicU32::new).collect();
+    let indeg: Vec<std::sync::atomic::AtomicU32> = indeg
+        .into_iter()
+        .map(std::sync::atomic::AtomicU32::new)
+        .collect();
 
     let mut frontier: Vec<u32> = (0..n as u32)
         .filter(|&e| indeg[e as usize].load(std::sync::atomic::Ordering::Relaxed) == 0)
@@ -144,8 +146,7 @@ pub fn depth_order_parallel(tin: &Tin) -> Result<Vec<u32>, CyclicOcclusion> {
             .par_iter()
             .flat_map_iter(|&e| {
                 succ[e as usize].iter().filter_map(|&b| {
-                    let prev = indeg[b as usize]
-                        .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                    let prev = indeg[b as usize].fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
                     (prev == 1).then_some(b)
                 })
             })
@@ -344,9 +345,6 @@ mod tests {
     fn orders_are_deterministic() {
         let tin = small_tin();
         assert_eq!(depth_order(&tin).unwrap(), depth_order(&tin).unwrap());
-        assert_eq!(
-            depth_order_parallel(&tin).unwrap(),
-            depth_order_parallel(&tin).unwrap()
-        );
+        assert_eq!(depth_order_parallel(&tin).unwrap(), depth_order_parallel(&tin).unwrap());
     }
 }

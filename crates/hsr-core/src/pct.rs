@@ -27,7 +27,6 @@ use crate::visibility::VisibilityMap;
 use hsr_pram::cost::{add_work, record_depth, Category};
 use hsr_pstruct::SharingStats;
 use rayon::prelude::*;
-use serde::Serialize;
 
 /// One PCT node: a contiguous range of ordered edges.
 #[derive(Clone, Copy, Debug)]
@@ -48,7 +47,8 @@ impl Node {
 }
 
 /// Per-layer phase-2 statistics (drives the Figure 1/3 experiments).
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct LayerStats {
     /// Layer index (0 = root).
     pub layer: usize,
@@ -132,10 +132,7 @@ impl Pct {
                             None => Envelope::new(), // vertical projection
                         }
                     } else {
-                        Envelope::merge(
-                            &phase1[node.left as usize],
-                            &phase1[node.right as usize],
-                        )
+                        Envelope::merge(&phase1[node.left as usize], &phase1[node.right as usize])
                     };
                     (id, env)
                 })
@@ -167,7 +164,12 @@ impl Pct {
     pub fn phase1_layer_sizes(&self) -> Vec<u64> {
         self.layers
             .iter()
-            .map(|layer| layer.iter().map(|&id| self.phase1[id as usize].size() as u64).sum())
+            .map(|layer| {
+                layer
+                    .iter()
+                    .map(|&id| self.phase1[id as usize].size() as u64)
+                    .sum()
+            })
             .collect()
     }
 
@@ -244,11 +246,7 @@ impl Pct {
                 })
                 .collect();
 
-            let mut stats = LayerStats {
-                layer: li,
-                nodes: layer.len(),
-                ..Default::default()
-            };
+            let mut stats = LayerStats { layer: li, nodes: layer.len(), ..Default::default() };
             for (l, r, pieces, crossings, vertical, merges, internal) in results {
                 stats.merges.absorb(&merges);
                 stats.crossings += crossings.len() as u64 + pieces.len() as u64 + internal;
@@ -338,10 +336,7 @@ impl Pct {
                         }
                     } else {
                         let sigma = &self.phase1[node.left as usize];
-                        add_work(
-                            Category::EnvelopeMerge,
-                            (prefix.size() + sigma.size()) as u64,
-                        );
+                        add_work(Category::EnvelopeMerge, (prefix.size() + sigma.size()) as u64);
                         let merged = Envelope::merge(prefix, sigma);
                         (
                             Some((node.left, prefix.clone())),
@@ -468,10 +463,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            full as f64 > 0.95 * total as f64,
-            "only {full}/{total} edges fully visible"
-        );
+        assert!(full as f64 > 0.95 * total as f64, "only {full}/{total} edges fully visible");
     }
 
     #[test]

@@ -47,10 +47,9 @@ pub enum PerspectiveError {
 impl std::fmt::Display for PerspectiveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PerspectiveError::ViewpointInsideScene { vx, max_x } => write!(
-                f,
-                "viewpoint depth {vx} must exceed the terrain's maximum depth {max_x}"
-            ),
+            PerspectiveError::ViewpointInsideScene { vx, max_x } => {
+                write!(f, "viewpoint depth {vx} must exceed the terrain's maximum depth {max_x}")
+            }
             PerspectiveError::Degenerate(e) => write!(f, "degenerate after transform: {e}"),
         }
     }
@@ -191,11 +190,8 @@ mod tests {
         let view = Viewpoint { vx: hi.x + 20.0, vy: 0.5 * (lo.y + hi.y), vz: 25.0 };
         let ptin = perspective_tin(&tin, view).unwrap();
         let par = run(&ptin, &HsrConfig::default()).unwrap();
-        let seq = run(
-            &ptin,
-            &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() },
-        )
-        .unwrap();
+        let seq = run(&ptin, &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() })
+            .unwrap();
         assert!(par.vis.agreement(&seq.vis) > 0.9999);
     }
 
@@ -221,14 +217,13 @@ mod tests {
             for s in 0..8 {
                 let t = (s as f64 + 0.5) / 8.0;
                 let y = pa.y + t * (pb.y - pa.y);
-                if iv.iter().any(|&(u, v)| (y - u).abs() < 1e-9 || (y - v).abs() < 1e-9) {
+                if iv
+                    .iter()
+                    .any(|&(u, v)| (y - u).abs() < 1e-9 || (y - v).abs() < 1e-9)
+                {
                     continue;
                 }
-                let p = Point3::new(
-                    pa.x + t * (pb.x - pa.x),
-                    y,
-                    pa.z + t * (pb.z - pa.z),
-                );
+                let p = Point3::new(pa.x + t * (pb.x - pa.x), y, pa.z + t * (pb.z - pa.z));
                 let alg = iv.iter().any(|&(u, v)| u <= y && y <= v);
                 let exact = !crate::oracle::occluded(&ptin, p, 1e-12);
                 total += 1;

@@ -6,11 +6,11 @@ use crate::pct::{LayerStats, Pct};
 use crate::visibility::VisibilityMap;
 use hsr_pram::cost::CostReport;
 use hsr_terrain::Tin;
-use serde::Serialize;
 use std::time::Instant;
 
 /// Which algorithm to run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub enum Algorithm {
     /// The paper's parallel algorithm (PCT + persistent prefix profiles).
     Parallel(Phase2Mode),
@@ -21,7 +21,8 @@ pub enum Algorithm {
 }
 
 /// Phase-2 engine (DESIGN.md §4.3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub enum Phase2Mode {
     /// Persistent shared prefix profiles (default).
     Persistent,
@@ -51,7 +52,8 @@ impl Default for HsrConfig {
 }
 
 /// Wall-clock timings of the pipeline stages, in seconds.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Timings {
     /// Edge projection + front-to-back ordering.
     pub order_s: f64,
@@ -167,11 +169,7 @@ mod tests {
     #[test]
     fn stats_collection_is_optional() {
         let tin = gen::gaussian_hills(8, 8, 3, 17).to_tin().unwrap();
-        let with = run(
-            &tin,
-            &HsrConfig { collect_stats: true, ..Default::default() },
-        )
-        .unwrap();
+        let with = run(&tin, &HsrConfig { collect_stats: true, ..Default::default() }).unwrap();
         assert!(!with.layers.is_empty());
         let without = run(&tin, &HsrConfig::default()).unwrap();
         assert!(without.layers.is_empty());

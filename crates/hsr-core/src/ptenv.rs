@@ -22,7 +22,6 @@ use crate::envelope::{relate, CrossEvent, Envelope, EnvelopeBuilder, Piece, Rela
 use hsr_geometry::TotalF64;
 use hsr_pram::cost::{add_work, Category};
 use hsr_pstruct::{Aggregate, PTreap};
-use serde::Serialize;
 
 /// Subtree aggregate of a piece treap: extent, ordinate range, and whether
 /// the subtree's pieces tile their extent without interior gaps.
@@ -67,7 +66,8 @@ type Tree = PTreap<TotalF64, Piece, EnvAgg>;
 
 /// Counters describing what one merge did (used by the sharing and
 /// ablation experiments).
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct MergeStats {
     /// Subtrees kept fully shared because the prefix profile dominated.
     pub subtrees_shared: u64,
@@ -381,7 +381,9 @@ mod tests {
     fn pseudo_pieces(n: usize, seed: u64) -> Vec<Piece> {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         (0..n as u32)

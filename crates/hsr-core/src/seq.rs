@@ -50,10 +50,7 @@ fn eval(profile: &BTreeMap<TotalF64, Piece>, x: f64) -> Option<f64> {
 
 /// Splices piece `s` into the profile; returns the surfaced (visible)
 /// sub-pieces of `s` and the crossings found.
-fn insert_edge(
-    profile: &mut BTreeMap<TotalF64, Piece>,
-    s: Piece,
-) -> (Vec<Piece>, Vec<CrossEvent>) {
+fn insert_edge(profile: &mut BTreeMap<TotalF64, Piece>, s: Piece) -> (Vec<Piece>, Vec<CrossEvent>) {
     // Collect the pieces overlapping [s.x0, s.x1] (including a straddler
     // that starts before s.x0).
     let mut affected: Vec<Piece> = Vec::new();
@@ -97,12 +94,22 @@ fn insert_edge(
                 Relation::AAbove => out.push_clip(p, x, v),
                 Relation::BAbove => push_s(&mut out, &mut vis, x, v),
                 Relation::CrossAtoB { x: cx, z } => {
-                    crossings.push(CrossEvent { x: cx, z, upper_left: p.edge, upper_right: s.edge });
+                    crossings.push(CrossEvent {
+                        x: cx,
+                        z,
+                        upper_left: p.edge,
+                        upper_right: s.edge,
+                    });
                     out.push_clip(p, x, cx);
                     push_s(&mut out, &mut vis, cx, v);
                 }
                 Relation::CrossBtoA { x: cx, z } => {
-                    crossings.push(CrossEvent { x: cx, z, upper_left: s.edge, upper_right: p.edge });
+                    crossings.push(CrossEvent {
+                        x: cx,
+                        z,
+                        upper_left: s.edge,
+                        upper_right: p.edge,
+                    });
                     push_s(&mut out, &mut vis, x, cx);
                     out.push_clip(p, cx, v);
                 }

@@ -97,12 +97,7 @@ mod tests {
         // vertex height (every vertex is on or under the skyline).
         for v in tin.vertices() {
             let h = sil.horizon_at(v.y).expect("vertex column on terrain");
-            assert!(
-                h >= v.z - 1e-9,
-                "vertex at y={} z={} above horizon {h}",
-                v.y,
-                v.z
-            );
+            assert!(h >= v.z - 1e-9, "vertex at y={} z={} above horizon {h}", v.y, v.z);
         }
     }
 
@@ -136,13 +131,8 @@ mod tests {
         let sil = silhouette_of(&tin);
         let (zlo, zhi) = tin.height_range();
         let (lo, hi) = tin.ground_bounds();
-        let ray = Piece {
-            x0: lo.y,
-            x1: hi.y,
-            z0: 0.5 * (zlo + zhi),
-            z1: zhi + 0.1,
-            edge: u32::MAX,
-        };
+        let ray =
+            Piece { x0: lo.y, x1: hi.y, z0: 0.5 * (zlo + zhi), z1: zhi + 0.1, edge: u32::MAX };
         let grazes = sil.graze_points(&ray);
         let (_, walk) = sil.envelope().visible_parts(&ray);
         assert_eq!(grazes.len(), walk.len());

@@ -115,7 +115,11 @@ fn splice(profile: &mut BTreeMap<TotalF64, Piece>, s: Piece) {
             affected.push(*p);
         }
     }
-    affected.extend(profile.range(TotalF64(s.x0)..TotalF64(s.x1)).map(|(_, p)| *p));
+    affected.extend(
+        profile
+            .range(TotalF64(s.x0)..TotalF64(s.x1))
+            .map(|(_, p)| *p),
+    );
 
     let mut out: Vec<Piece> = Vec::with_capacity(affected.len() + 2);
     let mut push = |p: Option<Piece>| {
@@ -198,11 +202,7 @@ mod tests {
     fn surface_z(tin: &Tin, x: f64, y: f64) -> Option<f64> {
         let verts = tin.vertices();
         for t in tin.triangles() {
-            let (a, b, c) = (
-                verts[t[0] as usize],
-                verts[t[1] as usize],
-                verts[t[2] as usize],
-            );
+            let (a, b, c) = (verts[t[0] as usize], verts[t[1] as usize], verts[t[2] as usize]);
             let det = (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
             if det == 0.0 {
                 continue;
@@ -220,7 +220,9 @@ mod tests {
     #[test]
     fn matches_exact_oracle_on_random_points() {
         for (seed, theta) in [(3u64, 0.3), (4, 0.8)] {
-            let tin = gen::occlusion_knob(12, 12, theta, 10.0, seed).to_tin().unwrap();
+            let tin = gen::occlusion_knob(12, 12, theta, 10.0, seed)
+                .to_tin()
+                .unwrap();
             let (edges, order) = setup(&tin);
             let (lo, hi) = tin.ground_bounds();
             let (_, zhi) = tin.height_range();

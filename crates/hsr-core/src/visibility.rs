@@ -6,11 +6,11 @@
 //! planar graph — that any display device can render.
 
 use crate::envelope::{CrossEvent, Piece};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The visible image.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VisibilityMap {
     /// Visible portions of edges (image-plane pieces tagged by edge id).
     pub pieces: Vec<Piece>,
@@ -86,8 +86,7 @@ impl VisibilityMap {
         let b = other.per_edge_intervals();
         let mut sym = 0.0;
         let mut total = 0.0;
-        let edges: std::collections::BTreeSet<u32> =
-            a.keys().chain(b.keys()).copied().collect();
+        let edges: std::collections::BTreeSet<u32> = a.keys().chain(b.keys()).copied().collect();
         for e in edges {
             let empty = Vec::new();
             let ia = a.get(&e).unwrap_or(&empty);
@@ -115,11 +114,7 @@ impl VisibilityMap {
 /// Length of the symmetric difference of two sorted interval sets.
 fn interval_symdiff(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
     // Sweep over all boundaries.
-    let mut xs: Vec<f64> = a
-        .iter()
-        .chain(b)
-        .flat_map(|&(u, v)| [u, v])
-        .collect();
+    let mut xs: Vec<f64> = a.iter().chain(b).flat_map(|&(u, v)| [u, v]).collect();
     xs.sort_by(f64::total_cmp);
     xs.dedup();
     let inside = |iv: &[(f64, f64)], x: f64| iv.iter().any(|&(u, v)| u <= x && x < v);

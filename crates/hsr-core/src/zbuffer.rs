@@ -58,10 +58,7 @@ impl ZBuffer {
     }
     /// Image-plane size of one pixel, `(dy, dz)`.
     pub fn pixel_size(&self) -> (f64, f64) {
-        (
-            (self.y1 - self.y0) / self.ny as f64,
-            (self.z1 - self.z0) / self.nz as f64,
-        )
+        ((self.y1 - self.y0) / self.ny as f64, (self.z1 - self.z0) / self.nz as f64)
     }
 
     /// Rasterizes one triangle given as `(y, z, depth)` triples.

@@ -1,10 +1,10 @@
 //! Axis-aligned bounding boxes in the plane.
 
 use crate::point::Point2;
-use serde::{Deserialize, Serialize};
 
 /// A 2-D axis-aligned bounding box (possibly empty).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Aabb {
     /// Minimum corner.
     pub min: Point2,

@@ -180,9 +180,7 @@ impl Expansion {
 
     /// Exact negation.
     pub fn neg(&self) -> Expansion {
-        Expansion {
-            comps: self.comps.iter().map(|&c| -c).collect(),
-        }
+        Expansion { comps: self.comps.iter().map(|&c| -c).collect() }
     }
 
     /// Exact product of an expansion by a single double
@@ -240,7 +238,9 @@ impl Expansion {
     pub fn sign(&self) -> std::cmp::Ordering {
         match self.comps.last() {
             None => std::cmp::Ordering::Equal,
-            Some(&c) => c.partial_cmp(&0.0).expect("expansion components are finite"),
+            Some(&c) => c
+                .partial_cmp(&0.0)
+                .expect("expansion components are finite"),
         }
     }
 }

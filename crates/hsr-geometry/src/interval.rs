@@ -1,9 +1,8 @@
 //! Closed 1-D intervals on the abscissa axis.
 
-use serde::{Deserialize, Serialize};
-
 /// A closed interval `[lo, hi]` with `lo <= hi`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Interval {
     /// Lower end.
     pub lo: f64,

@@ -9,11 +9,11 @@
 //!   (the abscissa of the image plane) and `Point2.y` holding the world `z`
 //!   (the ordinate). Upper profiles are upper envelopes over the abscissa.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, Mul, Sub};
 
 /// A point (or vector) in the plane.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point2 {
     /// Abscissa (image-plane horizontal coordinate, world `y`).
     pub x: f64,
@@ -78,7 +78,8 @@ impl Mul<f64> for Point2 {
 }
 
 /// A point in 3-D world space.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point3 {
     /// Depth axis: the viewer sits at `x = +∞`.
     pub x: f64,

@@ -116,8 +116,7 @@ pub fn incircle(a: Point2, b: Point2, c: Point2, d: Point2) -> Ordering {
     let adxbdy = adx * bdy;
     let bdxady = bdx * ady;
 
-    let det =
-        alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) + clift * (adxbdy - bdxady);
+    let det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) + clift * (adxbdy - bdxady);
 
     let permanent = (bdxcdy.abs() + cdxbdy.abs()) * alift
         + (cdxady.abs() + adxcdy.abs()) * blift
@@ -214,10 +213,7 @@ mod tests {
     fn orientation_basic() {
         assert_eq!(orient2d(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)), Orientation::Ccw);
         assert_eq!(orient2d(p(0.0, 0.0), p(0.0, 1.0), p(1.0, 0.0)), Orientation::Cw);
-        assert_eq!(
-            orient2d(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)),
-            Orientation::Collinear
-        );
+        assert_eq!(orient2d(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)), Orientation::Collinear);
     }
 
     #[test]

@@ -3,14 +3,14 @@
 
 use crate::point::Point2;
 use crate::predicates::{orient2d, Orientation};
-use serde::{Deserialize, Serialize};
 
 /// A closed line segment in the image plane, stored with `a.x <= b.x`.
 ///
 /// Segments whose endpoints share an abscissa (`a.x == b.x`) are *vertical*;
 /// they arise from terrain edges parallel to the view direction and
 /// contribute only their upper endpoint to an upper envelope.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Segment2 {
     /// Left endpoint (smallest abscissa).
     pub a: Point2,

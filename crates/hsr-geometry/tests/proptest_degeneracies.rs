@@ -1,0 +1,146 @@
+//! Property tests targeting *degenerate* predicate inputs — exact
+//! collinearity, duplicated points, cocircular quadruples — plus
+//! round-trip laws for [`Interval`] and [`Expansion`]. All constructed
+//! coordinates are small integers, so every intermediate value is exactly
+//! representable and the expected answer is unambiguous.
+
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+use hsr_geometry::expansion::Expansion;
+use hsr_geometry::{incircle, orient2d, Interval, Orientation, Point2};
+
+/// The twelve lattice points on the circle of radius 5 about the origin.
+const CIRCLE25: [(i64, i64); 12] = [
+    (5, 0),
+    (4, 3),
+    (3, 4),
+    (0, 5),
+    (-3, 4),
+    (-4, 3),
+    (-5, 0),
+    (-4, -3),
+    (-3, -4),
+    (0, -5),
+    (3, -4),
+    (4, -3),
+];
+
+fn lattice_point(x: i64, y: i64) -> Point2 {
+    Point2::new(x as f64, y as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any three points on one line through `a` with direction `d` are
+    /// collinear — exactly, whatever the scalars.
+    #[test]
+    fn collinear_lattice_points_detected(
+        ax in -1000i64..1000, ay in -1000i64..1000,
+        dx in -50i64..50, dy in -50i64..50,
+        s in -20i64..20, t in -20i64..20,
+    ) {
+        let a = lattice_point(ax, ay);
+        let b = lattice_point(ax + s * dx, ay + s * dy);
+        let c = lattice_point(ax + t * dx, ay + t * dy);
+        prop_assert_eq!(orient2d(a, b, c), Orientation::Collinear);
+    }
+
+    /// Duplicated arguments always degenerate: orientation collapses to
+    /// collinear, incircle to "on the circle".
+    #[test]
+    fn duplicate_points_are_degenerate(
+        ax in -1000i64..1000, ay in -1000i64..1000,
+        bx in -1000i64..1000, by in -1000i64..1000,
+        cx in -1000i64..1000, cy in -1000i64..1000,
+    ) {
+        let (a, b, c) = (lattice_point(ax, ay), lattice_point(bx, by), lattice_point(cx, cy));
+        prop_assert_eq!(orient2d(a, a, b), Orientation::Collinear);
+        prop_assert_eq!(orient2d(a, b, b), Orientation::Collinear);
+        prop_assert_eq!(orient2d(a, b, a), Orientation::Collinear);
+        // d coinciding with a circle vertex is exactly cocircular.
+        prop_assert_eq!(incircle(a, b, c, a), Ordering::Equal);
+        prop_assert_eq!(incircle(a, b, c, b), Ordering::Equal);
+        prop_assert_eq!(incircle(a, b, c, c), Ordering::Equal);
+    }
+
+    /// Four distinct lattice points on a common circle are exactly
+    /// cocircular, at any integer translation of the circle's center.
+    #[test]
+    fn cocircular_lattice_points_are_equal(
+        i in 0usize..12, j in 0usize..12, k in 0usize..12, l in 0usize..12,
+        cx in -500i64..500, cy in -500i64..500,
+    ) {
+        prop_assume!(i != j && i != k && i != l && j != k && j != l && k != l);
+        let p = |n: usize| lattice_point(CIRCLE25[n].0 + cx, CIRCLE25[n].1 + cy);
+        let (a, b, c, d) = (p(i), p(j), p(k), p(l));
+        // A degenerate (collinear) circle triple makes incircle trivially
+        // zero too, so no assumption on orientation is needed — but the
+        // interesting cases are the non-collinear ones.
+        prop_assert_eq!(incircle(a, b, c, d), Ordering::Equal);
+    }
+
+    /// The circle's own center is strictly inside; a far translate of the
+    /// center is strictly outside. Signs follow the triple's orientation.
+    #[test]
+    fn incircle_sign_tracks_radial_position(
+        i in 0usize..12, j in 0usize..12, k in 0usize..12,
+        cx in -500i64..500, cy in -500i64..500,
+    ) {
+        prop_assume!(i != j && i != k && j != k);
+        let p = |n: usize| lattice_point(CIRCLE25[n].0 + cx, CIRCLE25[n].1 + cy);
+        let (a, b, c) = (p(i), p(j), p(k));
+        prop_assume!(orient2d(a, b, c) == Orientation::Ccw);
+        let center = lattice_point(cx, cy);
+        let far = lattice_point(cx + 50, cy);
+        prop_assert_eq!(incircle(a, b, c, center), Ordering::Greater);
+        prop_assert_eq!(incircle(a, b, c, far), Ordering::Less);
+    }
+
+    /// Interval algebra laws: intersection is contained in both operands,
+    /// the hull contains both, and intersecting with the hull round-trips.
+    #[test]
+    fn interval_intersect_hull_roundtrip(
+        lo1 in -100.0f64..100.0, w1 in 0.0f64..50.0,
+        lo2 in -100.0f64..100.0, w2 in 0.0f64..50.0,
+    ) {
+        let a = Interval::new(lo1, lo1 + w1);
+        let b = Interval::new(lo2, lo2 + w2);
+        if let Some(m) = a.intersect(&b) {
+            prop_assert!(m.lo >= a.lo && m.hi <= a.hi);
+            prop_assert!(m.lo >= b.lo && m.hi <= b.hi);
+            prop_assert!(m.lo <= m.hi);
+        }
+        let h = a.hull(&b);
+        prop_assert!(h.lo <= a.lo && h.hi >= a.hi);
+        prop_assert!(h.lo <= b.lo && h.hi >= b.hi);
+        // The hull adds nothing when re-intersected with an operand.
+        let back = a.intersect(&h).expect("a is inside its own hull");
+        prop_assert_eq!(back.lo, a.lo);
+        prop_assert_eq!(back.hi, a.hi);
+    }
+
+    /// Expansion round-trips: a single f64 survives exactly; the two-term
+    /// constructors agree with full multi-term arithmetic, exactly.
+    #[test]
+    fn expansion_roundtrips(
+        a in -1e12f64..1e12,
+        b in -1e12f64..1e12,
+    ) {
+        prop_assert_eq!(Expansion::from_f64(a).estimate(), a);
+        // x + (−x) is exactly zero.
+        let cancel = Expansion::from_f64(a).add(&Expansion::from_f64(a).neg());
+        prop_assert_eq!(cancel.sign(), Ordering::Equal);
+        // from_diff(a, b) == from_f64(a) − from_f64(b), exactly.
+        let d1 = Expansion::from_diff(a, b);
+        let d2 = Expansion::from_f64(a).sub(&Expansion::from_f64(b));
+        prop_assert_eq!(d1.sub(&d2).sign(), Ordering::Equal);
+        // from_product(a, b) == from_f64(a) · from_f64(b) == scale, exactly.
+        let p1 = Expansion::from_product(a, b);
+        let p2 = Expansion::from_f64(a).mul(&Expansion::from_f64(b));
+        let p3 = Expansion::from_f64(a).scale(b);
+        prop_assert_eq!(p1.sub(&p2).sign(), Ordering::Equal);
+        prop_assert_eq!(p1.sub(&p3).sign(), Ordering::Equal);
+    }
+}

@@ -8,10 +8,9 @@
 //! constants from measured runs and predicts scaling curves, which the
 //! speedup experiment (E3) compares against measurements.
 
-use serde::Serialize;
-
 /// A calibrated two-parameter Brent model `T_p = cw·W/p + cd·D`.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct BrentModel {
     /// Seconds per unit of work.
     pub cw: f64,

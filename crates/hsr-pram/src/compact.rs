@@ -32,12 +32,15 @@ where
     let slots: Vec<(usize, T)> = items
         .par_iter()
         .zip(flags.par_iter().zip(dests.par_iter()))
-        .filter_map(|(x, (&f, &d))| (f == 1).then(|| (d as usize, x.clone())))
+        .filter(|&(_, (&f, _))| f == 1)
+        .map(|(x, (_, &d))| (d as usize, x.clone()))
         .collect();
     for (d, x) in slots {
         out[d] = Some(x);
     }
-    out.into_iter().map(|o| o.expect("scatter filled every slot")).collect()
+    out.into_iter()
+        .map(|o| o.expect("scatter filled every slot"))
+        .collect()
 }
 
 /// Parallel map + compact in one pass: applies `f` and keeps the `Some`s.

@@ -11,11 +11,11 @@
 //! [`DepthScope`] guard. Sequential phases add; the maximum nesting within a
 //! phase is what the phase records.
 
-use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Work/depth categories, roughly one per paper ingredient.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 #[repr(usize)]
 pub enum Category {
     /// Front-to-back ordering (separator-tree substitute).
@@ -83,7 +83,8 @@ pub fn reset() {
 }
 
 /// A snapshot of all counters.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct CostReport {
     /// Work per category, `repr` order (see [`ALL_CATEGORIES`]).
     pub work: Vec<u64>,

@@ -88,10 +88,7 @@ where
     let (a_lo, a_hi) = a.split_at(i);
     let (b_lo, b_hi) = b.split_at(j);
     let (out_lo, out_hi) = out.split_at_mut(k);
-    rayon::join(
-        || merge_into(a_lo, b_lo, out_lo, key),
-        || merge_into(a_hi, b_hi, out_hi, key),
-    );
+    rayon::join(|| merge_into(a_lo, b_lo, out_lo, key), || merge_into(a_hi, b_hi, out_hi, key));
 }
 
 #[cfg(test)]
@@ -107,7 +104,9 @@ mod tests {
 
     #[test]
     fn large_merge_matches_sort() {
-        let mut a: Vec<u64> = (0..60_000).map(|i| (i * 2_654_435_761) % 1_000_003).collect();
+        let mut a: Vec<u64> = (0..60_000)
+            .map(|i| (i * 2_654_435_761) % 1_000_003)
+            .collect();
         let mut b: Vec<u64> = (0..80_000).map(|i| (i * 40_503 + 7) % 1_000_003).collect();
         a.sort();
         b.sort();
@@ -122,10 +121,7 @@ mod tests {
         let a: Vec<(u32, char)> = vec![(1, 'a'), (2, 'a'), (2, 'a'), (3, 'a')];
         let b: Vec<(u32, char)> = vec![(2, 'b'), (3, 'b')];
         let m = par_merge_by(&a, &b, |x| x.0);
-        assert_eq!(
-            m,
-            vec![(1, 'a'), (2, 'a'), (2, 'a'), (2, 'b'), (3, 'a'), (3, 'b')]
-        );
+        assert_eq!(m, vec![(1, 'a'), (2, 'a'), (2, 'a'), (2, 'b'), (3, 'a'), (3, 'b')]);
     }
 
     #[test]

@@ -28,9 +28,7 @@ mod tests {
 
     #[test]
     fn pool_confines_parallelism() {
-        let n = with_threads(2, || {
-            (0..1000u64).into_par_iter().map(|i| i * i).sum::<u64>()
-        });
+        let n = with_threads(2, || (0..1000u64).into_par_iter().map(|i| i * i).sum::<u64>());
         assert_eq!(n, (0..1000u64).map(|i| i * i).sum::<u64>());
     }
 

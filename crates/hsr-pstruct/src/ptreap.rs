@@ -117,9 +117,7 @@ pub struct PTreap<K, V, A = NoAgg> {
 impl<K, V, A> Clone for PTreap<K, V, A> {
     #[inline]
     fn clone(&self) -> Self {
-        PTreap {
-            root: self.root.clone(),
-        }
+        PTreap { root: self.root.clone() }
     }
 }
 
@@ -165,16 +163,12 @@ impl<K, V, A> NodeHandle<K, V, A> {
     /// Left subtree as a treap (O(1)).
     #[inline]
     pub fn left(&self) -> PTreap<K, V, A> {
-        PTreap {
-            root: self.0.left.clone(),
-        }
+        PTreap { root: self.0.left.clone() }
     }
     /// Right subtree as a treap (O(1)).
     #[inline]
     pub fn right(&self) -> PTreap<K, V, A> {
-        PTreap {
-            root: self.0.right.clone(),
-        }
+        PTreap { root: self.0.right.clone() }
     }
     /// Stable address of the backing allocation; equal addresses imply the
     /// identical shared subtree. Used by sharing statistics.
@@ -198,9 +192,7 @@ where
 
     /// A single-entry map.
     pub fn singleton(key: K, value: V) -> Self {
-        PTreap {
-            root: Some(mk_node(key, value, None, None)),
-        }
+        PTreap { root: Some(mk_node(key, value, None, None)) }
     }
 
     /// Number of entries.
@@ -240,7 +232,10 @@ where
         if items.is_empty() {
             return Self::new();
         }
-        debug_assert!(items.windows(2).all(|w| w[0].0 < w[1].0), "keys must be strictly increasing");
+        debug_assert!(
+            items.windows(2).all(|w| w[0].0 < w[1].0),
+            "keys must be strictly increasing"
+        );
         let mut nodes: Vec<B<K, V>> = items
             .into_iter()
             .map(|(k, v)| {
@@ -317,9 +312,7 @@ where
                 Some(FrozenSlot { k: b.k, v: b.v, prio: b.prio, left: b.left, right: b.right })
             })
             .collect();
-        PTreap {
-            root: Some(freeze::<K, V, A>(&mut slots, root_idx)),
-        }
+        PTreap { root: Some(freeze::<K, V, A>(&mut slots, root_idx)) }
     }
 
     /// Looks up a key.
@@ -389,18 +382,14 @@ where
         let (lt, geq) = split(&self.root, &key, false);
         let (_eq, gt) = split(&geq, &key, true);
         let mid = Some(mk_node(key, value, None, None));
-        PTreap {
-            root: join(&join(&lt, &mid), &gt),
-        }
+        PTreap { root: join(&join(&lt, &mid), &gt) }
     }
 
     /// Returns a version without `key`.
     pub fn remove(&self, key: &K) -> Self {
         let (lt, geq) = split(&self.root, key, false);
         let (_eq, gt) = split(&geq, key, true);
-        PTreap {
-            root: join(&lt, &gt),
-        }
+        PTreap { root: join(&lt, &gt) }
     }
 
     /// Splits into `(keys <= key, keys > key)` when `inclusive`, else
@@ -417,9 +406,7 @@ where
             (Some((a, _)), Some((b, _))) => a < b,
             _ => true,
         });
-        PTreap {
-            root: join(&self.root, &other.root),
-        }
+        PTreap { root: join(&self.root, &other.root) }
     }
 
     /// In-order iterator over entries.
@@ -457,7 +444,12 @@ impl<'a, K, V, A> Iterator for Iter<'a, K, V, A> {
     }
 }
 
-fn mk_node<K, V, A>(key: K, value: V, left: Link<K, V, A>, right: Link<K, V, A>) -> Arc<Node<K, V, A>>
+fn mk_node<K, V, A>(
+    key: K,
+    value: V,
+    left: Link<K, V, A>,
+    right: Link<K, V, A>,
+) -> Arc<Node<K, V, A>>
 where
     K: Clone + Ord + Hash + Send + Sync,
     V: Clone + Send + Sync,
@@ -572,10 +564,7 @@ mod tests {
         let a = T::new().insert(1, 1).insert(2, 2).insert(3, 3);
         let b = T::new().insert(3, 3).insert(1, 1).insert(2, 2);
         // same key set => same root key (shape canonical)
-        assert_eq!(
-            a.root().map(|n| *n.key()),
-            b.root().map(|n| *n.key())
-        );
+        assert_eq!(a.root().map(|n| *n.key()), b.root().map(|n| *n.key()));
         assert_eq!(a.to_vec(), b.to_vec());
     }
 

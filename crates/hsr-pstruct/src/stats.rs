@@ -40,10 +40,7 @@ impl SharingStats {
                 stack.extend(n.right().root());
             }
         }
-        SharingStats {
-            unique_nodes: seen.len(),
-            total_logical,
-        }
+        SharingStats { unique_nodes: seen.len(), total_logical }
     }
 
     /// `unique_nodes / total_logical`; `1.0` means no sharing at all,

@@ -1,0 +1,145 @@
+//! Persistence invariants of the path-copying treap, beyond the
+//! model-based equivalence in `model_based.rs`: *every* intermediate
+//! version stays frozen under later edits, non-mutating operations leave
+//! the receiver untouched, and edit histories share structure.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use hsr_pstruct::{CountAgg, PTreap, SharingStats};
+
+type T = PTreap<u16, u32, CountAgg>;
+
+fn from_model(m: &BTreeMap<u16, u32>) -> T {
+    PTreap::from_sorted(m.iter().map(|(&k, &v)| (k, v)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Replaying an edit sequence, every version observed along the way
+    /// holds exactly the contents it had when it was created — full
+    /// persistence, not just the initial version.
+    #[test]
+    fn every_version_stays_frozen(
+        base in prop::collection::btree_map(any::<u16>(), any::<u32>(), 0..60),
+        edits in prop::collection::vec((any::<u16>(), any::<u32>()), 1..60),
+    ) {
+        let mut model = base.clone();
+        let mut cur = from_model(&base);
+        let mut history: Vec<(T, Vec<(u16, u32)>)> =
+            vec![(cur.clone(), model.iter().map(|(&k, &v)| (k, v)).collect())];
+        for &(k, v) in &edits {
+            if v % 3 == 0 {
+                model.remove(&k);
+                cur = cur.remove(&k);
+            } else {
+                model.insert(k, v);
+                cur = cur.insert(k, v);
+            }
+            history.push((cur.clone(), model.iter().map(|(&k, &v)| (k, v)).collect()));
+        }
+        for (i, (version, snapshot)) in history.iter().enumerate() {
+            prop_assert_eq!(&version.to_vec(), snapshot, "version {} drifted", i);
+        }
+    }
+
+    /// `split_at` partitions correctly and mutates nothing: the receiver
+    /// keeps its contents, and re-joining restores them exactly.
+    #[test]
+    fn split_is_a_pure_partition(
+        base in prop::collection::btree_map(any::<u16>(), any::<u32>(), 1..80),
+        key in any::<u16>(),
+        inclusive in any::<bool>(),
+    ) {
+        let t = from_model(&base);
+        let before = t.to_vec();
+        let (l, r) = t.split_at(&key, inclusive);
+        for (k, _) in l.to_vec() {
+            prop_assert!(if inclusive { k <= key } else { k < key });
+        }
+        for (k, _) in r.to_vec() {
+            prop_assert!(if inclusive { k > key } else { k >= key });
+        }
+        prop_assert_eq!(l.len() + r.len(), t.len());
+        prop_assert_eq!(t.to_vec(), before, "split mutated the receiver");
+        prop_assert_eq!(l.join_with(&r).to_vec(), before, "split/join lost entries");
+    }
+
+    /// Inserting a fresh key and removing it restores the *canonical*
+    /// treap — same contents and same root — and the intermediate version
+    /// survives unchanged.
+    #[test]
+    fn insert_remove_restores_canonical_shape(
+        base in prop::collection::btree_map(any::<u16>(), any::<u32>(), 0..80),
+        key in any::<u16>(),
+        value in any::<u32>(),
+    ) {
+        prop_assume!(!base.contains_key(&key));
+        let t = from_model(&base);
+        let inserted = t.insert(key, value);
+        prop_assert_eq!(inserted.len(), t.len() + 1);
+        prop_assert_eq!(inserted.get(&key), Some(&value));
+        let restored = inserted.remove(&key);
+        prop_assert_eq!(restored.to_vec(), t.to_vec());
+        // Deterministic priorities: identical key set ⇒ identical root.
+        prop_assert_eq!(
+            restored.root().map(|n| *n.key()),
+            t.root().map(|n| *n.key())
+        );
+        // The middle version still holds the key.
+        prop_assert_eq!(inserted.get(&key), Some(&value));
+    }
+
+    /// Path copying shares structure: a single edit creates at most a
+    /// root-to-leaf path of new nodes, so the two versions together hold
+    /// far fewer unique nodes than two independent copies would.
+    #[test]
+    fn single_edit_shares_structure(
+        base in prop::collection::btree_map(any::<u16>(), any::<u32>(), 32..200),
+        key in any::<u16>(),
+        value in any::<u32>(),
+    ) {
+        let t0 = from_model(&base);
+        let t1 = t0.insert(key, value);
+        let stats = SharingStats::of(&[&t0, &t1]);
+        let independent = t0.len() + t1.len();
+        // A generous depth allowance: deterministic treap priorities give
+        // expected depth Θ(log n); 8·log2(n) + 32 leaves huge slack while
+        // still being ≪ n for the sizes generated here.
+        let depth_allowance = 8 * (t0.len().max(2) as f64).log2() as usize + 32;
+        prop_assert!(
+            stats.unique_nodes <= t0.len() + depth_allowance,
+            "sharing broke: {} unique nodes for versions of {} + {} entries",
+            stats.unique_nodes, t0.len(), t1.len()
+        );
+        prop_assert!(stats.unique_nodes <= independent);
+    }
+
+    /// Ordered queries on an old version are unaffected by later edits.
+    #[test]
+    fn queries_on_old_versions_unaffected(
+        base in prop::collection::btree_map(any::<u16>(), any::<u32>(), 1..80),
+        edits in prop::collection::vec((any::<u16>(), any::<u32>()), 1..40),
+        probes in prop::collection::vec(any::<u16>(), 1..10),
+    ) {
+        let t0 = from_model(&base);
+        let mut cur = t0.clone();
+        for &(k, v) in &edits {
+            cur = if v % 2 == 0 { cur.insert(k, v) } else { cur.remove(&k) };
+        }
+        for &p in &probes {
+            prop_assert_eq!(t0.get(&p), base.get(&p));
+            prop_assert_eq!(
+                t0.floor(&p).map(|(k, _)| *k),
+                base.range(..=p).next_back().map(|(&k, _)| k)
+            );
+            prop_assert_eq!(
+                t0.ceiling(&p).map(|(k, _)| *k),
+                base.range(p..).next().map(|(&k, _)| k)
+            );
+        }
+        prop_assert_eq!(t0.first().map(|(k, _)| *k), base.keys().next().copied());
+        prop_assert_eq!(t0.last().map(|(k, _)| *k), base.keys().next_back().copied());
+    }
+}

@@ -90,8 +90,7 @@ impl Delaunay {
             hops += 1;
             if hops > self.tris.len() * 4 + 16 {
                 // Fallback for pathological walks: scan everything.
-                return (0..self.tris.len())
-                    .find(|&t| self.tris[t].alive && self.contains(t, p));
+                return (0..self.tris.len()).find(|&t| self.tris[t].alive && self.contains(t, p));
             }
             let t = &self.tris[cur];
             for e in 0..3 {
@@ -170,7 +169,8 @@ impl Delaunay {
         let first_new = self.tris.len();
         for &(a, b, outer) in &boundary {
             let id = self.tris.len();
-            self.tris.push(Tri { v: [i, a, b], n: [outer, None, None], alive: true });
+            self.tris
+                .push(Tri { v: [i, a, b], n: [outer, None, None], alive: true });
             // Fix the outer neighbor's back-pointer.
             if let Some(o) = outer {
                 let ot = &mut self.tris[o];

@@ -19,12 +19,12 @@ use crate::tin::Tin;
 use hsr_geometry::{Point2, Point3};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Deterministic per-sample jitter in `[-1, 1]` from integer coordinates;
 /// used to pull structured terrains into general position.
 fn hash_jitter(seed: u64, i: u64, j: u64) -> f64 {
-    let mut z = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ j.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    let mut z =
+        seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ j.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^= z >> 31;
@@ -106,7 +106,11 @@ pub fn diamond_square(size_pow2: u32, roughness: f64, amplitude: f64, seed: u64)
         }
         // Square step.
         for i in (0..n).step_by(half) {
-            let j0 = if (i / half).is_multiple_of(2) { half } else { 0 };
+            let j0 = if (i / half).is_multiple_of(2) {
+                half
+            } else {
+                0
+            };
             for j in (j0..n).step_by(step) {
                 let mut sum = 0.0;
                 let mut cnt = 0.0;
@@ -174,7 +178,13 @@ pub fn amphitheater(nx: usize, ny: usize, amplitude: f64, seed: u64) -> GridTerr
 
 /// `n_ridges` ridges perpendicular to the view, front ridge tallest:
 /// almost everything behind it is hidden (`k ≪ n`).
-pub fn ridge_field(nx: usize, ny: usize, n_ridges: usize, amplitude: f64, seed: u64) -> GridTerrain {
+pub fn ridge_field(
+    nx: usize,
+    ny: usize,
+    n_ridges: usize,
+    amplitude: f64,
+    seed: u64,
+) -> GridTerrain {
     let mut g = GridTerrain::flat(nx, ny);
     let period = (nx / n_ridges.max(1)).max(2);
     g.fill(|i, j, _x, y| {
@@ -182,7 +192,8 @@ pub fn ridge_field(nx: usize, ny: usize, n_ridges: usize, amplitude: f64, seed: 
         let ridge = (phase * std::f64::consts::PI).sin();
         // Closer ridges (larger i) are taller: the front one occludes.
         let gain = amplitude * (0.2 + 0.8 * i as f64 / (nx - 1) as f64);
-        gain * ridge + 0.02 * amplitude * (y * 0.13).sin()
+        gain * ridge
+            + 0.02 * amplitude * (y * 0.13).sin()
             + 1e-6 * hash_jitter(seed, i as u64, j as u64)
     });
     g
@@ -198,7 +209,11 @@ pub fn occlusion_knob(nx: usize, ny: usize, theta: f64, amplitude: f64, seed: u6
     let wall_row = nx - 2;
     g.fill(|i, j, x, y| {
         let rise = (1.0 - theta) * amplitude * (nx - 1 - i) as f64 / (nx - 1) as f64;
-        let wall = if i == wall_row { theta * 3.0 * amplitude } else { 0.0 };
+        let wall = if i == wall_row {
+            theta * 3.0 * amplitude
+        } else {
+            0.0
+        };
         let tex = 0.05 * amplitude * noise.fbm(x * scale, y * scale, 3);
         rise + wall + tex + 1e-6 * hash_jitter(seed, i as u64, j as u64)
     });
@@ -259,8 +274,7 @@ pub fn terraces(nx: usize, ny: usize, n_steps: usize, seed: u64) -> GridTerrain 
     let step = (nx / n_steps.max(1)).max(1);
     g.fill(|i, j, _x, y| {
         let level = (nx - 1 - i) / step; // higher away from the viewer
-        level as f64 * 3.0 + 0.05 * (y * 0.41).sin()
-            + 1e-6 * hash_jitter(seed, i as u64, j as u64)
+        level as f64 * 3.0 + 0.05 * (y * 0.41).sin() + 1e-6 * hash_jitter(seed, i as u64, j as u64)
     });
     g
 }
@@ -366,7 +380,8 @@ pub fn random_tin(n: usize, amplitude: f64, seed: u64) -> Tin {
 }
 
 /// A named, serializable workload description used by the bench harness.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Workload {
     /// Fractal terrain (`fbm`).
     Fbm {

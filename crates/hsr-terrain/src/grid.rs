@@ -2,14 +2,14 @@
 
 use crate::tin::{Tin, TinError};
 use hsr_geometry::Point3;
-use serde::{Deserialize, Serialize};
 
 /// A heightfield sampled on a regular `nx × ny` grid.
 ///
 /// Grid index `(i, j)` maps to world position `(origin_x + i·dx,
 /// origin_y + j·dy)`: the `i` axis is the *depth* axis (viewer at
 /// `x = +∞` sees row `i = nx-1` in front) and `j` runs across the image.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GridTerrain {
     /// Samples along the depth axis.
     pub nx: usize,
@@ -29,14 +29,7 @@ impl GridTerrain {
     /// Creates a flat grid of zeros.
     pub fn flat(nx: usize, ny: usize) -> Self {
         assert!(nx >= 2 && ny >= 2, "grid must be at least 2×2");
-        GridTerrain {
-            nx,
-            ny,
-            dx: 1.0,
-            dy: 1.0,
-            origin: (0.0, 0.0),
-            heights: vec![0.0; nx * ny],
-        }
+        GridTerrain { nx, ny, dx: 1.0, dy: 1.0, origin: (0.0, 0.0), heights: vec![0.0; nx * ny] }
     }
 
     /// Height at grid index `(i, j)`.
@@ -109,10 +102,7 @@ impl GridTerrain {
     /// same world extent (bilinear).
     pub fn resample(&self, nx: usize, ny: usize) -> GridTerrain {
         assert!(nx >= 2 && ny >= 2);
-        let (w, h) = (
-            (self.nx - 1) as f64 * self.dx,
-            (self.ny - 1) as f64 * self.dy,
-        );
+        let (w, h) = ((self.nx - 1) as f64 * self.dx, (self.ny - 1) as f64 * self.dy);
         let mut g = GridTerrain {
             nx,
             ny,

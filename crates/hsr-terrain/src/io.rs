@@ -40,7 +40,12 @@ impl std::error::Error for ObjError {}
 /// Serialises a TIN as OBJ text.
 pub fn to_obj(tin: &Tin) -> String {
     let mut out = String::with_capacity(tin.vertices().len() * 32);
-    let _ = writeln!(out, "# terrain-hsr TIN: {} vertices, {} faces", tin.vertices().len(), tin.triangles().len());
+    let _ = writeln!(
+        out,
+        "# terrain-hsr TIN: {} vertices, {} faces",
+        tin.vertices().len(),
+        tin.triangles().len()
+    );
     for v in tin.vertices() {
         let _ = writeln!(out, "v {} {} {}", v.x, v.y, v.z);
     }

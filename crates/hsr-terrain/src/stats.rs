@@ -6,10 +6,10 @@
 //! family produces a large `k` and another a small one.
 
 use crate::tin::Tin;
-use serde::Serialize;
 
 /// Summary statistics of a terrain.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct TerrainStats {
     /// Vertices / edges / faces.
     pub vertices: usize,
@@ -70,7 +70,11 @@ pub fn terrain_stats(tin: &Tin) -> TerrainStats {
         relief: zhi - zlo,
         mean_slope: if nf == 0 { 0.0 } else { slope_sum / nf as f64 },
         max_slope: slope_max,
-        view_facing_fraction: if nf == 0 { 0.0 } else { facing as f64 / nf as f64 },
+        view_facing_fraction: if nf == 0 {
+            0.0
+        } else {
+            facing as f64 / nf as f64
+        },
         mean_face_area: if nf == 0 { 0.0 } else { area_sum / nf as f64 },
     }
 }
@@ -103,11 +107,7 @@ mod tests {
     fn ridge_field_is_half_facing() {
         let tin = gen::ridge_field(24, 12, 6, 10.0, 2).to_tin().unwrap();
         let s = terrain_stats(&tin);
-        assert!(
-            (0.25..=0.75).contains(&s.view_facing_fraction),
-            "{}",
-            s.view_facing_fraction
-        );
+        assert!((0.25..=0.75).contains(&s.view_facing_fraction), "{}", s.view_facing_fraction);
         assert!(s.max_slope >= s.mean_slope);
     }
 }

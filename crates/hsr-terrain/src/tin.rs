@@ -8,7 +8,6 @@
 //! the front-to-back ordering.
 
 use hsr_geometry::{orient2d, Orientation, Point2, Point3};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Errors raised by [`Tin::new`].
@@ -48,7 +47,8 @@ impl std::fmt::Display for TinError {
 impl std::error::Error for TinError {}
 
 /// A validated triangulated terrain.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tin {
     vertices: Vec<Point3>,
     /// Triangles as vertex-index triples, normalised CCW in ground
@@ -253,11 +253,8 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_triangle() {
-        let err = Tin::new(
-            vec![v(0., 0., 0.), v(1., 1., 0.), v(2., 2., 0.)],
-            vec![[0, 1, 2]],
-        )
-        .unwrap_err();
+        let err = Tin::new(vec![v(0., 0., 0.), v(1., 1., 0.), v(2., 2., 0.)], vec![[0, 1, 2]])
+            .unwrap_err();
         assert_eq!(err, TinError::DegenerateTriangle(0));
     }
 

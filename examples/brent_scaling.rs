@@ -58,8 +58,5 @@ fn main() {
         p *= 2;
     }
     println!();
-    println!(
-        "speedup ceiling implied by the critical path: {:.1}×",
-        model.speedup_ceiling()
-    );
+    println!("speedup ceiling implied by the critical path: {:.1}×", model.speedup_ceiling());
 }

@@ -32,11 +32,8 @@ fn main() {
         let ptin = perspective_tin(&tin, view).expect("camera outside the scene");
         let report = run(&ptin, &HsrConfig::default()).expect("acyclic");
         // Sanity: the sequential baseline agrees frame by frame.
-        let seq = run(
-            &ptin,
-            &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() },
-        )
-        .unwrap();
+        let seq = run(&ptin, &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() })
+            .unwrap();
         assert!(report.vis.agreement(&seq.vis) > 0.9999);
         println!(
             "| ({:.1}, {:.1}) | {} | {} | {:.4} | {:.1} |",

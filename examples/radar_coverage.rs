@@ -31,11 +31,7 @@ fn main() {
     for altitude in [2.0, 6.0, 10.0, 14.0, 18.0] {
         let fleet: Vec<Point3> = (0..400)
             .map(|_| {
-                Point3::new(
-                    rng.random_range(lo.x..hi.x),
-                    rng.random_range(lo.y..hi.y),
-                    altitude,
-                )
+                Point3::new(rng.random_range(lo.x..hi.x), rng.random_range(lo.y..hi.y), altitude)
             })
             .collect();
         let verdicts = classify_points(&tin, &edges, &order, &fleet);

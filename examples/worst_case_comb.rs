@@ -12,7 +12,9 @@ use terrain_hsr::terrain::gen;
 use terrain_hsr::{Algorithm, Phase2Mode, Scene};
 
 fn main() {
-    println!("| m (teeth) | n (edges) | k (output) | k/n | parallel ms | sequential ms | naive ms |");
+    println!(
+        "| m (teeth) | n (edges) | k (output) | k/n | parallel ms | sequential ms | naive ms |"
+    );
     println!("|---|---|---|---|---|---|---|");
     for m in [8usize, 16, 32, 64] {
         let tin = gen::quadratic_comb(m);

@@ -1,0 +1,361 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no registry access, so this workspace ships a
+//! small, dependency-free implementation of the rayon API surface the
+//! codebase uses:
+//!
+//! * [`join`] — **genuinely parallel**: the first closure runs on a scoped
+//!   OS thread while the second runs inline, throttled by a global budget
+//!   of `available_parallelism` live helper threads so recursive
+//!   divide-and-conquer (the dominant pattern here) degrades gracefully to
+//!   sequential execution once the machine is saturated.
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — scopes a thread
+//!   budget, so `with_threads(p, f)` style experiments still sweep `p`.
+//! * [`prelude`] — `par_iter` / `into_par_iter` / `par_chunks` /
+//!   `par_sort*` adapters that return **sequential** std iterators. All
+//!   combinator chains (`map`, `zip`, `filter_map`, `collect`, `sum`, …)
+//!   then come from `std::iter::Iterator` with identical semantics and
+//!   ordering. Divide-and-conquer parallelism via [`join`] remains the
+//!   source of speedup.
+//!
+//! The send/sync bounds of the real API are kept on [`join`] and
+//! [`ThreadPool::install`] so code written against this shim stays honest
+//! and swaps cleanly for real rayon when a registry is available.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global count of live helper threads spawned by [`join`].
+static LIVE_HELPERS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Thread budget installed by [`ThreadPool::install`] (0 = default).
+    static INSTALLED_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Number of threads the current scope would use — the installed pool's
+/// size if inside [`ThreadPool::install`], else the hardware parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|t| t.get());
+    if installed > 0 {
+        installed
+    } else {
+        hardware_threads()
+    }
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+///
+/// `a` is offloaded to a scoped thread when the global helper budget
+/// allows; otherwise both run sequentially on the current thread. The
+/// budget is `current_num_threads() - 1` helpers.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let budget = current_num_threads().saturating_sub(1);
+    // Optimistically claim a helper slot; back off if over budget.
+    let claimed = LIVE_HELPERS.fetch_add(1, Ordering::Relaxed) < budget;
+    if !claimed {
+        LIVE_HELPERS.fetch_sub(1, Ordering::Relaxed);
+        return (a(), b());
+    }
+    let installed = INSTALLED_THREADS.with(|t| t.get());
+    let out = std::thread::scope(|s| {
+        let ha = s.spawn(move || {
+            // Propagate the installed budget to the helper thread.
+            INSTALLED_THREADS.with(|t| t.set(installed));
+            a()
+        });
+        let rb = b();
+        (ha.join().expect("rayon-shim: join closure panicked"), rb)
+    });
+    LIVE_HELPERS.fetch_sub(1, Ordering::Relaxed);
+    out
+}
+
+/// Spawn-scope subset: runs the closure with a scope whose `spawn` is
+/// immediate (sequential); provided for API compatibility.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    f(&Scope { _marker: std::marker::PhantomData })
+}
+
+/// Sequential stand-in for `rayon::Scope`.
+pub struct Scope<'scope> {
+    _marker: std::marker::PhantomData<&'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Runs `f` immediately on the current thread.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        f(self);
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]. Never produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with a fixed thread budget.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (hardware) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of threads the pool exposes.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                hardware_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A thread budget that scopes the parallelism of [`join`] calls made
+/// inside [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread budget installed.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        let prev = INSTALLED_THREADS.with(|t| t.replace(self.num_threads));
+        let out = f();
+        INSTALLED_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Parallel-iterator adapters. In this shim they return the corresponding
+/// **sequential** std iterators; all downstream combinators are
+/// `std::iter::Iterator` methods with identical ordering semantics.
+pub mod prelude {
+    pub use super::{current_num_threads, join};
+
+    /// `into_par_iter()` for any owned iterable (ranges, `Vec`, …).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Converts into a (sequential) iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` for anything iterable by shared reference.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator;
+        /// Iterates by shared reference.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` for anything iterable by unique reference.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator;
+        /// Iterates by unique reference.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Combinators that exist on rayon's `ParallelIterator` but not on
+    /// `std::iter::Iterator`, expressed as sequential equivalents.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// rayon's `flat_map_iter` — sequentially identical to `flat_map`.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// rayon's `with_min_len` — a no-op splitting hint here.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// rayon's `with_max_len` — a no-op splitting hint here.
+        fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+
+    /// Slice chunking / windowing adapters.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_windows`.
+        fn par_windows(&self, window_size: usize) -> std::slice::Windows<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+        fn par_windows(&self, window_size: usize) -> std::slice::Windows<'_, T> {
+            self.windows(window_size)
+        }
+    }
+
+    /// Mutable-slice adapters: chunking and sorting.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        /// Stable sort (`par_sort`).
+        fn par_sort(&mut self)
+        where
+            T: Ord;
+        /// Unstable sort (`par_sort_unstable`).
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        /// Stable sort by comparator (`par_sort_by`).
+        fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+        /// Stable sort by key (`par_sort_by_key`).
+        fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+        /// Unstable sort by key (`par_sort_unstable_by_key`).
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+        fn par_sort(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort();
+        }
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+        fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+            self.sort_by(compare);
+        }
+        fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+            self.sort_by_key(key);
+        }
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+            self.sort_unstable_by_key(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn nested_joins_do_not_deadlock() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo < 1000 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 1_000_000), (0..1_000_000u64).sum());
+    }
+
+    #[test]
+    fn install_scopes_thread_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert_eq!(pool.install(|| join(current_num_threads, current_num_threads)), (3, 3));
+    }
+
+    #[test]
+    fn par_iter_adapters_behave_like_std() {
+        let v: Vec<u32> = (0..100).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let s: u64 = (0..1000u64).into_par_iter().map(|i| i * i).sum();
+        assert_eq!(s, (0..1000u64).map(|i| i * i).sum::<u64>());
+        let chunks: Vec<usize> = v.par_chunks(7).map(<[u32]>::len).collect();
+        assert_eq!(chunks.iter().sum::<usize>(), 100);
+        let mut w = [3u8, 1, 2];
+        w.par_sort();
+        assert_eq!(w, [1, 2, 3]);
+    }
+}

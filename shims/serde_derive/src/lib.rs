@@ -1,0 +1,426 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! sibling `serde` shim **without** `syn`/`quote`: the derive input is
+//! walked as a raw [`TokenStream`], distilled into a tiny AST (struct or
+//! enum, fields with name/type text), and the impl is emitted by string
+//! formatting and re-parsed with [`str::parse`].
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! non-generic structs (named, tuple, unit) and non-generic enums with
+//! unit / newtype / tuple / struct variants, in serde's externally tagged
+//! JSON representation. `#[serde(...)]` attributes and generics are
+//! rejected with a compile error rather than silently mishandled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<(String, String)>),
+    Tuple(Vec<String>),
+    Unit,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives `serde::Serialize` (shim version) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(model) => gen_serialize(&model).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (shim version) for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(model) => gen_deserialize(&model).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i)?;
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("serde shim derive: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde shim derive: generic type `{name}` is not supported"));
+    }
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        return Err(format!("serde shim derive: where-clauses on `{name}` are not supported"));
+    }
+
+    if kind == "struct" {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_named_fields(g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(split_types(g.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            None => Fields::Unit,
+            other => return Err(format!("serde shim derive: unexpected token {other:?}")),
+        };
+        Ok(Input::Struct { name, fields })
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("serde shim derive: expected enum body, got {other:?}")),
+        };
+        Ok(Input::Enum { name, variants: parse_variants(body)? })
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the attribute body group
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if g.stream().to_string().starts_with("serde") {
+                            return Err(
+                                "serde shim derive: #[serde(...)] attributes are not supported"
+                                    .to_string(),
+                            );
+                        }
+                        *i += 1;
+                    }
+                    other => {
+                        return Err(format!("serde shim derive: bad attribute, got {other:?}"))
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Splits `stream` on top-level commas (angle-bracket depth aware).
+fn top_level_split(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().unwrap().push(tt);
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Fields, String> {
+    let mut fields = Vec::new();
+    for field_tokens in top_level_split(stream) {
+        let mut j = 0usize;
+        skip_attrs_and_vis(&field_tokens, &mut j)?;
+        let fname = match field_tokens.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde shim derive: expected field name, got {other:?}")),
+        };
+        j += 1;
+        match field_tokens.get(j) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde shim derive: expected `:`, got {other:?}")),
+        }
+        j += 1;
+        let ty = tokens_to_string(&field_tokens[j..]);
+        if ty.is_empty() {
+            return Err(format!("serde shim derive: missing type for field `{fname}`"));
+        }
+        fields.push((fname, ty));
+    }
+    Ok(Fields::Named(fields))
+}
+
+fn split_types(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for ty_tokens in top_level_split(stream) {
+        let mut j = 0usize;
+        skip_attrs_and_vis(&ty_tokens, &mut j)?;
+        let ty = tokens_to_string(&ty_tokens[j..]);
+        if ty.is_empty() {
+            return Err("serde shim derive: empty tuple field".to_string());
+        }
+        out.push(ty);
+    }
+    Ok(out)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut out = Vec::new();
+    for var_tokens in top_level_split(stream) {
+        let mut j = 0usize;
+        skip_attrs_and_vis(&var_tokens, &mut j)?;
+        let vname = match var_tokens.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!("serde shim derive: expected variant name, got {other:?}"))
+            }
+        };
+        j += 1;
+        let fields = match var_tokens.get(j) {
+            None => Fields::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_named_fields(g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(split_types(g.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(
+                    "serde shim derive: explicit discriminants are not supported".to_string()
+                )
+            }
+            other => return Err(format!("serde shim derive: unexpected token {other:?}")),
+        };
+        out.push((vname, fields));
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------ serializing
+
+fn ser_named_body(fields: &[(String, String)], accessor: &str) -> String {
+    let mut out = String::from("__s.begin_object();\n");
+    for (fname, _) in fields {
+        out.push_str(&format!(
+            "__s.key({fname:?});\n::serde::Serialize::serialize({accessor}{fname}, __s);\n__s.end_value();\n"
+        ));
+    }
+    out.push_str("__s.end_object();\n");
+    out
+}
+
+fn gen_serialize(model: &Input) -> String {
+    let (name, body) = match model {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => ser_named_body(fs, "&self."),
+                Fields::Tuple(tys) if tys.len() == 1 => {
+                    "::serde::Serialize::serialize(&self.0, __s);\n".to_string()
+                }
+                Fields::Tuple(tys) => {
+                    let mut b = String::from("__s.begin_array();\n");
+                    for i in 0..tys.len() {
+                        b.push_str(&format!("::serde::Serialize::serialize(&self.{i}, __s);\n"));
+                    }
+                    b.push_str("__s.end_array();\n");
+                    b
+                }
+                Fields::Unit => "__s.scalar(\"null\");\n".to_string(),
+            };
+            (name, body)
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => {{ __s.string({vname:?}); }}\n"
+                        ));
+                    }
+                    Fields::Tuple(tys) if tys.len() == 1 => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => {{ __s.begin_object(); __s.key({vname:?}); \
+                             ::serde::Serialize::serialize(__f0, __s); __s.end_value(); __s.end_object(); }}\n"
+                        ));
+                    }
+                    Fields::Tuple(tys) => {
+                        let binds: Vec<String> =
+                            (0..tys.len()).map(|i| format!("__f{i}")).collect();
+                        let mut inner = String::from("__s.begin_array();\n");
+                        for b in &binds {
+                            inner.push_str(&format!("::serde::Serialize::serialize({b}, __s);\n"));
+                        }
+                        inner.push_str("__s.end_array();\n");
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{ __s.begin_object(); __s.key({vname:?});\n{inner}__s.end_value(); __s.end_object(); }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<&str> = fs.iter().map(|(f, _)| f.as_str()).collect();
+                        let inner = ser_named_body(fs, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ __s.begin_object(); __s.key({vname:?});\n{inner}__s.end_value(); __s.end_object(); }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self, __s: &mut ::serde::ser::Serializer) {{\n{body}}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------- deserializing
+
+/// Emits statements that parse a `{ ... }` object into `let` bindings
+/// `__f_<name>` and then build `ctor { name: ..., }` as expression `__out`.
+fn de_named_body(fields: &[(String, String)], ctor: &str) -> String {
+    let mut out = String::from("__d.expect(b'{')?;\n");
+    for (fname, ty) in fields {
+        out.push_str(&format!(
+            "let mut __f_{fname}: ::core::option::Option<{ty}> = ::core::option::Option::None;\n"
+        ));
+    }
+    out.push_str("if !__d.eat(b'}') {\nloop {\nlet __key = __d.parse_string()?;\n__d.expect(b':')?;\nmatch __key.as_str() {\n");
+    for (fname, ty) in fields {
+        out.push_str(&format!(
+            "{fname:?} => {{ __f_{fname} = ::core::option::Option::Some(<{ty} as ::serde::Deserialize>::deserialize(__d)?); }}\n"
+        ));
+    }
+    out.push_str(
+        "_ => { __d.skip_value()?; }\n}\nif !__d.eat(b',') { break; }\n}\n__d.expect(b'}')?;\n}\n",
+    );
+    out.push_str(&format!("let __out = {ctor} {{\n"));
+    for (fname, _) in fields {
+        out.push_str(&format!(
+            "{fname}: __f_{fname}.ok_or_else(|| __d.error(\"missing field `{fname}`\"))?,\n"
+        ));
+    }
+    out.push_str("};\n");
+    out
+}
+
+fn de_tuple_body(tys: &[String], ctor: &str) -> String {
+    if tys.len() == 1 {
+        return format!(
+            "let __out = {ctor}(<{} as ::serde::Deserialize>::deserialize(__d)?);\n",
+            tys[0]
+        );
+    }
+    let mut out = String::from("__d.expect(b'[')?;\n");
+    for (i, ty) in tys.iter().enumerate() {
+        if i > 0 {
+            out.push_str("__d.expect(b',')?;\n");
+        }
+        out.push_str(&format!("let __f{i} = <{ty} as ::serde::Deserialize>::deserialize(__d)?;\n"));
+    }
+    out.push_str("__d.expect(b']')?;\n");
+    out.push_str(&format!(
+        "let __out = {ctor}({});\n",
+        (0..tys.len())
+            .map(|i| format!("__f{i}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out
+}
+
+fn gen_deserialize(model: &Input) -> String {
+    let (name, body) = match model {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let mut b = de_named_body(fs, name);
+                    b.push_str("::core::result::Result::Ok(__out)\n");
+                    b
+                }
+                Fields::Tuple(tys) => {
+                    let mut b = de_tuple_body(tys, name);
+                    b.push_str("::core::result::Result::Ok(__out)\n");
+                    b
+                }
+                Fields::Unit => format!(
+                    "if __d.eat_keyword(\"null\") {{ ::core::result::Result::Ok({name}) }} \
+                     else {{ ::core::result::Result::Err(__d.error(\"expected null\")) }}\n"
+                ),
+            };
+            (name, body)
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(tys) => data_arms.push_str(&format!(
+                        "{vname:?} => {{\n{}__out\n}}\n",
+                        de_tuple_body(tys, &format!("{name}::{vname}"))
+                    )),
+                    Fields::Named(fs) => data_arms.push_str(&format!(
+                        "{vname:?} => {{\n{}__out\n}}\n",
+                        de_named_body(fs, &format!("{name}::{vname}"))
+                    )),
+                }
+            }
+            let body = format!(
+                "match __d.peek() {{\n\
+                 Some(b'\"') => {{\nlet __v = __d.parse_string()?;\nmatch __v.as_str() {{\n{unit_arms}\
+                 _ => ::core::result::Result::Err(__d.error(\"unknown unit variant\")),\n}}\n}}\n\
+                 Some(b'{{') => {{\n__d.expect(b'{{')?;\nlet __v = __d.parse_string()?;\n__d.expect(b':')?;\n\
+                 let __out = match __v.as_str() {{\n{data_arms}\
+                 _ => return ::core::result::Result::Err(__d.error(\"unknown variant\")),\n}};\n\
+                 __d.expect(b'}}')?;\n::core::result::Result::Ok(__out)\n}}\n\
+                 _ => ::core::result::Result::Err(__d.error(\"expected enum value\")),\n}}\n"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__d: &mut ::serde::de::Deserializer<'_>) -> ::core::result::Result<Self, ::serde::de::Error> {{\n{body}}}\n}}\n"
+    )
+}

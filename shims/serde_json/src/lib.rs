@@ -1,0 +1,111 @@
+//! Offline stand-in for [`serde_json`]: `to_string` / `from_str` over the
+//! serde shim's built-in JSON serializer and parser.
+//!
+//! Output is compact (no whitespace); [`to_string_pretty`] adds
+//! two-space indentation. Values round-trip through the shim's own
+//! format; non-finite floats serialize as `null` like real serde_json.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::de::Error;
+
+/// Serializes `value` to a compact JSON string.
+///
+/// Infallible for the shim's data model but returns `Result` for
+/// source compatibility with real `serde_json`.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut s = serde::ser::Serializer::new();
+    value.serialize(&mut s);
+    Ok(s.finish())
+}
+
+/// Serializes `value` with two-space indentation.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Deserializes a value of type `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let mut d = serde::de::Deserializer::new(input);
+    let value = T::deserialize(&mut d)?;
+    d.finish()?;
+    Ok(value)
+}
+
+/// Re-indents compact JSON. Strings are respected; the input is assumed
+/// well-formed (it comes from [`to_string`]).
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+    for c in compact.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                indent += 1;
+                newline(&mut out, indent);
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip_vec() {
+        let v = vec![1.5f64, -2.0, 3.25];
+        let json = super::to_string(&v).unwrap();
+        assert_eq!(json, "[1.5,-2.0,3.25]");
+        let back: Vec<f64> = super::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_is_reparseable() {
+        let v = vec![(1u32, "a".to_string()), (2, "b\"{".to_string())];
+        let pretty = super::to_string_pretty(&v).unwrap();
+        let back: Vec<(u32, String)> = super::from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(super::from_str::<Vec<f64>>("[1.0,").is_err());
+        assert!(super::from_str::<Vec<f64>>("[1.0] tail").is_err());
+    }
+}

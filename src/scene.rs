@@ -48,10 +48,7 @@ impl Scene {
 
     /// Runs with full per-layer statistics collection.
     pub fn compute_with_stats(&self) -> Result<SceneReport, CyclicOcclusion> {
-        pipeline::run(
-            &self.tin,
-            &HsrConfig { collect_stats: true, ..Default::default() },
-        )
+        pipeline::run(&self.tin, &HsrConfig { collect_stats: true, ..Default::default() })
     }
 
     /// The same terrain viewed from direction `angle` radians (rotated

@@ -4,24 +4,12 @@
 //! exactly the same crossings for the same segment against the same
 //! profile — and the persistent merge must find the same events again.
 
+mod common;
+
+use common::pseudo_pieces;
 use terrain_hsr::core::cg::HullTree;
 use terrain_hsr::core::envelope::{Envelope, Piece};
 use terrain_hsr::core::ptenv::PEnvelope;
-
-fn pseudo_pieces(n: usize, seed: u64) -> Vec<Piece> {
-    let mut state = seed;
-    let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        (state >> 33) as f64 / (1u64 << 31) as f64
-    };
-    (0..n as u32)
-        .map(|e| {
-            let x0 = next() * 100.0;
-            let w = next() * 15.0 + 0.5;
-            Piece { x0, x1: x0 + w, z0: next() * 25.0, z1: next() * 25.0, edge: e }
-        })
-        .collect()
-}
 
 #[test]
 fn hull_tree_and_walk_agree_on_crossings() {
@@ -29,10 +17,7 @@ fn hull_tree_and_walk_agree_on_crossings() {
         let env = Envelope::from_pieces(&pseudo_pieces(120, seed));
         let tree = HullTree::build(&env).unwrap();
         let mut state = seed ^ 0xbeef;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 33) as f64 / (1u64 << 31) as f64
-        };
+        let mut next = move || common::lcg_unit(&mut state);
         for q in 0..50u32 {
             let x0 = next() * 110.0 - 5.0;
             let w = next() * 60.0 + 1.0;
@@ -47,12 +32,7 @@ fn hull_tree_and_walk_agree_on_crossings() {
                 walk_events.len()
             );
             for (a, b) in tree_events.iter().zip(&walk_events) {
-                assert!(
-                    (a.x - b.x).abs() < 1e-9,
-                    "crossing abscissa mismatch: {} vs {}",
-                    a.x,
-                    b.x
-                );
+                assert!((a.x - b.x).abs() < 1e-9, "crossing abscissa mismatch: {} vs {}", a.x, b.x);
                 assert_eq!(a.upper_left, b.upper_left);
                 assert_eq!(a.upper_right, b.upper_right);
             }
@@ -96,10 +76,7 @@ fn first_crossing_is_leftmost_of_all_crossings() {
     let env = Envelope::from_pieces(&pseudo_pieces(200, 42));
     let tree = HullTree::build(&env).unwrap();
     let mut state = 7u64;
-    let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        (state >> 33) as f64 / (1u64 << 31) as f64
-    };
+    let mut next = move || common::lcg_unit(&mut state);
     let mut checked = 0;
     for q in 0..100u32 {
         let x0 = next() * 100.0;

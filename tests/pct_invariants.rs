@@ -1,6 +1,9 @@
 //! Deep invariants of the Profile Computation Tree — the claims §2.1 of
 //! the paper rests on, checked directly against the structures.
 
+mod common;
+
+use common::envelopes_agree;
 use terrain_hsr::core::edges::{project_edges, SceneEdge};
 use terrain_hsr::core::envelope::{Envelope, Piece};
 use terrain_hsr::core::order::depth_order;
@@ -12,19 +15,6 @@ fn ordered_edges(tin: &hsr_terrain::Tin) -> Vec<SceneEdge> {
     let edges = project_edges(tin);
     let order = depth_order(tin).unwrap();
     order.iter().map(|&e| edges[e as usize]).collect()
-}
-
-fn envelopes_agree(a: &Envelope, b: &Envelope, span: (f64, f64)) {
-    for s in 0..800 {
-        let x = span.0 + (span.1 - span.0) * (s as f64 + 0.3) / 800.0;
-        match (a.eval(x), b.eval(x)) {
-            (None, None) => {}
-            (Some(p), Some(q)) => {
-                assert!((p - q).abs() < 1e-9, "envelope mismatch at {x}: {p} vs {q}")
-            }
-            (p, q) => panic!("gap mismatch at {x}: {p:?} vs {q:?}"),
-        }
-    }
 }
 
 /// Phase 1's root envelope must equal the direct envelope of all edges —
@@ -47,8 +37,7 @@ fn phase1_envelopes_are_subtree_envelopes() {
         // Recursion invariant at the first split.
         let mid = edges.len() / 2;
         let left_pct = Pct::build(edges[..mid].to_vec());
-        let left_pieces: Vec<Piece> =
-            edges[..mid].iter().filter_map(|e| e.piece()).collect();
+        let left_pieces: Vec<Piece> = edges[..mid].iter().filter_map(|e| e.piece()).collect();
         let left_direct = Envelope::from_pieces(&left_pieces);
         if let Some(lspan) = left_direct.span() {
             envelopes_agree(left_pct.root_profile(), &left_direct, lspan);
@@ -106,9 +95,6 @@ fn visibility_monotone_in_occlusion() {
         widths.push(res.vis.total_visible_width());
     }
     for w in widths.windows(2) {
-        assert!(
-            w[1] <= w[0] * 1.02,
-            "visible width grew as the wall rose: {widths:?}"
-        );
+        assert!(w[1] <= w[0] * 1.02, "visible width grew as the wall rose: {widths:?}");
     }
 }

@@ -1,6 +1,9 @@
 //! Property-based integration tests: randomized terrains and segment sets
 //! must uphold the core invariants of the system.
 
+mod common;
+
+use common::MIN_EXACT_AGREEMENT;
 use proptest::prelude::*;
 use terrain_hsr::core::envelope::{Envelope, Piece};
 use terrain_hsr::core::pipeline::{run, Algorithm, HsrConfig};
@@ -11,16 +14,13 @@ use terrain_hsr::terrain::gen;
 /// Random pieces with **unique** edge ids (the `Piece::edge` contract:
 /// one id per supporting line).
 fn arb_pieces(max: usize) -> impl Strategy<Value = Vec<Piece>> {
-    prop::collection::vec(
-        (0.0f64..100.0, 0.1f64..30.0, -20.0f64..20.0, -20.0f64..20.0),
-        1..max,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (x0, w, z0, z1))| Piece { x0, x1: x0 + w, z0, z1, edge: i as u32 })
-            .collect()
-    })
+    prop::collection::vec((0.0f64..100.0, 0.1f64..30.0, -20.0f64..20.0, -20.0f64..20.0), 1..max)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (x0, w, z0, z1))| Piece { x0, x1: x0 + w, z0, z1, edge: i as u32 })
+                .collect()
+        })
 }
 
 proptest! {
@@ -101,7 +101,7 @@ proptest! {
         )
         .unwrap();
         let ag = par.vis.agreement(&seq.vis);
-        prop_assert!(ag > 0.9999, "agreement {ag}");
+        prop_assert!(ag > MIN_EXACT_AGREEMENT, "agreement {ag}");
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Integration: serialization round-trips and failure injection.
 
-use terrain_hsr::core::pipeline::{run, HsrConfig};
+mod common;
+
+use common::run_default;
 use terrain_hsr::core::order;
 use terrain_hsr::geometry::Point3;
 use terrain_hsr::terrain::gen;
 use terrain_hsr::terrain::{GridTerrain, Tin, TinError};
 
+#[cfg(feature = "serde")]
 #[test]
 fn grid_terrain_roundtrips_through_json() {
     let g = gen::fbm(9, 11, 3, 7.0, 31);
@@ -15,6 +18,7 @@ fn grid_terrain_roundtrips_through_json() {
     assert_eq!((g.nx, g.ny), (back.nx, back.ny));
 }
 
+#[cfg(feature = "serde")]
 #[test]
 fn tin_roundtrips_through_json() {
     let tin = gen::quadratic_comb(5);
@@ -22,15 +26,16 @@ fn tin_roundtrips_through_json() {
     let back: Tin = serde_json::from_str(&json).unwrap();
     assert_eq!(tin.counts(), back.counts());
     // And the deserialized terrain computes the same image.
-    let a = run(&tin, &HsrConfig::default()).unwrap();
-    let b = run(&back, &HsrConfig::default()).unwrap();
+    let a = run_default(&tin);
+    let b = run_default(&back);
     assert!(a.vis.agreement(&b.vis) > 0.9999);
 }
 
+#[cfg(feature = "serde")]
 #[test]
 fn visibility_map_roundtrips_through_json() {
     let tin = gen::fbm(10, 10, 3, 8.0, 3).to_tin().unwrap();
-    let res = run(&tin, &HsrConfig::default()).unwrap();
+    let res = run_default(&tin);
     let json = serde_json::to_string(&res.vis).unwrap();
     let back: terrain_hsr::core::VisibilityMap = serde_json::from_str(&json).unwrap();
     assert_eq!(res.vis.pieces.len(), back.pieces.len());
@@ -44,11 +49,8 @@ fn tin_rejects_invalid_inputs() {
     assert!(matches!(err, TinError::NonFiniteVertex(0)));
 
     // Function-graph violation.
-    let err = Tin::new(
-        vec![Point3::new(1.0, 2.0, 0.0), Point3::new(1.0, 2.0, 5.0)],
-        vec![],
-    )
-    .unwrap_err();
+    let err =
+        Tin::new(vec![Point3::new(1.0, 2.0, 0.0), Point3::new(1.0, 2.0, 5.0)], vec![]).unwrap_err();
     assert!(matches!(err, TinError::DuplicateGroundPosition(0, 1)));
 
     // Bad index and degenerate triangle.
@@ -110,7 +112,7 @@ fn empty_and_tiny_scenes() {
         vec![[0, 1, 2]],
     )
     .unwrap();
-    let res = run(&tin, &HsrConfig::default()).unwrap();
+    let res = run_default(&tin);
     assert_eq!(res.n, 3);
     assert_eq!(res.vis.pieces.len() + res.vis.vertical_visible.len(), 3);
 
@@ -125,6 +127,6 @@ fn empty_and_tiny_scenes() {
         vec![[0, 1, 2]],
     )
     .unwrap();
-    let res = run(&tin, &HsrConfig::default()).unwrap();
+    let res = run_default(&tin);
     assert_eq!(res.vis.pieces.len(), 2);
 }
