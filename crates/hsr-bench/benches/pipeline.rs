@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hsr_core::order::{depth_order, depth_order_parallel};
-use hsr_core::pipeline::{run, Algorithm, HsrConfig, Phase2Mode};
+use hsr_core::view::{evaluate, View};
+use hsr_core::{Algorithm, Phase2Mode};
 use hsr_terrain::gen::Workload;
 use std::hint::black_box;
 
@@ -23,16 +24,16 @@ fn bench_end_to_end(c: &mut Criterion) {
             ("sequential", Algorithm::Sequential),
         ] {
             g.bench_with_input(BenchmarkId::new(name, w.name()), &tin, |b, tin| {
-                let cfg = HsrConfig { algorithm: alg, ..Default::default() };
-                b.iter(|| run(black_box(tin), &cfg).unwrap().k)
+                let view = View::orthographic(0.0).algorithm(alg);
+                b.iter(|| evaluate(black_box(tin), &view).unwrap().k)
             });
         }
     }
     // The naive baseline only at a size it can handle.
     let small = Workload::Fbm { nx: 24, ny: 24, seed: 1 }.build();
     g.bench_function("naive/fbm-24x24", |b| {
-        let cfg = HsrConfig { algorithm: Algorithm::Naive, ..Default::default() };
-        b.iter(|| run(black_box(&small), &cfg).unwrap().k)
+        let view = View::orthographic(0.0).algorithm(Algorithm::Naive);
+        b.iter(|| evaluate(black_box(&small), &view).unwrap().k)
     });
     g.finish();
 }

@@ -6,17 +6,19 @@
 //! the comb adversary where `k = Θ(n²)`.
 //!
 //! ```sh
-//! cargo run --release -p hsr-bench --bin exp_output_sensitivity
+//! cargo run --release -p hsr-bench --bin exp_output_sensitivity [-- --json]
 //! ```
 
-use hsr_bench::harness::{md_table, time_best};
-use hsr_core::pipeline::{run, Algorithm, HsrConfig, Phase2Mode};
+use hsr_bench::harness::{maybe_write_reports, md_table, time_best};
+use hsr_core::view::{evaluate, Report, View};
+use hsr_core::{Algorithm, Phase2Mode};
 use hsr_pram::cost;
 use hsr_terrain::gen::Workload;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let side = if quick { 48 } else { 96 };
+    let mut kept: Vec<(String, Report)> = Vec::new();
 
     println!("## E4a — occlusion knob at fixed n ({side}×{side} grid)");
     let mut rows = Vec::new();
@@ -24,16 +26,16 @@ fn main() {
         let tin = Workload::Knob { nx: side, ny: side, theta, seed: 7 }.build();
         let n = tin.edges().len();
         cost::reset();
-        let res = run(&tin, &HsrConfig::default()).unwrap();
+        let res = evaluate(&tin, &View::orthographic(0.0)).unwrap();
         let work = cost::CostReport::snapshot().total_work();
-        let t_par = time_best(1, || run(&tin, &HsrConfig::default()).unwrap().k);
+        let t_par = time_best(1, || evaluate(&tin, &View::orthographic(0.0)).unwrap().k);
         let t_seq = time_best(1, || {
-            run(&tin, &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() })
+            evaluate(&tin, &View::orthographic(0.0).algorithm(Algorithm::Sequential))
                 .unwrap()
                 .k
         });
         let t_naive = time_best(1, || {
-            run(&tin, &HsrConfig { algorithm: Algorithm::Naive, ..Default::default() })
+            evaluate(&tin, &View::orthographic(0.0).algorithm(Algorithm::Naive))
                 .unwrap()
                 .k
         });
@@ -47,6 +49,7 @@ fn main() {
             format!("{:.1}", t_seq * 1e3),
             format!("{:.1}", t_naive * 1e3),
         ]);
+        kept.push((format!("knob/theta{theta:.2}"), res));
     }
     md_table(
         &[
@@ -72,19 +75,13 @@ fn main() {
         let tin = Workload::Comb { m }.build();
         let n = tin.edges().len();
         cost::reset();
-        let res = run(&tin, &HsrConfig::default()).unwrap();
+        let res = evaluate(&tin, &View::orthographic(0.0)).unwrap();
         let work = cost::CostReport::snapshot().total_work();
-        let t_par = time_best(1, || run(&tin, &HsrConfig::default()).unwrap().k);
+        let t_par = time_best(1, || evaluate(&tin, &View::orthographic(0.0)).unwrap().k);
         let t_rebuild = time_best(1, || {
-            run(
-                &tin,
-                &HsrConfig {
-                    algorithm: Algorithm::Parallel(Phase2Mode::Rebuild),
-                    ..Default::default()
-                },
-            )
-            .unwrap()
-            .k
+            evaluate(&tin, &View::orthographic(0.0).phase2(Phase2Mode::Rebuild))
+                .unwrap()
+                .k
         });
         rows.push(vec![
             m.to_string(),
@@ -96,6 +93,7 @@ fn main() {
             format!("{:.1}", t_par * 1e3),
             format!("{:.1}", t_rebuild * 1e3),
         ]);
+        kept.push((format!("comb/m{m}"), res));
     }
     md_table(
         &[
@@ -111,4 +109,7 @@ fn main() {
         &rows,
     );
     println!("work/k staying bounded as k/n grows is the output-sensitivity claim.");
+
+    let labelled: Vec<(String, &Report)> = kept.iter().map(|(l, r)| (l.clone(), r)).collect();
+    maybe_write_reports("output_sensitivity", &labelled);
 }

@@ -6,11 +6,11 @@
 //! wall time against the model.
 //!
 //! ```sh
-//! cargo run --release -p hsr-bench --bin exp_speedup
+//! cargo run --release -p hsr-bench --bin exp_speedup [-- --json]
 //! ```
 
-use hsr_bench::harness::{md_table, time_best};
-use hsr_core::pipeline::{run, HsrConfig};
+use hsr_bench::harness::{maybe_write_reports, md_table, time_best};
+use hsr_core::view::{evaluate, Report, View};
 use hsr_pram::pool::{max_threads, with_threads};
 use hsr_pram::{cost, BrentModel};
 use hsr_terrain::gen::Workload;
@@ -24,20 +24,24 @@ fn main() {
         Workload::Comb { m: if quick { 64 } else { 128 } },
     ];
     let max_p = max_threads();
+    let mut kept: Vec<(String, Report)> = Vec::new();
 
     for w in workloads {
         let tin = w.build();
         println!("## E3 — {} (n = {})", w.name(), tin.edges().len());
 
         cost::reset();
-        let res = run(&tin, &HsrConfig::default()).unwrap();
+        let res = evaluate(&tin, &View::orthographic(0.0)).unwrap();
         let c = cost::CostReport::snapshot();
         let (work, depth) = (c.total_work(), c.total_depth());
         println!("k = {}, work = {work}, depth = {depth}", res.k);
+        kept.push((w.name(), res));
 
         let measure = |p: usize| {
             with_threads(p, || {
-                time_best(if quick { 1 } else { 2 }, || run(&tin, &HsrConfig::default()).unwrap().k)
+                time_best(if quick { 1 } else { 2 }, || {
+                    evaluate(&tin, &View::orthographic(0.0)).unwrap().k
+                })
             })
         };
         let t1 = measure(1);
@@ -69,4 +73,7 @@ fn main() {
         );
         println!("speedup ceiling (critical path): {:.1}×\n", model.speedup_ceiling());
     }
+
+    let labelled: Vec<(String, &Report)> = kept.iter().map(|(l, r)| (l.clone(), r)).collect();
+    maybe_write_reports("speedup", &labelled);
 }

@@ -11,8 +11,8 @@
 //! cargo run --release -p hsr-bench --bin exp_theorem31
 //! ```
 
-use hsr_bench::harness::{alpha, fit_exponent, lg, md_table, time};
-use hsr_core::pipeline::{run, HsrConfig};
+use hsr_bench::harness::{alpha, fit_exponent, lg, maybe_write_reports, md_table, time};
+use hsr_core::view::{evaluate, Report, View};
 use hsr_pram::cost;
 use hsr_terrain::gen::Workload;
 
@@ -24,6 +24,7 @@ fn main() {
         &[16, 32, 64, 96, 128, 192]
     };
 
+    let mut kept: Vec<(String, Report)> = Vec::new();
     for family in ["fbm", "hills", "ridges"] {
         println!("## E1/E2 — {family}");
         let mut rows = Vec::new();
@@ -38,7 +39,7 @@ fn main() {
             let tin = w.build();
             let n = tin.edges().len();
             cost::reset();
-            let (res, secs) = time(|| run(&tin, &HsrConfig::default()).unwrap());
+            let (res, secs) = time(|| evaluate(&tin, &View::orthographic(0.0)).unwrap());
             let c = cost::CostReport::snapshot();
             let work = c.total_work();
             // Depth decomposition: the ordering substitute peels the
@@ -62,6 +63,7 @@ fn main() {
                 format!("{:.2}", d_pct as f64 / lg(n).powi(2)),
                 format!("{:.1}", secs * 1e3),
             ]);
+            kept.push((format!("{family}/n{n}"), res));
         }
         md_table(
             &[
@@ -82,4 +84,7 @@ fn main() {
             fit_exponent(&time_pts)
         );
     }
+
+    let labelled: Vec<(String, &Report)> = kept.iter().map(|(l, r)| (l.clone(), r)).collect();
+    maybe_write_reports("theorem31", &labelled);
 }

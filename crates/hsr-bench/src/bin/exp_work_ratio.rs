@@ -10,7 +10,8 @@
 //! ```
 
 use hsr_bench::harness::{lg, md_table};
-use hsr_core::pipeline::{run, Algorithm, HsrConfig};
+use hsr_core::view::{evaluate, View};
+use hsr_core::Algorithm;
 use hsr_pram::cost;
 use hsr_terrain::gen::Workload;
 
@@ -34,13 +35,12 @@ fn main() {
             let n = tin.edges().len();
 
             cost::reset();
-            let res = run(&tin, &HsrConfig::default()).unwrap();
+            let res = evaluate(&tin, &View::orthographic(0.0)).unwrap();
             let w_par = cost::CostReport::snapshot().total_work();
 
             cost::reset();
             let _ =
-                run(&tin, &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() })
-                    .unwrap();
+                evaluate(&tin, &View::orthographic(0.0).algorithm(Algorithm::Sequential)).unwrap();
             let w_seq = cost::CostReport::snapshot().total_work();
 
             let ratio = w_par as f64 / w_seq.max(1) as f64;

@@ -1,5 +1,6 @@
-//! Timing and table helpers for the experiment binaries.
+//! Timing, table, and report-output helpers for the experiment binaries.
 
+use hsr_core::view::Report;
 use std::time::Instant;
 
 /// Times a closure, returning `(result, seconds)`.
@@ -29,6 +30,33 @@ pub fn md_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("| {} |", row.join(" | "));
     }
     println!();
+}
+
+/// Writes the collected per-run [`Report`]s of an experiment to
+/// `BENCH_<name>.json` when `--json` is on the command line.
+///
+/// The file is a JSON array of labelled reports
+/// (`[{"label": …, "report": …}, …]`) that round-trips through the same
+/// serde machinery (see the facade's serde round-trip tests), so other
+/// tooling can re-read what a bench binary measured.
+pub fn maybe_write_reports(name: &str, labelled: &[(String, &Report)]) {
+    if !std::env::args().any(|a| a == "--json") {
+        return;
+    }
+    let mut out = String::from("[");
+    for (i, (label, report)) in labelled.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let body = serde_json::to_string(*report).expect("reports serialize");
+        let mut key = String::new();
+        serde::ser::write_json_string(&mut key, label);
+        out.push_str(&format!("{{\"label\":{key},\"report\":{body}}}"));
+    }
+    out.push(']');
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, out).expect("write bench json");
+    println!("(wrote {path})");
 }
 
 /// `log2(n)` as f64, safe for n >= 1.

@@ -1,0 +1,102 @@
+//! The single error type of the high-level API.
+//!
+//! Every way a view evaluation can fail — invalid terrain, an unorderable
+//! (cyclic) occlusion relation, a viewpoint inside the scene, a malformed
+//! view description — is one variant of [`HsrError`], so callers match on
+//! one enum instead of juggling `TinError`, `CyclicOcclusion` and
+//! `PerspectiveError` separately.
+
+use crate::order::CyclicOcclusion;
+use crate::perspective::PerspectiveError;
+use hsr_terrain::TinError;
+
+/// Everything that can go wrong building a scene or evaluating a view.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HsrError {
+    /// The terrain failed validation (absorbs [`TinError`]).
+    Terrain(TinError),
+    /// The occlusion relation is cyclic: the input is not a terrain as
+    /// seen from this direction (absorbs the order module's
+    /// [`CyclicOcclusion`] marker type).
+    CyclicOcclusion,
+    /// A perspective or viewshed eye position does not see the whole
+    /// terrain from the front: after aligning the view direction, some
+    /// vertex has depth `max_depth >= eye_depth`.
+    ViewpointInsideScene {
+        /// Depth of the eye along the view axis.
+        eye_depth: f64,
+        /// Maximum terrain depth along the view axis.
+        max_depth: f64,
+    },
+    /// The view description itself is malformed (non-finite angle, empty
+    /// field of view, zero resolution, …).
+    InvalidView(String),
+}
+
+impl std::fmt::Display for HsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HsrError::Terrain(e) => write!(f, "invalid terrain: {e}"),
+            HsrError::CyclicOcclusion => write!(f, "{CyclicOcclusion}"),
+            HsrError::ViewpointInsideScene { eye_depth, max_depth } => write!(
+                f,
+                "viewpoint depth {eye_depth} must exceed the terrain's maximum depth {max_depth}"
+            ),
+            HsrError::InvalidView(msg) => write!(f, "invalid view: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HsrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HsrError::Terrain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TinError> for HsrError {
+    fn from(e: TinError) -> Self {
+        HsrError::Terrain(e)
+    }
+}
+
+impl From<CyclicOcclusion> for HsrError {
+    fn from(_: CyclicOcclusion) -> Self {
+        HsrError::CyclicOcclusion
+    }
+}
+
+impl From<PerspectiveError> for HsrError {
+    fn from(e: PerspectiveError) -> Self {
+        match e {
+            PerspectiveError::ViewpointInsideScene { vx, max_x } => {
+                HsrError::ViewpointInsideScene { eye_depth: vx, max_depth: max_x }
+            }
+            PerspectiveError::Degenerate(t) => HsrError::Terrain(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: HsrError = TinError::NonFiniteVertex(3).into();
+        assert!(matches!(e, HsrError::Terrain(TinError::NonFiniteVertex(3))));
+        assert!(e.to_string().contains("vertex 3"));
+
+        let e: HsrError = CyclicOcclusion.into();
+        assert_eq!(e, HsrError::CyclicOcclusion);
+        assert!(e.to_string().contains("cyclic"));
+
+        let e: HsrError = PerspectiveError::ViewpointInsideScene { vx: 1.0, max_x: 2.0 }.into();
+        assert!(matches!(e, HsrError::ViewpointInsideScene { .. }));
+
+        let e = HsrError::InvalidView("fov must be positive".into());
+        assert!(e.to_string().contains("fov"));
+    }
+}

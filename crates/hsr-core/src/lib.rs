@@ -26,6 +26,7 @@ pub mod cg;
 pub mod chains;
 pub mod edges;
 pub mod envelope;
+pub mod error;
 pub mod naive;
 pub mod oracle;
 pub mod order;
@@ -35,12 +36,15 @@ pub mod pipeline;
 pub mod ptenv;
 pub mod seq;
 pub mod silhouette;
+pub mod view;
 pub mod viewshed;
 pub mod visibility;
 pub mod zbuffer;
 
 pub use edges::{project_edges, SceneEdge};
 pub use envelope::{CrossEvent, Envelope, Piece};
-pub use pipeline::{run, Algorithm, HsrConfig, HsrResult, Phase2Mode};
+pub use error::HsrError;
+pub use pipeline::{run, Algorithm, HsrConfig, HsrResult, Phase2Mode, Timings};
 pub use ptenv::PEnvelope;
+pub use view::{evaluate, evaluate_batch, Projection, Report, View};
 pub use visibility::VisibilityMap;

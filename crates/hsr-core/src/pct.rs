@@ -48,7 +48,7 @@ impl Node {
 
 /// Per-layer phase-2 statistics (drives the Figure 1/3 experiments).
 #[derive(Clone, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LayerStats {
     /// Layer index (0 = root).
     pub layer: usize,

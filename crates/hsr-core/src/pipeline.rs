@@ -52,8 +52,8 @@ impl Default for HsrConfig {
 }
 
 /// Wall-clock timings of the pipeline stages, in seconds.
-#[derive(Clone, Copy, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Timings {
     /// Edge projection + front-to-back ordering.
     pub order_s: f64,
@@ -94,6 +94,29 @@ pub fn run(tin: &Tin, cfg: &HsrConfig) -> Result<HsrResult, CyclicOcclusion> {
     } else {
         depth_order(tin)?
     };
+    Ok(run_core(tin, cfg, &edges, &order, before, t_start))
+}
+
+/// Runs the selected algorithm on an already projected and ordered scene
+/// (callers like the viewshed evaluation share `edges`/`order` with the
+/// batched point classification instead of recomputing them). The prep
+/// work the caller already paid is *not* included in the result's cost
+/// or order timing; callers widen the bracket themselves if they need
+/// it.
+pub fn run_prepared(tin: &Tin, cfg: &HsrConfig, edges: &[SceneEdge], order: &[u32]) -> HsrResult {
+    let before = CostReport::snapshot();
+    let t_start = Instant::now();
+    run_core(tin, cfg, edges, order, before, t_start)
+}
+
+fn run_core(
+    tin: &Tin,
+    cfg: &HsrConfig,
+    edges: &[SceneEdge],
+    order: &[u32],
+    before: CostReport,
+    t_start: Instant,
+) -> HsrResult {
     let ordered: Vec<SceneEdge> = order.iter().map(|&e| edges[e as usize]).collect();
     let t_order = Instant::now();
 
@@ -120,7 +143,7 @@ pub fn run(tin: &Tin, cfg: &HsrConfig) -> Result<HsrResult, CyclicOcclusion> {
     let t_end = Instant::now();
     let cost = CostReport::snapshot().since(&before);
     let k = vis.output_size();
-    Ok(HsrResult {
+    HsrResult {
         n: tin.edges().len(),
         k,
         vis,
@@ -133,7 +156,7 @@ pub fn run(tin: &Tin, cfg: &HsrConfig) -> Result<HsrResult, CyclicOcclusion> {
         },
         layers,
         internal_crossings,
-    })
+    }
 }
 
 #[cfg(test)]

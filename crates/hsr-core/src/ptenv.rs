@@ -67,7 +67,7 @@ type Tree = PTreap<TotalF64, Piece, EnvAgg>;
 /// Counters describing what one merge did (used by the sharing and
 /// ablation experiments).
 #[derive(Clone, Copy, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MergeStats {
     /// Subtrees kept fully shared because the prefix profile dominated.
     pub subtrees_shared: u64,

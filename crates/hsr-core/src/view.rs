@@ -1,0 +1,500 @@
+//! Viewpoint-centric view descriptions and their evaluation.
+//!
+//! The paper computes one visibility map for one viewing direction. Real
+//! workloads want many: a flyby is a batch of perspective views, a radar
+//! study is a viewshed, a rotation sweep is a batch of orthographic
+//! views. This module gives every such scenario one vocabulary:
+//!
+//! * [`Projection`] — *where the viewer stands*: orthographic at
+//!   `x = +∞` after an azimuth rotation, perspective from a finite eye
+//!   (realized through the projective pre-transform of
+//!   [`crate::perspective`]), or a viewshed classifying target points
+//!   against an observer.
+//! * [`View`] — a projection plus its per-view pipeline configuration
+//!   (algorithm, ordering mode, statistics), built fluently:
+//!   `View::orthographic(0.3).algorithm(Algorithm::Sequential)`.
+//! * [`evaluate`] / [`evaluate_batch`] — run one view or a whole batch
+//!   (in parallel via rayon `join`) against a shared terrain, reusing the
+//!   terrain's edge/adjacency structure across views through
+//!   [`Tin::remap_vertices`] instead of re-validating per view.
+//! * [`Report`] — the unified result: visibility map, `n`/`k`, cost
+//!   counters, timings, optional per-layer statistics, and (for
+//!   viewsheds) per-target verdicts. Serializes to JSON for the bench
+//!   binaries when the `serde` feature is on.
+
+use crate::edges::project_edges;
+use crate::error::HsrError;
+use crate::pct::LayerStats;
+use crate::perspective::Viewpoint;
+use crate::pipeline::{self, Algorithm, HsrConfig, HsrResult, Phase2Mode, Timings};
+use crate::viewshed::{classify_points, Verdict};
+use crate::visibility::VisibilityMap;
+use hsr_geometry::Point3;
+use hsr_pram::cost::CostReport;
+use hsr_terrain::Tin;
+
+/// Where the viewer stands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Projection {
+    /// Viewer at `x = +∞` after rotating the scene by `azimuth` radians
+    /// about the vertical axis (the paper's §2 setting; `azimuth = 0` is
+    /// the canonical view along `-x`).
+    Orthographic {
+        /// View direction as a rotation about `z`, in radians.
+        azimuth: f64,
+    },
+    /// True perspective from a finite eye point, realized by the
+    /// projective pre-transform (§2 remark): the scene is rotated so the
+    /// eye looks along `-x`, then mapped so the eye goes to infinity.
+    Perspective {
+        /// The eye position in world coordinates.
+        eye: Point3,
+        /// A world point the eye looks towards; only its ground direction
+        /// from `eye` matters.
+        look: Point3,
+        /// Horizontal field of view in radians, in `(0, π]`. The image is
+        /// clipped to `|Y'| ≤ tan(fov/2)`; `fov = π` keeps the whole
+        /// half-space image unclipped.
+        fov: f64,
+        /// Advisory raster resolution (pixels across) for downstream
+        /// device-dependent rendering; carried into [`Report::resolution`].
+        /// Must be ≥ 1.
+        resolution: u32,
+    },
+    /// Point-visibility classification: which of `targets` (world points
+    /// on or above the terrain) can `observer` see? The observer must see
+    /// the whole terrain from the front (`observer.x` beyond every
+    /// terrain `x`); an empty target list classifies the terrain's own
+    /// vertices, i.e. computes the terrain viewshed.
+    Viewshed {
+        /// The observing eye (a finite viewpoint in front of the scene).
+        observer: Point3,
+        /// Query points to classify; empty = the terrain vertices.
+        targets: Vec<Point3>,
+    },
+}
+
+/// A fully configured view: a [`Projection`] plus the per-view pipeline
+/// configuration. Construct with [`View::orthographic`],
+/// [`View::perspective`] or [`View::viewshed`] and refine with the
+/// builder methods.
+#[derive(Clone, Debug)]
+pub struct View {
+    /// Where the viewer stands.
+    pub projection: Projection,
+    /// Pipeline configuration for this view.
+    pub config: HsrConfig,
+}
+
+impl View {
+    /// An orthographic view along `-x` after an `azimuth` rotation.
+    pub fn orthographic(azimuth: f64) -> View {
+        View { projection: Projection::Orthographic { azimuth }, config: HsrConfig::default() }
+    }
+
+    /// A perspective view from `eye` towards `look` with the given
+    /// horizontal field of view (radians) and advisory raster resolution.
+    pub fn perspective(eye: Point3, look: Point3, fov: f64, resolution: u32) -> View {
+        View {
+            projection: Projection::Perspective { eye, look, fov, resolution },
+            config: HsrConfig::default(),
+        }
+    }
+
+    /// A viewshed: classify `targets` as seen from `observer` (empty
+    /// targets = classify the terrain's own vertices).
+    pub fn viewshed(observer: Point3, targets: Vec<Point3>) -> View {
+        View {
+            projection: Projection::Viewshed { observer, targets },
+            config: HsrConfig::default(),
+        }
+    }
+
+    /// Selects the algorithm for this view.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> View {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the phase-2 engine (implies the parallel algorithm).
+    pub fn phase2(mut self, mode: Phase2Mode) -> View {
+        self.config.algorithm = Algorithm::Parallel(mode);
+        self
+    }
+
+    /// Chooses between the layered parallel Kahn ordering and the
+    /// sequential one.
+    pub fn parallel_order(mut self, on: bool) -> View {
+        self.config.parallel_order = on;
+        self
+    }
+
+    /// Enables per-layer statistics collection ([`Report::layers`]).
+    pub fn stats(mut self, on: bool) -> View {
+        self.config.collect_stats = on;
+        self
+    }
+}
+
+/// Everything one view evaluation produced.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Report {
+    /// The visible image (in the view's own image plane).
+    pub vis: VisibilityMap,
+    /// Input size `n` (number of terrain edges).
+    pub n: usize,
+    /// Output size `k` (pieces + crossings + vertical points), measured
+    /// after any field-of-view clipping.
+    pub k: usize,
+    /// Cost-model counters bracketing this evaluation. The counters are
+    /// process-global, so under concurrent batch evaluation a report may
+    /// also include work of views that overlapped it in time.
+    pub cost: CostReport,
+    /// Stage timings.
+    pub timings: Timings,
+    /// Per-layer statistics (only when stats collection was requested).
+    pub layers: Vec<LayerStats>,
+    /// Crossings discovered at internal PCT merges.
+    pub internal_crossings: u64,
+    /// Per-target verdicts (viewshed views only; empty otherwise). Index
+    /// `i` answers for target `i` — or for vertex `i` when the target
+    /// list was empty.
+    pub verdicts: Vec<Verdict>,
+    /// Advisory raster resolution (perspective views only).
+    pub resolution: Option<u32>,
+}
+
+impl Report {
+    fn from_result(r: HsrResult) -> Report {
+        Report {
+            vis: r.vis,
+            n: r.n,
+            k: r.k,
+            cost: r.cost,
+            timings: r.timings,
+            layers: r.layers,
+            internal_crossings: r.internal_crossings,
+            verdicts: Vec::new(),
+            resolution: None,
+        }
+    }
+}
+
+/// The conditioning margin of the perspective pre-transform: the eye must
+/// clear the terrain's maximum depth by a sliver relative to the depth
+/// span (mirrors [`crate::perspective::perspective_tin`]).
+fn check_eye_depth(depths: impl Iterator<Item = f64>, eye_depth: f64) -> Result<(), HsrError> {
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    for x in depths {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+    }
+    let span = (max_x - min_x).max(1e-9);
+    if eye_depth <= max_x + 1e-9 * span {
+        return Err(HsrError::ViewpointInsideScene { eye_depth, max_depth: max_x });
+    }
+    Ok(())
+}
+
+/// Evaluates one view against a terrain.
+///
+/// The terrain's combinatorial structure (edges, adjacency) is reused for
+/// every projection through [`Tin::remap_vertices`]; no full TIN
+/// rebuild/validation happens per view.
+pub fn evaluate(tin: &Tin, view: &View) -> Result<Report, HsrError> {
+    match &view.projection {
+        Projection::Orthographic { azimuth } => {
+            if !azimuth.is_finite() {
+                return Err(HsrError::InvalidView("azimuth must be finite".into()));
+            }
+            let report = if *azimuth == 0.0 {
+                pipeline::run(tin, &view.config)?
+            } else {
+                pipeline::run(&tin.rotated_about_z(*azimuth)?, &view.config)?
+            };
+            Ok(Report::from_result(report))
+        }
+        Projection::Perspective { eye, look, fov, resolution } => {
+            if !(fov.is_finite() && *fov > 0.0 && *fov <= std::f64::consts::PI) {
+                return Err(HsrError::InvalidView(format!("fov must lie in (0, π], got {fov}")));
+            }
+            if *resolution == 0 {
+                return Err(HsrError::InvalidView("resolution must be ≥ 1".into()));
+            }
+            if !eye.is_finite() {
+                return Err(HsrError::InvalidView("eye must be finite".into()));
+            }
+            let (dx, dy) = (look.x - eye.x, look.y - eye.y);
+            if !(dx.is_finite() && dy.is_finite()) || (dx == 0.0 && dy == 0.0) {
+                return Err(HsrError::InvalidView(
+                    "eye and look must have distinct, finite ground positions".into(),
+                ));
+            }
+            // Rotate the scene so the look direction becomes `-x` (the
+            // pipeline's view axis). Rotating a vector at angle θ by
+            // α = π − θ lands it at angle π, i.e. along −x.
+            let alpha = std::f64::consts::PI - dy.atan2(dx);
+            let (s, c) = alpha.sin_cos();
+            let rot = |p: Point3| Point3::new(c * p.x - s * p.y, s * p.x + c * p.y, p.z);
+            let rot_eye = rot(*eye);
+            check_eye_depth(tin.vertices().iter().map(|&v| rot(v).x), rot_eye.x)?;
+            let vp = Viewpoint { vx: rot_eye.x, vy: rot_eye.y, vz: rot_eye.z };
+            let ptin = if alpha.abs() < 1e-15 {
+                tin.remap_vertices(|p| vp.project(p))?
+            } else {
+                tin.remap_vertices(|p| vp.project(rot(p)))?
+            };
+            let mut report = Report::from_result(pipeline::run(&ptin, &view.config)?);
+            if *fov < std::f64::consts::PI {
+                let half = (0.5 * fov).tan();
+                report.vis.clip_abscissa(-half, half);
+                // Vertical points carry no geometry in the map; their
+                // abscissa is the shared image `y` of the edge endpoints.
+                report.vis.vertical_visible.retain(|&e| {
+                    let [a, _] = ptin.edges()[e as usize];
+                    let y = ptin.vertices()[a as usize].y;
+                    (-half..=half).contains(&y)
+                });
+                report.k = report.vis.output_size();
+            }
+            report.resolution = Some(*resolution);
+            Ok(report)
+        }
+        Projection::Viewshed { observer, targets } => {
+            if !observer.is_finite() {
+                return Err(HsrError::InvalidView("observer must be finite".into()));
+            }
+            check_eye_depth(tin.vertices().iter().map(|v| v.x), observer.x)?;
+            for (i, t) in targets.iter().enumerate() {
+                if !t.is_finite() {
+                    return Err(HsrError::InvalidView(format!("target {i} is not finite")));
+                }
+                if t.x >= observer.x {
+                    return Err(HsrError::InvalidView(format!(
+                        "target {i} lies at or behind the observer depth"
+                    )));
+                }
+            }
+            // One projection + ordering pass shared by the point
+            // classification and the pipeline run; the cost and order
+            // timing are re-bracketed below so the report covers both.
+            let before = CostReport::snapshot();
+            let t_start = std::time::Instant::now();
+            let vp = Viewpoint { vx: observer.x, vy: observer.y, vz: observer.z };
+            let ptin = tin.remap_vertices(|p| vp.project(p))?;
+            let edges = project_edges(&ptin);
+            let order = if view.config.parallel_order {
+                crate::order::depth_order_parallel(&ptin)?
+            } else {
+                crate::order::depth_order(&ptin)?
+            };
+            let queries: Vec<Point3> = if targets.is_empty() {
+                tin.vertices().iter().map(|&p| vp.project(p)).collect()
+            } else {
+                targets.iter().map(|&p| vp.project(p)).collect()
+            };
+            let verdicts = classify_points(&ptin, &edges, &order, &queries);
+            let prep_s = t_start.elapsed().as_secs_f64();
+            let mut result = pipeline::run_prepared(&ptin, &view.config, &edges, &order);
+            result.cost = CostReport::snapshot().since(&before);
+            result.timings.order_s += prep_s;
+            result.timings.total_s += prep_s;
+            let mut report = Report::from_result(result);
+            report.verdicts = verdicts;
+            Ok(report)
+        }
+    }
+}
+
+/// Evaluates a batch of views against one shared terrain, in parallel.
+///
+/// Views are split recursively over rayon `join`, so a batch of `m` views
+/// uses the available thread budget while every view reads the same
+/// terrain structure — the adjacency is built once (when the [`Tin`] was
+/// constructed), not once per view. Results come back in input order.
+pub fn evaluate_batch(tin: &Tin, views: &[View]) -> Vec<Result<Report, HsrError>> {
+    fn rec(tin: &Tin, views: &[View], out: &mut [Option<Result<Report, HsrError>>]) {
+        match views.len() {
+            0 => {}
+            1 => out[0] = Some(evaluate(tin, &views[0])),
+            n => {
+                let mid = n / 2;
+                let (va, vb) = views.split_at(mid);
+                let (oa, ob) = out.split_at_mut(mid);
+                rayon::join(|| rec(tin, va, oa), || rec(tin, vb, ob));
+            }
+        }
+    }
+    let mut out: Vec<Option<Result<Report, HsrError>>> = (0..views.len()).map(|_| None).collect();
+    rec(tin, views, &mut out);
+    out.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perspective::perspective_tin;
+    use hsr_terrain::gen;
+
+    fn fingerprint(vis: &VisibilityMap) -> Vec<(u32, u64, u64)> {
+        vis.pieces
+            .iter()
+            .map(|p| (p.edge, p.x0.to_bits(), p.x1.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn orthographic_zero_matches_pipeline() {
+        let tin = gen::fbm(9, 9, 3, 8.0, 13).to_tin().unwrap();
+        let a = evaluate(&tin, &View::orthographic(0.0)).unwrap();
+        let b = pipeline::run(&tin, &HsrConfig::default()).unwrap();
+        assert_eq!(fingerprint(&a.vis), fingerprint(&b.vis));
+        assert_eq!((a.n, a.k), (b.n, b.k));
+    }
+
+    #[test]
+    fn rotated_view_matches_rotated_terrain() {
+        let tin = gen::gaussian_hills(8, 8, 3, 6).to_tin().unwrap();
+        let a = evaluate(&tin, &View::orthographic(0.4)).unwrap();
+        let b = pipeline::run(&tin.rotated_about_z(0.4).unwrap(), &HsrConfig::default()).unwrap();
+        assert_eq!(fingerprint(&a.vis), fingerprint(&b.vis));
+    }
+
+    #[test]
+    fn perspective_view_matches_pretransformed_terrain() {
+        let tin = gen::gaussian_hills(10, 10, 4, 9).to_tin().unwrap();
+        let (lo, hi) = tin.ground_bounds();
+        let eye = Point3::new(hi.x + 25.0, 0.5 * (lo.y + hi.y), 20.0);
+        // Look straight along -x so the alignment rotation is identity.
+        let look = Point3::new(eye.x - 1.0, eye.y, 0.0);
+        let a = evaluate(&tin, &View::perspective(eye, look, std::f64::consts::PI, 640)).unwrap();
+        let ptin = perspective_tin(&tin, Viewpoint { vx: eye.x, vy: eye.y, vz: eye.z }).unwrap();
+        let b = pipeline::run(&ptin, &HsrConfig::default()).unwrap();
+        assert_eq!(fingerprint(&a.vis), fingerprint(&b.vis));
+        assert_eq!(a.resolution, Some(640));
+    }
+
+    #[test]
+    fn perspective_fov_clips_the_image() {
+        let tin = gen::ridge_field(12, 10, 3, 10.0, 5).to_tin().unwrap();
+        let (lo, hi) = tin.ground_bounds();
+        let eye = Point3::new(hi.x + 20.0, 0.5 * (lo.y + hi.y), 25.0);
+        let look = Point3::new(lo.x, eye.y, 0.0);
+        let wide = evaluate(&tin, &View::perspective(eye, look, std::f64::consts::PI, 64)).unwrap();
+        let narrow = evaluate(&tin, &View::perspective(eye, look, 0.2, 64)).unwrap();
+        assert!(narrow.k < wide.k, "narrow fov {} !< wide fov {}", narrow.k, wide.k);
+        let half = (0.1f64).tan();
+        for p in &narrow.vis.pieces {
+            assert!(p.x0 >= -half - 1e-12 && p.x1 <= half + 1e-12);
+        }
+    }
+
+    #[test]
+    fn perspective_look_direction_is_a_rotation() {
+        // The same relative eye→scene geometry, expressed with a rotated
+        // look direction, yields the same image sizes.
+        let tin = gen::gaussian_hills(9, 9, 3, 4).to_tin().unwrap();
+        let (lo, hi) = tin.ground_bounds();
+        let center = Point3::new(0.5 * (lo.x + hi.x), 0.5 * (lo.y + hi.y), 0.0);
+        let eye = Point3::new(hi.x + 30.0, center.y, 18.0);
+        let r = evaluate(&tin, &View::perspective(eye, center, 1.2, 64)).unwrap();
+        assert!(r.k > 0);
+        // An eye on the other side of the scene also works (rotation ≠ 0).
+        let eye2 = Point3::new(lo.x - 30.0, center.y, 18.0);
+        let r2 = evaluate(&tin, &View::perspective(eye2, center, 1.2, 64)).unwrap();
+        assert!(r2.k > 0);
+    }
+
+    #[test]
+    fn viewshed_classifies_targets() {
+        let tin = gen::occlusion_knob(12, 12, 1.0, 10.0, 2).to_tin().unwrap();
+        let (lo, hi) = tin.ground_bounds();
+        let observer = Point3::new(hi.x + 50.0, 0.5 * (lo.y + hi.y), 8.0);
+        let targets = vec![
+            Point3::new(1.0, 5.5, 100.0), // far above everything
+            Point3::new(1.0, 5.5, 0.5),   // behind and below the wall
+            Point3::new(11.5, 5.5, 0.5),  // in front of the wall
+        ];
+        let r = evaluate(&tin, &View::viewshed(observer, targets)).unwrap();
+        assert_eq!(r.verdicts[0], Verdict::Visible);
+        assert_eq!(r.verdicts[1], Verdict::Hidden);
+        assert_eq!(r.verdicts[2], Verdict::Visible);
+        // The report's cost bracket covers the shared projection/ordering
+        // pass, not just the pipeline body.
+        assert!(r.cost.work_of(hsr_pram::cost::Category::Order) > 0);
+        // Empty targets: one verdict per terrain vertex.
+        let r = evaluate(&tin, &View::viewshed(observer, Vec::new())).unwrap();
+        assert_eq!(r.verdicts.len(), tin.vertices().len());
+        assert!(r.verdicts.contains(&Verdict::Visible));
+    }
+
+    #[test]
+    fn invalid_views_are_rejected() {
+        let tin = gen::fbm(6, 6, 2, 4.0, 1).to_tin().unwrap();
+        let eye = Point3::new(100.0, 0.0, 10.0);
+        let look = Point3::new(0.0, 0.0, 0.0);
+        assert!(matches!(
+            evaluate(&tin, &View::orthographic(f64::NAN)).unwrap_err(),
+            HsrError::InvalidView(_)
+        ));
+        assert!(matches!(
+            evaluate(&tin, &View::perspective(eye, look, 0.0, 64)).unwrap_err(),
+            HsrError::InvalidView(_)
+        ));
+        assert!(matches!(
+            evaluate(&tin, &View::perspective(eye, look, 1.0, 0)).unwrap_err(),
+            HsrError::InvalidView(_)
+        ));
+        assert!(matches!(
+            evaluate(&tin, &View::perspective(eye, eye, 1.0, 64)).unwrap_err(),
+            HsrError::InvalidView(_)
+        ));
+        // Non-finite eyes / observers / targets are malformed *views*,
+        // not terrain errors.
+        assert!(matches!(
+            evaluate(&tin, &View::perspective(Point3::new(100.0, 0.0, f64::NAN), look, 1.0, 64))
+                .unwrap_err(),
+            HsrError::InvalidView(_)
+        ));
+        assert!(matches!(
+            evaluate(&tin, &View::viewshed(Point3::new(100.0, f64::NAN, 5.0), Vec::new()))
+                .unwrap_err(),
+            HsrError::InvalidView(_)
+        ));
+        assert!(matches!(
+            evaluate(&tin, &View::viewshed(eye, vec![Point3::new(1.0, 1.0, f64::NAN)]))
+                .unwrap_err(),
+            HsrError::InvalidView(_)
+        ));
+        // Eye inside the scene.
+        assert!(matches!(
+            evaluate(&tin, &View::perspective(Point3::new(2.0, 0.0, 5.0), look, 1.0, 64))
+                .unwrap_err(),
+            HsrError::ViewpointInsideScene { .. }
+        ));
+        assert!(matches!(
+            evaluate(&tin, &View::viewshed(Point3::new(2.0, 0.0, 5.0), Vec::new())).unwrap_err(),
+            HsrError::ViewpointInsideScene { .. }
+        ));
+    }
+
+    #[test]
+    fn batch_matches_individual_evaluations() {
+        let tin = gen::ridge_field(10, 10, 3, 8.0, 7).to_tin().unwrap();
+        let views: Vec<View> = (0..5)
+            .map(|i| View::orthographic(0.25 * i as f64))
+            .chain(std::iter::once(View::orthographic(0.1).algorithm(Algorithm::Sequential)))
+            .collect();
+        let batch = evaluate_batch(&tin, &views);
+        assert_eq!(batch.len(), views.len());
+        for (view, got) in views.iter().zip(&batch) {
+            let solo = evaluate(&tin, view).unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(fingerprint(&got.vis), fingerprint(&solo.vis));
+            assert_eq!(got.k, solo.k);
+        }
+    }
+}

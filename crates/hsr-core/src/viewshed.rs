@@ -25,6 +25,7 @@ use std::collections::BTreeMap;
 
 /// A visibility verdict for one query point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Verdict {
     /// Nothing in front reaches the query point's image height.
     Visible,

@@ -34,12 +34,20 @@ impl VisibilityMap {
 
     /// Sorts pieces and crossings into a canonical order (by edge, then
     /// abscissa) so maps from different algorithms compare deterministically.
+    ///
+    /// Every float key is compared with [`f64::total_cmp`], and the sort
+    /// keys are exhaustive (all piece coordinates, all crossing fields),
+    /// so the canonical order is a *total* order even in the presence of
+    /// `-0.0` or NaN abscissae — two maps with the same multiset of
+    /// pieces always canonicalize to the same sequence.
     pub fn canonicalize(&mut self) {
         self.pieces.sort_by(|a, b| {
             a.edge
                 .cmp(&b.edge)
                 .then(a.x0.total_cmp(&b.x0))
                 .then(a.x1.total_cmp(&b.x1))
+                .then(a.z0.total_cmp(&b.z0))
+                .then(a.z1.total_cmp(&b.z1))
         });
         // Merge touching fragments of the same edge.
         let mut merged: Vec<Piece> = Vec::with_capacity(self.pieces.len());
@@ -54,10 +62,34 @@ impl VisibilityMap {
             merged.push(p);
         }
         self.pieces = merged;
-        self.crossings
-            .sort_by(|a, b| a.x.total_cmp(&b.x).then(a.z.total_cmp(&b.z)));
+        self.crossings.sort_by(|a, b| {
+            a.x.total_cmp(&b.x)
+                .then(a.z.total_cmp(&b.z))
+                .then(a.upper_left.cmp(&b.upper_left))
+                .then(a.upper_right.cmp(&b.upper_right))
+        });
         self.vertical_visible.sort_unstable();
         self.vertical_visible.dedup();
+    }
+
+    /// Restricts the map to the image-plane window `[x_lo, x_hi]` on the
+    /// abscissa: pieces are clipped to the window (dropped when fully
+    /// outside), crossings outside it are removed. Used to apply a view
+    /// frustum (finite field of view) to an object-space image.
+    ///
+    /// `vertical_visible` is untouched — the map stores no geometry for
+    /// vertical points, so callers with scene access filter those by the
+    /// edge's projected abscissa (as the perspective view evaluation
+    /// does).
+    pub fn clip_abscissa(&mut self, x_lo: f64, x_hi: f64) {
+        self.pieces.retain_mut(|p| match p.clip(x_lo, x_hi) {
+            Some(q) => {
+                *p = q;
+                true
+            }
+            None => false,
+        });
+        self.crossings.retain(|c| x_lo <= c.x && c.x <= x_hi);
     }
 
     /// Visible intervals per edge.
@@ -145,6 +177,46 @@ mod tests {
         m.canonicalize();
         assert_eq!(m.pieces.len(), 2);
         assert_eq!((m.pieces[0].x0, m.pieces[0].x1), (0.0, 2.0));
+    }
+
+    #[test]
+    fn canonicalize_is_total_under_negative_zero_and_nan() {
+        // Pieces whose keys differ only in the sign of zero (or are NaN)
+        // must still land in one deterministic order regardless of the
+        // input permutation.
+        let a = Piece { x0: -0.0, x1: 1.0, z0: 0.0, z1: 0.0, edge: 0 };
+        let b = Piece { x0: 0.0, x1: 1.0, z0: -0.0, z1: 0.0, edge: 0 };
+        let c = Piece { x0: f64::NAN, x1: 1.0, z0: 0.0, z1: 0.0, edge: 0 };
+        let fingerprint = |pieces: Vec<Piece>| {
+            let mut m = VisibilityMap { pieces, ..Default::default() };
+            m.canonicalize();
+            m.pieces
+                .iter()
+                .map(|p| (p.edge, p.x0.to_bits(), p.x1.to_bits(), p.z0.to_bits(), p.z1.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let want = fingerprint(vec![a, b, c]);
+        assert_eq!(fingerprint(vec![c, a, b]), want);
+        assert_eq!(fingerprint(vec![b, c, a]), want);
+        // total_cmp puts -0.0 strictly before +0.0.
+        assert_eq!(want[0].1, (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn clip_abscissa_windows_the_map() {
+        let mut m = VisibilityMap {
+            pieces: vec![piece(0, 0.0, 4.0), piece(1, 5.0, 6.0)],
+            crossings: vec![
+                CrossEvent { x: 1.0, z: 0.0, upper_left: 0, upper_right: 1 },
+                CrossEvent { x: 5.5, z: 0.0, upper_left: 1, upper_right: 0 },
+            ],
+            ..Default::default()
+        };
+        m.clip_abscissa(0.5, 3.0);
+        assert_eq!(m.pieces.len(), 1);
+        assert_eq!((m.pieces[0].x0, m.pieces[0].x1), (0.5, 3.0));
+        assert_eq!(m.crossings.len(), 1);
+        assert_eq!(m.crossings[0].x, 1.0);
     }
 
     #[test]

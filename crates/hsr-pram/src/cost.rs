@@ -34,12 +34,16 @@ pub enum Category {
     Crossings,
     /// Basic parallel routines (scan / merge / sort).
     Primitive,
+    /// Full terrain adjacency builds (TIN validation + edge extraction).
+    /// One unit per build — lets callers assert that shared terrain state
+    /// was constructed exactly once across a batch of views.
+    TinBuild,
     /// Everything else.
     Other,
 }
 
 /// Number of categories (length of the counter arrays).
-pub const N_CATEGORIES: usize = 9;
+pub const N_CATEGORIES: usize = 10;
 
 /// All categories in `repr` order.
 pub const ALL_CATEGORIES: [Category; N_CATEGORIES] = [
@@ -51,6 +55,7 @@ pub const ALL_CATEGORIES: [Category; N_CATEGORIES] = [
     Category::Query,
     Category::Crossings,
     Category::Primitive,
+    Category::TinBuild,
     Category::Other,
 ];
 
@@ -83,8 +88,8 @@ pub fn reset() {
 }
 
 /// A snapshot of all counters.
-#[derive(Clone, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostReport {
     /// Work per category, `repr` order (see [`ALL_CATEGORIES`]).
     pub work: Vec<u64>,

@@ -1,5 +1,5 @@
 //! Parallel merge of two sorted sequences by merge-path rank splitting
-//! (the Shiloach–Vishkin-flavoured routine the paper cites as [23]).
+//! (the Shiloach–Vishkin-flavoured routine the paper cites as \[23\]).
 //!
 //! `O(n + m)` work, `O(log(n + m))` splitting depth: find the pair of ranks
 //! `(i, j)` with `i + j = (n + m) / 2` such that the first half of the

@@ -1,7 +1,7 @@
 //! Parallel prefix computation (Ladner–Fischer / blocked two-pass).
 //!
 //! The paper's phase 2 is "an approach similar to the systolic
-//! implementation of parallel prefix computation [9]" (Ladner & Fischer).
+//! implementation of parallel prefix computation \[9\]" (Ladner & Fischer).
 //! This module supplies the routine itself, instrumented for work/depth:
 //! an upsweep computing block sums, a scan over block sums, and a downsweep
 //! applying block offsets — `O(n)` work, `O(log n)` depth.

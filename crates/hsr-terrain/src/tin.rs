@@ -8,6 +8,7 @@
 //! the front-to-back ordering.
 
 use hsr_geometry::{orient2d, Orientation, Point2, Point3};
+use hsr_pram::cost::{add_work, Category};
 use std::collections::HashMap;
 
 /// Errors raised by [`Tin::new`].
@@ -24,6 +25,10 @@ pub enum TinError {
     DegenerateTriangle(usize),
     /// An edge is shared by more than two triangles (non-manifold input).
     NonManifoldEdge(u32, u32),
+    /// A vertex transform reversed a triangle's ground orientation
+    /// (the transform passed to [`Tin::remap_vertices`] must be
+    /// orientation-preserving).
+    OrientationFlipped(usize),
 }
 
 impl std::fmt::Display for TinError {
@@ -39,6 +44,9 @@ impl std::fmt::Display for TinError {
             }
             TinError::NonManifoldEdge(a, b) => {
                 write!(f, "edge ({a}, {b}) is shared by more than two triangles")
+            }
+            TinError::OrientationFlipped(t) => {
+                write!(f, "vertex transform reversed the ground orientation of triangle {t}")
             }
         }
     }
@@ -125,6 +133,7 @@ impl Tin {
             tri_edges.push(te);
         }
 
+        add_work(Category::TinBuild, 1);
         Ok(Tin { vertices, triangles: tris, edges, tri_edges, edge_tris })
     }
 
@@ -170,19 +179,51 @@ impl Tin {
         (self.vertices[a as usize], self.vertices[b as usize])
     }
 
+    /// A copy of the terrain with its vertices transformed by `f`, reusing
+    /// the existing edge set and edge↔triangle adjacency instead of
+    /// rebuilding them.
+    ///
+    /// This is the cheap path for view changes: a rotation or a projective
+    /// pre-transform alters only vertex positions, not the combinatorial
+    /// structure, so the `O(n)` hashing/sorting of a full [`Tin::new`]
+    /// build (counted under `Category::TinBuild`) is skipped. The result
+    /// is still checked per vertex (finiteness) and per triangle (ground
+    /// orientation must stay CCW), which catches numeric collapses;
+    /// callers must supply a transform that is injective and
+    /// orientation-preserving on the ground plane — rotations about `z`
+    /// and the perspective pre-transform both are.
+    pub fn remap_vertices(&self, f: impl Fn(Point3) -> Point3) -> Result<Tin, TinError> {
+        let vertices: Vec<Point3> = self.vertices.iter().map(|&v| f(v)).collect();
+        for (i, v) in vertices.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(TinError::NonFiniteVertex(i));
+            }
+        }
+        let ground = |i: u32| -> Point2 { vertices[i as usize].ground() };
+        for (t, &[a, b, c]) in self.triangles.iter().enumerate() {
+            match orient2d(ground(a), ground(b), ground(c)) {
+                Orientation::Ccw => {}
+                Orientation::Collinear => return Err(TinError::DegenerateTriangle(t)),
+                Orientation::Cw => return Err(TinError::OrientationFlipped(t)),
+            }
+        }
+        Ok(Tin {
+            vertices,
+            triangles: self.triangles.clone(),
+            edges: self.edges.clone(),
+            tri_edges: self.tri_edges.clone(),
+            edge_tris: self.edge_tris.clone(),
+        })
+    }
+
     /// A copy of the terrain with the ground plane rotated by `angle`
     /// radians about the `z` axis (equivalently: a different view
-    /// direction). Heights are preserved; the result is re-validated
-    /// because a rotation can collapse ground positions only by numeric
-    /// accident.
+    /// direction). Heights are preserved; structure is reused via
+    /// [`Tin::remap_vertices`] — a rotation can invalidate the terrain
+    /// only by numeric accident, which the remap checks catch.
     pub fn rotated_about_z(&self, angle: f64) -> Result<Tin, TinError> {
         let (s, c) = angle.sin_cos();
-        let vertices = self
-            .vertices
-            .iter()
-            .map(|v| Point3::new(c * v.x - s * v.y, s * v.x + c * v.y, v.z))
-            .collect();
-        Tin::new(vertices, self.triangles.clone())
+        self.remap_vertices(|v| Point3::new(c * v.x - s * v.y, s * v.x + c * v.y, v.z))
     }
 
     /// Bounding box of the ground projection, `((min_x, min_y), (max_x,
@@ -274,6 +315,37 @@ mod tests {
             ),
             Orientation::Ccw
         );
+    }
+
+    #[test]
+    fn remap_reuses_structure_and_rejects_flips() {
+        let tin = Tin::new(
+            vec![v(0., 0., 1.), v(1., 0., 2.), v(1., 1., 3.), v(0., 1., 4.)],
+            vec![[0, 1, 2], [0, 2, 3]],
+        )
+        .unwrap();
+        // A pure translation keeps everything; adjacency is carried over.
+        let moved = tin
+            .remap_vertices(|p| Point3::new(p.x + 5.0, p.y - 2.0, p.z))
+            .unwrap();
+        assert_eq!(moved.edges(), tin.edges());
+        assert_eq!(moved.triangles(), tin.triangles());
+        assert_eq!(moved.edge_tris(0), tin.edge_tris(0));
+        // Mirroring the ground plane flips orientation and is rejected.
+        let err = tin
+            .remap_vertices(|p| Point3::new(-p.x, p.y, p.z))
+            .unwrap_err();
+        assert!(matches!(err, TinError::OrientationFlipped(_)));
+        // Collapsing everything onto a line is degenerate.
+        let err = tin
+            .remap_vertices(|p| Point3::new(p.x, 0.0, p.z))
+            .unwrap_err();
+        assert!(matches!(err, TinError::DegenerateTriangle(_)));
+        // Non-finite transforms are caught per vertex.
+        let err = tin
+            .remap_vertices(|p| Point3::new(p.x / 0.0, p.y, p.z))
+            .unwrap_err();
+        assert!(matches!(err, TinError::NonFiniteVertex(_)));
     }
 
     #[test]

@@ -10,16 +10,19 @@ use std::time::Instant;
 use terrain_hsr::pram::cost::{self, CostReport};
 use terrain_hsr::pram::{with_threads, BrentModel};
 use terrain_hsr::terrain::gen;
-use terrain_hsr::Scene;
+use terrain_hsr::{SceneBuilder, View};
 
 fn main() {
     let grid = gen::fbm(128, 128, 5, 14.0, 3);
-    let scene = Scene::from_grid(&grid).expect("valid terrain");
+    let scene = SceneBuilder::from_grid(&grid)
+        .build()
+        .expect("valid terrain");
+    let session = scene.session();
     let (_, n_edges, _) = scene.counts();
 
     // Measure work and depth once (counters are global; single run).
     cost::reset();
-    let report = scene.compute().expect("acyclic");
+    let report = session.eval(&View::orthographic(0.0)).expect("acyclic");
     let c = CostReport::snapshot();
     let (work, depth) = (c.total_work(), c.total_depth());
     println!(
@@ -31,7 +34,7 @@ fn main() {
     let time_at = |p: usize| {
         with_threads(p, || {
             let t = Instant::now();
-            let r = scene.compute().expect("acyclic");
+            let r = session.eval(&View::orthographic(0.0)).expect("acyclic");
             std::hint::black_box(r.k);
             t.elapsed().as_secs_f64()
         })

@@ -3,42 +3,62 @@
 //! a crater field; each frame is a true perspective view computed by the
 //! ordinary pipeline after the projective pre-transform.
 //!
+//! All six frames go through one `Session` as a single batch: the
+//! terrain's shared state is built once and the frames evaluate in
+//! parallel.
+//!
 //! ```sh
 //! cargo run --release --example perspective_flyby
 //! ```
 
-use terrain_hsr::core::perspective::{perspective_tin, Viewpoint};
-use terrain_hsr::core::pipeline::{run, Algorithm, HsrConfig};
+use terrain_hsr::geometry::Point3;
 use terrain_hsr::terrain::gen;
+use terrain_hsr::{Algorithm, SceneBuilder, View};
 
 fn main() {
-    let grid = gen::craters(64, 64, 9, 21);
-    let tin = grid.to_tin().expect("valid terrain");
-    let (lo, hi) = tin.ground_bounds();
-    let (_, zhi) = tin.height_range();
+    let scene = SceneBuilder::from_grid(&gen::craters(64, 64, 9, 21))
+        .build()
+        .expect("valid terrain");
+    let session = scene.session();
+    let (lo, hi) = scene.tin().ground_bounds();
+    let (_, zhi) = scene.tin().height_range();
+    let mid_y = 0.5 * (lo.y + hi.y);
+    let look = Point3::new(lo.x, mid_y, 0.0);
     println!(
         "crater field: {} edges, heights up to {zhi:.1}; camera flying in from x = {:.0}…",
-        tin.edges().len(),
+        scene.counts().1,
         hi.x + 120.0
     );
+
+    // Six camera stations, each halving the distance — one batch.
+    let frames: Vec<View> = (0..6)
+        .map(|step| {
+            let eye = Point3::new(
+                hi.x + 120.0 / (1 << step) as f64,
+                mid_y,
+                zhi + 30.0 / (1 << step) as f64,
+            );
+            View::perspective(eye, look, std::f64::consts::PI, 640)
+        })
+        .collect();
+    let reports = session.eval_batch(&frames);
+
     println!("| camera (x, z) | n | k | visible width | ms |");
     println!("|---|---|---|---|---|");
-    for step in 0..6 {
-        let view = Viewpoint {
-            vx: hi.x + 120.0 / (1 << step) as f64,
-            vy: 0.5 * (lo.y + hi.y),
-            vz: zhi + 30.0 / (1 << step) as f64,
-        };
-        let ptin = perspective_tin(&tin, view).expect("camera outside the scene");
-        let report = run(&ptin, &HsrConfig::default()).expect("acyclic");
+    for (view, report) in frames.iter().zip(reports) {
+        let report = report.expect("camera outside the scene");
         // Sanity: the sequential baseline agrees frame by frame.
-        let seq = run(&ptin, &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() })
+        let seq = session
+            .eval(&view.clone().algorithm(Algorithm::Sequential))
             .unwrap();
         assert!(report.vis.agreement(&seq.vis) > 0.9999);
+        let terrain_hsr::Projection::Perspective { eye, .. } = view.projection else {
+            unreachable!()
+        };
         println!(
             "| ({:.1}, {:.1}) | {} | {} | {:.4} | {:.1} |",
-            view.vx,
-            view.vz,
+            eye.x,
+            eye.z,
             report.n,
             report.k,
             report.vis.total_visible_width(),

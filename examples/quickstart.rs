@@ -6,17 +6,24 @@
 //! ```
 
 use terrain_hsr::terrain::gen;
-use terrain_hsr::{Algorithm, Scene};
+use terrain_hsr::{Algorithm, SceneBuilder, View};
 
 fn main() {
-    // A 64×64 fractal heightfield, viewed from x = +∞.
+    // A 64×64 fractal heightfield; the scene's shared state (edge set,
+    // adjacency) is validated and built exactly once here.
     let grid = gen::fbm(64, 64, 5, 12.0, 42);
-    let scene = Scene::from_grid(&grid).expect("valid terrain");
+    let scene = SceneBuilder::from_grid(&grid)
+        .build()
+        .expect("valid terrain");
     let (nv, ne, nf) = scene.counts();
     println!("terrain: {nv} vertices, {ne} edges, {nf} faces");
 
-    // The paper's parallel algorithm (PCT + persistent prefix profiles).
-    let report = scene.compute().expect("terrain input is acyclic");
+    // The paper's parallel algorithm (PCT + persistent prefix profiles),
+    // viewed from x = +∞.
+    let session = scene.session();
+    let report = session
+        .eval(&View::orthographic(0.0))
+        .expect("terrain input is acyclic");
     println!(
         "visible image: {} pieces, {} crossings  (output size k = {})",
         report.vis.pieces.len(),
@@ -31,8 +38,11 @@ fn main() {
         report.timings.total_s * 1e3,
     );
 
-    // Cross-check against the sequential Reif–Sen baseline.
-    let seq = scene.compute_with(Algorithm::Sequential).unwrap();
+    // Cross-check against the sequential Reif–Sen baseline: same view,
+    // different algorithm — one builder call away.
+    let seq = session
+        .eval(&View::orthographic(0.0).algorithm(Algorithm::Sequential))
+        .unwrap();
     println!(
         "sequential baseline: k = {}, agreement = {:.6}",
         seq.k,

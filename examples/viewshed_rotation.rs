@@ -1,25 +1,37 @@
-//! Viewshed sweep: rotate the camera around a terrain and watch the output
-//! size `k` and the visible fraction change with the view direction —
-//! the same terrain can be cheap or expensive to display depending on
-//! where you stand.
+//! Rotation sweep: rotate the camera around a terrain and watch the
+//! output size `k` and the visible fraction change with the view
+//! direction — the same terrain can be cheap or expensive to display
+//! depending on where you stand.
+//!
+//! The whole sweep is one `Session` batch: twelve orthographic views
+//! evaluated in parallel against one shared terrain state (no per-angle
+//! TIN rebuild).
 //!
 //! ```sh
 //! cargo run --release --example viewshed_rotation
 //! ```
 
 use terrain_hsr::terrain::gen;
-use terrain_hsr::Scene;
+use terrain_hsr::{SceneBuilder, View};
 
 fn main() {
-    let base = Scene::from_grid(&gen::ridge_field(48, 48, 6, 14.0, 11)).expect("valid terrain");
-    let (_, n_edges, _) = base.counts();
+    let scene = SceneBuilder::from_grid(&gen::ridge_field(48, 48, 6, 14.0, 11))
+        .build()
+        .expect("valid terrain");
+    let (_, n_edges, _) = scene.counts();
     println!("ridge terrain with {n_edges} edges, sweeping view direction:");
+
+    let degrees: Vec<usize> = (0..180).step_by(15).collect();
+    let sweep: Vec<View> = degrees
+        .iter()
+        .map(|&deg| View::orthographic((deg as f64).to_radians()))
+        .collect();
+    let reports = scene.session().eval_batch(&sweep);
+
     println!("| angle (deg) | k | k/n | visible width | ms |");
     println!("|---|---|---|---|---|");
-    for deg in (0..180).step_by(15) {
-        let angle = (deg as f64).to_radians();
-        let scene = base.rotated_view(angle).expect("rotation keeps validity");
-        let report = scene.compute().expect("acyclic");
+    for (deg, report) in degrees.iter().zip(reports) {
+        let report = report.expect("rotation keeps validity");
         println!(
             "| {deg} | {} | {:.2} | {:.1} | {:.1} |",
             report.k,

@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 use terrain_hsr::terrain::gen;
-use terrain_hsr::{Algorithm, Phase2Mode, Scene};
+use terrain_hsr::{Algorithm, Phase2Mode, SceneBuilder, View};
 
 fn main() {
     println!(
@@ -17,22 +17,28 @@ fn main() {
     );
     println!("|---|---|---|---|---|---|---|");
     for m in [8usize, 16, 32, 64] {
-        let tin = gen::quadratic_comb(m);
-        let scene = Scene::from_tin(tin);
+        let scene = SceneBuilder::from_tin(gen::quadratic_comb(m))
+            .build()
+            .expect("comb is a valid terrain");
+        let session = scene.session();
         let (_, n_edges, _) = scene.counts();
 
         let t = Instant::now();
-        let par = scene
-            .compute_with(Algorithm::Parallel(Phase2Mode::Persistent))
+        let par = session
+            .eval(&View::orthographic(0.0).phase2(Phase2Mode::Persistent))
             .unwrap();
         let t_par = t.elapsed().as_secs_f64() * 1e3;
 
         let t = Instant::now();
-        let seq = scene.compute_with(Algorithm::Sequential).unwrap();
+        let seq = session
+            .eval(&View::orthographic(0.0).algorithm(Algorithm::Sequential))
+            .unwrap();
         let t_seq = t.elapsed().as_secs_f64() * 1e3;
 
         let t = Instant::now();
-        let naive = scene.compute_with(Algorithm::Naive).unwrap();
+        let naive = session
+            .eval(&View::orthographic(0.0).algorithm(Algorithm::Naive))
+            .unwrap();
         let t_naive = t.elapsed().as_secs_f64() * 1e3;
 
         assert!(par.vis.agreement(&seq.vis) > 0.999);

@@ -419,8 +419,12 @@ fn gen_deserialize(model: &Input) -> String {
             (name, body)
         }
     };
+    // `allow(unreachable_code)`: for enums with no data-carrying variants
+    // the generated data-variant match is a bare `return Err(...)`, which
+    // makes the trailing Ok unreachable — harmless by construction.
     format!(
         "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         #[allow(unreachable_code)]\n\
          fn deserialize(__d: &mut ::serde::de::Deserializer<'_>) -> ::core::result::Result<Self, ::serde::de::Error> {{\n{body}}}\n}}\n"
     )
 }

@@ -1,4 +1,4 @@
-//! Offline stand-in for [`serde_json`]: `to_string` / `from_str` over the
+//! Offline stand-in for `serde_json`: `to_string` / `from_str` over the
 //! serde shim's built-in JSON serializer and parser.
 //!
 //! Output is compact (no whitespace); [`to_string_pretty`] adds

@@ -5,21 +5,62 @@
 //! Sensitive Parallel Algorithm for Hidden-Surface Removal for Terrains"*
 //! (IPPS 1998).
 //!
-//! This facade crate re-exports the workspace crates and offers a small
-//! high-level API ([`Scene`]) plus SVG/PPM rendering of visibility maps.
+//! This facade crate re-exports the workspace crates and offers the
+//! high-level viewpoint-centric API: build a [`Scene`] once with
+//! [`SceneBuilder`], describe *where the viewer stands* with a [`View`]
+//! (orthographic, perspective, or viewshed), and evaluate one view or a
+//! whole batch through a [`Session`]:
 //!
 //! ```
-//! use terrain_hsr::{Scene, Algorithm};
+//! use terrain_hsr::{Algorithm, SceneBuilder, View};
 //! use terrain_hsr::terrain::gen;
 //!
-//! // A small fractal terrain, viewed from x = +∞.
-//! let scene = Scene::from_grid(&gen::fbm(16, 16, 4, 8.0, 7)).unwrap();
-//! let report = scene.compute().unwrap();
+//! // Validate the terrain and build its shared state exactly once.
+//! let scene = SceneBuilder::from_grid(&gen::fbm(16, 16, 4, 8.0, 7)).build().unwrap();
+//! let session = scene.session();
+//!
+//! // The canonical orthographic view from x = +∞.
+//! let report = session.eval(&View::orthographic(0.0)).unwrap();
 //! assert!(report.k > 0);
 //!
 //! // The parallel algorithm agrees with the sequential baseline.
-//! let seq = scene.compute_with(Algorithm::Sequential).unwrap();
+//! let seq = session
+//!     .eval(&View::orthographic(0.0).algorithm(Algorithm::Sequential))
+//!     .unwrap();
 //! assert!(report.vis.agreement(&seq.vis) > 0.9999);
+//! ```
+//!
+//! A true perspective view is one variant away — the pipeline runs after
+//! the paper's projective pre-transform, so the result is an exact
+//! object-space perspective image, not a raster:
+//!
+//! ```
+//! use terrain_hsr::geometry::Point3;
+//! use terrain_hsr::{SceneBuilder, View};
+//! use terrain_hsr::terrain::gen;
+//!
+//! let scene = SceneBuilder::from_grid(&gen::gaussian_hills(12, 12, 4, 9)).build().unwrap();
+//! let (lo, hi) = scene.tin().ground_bounds();
+//! let eye = Point3::new(hi.x + 30.0, 0.5 * (lo.y + hi.y), 20.0);
+//! let look = Point3::new(lo.x, 0.5 * (lo.y + hi.y), 0.0);
+//! let frame = scene
+//!     .session()
+//!     .eval(&View::perspective(eye, look, 1.2, 640))
+//!     .unwrap();
+//! assert!(frame.k > 0);
+//! ```
+//!
+//! Batches evaluate in parallel against the same shared terrain state —
+//! no per-view TIN rebuild:
+//!
+//! ```
+//! use terrain_hsr::{SceneBuilder, View};
+//! use terrain_hsr::terrain::gen;
+//!
+//! let scene = SceneBuilder::from_grid(&gen::ridge_field(12, 12, 3, 8.0, 11)).build().unwrap();
+//! let sweep: Vec<_> = (0..4).map(|i| View::orthographic(0.4 * i as f64)).collect();
+//! let reports = scene.session().eval_batch(&sweep);
+//! assert!(reports.into_iter().all(|r| r.unwrap().k > 0));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -34,4 +75,7 @@ pub use hsr_terrain as terrain;
 pub mod render;
 pub mod scene;
 
-pub use scene::{Algorithm, Phase2Mode, Scene, SceneReport};
+pub use scene::{
+    Algorithm, HsrError, Phase2Mode, Projection, Report, Scene, SceneBuilder, SceneReport, Session,
+    Timings, Verdict, View,
+};

@@ -91,17 +91,41 @@ pub fn zbuffer_ppm(tin: &Tin, res: usize) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scene::Scene;
+    use crate::scene::{SceneBuilder, View};
     use hsr_terrain::gen;
 
     #[test]
-    fn svg_is_well_formed() {
-        let scene = Scene::from_grid(&gen::fbm(8, 8, 3, 6.0, 5)).unwrap();
-        let report = scene.compute().unwrap();
+    fn svg_is_well_formed_and_counts_match_report() {
+        let scene = SceneBuilder::from_grid(&gen::fbm(8, 8, 3, 6.0, 5))
+            .build()
+            .unwrap();
+        let report = scene.session().eval(&View::orthographic(0.0)).unwrap();
         let svg = visibility_svg(&report.vis, 640.0);
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
-        assert!(svg.matches("<line").count() >= report.vis.pieces.len());
+        // One <line> per visible piece, one <circle> per crossing — the
+        // drawing is exactly the report's combinatorial output, so the
+        // element counts must reproduce k (up to the vertical points,
+        // which have no extent to draw).
+        assert_eq!(svg.matches("<line").count(), report.vis.pieces.len());
+        assert_eq!(svg.matches("<circle").count(), report.vis.crossings.len());
+        assert_eq!(
+            svg.matches("<line").count()
+                + svg.matches("<circle").count()
+                + report.vis.vertical_visible.len(),
+            report.k
+        );
+    }
+
+    #[test]
+    fn svg_is_deterministic_for_a_fixed_seed() {
+        let scene = SceneBuilder::from_grid(&gen::ridge_field(10, 10, 3, 8.0, 21))
+            .build()
+            .unwrap();
+        let session = scene.session();
+        let a = visibility_svg(&session.eval(&View::orthographic(0.3)).unwrap().vis, 800.0);
+        let b = visibility_svg(&session.eval(&View::orthographic(0.3)).unwrap().vis, 800.0);
+        assert_eq!(a, b, "same seed + view must render byte-identically");
     }
 
     #[test]
@@ -111,10 +135,29 @@ mod tests {
     }
 
     #[test]
-    fn ppm_has_header_and_size() {
+    fn ppm_has_header_and_exact_payload_size() {
         let tin = gen::gaussian_hills(8, 8, 3, 1).to_tin().unwrap();
         let ppm = zbuffer_ppm(&tin, 64);
         assert!(ppm.starts_with(b"P6\n"));
-        assert!(ppm.len() > 64 * 64);
+        // Header declares the dimensions; the payload is 3 bytes/pixel.
+        let header_end = ppm
+            .windows(4)
+            .position(|w| w == b"255\n")
+            .map(|p| p + 4)
+            .unwrap();
+        let header = std::str::from_utf8(&ppm[..header_end]).unwrap();
+        let dims: Vec<usize> = header
+            .split_whitespace()
+            .skip(1)
+            .take(2)
+            .map(|t| t.parse().unwrap())
+            .collect();
+        assert_eq!(ppm.len() - header_end, dims[0] * dims[1] * 3);
+    }
+
+    #[test]
+    fn ppm_is_deterministic_for_a_fixed_seed() {
+        let tin = gen::gaussian_hills(8, 8, 3, 17).to_tin().unwrap();
+        assert_eq!(zbuffer_ppm(&tin, 48), zbuffer_ppm(&tin, 48));
     }
 }

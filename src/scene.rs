@@ -1,28 +1,94 @@
-//! High-level API: build a scene, compute its visibility map.
+//! High-level API: build a scene once, evaluate any number of views.
+//!
+//! Three layers:
+//!
+//! 1. [`SceneBuilder`] — names a terrain source (heightfield grid,
+//!    validated TIN, or raw vertices + triangles) and builds it into a
+//!    [`Scene`]: the validated terrain with its edge set and
+//!    edge↔triangle adjacency — the projection-independent state every
+//!    view shares.
+//! 2. [`View`] — *where the viewer stands* plus the per-view pipeline
+//!    configuration, built fluently
+//!    (`View::orthographic(0.3).algorithm(Algorithm::Sequential)`).
+//! 3. [`Session`] — evaluates one view ([`Session::eval`]) or a batch in
+//!    parallel ([`Session::eval_batch`]) against the shared scene state,
+//!    returning a unified [`Report`] per view.
+//!
+//! ```
+//! use terrain_hsr::{SceneBuilder, View};
+//! use terrain_hsr::terrain::gen;
+//!
+//! let scene = SceneBuilder::from_grid(&gen::fbm(12, 12, 3, 6.0, 5)).build().unwrap();
+//! let session = scene.session();
+//! let report = session.eval(&View::orthographic(0.0)).unwrap();
+//! assert!(report.k > 0);
+//! ```
 
-use hsr_core::order::CyclicOcclusion;
-use hsr_core::pipeline::{self, HsrConfig, HsrResult};
+use std::sync::Arc;
+
+use hsr_geometry::Point3;
 use hsr_terrain::{GridTerrain, Tin, TinError};
 
-pub use hsr_core::pipeline::{Algorithm, Phase2Mode};
+pub use hsr_core::error::HsrError;
+pub use hsr_core::pipeline::{Algorithm, Phase2Mode, Timings};
+pub use hsr_core::view::{Projection, Report, View};
+pub use hsr_core::viewshed::Verdict;
 
-/// A terrain scene viewed from `x = +∞` (image plane `y–z`).
-pub struct Scene {
-    tin: Tin,
+/// Names a terrain source and validates it into a [`Scene`].
+pub struct SceneBuilder {
+    source: Source,
 }
 
-/// Everything a run produced: the visibility map plus measurements.
-pub type SceneReport = HsrResult;
+enum Source {
+    Grid(GridTerrain),
+    Tin(Tin),
+    Raw(Vec<Point3>, Vec<[u32; 3]>),
+}
 
-impl Scene {
-    /// Wraps an already validated TIN.
-    pub fn from_tin(tin: Tin) -> Scene {
-        Scene { tin }
+impl SceneBuilder {
+    /// A scene from a heightfield grid (triangulated on build).
+    pub fn from_grid(grid: &GridTerrain) -> SceneBuilder {
+        SceneBuilder { source: Source::Grid(grid.clone()) }
     }
 
-    /// Builds a scene from a heightfield.
-    pub fn from_grid(grid: &GridTerrain) -> Result<Scene, TinError> {
-        Ok(Scene { tin: grid.to_tin()? })
+    /// A scene from an already validated TIN.
+    pub fn from_tin(tin: Tin) -> SceneBuilder {
+        SceneBuilder { source: Source::Tin(tin) }
+    }
+
+    /// A scene from raw vertices and triangles (validated on build).
+    pub fn from_vertices(vertices: Vec<Point3>, triangles: Vec<[u32; 3]>) -> SceneBuilder {
+        SceneBuilder { source: Source::Raw(vertices, triangles) }
+    }
+
+    /// Validates the source and builds the shared scene state. This is
+    /// the only place the full TIN validation + adjacency construction
+    /// runs; every view evaluated through the scene's [`Session`] reuses
+    /// it.
+    pub fn build(self) -> Result<Scene, HsrError> {
+        let tin = match self.source {
+            Source::Grid(grid) => grid.to_tin()?,
+            Source::Tin(tin) => tin,
+            Source::Raw(vertices, triangles) => Tin::new(vertices, triangles)?,
+        };
+        Ok(Scene { tin: Arc::new(tin) })
+    }
+}
+
+/// A validated terrain with its shared, projection-independent state.
+#[derive(Clone, Debug)]
+pub struct Scene {
+    tin: Arc<Tin>,
+}
+
+/// Everything a view evaluation produced (alias of [`Report`]; the name
+/// survives from the pre-`Session` API).
+pub type SceneReport = Report;
+
+impl Scene {
+    /// Opens an evaluation session sharing this scene's terrain state.
+    pub fn session(&self) -> Session {
+        Session { tin: Arc::clone(&self.tin) }
     }
 
     /// The underlying terrain.
@@ -35,26 +101,66 @@ impl Scene {
         self.tin.counts()
     }
 
-    /// Runs hidden-surface removal with the default (parallel, persistent)
-    /// algorithm.
-    pub fn compute(&self) -> Result<SceneReport, CyclicOcclusion> {
-        pipeline::run(&self.tin, &HsrConfig::default())
+    /// Wraps an already validated TIN.
+    #[deprecated(note = "use `SceneBuilder::from_tin(tin).build()`")]
+    pub fn from_tin(tin: Tin) -> Scene {
+        Scene { tin: Arc::new(tin) }
+    }
+
+    /// Builds a scene from a heightfield.
+    #[deprecated(note = "use `SceneBuilder::from_grid(grid).build()`")]
+    pub fn from_grid(grid: &GridTerrain) -> Result<Scene, TinError> {
+        Ok(Scene { tin: Arc::new(grid.to_tin()?) })
+    }
+
+    /// Runs hidden-surface removal with the default (parallel,
+    /// persistent) algorithm.
+    #[deprecated(note = "use `scene.session().eval(&View::orthographic(0.0))`")]
+    pub fn compute(&self) -> Result<SceneReport, HsrError> {
+        self.session().eval(&View::orthographic(0.0))
     }
 
     /// Runs hidden-surface removal with an explicit algorithm choice.
-    pub fn compute_with(&self, algorithm: Algorithm) -> Result<SceneReport, CyclicOcclusion> {
-        pipeline::run(&self.tin, &HsrConfig { algorithm, ..Default::default() })
+    #[deprecated(note = "use `scene.session().eval(&View::orthographic(0.0).algorithm(alg))`")]
+    pub fn compute_with(&self, algorithm: Algorithm) -> Result<SceneReport, HsrError> {
+        self.session()
+            .eval(&View::orthographic(0.0).algorithm(algorithm))
     }
 
     /// Runs with full per-layer statistics collection.
-    pub fn compute_with_stats(&self) -> Result<SceneReport, CyclicOcclusion> {
-        pipeline::run(&self.tin, &HsrConfig { collect_stats: true, ..Default::default() })
+    #[deprecated(note = "use `scene.session().eval(&View::orthographic(0.0).stats(true))`")]
+    pub fn compute_with_stats(&self) -> Result<SceneReport, HsrError> {
+        self.session().eval(&View::orthographic(0.0).stats(true))
     }
 
     /// The same terrain viewed from direction `angle` radians (rotated
     /// about the vertical axis).
+    #[deprecated(note = "evaluate `View::orthographic(angle)` through a `Session` instead")]
     pub fn rotated_view(&self, angle: f64) -> Result<Scene, TinError> {
-        Ok(Scene { tin: self.tin.rotated_about_z(angle)? })
+        Ok(Scene { tin: Arc::new(self.tin.rotated_about_z(angle)?) })
+    }
+}
+
+/// Evaluates views against one shared [`Scene`].
+///
+/// Cloning the session (or opening several from the same scene) is cheap:
+/// all of them share the terrain state behind an [`Arc`]. A batch call
+/// fans the views out over rayon, one pipeline run per view, with no
+/// per-view TIN rebuild.
+#[derive(Clone, Debug)]
+pub struct Session {
+    tin: Arc<Tin>,
+}
+
+impl Session {
+    /// Evaluates a single view.
+    pub fn eval(&self, view: &View) -> Result<Report, HsrError> {
+        hsr_core::view::evaluate(&self.tin, view)
+    }
+
+    /// Evaluates a batch of views in parallel, preserving input order.
+    pub fn eval_batch(&self, views: &[View]) -> Vec<Result<Report, HsrError>> {
+        hsr_core::view::evaluate_batch(&self.tin, views)
     }
 }
 
@@ -65,17 +171,56 @@ mod tests {
 
     #[test]
     fn end_to_end_via_facade() {
-        let scene = Scene::from_grid(&gen::fbm(8, 8, 3, 6.0, 5)).unwrap();
-        let report = scene.compute().unwrap();
+        let scene = SceneBuilder::from_grid(&gen::fbm(8, 8, 3, 6.0, 5))
+            .build()
+            .unwrap();
+        let report = scene.session().eval(&View::orthographic(0.0)).unwrap();
         assert!(report.k > 0);
         assert_eq!(report.n, scene.counts().1);
     }
 
     #[test]
-    fn rotated_view_still_works() {
-        let scene = Scene::from_grid(&gen::gaussian_hills(8, 8, 3, 6)).unwrap();
-        let rotated = scene.rotated_view(0.4).unwrap();
-        let report = rotated.compute().unwrap();
+    fn rotated_views_through_session() {
+        let scene = SceneBuilder::from_grid(&gen::gaussian_hills(8, 8, 3, 6))
+            .build()
+            .unwrap();
+        let report = scene.session().eval(&View::orthographic(0.4)).unwrap();
         assert!(report.k > 0);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_count() {
+        let scene = SceneBuilder::from_grid(&gen::fbm(8, 8, 3, 6.0, 9))
+            .build()
+            .unwrap();
+        let views: Vec<View> = (0..4).map(|i| View::orthographic(0.3 * i as f64)).collect();
+        let reports = scene.session().eval_batch(&views);
+        assert_eq!(reports.len(), 4);
+        for r in reports {
+            assert!(r.unwrap().k > 0);
+        }
+    }
+
+    #[test]
+    fn builder_validates_raw_input() {
+        use hsr_terrain::TinError;
+        let err = SceneBuilder::from_vertices(vec![Point3::new(0.0, 0.0, f64::NAN)], vec![])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HsrError::Terrain(TinError::NonFiniteVertex(0))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let scene = Scene::from_grid(&gen::fbm(8, 8, 3, 6.0, 5)).unwrap();
+        let report = scene.compute().unwrap();
+        assert!(report.k > 0);
+        let seq = scene.compute_with(Algorithm::Sequential).unwrap();
+        assert!(report.vis.agreement(&seq.vis) > 0.9999);
+        let stats = scene.compute_with_stats().unwrap();
+        assert!(!stats.layers.is_empty());
+        let rotated = scene.rotated_view(0.4).unwrap();
+        assert!(rotated.compute().unwrap().k > 0);
     }
 }

@@ -19,7 +19,8 @@
 #![allow(dead_code, unreachable_pub)]
 
 use terrain_hsr::core::envelope::{Envelope, Piece};
-use terrain_hsr::core::pipeline::{run, Algorithm, HsrConfig, HsrResult, Phase2Mode};
+use terrain_hsr::core::pipeline::{Algorithm, Phase2Mode};
+use terrain_hsr::core::view::{evaluate, Report, View};
 use terrain_hsr::core::VisibilityMap;
 use terrain_hsr::terrain::{gen, Tin};
 
@@ -90,15 +91,16 @@ pub fn all_algorithms() -> [(&'static str, Algorithm); 4] {
     ]
 }
 
-/// Runs the pipeline with the given algorithm and default settings.
-pub fn run_with(tin: &Tin, algorithm: Algorithm) -> HsrResult {
-    run(tin, &HsrConfig { algorithm, ..Default::default() })
+/// Runs the pipeline with the given algorithm and default settings
+/// (through the view API — the canonical orthographic view at `x = +∞`).
+pub fn run_with(tin: &Tin, algorithm: Algorithm) -> Report {
+    evaluate(tin, &View::orthographic(0.0).algorithm(algorithm))
         .expect("conformance terrains are acyclic")
 }
 
 /// Runs the pipeline with the default (parallel) configuration.
-pub fn run_default(tin: &Tin) -> HsrResult {
-    run(tin, &HsrConfig::default()).expect("conformance terrains are acyclic")
+pub fn run_default(tin: &Tin) -> Report {
+    evaluate(tin, &View::orthographic(0.0)).expect("conformance terrains are acyclic")
 }
 
 /// Asserts that two visibility maps agree to at least `min`.

@@ -87,11 +87,11 @@ fn silhouette_consistency_between_algorithms() {
 /// only shrink (never grow) the visible set behind it.
 #[test]
 fn visibility_monotone_in_occlusion() {
-    use terrain_hsr::core::pipeline::{run, HsrConfig};
+    use terrain_hsr::core::view::{evaluate, View};
     let mut widths = Vec::new();
     for theta in [0.0, 0.3, 0.6, 0.9] {
         let tin = Workload::Knob { nx: 14, ny: 14, theta, seed: 11 }.build();
-        let res = run(&tin, &HsrConfig::default()).unwrap();
+        let res = evaluate(&tin, &View::orthographic(0.0)).unwrap();
         widths.push(res.vis.total_visible_width());
     }
     for w in widths.windows(2) {

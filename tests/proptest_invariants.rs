@@ -6,8 +6,9 @@ mod common;
 use common::MIN_EXACT_AGREEMENT;
 use proptest::prelude::*;
 use terrain_hsr::core::envelope::{Envelope, Piece};
-use terrain_hsr::core::pipeline::{run, Algorithm, HsrConfig};
+use terrain_hsr::core::pipeline::Algorithm;
 use terrain_hsr::core::ptenv::PEnvelope;
+use terrain_hsr::core::view::{evaluate, View};
 use terrain_hsr::geometry::{orient2d, Point2};
 use terrain_hsr::terrain::gen;
 
@@ -94,12 +95,9 @@ proptest! {
         amp in 2.0f64..20.0,
     ) {
         let tin = gen::fbm(nx, ny, 3, amp, seed).to_tin().unwrap();
-        let par = run(&tin, &HsrConfig::default()).unwrap();
-        let seq = run(
-            &tin,
-            &HsrConfig { algorithm: Algorithm::Sequential, ..Default::default() },
-        )
-        .unwrap();
+        let par = evaluate(&tin, &View::orthographic(0.0)).unwrap();
+        let seq = evaluate(&tin, &View::orthographic(0.0).algorithm(Algorithm::Sequential))
+            .unwrap();
         let ag = par.vis.agreement(&seq.vis);
         prop_assert!(ag > MIN_EXACT_AGREEMENT, "agreement {ag}");
     }
@@ -110,7 +108,7 @@ proptest! {
         theta in 0.0f64..1.0,
     ) {
         let tin = gen::occlusion_knob(10, 10, theta, 10.0, seed).to_tin().unwrap();
-        let res = run(&tin, &HsrConfig::default()).unwrap();
+        let res = evaluate(&tin, &View::orthographic(0.0)).unwrap();
         let total: f64 = tin
             .edges()
             .iter()

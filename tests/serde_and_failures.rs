@@ -42,6 +42,56 @@ fn visibility_map_roundtrips_through_json() {
     assert!((res.vis.agreement(&back) - 1.0).abs() < 1e-12);
 }
 
+#[cfg(feature = "serde")]
+#[test]
+fn timings_and_cost_report_roundtrip_through_json() {
+    let tin = gen::fbm(9, 9, 3, 7.0, 5).to_tin().unwrap();
+    let report = run_default(&tin);
+
+    let json = serde_json::to_string(&report.timings).unwrap();
+    let back: terrain_hsr::Timings = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report.timings);
+
+    let json = serde_json::to_string(&report.cost).unwrap();
+    let back: terrain_hsr::pram::cost::CostReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report.cost);
+}
+
+#[cfg(feature = "serde")]
+#[test]
+fn full_report_roundtrips_through_json() {
+    use terrain_hsr::geometry::Point3;
+    use terrain_hsr::{SceneBuilder, View};
+
+    let grid = gen::occlusion_knob(10, 10, 0.8, 10.0, 6);
+    let scene = SceneBuilder::from_grid(&grid).build().unwrap();
+    let (lo, hi) = scene.tin().ground_bounds();
+    let observer = Point3::new(hi.x + 100.0, 0.5 * (lo.y + hi.y), 9.0);
+    let targets = vec![Point3::new(lo.x + 0.5, 0.5 * (lo.y + hi.y), 50.0)];
+    // A viewshed with stats exercises every Report field: verdicts,
+    // layers (with nested merge counters), cost, timings.
+    let report = scene
+        .session()
+        .eval(&View::viewshed(observer, targets).stats(true))
+        .unwrap();
+    assert!(!report.layers.is_empty());
+    assert!(!report.verdicts.is_empty());
+
+    let json = serde_json::to_string(&report).unwrap();
+    let back: terrain_hsr::Report = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.n, report.n);
+    assert_eq!(back.k, report.k);
+    assert_eq!(back.cost, report.cost);
+    assert_eq!(back.timings, report.timings);
+    assert_eq!(back.verdicts, report.verdicts);
+    assert_eq!(back.layers.len(), report.layers.len());
+    assert_eq!(back.resolution, report.resolution);
+    assert!((back.vis.agreement(&report.vis) - 1.0).abs() < 1e-12);
+    // Bench JSON stability: re-serializing the round-tripped report
+    // reproduces the bytes exactly.
+    assert_eq!(serde_json::to_string(&back).unwrap(), json);
+}
+
 #[test]
 fn tin_rejects_invalid_inputs() {
     // NaN coordinate.
