@@ -12,7 +12,6 @@
 use hsr_bench::harness::{maybe_write_reports, md_table, time_best};
 use hsr_core::view::{evaluate, Report, View};
 use hsr_core::{Algorithm, Phase2Mode};
-use hsr_pram::cost;
 use hsr_terrain::gen::Workload;
 
 fn main() {
@@ -25,9 +24,8 @@ fn main() {
     for theta in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
         let tin = Workload::Knob { nx: side, ny: side, theta, seed: 7 }.build();
         let n = tin.edges().len();
-        cost::reset();
         let res = evaluate(&tin, &View::orthographic(0.0)).unwrap();
-        let work = cost::CostReport::snapshot().total_work();
+        let work = res.cost.total_work();
         let t_par = time_best(1, || evaluate(&tin, &View::orthographic(0.0)).unwrap().k);
         let t_seq = time_best(1, || {
             evaluate(&tin, &View::orthographic(0.0).algorithm(Algorithm::Sequential))
@@ -74,9 +72,8 @@ fn main() {
     } {
         let tin = Workload::Comb { m }.build();
         let n = tin.edges().len();
-        cost::reset();
         let res = evaluate(&tin, &View::orthographic(0.0)).unwrap();
-        let work = cost::CostReport::snapshot().total_work();
+        let work = res.cost.total_work();
         let t_par = time_best(1, || evaluate(&tin, &View::orthographic(0.0)).unwrap().k);
         let t_rebuild = time_best(1, || {
             evaluate(&tin, &View::orthographic(0.0).phase2(Phase2Mode::Rebuild))
@@ -110,6 +107,5 @@ fn main() {
     );
     println!("work/k staying bounded as k/n grows is the output-sensitivity claim.");
 
-    let labelled: Vec<(String, &Report)> = kept.iter().map(|(l, r)| (l.clone(), r)).collect();
-    maybe_write_reports("output_sensitivity", &labelled);
+    maybe_write_reports("output_sensitivity", &kept);
 }

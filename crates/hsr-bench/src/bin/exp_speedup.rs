@@ -11,8 +11,9 @@
 
 use hsr_bench::harness::{maybe_write_reports, md_table, time_best};
 use hsr_core::view::{evaluate, Report, View};
+use hsr_pram::merge::par_merge;
 use hsr_pram::pool::{max_threads, with_threads};
-use hsr_pram::{cost, BrentModel};
+use hsr_pram::{BrentModel, CostCollector};
 use hsr_terrain::gen::Workload;
 
 fn main() {
@@ -30,10 +31,10 @@ fn main() {
         let tin = w.build();
         println!("## E3 — {} (n = {})", w.name(), tin.edges().len());
 
-        cost::reset();
+        // Work/depth come from the evaluation's own scoped report — no
+        // global counter reset, no bleed from anything else running.
         let res = evaluate(&tin, &View::orthographic(0.0)).unwrap();
-        let c = cost::CostReport::snapshot();
-        let (work, depth) = (c.total_work(), c.total_depth());
+        let (work, depth) = (res.cost.total_work(), res.cost.total_depth());
         println!("k = {}, work = {work}, depth = {depth}", res.k);
         kept.push((w.name(), res));
 
@@ -74,6 +75,37 @@ fn main() {
         println!("speedup ceiling (critical path): {:.1}×\n", model.speedup_ceiling());
     }
 
-    let labelled: Vec<(String, &Report)> = kept.iter().map(|(l, r)| (l.clone(), r)).collect();
-    maybe_write_reports("speedup", &labelled);
+    // Scoped-counter overhead: the same parallel merge timed on the
+    // uninstrumented fast path (no collector installed — counting is a
+    // thread-local read and nothing else) vs under a scoped collector.
+    // Before the collector rewrite every relaxed add hit process-global
+    // cache lines from all worker threads at once; now instrumentation is
+    // opt-in per measurement.
+    let m = if quick { 400_000u64 } else { 2_000_000 };
+    let a: Vec<u64> = (0..m).map(|i| i * 2).collect();
+    let b: Vec<u64> = (0..m).map(|i| i * 2 + 1).collect();
+    let reps = if quick { 2 } else { 5 };
+    let t_off = time_best(reps, || par_merge(&a, &b).len());
+    let t_on = time_best(reps, || {
+        let c = CostCollector::new();
+        let _g = c.install();
+        par_merge(&a, &b).len()
+    });
+    println!("## Scoped cost accounting — instrumentation overhead");
+    md_table(
+        &[
+            "par_merge items",
+            "uninstrumented ms",
+            "collector ms",
+            "overhead",
+        ],
+        &[vec![
+            (2 * m).to_string(),
+            format!("{:.2}", t_off * 1e3),
+            format!("{:.2}", t_on * 1e3),
+            format!("{:+.1}%", (t_on / t_off - 1.0) * 100.0),
+        ]],
+    );
+
+    maybe_write_reports("speedup", &kept);
 }

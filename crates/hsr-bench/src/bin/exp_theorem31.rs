@@ -13,7 +13,7 @@
 
 use hsr_bench::harness::{alpha, fit_exponent, lg, maybe_write_reports, md_table, time};
 use hsr_core::view::{evaluate, Report, View};
-use hsr_pram::cost;
+use hsr_pram::Category;
 use hsr_terrain::gen::Workload;
 
 fn main() {
@@ -38,15 +38,14 @@ fn main() {
             };
             let tin = w.build();
             let n = tin.edges().len();
-            cost::reset();
             let (res, secs) = time(|| evaluate(&tin, &View::orthographic(0.0)).unwrap());
-            let c = cost::CostReport::snapshot();
+            let c = &res.cost;
             let work = c.total_work();
             // Depth decomposition: the ordering substitute peels the
             // occlusion DAG layer by layer (Θ(diameter) rounds — the
             // documented Tamassia–Vitter substitution gap, DESIGN.md §4.2);
             // the PCT phases themselves must be polylog.
-            let d_order = c.depth_of(cost::Category::Order);
+            let d_order = c.depth_of(Category::Order);
             let d_pct = c.total_depth() - d_order;
             let k = res.k;
             let bound = (k as f64 + n as f64 * alpha(n)) * lg(n).powi(3);
@@ -85,6 +84,5 @@ fn main() {
         );
     }
 
-    let labelled: Vec<(String, &Report)> = kept.iter().map(|(l, r)| (l.clone(), r)).collect();
-    maybe_write_reports("theorem31", &labelled);
+    maybe_write_reports("theorem31", &kept);
 }

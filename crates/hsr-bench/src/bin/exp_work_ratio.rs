@@ -12,7 +12,6 @@
 use hsr_bench::harness::{lg, md_table};
 use hsr_core::view::{evaluate, View};
 use hsr_core::Algorithm;
-use hsr_pram::cost;
 use hsr_terrain::gen::Workload;
 
 fn main() {
@@ -34,14 +33,13 @@ fn main() {
             let tin = w.build();
             let n = tin.edges().len();
 
-            cost::reset();
+            // Per-evaluation scoped reports: no global resets between runs.
             let res = evaluate(&tin, &View::orthographic(0.0)).unwrap();
-            let w_par = cost::CostReport::snapshot().total_work();
+            let w_par = res.cost.total_work();
 
-            cost::reset();
-            let _ =
+            let seq =
                 evaluate(&tin, &View::orthographic(0.0).algorithm(Algorithm::Sequential)).unwrap();
-            let w_seq = cost::CostReport::snapshot().total_work();
+            let w_seq = seq.cost.total_work();
 
             let ratio = w_par as f64 / w_seq.max(1) as f64;
             rows.push(vec![

@@ -39,7 +39,7 @@ pub fn md_table(headers: &[&str], rows: &[Vec<String>]) {
 /// (`[{"label": …, "report": …}, …]`) that round-trips through the same
 /// serde machinery (see the facade's serde round-trip tests), so other
 /// tooling can re-read what a bench binary measured.
-pub fn maybe_write_reports(name: &str, labelled: &[(String, &Report)]) {
+pub fn maybe_write_reports(name: &str, labelled: &[(String, Report)]) {
     if !std::env::args().any(|a| a == "--json") {
         return;
     }
@@ -48,7 +48,7 @@ pub fn maybe_write_reports(name: &str, labelled: &[(String, &Report)]) {
         if i > 0 {
             out.push(',');
         }
-        let body = serde_json::to_string(*report).expect("reports serialize");
+        let body = serde_json::to_string(report).expect("reports serialize");
         let mut key = String::new();
         serde::ser::write_json_string(&mut key, label);
         out.push_str(&format!("{{\"label\":{key},\"report\":{body}}}"));

@@ -320,7 +320,9 @@ impl HullTree {
             self.all_in(node.right, s, qlo, qhi, &mut out);
             return out;
         }
-        let (mut l, r) = rayon::join(
+        // Collector-propagating join: query work charged on stolen
+        // branches must land in the spawning evaluation's collector.
+        let (mut l, r) = hsr_pram::join(
             || self.all_par_rec(node.left, s, qlo, qhi),
             || self.all_par_rec(node.right, s, qlo, qhi),
         );

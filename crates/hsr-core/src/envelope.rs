@@ -238,7 +238,9 @@ impl Envelope {
             n => {
                 let (l, r) = pieces.split_at(n / 2);
                 let (el, er) = if n > 256 {
-                    rayon::join(|| Envelope::from_pieces(l), || Envelope::from_pieces(r))
+                    // Collector-propagating join: envelope-build work on
+                    // the stolen branch charges the spawning evaluation.
+                    hsr_pram::join(|| Envelope::from_pieces(l), || Envelope::from_pieces(r))
                 } else {
                     (Envelope::from_pieces(l), Envelope::from_pieces(r))
                 };

@@ -84,25 +84,30 @@ impl Viewpoint {
     }
 }
 
+/// Checks the conditioning margin of the pre-transform: the eye depth
+/// must clear the scene's maximum depth by a sliver relative to the depth
+/// span so `1/(vx − x)` stays well conditioned. The single source of the
+/// margin rule — `perspective_tin` and the view validation both use it.
+pub fn check_eye_margin(
+    depths: impl Iterator<Item = f64>,
+    eye_depth: f64,
+) -> Result<(), PerspectiveError> {
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    for x in depths {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+    }
+    let span = (max_x - min_x).max(1e-9);
+    if eye_depth <= max_x + 1e-9 * span {
+        return Err(PerspectiveError::ViewpointInsideScene { vx: eye_depth, max_x });
+    }
+    Ok(())
+}
+
 /// Transforms a terrain so that the orthographic pipeline computes
 /// perspective-correct visibility from `view`.
 pub fn perspective_tin(tin: &Tin, view: Viewpoint) -> Result<Tin, PerspectiveError> {
-    let max_x = tin
-        .vertices()
-        .iter()
-        .map(|v| v.x)
-        .fold(f64::NEG_INFINITY, f64::max);
-    // Require a sliver of clearance so 1/(vx − x) stays well conditioned.
-    let span = (max_x
-        - tin
-            .vertices()
-            .iter()
-            .map(|v| v.x)
-            .fold(f64::INFINITY, f64::min))
-    .max(1e-9);
-    if view.vx <= max_x + 1e-9 * span {
-        return Err(PerspectiveError::ViewpointInsideScene { vx: view.vx, max_x });
-    }
+    check_eye_margin(tin.vertices().iter().map(|v| v.x), view.vx)?;
     let vertices: Vec<Point3> = tin.vertices().iter().map(|&p| view.project(p)).collect();
     Tin::new(vertices, tin.triangles().to_vec()).map_err(PerspectiveError::Degenerate)
 }

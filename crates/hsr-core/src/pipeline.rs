@@ -4,7 +4,7 @@ use crate::edges::{project_edges, SceneEdge};
 use crate::order::{depth_order, depth_order_parallel, CyclicOcclusion};
 use crate::pct::{LayerStats, Pct};
 use crate::visibility::VisibilityMap;
-use hsr_pram::cost::CostReport;
+use hsr_pram::cost::{CostCollector, CostReport};
 use hsr_terrain::Tin;
 use std::time::Instant;
 
@@ -84,8 +84,26 @@ pub struct HsrResult {
 }
 
 /// Projects, orders and runs the selected algorithm on a terrain.
+///
+/// The run owns a scoped [`CostCollector`]: the result's `cost` counts
+/// exactly this run's work, even when other runs execute concurrently
+/// (nested under any collector the caller has installed, so outer
+/// measurement brackets still see this run's charges).
 pub fn run(tin: &Tin, cfg: &HsrConfig) -> Result<HsrResult, CyclicOcclusion> {
-    let before = CostReport::snapshot();
+    run_scoped(tin, cfg, &CostCollector::new())
+}
+
+/// Like [`run`], but charges an existing `collector` instead of creating
+/// one. Callers that already own a collector for a wider measurement
+/// (e.g. `view::evaluate`, whose collector also covers the projection
+/// remap) pass it here so the hot loops update exactly one collector
+/// chain instead of a nested pair whose inner report would be discarded.
+pub fn run_scoped(
+    tin: &Tin,
+    cfg: &HsrConfig,
+    collector: &CostCollector,
+) -> Result<HsrResult, CyclicOcclusion> {
+    let _scope = collector.install();
     let t_start = Instant::now();
 
     let edges = project_edges(tin);
@@ -94,19 +112,32 @@ pub fn run(tin: &Tin, cfg: &HsrConfig) -> Result<HsrResult, CyclicOcclusion> {
     } else {
         depth_order(tin)?
     };
-    Ok(run_core(tin, cfg, &edges, &order, before, t_start))
+    Ok(run_core(tin, cfg, &edges, &order, collector, t_start))
 }
 
 /// Runs the selected algorithm on an already projected and ordered scene
 /// (callers like the viewshed evaluation share `edges`/`order` with the
 /// batched point classification instead of recomputing them). The prep
 /// work the caller already paid is *not* included in the result's cost
-/// or order timing; callers widen the bracket themselves if they need
-/// it.
+/// or order timing; callers widen the bracket themselves (with their own
+/// [`CostCollector`] and [`run_prepared_scoped`]) if they need it.
 pub fn run_prepared(tin: &Tin, cfg: &HsrConfig, edges: &[SceneEdge], order: &[u32]) -> HsrResult {
-    let before = CostReport::snapshot();
+    run_prepared_scoped(tin, cfg, edges, order, &CostCollector::new())
+}
+
+/// Like [`run_prepared`], but charges an existing `collector` (see
+/// [`run_scoped`]). Note the result's `cost` is the collector's full
+/// report, so it includes whatever the caller already charged to it.
+pub fn run_prepared_scoped(
+    tin: &Tin,
+    cfg: &HsrConfig,
+    edges: &[SceneEdge],
+    order: &[u32],
+    collector: &CostCollector,
+) -> HsrResult {
+    let _scope = collector.install();
     let t_start = Instant::now();
-    run_core(tin, cfg, edges, order, before, t_start)
+    run_core(tin, cfg, edges, order, collector, t_start)
 }
 
 fn run_core(
@@ -114,7 +145,7 @@ fn run_core(
     cfg: &HsrConfig,
     edges: &[SceneEdge],
     order: &[u32],
-    before: CostReport,
+    collector: &CostCollector,
     t_start: Instant,
 ) -> HsrResult {
     let ordered: Vec<SceneEdge> = order.iter().map(|&e| edges[e as usize]).collect();
@@ -141,7 +172,7 @@ fn run_core(
     };
 
     let t_end = Instant::now();
-    let cost = CostReport::snapshot().since(&before);
+    let cost = collector.report();
     let k = vis.output_size();
     HsrResult {
         n: tin.edges().len(),

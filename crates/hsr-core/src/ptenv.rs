@@ -206,7 +206,9 @@ fn rec(t: Tree, sigma: &[Piece]) -> (Tree, Vec<CrossEvent>, Vec<Piece>, MergeSta
             let xs = sigma[mid].x0;
             let (pe_l, pe_r) = PEnvelope { t }.split_clip(xs);
             let ((tl, mut cl, mut il, mut sl), (tr, cr, ir, sr)) = if n >= 64 {
-                rayon::join(|| rec(pe_l.t, &sigma[..mid]), || rec(pe_r.t, &sigma[mid..]))
+                // Collector-propagating join (merge work and treap copies
+                // on the stolen branch must charge this evaluation).
+                hsr_pram::join(|| rec(pe_l.t, &sigma[..mid]), || rec(pe_r.t, &sigma[mid..]))
             } else {
                 (rec(pe_l.t, &sigma[..mid]), rec(pe_r.t, &sigma[mid..]))
             };

@@ -30,7 +30,7 @@ use crate::pipeline::{self, Algorithm, HsrConfig, HsrResult, Phase2Mode, Timings
 use crate::viewshed::{classify_points, Verdict};
 use crate::visibility::VisibilityMap;
 use hsr_geometry::Point3;
-use hsr_pram::cost::CostReport;
+use hsr_pram::cost::{CostCollector, CostReport};
 use hsr_terrain::Tin;
 
 /// Where the viewer stands.
@@ -147,9 +147,10 @@ pub struct Report {
     /// Output size `k` (pieces + crossings + vertical points), measured
     /// after any field-of-view clipping.
     pub k: usize,
-    /// Cost-model counters bracketing this evaluation. The counters are
-    /// process-global, so under concurrent batch evaluation a report may
-    /// also include work of views that overlapped it in time.
+    /// Cost-model counters of exactly this evaluation. Each `evaluate`
+    /// owns a scoped [`CostCollector`], so the counters are correct under
+    /// concurrent batch evaluation: a view's report never includes work of
+    /// views that overlapped it in time.
     pub cost: CostReport,
     /// Stage timings.
     pub timings: Timings,
@@ -181,20 +182,11 @@ impl Report {
     }
 }
 
-/// The conditioning margin of the perspective pre-transform: the eye must
-/// clear the terrain's maximum depth by a sliver relative to the depth
-/// span (mirrors [`crate::perspective::perspective_tin`]).
+/// The conditioning margin of the perspective pre-transform, shared with
+/// [`crate::perspective::perspective_tin`] through
+/// [`crate::perspective::check_eye_margin`] so the rule exists once.
 fn check_eye_depth(depths: impl Iterator<Item = f64>, eye_depth: f64) -> Result<(), HsrError> {
-    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
-    for x in depths {
-        min_x = min_x.min(x);
-        max_x = max_x.max(x);
-    }
-    let span = (max_x - min_x).max(1e-9);
-    if eye_depth <= max_x + 1e-9 * span {
-        return Err(HsrError::ViewpointInsideScene { eye_depth, max_depth: max_x });
-    }
-    Ok(())
+    Ok(crate::perspective::check_eye_margin(depths, eye_depth)?)
 }
 
 /// Evaluates one view against a terrain.
@@ -202,16 +194,42 @@ fn check_eye_depth(depths: impl Iterator<Item = f64>, eye_depth: f64) -> Result<
 /// The terrain's combinatorial structure (edges, adjacency) is reused for
 /// every projection through [`Tin::remap_vertices`]; no full TIN
 /// rebuild/validation happens per view.
+///
+/// Each evaluation owns a scoped [`CostCollector`] covering everything it
+/// does (projection remap, ordering, pipeline, viewshed classification),
+/// so [`Report::cost`] is exact per view — including inside a concurrent
+/// [`evaluate_batch`] — and a caller's own collector, if installed, still
+/// observes the evaluation through collector nesting.
 pub fn evaluate(tin: &Tin, view: &View) -> Result<Report, HsrError> {
+    let collector = CostCollector::new();
+    let guard = collector.install();
+    let result = evaluate_under_collector(tin, view, &collector);
+    drop(guard);
+    result.map(|mut report| {
+        report.cost = collector.report();
+        report
+    })
+}
+
+/// The body of [`evaluate`]; runs with the evaluation's collector
+/// installed, so every instrumented path below charges the right scope.
+/// The collector is also handed to the pipeline's `*_scoped` entry
+/// points, so the hot loops update one collector chain rather than a
+/// nested pair whose inner report would be thrown away.
+fn evaluate_under_collector(
+    tin: &Tin,
+    view: &View,
+    collector: &CostCollector,
+) -> Result<Report, HsrError> {
     match &view.projection {
         Projection::Orthographic { azimuth } => {
             if !azimuth.is_finite() {
                 return Err(HsrError::InvalidView("azimuth must be finite".into()));
             }
             let report = if *azimuth == 0.0 {
-                pipeline::run(tin, &view.config)?
+                pipeline::run_scoped(tin, &view.config, collector)?
             } else {
-                pipeline::run(&tin.rotated_about_z(*azimuth)?, &view.config)?
+                pipeline::run_scoped(&tin.rotated_about_z(*azimuth)?, &view.config, collector)?
             };
             Ok(Report::from_result(report))
         }
@@ -245,7 +263,8 @@ pub fn evaluate(tin: &Tin, view: &View) -> Result<Report, HsrError> {
             } else {
                 tin.remap_vertices(|p| vp.project(rot(p)))?
             };
-            let mut report = Report::from_result(pipeline::run(&ptin, &view.config)?);
+            let mut report =
+                Report::from_result(pipeline::run_scoped(&ptin, &view.config, collector)?);
             if *fov < std::f64::consts::PI {
                 let half = (0.5 * fov).tan();
                 report.vis.clip_abscissa(-half, half);
@@ -277,9 +296,9 @@ pub fn evaluate(tin: &Tin, view: &View) -> Result<Report, HsrError> {
                 }
             }
             // One projection + ordering pass shared by the point
-            // classification and the pipeline run; the cost and order
-            // timing are re-bracketed below so the report covers both.
-            let before = CostReport::snapshot();
+            // classification and the pipeline run. The evaluation's
+            // collector already counts this prep (cost needs no
+            // re-bracketing); only the order timing is widened below.
             let t_start = std::time::Instant::now();
             let vp = Viewpoint { vx: observer.x, vy: observer.y, vz: observer.z };
             let ptin = tin.remap_vertices(|p| vp.project(p))?;
@@ -296,8 +315,8 @@ pub fn evaluate(tin: &Tin, view: &View) -> Result<Report, HsrError> {
             };
             let verdicts = classify_points(&ptin, &edges, &order, &queries);
             let prep_s = t_start.elapsed().as_secs_f64();
-            let mut result = pipeline::run_prepared(&ptin, &view.config, &edges, &order);
-            result.cost = CostReport::snapshot().since(&before);
+            let mut result =
+                pipeline::run_prepared_scoped(&ptin, &view.config, &edges, &order, collector);
             result.timings.order_s += prep_s;
             result.timings.total_s += prep_s;
             let mut report = Report::from_result(result);
@@ -309,10 +328,14 @@ pub fn evaluate(tin: &Tin, view: &View) -> Result<Report, HsrError> {
 
 /// Evaluates a batch of views against one shared terrain, in parallel.
 ///
-/// Views are split recursively over rayon `join`, so a batch of `m` views
-/// uses the available thread budget while every view reads the same
-/// terrain structure — the adjacency is built once (when the [`Tin`] was
-/// constructed), not once per view. Results come back in input order.
+/// Views are split recursively over the collector-propagating
+/// [`hsr_pram::join`], so a batch of `m` views uses the available thread
+/// budget while every view reads the same terrain structure — the
+/// adjacency is built once (when the [`Tin`] was constructed), not once
+/// per view. Results come back in input order. Every view owns its own
+/// cost collector (see [`evaluate`]), so the per-view [`Report::cost`]
+/// counters match what a solo evaluation of the same view would report,
+/// and any collector installed by the caller observes the whole batch.
 pub fn evaluate_batch(tin: &Tin, views: &[View]) -> Vec<Result<Report, HsrError>> {
     fn rec(tin: &Tin, views: &[View], out: &mut [Option<Result<Report, HsrError>>]) {
         match views.len() {
@@ -322,7 +345,7 @@ pub fn evaluate_batch(tin: &Tin, views: &[View]) -> Vec<Result<Report, HsrError>
                 let mid = n / 2;
                 let (va, vb) = views.split_at(mid);
                 let (oa, ob) = out.split_at_mut(mid);
-                rayon::join(|| rec(tin, va, oa), || rec(tin, vb, ob));
+                hsr_pram::join(|| rec(tin, va, oa), || rec(tin, vb, ob));
             }
         }
     }

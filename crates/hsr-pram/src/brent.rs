@@ -28,10 +28,30 @@ impl BrentModel {
     ///
     /// Solves the 2×2 system `t1 = cw·W + cd·D`, `t_hi = cw·W/p_hi + cd·D`;
     /// clamps `cd` at zero when the system is degenerate (perfect scaling).
+    ///
+    /// Measurement noise is tolerated: non-finite or non-positive timings
+    /// and inverted pairs (`t1 <= t_hi`, i.e. the "parallel" run measured
+    /// slower) clamp to a degenerate but well-defined model whose
+    /// predictions are finite and positive — never NaN.
     pub fn calibrate(work: u64, depth: u64, t1: f64, p_hi: usize, t_hi: f64) -> Self {
         let w = work.max(1) as f64;
         let d = depth.max(1) as f64;
         let p = p_hi.max(2) as f64;
+        // Sanitize the measurements. A t1 at or below zero (timer
+        // resolution) becomes a tiny positive time; a t_hi that is
+        // non-finite or exceeds t1 (noise) is treated as "no scaling
+        // observed", which zeroes cw and puts all the time on the
+        // critical path.
+        let t1 = if t1.is_finite() && t1 > 0.0 {
+            t1
+        } else {
+            1e-12
+        };
+        let t_hi = if t_hi.is_finite() && (0.0..=t1).contains(&t_hi) {
+            t_hi
+        } else {
+            t1
+        };
         // t1 - t_hi = cw * W * (1 - 1/p)
         let cw = ((t1 - t_hi) / (w * (1.0 - 1.0 / p))).max(0.0);
         let cd = ((t1 - cw * w) / d).max(0.0);
@@ -44,19 +64,29 @@ impl BrentModel {
         self.cw * self.work as f64 / p + self.cd * self.depth as f64
     }
 
-    /// Predicted speedup over one processor.
+    /// Predicted speedup over one processor; `1.0` when the model is so
+    /// degenerate that the predicted time vanishes (instead of `0/0`).
     pub fn predicted_speedup(&self, p: usize) -> f64 {
-        self.predict(1) / self.predict(p)
+        let t_p = self.predict(p);
+        if t_p > 0.0 {
+            self.predict(1) / t_p
+        } else {
+            1.0
+        }
     }
 
     /// The asymptotic speedup ceiling `T_1 / (cd·D)` implied by the critical
-    /// path (infinite for `cd = 0`).
+    /// path (infinite for `cd = 0`; `1.0` for a fully degenerate model).
     pub fn speedup_ceiling(&self) -> f64 {
+        let t1 = self.predict(1);
+        if t1 <= 0.0 {
+            return 1.0;
+        }
         let serial = self.cd * self.depth as f64;
         if serial <= 0.0 {
             f64::INFINITY
         } else {
-            self.predict(1) / serial
+            t1 / serial
         }
     }
 }
@@ -90,5 +120,50 @@ mod tests {
         // t1 == p * t_hi => cd clamps to ~0, ceiling infinite.
         let m = BrentModel::calibrate(1_000, 10, 1.0, 4, 0.25);
         assert!(m.speedup_ceiling() > 1e6);
+    }
+
+    #[test]
+    fn inverted_measurements_clamp_instead_of_nan() {
+        // Noise made the "parallel" run slower than the serial one; the
+        // model must degrade to "no scaling", not to negative cw / NaN.
+        let m = BrentModel::calibrate(1_000_000, 100, 0.5, 8, 0.9);
+        assert_eq!(m.cw, 0.0);
+        assert!(m.cd > 0.0);
+        for p in [1, 2, 8, 1024] {
+            assert!(m.predict(p).is_finite() && m.predict(p) > 0.0);
+            assert!((m.predicted_speedup(p) - 1.0).abs() < 1e-12);
+        }
+        assert!((m.speedup_ceiling() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn garbage_timings_clamp_instead_of_nan() {
+        for (t1, t_hi) in [
+            (0.0, 0.0),
+            (f64::NAN, 0.1),
+            (0.1, f64::NAN),
+            (f64::INFINITY, 0.1),
+            (0.1, -3.0),
+            (-1.0, -2.0),
+        ] {
+            let m = BrentModel::calibrate(1_000, 10, t1, 4, t_hi);
+            assert!(m.cw.is_finite() && m.cw >= 0.0, "cw from ({t1}, {t_hi})");
+            assert!(m.cd.is_finite() && m.cd >= 0.0, "cd from ({t1}, {t_hi})");
+            for p in [1, 7, 64] {
+                assert!(m.predict(p).is_finite(), "predict from ({t1}, {t_hi})");
+                let s = m.predicted_speedup(p);
+                assert!(s.is_finite() && s >= 1.0 - 1e-12, "speedup {s} from ({t1}, {t_hi})");
+            }
+            assert!(!m.speedup_ceiling().is_nan());
+        }
+    }
+
+    #[test]
+    fn zero_work_model_has_finite_speedups() {
+        let m = BrentModel::calibrate(0, 0, 1.0, 8, 0.2);
+        for p in [1, 2, 16] {
+            assert!(!m.predicted_speedup(p).is_nan());
+        }
+        assert!(!m.speedup_ceiling().is_nan());
     }
 }

@@ -6,9 +6,12 @@
 //! time. Real hardware is a fixed small set of cores behind a work-stealing
 //! scheduler, so this crate reproduces the *model*:
 //!
-//! * [`cost`] — global work counters (per category) and structural depth
-//!   meters that algorithms update as they run. Work corresponds to the
-//!   PRAM "total number of tasks"; depth to the number of dependent phases.
+//! * [`cost`] — scoped work counters (per category) and structural depth
+//!   meters that algorithms update as they run, collected per measurement
+//!   through [`cost::CostCollector`]. Work corresponds to the PRAM "total
+//!   number of tasks"; depth to the number of dependent phases. The
+//!   [`join`]/[`scope`] wrappers carry the active collector across rayon
+//!   task boundaries so concurrent measurements stay isolated.
 //! * [`brent`] — given `(W, D)` measured by [`cost`], predicts `T_p ≈
 //!   c·(W/p + D)` and compares against measured wall-clock scaling.
 //! * [`scan`] / [`merge`] / [`sort`] — the "basic parallel routines" of the
@@ -24,11 +27,13 @@ pub mod brent;
 pub mod compact;
 pub mod cost;
 pub mod merge;
+pub mod par;
 pub mod pool;
 pub mod ranking;
 pub mod scan;
 pub mod sort;
 
 pub use brent::BrentModel;
-pub use cost::{Category, CostReport, DepthScope};
+pub use cost::{Category, CostCollector, CostReport, DepthScope};
+pub use par::{join, scope, Scope};
 pub use pool::with_threads;

@@ -5,6 +5,13 @@
 //! `(i, j)` with `i + j = (n + m) / 2` such that the first half of the
 //! stable merge is exactly `a[..i] ++ b[..j]` (double binary search), then
 //! recurse on the two halves in parallel. Equal keys keep `a` items first.
+//!
+//! Items are compared *by reference* throughout — no keys are cloned, and
+//! [`par_merge`] in particular never clones an element just to compare it.
+//! Each sequential leaf merges straight into its own output vector; the
+//! leaves are then stitched together with `Vec::append` (a pointer-sized
+//! memmove per leaf), so there is no `Option<T>` scaffolding and no second
+//! unwrapping pass over the data.
 
 use crate::cost::{add_work, Category, DepthScope};
 
@@ -19,65 +26,60 @@ where
     K: Ord,
     F: Fn(&T) -> K + Send + Sync + Copy,
 {
-    let _depth = DepthScope::logarithmic(Category::Primitive, a.len() + b.len());
-    add_work(Category::Primitive, (a.len() + b.len()) as u64);
-    let mut out = vec_with_len(a.len() + b.len());
-    merge_into(a, b, &mut out, key);
-    out.into_iter().map(|o| o.expect("filled")).collect()
+    merge_with(a, b, move |x, y| key(x) <= key(y))
 }
 
 /// Merges two sorted slices of `Ord` items (stable, `a` first on ties).
+/// Comparisons borrow the items; nothing is cloned until it is emitted.
 pub fn par_merge<T: Clone + Send + Sync + Ord>(a: &[T], b: &[T]) -> Vec<T> {
-    par_merge_by(a, b, |x| x.clone())
+    merge_with(a, b, |x, y| x <= y)
 }
 
-fn vec_with_len<T>(n: usize) -> Vec<Option<T>> {
-    let mut v = Vec::with_capacity(n);
-    v.resize_with(n, || None);
-    v
-}
-
-fn merge_into<T, K, F>(a: &[T], b: &[T], out: &mut [Option<T>], key: F)
+/// Shared driver: `le(x, y)` answers "may `x` (from `a`) precede `y`
+/// (from `b`)?", i.e. `x <= y` under the intended order.
+fn merge_with<T, LE>(a: &[T], b: &[T], le: LE) -> Vec<T>
 where
     T: Clone + Send + Sync,
-    K: Ord,
-    F: Fn(&T) -> K + Send + Sync + Copy,
+    LE: Fn(&T, &T) -> bool + Send + Sync + Copy,
 {
-    debug_assert_eq!(out.len(), a.len() + b.len());
+    let total = a.len() + b.len();
+    let _depth = DepthScope::logarithmic(Category::Primitive, total);
+    add_work(Category::Primitive, total as u64);
+    let mut parts = merge_rec(a, b, le);
+    if parts.len() == 1 {
+        return parts.pop().expect("one part");
+    }
+    let mut out = Vec::with_capacity(total);
+    for mut part in parts {
+        out.append(&mut part);
+    }
+    out
+}
+
+/// Recursive merge-path splitter; returns the merged runs in output order.
+fn merge_rec<T, LE>(a: &[T], b: &[T], le: LE) -> Vec<Vec<T>>
+where
+    T: Clone + Send + Sync,
+    LE: Fn(&T, &T) -> bool + Send + Sync + Copy,
+{
     let total = a.len() + b.len();
     if total <= SEQ_CUTOFF {
-        let (mut i, mut j) = (0, 0);
-        for slot in out.iter_mut() {
-            let take_a = match (a.get(i), b.get(j)) {
-                (Some(x), Some(y)) => key(x) <= key(y),
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => unreachable!("output longer than inputs"),
-            };
-            if take_a {
-                *slot = Some(a[i].clone());
-                i += 1;
-            } else {
-                *slot = Some(b[j].clone());
-                j += 1;
-            }
-        }
-        return;
+        return vec![seq_merge(a, b, le)];
     }
 
     // Merge-path split: find (i, j), i + j = k, with the first k items of
     // the stable merge equal to a[..i] ++ b[..j]:
-    //   (1) i == 0 || j == b.len() || key(a[i-1]) <= key(b[j])
-    //   (2) j == 0 || i == a.len() || key(b[j-1]) <  key(a[i])
+    //   (1) i == 0 || j == b.len() || a[i-1] <= b[j]
+    //   (2) j == 0 || i == a.len() || b[j-1] <  a[i]
     let k = total / 2;
     let mut lo = k.saturating_sub(b.len());
     let mut hi = k.min(a.len());
     let i = loop {
         let i = lo + (hi - lo) / 2;
         let j = k - i;
-        if i < a.len() && j > 0 && key(&b[j - 1]) >= key(&a[i]) {
+        if i < a.len() && j > 0 && le(&a[i], &b[j - 1]) {
             lo = i + 1; // (2) violated: need more items from a
-        } else if i > 0 && j < b.len() && key(&a[i - 1]) > key(&b[j]) {
+        } else if i > 0 && j < b.len() && !le(&a[i - 1], &b[j]) {
             hi = i - 1; // (1) violated: need fewer items from a
         } else {
             break i;
@@ -87,8 +89,31 @@ where
 
     let (a_lo, a_hi) = a.split_at(i);
     let (b_lo, b_hi) = b.split_at(j);
-    let (out_lo, out_hi) = out.split_at_mut(k);
-    rayon::join(|| merge_into(a_lo, b_lo, out_lo, key), || merge_into(a_hi, b_hi, out_hi, key));
+    let (mut left, right) = crate::join(|| merge_rec(a_lo, b_lo, le), || merge_rec(a_hi, b_hi, le));
+    left.extend(right);
+    left
+}
+
+/// Two-finger sequential merge of a leaf range.
+fn seq_merge<T, LE>(a: &[T], b: &[T], le: LE) -> Vec<T>
+where
+    T: Clone,
+    LE: Fn(&T, &T) -> bool,
+{
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if le(&a[i], &b[j]) {
+            out.push(a[i].clone());
+            i += 1;
+        } else {
+            out.push(b[j].clone());
+            j += 1;
+        }
+    }
+    out.extend(a[i..].iter().cloned());
+    out.extend(b[j..].iter().cloned());
+    out
 }
 
 #[cfg(test)]
@@ -144,5 +169,44 @@ mod tests {
         let m = par_merge(&a, &b);
         assert_eq!(m.len(), 20_000);
         assert!(m.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Cloning this type anywhere but at emission is a test failure.
+    #[derive(PartialEq, Eq, PartialOrd, Ord, Debug)]
+    struct CountedClone(u64);
+
+    static CLONES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+    impl Clone for CountedClone {
+        fn clone(&self) -> Self {
+            CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            CountedClone(self.0)
+        }
+    }
+
+    #[test]
+    fn par_merge_clones_each_element_exactly_once() {
+        // 20_000 elements force the parallel path; comparisons must not
+        // clone (the old implementation cloned whole elements as keys —
+        // O(n log n) clones from the binary searches alone).
+        let a: Vec<CountedClone> = (0..10_000).map(|i| CountedClone(i * 2)).collect();
+        let b: Vec<CountedClone> = (0..10_000).map(|i| CountedClone(i * 2 + 1)).collect();
+        CLONES.store(0, std::sync::atomic::Ordering::Relaxed);
+        let m = par_merge(&a, &b);
+        assert_eq!(m.len(), 20_000);
+        assert!(m.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(
+            CLONES.load(std::sync::atomic::Ordering::Relaxed),
+            20_000,
+            "exactly one clone per emitted element"
+        );
+    }
+
+    #[test]
+    fn merge_work_is_counted_once() {
+        let (_, report) = crate::cost::CostCollector::measure(|| {
+            par_merge(&[1u32, 3, 5], &[2, 4, 6]);
+        });
+        assert_eq!(report.work_of(Category::Primitive), 6);
     }
 }

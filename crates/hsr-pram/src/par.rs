@@ -1,0 +1,138 @@
+//! Collector-propagating fork primitives.
+//!
+//! The cost counters of [`crate::cost`] live in a thread-local slot, and
+//! rayon subtasks may run on other worker threads, so a bare `rayon::join`
+//! inside a measured region would silently drop every charge made by the
+//! stolen half. These wrappers capture the spawning thread's active
+//! [`CostCollector`](crate::cost::CostCollector) handle and re-install it
+//! around each closure, whatever thread it lands on. All fork sites inside
+//! the workspace use them; external code embedding the primitives in its
+//! own `rayon::join` calls should too, or accept that work done on other
+//! threads goes uncounted.
+//!
+//! When no collector is installed the wrappers degenerate to plain
+//! `rayon::join` / `rayon::scope` plus one thread-local read.
+
+use crate::cost;
+
+/// Like `rayon::join`, but both closures charge the spawning thread's
+/// active cost collector regardless of which worker thread runs them.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let active_a = cost::current();
+    let active_b = active_a.clone();
+    rayon::join(
+        move || cost::with_active(active_a, oper_a),
+        move || cost::with_active(active_b, oper_b),
+    )
+}
+
+/// Like `rayon::scope`, but closures spawned through the scope charge the
+/// spawning thread's active cost collector.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'_, 'scope>) -> R,
+{
+    let active = cost::current();
+    rayon::scope(|inner| f(&Scope { inner, active }))
+}
+
+/// Collector-carrying counterpart of `rayon::Scope`, handed to the closure
+/// of [`scope`].
+pub struct Scope<'r, 'scope> {
+    inner: &'r rayon::Scope<'scope>,
+    active: Option<cost::CostCollector>,
+}
+
+impl<'r, 'scope> Scope<'r, 'scope> {
+    /// Spawns `f` into the scope; it runs with the scope's collector
+    /// installed on whichever thread picks it up.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'_, 'scope>) + Send + 'scope,
+    {
+        let active = self.active.clone();
+        self.inner.spawn(move |inner| {
+            let rescope = Scope { inner, active: active.clone() };
+            cost::with_active(active, || f(&rescope));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{add_work, Category, CostCollector};
+
+    #[test]
+    fn join_charges_the_spawning_collector_on_both_branches() {
+        let c = CostCollector::new();
+        let g = c.install();
+        // Force real fork fan-out: a recursive split deep enough that, on
+        // a multi-core host, some branches run on helper threads.
+        fn rec(depth: usize) {
+            if depth == 0 {
+                add_work(Category::Primitive, 1);
+                return;
+            }
+            join(|| rec(depth - 1), || rec(depth - 1));
+        }
+        rec(7); // 128 leaves
+        drop(g);
+        assert_eq!(c.report().work_of(Category::Primitive), 128);
+    }
+
+    #[test]
+    fn join_without_collector_is_plain() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn concurrent_collectors_do_not_bleed() {
+        // Two measured regions running on two OS threads at once must end
+        // with exactly their own counts, even though both fork internally.
+        let counts: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    s.spawn(move || {
+                        let (_, report) = CostCollector::measure(|| {
+                            fn rec(depth: usize, amount: u64) {
+                                if depth == 0 {
+                                    add_work(Category::Other, amount);
+                                    return;
+                                }
+                                join(|| rec(depth - 1, amount), || rec(depth - 1, amount));
+                            }
+                            rec(6, i + 1); // 64 leaves of (i + 1) units
+                        });
+                        report.work_of(Category::Other)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(counts, vec![64, 128]);
+    }
+
+    #[test]
+    fn scope_spawns_charge_the_collector() {
+        let c = CostCollector::new();
+        let g = c.install();
+        scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|inner| {
+                    add_work(Category::Query, 1);
+                    inner.spawn(|_| add_work(Category::Query, 2));
+                });
+            }
+        });
+        drop(g);
+        assert_eq!(c.report().work_of(Category::Query), 30);
+    }
+}

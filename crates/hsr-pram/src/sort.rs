@@ -34,7 +34,9 @@ where
         return items;
     }
     let right = items.split_off(items.len() / 2);
-    let (l, r) = rayon::join(|| sort_rec(items, key), || sort_rec(right, key));
+    // `crate::join` (not `rayon::join`): the cost collector must follow
+    // the stolen half onto whatever thread runs it.
+    let (l, r) = crate::join(|| sort_rec(items, key), || sort_rec(right, key));
     par_merge_by(&l, &r, key)
 }
 

@@ -8,7 +8,9 @@
 //! * [`ptreap::PTreap`] — a persistent treap with deterministic priorities
 //!   (canonical shape for a given key set), O(log n) expected
 //!   insert/remove/split/join by path copying, and user-defined **subtree
-//!   aggregates** used by the pruned envelope merge in `hsr-core`.
+//!   aggregates** used by the pruned envelope merge in `hsr-core`. Every
+//!   path-copied node charges `Category::TreapOps` in the `hsr-pram` cost
+//!   model (a no-op unless the caller installed a `CostCollector`).
 //! * [`stats`] — version-sharing statistics: how many distinct nodes back a
 //!   set of versions vs. the sum of their logical sizes (the quantity
 //!   Figure 3 of the paper illustrates).

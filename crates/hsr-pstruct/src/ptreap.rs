@@ -12,6 +12,7 @@
 //! entire shared subtrees in `O(1)` (e.g. "every piece in this subtree lies
 //! above the new segment").
 
+use hsr_pram::cost::{add_work, Category};
 use std::cmp::Ordering;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -477,6 +478,9 @@ where
         left.as_ref().map(|n| &n.agg),
         right.as_ref().map(|n| &n.agg),
     );
+    // Every allocation here is a path-copied node — the persistence cost
+    // the paper charges to `TreapOps`. No-op unless a collector is active.
+    add_work(Category::TreapOps, 1);
     Arc::new(Node { key, value, prio, size, agg, left, right })
 }
 
@@ -544,6 +548,20 @@ mod tests {
     use super::*;
 
     type T = PTreap<u64, u64, CountAgg>;
+
+    #[test]
+    fn node_copies_charge_treap_ops() {
+        let (_, report) = hsr_pram::cost::CostCollector::measure(|| {
+            let t: T = T::from_sorted((0..100).map(|i| (i, i)).collect());
+            let _t2 = t.insert(1_000, 1); // path copy: O(log n) more nodes
+        });
+        let copies = report.work_of(Category::TreapOps);
+        assert!(copies >= 101, "expected >= 101 node copies, counted {copies}");
+        // Outside any collector, the same operations count nothing (the
+        // uninstrumented fast path) — and must not panic.
+        let t: T = T::from_sorted((0..10).map(|i| (i, i)).collect());
+        let _ = t.insert(99, 0);
+    }
 
     #[test]
     fn insert_get_remove() {

@@ -7,7 +7,6 @@
 //! ```
 
 use std::time::Instant;
-use terrain_hsr::pram::cost::{self, CostReport};
 use terrain_hsr::pram::{with_threads, BrentModel};
 use terrain_hsr::terrain::gen;
 use terrain_hsr::{SceneBuilder, View};
@@ -20,11 +19,10 @@ fn main() {
     let session = scene.session();
     let (_, n_edges, _) = scene.counts();
 
-    // Measure work and depth once (counters are global; single run).
-    cost::reset();
+    // Measure work and depth once; the evaluation's report carries its
+    // own scoped counters (nothing global, nothing to reset).
     let report = session.eval(&View::orthographic(0.0)).expect("acyclic");
-    let c = CostReport::snapshot();
-    let (work, depth) = (c.total_work(), c.total_depth());
+    let (work, depth) = (report.cost.total_work(), report.cost.total_depth());
     println!(
         "n = {n_edges}, k = {}: measured work = {work} tasks, structural depth = {depth}",
         report.k

@@ -35,7 +35,19 @@ thread_local! {
 }
 
 fn hardware_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    // Like real rayon's global pool, honor RAYON_NUM_THREADS (read once):
+    // CI uses it to run the suite genuinely single-threaded.
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
 }
 
 /// Number of threads the current scope would use — the installed pool's

@@ -76,6 +76,6 @@ pub mod render;
 pub mod scene;
 
 pub use scene::{
-    Algorithm, HsrError, Phase2Mode, Projection, Report, Scene, SceneBuilder, SceneReport, Session,
-    Timings, Verdict, View,
+    Algorithm, CostCollector, CostReport, HsrError, Phase2Mode, Projection, Report, Scene,
+    SceneBuilder, SceneReport, Session, Timings, Verdict, View,
 };

@@ -33,6 +33,7 @@ pub use hsr_core::error::HsrError;
 pub use hsr_core::pipeline::{Algorithm, Phase2Mode, Timings};
 pub use hsr_core::view::{Projection, Report, View};
 pub use hsr_core::viewshed::Verdict;
+pub use hsr_pram::cost::{CostCollector, CostReport};
 
 /// Names a terrain source and validates it into a [`Scene`].
 pub struct SceneBuilder {
@@ -147,6 +148,25 @@ impl Scene {
 /// all of them share the terrain state behind an [`Arc`]. A batch call
 /// fans the views out over rayon, one pipeline run per view, with no
 /// per-view TIN rebuild.
+///
+/// Every evaluation owns a scoped [`CostCollector`], so each returned
+/// [`Report`]'s `cost` counters are exact for that view even when the
+/// batch runs views concurrently. To bracket a wider region (several
+/// evaluations, scene builds, your own code), install a collector of your
+/// own — evaluations nest under it and it observes their charges too:
+///
+/// ```
+/// use terrain_hsr::{CostCollector, SceneBuilder, View};
+/// use terrain_hsr::terrain::gen;
+///
+/// let bracket = CostCollector::new();
+/// let guard = bracket.install();
+/// let scene = SceneBuilder::from_grid(&gen::fbm(10, 10, 3, 6.0, 1)).build().unwrap();
+/// let report = scene.session().eval(&View::orthographic(0.0)).unwrap();
+/// drop(guard);
+/// // The bracket saw the TIN build *and* everything the view did.
+/// assert!(bracket.report().total_work() > report.cost.total_work());
+/// ```
 #[derive(Clone, Debug)]
 pub struct Session {
     tin: Arc<Tin>,

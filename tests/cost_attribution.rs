@@ -1,0 +1,133 @@
+//! Concurrent cost attribution: per-view `CostReport`s must be exact.
+//!
+//! The regression this file pins down: with the old process-global
+//! counter arrays, `evaluate` bracketed `snapshot()`/`since()` around its
+//! body, so two views evaluating concurrently inside `evaluate_batch`
+//! charged each other's work to themselves — reports depended on
+//! scheduling. With scoped collectors, the work counters of a view
+//! evaluated in a parallel batch are bit-identical to the counters of the
+//! same view evaluated solo. (The batch assertions here fail on the
+//! pre-collector code whenever two evaluations actually overlap.)
+
+use terrain_hsr::geometry::Point3;
+use terrain_hsr::pram::cost::{Category, CostCollector};
+use terrain_hsr::terrain::gen;
+use terrain_hsr::{Algorithm, Report, Scene, SceneBuilder, View};
+
+/// A batch of views with wildly different work profiles: cheap and
+/// expensive orthographic rotations, the sequential baseline, the `O(n²)`
+/// naive strawman, a perspective view, and a viewshed.
+fn mixed_views(scene: &Scene) -> Vec<View> {
+    let (lo, hi) = scene.tin().ground_bounds();
+    let mid_y = 0.5 * (lo.y + hi.y);
+    let eye = Point3::new(hi.x + 40.0, mid_y, 18.0);
+    let look = Point3::new(eye.x - 1.0, eye.y, 0.0);
+    let observer = Point3::new(hi.x + 60.0, mid_y, 10.0);
+    vec![
+        View::orthographic(0.0),
+        View::orthographic(0.9),
+        View::orthographic(0.0).algorithm(Algorithm::Sequential),
+        View::orthographic(0.0).algorithm(Algorithm::Naive),
+        View::perspective(eye, look, std::f64::consts::PI, 128),
+        View::viewshed(observer, vec![Point3::new(0.5 * (lo.x + hi.x), mid_y, 50.0)]),
+        View::orthographic(0.3).stats(true),
+    ]
+}
+
+fn scene() -> Scene {
+    SceneBuilder::from_grid(&gen::ridge_field(14, 12, 4, 9.0, 31))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn batch_reports_match_solo_reports_counter_for_counter() {
+    let scene = scene();
+    let views = mixed_views(&scene);
+    let session = scene.session();
+
+    let solo: Vec<Report> = views.iter().map(|v| session.eval(v).unwrap()).collect();
+    let batch = session.eval_batch(&views);
+
+    for (i, (s, b)) in solo.iter().zip(&batch).enumerate() {
+        let b = b.as_ref().unwrap();
+        assert_eq!(
+            b.cost.work, s.cost.work,
+            "view {i}: batch work counters diverged from solo evaluation"
+        );
+        assert_eq!(
+            b.cost.depth, s.cost.depth,
+            "view {i}: batch depth counters diverged from solo evaluation"
+        );
+    }
+
+    // Sanity on the workload spread: the naive view's counters dwarf the
+    // cheap orthographic one's, so cross-attribution between concurrent
+    // views could not have cancelled out invisibly.
+    assert!(
+        solo[3].cost.total_work() > 10 * solo[0].cost.total_work(),
+        "naive work {} should dwarf parallel work {}",
+        solo[3].cost.total_work(),
+        solo[0].cost.total_work()
+    );
+}
+
+#[test]
+fn ambient_collector_sees_exactly_the_sum_of_the_batch() {
+    let scene = scene();
+    let views = mixed_views(&scene);
+    let session = scene.session();
+
+    let bracket = CostCollector::new();
+    let guard = bracket.install();
+    let batch = session.eval_batch(&views);
+    drop(guard);
+
+    let mut sum = 0u64;
+    for r in &batch {
+        sum += r.as_ref().unwrap().cost.total_work();
+    }
+    assert_eq!(
+        bracket.report().total_work(),
+        sum,
+        "an outer bracket must observe every view's charges, nothing else"
+    );
+}
+
+#[test]
+fn concurrent_solo_evaluations_on_plain_threads_stay_isolated() {
+    let scene = scene();
+    let views = mixed_views(&scene);
+    let session = scene.session();
+    let expected: Vec<Vec<u64>> = views
+        .iter()
+        .map(|v| session.eval(v).unwrap().cost.work)
+        .collect();
+
+    // Evaluate every view simultaneously from plain OS threads (no shared
+    // rayon scope): each report must still match its solo counters.
+    let got: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = views
+            .iter()
+            .map(|v| {
+                let session = session.clone();
+                s.spawn(move || session.eval(v).unwrap().cost.work)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn uninstrumented_callers_still_get_per_view_counters() {
+    // No collector anywhere in the caller: Report::cost is still filled
+    // (each evaluation installs its own), and nothing leaks to a
+    // collector created afterwards.
+    let scene = scene();
+    let r = scene.session().eval(&View::orthographic(0.2)).unwrap();
+    assert!(r.cost.total_work() > 0);
+    assert!(r.cost.work_of(Category::Order) > 0);
+    let c = CostCollector::new();
+    assert_eq!(c.report().total_work(), 0);
+}

@@ -7,16 +7,10 @@
 //! validation + adjacency) exactly once, asserted through the cost
 //! model's `TinBuild` counter.
 
-use std::sync::Mutex;
-
 use terrain_hsr::geometry::Point3;
-use terrain_hsr::pram::cost::{Category, CostReport};
+use terrain_hsr::pram::cost::{Category, CostCollector};
 use terrain_hsr::terrain::gen;
 use terrain_hsr::{Report, SceneBuilder, Verdict, View};
-
-/// The cost counters are process-global; tests in this binary that
-/// bracket them serialize through this lock.
-static COUNTER_LOCK: Mutex<()> = Mutex::new(());
 
 type Fingerprint = (Vec<(u32, [u64; 4])>, Vec<(u32, u32, [u64; 2])>, Vec<u32>);
 
@@ -63,7 +57,6 @@ fn eight_views(grid: &terrain_hsr::terrain::GridTerrain) -> Vec<View> {
 
 #[test]
 fn batch_of_eight_matches_independent_scenes_and_builds_state_once() {
-    let _g = COUNTER_LOCK.lock().unwrap();
     let grid = gen::ridge_field(16, 14, 4, 10.0, 23);
     let views = eight_views(&grid);
     assert_eq!(views.len(), 8);
@@ -78,12 +71,15 @@ fn batch_of_eight_matches_independent_scenes_and_builds_state_once() {
         .collect();
 
     // One Scene, one batch — the shared state is built exactly once.
-    let before = CostReport::snapshot();
+    // The bracketing collector nests over the per-view collectors the
+    // batch installs, so it sees any TIN build wherever it happens —
+    // including inside a worker-thread evaluation.
+    let bracket = CostCollector::new();
+    let guard = bracket.install();
     let scene = SceneBuilder::from_grid(&grid).build().unwrap();
     let batch = scene.session().eval_batch(&views);
-    let builds = CostReport::snapshot()
-        .since(&before)
-        .work_of(Category::TinBuild);
+    drop(guard);
+    let builds = bracket.report().work_of(Category::TinBuild);
     assert_eq!(
         builds, 1,
         "a batch over one Session must build the shared terrain state exactly once"
@@ -98,38 +94,37 @@ fn batch_of_eight_matches_independent_scenes_and_builds_state_once() {
     }
 
     // The independent runs, by contrast, paid one build per view.
-    let before = CostReport::snapshot();
+    let bracket = CostCollector::new();
+    let guard = bracket.install();
     for v in &views {
         let scene = SceneBuilder::from_grid(&grid).build().unwrap();
         let _ = scene.session().eval(v).unwrap();
     }
-    let builds = CostReport::snapshot()
-        .since(&before)
-        .work_of(Category::TinBuild);
+    drop(guard);
+    let builds = bracket.report().work_of(Category::TinBuild);
     assert_eq!(builds, 8, "independent scenes rebuild the state per view");
 }
 
 #[test]
 fn rotated_views_need_no_rebuild() {
-    let _g = COUNTER_LOCK.lock().unwrap();
     let scene = SceneBuilder::from_grid(&gen::gaussian_hills(12, 12, 4, 5))
         .build()
         .unwrap();
     let session = scene.session();
-    let before = CostReport::snapshot();
+    let bracket = CostCollector::new();
+    let guard = bracket.install();
     for i in 0..4 {
         let r = session.eval(&View::orthographic(0.4 * i as f64)).unwrap();
         assert!(r.k > 0);
+        assert_eq!(r.cost.work_of(Category::TinBuild), 0, "view {i} rebuilt terrain state");
     }
-    let builds = CostReport::snapshot()
-        .since(&before)
-        .work_of(Category::TinBuild);
+    drop(guard);
+    let builds = bracket.report().work_of(Category::TinBuild);
     assert_eq!(builds, 0, "rotated projections must reuse the shared adjacency");
 }
 
 #[test]
 fn viewshed_through_session_matches_direct_classification() {
-    let _g = COUNTER_LOCK.lock().unwrap();
     let grid = gen::occlusion_knob(12, 12, 0.9, 10.0, 4);
     let scene = SceneBuilder::from_grid(&grid).build().unwrap();
     let tin = scene.tin();
@@ -151,7 +146,6 @@ fn viewshed_through_session_matches_direct_classification() {
 
 #[test]
 fn batch_propagates_per_view_errors_without_poisoning_the_rest() {
-    let _g = COUNTER_LOCK.lock().unwrap();
     let scene = SceneBuilder::from_grid(&gen::fbm(8, 8, 3, 6.0, 2))
         .build()
         .unwrap();
