@@ -1,0 +1,146 @@
+//! E-Tiled — out-of-core evaluation on a massive terrain.
+//!
+//! Builds a ≥ 1024×1024-cell diamond-square heightfield, materializes it
+//! as a tile pyramid, drops the grid, and evaluates a viewshed through
+//! `TiledScene` with a deliberately small cache cap — measuring pyramid
+//! build time, evaluation time, the cache's load/hit/eviction behaviour,
+//! and the peak resident tile count (which must stay at or under the
+//! cap; the run aborts loudly if it does not).
+//!
+//! ```sh
+//! cargo run --release -p hsr-bench --bin exp_tiled [-- --quick --json]
+//! ```
+//!
+//! `--json` writes the stitched per-run reports to `BENCH_tiled.json`
+//! (the artifact the CI tiled-smoke job uploads). `--quick` shrinks the
+//! terrain for local smoke runs; CI runs the full ≥ 1024×1024 size.
+
+use hsr_bench::harness::{maybe_write_reports, md_table, time};
+use hsr_core::view::{Report, View};
+use hsr_core::viewshed::Verdict;
+use hsr_geometry::Point3;
+use hsr_terrain::gen;
+use hsr_tile::{TileStore, TiledScene, TiledSceneConfig, TilingConfig};
+
+const CACHE_CAP: usize = 6;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // 2^10 + 1 = 1025 samples → a 1024×1024-cell terrain (the CI bar);
+    // quick mode drops to 257×257 cells for local smoke runs.
+    let size_pow2 = if quick { 8 } else { 10 };
+    let grid = gen::diamond_square(size_pow2, 0.55, 45.0, 97);
+    let cells = (grid.nx - 1) * (grid.ny - 1);
+    println!(
+        "## E-Tiled — out-of-core viewshed, {}×{} samples ({cells} cells)",
+        grid.nx, grid.ny
+    );
+
+    let dir = std::env::temp_dir().join(format!("exp-tiled-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let tiling = TilingConfig { tile_size: if quick { 64 } else { 128 }, levels: 3 };
+    let (scene, build_s) = time(|| {
+        TiledScene::build(
+            &grid,
+            tiling,
+            TileStore::create(&dir).expect("store dir"),
+            TiledSceneConfig { cache_capacity: CACHE_CAP, ..Default::default() },
+        )
+        .expect("pyramid build")
+    });
+    let meta = scene.meta().clone();
+    println!(
+        "pyramid: {}×{} tiles × {} levels in {build_s:.2}s",
+        meta.tiles_i, meta.tiles_j, meta.levels
+    );
+    let extent = ((grid.nx - 1) as f64, (grid.ny - 1) as f64);
+
+    // One observer just over the front edge; rings of waypoints hugging
+    // the surface (half skimming 2 units over it, half flying 25 over)
+    // give a mix of visible and hidden targets.
+    // A low tower: grazing sight lines, so surface-hugging waypoints can
+    // actually be occluded by intervening ridges.
+    let observer = Point3::new(extent.0 * 1.4, 0.5 * extent.1, 30.0);
+    let targets: Vec<Point3> = (0..64)
+        .map(|s| {
+            let a = s as f64 / 64.0 * std::f64::consts::TAU;
+            let r = if s % 2 == 0 { 0.37 } else { 0.22 } * extent.0;
+            let (x, y) = (0.5 * extent.0 + r * a.cos(), 0.5 * extent.1 + r * a.sin());
+            let clearance = if s % 2 == 0 { 25.0 } else { 2.0 };
+            Point3::new(x, y, grid.sample(x, y) + clearance)
+        })
+        .collect();
+    drop(grid);
+
+    // The orthographic sweep touches every tile; run it through the same
+    // store *reopened* at a coarse fixed level (grid long gone — this is
+    // the "second process" path) so the full-tile sweep stays a smoke
+    // test rather than a full-resolution render.
+    let coarse_scene = TiledScene::open(
+        TileStore::open(&dir).expect("reopen store"),
+        TiledSceneConfig {
+            cache_capacity: CACHE_CAP,
+            fixed_level: Some(tiling.levels - 1),
+            ..Default::default()
+        },
+    )
+    .expect("reopen scene");
+
+    let mut kept: Vec<(String, Report)> = Vec::new();
+    let mut rows = Vec::new();
+    for (label, scene, view) in [
+        ("viewshed".to_string(), &scene, View::viewshed(observer, targets.clone())),
+        ("ortho-sweep".to_string(), &coarse_scene, View::orthographic(0.4)),
+    ] {
+        let (out, eval_s) = time(|| scene.eval(&view).expect("tiled evaluation"));
+        assert!(
+            out.cache.peak_resident <= CACHE_CAP,
+            "peak resident {} exceeded the cap {CACHE_CAP}",
+            out.cache.peak_resident
+        );
+        let visible = out
+            .report
+            .verdicts
+            .iter()
+            .filter(|v| **v == Verdict::Visible)
+            .count();
+        rows.push(vec![
+            label.clone(),
+            format!("{}/{}", out.tiles.len(), out.tiles_total),
+            out.tiles
+                .iter()
+                .filter(|t| t.id.level > 0)
+                .count()
+                .to_string(),
+            out.report.n.to_string(),
+            out.report.k.to_string(),
+            if out.report.verdicts.is_empty() {
+                "—".into()
+            } else {
+                format!("{visible}/{}", out.report.verdicts.len())
+            },
+            format!("{eval_s:.2}"),
+            format!("{}l/{}h/{}e", out.cache.loads, out.cache.hits, out.cache.evictions),
+            format!("{}≤{CACHE_CAP}", out.cache.peak_resident),
+        ]);
+        // Keep the sizes, counters, timings and verdicts but drop the
+        // stitched piece/crossing lists: a full-resolution sweep's map
+        // runs to millions of pieces (>100 MB of JSON), far too heavy
+        // for a per-push CI artifact.
+        let mut slim = out.report.clone();
+        slim.vis = hsr_core::visibility::VisibilityMap {
+            n_edges: out.report.vis.n_edges,
+            ..Default::default()
+        };
+        slim.layers.clear();
+        kept.push((label, slim));
+    }
+    md_table(
+        &[
+            "view", "tiles", "coarse", "n", "k", "visible", "eval s", "cache", "peak",
+        ],
+        &rows,
+    );
+    maybe_write_reports("tiled", &kept);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -65,6 +65,19 @@ pub struct Timings {
     pub total_s: f64,
 }
 
+impl Timings {
+    /// Stage-wise sum of `other` into `self` — the timing ledger of a
+    /// result stitched from parts (per-tile runs of a tiled evaluation).
+    /// Sums are cumulative compute time, not wall-clock time, when the
+    /// parts ran concurrently.
+    pub fn absorb(&mut self, other: &Timings) {
+        self.order_s += other.order_s;
+        self.phase1_s += other.phase1_s;
+        self.phase2_s += other.phase2_s;
+        self.total_s += other.total_s;
+    }
+}
+
 /// The result of a pipeline run.
 pub struct HsrResult {
     /// The visible image.

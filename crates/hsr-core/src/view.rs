@@ -180,6 +180,74 @@ impl Report {
             resolution: None,
         }
     }
+
+    /// The report of an evaluation over nothing: empty map, zero sizes and
+    /// counters. The identity of [`Report::absorb`] — stitching loops fold
+    /// part reports into it.
+    pub fn empty() -> Report {
+        Report {
+            vis: VisibilityMap::default(),
+            n: 0,
+            k: 0,
+            cost: CostReport::zeroed(),
+            timings: Timings::default(),
+            layers: Vec::new(),
+            internal_crossings: 0,
+            verdicts: Vec::new(),
+            resolution: None,
+        }
+    }
+
+    /// Stitches the report of another *part* of a partitioned scene into
+    /// this one (the merge step of tiled / out-of-core evaluation, where
+    /// each part is a sub-terrain evaluated under the same view).
+    ///
+    /// * The visibility map is concatenated with the part's edge ids
+    ///   shifted by `edge_offset` (the cumulative edge count of the parts
+    ///   already absorbed), so piece/crossing edge ids stay unambiguous
+    ///   across parts; `n` accumulates and `k` is recomputed from the
+    ///   merged map. Each part's map resolves occlusion *within* that
+    ///   part only — stitching does not re-run hidden-surface removal
+    ///   across part boundaries.
+    /// * Cost counters and timings add ([`CostReport::absorb`],
+    ///   [`Timings::absorb`]); per-layer statistics concatenate;
+    ///   `internal_crossings` accumulates.
+    /// * Viewshed verdicts combine pointwise with *Hidden dominating*:
+    ///   when every part classified the same target list, a target is
+    ///   visible in the stitched scene iff no part occludes it — exactly
+    ///   the monolithic classification, because a target is hidden iff
+    ///   *some* terrain in front covers it and every triangle belongs to
+    ///   at least one part. A report with no verdicts (a non-viewshed
+    ///   part) leaves the other side's verdicts untouched; mismatched
+    ///   non-empty lengths panic, as that means the parts classified
+    ///   different target lists.
+    /// * `resolution` keeps the first advisory value seen.
+    pub fn absorb(&mut self, other: &Report, edge_offset: u32) {
+        self.vis.absorb_offset(&other.vis, edge_offset);
+        self.n += other.n;
+        self.k = self.vis.output_size();
+        self.cost.absorb(&other.cost);
+        self.timings.absorb(&other.timings);
+        self.layers.extend(other.layers.iter().cloned());
+        self.internal_crossings += other.internal_crossings;
+        if self.verdicts.is_empty() {
+            self.verdicts = other.verdicts.clone();
+        } else if !other.verdicts.is_empty() {
+            assert_eq!(
+                self.verdicts.len(),
+                other.verdicts.len(),
+                "absorbed reports classified different target lists"
+            );
+            for (v, o) in self.verdicts.iter_mut().zip(&other.verdicts) {
+                if *o == Verdict::Hidden {
+                    *v = Verdict::Hidden;
+                }
+            }
+        }
+        if self.resolution.is_none() {
+            self.resolution = other.resolution;
+        }
+    }
 }
 
 /// The conditioning margin of the perspective pre-transform, shared with
@@ -337,20 +405,36 @@ fn evaluate_under_collector(
 /// counters match what a solo evaluation of the same view would report,
 /// and any collector installed by the caller observes the whole batch.
 pub fn evaluate_batch(tin: &Tin, views: &[View]) -> Vec<Result<Report, HsrError>> {
-    fn rec(tin: &Tin, views: &[View], out: &mut [Option<Result<Report, HsrError>>]) {
-        match views.len() {
+    fanout(views.len(), |i| evaluate(tin, &views[i]))
+}
+
+/// Evaluates heterogeneous `(terrain, view)` jobs in parallel — the same
+/// collector-propagating fan-out as [`evaluate_batch`], but each job may
+/// target a different terrain. This is the evaluation engine of tiled /
+/// out-of-core scenes (`hsr-tile`), where one logical view becomes one job
+/// per resident tile. Results come back in input order; every job owns its
+/// scoped cost collector exactly as in [`evaluate`].
+pub fn evaluate_many(jobs: &[(&Tin, View)]) -> Vec<Result<Report, HsrError>> {
+    fanout(jobs.len(), |i| evaluate(jobs[i].0, &jobs[i].1))
+}
+
+/// Recursive binary fan-out over [`hsr_pram::join`]: runs `f(0..n)` with
+/// the available thread budget, preserving index order in the output and
+/// propagating any installed cost collector into stolen subtasks.
+fn fanout<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    fn rec<T: Send>(base: usize, out: &mut [Option<T>], f: &(impl Fn(usize) -> T + Sync)) {
+        match out.len() {
             0 => {}
-            1 => out[0] = Some(evaluate(tin, &views[0])),
+            1 => out[0] = Some(f(base)),
             n => {
                 let mid = n / 2;
-                let (va, vb) = views.split_at(mid);
                 let (oa, ob) = out.split_at_mut(mid);
-                hsr_pram::join(|| rec(tin, va, oa), || rec(tin, vb, ob));
+                hsr_pram::join(|| rec(base, oa, f), || rec(base + mid, ob, f));
             }
         }
     }
-    let mut out: Vec<Option<Result<Report, HsrError>>> = (0..views.len()).map(|_| None).collect();
-    rec(tin, views, &mut out);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    rec(0, &mut out, &f);
     out.into_iter()
         .map(|r| r.expect("every slot filled"))
         .collect()
@@ -502,6 +586,60 @@ mod tests {
             evaluate(&tin, &View::viewshed(Point3::new(2.0, 0.0, 5.0), Vec::new())).unwrap_err(),
             HsrError::ViewpointInsideScene { .. }
         ));
+    }
+
+    #[test]
+    fn evaluate_many_matches_solo_runs_per_terrain() {
+        let a = gen::fbm(8, 8, 3, 6.0, 3).to_tin().unwrap();
+        let b = gen::ridge_field(9, 9, 3, 8.0, 4).to_tin().unwrap();
+        let jobs: Vec<(&Tin, View)> = vec![
+            (&a, View::orthographic(0.0)),
+            (&b, View::orthographic(0.0)),
+            (&a, View::orthographic(0.5)),
+            (&b, View::orthographic(0.0).algorithm(Algorithm::Sequential)),
+        ];
+        let many = evaluate_many(&jobs);
+        assert_eq!(many.len(), jobs.len());
+        for ((tin, view), got) in jobs.iter().zip(&many) {
+            let solo = evaluate(tin, view).unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(fingerprint(&got.vis), fingerprint(&solo.vis));
+            assert_eq!((got.n, got.k), (solo.n, solo.k));
+            assert_eq!(got.cost.total_work(), solo.cost.total_work());
+        }
+    }
+
+    #[test]
+    fn report_absorb_stitches_parts() {
+        let a = gen::fbm(7, 7, 3, 6.0, 5).to_tin().unwrap();
+        let b = gen::gaussian_hills(8, 8, 3, 6).to_tin().unwrap();
+        let ra = evaluate(&a, &View::orthographic(0.0)).unwrap();
+        let rb = evaluate(&b, &View::orthographic(0.0)).unwrap();
+        let mut merged = Report::empty();
+        merged.absorb(&ra, 0);
+        merged.absorb(&rb, ra.n as u32);
+        assert_eq!(merged.n, ra.n + rb.n);
+        assert_eq!(merged.k, merged.vis.output_size());
+        assert_eq!(merged.vis.pieces.len(), ra.vis.pieces.len() + rb.vis.pieces.len());
+        // Edge ids from part B were shifted past part A's id space.
+        assert!(merged
+            .vis
+            .pieces
+            .iter()
+            .skip(ra.vis.pieces.len())
+            .all(|p| p.edge >= ra.n as u32));
+        assert_eq!(merged.cost.total_work(), ra.cost.total_work() + rb.cost.total_work());
+        assert!((merged.timings.total_s - (ra.timings.total_s + rb.timings.total_s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_absorb_merges_verdicts_hidden_dominates() {
+        let mk = |verdicts: Vec<Verdict>| Report { verdicts, ..Report::empty() };
+        let mut m = Report::empty();
+        m.absorb(&mk(vec![Verdict::Visible, Verdict::Visible, Verdict::Hidden]), 0);
+        m.absorb(&mk(vec![Verdict::Visible, Verdict::Hidden, Verdict::Visible]), 0);
+        m.absorb(&Report::empty(), 0); // non-viewshed part: verdicts untouched
+        assert_eq!(m.verdicts, vec![Verdict::Visible, Verdict::Hidden, Verdict::Hidden]);
     }
 
     #[test]

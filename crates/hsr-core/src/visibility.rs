@@ -92,6 +92,29 @@ impl VisibilityMap {
         self.crossings.retain(|c| x_lo <= c.x && c.x <= x_hi);
     }
 
+    /// Concatenates another map into this one, shifting the other map's
+    /// edge ids by `edge_offset` — the stitch primitive for results
+    /// computed over a partitioned scene (e.g. per-tile reports), where
+    /// each part numbers its edges from zero. The caller supplies the
+    /// cumulative edge count of the parts already absorbed; pieces,
+    /// crossings, vertical points and `n_edges` accumulate.
+    pub fn absorb_offset(&mut self, other: &VisibilityMap, edge_offset: u32) {
+        self.pieces.extend(other.pieces.iter().map(|p| {
+            let mut p = *p;
+            p.edge += edge_offset;
+            p
+        }));
+        self.crossings.extend(other.crossings.iter().map(|c| {
+            let mut c = *c;
+            c.upper_left += edge_offset;
+            c.upper_right += edge_offset;
+            c
+        }));
+        self.vertical_visible
+            .extend(other.vertical_visible.iter().map(|&e| e + edge_offset));
+        self.n_edges += other.n_edges;
+    }
+
     /// Visible intervals per edge.
     pub fn per_edge_intervals(&self) -> BTreeMap<u32, Vec<(f64, f64)>> {
         let mut map: BTreeMap<u32, Vec<(f64, f64)>> = BTreeMap::new();
@@ -217,6 +240,29 @@ mod tests {
         assert_eq!((m.pieces[0].x0, m.pieces[0].x1), (0.5, 3.0));
         assert_eq!(m.crossings.len(), 1);
         assert_eq!(m.crossings[0].x, 1.0);
+    }
+
+    #[test]
+    fn absorb_offset_shifts_edge_ids() {
+        let mut a = VisibilityMap {
+            pieces: vec![piece(0, 0.0, 1.0)],
+            vertical_visible: vec![2],
+            n_edges: 5,
+            ..Default::default()
+        };
+        let b = VisibilityMap {
+            pieces: vec![piece(1, 2.0, 3.0)],
+            crossings: vec![CrossEvent { x: 0.5, z: 0.0, upper_left: 0, upper_right: 1 }],
+            vertical_visible: vec![0],
+            n_edges: 3,
+        };
+        a.absorb_offset(&b, 5);
+        assert_eq!(a.pieces.len(), 2);
+        assert_eq!(a.pieces[1].edge, 6);
+        assert_eq!((a.crossings[0].upper_left, a.crossings[0].upper_right), (5, 6));
+        assert_eq!(a.vertical_visible, vec![2, 5]);
+        assert_eq!(a.n_edges, 8);
+        assert_eq!(a.output_size(), 5);
     }
 
     #[test]

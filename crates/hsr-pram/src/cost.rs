@@ -320,6 +320,26 @@ impl CostReport {
         self.depth.iter().sum()
     }
 
+    /// Counter-wise sum of `other` into `self` — the accounting of a
+    /// measurement stitched together from parts (e.g. per-tile reports of
+    /// a tiled evaluation). Work adds; depth also adds, modelling the
+    /// parts as evaluated sequentially — a conservative (upper-bound)
+    /// depth for schedules that overlap parts. Length-tolerant like
+    /// [`CostReport::since`]: missing categories count as zero and the
+    /// result covers the longer vector.
+    pub fn absorb(&mut self, other: &CostReport) {
+        fn add(a: &mut Vec<u64>, b: &[u64]) {
+            if a.len() < b.len() {
+                a.resize(b.len(), 0);
+            }
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = x.saturating_add(y);
+            }
+        }
+        add(&mut self.work, &other.work);
+        add(&mut self.depth, &other.depth);
+    }
+
     /// Counter-wise difference `self - earlier` (for comparing two
     /// reports). Robust against reports of different vintages: missing
     /// categories (older serialized reports) count as zero, and the
@@ -483,6 +503,18 @@ mod tests {
         let b = c.report();
         drop(g);
         assert_eq!(b.since(&a).work_of(Category::Order), 3);
+    }
+
+    #[test]
+    fn absorb_sums_and_tolerates_length_mismatch() {
+        let mut a = CostReport { work: vec![1, 2], depth: vec![3] };
+        let b = CostReport { work: vec![10, 20, 30], depth: vec![1, 1] };
+        a.absorb(&b);
+        assert_eq!(a.work, vec![11, 22, 30]);
+        assert_eq!(a.depth, vec![4, 1]);
+        let mut z = CostReport::zeroed();
+        z.absorb(&CostReport::default());
+        assert_eq!(z, CostReport::zeroed());
     }
 
     #[test]

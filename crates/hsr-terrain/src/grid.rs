@@ -86,10 +86,20 @@ impl GridTerrain {
     }
 
     /// Bilinear height interpolation at a world position (clamped to the
-    /// grid).
+    /// grid). Degenerate axes (a single sample along `i` or `j`, as
+    /// produced by [`GridTerrain::crop`]) interpolate only along the
+    /// remaining axis.
     pub fn sample(&self, x: f64, y: f64) -> f64 {
-        let fx = ((x - self.origin.0) / self.dx).clamp(0.0, (self.nx - 1) as f64);
-        let fy = ((y - self.origin.1) / self.dy).clamp(0.0, (self.ny - 1) as f64);
+        let fx = if self.nx == 1 {
+            0.0
+        } else {
+            ((x - self.origin.0) / self.dx).clamp(0.0, (self.nx - 1) as f64)
+        };
+        let fy = if self.ny == 1 {
+            0.0
+        } else {
+            ((y - self.origin.1) / self.dy).clamp(0.0, (self.ny - 1) as f64)
+        };
         let (i0, j0) = (fx.floor() as usize, fy.floor() as usize);
         let (i1, j1) = ((i0 + 1).min(self.nx - 1), (j0 + 1).min(self.ny - 1));
         let (tx, ty) = (fx - i0 as f64, fy - j0 as f64);
@@ -115,6 +125,41 @@ impl GridTerrain {
         g
     }
 
+    /// The world-aligned sub-grid of `nx × ny` samples starting at grid
+    /// index `(i0, j0)`.
+    ///
+    /// The crop keeps the parent's spacing and shifts the origin by whole
+    /// cells, so sample `(i, j)` of the crop sits at the same world
+    /// position (up to one floating-point rounding of the origin shift)
+    /// and height as sample `(i0 + i, j0 + j)` of the parent. On integer
+    /// lattices (`dx`/`dy`/origin exactly representable products, e.g. the
+    /// default unit spacing) the positions are bit-identical — the
+    /// property the tiled evaluator's conformance relies on. Degenerate
+    /// crops of a single row/column (`nx == 1` or `ny == 1`) are allowed;
+    /// they sample but do not triangulate.
+    pub fn crop(&self, i0: usize, j0: usize, nx: usize, ny: usize) -> GridTerrain {
+        assert!(nx >= 1 && ny >= 1, "crop must keep at least one sample per axis");
+        assert!(
+            i0 + nx <= self.nx && j0 + ny <= self.ny,
+            "crop [{i0}+{nx}, {j0}+{ny}] exceeds grid {}×{}",
+            self.nx,
+            self.ny
+        );
+        let mut heights = Vec::with_capacity(nx * ny);
+        for i in 0..nx {
+            let row = (i0 + i) * self.ny + j0;
+            heights.extend_from_slice(&self.heights[row..row + ny]);
+        }
+        GridTerrain {
+            nx,
+            ny,
+            dx: self.dx,
+            dy: self.dy,
+            origin: (self.origin.0 + i0 as f64 * self.dx, self.origin.1 + j0 as f64 * self.dy),
+            heights,
+        }
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.heights.len()
@@ -125,6 +170,101 @@ impl GridTerrain {
     pub fn is_empty(&self) -> bool {
         self.heights.is_empty()
     }
+}
+
+/// Errors from [`stitch`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum StitchError {
+    /// A part's spacing differs from the first part's.
+    SpacingMismatch {
+        /// Index of the offending part.
+        part: usize,
+    },
+    /// A part sticks out of the target `nx × ny` grid.
+    OutOfBounds {
+        /// Index of the offending part.
+        part: usize,
+    },
+    /// Two overlapping parts disagree on a shared sample's height.
+    OverlapMismatch {
+        /// Grid index of the disagreeing sample.
+        at: (usize, usize),
+    },
+    /// Some target sample is covered by no part.
+    Uncovered {
+        /// Grid index of the first uncovered sample.
+        at: (usize, usize),
+    },
+    /// No parts were given.
+    Empty,
+}
+
+impl std::fmt::Display for StitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StitchError::SpacingMismatch { part } => {
+                write!(f, "part {part} has a different grid spacing")
+            }
+            StitchError::OutOfBounds { part } => {
+                write!(f, "part {part} exceeds the target grid")
+            }
+            StitchError::OverlapMismatch { at } => {
+                write!(f, "overlapping parts disagree at sample {at:?}")
+            }
+            StitchError::Uncovered { at } => write!(f, "sample {at:?} is covered by no part"),
+            StitchError::Empty => write!(f, "no parts to stitch"),
+        }
+    }
+}
+
+impl std::error::Error for StitchError {}
+
+/// Reassembles a full `nx × ny` grid from placed sub-grids (the inverse of
+/// [`GridTerrain::crop`], e.g. re-joining a tile row written by the tiler).
+///
+/// Each part is `((i0, j0), grid)`: the part's sample `(i, j)` lands on
+/// target sample `(i0 + i, j0 + j)`. Overlapping samples (tile skirts)
+/// must agree exactly; every target sample must be covered. Spacing and
+/// the world origin are taken from the first part (shifted back by its
+/// placement).
+pub fn stitch(
+    nx: usize,
+    ny: usize,
+    parts: &[((usize, usize), &GridTerrain)],
+) -> Result<GridTerrain, StitchError> {
+    let ((i00, j00), first) = *parts.first().ok_or(StitchError::Empty)?;
+    let mut heights = vec![f64::NAN; nx * ny];
+    let mut covered = vec![false; nx * ny];
+    for (pi, &((i0, j0), part)) in parts.iter().enumerate() {
+        if part.dx != first.dx || part.dy != first.dy {
+            return Err(StitchError::SpacingMismatch { part: pi });
+        }
+        if i0 + part.nx > nx || j0 + part.ny > ny {
+            return Err(StitchError::OutOfBounds { part: pi });
+        }
+        for i in 0..part.nx {
+            for j in 0..part.ny {
+                let at = (i0 + i) * ny + (j0 + j);
+                let h = part.h(i, j);
+                if covered[at] && heights[at].to_bits() != h.to_bits() {
+                    return Err(StitchError::OverlapMismatch { at: (i0 + i, j0 + j) });
+                }
+                heights[at] = h;
+                covered[at] = true;
+            }
+        }
+    }
+    if let Some(miss) = covered.iter().position(|&c| !c) {
+        return Err(StitchError::Uncovered { at: (miss / ny, miss % ny) });
+    }
+    Ok(GridTerrain {
+        nx,
+        ny,
+        dx: first.dx,
+        dy: first.dy,
+        origin: (first.origin.0 - i00 as f64 * first.dx, first.origin.1 - j00 as f64 * first.dy),
+        heights,
+    })
 }
 
 #[cfg(test)]
@@ -175,6 +315,84 @@ mod tests {
         assert!((r.dy * 16.0 - 8.0).abs() < 1e-12);
         // Values close to the original surface at matching positions.
         assert!((r.sample(4.0, 4.0) - g.sample(4.0, 4.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn crop_preserves_world_positions_and_heights() {
+        let mut g = GridTerrain::flat(7, 9);
+        g.fill(|i, j, _, _| (i * 100 + j) as f64);
+        let c = g.crop(2, 3, 4, 5);
+        assert_eq!((c.nx, c.ny), (4, 5));
+        assert_eq!(c.origin, (2.0, 3.0));
+        for i in 0..4 {
+            for j in 0..5 {
+                assert_eq!(c.h(i, j), g.h(i + 2, j + 3));
+            }
+        }
+        // Whole-grid crop is the identity.
+        let full = g.crop(0, 0, 7, 9);
+        assert_eq!(full.heights, g.heights);
+        // Exact sample agreement at matching world positions.
+        assert_eq!(c.sample(3.0, 5.0), g.sample(3.0, 5.0));
+    }
+
+    #[test]
+    fn crop_degenerate_rows_sample() {
+        let mut g = GridTerrain::flat(5, 5);
+        g.fill(|_, _, x, y| 2.0 * x + y);
+        let row = g.crop(2, 0, 1, 5); // one sample along i
+        assert_eq!((row.nx, row.ny), (1, 5));
+        // Interpolates along the surviving axis, constant along the other.
+        assert!((row.sample(2.0, 1.5) - (4.0 + 1.5)).abs() < 1e-12);
+        assert!((row.sample(99.0, 1.5) - (4.0 + 1.5)).abs() < 1e-12);
+        let col = g.crop(0, 3, 5, 1);
+        assert_eq!((col.nx, col.ny), (5, 1));
+        assert!((col.sample(1.5, 3.0) - (3.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds grid")]
+    fn crop_rejects_out_of_bounds() {
+        GridTerrain::flat(4, 4).crop(2, 2, 3, 1);
+    }
+
+    #[test]
+    fn stitch_inverts_crop_with_skirts() {
+        let mut g = GridTerrain::flat(9, 9);
+        g.fill(|i, j, _, _| (i * 31 + j) as f64 * 0.5);
+        // Four overlapping quadrants with a shared middle row/column.
+        let parts_owned = [
+            ((0, 0), g.crop(0, 0, 5, 5)),
+            ((4, 0), g.crop(4, 0, 5, 5)),
+            ((0, 4), g.crop(0, 4, 5, 5)),
+            ((4, 4), g.crop(4, 4, 5, 5)),
+        ];
+        let parts: Vec<((usize, usize), &GridTerrain)> =
+            parts_owned.iter().map(|(at, p)| (*at, p)).collect();
+        let back = stitch(9, 9, &parts).unwrap();
+        assert_eq!(back.heights, g.heights);
+        assert_eq!(back.origin, g.origin);
+        assert_eq!((back.dx, back.dy), (g.dx, g.dy));
+    }
+
+    #[test]
+    fn stitch_rejects_gaps_and_disagreement() {
+        let g = GridTerrain::flat(6, 6);
+        let a = g.crop(0, 0, 3, 6);
+        // Rows 3..6 uncovered.
+        assert!(matches!(stitch(6, 6, &[((0, 0), &a)]), Err(StitchError::Uncovered { .. })));
+        // Overlap that disagrees.
+        let mut b = g.crop(2, 0, 4, 6);
+        *b.h_mut(0, 0) = 7.0;
+        assert!(matches!(
+            stitch(6, 6, &[((0, 0), &a), ((2, 0), &b)]),
+            Err(StitchError::OverlapMismatch { at: (2, 0) })
+        ));
+        assert!(matches!(stitch(4, 4, &[]), Err(StitchError::Empty)));
+        assert!(matches!(
+            stitch(4, 4, &[((2, 0), &a)]),
+            Err(StitchError::OutOfBounds { part: 0 })
+        ));
     }
 
     #[test]

@@ -1,13 +1,119 @@
-//! Wavefront-OBJ import/export for TINs.
+//! Terrain I/O: Wavefront-OBJ import/export for TINs and a compact binary
+//! codec for grid terrains.
 //!
-//! A minimal but standards-conforming subset: `v x y z` vertices and
-//! triangular `f` faces (1-based indices, negative indices supported,
-//! `f v/vt/vn` forms accepted with the extra attributes ignored). Lets the
-//! reproduction exchange terrains with standard mesh tooling.
+//! The OBJ side is a minimal but standards-conforming subset: `v x y z`
+//! vertices and triangular `f` faces (1-based indices, negative indices
+//! supported, `f v/vt/vn` forms accepted with the extra attributes
+//! ignored). Lets the reproduction exchange terrains with standard mesh
+//! tooling.
+//!
+//! The binary side ([`grid_to_bytes`] / [`grid_from_bytes`]) is the tile
+//! format of the out-of-core tile store (`hsr-tile`): a fixed 56-byte
+//! header followed by raw little-endian `f64` heights — loadable with one
+//! read and no text parsing, and bit-exact (heights round-trip by bit
+//! pattern, including negative zeros).
 
+use crate::grid::GridTerrain;
 use crate::tin::{Tin, TinError};
 use hsr_geometry::Point3;
 use std::fmt::Write as _;
+
+/// Magic prefix of the binary grid format (`"HSRG"` + format version 1).
+const GRID_MAGIC: [u8; 4] = *b"HSRG";
+const GRID_VERSION: u32 = 1;
+
+/// Errors from the binary grid codec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GridCodecError {
+    /// The buffer does not start with the `HSRG` magic.
+    BadMagic,
+    /// The format version is not one this build reads.
+    BadVersion(u32),
+    /// The buffer ends before the declared payload.
+    Truncated {
+        /// Bytes required by the header.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The header declares a shape with zero samples on some axis.
+    EmptyAxis,
+}
+
+impl std::fmt::Display for GridCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridCodecError::BadMagic => write!(f, "not a binary grid (bad magic)"),
+            GridCodecError::BadVersion(v) => write!(f, "unsupported grid format version {v}"),
+            GridCodecError::Truncated { expected, got } => {
+                write!(f, "truncated grid: expected {expected} bytes, got {got}")
+            }
+            GridCodecError::EmptyAxis => write!(f, "grid header declares a zero-sample axis"),
+        }
+    }
+}
+
+impl std::error::Error for GridCodecError {}
+
+/// Serializes a grid terrain into the compact binary tile format.
+pub fn grid_to_bytes(g: &GridTerrain) -> Vec<u8> {
+    let mut out = Vec::with_capacity(56 + 8 * g.heights.len());
+    out.extend_from_slice(&GRID_MAGIC);
+    out.extend_from_slice(&GRID_VERSION.to_le_bytes());
+    out.extend_from_slice(&(g.nx as u64).to_le_bytes());
+    out.extend_from_slice(&(g.ny as u64).to_le_bytes());
+    out.extend_from_slice(&g.dx.to_le_bytes());
+    out.extend_from_slice(&g.dy.to_le_bytes());
+    out.extend_from_slice(&g.origin.0.to_le_bytes());
+    out.extend_from_slice(&g.origin.1.to_le_bytes());
+    for h in &g.heights {
+        out.extend_from_slice(&h.to_le_bytes());
+    }
+    out
+}
+
+/// Parses the compact binary tile format back into a grid terrain.
+pub fn grid_from_bytes(bytes: &[u8]) -> Result<GridTerrain, GridCodecError> {
+    let f64_at = |at: usize| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[at..at + 8]);
+        f64::from_le_bytes(b)
+    };
+    if bytes.len() < 56 {
+        return Err(GridCodecError::Truncated { expected: 56, got: bytes.len() });
+    }
+    if bytes[..4] != GRID_MAGIC {
+        return Err(GridCodecError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != GRID_VERSION {
+        return Err(GridCodecError::BadVersion(version));
+    }
+    let nx = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let ny = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+    if nx == 0 || ny == 0 {
+        return Err(GridCodecError::EmptyAxis);
+    }
+    // Checked arithmetic: a corrupt header with a huge nx·ny must come
+    // back as `Truncated`, not wrap around and index out of bounds.
+    let expected = nx
+        .checked_mul(ny)
+        .and_then(|s| s.checked_mul(8))
+        .and_then(|b| b.checked_add(56))
+        .unwrap_or(usize::MAX);
+    if bytes.len() < expected {
+        return Err(GridCodecError::Truncated { expected, got: bytes.len() });
+    }
+    let heights = (0..nx * ny).map(|s| f64_at(56 + 8 * s)).collect();
+    Ok(GridTerrain {
+        nx,
+        ny,
+        dx: f64_at(24),
+        dy: f64_at(32),
+        origin: (f64_at(40), f64_at(48)),
+        heights,
+    })
+}
 
 /// Errors from OBJ parsing.
 #[derive(Clone, Debug, PartialEq)]
@@ -163,5 +269,110 @@ mod tests {
         // Two vertices at the same ground position.
         let obj = "v 0 0 1\nv 0 0 2\nv 1 0 0\nf 1 2 3\n";
         assert!(matches!(from_obj(obj), Err(ObjError::Tin(_))));
+    }
+
+    #[test]
+    fn grid_codec_roundtrips_bit_exactly() {
+        let mut g = gen::fbm(7, 11, 3, 9.0, 42);
+        g.dx = 0.25;
+        g.dy = 3.5;
+        g.origin = (-4.0, 17.5);
+        *g.h_mut(0, 0) = -0.0; // sign of zero must survive
+        let bytes = grid_to_bytes(&g);
+        assert_eq!(bytes.len(), 56 + 8 * g.len());
+        let back = grid_from_bytes(&bytes).unwrap();
+        assert_eq!((back.nx, back.ny), (g.nx, g.ny));
+        assert_eq!((back.dx, back.dy, back.origin), (g.dx, g.dy, g.origin));
+        let bits = |h: &[f64]| h.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.heights), bits(&g.heights));
+    }
+
+    #[test]
+    fn grid_codec_rejects_malformed_buffers() {
+        let g = GridTerrain::flat(3, 3);
+        let bytes = grid_to_bytes(&g);
+        assert!(matches!(grid_from_bytes(&bytes[..20]), Err(GridCodecError::Truncated { .. })));
+        assert!(matches!(
+            grid_from_bytes(&bytes[..bytes.len() - 1]),
+            Err(GridCodecError::Truncated { .. })
+        ));
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(grid_from_bytes(&wrong_magic), Err(GridCodecError::BadMagic)));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert!(matches!(grid_from_bytes(&wrong_version), Err(GridCodecError::BadVersion(99))));
+        let mut zero_axis = bytes.clone();
+        zero_axis[8..16].fill(0);
+        assert!(matches!(grid_from_bytes(&zero_axis), Err(GridCodecError::EmptyAxis)));
+        // A header whose nx·ny·8 overflows usize must report Truncated,
+        // not wrap and read out of bounds.
+        let mut huge = bytes;
+        huge[8..16].copy_from_slice(&(1u64 << 61).to_le_bytes());
+        assert!(matches!(grid_from_bytes(&huge), Err(GridCodecError::Truncated { .. })));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Interleaves comments and blank lines into OBJ text, and appends
+        /// an inline comment to a deterministic subset of lines — the
+        /// tolerance a round-trip must survive.
+        fn decorate(obj: &str, gap_every: usize) -> String {
+            let mut out = String::from("# leading comment\n\n");
+            for (k, line) in obj.lines().enumerate() {
+                if k % gap_every == 0 {
+                    out.push_str("\n# interleaved comment\n   \n");
+                }
+                out.push_str(line);
+                if k % 3 == 0 {
+                    out.push_str("   # inline comment");
+                }
+                out.push('\n');
+            }
+            out.push_str("\n# trailing comment");
+            out
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn obj_roundtrip_preserves_vertices_and_triangles(
+                seed in any::<u64>(),
+                nx in 3usize..9,
+                ny in 3usize..9,
+                hills in 1usize..5,
+                gap_every in 1usize..7,
+            ) {
+                let tin = gen::gaussian_hills(nx, ny, hills, seed).to_tin().unwrap();
+                let text = decorate(&to_obj(&tin), gap_every);
+                let back = from_obj(&text).unwrap();
+                prop_assert_eq!(back.triangles(), tin.triangles());
+                // Vertices survive up to float formatting; `to_obj` prints
+                // with `{}` (shortest exact representation), so the parse
+                // is in fact lossless.
+                prop_assert_eq!(back.vertices().len(), tin.vertices().len());
+                for (a, b) in tin.vertices().iter().zip(back.vertices()) {
+                    prop_assert_eq!(a, b);
+                }
+            }
+
+            #[test]
+            fn grid_codec_roundtrip_any_grid(
+                seed in any::<u64>(),
+                nx in 1usize..9,
+                ny in 1usize..9,
+            ) {
+                // Degenerate 1×N / N×1 crops must round-trip too.
+                let base = gen::fbm(9, 9, 3, 7.0, seed);
+                let g = base.crop(0, 0, nx, ny);
+                let back = grid_from_bytes(&grid_to_bytes(&g)).unwrap();
+                prop_assert_eq!((back.nx, back.ny), (g.nx, g.ny));
+                let bits = |h: &[f64]| h.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                prop_assert_eq!(bits(&back.heights), bits(&g.heights));
+            }
+        }
     }
 }

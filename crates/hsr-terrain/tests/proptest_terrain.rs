@@ -85,4 +85,117 @@ proptest! {
         let back = hsr_terrain::io::from_obj(&hsr_terrain::io::to_obj(&tin)).unwrap();
         prop_assert_eq!(tin.counts(), back.counts());
     }
+
+    #[test]
+    fn sample_reproduces_grid_nodes_exactly(
+        seed in any::<u64>(),
+        nx in 2usize..10,
+        ny in 2usize..10,
+    ) {
+        // At every grid node — corners included — bilinear interpolation
+        // must return the stored height exactly (tx = ty = 0 there).
+        let g = gen::fbm(nx, ny, 3, 6.0, seed);
+        for i in 0..nx {
+            for j in 0..ny {
+                let x = g.origin.0 + i as f64 * g.dx;
+                let y = g.origin.1 + j as f64 * g.dy;
+                prop_assert_eq!(g.sample(x, y).to_bits(), g.h(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sample_on_cell_edges_matches_1d_interpolation(
+        seed in any::<u64>(),
+        nx in 2usize..8,
+        ny in 2usize..8,
+        t in 0.0f64..1.0,
+    ) {
+        // Along a grid line the bilinear surface degenerates to linear
+        // interpolation between the two adjacent nodes.
+        let g = gen::fbm(nx, ny, 3, 6.0, seed);
+        let lerp = |a: f64, b: f64| a + (b - a) * t;
+        for i in 0..nx - 1 {
+            for j in 0..ny {
+                let x = g.origin.0 + (i as f64 + t) * g.dx;
+                let y = g.origin.1 + j as f64 * g.dy;
+                let want = lerp(g.h(i, j), g.h(i + 1, j));
+                prop_assert!((g.sample(x, y) - want).abs() <= 1e-12 * (1.0 + want.abs()));
+            }
+        }
+        for i in 0..nx {
+            for j in 0..ny - 1 {
+                let x = g.origin.0 + i as f64 * g.dx;
+                let y = g.origin.1 + (j as f64 + t) * g.dy;
+                let want = lerp(g.h(i, j), g.h(i, j + 1));
+                prop_assert!((g.sample(x, y) - want).abs() <= 1e-12 * (1.0 + want.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_clamps_outside_the_grid(
+        seed in any::<u64>(),
+        nx in 2usize..8,
+        ny in 2usize..8,
+        off in 0.1f64..50.0,
+    ) {
+        let g = gen::fbm(nx, ny, 3, 6.0, seed);
+        let (w, h) = ((nx - 1) as f64 * g.dx, (ny - 1) as f64 * g.dy);
+        // Beyond each corner the clamped sample is the corner height.
+        prop_assert_eq!(g.sample(-off, -off).to_bits(), g.h(0, 0).to_bits());
+        prop_assert_eq!(g.sample(w + off, -off).to_bits(), g.h(nx - 1, 0).to_bits());
+        prop_assert_eq!(g.sample(-off, h + off).to_bits(), g.h(0, ny - 1).to_bits());
+        prop_assert_eq!(
+            g.sample(w + off, h + off).to_bits(),
+            g.h(nx - 1, ny - 1).to_bits()
+        );
+    }
+
+    #[test]
+    fn sample_on_degenerate_single_row_grids(
+        seed in any::<u64>(),
+        n in 2usize..9,
+        t in -5.0f64..5.0,
+    ) {
+        // 1×N / N×1 crops (tile skirt rows) must sample without division
+        // by a zero-length axis: constant across the missing axis, linear
+        // along the surviving one.
+        let base = gen::fbm(9, 9, 3, 6.0, seed);
+        let row = base.crop(3, 0, 1, n);
+        let col = base.crop(0, 3, n, 1);
+        for j in 0..n {
+            let y = row.origin.1 + j as f64 * row.dy;
+            prop_assert_eq!(row.sample(t, y).to_bits(), row.h(0, j).to_bits());
+            let x = col.origin.0 + j as f64 * col.dx;
+            prop_assert_eq!(col.sample(x, t).to_bits(), col.h(j, 0).to_bits());
+        }
+        let mid = row.origin.1 + 0.5 * row.dy;
+        let want = 0.5 * (row.h(0, 0) + row.h(0, 1));
+        prop_assert!((row.sample(t, mid) - want).abs() <= 1e-12 * (1.0 + want.abs()));
+    }
+
+    #[test]
+    fn resample_identity_and_extent(
+        seed in any::<u64>(),
+        nx in 2usize..9,
+        ny in 2usize..9,
+    ) {
+        let g = gen::fbm(nx, ny, 3, 6.0, seed);
+        // Same-shape resample reproduces every node (grid-node sampling is
+        // exact, so this is the identity up to f64 equality).
+        let same = g.resample(nx, ny);
+        for i in 0..nx {
+            for j in 0..ny {
+                prop_assert_eq!(same.h(i, j).to_bits(), g.h(i, j).to_bits());
+            }
+        }
+        // Any resample preserves the world extent and the corner heights
+        // (corners are grid nodes of both lattices).
+        let r = g.resample(2, 2);
+        prop_assert!((r.dx - (nx - 1) as f64 * g.dx).abs() < 1e-12);
+        prop_assert!((r.dy - (ny - 1) as f64 * g.dy).abs() < 1e-12);
+        prop_assert_eq!(r.h(0, 0).to_bits(), g.h(0, 0).to_bits());
+        prop_assert_eq!(r.h(1, 1).to_bits(), g.h(nx - 1, ny - 1).to_bits());
+    }
 }

@@ -1,0 +1,208 @@
+//! The resident-tile cache: a hard-capped LRU of per-tile scenes.
+//!
+//! Out-of-core evaluation must bound what is in memory. The cache maps
+//! [`TileId`]s to built per-tile [`Tin`]s behind `Arc`s and guarantees an
+//! invariant the conformance suite asserts on a multi-million-cell
+//! terrain: **the number of resident tiles never exceeds the configured
+//! capacity** — not transiently, not during eviction. Entries whose `Arc`
+//! is still checked out (an evaluation in flight) are pinned and never
+//! evicted; callers therefore must not check out more than `capacity`
+//! tiles at once (the tiled evaluator chunks its work accordingly).
+
+use crate::pyramid::TileId;
+use hsr_terrain::Tin;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cache observability counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CacheStats {
+    /// Tiles built from the store (cache misses).
+    pub loads: u64,
+    /// Lookups served from resident tiles.
+    pub hits: u64,
+    /// Tiles dropped to make room.
+    pub evictions: u64,
+    /// Tiles resident right now.
+    pub resident: usize,
+    /// The high-water mark of `resident` — the counter that proves the
+    /// capacity bound held over a whole evaluation.
+    pub peak_resident: usize,
+}
+
+struct Entry {
+    tin: Arc<Tin>,
+    last_use: u64,
+}
+
+struct Inner {
+    map: HashMap<TileId, Entry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// A hard-capped LRU cache of built per-tile scenes.
+pub struct SceneCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SceneCache {
+    /// A cache holding at most `capacity` resident tiles (≥ 1).
+    pub fn new(capacity: usize) -> SceneCache {
+        assert!(capacity >= 1, "cache capacity must be ≥ 1");
+        SceneCache {
+            capacity,
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0, stats: CacheStats::default() }),
+        }
+    }
+
+    /// The hard residency cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock").stats
+    }
+
+    /// Returns the tile's scene, building it with `load` on a miss. The
+    /// loader runs under the cache lock, which serializes loads — by
+    /// design: concurrent loading would transiently hold more than
+    /// `capacity` tiles, which is exactly what the cache exists to
+    /// prevent. Returns `None` when the cache is full and every resident
+    /// tile is pinned (checked out), i.e. the caller broke the ≤-capacity
+    /// checkout contract.
+    pub fn get_or_load<E>(
+        &self,
+        id: TileId,
+        load: impl FnOnce() -> Result<Tin, E>,
+    ) -> Option<Result<Arc<Tin>, E>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.map.get_mut(&id) {
+            e.last_use = tick;
+            let tin = Arc::clone(&e.tin);
+            inner.stats.hits += 1;
+            return Some(Ok(tin));
+        }
+        // Make room *before* building, so residency never overshoots.
+        while inner.map.len() >= self.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(_, e)| Arc::strong_count(&e.tin) == 1)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    inner.map.remove(&k);
+                    inner.stats.evictions += 1;
+                    inner.stats.resident = inner.map.len();
+                }
+                None => return None,
+            }
+        }
+        let tin = match load() {
+            Ok(tin) => Arc::new(tin),
+            Err(e) => return Some(Err(e)),
+        };
+        inner
+            .map
+            .insert(id, Entry { tin: Arc::clone(&tin), last_use: tick });
+        inner.stats.loads += 1;
+        inner.stats.resident = inner.map.len();
+        inner.stats.peak_resident = inner.stats.peak_resident.max(inner.map.len());
+        Some(Ok(tin))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsr_terrain::gen;
+
+    fn tile(seed: u64) -> Tin {
+        gen::fbm(4, 4, 2, 3.0, seed).to_tin().unwrap()
+    }
+
+    fn id(ti: u32) -> TileId {
+        TileId { level: 0, ti, tj: 0 }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_caps_residency() {
+        let cache = SceneCache::new(2);
+        let mut loads = 0u32;
+        let get = |cache: &SceneCache, ti: u32, loads: &mut u32| {
+            cache
+                .get_or_load(id(ti), || -> Result<Tin, ()> {
+                    *loads += 1;
+                    Ok(tile(ti as u64))
+                })
+                .expect("not pinned")
+                .expect("load ok")
+        };
+        let a = get(&cache, 0, &mut loads);
+        drop(a);
+        let b = get(&cache, 1, &mut loads);
+        let b2 = get(&cache, 1, &mut loads); // hit
+        assert_eq!(loads, 2);
+        let _c = get(&cache, 2, &mut loads); // evicts 0 (LRU, unpinned)
+        drop(b);
+        drop(b2);
+        let _a2 = get(&cache, 0, &mut loads); // reload: 0 was evicted
+        assert_eq!(loads, 4);
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.loads, 4);
+        assert_eq!(s.evictions, 2);
+        assert!(s.peak_resident <= 2, "peak {} over cap", s.peak_resident);
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction_pressure() {
+        let cache = SceneCache::new(2);
+        let a = cache
+            .get_or_load(id(0), || -> Result<Tin, ()> { Ok(tile(0)) })
+            .unwrap()
+            .unwrap();
+        let b = cache
+            .get_or_load(id(1), || -> Result<Tin, ()> { Ok(tile(1)) })
+            .unwrap()
+            .unwrap();
+        // Both pinned: a third load must refuse rather than overshoot.
+        assert!(cache
+            .get_or_load(id(2), || -> Result<Tin, ()> { Ok(tile(2)) })
+            .is_none());
+        drop(a);
+        // One slot free again.
+        assert!(cache
+            .get_or_load(id(2), || -> Result<Tin, ()> { Ok(tile(2)) })
+            .is_some());
+        drop(b);
+        assert_eq!(cache.stats().peak_resident, 2);
+    }
+
+    #[test]
+    fn loader_errors_propagate_and_cache_nothing() {
+        let cache = SceneCache::new(1);
+        let r = cache.get_or_load(id(0), || Err("boom"));
+        assert_eq!(r.unwrap().unwrap_err(), "boom");
+        let s = cache.stats();
+        assert_eq!((s.loads, s.resident), (0, 0));
+        // Eviction followed by a failed load still leaves `resident`
+        // telling the truth.
+        cache
+            .get_or_load(id(1), || -> Result<Tin, ()> { Ok(tile(1)) })
+            .unwrap()
+            .unwrap();
+        let r = cache.get_or_load(id(2), || Err("boom"));
+        assert_eq!(r.unwrap().unwrap_err(), "boom");
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.resident), (1, 0));
+    }
+}

@@ -1,0 +1,212 @@
+//! The tile pyramid: how one big grid terrain is cut into fixed-size
+//! tiles with overlap skirts and coarsened into levels of detail.
+//!
+//! A tile covers `tile_size × tile_size` grid *cells* plus a one-cell
+//! skirt on every side that exists, so adjacent tile TINs share their
+//! boundary cells: every triangle of the full triangulation appears in at
+//! least one tile, and silhouettes that sit exactly on a tile boundary
+//! are not lost. Level `l > 0` stores the same tile resampled to
+//! `((samples − 1) >> l) + 1` samples per axis (bilinear, via
+//! [`GridTerrain::resample`]) — Erickson-style finite-resolution
+//! evaluation: a view far from a tile reads a resolution matched to its
+//! screen-space footprint instead of the full mesh.
+
+use crate::store::{TileStore, TileStoreError};
+use hsr_terrain::GridTerrain;
+
+/// How to cut a grid into a pyramid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TilingConfig {
+    /// Tile edge length in grid *cells* (a tile holds `tile_size + 1`
+    /// samples per axis before skirts). Must be ≥ 2.
+    pub tile_size: usize,
+    /// Number of resolution levels, including the full-resolution level 0.
+    /// Must be ≥ 1.
+    pub levels: u32,
+}
+
+impl Default for TilingConfig {
+    fn default() -> Self {
+        TilingConfig { tile_size: 256, levels: 4 }
+    }
+}
+
+/// Addresses one materialized tile: pyramid level + tile row/column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TileId {
+    /// Resolution level (0 = full resolution).
+    pub level: u32,
+    /// Tile index along the depth (`i`/`x`) axis.
+    pub ti: u32,
+    /// Tile index along the breadth (`j`/`y`) axis.
+    pub tj: u32,
+}
+
+/// The persistent description of a built pyramid — everything needed to
+/// address tiles without the source grid in memory.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PyramidMeta {
+    /// Source grid samples along the depth axis.
+    pub nx: usize,
+    /// Source grid samples across the view.
+    pub ny: usize,
+    /// Source grid spacing along `x`.
+    pub dx: f64,
+    /// Source grid spacing along `y`.
+    pub dy: f64,
+    /// World position of source sample `(0, 0)`.
+    pub origin: (f64, f64),
+    /// Tile edge length in cells.
+    pub tile_size: usize,
+    /// Number of resolution levels.
+    pub levels: u32,
+    /// Tile count along the depth axis.
+    pub tiles_i: usize,
+    /// Tile count across the view.
+    pub tiles_j: usize,
+}
+
+impl PyramidMeta {
+    /// Derives the pyramid shape for a grid under a tiling config.
+    pub fn new(grid: &GridTerrain, cfg: TilingConfig) -> PyramidMeta {
+        assert!(cfg.tile_size >= 2, "tile_size must be ≥ 2 cells");
+        assert!(cfg.levels >= 1, "a pyramid has at least level 0");
+        assert!(grid.nx >= 2 && grid.ny >= 2, "grid must be at least 2×2");
+        PyramidMeta {
+            nx: grid.nx,
+            ny: grid.ny,
+            dx: grid.dx,
+            dy: grid.dy,
+            origin: grid.origin,
+            tile_size: cfg.tile_size,
+            levels: cfg.levels,
+            tiles_i: (grid.nx - 1).div_ceil(cfg.tile_size),
+            tiles_j: (grid.ny - 1).div_ceil(cfg.tile_size),
+        }
+    }
+
+    /// Total number of tiles per level.
+    pub fn tile_count(&self) -> usize {
+        self.tiles_i * self.tiles_j
+    }
+
+    /// The source-grid sample range `(i0, j0, ni, nj)` of tile
+    /// `(ti, tj)`, including the one-cell skirt on every side that has a
+    /// neighbour.
+    pub fn sample_range(&self, ti: u32, tj: u32) -> (usize, usize, usize, usize) {
+        assert!((ti as usize) < self.tiles_i && (tj as usize) < self.tiles_j);
+        let range = |t: usize, n: usize| {
+            let c0 = (t * self.tile_size).saturating_sub(1);
+            let c1 = ((t + 1) * self.tile_size + 1).min(n - 1);
+            (c0, c1 - c0 + 1)
+        };
+        let (i0, ni) = range(ti as usize, self.nx);
+        let (j0, nj) = range(tj as usize, self.ny);
+        (i0, j0, ni, nj)
+    }
+
+    /// The ground-plane bounding box `((x_lo, y_lo), (x_hi, y_hi))` of
+    /// tile `(ti, tj)` — skirt included, so every triangle of the tile's
+    /// TIN lies inside it.
+    pub fn ground_aabb(&self, ti: u32, tj: u32) -> ((f64, f64), (f64, f64)) {
+        let (i0, j0, ni, nj) = self.sample_range(ti, tj);
+        let x0 = self.origin.0 + i0 as f64 * self.dx;
+        let y0 = self.origin.1 + j0 as f64 * self.dy;
+        ((x0, y0), (x0 + (ni - 1) as f64 * self.dx, y0 + (nj - 1) as f64 * self.dy))
+    }
+
+    /// Sample shape `(ni, nj)` of tile `(ti, tj)` at `level`: each level
+    /// halves the cell count (floor, at least one cell).
+    pub fn level_shape(&self, ti: u32, tj: u32, level: u32) -> (usize, usize) {
+        let (_, _, ni, nj) = self.sample_range(ti, tj);
+        let coarsen = |n: usize| ((n - 1) >> level).max(1) + 1;
+        (coarsen(ni), coarsen(nj))
+    }
+
+    /// All tile coordinates in row-major (depth-axis first) order.
+    pub fn tile_coords(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.tiles_i as u32)
+            .flat_map(move |ti| (0..self.tiles_j as u32).map(move |tj| (ti, tj)))
+    }
+}
+
+/// Builds tile pyramids into a [`TileStore`].
+pub struct TilePyramid;
+
+impl TilePyramid {
+    /// Cuts `grid` into tiles, coarsens every level, and materializes the
+    /// lot (tiles + meta) into `store`. Returns the pyramid description;
+    /// after this the source grid is no longer needed — evaluation streams
+    /// tiles back from the store.
+    pub fn build(
+        grid: &GridTerrain,
+        cfg: TilingConfig,
+        store: &TileStore,
+    ) -> Result<PyramidMeta, TileStoreError> {
+        let meta = PyramidMeta::new(grid, cfg);
+        for (ti, tj) in meta.tile_coords() {
+            let (i0, j0, ni, nj) = meta.sample_range(ti, tj);
+            let base = grid.crop(i0, j0, ni, nj);
+            store.write_tile(TileId { level: 0, ti, tj }, &base)?;
+            for level in 1..cfg.levels {
+                let (rni, rnj) = meta.level_shape(ti, tj, level);
+                store.write_tile(TileId { level, ti, tj }, &base.resample(rni, rnj))?;
+            }
+        }
+        store.write_meta(&meta)?;
+        Ok(meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_ranges_tile_the_grid_with_skirts() {
+        let g = GridTerrain::flat(17, 13);
+        let meta = PyramidMeta::new(&g, TilingConfig { tile_size: 8, levels: 2 });
+        assert_eq!((meta.tiles_i, meta.tiles_j), (2, 2));
+        // Interior tiles overlap their neighbours by the skirt.
+        assert_eq!(meta.sample_range(0, 0), (0, 0, 10, 10));
+        assert_eq!(meta.sample_range(1, 0), (7, 0, 10, 10));
+        assert_eq!(meta.sample_range(1, 1), (7, 7, 10, 6));
+        // Every cell is covered by some tile's interior ∪ skirt.
+        let mut covered = vec![false; (g.nx - 1) * (g.ny - 1)];
+        for (ti, tj) in meta.tile_coords() {
+            let (i0, j0, ni, nj) = meta.sample_range(ti, tj);
+            for ci in i0..i0 + ni - 1 {
+                for cj in j0..j0 + nj - 1 {
+                    covered[ci * (g.ny - 1) + cj] = true;
+                }
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn ground_aabbs_cover_the_extent() {
+        let mut g = GridTerrain::flat(10, 10);
+        g.dx = 2.0;
+        g.origin = (5.0, -3.0);
+        let meta = PyramidMeta::new(&g, TilingConfig { tile_size: 4, levels: 1 });
+        let (lo, _) = meta.ground_aabb(0, 0);
+        assert_eq!(lo, (5.0, -3.0));
+        let (_, hi) = meta.ground_aabb(meta.tiles_i as u32 - 1, meta.tiles_j as u32 - 1);
+        assert_eq!(hi, (5.0 + 18.0, -3.0 + 9.0));
+    }
+
+    #[test]
+    fn level_shapes_halve_and_bottom_out() {
+        let g = GridTerrain::flat(33, 33);
+        let meta = PyramidMeta::new(&g, TilingConfig { tile_size: 16, levels: 6 });
+        // Interior tile: 16 cells + skirt = 18 cells → 19 samples.
+        assert_eq!(meta.level_shape(1, 1, 0), (18, 18));
+        assert_eq!(meta.level_shape(1, 1, 1), (9, 9));
+        // Deep levels clamp at the 2-sample minimum (one cell).
+        assert_eq!(meta.level_shape(1, 1, 5), (2, 2));
+    }
+}

@@ -1,0 +1,466 @@
+//! Out-of-core evaluation: one logical view over a tiled terrain.
+//!
+//! A [`TiledScene`] is the tile-pyramid counterpart of the facade's
+//! monolithic `Scene`: it holds a [`TileStore`] plus a capped
+//! [`SceneCache`] and evaluates a [`View`] by
+//!
+//! 1. **selecting** the covering tiles — every tile for an orthographic
+//!    sweep, a view-frustum wedge test for perspective, and a
+//!    region-of-interest test for viewsheds (only tiles whose ground box
+//!    meets an observer→target sight segment can occlude anything, so the
+//!    selection is exact, not heuristic);
+//! 2. **picking a level of detail per tile** from its ground distance to
+//!    the eye (or a fixed level override);
+//! 3. **evaluating** the resident tiles in capacity-bounded chunks
+//!    through the same parallel fan-out that powers `Session::eval_batch`
+//!    ([`hsr_core::view::evaluate_many`]);
+//! 4. **stitching** the per-tile [`Report`]s into one merged report
+//!    ([`Report::absorb`]): concatenated visibility maps with disjoint
+//!    edge-id ranges, summed cost/timings, and pointwise-merged viewshed
+//!    verdicts (hidden dominates).
+//!
+//! For viewsheds at full resolution the stitched verdicts are *bit
+//! identical* to a monolithic evaluation of the same terrain: a target is
+//! hidden exactly when some tile's terrain occludes it, and every
+//! triangle lives in at least one tile (skirts only duplicate, and the
+//! envelope maximum is idempotent). The per-tile visible-segment maps
+//! resolve occlusion within each tile only; stitching does not re-run
+//! hidden-surface removal across tile boundaries.
+
+use crate::cache::{CacheStats, SceneCache};
+use crate::pyramid::{PyramidMeta, TileId, TilePyramid, TilingConfig};
+use crate::store::{TileStore, TileStoreError};
+use hsr_core::error::HsrError;
+use hsr_core::view::{evaluate_many, Projection, Report, View};
+use hsr_terrain::tin::TinError;
+use hsr_terrain::{GridTerrain, Tin};
+use std::sync::Arc;
+
+/// Evaluation-side configuration of a tiled scene.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TiledSceneConfig {
+    /// Hard cap on resident tiles (the [`SceneCache`] capacity). Also the
+    /// evaluation chunk size: at most this many tiles are materialized at
+    /// once.
+    pub cache_capacity: usize,
+    /// Ground distance (from the eye to a tile's box) under which a tile
+    /// is evaluated at full resolution; each doubling beyond it coarsens
+    /// by one level. `None` picks four tile edge lengths.
+    pub lod_near: Option<f64>,
+    /// Evaluate every tile at this fixed level instead of by distance.
+    /// Orthographic views (no finite eye) always use
+    /// `fixed_level.unwrap_or(0)`.
+    pub fixed_level: Option<u32>,
+}
+
+impl Default for TiledSceneConfig {
+    fn default() -> Self {
+        TiledSceneConfig { cache_capacity: 16, lod_near: None, fixed_level: None }
+    }
+}
+
+/// Errors from tiled evaluation.
+#[derive(Debug)]
+pub enum TiledError {
+    /// The tile store failed (I/O, codec, missing meta).
+    Store(TileStoreError),
+    /// A materialized tile failed TIN validation.
+    Terrain(TinError),
+    /// A per-tile evaluation failed.
+    Hsr(HsrError),
+    /// A view shape the tiled evaluator cannot serve.
+    UnsupportedView(String),
+}
+
+impl std::fmt::Display for TiledError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TiledError::Store(e) => write!(f, "tile store: {e}"),
+            TiledError::Terrain(e) => write!(f, "tile terrain invalid: {e}"),
+            TiledError::Hsr(e) => write!(f, "tile evaluation: {e}"),
+            TiledError::UnsupportedView(what) => write!(f, "unsupported view: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TiledError {}
+
+impl From<TileStoreError> for TiledError {
+    fn from(e: TileStoreError) -> Self {
+        TiledError::Store(e)
+    }
+}
+
+impl From<HsrError> for TiledError {
+    fn from(e: HsrError) -> Self {
+        TiledError::Hsr(e)
+    }
+}
+
+/// What one tile contributed to a stitched evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TileEval {
+    /// The tile (level = the LOD it was evaluated at).
+    pub id: TileId,
+    /// The tile's input size (edges).
+    pub n: usize,
+    /// The tile's output size.
+    pub k: usize,
+}
+
+/// The result of one tiled evaluation: the stitched report plus the
+/// out-of-core evidence (which tiles ran, at what level, and how the
+/// cache behaved).
+#[derive(Clone, Debug)]
+pub struct TiledReport {
+    /// The stitched per-view report (see [`Report::absorb`] for merge
+    /// semantics; `report.n` is the summed tile edge count, and piece
+    /// edge ids of tile `t` start at the sum of earlier tiles' `n`).
+    pub report: Report,
+    /// Per-tile contributions in stitch order.
+    pub tiles: Vec<TileEval>,
+    /// Tiles in the pyramid (per level); `tiles.len()` of them were
+    /// selected for this view.
+    pub tiles_total: usize,
+    /// Cache counters observed right after this evaluation;
+    /// `cache.peak_resident` never exceeds the configured capacity.
+    pub cache: CacheStats,
+}
+
+/// A terrain too large to hold as one scene: a tile pyramid on disk, a
+/// capped cache of resident tiles, and `Scene`-like evaluation on top.
+pub struct TiledScene {
+    meta: PyramidMeta,
+    store: TileStore,
+    cache: SceneCache,
+    cfg: TiledSceneConfig,
+    /// Serializes [`TiledScene::eval`] calls: each evaluation may pin up
+    /// to `cache_capacity` tiles for its current chunk, so two concurrent
+    /// evaluations could pin more than the cap between them (breaking the
+    /// cache's checkout contract). Parallelism lives *inside* an
+    /// evaluation (the chunk fan-out); concurrent callers queue here.
+    eval_lock: std::sync::Mutex<()>,
+}
+
+impl TiledScene {
+    /// Cuts `grid` into a pyramid materialized in `store` and opens the
+    /// result for evaluation. The grid can be dropped afterwards —
+    /// evaluation streams tiles from the store.
+    pub fn build(
+        grid: &GridTerrain,
+        tiling: TilingConfig,
+        store: TileStore,
+        cfg: TiledSceneConfig,
+    ) -> Result<TiledScene, TiledError> {
+        let meta = TilePyramid::build(grid, tiling, &store)?;
+        Ok(TiledScene {
+            cache: SceneCache::new(cfg.cache_capacity),
+            meta,
+            store,
+            cfg,
+            eval_lock: std::sync::Mutex::new(()),
+        })
+    }
+
+    /// Opens an already materialized store (reads its pyramid meta).
+    pub fn open(store: TileStore, cfg: TiledSceneConfig) -> Result<TiledScene, TiledError> {
+        let meta = store.read_meta()?;
+        Ok(TiledScene {
+            cache: SceneCache::new(cfg.cache_capacity),
+            meta,
+            store,
+            cfg,
+            eval_lock: std::sync::Mutex::new(()),
+        })
+    }
+
+    /// The pyramid description.
+    pub fn meta(&self) -> &PyramidMeta {
+        &self.meta
+    }
+
+    /// The cache counters (residency, hit/load/eviction history).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Evaluates one view against the tiled terrain. See the module docs
+    /// for the select → LOD → chunked-evaluate → stitch sequence and the
+    /// merge semantics.
+    ///
+    /// Safe to call from several threads: evaluations are serialized on
+    /// an internal lock so the resident-tile bound holds across callers
+    /// (each evaluation parallelizes internally over its chunk).
+    pub fn eval(&self, view: &View) -> Result<TiledReport, TiledError> {
+        let _serialized = self.eval_lock.lock().expect("eval lock");
+        let selected = self.select(view)?;
+        let chunk = self.cfg.cache_capacity.min(selected.len()).max(1);
+        let mut report = Report::empty();
+        let mut tiles = Vec::with_capacity(selected.len());
+        let mut edge_offset: u32 = 0;
+        for group in selected.chunks(chunk) {
+            // Materialize the chunk (≤ capacity tiles pinned at once)…
+            let mut pinned: Vec<(TileId, Arc<Tin>)> = Vec::with_capacity(group.len());
+            for &id in group {
+                let tin = self
+                    .cache
+                    .get_or_load(id, || {
+                        self.store
+                            .read_tile(id)
+                            .map_err(TiledError::Store)
+                            .and_then(|g| g.to_tin().map_err(TiledError::Terrain))
+                    })
+                    .expect("chunk size never exceeds cache capacity")?;
+                pinned.push((id, tin));
+            }
+            // …fan the chunk out in parallel…
+            let jobs: Vec<(&Tin, View)> = pinned
+                .iter()
+                .map(|(_, tin)| (tin.as_ref(), view.clone()))
+                .collect();
+            let results = evaluate_many(&jobs);
+            // …and stitch in deterministic tile order.
+            for ((id, _), result) in pinned.iter().zip(results) {
+                let part = result?;
+                tiles.push(TileEval { id: *id, n: part.n, k: part.k });
+                report.absorb(&part, edge_offset);
+                edge_offset += part.n as u32;
+            }
+        }
+        Ok(TiledReport {
+            report,
+            tiles,
+            tiles_total: self.meta.tile_count(),
+            cache: self.cache.stats(),
+        })
+    }
+
+    /// The tiles a view needs, each at its level of detail, in row-major
+    /// sweep order.
+    fn select(&self, view: &View) -> Result<Vec<TileId>, TiledError> {
+        let meta = &self.meta;
+        let level_for = |eye: Option<(f64, f64)>, ti: u32, tj: u32| -> u32 {
+            if let Some(level) = self.cfg.fixed_level {
+                return level.min(meta.levels - 1);
+            }
+            let Some(eye) = eye else { return 0 };
+            let (lo, hi) = meta.ground_aabb(ti, tj);
+            let d = aabb_distance(eye, lo, hi);
+            let near = self.cfg.lod_near.unwrap_or_else(|| {
+                4.0 * (meta.tile_size as f64) * meta.dx.abs().max(meta.dy.abs())
+            });
+            // `near <= 0` (or NaN) disables distance-based coarsening.
+            if near.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || d <= near {
+                return 0;
+            }
+            let level = (d / near).log2().floor() as u32 + 1;
+            level.min(meta.levels - 1)
+        };
+        let mut out = Vec::new();
+        match &view.projection {
+            // The full back-to-front row sweep: every tile contributes.
+            Projection::Orthographic { .. } => {
+                for (ti, tj) in meta.tile_coords() {
+                    out.push(TileId { level: level_for(None, ti, tj), ti, tj });
+                }
+            }
+            Projection::Perspective { eye, look, fov, .. } => {
+                if !eye.is_finite() || !look.is_finite() || !fov.is_finite() {
+                    return Err(
+                        HsrError::InvalidView("perspective view must be finite".into()).into()
+                    );
+                }
+                let apex = (eye.x, eye.y);
+                let dir = (look.x - eye.x, look.y - eye.y);
+                if dir.0 == 0.0 && dir.1 == 0.0 {
+                    return Err(HsrError::InvalidView(
+                        "eye and look must have distinct ground positions".into(),
+                    )
+                    .into());
+                }
+                if !(*fov > 0.0 && *fov <= std::f64::consts::PI) {
+                    return Err(HsrError::InvalidView(format!(
+                        "fov must lie in (0, π], got {fov}"
+                    ))
+                    .into());
+                }
+                for (ti, tj) in meta.tile_coords() {
+                    let (lo, hi) = meta.ground_aabb(ti, tj);
+                    if wedge_intersects_aabb(apex, dir, 0.5 * fov, lo, hi) {
+                        out.push(TileId { level: level_for(Some(apex), ti, tj), ti, tj });
+                    }
+                }
+            }
+            Projection::Viewshed { observer, targets } => {
+                if targets.is_empty() {
+                    return Err(TiledError::UnsupportedView(
+                        "tiled viewsheds need explicit targets: with an empty target list each \
+                         tile would classify its own vertices and the per-tile verdict lists \
+                         could not be aligned — materialize the query points instead"
+                            .into(),
+                    ));
+                }
+                if !observer.is_finite() {
+                    return Err(HsrError::InvalidView("observer must be finite".into()).into());
+                }
+                let obs = (observer.x, observer.y);
+                for (ti, tj) in meta.tile_coords() {
+                    let (lo, hi) = meta.ground_aabb(ti, tj);
+                    // Only terrain under a sight segment can occlude; the
+                    // exactness of the stitched verdicts relies on this
+                    // test being conservative (never a false negative).
+                    let relevant = targets
+                        .iter()
+                        .any(|t| segment_intersects_aabb(obs, (t.x, t.y), lo, hi));
+                    if relevant {
+                        out.push(TileId { level: level_for(Some(obs), ti, tj), ti, tj });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Ground distance from a point to an axis-aligned box (0 inside).
+fn aabb_distance(p: (f64, f64), lo: (f64, f64), hi: (f64, f64)) -> f64 {
+    let dx = (lo.0 - p.0).max(0.0).max(p.0 - hi.0);
+    let dy = (lo.1 - p.1).max(0.0).max(p.1 - hi.1);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Closed-set segment/AABB intersection via slab clipping.
+fn segment_intersects_aabb(a: (f64, f64), b: (f64, f64), lo: (f64, f64), hi: (f64, f64)) -> bool {
+    let (mut t0, mut t1) = (0.0f64, 1.0f64);
+    for ((p, d), (l, h)) in [
+        ((a.0, b.0 - a.0), (lo.0, hi.0)),
+        ((a.1, b.1 - a.1), (lo.1, hi.1)),
+    ] {
+        if d == 0.0 {
+            if p < l || p > h {
+                return false;
+            }
+            continue;
+        }
+        let (mut u0, mut u1) = ((l - p) / d, (h - p) / d);
+        if u0 > u1 {
+            std::mem::swap(&mut u0, &mut u1);
+        }
+        t0 = t0.max(u0);
+        t1 = t1.min(u1);
+        if t0 > t1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Does the infinite wedge with the given apex, center direction and
+/// half-angle (≤ π/2) meet the box? Exact for closed sets: the wedge and
+/// box intersect iff the apex is inside the box, a box corner is inside
+/// the wedge, or a wedge boundary ray crosses the box.
+fn wedge_intersects_aabb(
+    apex: (f64, f64),
+    dir: (f64, f64),
+    half_angle: f64,
+    lo: (f64, f64),
+    hi: (f64, f64),
+) -> bool {
+    if lo.0 <= apex.0 && apex.0 <= hi.0 && lo.1 <= apex.1 && apex.1 <= hi.1 {
+        return true;
+    }
+    let len = (dir.0 * dir.0 + dir.1 * dir.1).sqrt();
+    let d = (dir.0 / len, dir.1 / len);
+    let cos_half = half_angle.cos();
+    let corners = [(lo.0, lo.1), (lo.0, hi.1), (hi.0, lo.1), (hi.0, hi.1)];
+    for c in corners {
+        let u = (c.0 - apex.0, c.1 - apex.1);
+        let norm = (u.0 * u.0 + u.1 * u.1).sqrt();
+        if u.0 * d.0 + u.1 * d.1 >= norm * cos_half {
+            return true;
+        }
+    }
+    let (sin, cos) = half_angle.sin_cos();
+    for s in [sin, -sin] {
+        let ray = (d.0 * cos - d.1 * s, d.0 * s + d.1 * cos);
+        if ray_intersects_aabb(apex, ray, lo, hi) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Closed-set ray/AABB intersection (slab method, `t ≥ 0`).
+fn ray_intersects_aabb(p: (f64, f64), d: (f64, f64), lo: (f64, f64), hi: (f64, f64)) -> bool {
+    let (mut t0, mut t1) = (0.0f64, f64::INFINITY);
+    for ((p, d), (l, h)) in [((p.0, d.0), (lo.0, hi.0)), ((p.1, d.1), (lo.1, hi.1))] {
+        if d == 0.0 {
+            if p < l || p > h {
+                return false;
+            }
+            continue;
+        }
+        let (mut u0, mut u1) = ((l - p) / d, (h - p) / d);
+        if u0 > u1 {
+            std::mem::swap(&mut u0, &mut u1);
+        }
+        t0 = t0.max(u0);
+        t1 = t1.min(u1);
+        if t0 > t1 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_aabb_cases() {
+        let (lo, hi) = ((0.0, 0.0), (2.0, 2.0));
+        assert!(segment_intersects_aabb((-1.0, 1.0), (3.0, 1.0), lo, hi)); // through
+        assert!(segment_intersects_aabb((1.0, 1.0), (5.0, 5.0), lo, hi)); // from inside
+        assert!(segment_intersects_aabb((-1.0, -1.0), (0.0, 0.0), lo, hi)); // touches corner
+        assert!(!segment_intersects_aabb((-1.0, 3.0), (3.0, 3.0), lo, hi)); // above
+        assert!(!segment_intersects_aabb((3.0, -1.0), (3.0, 3.0), lo, hi)); // right of
+        assert!(!segment_intersects_aabb((-2.0, 0.0), (0.0, -2.0), lo, hi)); // clips corner off
+        assert!(segment_intersects_aabb((1.0, 1.0), (1.0, 1.0), lo, hi)); // degenerate inside
+        assert!(!segment_intersects_aabb((3.0, 3.0), (3.0, 3.0), lo, hi)); // degenerate outside
+    }
+
+    #[test]
+    fn wedge_aabb_cases() {
+        let (lo, hi) = ((2.0, -1.0), (3.0, 1.0));
+        // Looking straight +x from the origin: box dead ahead.
+        assert!(wedge_intersects_aabb((0.0, 0.0), (1.0, 0.0), 0.1, lo, hi));
+        // Looking away.
+        assert!(!wedge_intersects_aabb((0.0, 0.0), (-1.0, 0.0), 0.4, lo, hi));
+        // Narrow wedge aimed past the box misses it…
+        assert!(!wedge_intersects_aabb((0.0, 10.0), (1.0, 0.0), 0.05, lo, hi));
+        // …a wide one from the same place reaches down to it.
+        assert!(wedge_intersects_aabb(
+            (0.0, 10.0),
+            (1.0, 0.0),
+            std::f64::consts::FRAC_PI_2,
+            lo,
+            hi
+        ));
+        // Apex inside.
+        assert!(wedge_intersects_aabb((2.5, 0.0), (1.0, 0.0), 0.05, lo, hi));
+        // A thin wedge that pierces a box face: no corner lies inside the
+        // wedge and the apex is outside, so only the boundary-ray test
+        // can (and must) detect it.
+        assert!(wedge_intersects_aabb((2.5, -5.0), (0.0, 1.0), 0.02, lo, hi));
+    }
+
+    #[test]
+    fn aabb_distance_cases() {
+        let (lo, hi) = ((0.0, 0.0), (2.0, 2.0));
+        assert_eq!(aabb_distance((1.0, 1.0), lo, hi), 0.0);
+        assert_eq!(aabb_distance((4.0, 1.0), lo, hi), 2.0);
+        assert!((aabb_distance((-3.0, -4.0), lo, hi) - 5.0).abs() < 1e-12);
+    }
+}

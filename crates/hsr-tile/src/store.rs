@@ -1,0 +1,262 @@
+//! The on-disk tile store.
+//!
+//! A store is a directory: one `meta.hsrp` file describing the pyramid
+//! (manual binary codec — readable with or without the `serde` feature)
+//! and one `L<level>/t<ti>_<tj>.hsrt` file per tile in the compact binary
+//! grid format of [`hsr_terrain::io`]. Tiles load with a single read and
+//! no text parsing; heights round-trip bit-exactly, which the tiled
+//! conformance guarantee relies on.
+
+use crate::pyramid::{PyramidMeta, TileId};
+use hsr_terrain::io::{grid_from_bytes, grid_to_bytes, GridCodecError};
+use hsr_terrain::GridTerrain;
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix + version of the pyramid meta file.
+const META_MAGIC: [u8; 4] = *b"HSRP";
+const META_VERSION: u32 = 1;
+
+/// Errors from the tile store.
+#[derive(Debug)]
+pub enum TileStoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A tile file exists but does not decode.
+    Codec {
+        /// The file involved.
+        path: PathBuf,
+        /// The decode failure.
+        source: GridCodecError,
+    },
+    /// The store directory has no (valid) pyramid meta file.
+    BadMeta {
+        /// The meta path that was rejected.
+        path: PathBuf,
+    },
+}
+
+impl std::fmt::Display for TileStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileStoreError::Io { path, source } => {
+                write!(f, "tile store I/O on {}: {source}", path.display())
+            }
+            TileStoreError::Codec { path, source } => {
+                write!(f, "tile {} does not decode: {source}", path.display())
+            }
+            TileStoreError::BadMeta { path } => {
+                write!(f, "{} is not a valid pyramid meta file", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TileStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TileStoreError::Io { source, .. } => Some(source),
+            TileStoreError::Codec { source, .. } => Some(source),
+            TileStoreError::BadMeta { .. } => None,
+        }
+    }
+}
+
+/// A directory of materialized tiles.
+#[derive(Debug)]
+pub struct TileStore {
+    dir: PathBuf,
+}
+
+impl TileStore {
+    /// Opens (creating if necessary) a store rooted at `dir`.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<TileStore, TileStoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|source| TileStoreError::Io { path: dir.clone(), source })?;
+        Ok(TileStore { dir })
+    }
+
+    /// Opens an existing store rooted at `dir` (no directory creation).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<TileStore, TileStoreError> {
+        let dir = dir.into();
+        if !dir.is_dir() {
+            return Err(TileStoreError::Io {
+                path: dir.clone(),
+                source: std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    "store directory does not exist",
+                ),
+            });
+        }
+        Ok(TileStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a tile lives in.
+    pub fn tile_path(&self, id: TileId) -> PathBuf {
+        self.dir
+            .join(format!("L{}", id.level))
+            .join(format!("t{}_{}.hsrt", id.ti, id.tj))
+    }
+
+    fn meta_path(&self) -> PathBuf {
+        self.dir.join("meta.hsrp")
+    }
+
+    /// True when the tile has been materialized.
+    pub fn has_tile(&self, id: TileId) -> bool {
+        self.tile_path(id).is_file()
+    }
+
+    /// Materializes one tile.
+    pub fn write_tile(&self, id: TileId, grid: &GridTerrain) -> Result<(), TileStoreError> {
+        let path = self.tile_path(id);
+        let io_err = |source, path: &Path| TileStoreError::Io { path: path.to_path_buf(), source };
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| io_err(e, parent))?;
+        }
+        let mut f = std::fs::File::create(&path).map_err(|e| io_err(e, &path))?;
+        f.write_all(&grid_to_bytes(grid))
+            .map_err(|e| io_err(e, &path))?;
+        Ok(())
+    }
+
+    /// Reads one tile back.
+    pub fn read_tile(&self, id: TileId) -> Result<GridTerrain, TileStoreError> {
+        let path = self.tile_path(id);
+        let mut bytes = Vec::new();
+        std::fs::File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|source| TileStoreError::Io { path: path.clone(), source })?;
+        grid_from_bytes(&bytes).map_err(|source| TileStoreError::Codec { path, source })
+    }
+
+    /// Persists the pyramid description.
+    pub fn write_meta(&self, meta: &PyramidMeta) -> Result<(), TileStoreError> {
+        let mut out = Vec::with_capacity(96);
+        out.extend_from_slice(&META_MAGIC);
+        out.extend_from_slice(&META_VERSION.to_le_bytes());
+        for v in [
+            meta.nx as u64,
+            meta.ny as u64,
+            meta.tile_size as u64,
+            meta.levels as u64,
+            meta.tiles_i as u64,
+            meta.tiles_j as u64,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in [meta.dx, meta.dy, meta.origin.0, meta.origin.1] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let path = self.meta_path();
+        std::fs::write(&path, out).map_err(|source| TileStoreError::Io { path, source })
+    }
+
+    /// Loads the pyramid description written by [`TileStore::write_meta`].
+    pub fn read_meta(&self) -> Result<PyramidMeta, TileStoreError> {
+        let path = self.meta_path();
+        let bytes = std::fs::read(&path)
+            .map_err(|source| TileStoreError::Io { path: path.clone(), source })?;
+        let bad = || TileStoreError::BadMeta { path: path.clone() };
+        if bytes.len() < 88 || bytes[..4] != META_MAGIC {
+            return Err(bad());
+        }
+        if u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) != META_VERSION {
+            return Err(bad());
+        }
+        let u64_at =
+            |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes")) as usize;
+        let f64_at = |at: usize| f64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        let meta = PyramidMeta {
+            nx: u64_at(8),
+            ny: u64_at(16),
+            tile_size: u64_at(24),
+            levels: u64_at(32) as u32,
+            tiles_i: u64_at(40),
+            tiles_j: u64_at(48),
+            dx: f64_at(56),
+            dy: f64_at(64),
+            origin: (f64_at(72), f64_at(80)),
+        };
+        if meta.nx < 2 || meta.ny < 2 || meta.tile_size < 2 || meta.levels < 1 {
+            return Err(bad());
+        }
+        Ok(meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pyramid::{TilePyramid, TilingConfig};
+    use hsr_terrain::gen;
+
+    pub(crate) fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hsr-tile-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn tiles_round_trip_through_the_store() {
+        let dir = scratch_dir("roundtrip");
+        let store = TileStore::create(&dir).unwrap();
+        let g = gen::fbm(9, 9, 3, 6.0, 11);
+        let id = TileId { level: 0, ti: 2, tj: 3 };
+        assert!(!store.has_tile(id));
+        store.write_tile(id, &g).unwrap();
+        assert!(store.has_tile(id));
+        let back = store.read_tile(id).unwrap();
+        assert_eq!(back.heights, g.heights);
+        assert_eq!((back.nx, back.ny, back.origin), (g.nx, g.ny, g.origin));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_round_trips_and_rejects_garbage() {
+        let dir = scratch_dir("meta");
+        let store = TileStore::create(&dir).unwrap();
+        let g = gen::fbm(21, 17, 3, 6.0, 3);
+        let meta =
+            TilePyramid::build(&g, TilingConfig { tile_size: 8, levels: 3 }, &store).unwrap();
+        assert_eq!(store.read_meta().unwrap(), meta);
+        // Every tile of every level was materialized.
+        for (ti, tj) in meta.tile_coords() {
+            for level in 0..meta.levels {
+                assert!(store.has_tile(TileId { level, ti, tj }), "missing L{level} {ti},{tj}");
+            }
+        }
+        std::fs::write(store.dir().join("meta.hsrp"), b"junkjunkjunk").unwrap();
+        assert!(matches!(store.read_meta(), Err(TileStoreError::BadMeta { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_tiles_and_stores_surface_io_errors() {
+        let dir = scratch_dir("missing");
+        assert!(matches!(TileStore::open(&dir), Err(TileStoreError::Io { .. })));
+        let store = TileStore::create(&dir).unwrap();
+        assert!(matches!(
+            store.read_tile(TileId { level: 0, ti: 0, tj: 0 }),
+            Err(TileStoreError::Io { .. })
+        ));
+        // A corrupt tile file is a codec error, not an I/O error.
+        let id = TileId { level: 1, ti: 0, tj: 0 };
+        let path = store.tile_path(id);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, b"not a tile").unwrap();
+        assert!(matches!(store.read_tile(id), Err(TileStoreError::Codec { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -62,6 +62,12 @@
 //! let reports = scene.session().eval_batch(&sweep);
 //! assert!(reports.into_iter().all(|r| r.unwrap().k > 0));
 //! ```
+//!
+//! Terrains too large for one in-memory scene evaluate *out of core*
+//! through [`TiledSceneBuilder`]: the terrain becomes an on-disk tile
+//! pyramid (fixed-size tiles with overlap skirts plus coarsened levels
+//! of detail) and each view streams only its covering tiles through a
+//! hard-capped cache — see the [`tiled`] module for a worked example.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -71,11 +77,14 @@ pub use hsr_geometry as geometry;
 pub use hsr_pram as pram;
 pub use hsr_pstruct as pstruct;
 pub use hsr_terrain as terrain;
+pub use hsr_tile as tile;
 
 pub mod render;
 pub mod scene;
+pub mod tiled;
 
 pub use scene::{
     Algorithm, CostCollector, CostReport, HsrError, Phase2Mode, Projection, Report, Scene,
     SceneBuilder, SceneReport, Session, Timings, Verdict, View,
 };
+pub use tiled::{TiledReport, TiledScene, TiledSceneBuilder, TiledSceneConfig};

@@ -27,7 +27,7 @@
 use std::sync::Arc;
 
 use hsr_geometry::Point3;
-use hsr_terrain::{GridTerrain, Tin, TinError};
+use hsr_terrain::{GridTerrain, Tin};
 
 pub use hsr_core::error::HsrError;
 pub use hsr_core::pipeline::{Algorithm, Phase2Mode, Timings};
@@ -100,45 +100,6 @@ impl Scene {
     /// Scene size `(vertices, edges, faces)`.
     pub fn counts(&self) -> (usize, usize, usize) {
         self.tin.counts()
-    }
-
-    /// Wraps an already validated TIN.
-    #[deprecated(note = "use `SceneBuilder::from_tin(tin).build()`")]
-    pub fn from_tin(tin: Tin) -> Scene {
-        Scene { tin: Arc::new(tin) }
-    }
-
-    /// Builds a scene from a heightfield.
-    #[deprecated(note = "use `SceneBuilder::from_grid(grid).build()`")]
-    pub fn from_grid(grid: &GridTerrain) -> Result<Scene, TinError> {
-        Ok(Scene { tin: Arc::new(grid.to_tin()?) })
-    }
-
-    /// Runs hidden-surface removal with the default (parallel,
-    /// persistent) algorithm.
-    #[deprecated(note = "use `scene.session().eval(&View::orthographic(0.0))`")]
-    pub fn compute(&self) -> Result<SceneReport, HsrError> {
-        self.session().eval(&View::orthographic(0.0))
-    }
-
-    /// Runs hidden-surface removal with an explicit algorithm choice.
-    #[deprecated(note = "use `scene.session().eval(&View::orthographic(0.0).algorithm(alg))`")]
-    pub fn compute_with(&self, algorithm: Algorithm) -> Result<SceneReport, HsrError> {
-        self.session()
-            .eval(&View::orthographic(0.0).algorithm(algorithm))
-    }
-
-    /// Runs with full per-layer statistics collection.
-    #[deprecated(note = "use `scene.session().eval(&View::orthographic(0.0).stats(true))`")]
-    pub fn compute_with_stats(&self) -> Result<SceneReport, HsrError> {
-        self.session().eval(&View::orthographic(0.0).stats(true))
-    }
-
-    /// The same terrain viewed from direction `angle` radians (rotated
-    /// about the vertical axis).
-    #[deprecated(note = "evaluate `View::orthographic(angle)` through a `Session` instead")]
-    pub fn rotated_view(&self, angle: f64) -> Result<Scene, TinError> {
-        Ok(Scene { tin: Arc::new(self.tin.rotated_about_z(angle)?) })
     }
 }
 
@@ -231,16 +192,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let scene = Scene::from_grid(&gen::fbm(8, 8, 3, 6.0, 5)).unwrap();
-        let report = scene.compute().unwrap();
+    fn algorithms_agree_through_the_session() {
+        let scene = SceneBuilder::from_grid(&gen::fbm(8, 8, 3, 6.0, 5))
+            .build()
+            .unwrap();
+        let session = scene.session();
+        let report = session.eval(&View::orthographic(0.0)).unwrap();
         assert!(report.k > 0);
-        let seq = scene.compute_with(Algorithm::Sequential).unwrap();
+        let seq = session
+            .eval(&View::orthographic(0.0).algorithm(Algorithm::Sequential))
+            .unwrap();
         assert!(report.vis.agreement(&seq.vis) > 0.9999);
-        let stats = scene.compute_with_stats().unwrap();
+        let stats = session.eval(&View::orthographic(0.0).stats(true)).unwrap();
         assert!(!stats.layers.is_empty());
-        let rotated = scene.rotated_view(0.4).unwrap();
-        assert!(rotated.compute().unwrap().k > 0);
     }
 }
