@@ -1,0 +1,272 @@
+//! serve_load — load generator for the `hsr-serve` visibility service.
+//!
+//! Spins up an in-process server hosting the same terrain on both
+//! backends (monolithic TIN and out-of-core tile pyramid), then drives
+//! it with concurrent client threads under three traffic shapes:
+//!
+//! * `mono-pingpong` — strict request/response per client (no batches
+//!   for the dispatcher to form: the coalescing *floor*),
+//! * `mono-pipelined` — each client pipelines bursts of compatible
+//!   requests (the coalescing *ceiling*),
+//! * `tiled-viewshed` — viewshed bursts against the tiled backend
+//!   (prepared-scene reuse + the resident-tile cache under the cap).
+//!
+//! Reports throughput, wall-clock latency percentiles, and the
+//! per-request cost counters the responses carry (the output-size
+//! sensitive bound is what makes per-request cost predictable enough to
+//! schedule). `--json` writes `BENCH_serve.json` — the artifact the CI
+//! serve-smoke job uploads; `--quick` shrinks the run.
+//!
+//! ```sh
+//! cargo run --release -p hsr-bench --bin serve_load -- [--quick] [--json]
+//! ```
+
+use hsr_bench::harness::md_table;
+use hsr_core::view::View;
+use hsr_geometry::Point3;
+use hsr_serve::{Client, PreparedStats, ServeStats, Server, ServerBuilder, TerrainSource};
+use hsr_terrain::gen;
+use hsr_tile::{TilePyramid, TileStore, TiledSceneConfig, TilingConfig};
+use std::time::Instant;
+
+/// One scenario's measurements, serialized into `BENCH_serve.json`.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+struct ScenarioReport {
+    scenario: String,
+    clients: usize,
+    requests: u64,
+    errors: u64,
+    elapsed_s: f64,
+    throughput_rps: f64,
+    latency_ms_p50: f64,
+    latency_ms_p90: f64,
+    latency_ms_p99: f64,
+    latency_ms_max: f64,
+    /// Sum of the per-request cost counters (`Report::cost` total work).
+    total_work: u64,
+    /// Mean output size `k` per successful request.
+    mean_k: f64,
+    /// Service counters **scoped to this scenario** (before/after
+    /// deltas) — except `max_batch_observed`, which is a high-water
+    /// mark the server cannot un-see and therefore covers the whole
+    /// run up to this scenario's end.
+    server: ServeStats,
+    /// Prepared-scene counters scoped to this scenario (deltas), with
+    /// `resident`/`peak_resident` as end-of-scenario snapshots.
+    prepared: PreparedStats,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Runs `clients` threads, each evaluating `rounds` bursts of `views`
+/// against `terrain` (burst size 1 = ping-pong), and summarizes.
+fn run_scenario(
+    name: &str,
+    server: &Server,
+    terrain: &str,
+    views: &[View],
+    clients: usize,
+    rounds: usize,
+    pipelined: bool,
+) -> ScenarioReport {
+    let before = server.stats();
+    let prepared_before = server.prepared_stats();
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<f64>, u64, u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = Client::connect(server.local_addr()).expect("connect");
+                    let mut latencies = Vec::new();
+                    let (mut work, mut k_sum, mut errors) = (0u64, 0u64, 0u64);
+                    for _ in 0..rounds {
+                        if pipelined {
+                            let t = Instant::now();
+                            let results = client.eval_pipelined(terrain, views).expect("pipelined");
+                            let burst_ms = t.elapsed().as_secs_f64() * 1e3;
+                            // Wall time is shared by the burst; charge
+                            // each request the mean.
+                            for result in results {
+                                latencies.push(burst_ms / views.len() as f64);
+                                match result {
+                                    Ok(report) => {
+                                        work += report.cost.total_work();
+                                        k_sum += report.k as u64;
+                                    }
+                                    Err(_) => errors += 1,
+                                }
+                            }
+                        } else {
+                            for view in views {
+                                let t = Instant::now();
+                                match client.eval(terrain, view) {
+                                    Ok(report) => {
+                                        work += report.cost.total_work();
+                                        k_sum += report.k as u64;
+                                    }
+                                    Err(_) => errors += 1,
+                                }
+                                latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                            }
+                        }
+                    }
+                    (latencies, work, k_sum, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = per_client.iter().flat_map(|(l, ..)| l.clone()).collect();
+    latencies.sort_by(f64::total_cmp);
+    let total_work: u64 = per_client.iter().map(|&(_, w, ..)| w).sum();
+    let k_sum: u64 = per_client.iter().map(|&(_, _, k, _)| k).sum();
+    let errors: u64 = per_client.iter().map(|&(.., e)| e).sum();
+    let requests = latencies.len() as u64;
+    let ok = requests - errors;
+    let after = server.stats();
+    ScenarioReport {
+        scenario: name.into(),
+        clients,
+        requests,
+        errors,
+        elapsed_s,
+        throughput_rps: requests as f64 / elapsed_s,
+        latency_ms_p50: percentile(&latencies, 0.50),
+        latency_ms_p90: percentile(&latencies, 0.90),
+        latency_ms_p99: percentile(&latencies, 0.99),
+        latency_ms_max: latencies.last().copied().unwrap_or(0.0),
+        total_work,
+        mean_k: if ok > 0 {
+            k_sum as f64 / ok as f64
+        } else {
+            0.0
+        },
+        server: ServeStats {
+            connections: after.connections - before.connections,
+            admitted: after.admitted - before.admitted,
+            rejected: after.rejected - before.rejected,
+            malformed: after.malformed - before.malformed,
+            completed: after.completed - before.completed,
+            failed: after.failed - before.failed,
+            batches: after.batches - before.batches,
+            batched_requests: after.batched_requests - before.batched_requests,
+            max_batch_observed: after.max_batch_observed,
+        },
+        prepared: {
+            let after = server.prepared_stats();
+            PreparedStats {
+                lookups: after.lookups - prepared_before.lookups,
+                hits: after.hits - prepared_before.hits,
+                prepares: after.prepares - prepared_before.prepares,
+                errors: after.errors - prepared_before.errors,
+                evictions: after.evictions - prepared_before.evictions,
+                resident: after.resident,
+                peak_resident: after.peak_resident,
+            }
+        },
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (clients, rounds) = if quick { (4, 2) } else { (8, 4) };
+
+    // One terrain, two backends. 33×33 keeps per-request latency small
+    // so the run measures the service, not the pipeline.
+    let grid = gen::diamond_square(5, 0.6, 12.0, 31);
+    let (lo_x, hi_x) = (0.0, (grid.nx - 1) as f64);
+    let mid_y = 0.5 * (grid.ny - 1) as f64;
+    let dir = std::env::temp_dir().join(format!("serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let tiled_cfg = TiledSceneConfig { cache_capacity: 4, ..Default::default() };
+    TilePyramid::build(
+        &grid,
+        TilingConfig { tile_size: 8, levels: 2 },
+        &TileStore::create(&dir).expect("store dir"),
+    )
+    .expect("pyramid build");
+
+    let server = ServerBuilder::new()
+        .terrain("t", TerrainSource::Grid(grid.clone()))
+        .terrain("t-tiled", TerrainSource::TiledStore { dir: dir.clone(), config: tiled_cfg })
+        .workers(3)
+        .queue_depth(256)
+        .bind("127.0.0.1:0")
+        .expect("bind");
+    println!("## serve_load — {clients} clients × {rounds} rounds on {}", server.local_addr());
+
+    let sweep: Vec<View> = (0..6)
+        .map(|i| View::orthographic(0.12 * i as f64))
+        .collect();
+    let observer = Point3::new(hi_x + 120.0, mid_y, 30.0);
+    let targets: Vec<Point3> = (0..16)
+        .map(|i| {
+            let f = (i as f64 + 0.5) / 16.0;
+            Point3::new(lo_x + f * (hi_x - lo_x) * 0.9 + 0.37, mid_y + 8.0 * (f - 0.5), 6.0)
+        })
+        .collect();
+    let viewsheds: Vec<View> = (0..4)
+        .map(|_| View::viewshed(observer, targets.clone()))
+        .collect();
+
+    let reports = vec![
+        run_scenario("mono-pingpong", &server, "t", &sweep, clients, rounds, false),
+        run_scenario("mono-pipelined", &server, "t", &sweep, clients, rounds, true),
+        run_scenario("tiled-viewshed", &server, "t-tiled", &viewsheds, clients, rounds, true),
+    ];
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    md_table(
+        &[
+            "scenario", "req", "rps", "p50 ms", "p90 ms", "p99 ms", "max ms", "batches", "work/req",
+        ],
+        &reports
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    r.requests.to_string(),
+                    format!("{:.0}", r.throughput_rps),
+                    format!("{:.2}", r.latency_ms_p50),
+                    format!("{:.2}", r.latency_ms_p90),
+                    format!("{:.2}", r.latency_ms_p99),
+                    format!("{:.2}", r.latency_ms_max),
+                    r.server.batches.to_string(),
+                    format!("{:.0}", r.total_work as f64 / r.requests.max(1) as f64),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    for r in &reports {
+        assert_eq!(r.errors, 0, "{}: unexpected request errors", r.scenario);
+        assert_eq!(r.server.rejected, 0, "{}: queue depth 256 must absorb this load", r.scenario);
+    }
+    // Pipelining compatible requests must actually coalesce: fewer
+    // dispatch groups than requests.
+    let pipelined = &reports[1];
+    assert!(
+        pipelined.server.batches < pipelined.server.admitted,
+        "pipelined traffic formed no batches: {:?}",
+        pipelined.server
+    );
+
+    if std::env::args().any(|a| a == "--json") {
+        let path = "BENCH_serve.json";
+        std::fs::write(path, serde_json::to_string(&reports).expect("reports serialize"))
+            .expect("write bench json");
+        println!("(wrote {path})");
+    }
+}

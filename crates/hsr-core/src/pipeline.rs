@@ -9,8 +9,8 @@ use hsr_terrain::Tin;
 use std::time::Instant;
 
 /// Which algorithm to run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Algorithm {
     /// The paper's parallel algorithm (PCT + persistent prefix profiles).
     Parallel(Phase2Mode),
@@ -21,8 +21,8 @@ pub enum Algorithm {
 }
 
 /// Phase-2 engine (DESIGN.md §4.3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Phase2Mode {
     /// Persistent shared prefix profiles (default).
     Persistent,
@@ -31,7 +31,8 @@ pub enum Phase2Mode {
 }
 
 /// Pipeline configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HsrConfig {
     /// Algorithm selection.
     pub algorithm: Algorithm,

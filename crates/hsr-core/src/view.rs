@@ -35,6 +35,7 @@ use hsr_terrain::Tin;
 
 /// Where the viewer stands.
 #[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Projection {
     /// Viewer at `x = +∞` after rotating the scene by `azimuth` radians
     /// about the vertical axis (the paper's §2 setting; `azimuth = 0` is
@@ -78,12 +79,32 @@ pub enum Projection {
 /// configuration. Construct with [`View::orthographic`],
 /// [`View::perspective`] or [`View::viewshed`] and refine with the
 /// builder methods.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct View {
     /// Where the viewer stands.
     pub projection: Projection,
     /// Pipeline configuration for this view.
     pub config: HsrConfig,
+}
+
+/// The canonical batching-compatibility key of a [`View`]: everything
+/// about a view *except* its geometry. Two views of the same terrain with
+/// equal keys can be coalesced into one [`evaluate_batch`] /
+/// [`evaluate_many`] fan-out without changing any per-view result — the
+/// key pins the pipeline configuration, and the scoped cost collectors
+/// make each report independent of what else ran in the batch.
+///
+/// The key is deliberately cheap (`Copy`, `Eq`, `Hash`): a request
+/// scheduler computes it per request and groups by `(terrain, key)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CompatKey {
+    /// Algorithm + phase-2 engine selection.
+    pub algorithm: Algorithm,
+    /// Layered parallel Kahn ordering vs sequential.
+    pub parallel_order: bool,
+    /// Per-layer statistics collection.
+    pub collect_stats: bool,
 }
 
 impl View {
@@ -133,6 +154,15 @@ impl View {
     pub fn stats(mut self, on: bool) -> View {
         self.config.collect_stats = on;
         self
+    }
+
+    /// The view's batching-compatibility key (see [`CompatKey`]).
+    pub fn compat_key(&self) -> CompatKey {
+        CompatKey {
+            algorithm: self.config.algorithm,
+            parallel_order: self.config.parallel_order,
+            collect_stats: self.config.collect_stats,
+        }
     }
 }
 
@@ -640,6 +670,39 @@ mod tests {
         m.absorb(&mk(vec![Verdict::Visible, Verdict::Hidden, Verdict::Visible]), 0);
         m.absorb(&Report::empty(), 0); // non-viewshed part: verdicts untouched
         assert_eq!(m.verdicts, vec![Verdict::Visible, Verdict::Hidden, Verdict::Hidden]);
+    }
+
+    #[test]
+    fn compat_key_tracks_config_not_geometry() {
+        let a = View::orthographic(0.0);
+        let b = View::viewshed(Point3::new(9.0, 0.0, 3.0), Vec::new());
+        assert_eq!(a.compat_key(), b.compat_key());
+        assert_ne!(
+            a.compat_key(),
+            View::orthographic(0.0)
+                .algorithm(Algorithm::Sequential)
+                .compat_key()
+        );
+        assert_ne!(a.compat_key(), View::orthographic(0.0).stats(true).compat_key());
+        assert_ne!(a.compat_key(), View::orthographic(0.0).parallel_order(false).compat_key());
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn views_roundtrip_through_json() {
+        let views = vec![
+            View::orthographic(0.35).algorithm(Algorithm::Sequential),
+            View::perspective(Point3::new(40.0, 3.0, 18.0), Point3::new(0.0, 3.0, 0.0), 1.2, 640)
+                .stats(true),
+            View::viewshed(Point3::new(60.0, 4.0, 9.0), vec![Point3::new(1.0, 2.0, 3.0)])
+                .parallel_order(false),
+        ];
+        for view in views {
+            let json = serde_json::to_string(&view).unwrap();
+            let back: View = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, view, "json was {json}");
+            assert_eq!(back.compat_key(), view.compat_key());
+        }
     }
 
     #[test]

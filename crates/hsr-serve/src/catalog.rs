@@ -1,0 +1,350 @@
+//! Hosted terrains and the prepared-scene LRU.
+//!
+//! The server is configured with a catalog of named [`TerrainSource`]s.
+//! A source is cheap to hold (a heightfield grid, a shared TIN, or just
+//! the path of a materialized tile store); what evaluation needs is a
+//! *prepared* scene — a validated TIN with its adjacency, or an opened
+//! [`TiledScene`] with its resident-tile cache. Preparation is the
+//! expensive step, so prepared scenes are reused through a hard-capped
+//! LRU keyed by terrain name ([`PreparedCache`]), with the same commit
+//! discipline as the tile cache underneath: an eviction only commits
+//! alongside a successful prepare, so a transient failure never shrinks
+//! what is resident.
+
+use hsr_core::error::HsrError;
+use hsr_core::view::{evaluate_batch, Report, View};
+use hsr_terrain::{GridTerrain, Tin};
+use hsr_tile::{CacheStats, TileStore, TiledScene, TiledSceneConfig};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use crate::protocol::{ErrorKind, WireError};
+
+/// How a hosted terrain is obtained when a prepared scene is needed.
+pub enum TerrainSource {
+    /// A heightfield grid held in memory; prepared by triangulating and
+    /// validating it into a TIN (the monolithic backend).
+    Grid(GridTerrain),
+    /// An already validated TIN, shared as-is (monolithic backend with a
+    /// free prepare step).
+    Tin(Arc<Tin>),
+    /// A materialized tile-store directory; prepared by opening it as an
+    /// out-of-core [`TiledScene`] — this is how a terrain too large for
+    /// one in-memory scene (e.g. 2049²) is served under the tiled
+    /// residency cap.
+    TiledStore {
+        /// The store directory (as written by `TiledScene::build` /
+        /// `TilePyramid::build`).
+        dir: PathBuf,
+        /// Evaluation config: resident-tile cap, LOD knobs.
+        config: TiledSceneConfig,
+    },
+}
+
+/// A scene ready to evaluate views: the two backends of the service.
+#[derive(Clone)]
+pub enum PreparedScene {
+    /// One in-memory validated TIN (the facade's `Scene`).
+    Monolithic(Arc<Tin>),
+    /// An out-of-core tiled scene with its capped resident-tile cache.
+    Tiled(Arc<TiledScene>),
+}
+
+impl std::fmt::Debug for PreparedScene {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreparedScene::Monolithic(tin) => {
+                let (v, e, t) = tin.counts();
+                write!(f, "Monolithic({v} vertices, {e} edges, {t} faces)")
+            }
+            PreparedScene::Tiled(scene) => {
+                write!(f, "Tiled({} tiles/level)", scene.meta().tile_count())
+            }
+        }
+    }
+}
+
+impl PreparedScene {
+    /// Evaluates a coalesced group of views — one `evaluate_batch` /
+    /// `eval_many` fan-out — returning one result per view in order.
+    pub fn eval_group(&self, views: &[View]) -> Vec<Result<Report, WireError>> {
+        match self {
+            PreparedScene::Monolithic(tin) => evaluate_batch(tin, views)
+                .into_iter()
+                .map(|r| r.map_err(eval_error))
+                .collect(),
+            PreparedScene::Tiled(scene) => match scene.eval_many(views) {
+                Ok(results) => results
+                    .into_iter()
+                    .map(|r| {
+                        r.map(|tiled| tiled.report)
+                            .map_err(|e| WireError::new(ErrorKind::Eval, e.to_string()))
+                    })
+                    .collect(),
+                // Infrastructure failure (a tile failed to load): the
+                // whole batch fails with the same story.
+                Err(e) => views
+                    .iter()
+                    .map(|_| Err(WireError::new(ErrorKind::Eval, e.to_string())))
+                    .collect(),
+            },
+        }
+    }
+
+    /// The tiled backend's resident-tile cache counters, if any.
+    pub fn tile_cache_stats(&self) -> Option<CacheStats> {
+        match self {
+            PreparedScene::Monolithic(_) => None,
+            PreparedScene::Tiled(scene) => Some(scene.cache_stats()),
+        }
+    }
+}
+
+fn eval_error(e: HsrError) -> WireError {
+    WireError::new(ErrorKind::Eval, e.to_string())
+}
+
+/// Prepared-scene cache counters; `hits + prepares + errors == lookups`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PreparedStats {
+    /// Calls to [`PreparedCache::get_or_prepare`].
+    pub lookups: u64,
+    /// Lookups served from a resident prepared scene.
+    pub hits: u64,
+    /// Scenes prepared from their source (successful misses).
+    pub prepares: u64,
+    /// Lookups that failed: unknown terrain or a failed prepare. A
+    /// failed prepare commits nothing — no eviction, no residency
+    /// change.
+    pub errors: u64,
+    /// Prepared scenes dropped to make room.
+    pub evictions: u64,
+    /// Prepared scenes resident right now.
+    pub resident: usize,
+    /// High-water mark of `resident` — proves the cap held.
+    pub peak_resident: usize,
+}
+
+struct PreparedEntry {
+    scene: PreparedScene,
+    last_use: u64,
+}
+
+struct CacheInner {
+    map: HashMap<String, PreparedEntry>,
+    tick: u64,
+    stats: PreparedStats,
+}
+
+/// A hard-capped LRU of prepared scenes keyed by terrain name.
+///
+/// Unlike the tile cache there is no pinning: an in-flight evaluation
+/// holds its own `Arc` to the scene it is using, so eviction never
+/// interrupts work — the cap bounds how many prepared scenes the cache
+/// *retains* for reuse. With capacity 1 and two hot terrains the service
+/// still answers correctly; it just re-prepares on each alternation
+/// (the concurrency tests pin this behavior down).
+pub struct PreparedCache {
+    capacity: usize,
+    sources: HashMap<String, TerrainSource>,
+    inner: Mutex<CacheInner>,
+    /// Serializes the prepare step only: concurrent prepares of big
+    /// terrains would multiply peak memory, but a prepare must not hold
+    /// the bookkeeping lock — hits on already-resident terrains stay
+    /// wait-free while one slow prepare runs.
+    prepare_lock: Mutex<()>,
+}
+
+impl PreparedCache {
+    /// A cache over `sources` retaining at most `capacity` prepared
+    /// scenes (≥ 1).
+    pub fn new(capacity: usize, sources: HashMap<String, TerrainSource>) -> PreparedCache {
+        assert!(capacity >= 1, "prepared-scene capacity must be ≥ 1");
+        PreparedCache {
+            capacity,
+            sources,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                stats: PreparedStats::default(),
+            }),
+            prepare_lock: Mutex::new(()),
+        }
+    }
+
+    /// The registered terrain names, sorted.
+    pub fn terrain_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.sources.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PreparedStats {
+        self.inner.lock().expect("prepared cache lock").stats
+    }
+
+    /// The resident-tile cache counters of `name`, if that terrain is
+    /// currently resident on the tiled backend. A pure peek: touches
+    /// neither the LRU recency nor the lookup counters.
+    pub fn tile_cache_stats(&self, name: &str) -> Option<CacheStats> {
+        let inner = self.inner.lock().expect("prepared cache lock");
+        inner
+            .map
+            .get(name)
+            .and_then(|entry| entry.scene.tile_cache_stats())
+    }
+
+    /// Returns the prepared scene for `name`, preparing it from its
+    /// source on a miss. Prepares are serialized with each other (one
+    /// big terrain materializing at a time bounds peak memory) but do
+    /// **not** hold the bookkeeping lock, so hits on already-resident
+    /// terrains proceed while a prepare runs. The eviction only commits
+    /// together with the successful insert, under one lock acquisition:
+    /// a failed prepare changes nothing but the `errors` counter, and
+    /// `resident` never exceeds the capacity (the freshly prepared
+    /// scene coexists with its victim only outside the map, briefly).
+    pub fn get_or_prepare(&self, name: &str) -> Result<PreparedScene, WireError> {
+        if let Some(hit) = self.lookup(name, true) {
+            return Ok(hit);
+        }
+        let Some(source) = self.sources.get(name) else {
+            self.inner.lock().expect("prepared cache lock").stats.errors += 1;
+            return Err(WireError::new(
+                ErrorKind::UnknownTerrain,
+                format!("no terrain named `{name}` is registered"),
+            ));
+        };
+        let _preparing = self.prepare_lock.lock().expect("prepare lock");
+        // Someone else may have prepared `name` while we waited.
+        if let Some(hit) = self.lookup(name, false) {
+            return Ok(hit);
+        }
+        let scene = match prepare(source) {
+            Ok(scene) => scene,
+            Err(e) => {
+                self.inner.lock().expect("prepared cache lock").stats.errors += 1;
+                return Err(e);
+            }
+        };
+        // Commit: evict and insert atomically.
+        let mut inner = self.inner.lock().expect("prepared cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        while inner.map.len() >= self.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map above capacity");
+            inner.map.remove(&victim).expect("victim came from the map");
+            inner.stats.evictions += 1;
+        }
+        inner
+            .map
+            .insert(name.to_string(), PreparedEntry { scene: scene.clone(), last_use: tick });
+        inner.stats.prepares += 1;
+        inner.stats.resident = inner.map.len();
+        inner.stats.peak_resident = inner.stats.peak_resident.max(inner.map.len());
+        Ok(scene)
+    }
+
+    /// One locked hit-check. `first` marks the initial lookup of a
+    /// `get_or_prepare` call (counted in `lookups`); the re-check after
+    /// waiting on the prepare lock is not a new lookup, but a hit there
+    /// still counts as a hit so `hits + prepares + errors == lookups`
+    /// stays exact.
+    fn lookup(&self, name: &str, first: bool) -> Option<PreparedScene> {
+        let mut inner = self.inner.lock().expect("prepared cache lock");
+        inner.tick += 1;
+        if first {
+            inner.stats.lookups += 1;
+        }
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(name)?;
+        entry.last_use = tick;
+        let scene = entry.scene.clone();
+        inner.stats.hits += 1;
+        Some(scene)
+    }
+}
+
+fn prepare(source: &TerrainSource) -> Result<PreparedScene, WireError> {
+    match source {
+        TerrainSource::Grid(grid) => grid
+            .to_tin()
+            .map(|tin| PreparedScene::Monolithic(Arc::new(tin)))
+            .map_err(|e| WireError::new(ErrorKind::Prepare, e.to_string())),
+        TerrainSource::Tin(tin) => Ok(PreparedScene::Monolithic(Arc::clone(tin))),
+        TerrainSource::TiledStore { dir, config } => TileStore::open(dir)
+            .map_err(|e| WireError::new(ErrorKind::Prepare, e.to_string()))
+            .and_then(|store| {
+                TiledScene::open(store, *config)
+                    .map_err(|e| WireError::new(ErrorKind::Prepare, e.to_string()))
+            })
+            .map(|scene| PreparedScene::Tiled(Arc::new(scene))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsr_terrain::gen;
+
+    fn sources() -> HashMap<String, TerrainSource> {
+        let mut m = HashMap::new();
+        m.insert("a".into(), TerrainSource::Grid(gen::fbm(6, 6, 2, 4.0, 1)));
+        m.insert("b".into(), TerrainSource::Grid(gen::fbm(6, 6, 2, 4.0, 2)));
+        m.insert(
+            "broken".into(),
+            TerrainSource::TiledStore {
+                dir: std::env::temp_dir().join("hsr-serve-no-such-store"),
+                config: TiledSceneConfig::default(),
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn capacity_one_alternation_reprepares_and_counts() {
+        let cache = PreparedCache::new(1, sources());
+        for _ in 0..3 {
+            cache.get_or_prepare("a").unwrap();
+            cache.get_or_prepare("b").unwrap();
+        }
+        cache.get_or_prepare("b").unwrap(); // hit
+        let s = cache.stats();
+        assert_eq!((s.lookups, s.hits, s.prepares, s.evictions), (7, 1, 6, 5));
+        assert_eq!((s.resident, s.peak_resident), (1, 1));
+        assert_eq!(s.hits + s.prepares + s.errors, s.lookups);
+    }
+
+    #[test]
+    fn failed_prepare_commits_nothing() {
+        let cache = PreparedCache::new(1, sources());
+        cache.get_or_prepare("a").unwrap();
+        let before = cache.stats();
+        let err = cache.get_or_prepare("broken").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Prepare);
+        let after = cache.stats();
+        assert_eq!(
+            (after.resident, after.evictions, after.prepares),
+            (before.resident, before.evictions, before.prepares)
+        );
+        assert_eq!(after.errors, before.errors + 1);
+        // `a` is still resident.
+        cache.get_or_prepare("a").unwrap();
+        assert_eq!(cache.stats().hits, before.hits + 1);
+    }
+
+    #[test]
+    fn unknown_terrains_error_without_side_effects() {
+        let cache = PreparedCache::new(2, sources());
+        let err = cache.get_or_prepare("nope").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownTerrain);
+        let s = cache.stats();
+        assert_eq!((s.lookups, s.errors, s.resident), (1, 1, 0));
+    }
+}

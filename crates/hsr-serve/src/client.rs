@@ -1,0 +1,117 @@
+//! A small blocking client for the wire protocol — what the tests, the
+//! load generator, and the examples drive the server with.
+
+use crate::protocol::{Request, Response, WireError};
+use hsr_core::view::{Report, View};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or dropped.
+    Io(std::io::Error),
+    /// The server sent something that is not a [`Response`] line.
+    Protocol(String),
+    /// The server answered with an error response.
+    Server(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Protocol(what) => write!(f, "protocol: {what}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to an [`hsr-serve`](crate) server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1 })
+    }
+
+    /// Sends one raw request line.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        let mut line = serde_json::to_string(request).expect("requests serialize");
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())
+    }
+
+    /// Reads one response line.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        serde_json::from_str(line.trim()).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// One request, one response: evaluates `view` against the hosted
+    /// terrain `terrain` and waits for the report.
+    pub fn eval(&mut self, terrain: &str, view: &View) -> Result<Report, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request { id, terrain: terrain.into(), view: view.clone() })?;
+        let response = self.recv()?;
+        if response.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not answer request {id}",
+                response.id
+            )));
+        }
+        response.into_result().map_err(ClientError::Server)
+    }
+
+    /// Pipelines a batch: writes every request before reading any
+    /// response, then matches responses back to request order by id.
+    /// Pipelining is what gives the server's dispatcher companions to
+    /// coalesce; a strict request/response ping-pong never batches.
+    pub fn eval_pipelined(
+        &mut self,
+        terrain: &str,
+        views: &[View],
+    ) -> Result<Vec<Result<Report, WireError>>, ClientError> {
+        let ids: Vec<u64> = views.iter().map(|_| self.fresh_id()).collect();
+        for (id, view) in ids.iter().zip(views) {
+            self.send(&Request { id: *id, terrain: terrain.into(), view: view.clone() })?;
+        }
+        let mut by_id: std::collections::HashMap<u64, Result<Report, WireError>> =
+            std::collections::HashMap::new();
+        for _ in views {
+            let response = self.recv()?;
+            by_id.insert(response.id, response.into_result());
+        }
+        ids.iter()
+            .map(|id| {
+                by_id
+                    .remove(id)
+                    .ok_or_else(|| ClientError::Protocol(format!("no response for request {id}")))
+            })
+            .collect()
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+}

@@ -1,0 +1,59 @@
+//! A concurrent visibility-query service over the HSR pipeline.
+//!
+//! PRs 2–4 built the evaluation machinery — the multi-view `Session`
+//! API, scoped per-view cost accounting, and out-of-core tiled
+//! evaluation. This crate is the layer that accepts *requests* and
+//! turns them into batched evaluations: the workload of a
+//! viewshed/visibility service over massive grid terrains (Haverkort &
+//! Toma's setting), made schedulable by the paper's output-size
+//! sensitive bound — per-request cost counters arrive with every
+//! response.
+//!
+//! * [`protocol`] — newline-delimited JSON over TCP; [`Request`] wraps
+//!   an [`hsr_core::view::View`], [`Response`] carries the full
+//!   [`hsr_core::view::Report`], bit-identical to a local evaluation.
+//! * [`server`] — bounded admission queue with immediate
+//!   [`ErrorKind::Overloaded`] rejection (backpressure, not unbounded
+//!   buffering), a dispatcher that **coalesces** requests targeting the
+//!   same terrain and compatible config
+//!   ([`hsr_core::view::CompatKey`]) into one
+//!   `evaluate_batch`/`eval_many` fan-out, and a bounded worker pool.
+//! * [`catalog`] — named terrains behind a hard-capped prepared-scene
+//!   LRU with two backends: a monolithic in-memory TIN, or an
+//!   out-of-core [`hsr_tile::TiledScene`] so multi-million-cell
+//!   terrains serve under the tiled residency cap.
+//! * [`client`] — a small blocking client (single-shot and pipelined).
+//!
+//! The scoped cost collectors of PR 3 are what make coalescing safe:
+//! a view evaluated inside a coalesced batch reports counters
+//! bit-identical to a solo evaluation, so batching is purely a
+//! throughput decision.
+//!
+//! ```no_run
+//! use hsr_core::view::View;
+//! use hsr_serve::{Client, ServerBuilder, TerrainSource};
+//! use hsr_terrain::gen;
+//!
+//! let server = ServerBuilder::new()
+//!     .terrain("demo", TerrainSource::Grid(gen::fbm(32, 32, 4, 9.0, 5)))
+//!     .bind("127.0.0.1:0")
+//!     .unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let report = client.eval("demo", &View::orthographic(0.3)).unwrap();
+//! assert!(report.k > 0);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use catalog::{PreparedCache, PreparedScene, PreparedStats, TerrainSource};
+pub use client::{Client, ClientError};
+pub use protocol::{ErrorKind, Request, Response, WireError};
+pub use server::{ServeConfig, ServeStats, Server, ServerBuilder};

@@ -1,0 +1,138 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! One connection carries any number of requests; each line is one JSON
+//! document. The client writes [`Request`] lines and reads [`Response`]
+//! lines. Responses are **not** guaranteed to arrive in request order —
+//! coalesced batches complete independently — so every request carries a
+//! client-chosen [`Request::id`] that its response echoes. The payload
+//! types mirror the library vocabulary directly: a request wraps an
+//! [`hsr_core::view::View`] (projection + per-view pipeline config) and
+//! a successful response carries the full [`hsr_core::view::Report`],
+//! bit-identical to what a local `Scene::session().eval(view)` of the
+//! same terrain returns (the JSON float codec is round-trip exact for
+//! finite values).
+
+use hsr_core::view::{Report, View};
+
+/// One visibility query: evaluate `view` against the hosted terrain
+/// named `terrain`.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the [`Response`]. Ids are
+    /// opaque to the server; clients pipelining requests on one
+    /// connection should keep them distinct.
+    pub id: u64,
+    /// Name of a terrain registered with the server.
+    pub terrain: String,
+    /// The view to evaluate: projection plus per-view pipeline
+    /// configuration.
+    pub view: View,
+}
+
+/// Why a request failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ErrorKind {
+    /// The admission queue was full — the documented backpressure
+    /// behavior: the server rejects immediately instead of buffering
+    /// without bound. Retry later (ideally with jitter).
+    Overloaded,
+    /// The request line was not a valid [`Request`] document. The echoed
+    /// id is 0 because none could be parsed.
+    BadRequest,
+    /// No terrain with the requested name is registered.
+    UnknownTerrain,
+    /// The terrain exists but could not be prepared for evaluation
+    /// (validation or tile-store failure).
+    Prepare,
+    /// The evaluation itself failed (malformed view, viewpoint inside
+    /// the scene, …).
+    Eval,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+/// A failed request: machine-readable kind plus human-readable detail.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WireError {
+    /// What class of failure this is.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// A new error.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> WireError {
+        WireError { kind, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+/// The answer to one [`Request`]: the echoed id plus exactly one of
+/// `report` (success) or `error`.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Response {
+    /// The id of the request this answers (0 for unparseable requests).
+    pub id: u64,
+    /// The evaluation result on success.
+    pub report: Option<Report>,
+    /// The failure on error.
+    pub error: Option<WireError>,
+}
+
+impl Response {
+    /// A success response.
+    pub fn ok(id: u64, report: Report) -> Response {
+        Response { id, report: Some(report), error: None }
+    }
+
+    /// A failure response.
+    pub fn err(id: u64, error: WireError) -> Response {
+        Response { id, report: None, error: Some(error) }
+    }
+
+    /// Splits into `Ok(report)` / `Err(error)`.
+    pub fn into_result(self) -> Result<Report, WireError> {
+        match (self.report, self.error) {
+            (Some(report), _) => Ok(report),
+            (None, Some(error)) => Err(error),
+            (None, None) => Err(WireError::new(
+                ErrorKind::BadRequest,
+                "malformed response: neither report nor error",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsr_geometry::Point3;
+
+    #[test]
+    fn requests_roundtrip_as_single_lines() {
+        let req = Request {
+            id: 7,
+            terrain: "alps".into(),
+            view: View::viewshed(Point3::new(40.0, 3.0, 9.0), vec![Point3::new(1.0, 2.0, 3.0)]),
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        assert!(!line.contains('\n'), "wire documents must be single lines");
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn responses_split_into_results() {
+        let err = Response::err(3, WireError::new(ErrorKind::Overloaded, "queue full"));
+        let line = serde_json::to_string(&err).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.id, 3);
+        assert_eq!(back.into_result().unwrap_err().kind, ErrorKind::Overloaded);
+    }
+}

@@ -1,0 +1,615 @@
+//! The service: admission, coalescing, workers, backpressure.
+//!
+//! ```text
+//! clients ──TCP──▶ reader threads ──try_send──▶ admission queue (bounded)
+//!                       │ full? reject with `Overloaded`
+//!                       ▼
+//!                  dispatcher ── groups by (terrain, CompatKey) ──▶
+//!                  rendezvous channel ──▶ worker pool (bounded)
+//!                       │                     │ prepared-scene LRU
+//!                       ▼                     ▼ one evaluate_batch /
+//!                  (blocks while all          eval_many fan-out per
+//!                   workers busy — the        group; replies written
+//!                   queue fills and           per request
+//!                   admission rejects)
+//! ```
+//!
+//! Backpressure is a chain, not a single knob: workers pull coalesced
+//! batches from a zero-capacity rendezvous channel, so a busy pool
+//! blocks the dispatcher; the dispatcher stops draining the bounded
+//! admission queue; and once that queue is full, reader threads reject
+//! new requests immediately with [`ErrorKind::Overloaded`] instead of
+//! buffering without bound. Nothing in the path allocates proportionally
+//! to offered load.
+
+use crate::catalog::{PreparedCache, PreparedStats, TerrainSource};
+use crate::protocol::{ErrorKind, Request, Response, WireError};
+use hsr_core::view::CompatKey;
+use std::collections::HashMap;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads evaluating coalesced batches (≥ 1).
+    pub workers: usize,
+    /// Admission-queue depth: requests accepted but not yet dispatched.
+    /// When full, new requests are rejected with
+    /// [`ErrorKind::Overloaded`].
+    pub queue_depth: usize,
+    /// Most requests coalesced into one dispatch round (≥ 1).
+    pub max_batch: usize,
+    /// How long the dispatcher waits for companions after the first
+    /// request of a round. Zero disables waiting (group only what is
+    /// already queued).
+    pub batch_window: Duration,
+    /// Prepared scenes retained by the LRU (≥ 1).
+    pub scene_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 64,
+            max_batch: 16,
+            batch_window: Duration::from_millis(1),
+            scene_capacity: 4,
+        }
+    }
+}
+
+/// Live service counters (monotonic unless noted).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Well-formed requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests rejected because the admission queue was full.
+    pub rejected: u64,
+    /// Request lines that did not parse.
+    pub malformed: u64,
+    /// Responses written with a report.
+    pub completed: u64,
+    /// Responses written with an error (excluding rejections).
+    pub failed: u64,
+    /// Dispatch groups evaluated (each is one batched fan-out).
+    pub batches: u64,
+    /// Requests carried by those groups.
+    pub batched_requests: u64,
+    /// Largest single group observed.
+    pub max_batch_observed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    malformed: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch_observed: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            max_batch_observed: self.max_batch_observed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One client connection's write half, shared by the workers answering
+/// its requests. Each response is one serialized line written under the
+/// lock, so lines from concurrent workers never interleave.
+struct Reply {
+    stream: Mutex<TcpStream>,
+}
+
+impl Reply {
+    fn send(&self, response: &Response) {
+        let mut line = serde_json::to_string(response).expect("responses serialize");
+        line.push('\n');
+        let mut stream = self.stream.lock().expect("reply lock");
+        // A vanished client is not a server error; drop the response.
+        let _ = stream.write_all(line.as_bytes());
+    }
+}
+
+struct Job {
+    request: Request,
+    reply: Arc<Reply>,
+}
+
+enum Msg {
+    Job(Box<Job>),
+    Stop,
+}
+
+enum WorkerMsg {
+    /// One coalesced group: same terrain, same [`CompatKey`].
+    Group(String, Vec<Job>),
+    Stop,
+}
+
+struct Shared {
+    cache: PreparedCache,
+    counters: Counters,
+    stop: AtomicBool,
+}
+
+/// A running visibility-query service.
+///
+/// Construct with [`ServerBuilder`], drive with
+/// [`Client`](crate::client::Client) (or any newline-delimited-JSON TCP
+/// client), observe with [`Server::stats`] /
+/// [`Server::prepared_stats`], and stop with [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    admission: mpsc::SyncSender<Msg>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    dispatch_handle: Option<std::thread::JoinHandle<()>>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// The bound address (use with port 0 to discover the chosen port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Prepared-scene LRU counters.
+    pub fn prepared_stats(&self) -> PreparedStats {
+        self.shared.cache.stats()
+    }
+
+    /// Resident-tile cache counters of a currently resident tiled
+    /// terrain (None for monolithic or non-resident terrains).
+    pub fn tile_cache_stats(&self, terrain: &str) -> Option<hsr_tile::CacheStats> {
+        self.shared.cache.tile_cache_stats(terrain)
+    }
+
+    /// Stops accepting, drains nothing further, and joins the service
+    /// threads. Requests still queued when shutdown starts are answered
+    /// with [`ErrorKind::ShuttingDown`]. Reader threads of connections
+    /// that clients keep open exit when those clients disconnect.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // Stop the dispatcher; it forwards one Stop per worker.
+        let _ = self.admission.send(Msg::Stop);
+        if let Some(h) = self.dispatch_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Configures and starts a [`Server`].
+///
+/// ```no_run
+/// use hsr_serve::{ServerBuilder, TerrainSource};
+/// use hsr_terrain::gen;
+///
+/// let server = ServerBuilder::new()
+///     .terrain("demo", TerrainSource::Grid(gen::fbm(48, 48, 4, 10.0, 7)))
+///     .workers(4)
+///     .bind("127.0.0.1:0")
+///     .unwrap();
+/// println!("serving on {}", server.local_addr());
+/// # server.shutdown();
+/// ```
+pub struct ServerBuilder {
+    config: ServeConfig,
+    terrains: HashMap<String, TerrainSource>,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerBuilder {
+    /// A builder with [`ServeConfig::default`] and no terrains.
+    pub fn new() -> ServerBuilder {
+        ServerBuilder { config: ServeConfig::default(), terrains: HashMap::new() }
+    }
+
+    /// Registers a hosted terrain under `name` (replacing any previous
+    /// source with that name).
+    pub fn terrain(mut self, name: impl Into<String>, source: TerrainSource) -> ServerBuilder {
+        self.terrains.insert(name.into(), source);
+        self
+    }
+
+    /// Worker threads (≥ 1).
+    pub fn workers(mut self, workers: usize) -> ServerBuilder {
+        self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Admission-queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> ServerBuilder {
+        self.config.queue_depth = depth;
+        self
+    }
+
+    /// Most requests coalesced into one dispatch round (≥ 1).
+    pub fn max_batch(mut self, n: usize) -> ServerBuilder {
+        self.config.max_batch = n.max(1);
+        self
+    }
+
+    /// How long to wait for coalescing companions.
+    pub fn batch_window(mut self, window: Duration) -> ServerBuilder {
+        self.config.batch_window = window;
+        self
+    }
+
+    /// Prepared scenes retained by the LRU (≥ 1).
+    pub fn scene_capacity(mut self, scenes: usize) -> ServerBuilder {
+        self.config.scene_capacity = scenes.max(1);
+        self
+    }
+
+    /// Binds the listener and starts the service threads.
+    pub fn bind(self, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let config = self.config;
+        let shared = Arc::new(Shared {
+            cache: PreparedCache::new(config.scene_capacity, self.terrains),
+            counters: Counters::default(),
+            stop: AtomicBool::new(false),
+        });
+
+        let (admission_tx, admission_rx) = mpsc::sync_channel::<Msg>(config.queue_depth.max(1));
+        // Zero capacity: handing a group over *is* the rendezvous with a
+        // free worker — the dispatcher blocking here is what propagates
+        // worker saturation back to the admission queue.
+        let (worker_tx, worker_rx) = mpsc::sync_channel::<WorkerMsg>(0);
+        let worker_rx = Arc::new(Mutex::new(worker_rx));
+
+        let worker_handles: Vec<_> = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&worker_rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hsr-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let dispatch_handle = {
+            let shared = Arc::clone(&shared);
+            let workers = config.workers.max(1);
+            std::thread::Builder::new()
+                .name("hsr-serve-dispatch".into())
+                .spawn(move || dispatch_loop(&admission_rx, &worker_tx, &shared, config, workers))
+                .expect("spawn dispatcher")
+        };
+
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            let admission = admission_tx.clone();
+            std::thread::Builder::new()
+                .name("hsr-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &admission, &shared))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            admission: admission_tx,
+            accept_handle: Some(accept_handle),
+            dispatch_handle: Some(dispatch_handle),
+            worker_handles,
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, admission: &mpsc::SyncSender<Msg>, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            // Whatever woke us — the shutdown's no-op connection or a
+            // real client racing it — is dropped here, and the listener
+            // (plus its backlog) closes when this loop returns: raced
+            // clients observe a closed connection, never a silent hang.
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let admission = admission.clone();
+        let shared = Arc::clone(shared);
+        // Reader threads are not joined: they exit when their client
+        // disconnects (read_line returns 0/Err).
+        let _ = std::thread::Builder::new()
+            .name("hsr-serve-conn".into())
+            .spawn(move || connection_loop(stream, &admission, &shared));
+    }
+}
+
+fn connection_loop(stream: TcpStream, admission: &mpsc::SyncSender<Msg>, shared: &Arc<Shared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let reply = Arc::new(Reply { stream: Mutex::new(write_half) });
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client hung up
+            Ok(_) => {}
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let request: Request = match serde_json::from_str(text) {
+            Ok(request) => request,
+            Err(e) => {
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                reply.send(&Response::err(
+                    0,
+                    WireError::new(ErrorKind::BadRequest, format!("unparseable request: {e}")),
+                ));
+                continue;
+            }
+        };
+        let id = request.id;
+        if shared.stop.load(Ordering::SeqCst) {
+            // Don't enqueue into a dispatcher that is (or is about to
+            // be) draining; answer directly.
+            reply.send(&Response::err(
+                id,
+                WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
+            ));
+            return;
+        }
+        let job = Box::new(Job { request, reply: Arc::clone(&reply) });
+        match admission.try_send(Msg::Job(job)) {
+            Ok(()) => {
+                shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(mpsc::TrySendError::Full(_)) => {
+                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                reply.send(&Response::err(
+                    id,
+                    WireError::new(ErrorKind::Overloaded, "admission queue full; retry later"),
+                ));
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                reply.send(&Response::err(
+                    id,
+                    WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
+                ));
+                return;
+            }
+        }
+    }
+}
+
+fn dispatch_loop(
+    admission: &mpsc::Receiver<Msg>,
+    worker_tx: &mpsc::SyncSender<WorkerMsg>,
+    shared: &Arc<Shared>,
+    config: ServeConfig,
+    workers: usize,
+) {
+    'rounds: loop {
+        // Block for the first request of a round.
+        let first = match admission.recv() {
+            Ok(Msg::Job(job)) => job,
+            Ok(Msg::Stop) | Err(_) => break 'rounds,
+        };
+        let mut round: Vec<Job> = vec![*first];
+        let mut stopping = false;
+        // Gather companions until the window closes or the round fills.
+        let deadline = Instant::now() + config.batch_window;
+        while round.len() < config.max_batch.max(1) {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let msg = if remaining.is_zero() {
+                match admission.try_recv() {
+                    Ok(msg) => msg,
+                    Err(_) => break,
+                }
+            } else {
+                match admission.recv_timeout(remaining) {
+                    Ok(msg) => msg,
+                    Err(_) => break,
+                }
+            };
+            match msg {
+                Msg::Job(job) => round.push(*job),
+                Msg::Stop => {
+                    stopping = true;
+                    break;
+                }
+            }
+        }
+        // Coalesce the round: (terrain, CompatKey) → one group, arrival
+        // order preserved within each group, first-seen order across
+        // groups.
+        for (terrain, group) in coalesce(round) {
+            let len = group.len() as u64;
+            shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .batched_requests
+                .fetch_add(len, Ordering::Relaxed);
+            shared
+                .counters
+                .max_batch_observed
+                .fetch_max(len, Ordering::Relaxed);
+            if worker_tx.send(WorkerMsg::Group(terrain, group)).is_err() {
+                break 'rounds;
+            }
+        }
+        if stopping {
+            break 'rounds;
+        }
+    }
+    // Answer whatever is still queued with a shutdown error, then stop
+    // the workers. The short grace timeout covers readers that passed
+    // their stop-flag check just before shutdown flipped it and whose
+    // send lands after the queue looked empty — their jobs still get a
+    // response instead of vanishing with the receiver.
+    while let Ok(msg) = admission.recv_timeout(Duration::from_millis(50)) {
+        if let Msg::Job(job) = msg {
+            job.reply.send(&Response::err(
+                job.request.id,
+                WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
+            ));
+        }
+    }
+    for _ in 0..workers {
+        let _ = worker_tx.send(WorkerMsg::Stop);
+    }
+}
+
+/// Groups a dispatch round by `(terrain, CompatKey)`, preserving arrival
+/// order within each group and first-seen order across groups. Views
+/// with equal keys against the same terrain evaluate identically alone
+/// or batched (scoped per-view cost collectors), so grouping is purely a
+/// throughput decision — one prepared-scene lookup and one parallel
+/// fan-out per group.
+fn coalesce(round: Vec<Job>) -> Vec<(String, Vec<Job>)> {
+    let mut order: Vec<(String, CompatKey)> = Vec::new();
+    let mut groups: HashMap<(String, CompatKey), Vec<Job>> = HashMap::new();
+    for job in round {
+        let key = (job.request.terrain.clone(), job.request.view.compat_key());
+        let slot = groups.entry(key.clone()).or_default();
+        if slot.is_empty() {
+            order.push(key);
+        }
+        slot.push(job);
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let group = groups.remove(&key).expect("every ordered key has a group");
+            (key.0, group)
+        })
+        .collect()
+}
+
+fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<WorkerMsg>>>, shared: &Arc<Shared>) {
+    loop {
+        let msg = {
+            let rx = rx.lock().expect("worker rx lock");
+            rx.recv()
+        };
+        let (terrain, group) = match msg {
+            Ok(WorkerMsg::Group(terrain, group)) => (terrain, group),
+            Ok(WorkerMsg::Stop) | Err(_) => return,
+        };
+        let scene = match shared.cache.get_or_prepare(&terrain) {
+            Ok(scene) => scene,
+            Err(e) => {
+                for job in &group {
+                    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    job.reply.send(&Response::err(job.request.id, e.clone()));
+                }
+                continue;
+            }
+        };
+        let views: Vec<_> = group.iter().map(|job| job.request.view.clone()).collect();
+        let results = scene.eval_group(&views);
+        debug_assert_eq!(results.len(), group.len());
+        for (job, result) in group.iter().zip(results) {
+            let response = match result {
+                Ok(report) => {
+                    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    Response::ok(job.request.id, report)
+                }
+                Err(e) => {
+                    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    Response::err(job.request.id, e)
+                }
+            };
+            job.reply.send(&response);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsr_core::pipeline::Algorithm;
+    use hsr_core::view::View;
+    use hsr_geometry::Point3;
+
+    fn job(id: u64, terrain: &str, view: View) -> Job {
+        // A pair of connected streams so Reply has somewhere to write;
+        // the listener side is dropped immediately and writes are
+        // ignored.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        Job {
+            request: Request { id, terrain: terrain.into(), view },
+            reply: Arc::new(Reply { stream: Mutex::new(stream) }),
+        }
+    }
+
+    #[test]
+    fn coalesce_groups_by_terrain_and_compat_key() {
+        let obs = Point3::new(50.0, 2.0, 8.0);
+        let round = vec![
+            job(0, "a", View::orthographic(0.0)),
+            job(1, "b", View::orthographic(0.1)),
+            job(2, "a", View::viewshed(obs, vec![Point3::new(1.0, 1.0, 1.0)])),
+            job(3, "a", View::orthographic(0.2).algorithm(Algorithm::Sequential)),
+            job(4, "b", View::orthographic(0.3)),
+            job(5, "a", View::orthographic(0.4)),
+        ];
+        let groups = coalesce(round);
+        let shape: Vec<(String, Vec<u64>)> = groups
+            .iter()
+            .map(|(t, g)| (t.clone(), g.iter().map(|j| j.request.id).collect()))
+            .collect();
+        // Same terrain + same config coalesce across projection kinds
+        // (0, 2, 5); the sequential-algorithm request gets its own
+        // group; terrain b's defaults coalesce (1, 4). First-seen order.
+        assert_eq!(
+            shape,
+            vec![
+                ("a".into(), vec![0, 2, 5]),
+                ("b".into(), vec![1, 4]),
+                ("a".into(), vec![3]),
+            ]
+        );
+    }
+}

@@ -15,13 +15,24 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Cache observability counters.
+///
+/// The counters satisfy `hits + loads + errors == lookups`: every call to
+/// [`SceneCache::get_or_load`] is a lookup, and it either hits a resident
+/// tile, successfully loads a missing one, or errors (failed loader, or a
+/// refusal because every resident tile was pinned).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheStats {
-    /// Tiles built from the store (cache misses).
+    /// Calls to [`SceneCache::get_or_load`].
+    pub lookups: u64,
+    /// Tiles built from the store (successful cache misses).
     pub loads: u64,
     /// Lookups served from resident tiles.
     pub hits: u64,
+    /// Lookups that produced neither a hit nor a resident tile: the
+    /// loader failed, or the cache was full of pinned tiles. A failed
+    /// load commits nothing — no eviction, no residency change.
+    pub errors: u64,
     /// Tiles dropped to make room.
     pub evictions: u64,
     /// Tiles resident right now.
@@ -75,6 +86,14 @@ impl SceneCache {
     /// prevent. Returns `None` when the cache is full and every resident
     /// tile is pinned (checked out), i.e. the caller broke the ≤-capacity
     /// checkout contract.
+    ///
+    /// A failed `load` commits nothing: the victim staged for eviction is
+    /// restored (same recency), `evictions`/`loads`/`resident` are
+    /// untouched, and the failure is counted in [`CacheStats::errors`].
+    /// While the loader runs, the staged victim is held aside rather than
+    /// dropped, so the build of the incoming tile briefly coexists with
+    /// it in memory; the *resident* count (what `peak_resident` proves)
+    /// never exceeds the capacity.
     pub fn get_or_load<E>(
         &self,
         id: TileId,
@@ -82,6 +101,7 @@ impl SceneCache {
     ) -> Option<Result<Arc<Tin>, E>> {
         let mut inner = self.inner.lock().expect("cache lock");
         inner.tick += 1;
+        inner.stats.lookups += 1;
         let tick = inner.tick;
         if let Some(e) = inner.map.get_mut(&id) {
             e.last_use = tick;
@@ -89,7 +109,14 @@ impl SceneCache {
             inner.stats.hits += 1;
             return Some(Ok(tin));
         }
-        // Make room *before* building, so residency never overshoots.
+        // Stage the eviction *before* building, so `resident` (the map
+        // size) never overshoots — but hold the victims aside instead of
+        // dropping them: an eviction only commits together with a
+        // successful insert. If the loader then fails, the victims go
+        // back exactly as they were (same `last_use`) and the error is
+        // counted in `errors` — a transient store/decode failure must not
+        // permanently shrink residency or skew `loads`/`evictions`.
+        let mut staged: Vec<(TileId, Entry)> = Vec::new();
         while inner.map.len() >= self.capacity {
             let victim = inner
                 .map
@@ -99,17 +126,28 @@ impl SceneCache {
                 .map(|(k, _)| *k);
             match victim {
                 Some(k) => {
-                    inner.map.remove(&k);
-                    inner.stats.evictions += 1;
-                    inner.stats.resident = inner.map.len();
+                    let entry = inner.map.remove(&k).expect("victim came from the map");
+                    staged.push((k, entry));
                 }
-                None => return None,
+                None => {
+                    // Every resident tile is pinned: restore anything
+                    // staged and refuse.
+                    inner.map.extend(staged);
+                    inner.stats.errors += 1;
+                    return None;
+                }
             }
         }
         let tin = match load() {
             Ok(tin) => Arc::new(tin),
-            Err(e) => return Some(Err(e)),
+            Err(e) => {
+                inner.map.extend(staged);
+                inner.stats.errors += 1;
+                return Some(Err(e));
+            }
         };
+        inner.stats.evictions += staged.len() as u64;
+        drop(staged);
         inner
             .map
             .insert(id, Entry { tin: Arc::clone(&tin), last_use: tick });
@@ -193,16 +231,75 @@ mod tests {
         let r = cache.get_or_load(id(0), || Err("boom"));
         assert_eq!(r.unwrap().unwrap_err(), "boom");
         let s = cache.stats();
-        assert_eq!((s.loads, s.resident), (0, 0));
-        // Eviction followed by a failed load still leaves `resident`
-        // telling the truth.
+        assert_eq!((s.loads, s.errors, s.resident), (0, 1, 0));
+    }
+
+    /// The PR-5 regression: a failed load used to commit its staged
+    /// eviction, permanently shrinking residency (the victim was gone,
+    /// nothing replaced it) and counting the miss in no counter at all.
+    /// Now the eviction only commits alongside a successful insert.
+    #[test]
+    fn failed_load_rolls_back_the_staged_eviction() {
+        let cache = SceneCache::new(1);
         cache
             .get_or_load(id(1), || -> Result<Tin, ()> { Ok(tile(1)) })
             .unwrap()
             .unwrap();
-        let r = cache.get_or_load(id(2), || Err("boom"));
-        assert_eq!(r.unwrap().unwrap_err(), "boom");
+        let before = cache.stats();
+        let r = cache.get_or_load(id(2), || Err("transient store error"));
+        assert_eq!(r.unwrap().unwrap_err(), "transient store error");
+        let after = cache.stats();
+        assert_eq!(
+            (after.resident, after.evictions, after.loads),
+            (before.resident, before.evictions, before.loads),
+            "a transient loader error must not shrink residency or skew stats"
+        );
+        assert_eq!(after.errors, before.errors + 1);
+        // The victim is still resident and still serves hits…
+        let hit = cache
+            .get_or_load(id(1), || -> Result<Tin, ()> { panic!("must be resident") })
+            .unwrap()
+            .unwrap();
+        drop(hit);
+        assert_eq!(cache.stats().hits, before.hits + 1);
+        // …and a later successful load of the failed tile evicts normally.
+        cache
+            .get_or_load(id(2), || -> Result<Tin, ()> { Ok(tile(2)) })
+            .unwrap()
+            .unwrap();
         let s = cache.stats();
-        assert_eq!((s.evictions, s.resident), (1, 0));
+        assert_eq!((s.resident, s.evictions, s.loads), (1, 1, 2));
+        assert_eq!(s.hits + s.loads + s.errors, s.lookups);
+    }
+
+    #[test]
+    fn counters_partition_lookups() {
+        let cache = SceneCache::new(2);
+        let a = cache
+            .get_or_load(id(0), || -> Result<Tin, ()> { Ok(tile(0)) })
+            .unwrap()
+            .unwrap();
+        let b = cache
+            .get_or_load(id(1), || -> Result<Tin, ()> { Ok(tile(1)) })
+            .unwrap()
+            .unwrap();
+        // Hit, pinned refusal, loader error, then a real load.
+        cache
+            .get_or_load(id(0), || -> Result<Tin, ()> { panic!() })
+            .unwrap()
+            .unwrap();
+        assert!(cache
+            .get_or_load(id(2), || -> Result<Tin, ()> { Ok(tile(2)) })
+            .is_none());
+        drop(a);
+        assert!(cache.get_or_load(id(3), || Err("boom")).unwrap().is_err());
+        cache
+            .get_or_load(id(2), || -> Result<Tin, ()> { Ok(tile(2)) })
+            .unwrap()
+            .unwrap();
+        drop(b);
+        let s = cache.stats();
+        assert_eq!((s.lookups, s.hits, s.loads, s.errors), (6, 1, 3, 2));
+        assert_eq!(s.hits + s.loads + s.errors, s.lookups);
     }
 }

@@ -70,6 +70,17 @@ pub enum TiledError {
     Hsr(HsrError),
     /// A view shape the tiled evaluator cannot serve.
     UnsupportedView(String),
+    /// Stitching the next part would push an edge id past `u32::MAX`:
+    /// the terrain has too many edges at the evaluated resolution for
+    /// the 32-bit edge-id space of [`hsr_core::visibility::VisibilityMap`].
+    /// Evaluate at a coarser level (or fewer tiles) instead of silently
+    /// wrapping offsets and corrupting the stitched map.
+    EdgeIdOverflow {
+        /// Cumulative edge count of the parts already stitched.
+        offset: u32,
+        /// Edge count of the part that does not fit.
+        part_edges: usize,
+    },
 }
 
 impl std::fmt::Display for TiledError {
@@ -79,6 +90,11 @@ impl std::fmt::Display for TiledError {
             TiledError::Terrain(e) => write!(f, "tile terrain invalid: {e}"),
             TiledError::Hsr(e) => write!(f, "tile evaluation: {e}"),
             TiledError::UnsupportedView(what) => write!(f, "unsupported view: {what}"),
+            TiledError::EdgeIdOverflow { offset, part_edges } => write!(
+                f,
+                "stitching overflows the 32-bit edge-id space: {offset} edges already \
+                 stitched + {part_edges} in the next part exceed u32::MAX"
+            ),
         }
     }
 }
@@ -193,13 +209,84 @@ impl TiledScene {
     /// an internal lock so the resident-tile bound holds across callers
     /// (each evaluation parallelizes internally over its chunk).
     pub fn eval(&self, view: &View) -> Result<TiledReport, TiledError> {
+        self.eval_many(std::slice::from_ref(view))?
+            .pop()
+            .expect("one view in, one report out")
+    }
+
+    /// Evaluates several views against the tiled terrain in one pass —
+    /// the coalesced form of [`TiledScene::eval`] that a request batcher
+    /// (`hsr-serve`) uses. The union of the views' covering tiles streams
+    /// through the cache *once*: a tile selected by many views is
+    /// materialized once per residency instead of once per view, and each
+    /// capacity-bounded chunk fans every `(tile, view)` job through the
+    /// same parallel [`evaluate_many`] fan-out.
+    ///
+    /// Results come back in view order and each stitched report is
+    /// bit-identical to what a solo [`TiledScene::eval`] of that view
+    /// returns (each `(tile, view)` evaluation owns a scoped cost
+    /// collector and is independent of the batch around it; stitching
+    /// follows the view's own selection order). The outer `Err` is an
+    /// infrastructure failure (a tile failed to load) that aborts the
+    /// whole batch; inner errors are per-view (bad view shape, per-tile
+    /// evaluation failure, edge-id overflow).
+    pub fn eval_many(
+        &self,
+        views: &[View],
+    ) -> Result<Vec<Result<TiledReport, TiledError>>, TiledError> {
         let _serialized = self.eval_lock.lock().expect("eval lock");
-        let selected = self.select(view)?;
-        let chunk = self.cfg.cache_capacity.min(selected.len()).max(1);
-        let mut report = Report::empty();
-        let mut tiles = Vec::with_capacity(selected.len());
-        let mut edge_offset: u32 = 0;
-        for group in selected.chunks(chunk) {
+        // Select per view; selection errors settle that view immediately.
+        let mut out: Vec<Option<Result<TiledReport, TiledError>>> =
+            views.iter().map(|_| None).collect();
+        let mut selections: Vec<Vec<TileId>> = views.iter().map(|_| Vec::new()).collect();
+        for (i, view) in views.iter().enumerate() {
+            match self.select(view) {
+                Ok(sel) => selections[i] = sel,
+                Err(e) => out[i] = Some(Err(e)),
+            }
+        }
+        // The union of covering tiles, deduplicated, in deterministic
+        // (level, ti, tj) order, with the views interested in each tile.
+        let mut views_of: std::collections::BTreeMap<TileId, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, sel) in selections.iter().enumerate() {
+            if out[i].is_none() {
+                for &id in sel {
+                    views_of.entry(id).or_default().push(i);
+                }
+            }
+        }
+        let union: Vec<TileId> = views_of.keys().copied().collect();
+        // Per-view stitch state: each view absorbs its parts in its own
+        // (sweep-order) selection order — the order a solo eval would
+        // have used — advancing a cursor as parts become available.
+        struct Stitch {
+            report: Report,
+            tiles: Vec<TileEval>,
+            edge_offset: u32,
+            next: usize,
+            failed: Option<TiledError>,
+        }
+        let mut stitches: Vec<Stitch> = selections
+            .iter()
+            .map(|sel| Stitch {
+                report: Report::empty(),
+                tiles: Vec::with_capacity(sel.len()),
+                edge_offset: 0,
+                next: 0,
+                failed: None,
+            })
+            .collect();
+        // Stream the union through the cache in capacity-bounded chunks,
+        // fanning every (tile, view) pair of a chunk out in parallel and
+        // stitching eagerly after each chunk, so a part report is freed
+        // as soon as its view's selection order reaches it (for a single
+        // view — or any batch evaluated at one level — the union order
+        // matches the selection order and nothing outlives its chunk).
+        let mut parts: std::collections::HashMap<(TileId, usize), Result<Report, HsrError>> =
+            std::collections::HashMap::new();
+        let chunk = self.cfg.cache_capacity.min(union.len()).max(1);
+        for group in union.chunks(chunk) {
             // Materialize the chunk (≤ capacity tiles pinned at once)…
             let mut pinned: Vec<(TileId, Arc<Tin>)> = Vec::with_capacity(group.len());
             for &id in group {
@@ -214,26 +301,70 @@ impl TiledScene {
                     .expect("chunk size never exceeds cache capacity")?;
                 pinned.push((id, tin));
             }
-            // …fan the chunk out in parallel…
-            let jobs: Vec<(&Tin, View)> = pinned
-                .iter()
-                .map(|(_, tin)| (tin.as_ref(), view.clone()))
-                .collect();
-            let results = evaluate_many(&jobs);
-            // …and stitch in deterministic tile order.
-            for ((id, _), result) in pinned.iter().zip(results) {
-                let part = result?;
-                tiles.push(TileEval { id: *id, n: part.n, k: part.k });
-                report.absorb(&part, edge_offset);
-                edge_offset += part.n as u32;
+            // …fan the chunk's (tile, view) jobs out in parallel
+            // (skipping views that already settled or failed)…
+            let mut keys: Vec<(TileId, usize)> = Vec::new();
+            let mut jobs: Vec<(&Tin, View)> = Vec::new();
+            for (id, tin) in &pinned {
+                for &vi in &views_of[id] {
+                    if out[vi].is_none() && stitches[vi].failed.is_none() {
+                        keys.push((*id, vi));
+                        jobs.push((tin.as_ref(), views[vi].clone()));
+                    }
+                }
             }
+            let results = evaluate_many(&jobs);
+            parts.extend(keys.into_iter().zip(results));
+            // …and absorb everything that is now in selection order.
+            for (i, sel) in selections.iter().enumerate() {
+                if out[i].is_some() {
+                    continue;
+                }
+                let s = &mut stitches[i];
+                while s.failed.is_none() && s.next < sel.len() {
+                    let Some(part) = parts.remove(&(sel[s.next], i)) else {
+                        break;
+                    };
+                    match part {
+                        Ok(part) => {
+                            s.tiles
+                                .push(TileEval { id: sel[s.next], n: part.n, k: part.k });
+                            s.report.absorb(&part, s.edge_offset);
+                            match advance_edge_offset(s.edge_offset, part.n) {
+                                Ok(next) => s.edge_offset = next,
+                                Err(e) => s.failed = Some(e),
+                            }
+                        }
+                        Err(e) => s.failed = Some(TiledError::Hsr(e)),
+                    }
+                    s.next += 1;
+                }
+            }
+            // Parts of failed views pending in later selection slots
+            // will never be consumed; drop them now.
+            parts.retain(|&(_, i), _| stitches[i].failed.is_none());
         }
-        Ok(TiledReport {
-            report,
-            tiles,
-            tiles_total: self.meta.tile_count(),
-            cache: self.cache.stats(),
-        })
+        for (i, (sel, s)) in selections.iter().zip(stitches).enumerate() {
+            if out[i].is_some() {
+                continue;
+            }
+            out[i] = Some(match s.failed {
+                Some(e) => Err(e),
+                None => {
+                    debug_assert_eq!(s.next, sel.len(), "every selected part stitched");
+                    Ok(TiledReport {
+                        report: s.report,
+                        tiles: s.tiles,
+                        tiles_total: self.meta.tile_count(),
+                        cache: self.cache.stats(),
+                    })
+                }
+            });
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every view settled"))
+            .collect())
     }
 
     /// The tiles a view needs, each at its level of detail, in row-major
@@ -246,16 +377,10 @@ impl TiledScene {
             }
             let Some(eye) = eye else { return 0 };
             let (lo, hi) = meta.ground_aabb(ti, tj);
-            let d = aabb_distance(eye, lo, hi);
             let near = self.cfg.lod_near.unwrap_or_else(|| {
                 4.0 * (meta.tile_size as f64) * meta.dx.abs().max(meta.dy.abs())
             });
-            // `near <= 0` (or NaN) disables distance-based coarsening.
-            if near.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || d <= near {
-                return 0;
-            }
-            let level = (d / near).log2().floor() as u32 + 1;
-            level.min(meta.levels - 1)
+            lod_level(aabb_distance(eye, lo, hi), near, meta.levels)
         };
         let mut out = Vec::new();
         match &view.projection {
@@ -321,6 +446,51 @@ impl TiledScene {
         }
         Ok(out)
     }
+}
+
+/// The distance-based level-of-detail rule: level 0 (full resolution)
+/// out to ground distance `near`, one level coarser per doubling beyond
+/// it, clamped to the pyramid's deepest level.
+///
+/// The clamps are explicit rather than trusting the saturating
+/// float→int cast: a ratio that float noise rounds to exactly 1 (or a
+/// `log2` that lands a hair below 0) still yields level 1, and an
+/// astronomically large ratio (tiny `near`, `log2` → huge or `+∞`)
+/// clamps to `levels - 1` instead of the `+ 1` wrapping the saturated
+/// `u32::MAX`. The function is monotone non-decreasing in `d` and never
+/// exceeds `levels - 1` (the property test pins both). `near ≤ 0` or
+/// NaN disables distance-based coarsening, as does a NaN distance.
+pub fn lod_level(d: f64, near: f64, levels: u32) -> u32 {
+    assert!(levels >= 1, "a pyramid has at least level 0");
+    let max = levels - 1;
+    let exceeds = |a: f64, b: &f64| a.partial_cmp(b) == Some(std::cmp::Ordering::Greater);
+    if !exceeds(near, &0.0) || !exceeds(d, &near) {
+        return 0;
+    }
+    let raw = (d / near).log2().floor();
+    if !exceeds(raw, &0.0) {
+        // d barely beyond near: the ratio rounded to ≤ 1 (or log2 noise
+        // dipped below 0) — the first coarsening band, not a saturating
+        // cast accident.
+        return 1.min(max);
+    }
+    if raw >= max as f64 {
+        return max;
+    }
+    // 0 < raw < max ≤ u32::MAX, so both the cast and the + 1 are exact.
+    (raw as u32 + 1).min(max)
+}
+
+/// Advances the stitching edge-id offset past a part with `n` edges.
+/// A many-tile full-resolution terrain can push the cumulative edge
+/// count past `u32::MAX`; that must surface as
+/// [`TiledError::EdgeIdOverflow`], not wrap and corrupt the stitched
+/// [`hsr_core::visibility::VisibilityMap`] offsets.
+fn advance_edge_offset(offset: u32, n: usize) -> Result<u32, TiledError> {
+    u32::try_from(n)
+        .ok()
+        .and_then(|n| offset.checked_add(n))
+        .ok_or(TiledError::EdgeIdOverflow { offset, part_edges: n })
 }
 
 /// Ground distance from a point to an axis-aligned box (0 inside).
@@ -454,6 +624,54 @@ mod tests {
         // wedge and the apex is outside, so only the boundary-ray test
         // can (and must) detect it.
         assert!(wedge_intersects_aabb((2.5, -5.0), (0.0, 1.0), 0.02, lo, hi));
+    }
+
+    #[test]
+    fn advance_edge_offset_checks_the_boundary() {
+        assert_eq!(advance_edge_offset(0, 17).unwrap(), 17);
+        // Exactly fills the id space.
+        assert_eq!(advance_edge_offset(u32::MAX - 5, 5).unwrap(), u32::MAX);
+        // One past it: the regression the unchecked `+=` wrapped through.
+        match advance_edge_offset(u32::MAX - 5, 6) {
+            Err(TiledError::EdgeIdOverflow { offset, part_edges }) => {
+                assert_eq!((offset, part_edges), (u32::MAX - 5, 6));
+            }
+            other => panic!("expected EdgeIdOverflow, got {other:?}"),
+        }
+        // A single part too large for u32 at all.
+        assert!(matches!(
+            advance_edge_offset(0, u32::MAX as usize + 2),
+            Err(TiledError::EdgeIdOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn lod_level_clamps_explicitly() {
+        // In the near band and at the boundary: full resolution.
+        assert_eq!(lod_level(0.0, 10.0, 4), 0);
+        assert_eq!(lod_level(10.0, 10.0, 4), 0);
+        // Doubling bands.
+        assert_eq!(lod_level(10.0 + 1e-9, 10.0, 4), 1);
+        assert_eq!(lod_level(19.9, 10.0, 4), 1);
+        assert_eq!(lod_level(20.1, 10.0, 4), 2);
+        assert_eq!(lod_level(40.1, 10.0, 4), 3);
+        // Clamped to the deepest level.
+        assert_eq!(lod_level(1e9, 10.0, 4), 3);
+        // A ratio so large `log2` saturates: must clamp, not wrap the
+        // `+ 1` past the saturated u32 cast (the pre-fix code did).
+        assert_eq!(lod_level(1e300, 1e-300, 4), 3);
+        assert_eq!(lod_level(f64::MAX, f64::MIN_POSITIVE, 2), 1);
+        // Ratio rounding to exactly 1: explicit first-band clamp.
+        let near = 3.000000000000001_f64;
+        let d = near * (1.0 + f64::EPSILON);
+        assert!(d > near && lod_level(d, near, 8) == 1);
+        // Disabled coarsening: non-positive or NaN near, NaN distance.
+        assert_eq!(lod_level(100.0, 0.0, 4), 0);
+        assert_eq!(lod_level(100.0, -1.0, 4), 0);
+        assert_eq!(lod_level(100.0, f64::NAN, 4), 0);
+        assert_eq!(lod_level(f64::NAN, 10.0, 4), 0);
+        // A one-level pyramid only ever evaluates level 0.
+        assert_eq!(lod_level(1e12, 1.0, 1), 0);
     }
 
     #[test]

@@ -248,3 +248,67 @@ fn empty_target_viewsheds_are_rejected_with_guidance() {
     assert!(err.to_string().contains("explicit targets"));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn eval_many_is_bit_identical_to_solo_evals_and_shares_tile_loads() {
+    let grid = gen::diamond_square(5, 0.6, 9.0, 17); // 33×33
+    let observer = Point3::new(180.0, 16.0, 16.0);
+    let targets = fractional_targets(&grid, 4);
+    let eye = Point3::new(64.0, 16.0, 24.0);
+    let look = Point3::new(0.0, 16.0, 0.0);
+    let views = vec![
+        View::orthographic(0.0),
+        View::viewshed(observer, targets.clone()),
+        View::perspective(eye, look, 0.9, 128),
+        View::viewshed(observer, targets),
+        View::orthographic(0.25),
+    ];
+    let tiling = TilingConfig { tile_size: 8, levels: 2 };
+    let cfg = TiledSceneConfig { cache_capacity: 4, fixed_level: Some(0), ..Default::default() };
+
+    // Solo evaluations on one scene, batched on a fresh scene over the
+    // same store (so the cache counters of the two runs are comparable).
+    let dir = scratch_dir("evalmany");
+    let solo_scene =
+        TiledScene::build(&grid, tiling, TileStore::create(&dir).unwrap(), cfg).unwrap();
+    let solo: Vec<_> = views.iter().map(|v| solo_scene.eval(v).unwrap()).collect();
+    let solo_stats = solo_scene.cache_stats();
+    drop(solo_scene);
+
+    let batch_scene = TiledScene::open(TileStore::open(&dir).unwrap(), cfg).unwrap();
+    let batch = batch_scene.eval_many(&views).unwrap();
+    assert_eq!(batch.len(), views.len());
+
+    for (i, (s, b)) in solo.iter().zip(&batch).enumerate() {
+        let b = b.as_ref().unwrap();
+        let bits = |r: &hsr_core::view::Report| {
+            (
+                r.vis
+                    .pieces
+                    .iter()
+                    .map(|p| (p.edge, p.x0.to_bits(), p.x1.to_bits()))
+                    .collect::<Vec<_>>(),
+                r.vis.crossings.len(),
+                r.vis.vertical_visible.clone(),
+            )
+        };
+        assert_eq!(bits(&b.report), bits(&s.report), "view {i}: stitched map diverged");
+        assert_eq!((b.report.n, b.report.k), (s.report.n, s.report.k), "view {i}");
+        assert_eq!(b.report.verdicts, s.report.verdicts, "view {i}");
+        assert_eq!(b.report.cost.work, s.report.cost.work, "view {i}: cost diverged");
+        assert_eq!(b.tiles, s.tiles, "view {i}: per-tile evidence diverged");
+    }
+
+    // The coalesced pass loads each distinct tile at most once per
+    // residency instead of once per view: strictly fewer loads than the
+    // solo runs' total, and the counters partition the lookups.
+    let batch_stats = batch_scene.cache_stats();
+    assert!(
+        batch_stats.loads < solo_stats.loads,
+        "batched loads {} should undercut solo loads {}",
+        batch_stats.loads,
+        solo_stats.loads
+    );
+    assert_eq!(batch_stats.hits + batch_stats.loads + batch_stats.errors, batch_stats.lookups);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,65 @@
+//! Property tests for the distance-based LOD selector: the level is
+//! monotone non-decreasing in distance and never leaves the pyramid.
+
+use hsr_tile::scene::lod_level;
+use proptest::prelude::*;
+
+/// Distances across every regime the selector sees: inside the near
+/// band, the doubling bands, and astronomically far.
+fn distances() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0..1e3,
+        1e3..1e9,
+        Just(0.0),
+        Just(f64::MAX),
+        (0i32..2000).prop_map(|e| (e as f64 / 10.0).exp2()),
+    ]
+}
+
+/// Near thresholds including degenerate (zero, negative, tiny, huge).
+fn nears() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        1e-6..1e6f64,
+        Just(0.0),
+        Just(-3.0),
+        Just(f64::MIN_POSITIVE),
+        Just(1e300),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn level_stays_inside_the_pyramid(
+        d in distances(),
+        near in nears(),
+        levels in 1u32..9,
+    ) {
+        let level = lod_level(d, near, levels);
+        prop_assert!(level < levels, "level {level} of {levels}");
+    }
+
+    #[test]
+    fn level_is_monotone_in_distance(
+        d1 in distances(),
+        d2 in distances(),
+        near in nears(),
+        levels in 1u32..9,
+    ) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(
+            lod_level(lo, near, levels) <= lod_level(hi, near, levels),
+            "lod_level({lo}) > lod_level({hi}) at near {near}, levels {levels}"
+        );
+    }
+
+    #[test]
+    fn near_band_is_full_resolution(
+        near in 1e-6..1e6f64,
+        frac in 0.0..1.0f64,
+        levels in 1u32..9,
+    ) {
+        prop_assert_eq!(lod_level(near * frac, near, levels), 0);
+    }
+}

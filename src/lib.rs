@@ -68,6 +68,14 @@
 //! pyramid (fixed-size tiles with overlap skirts plus coarsened levels
 //! of detail) and each view streams only its covering tiles through a
 //! hard-capped cache — see the [`tiled`] module for a worked example.
+//!
+//! And scenes can be *served*: the [`serve`] module (feature `serve`,
+//! on by default) binds a TCP service that answers visibility queries
+//! over newline-delimited JSON — coalescing requests with compatible
+//! configuration into one batched fan-out, reusing prepared scenes
+//! through an LRU spanning the monolithic and tiled backends, and
+//! rejecting (rather than buffering) load beyond its bounded admission
+//! queue.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -81,6 +89,8 @@ pub use hsr_tile as tile;
 
 pub mod render;
 pub mod scene;
+#[cfg(feature = "serve")]
+pub mod serve;
 pub mod tiled;
 
 pub use scene::{
@@ -88,3 +98,6 @@ pub use scene::{
     SceneBuilder, SceneReport, Session, Timings, Verdict, View,
 };
 pub use tiled::{TiledReport, TiledScene, TiledSceneBuilder, TiledSceneConfig};
+
+#[cfg(feature = "serve")]
+pub use serve::ServeBuilder;

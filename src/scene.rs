@@ -97,6 +97,14 @@ impl Scene {
         &self.tin
     }
 
+    /// A shared handle to the terrain state (cheap `Arc` clone) — what
+    /// long-lived holders such as the serving layer keep, so a scene
+    /// registered with a server shares the validated TIN instead of
+    /// duplicating it.
+    pub fn shared_tin(&self) -> Arc<Tin> {
+        Arc::clone(&self.tin)
+    }
+
     /// Scene size `(vertices, edges, faces)`.
     pub fn counts(&self) -> (usize, usize, usize) {
         self.tin.counts()

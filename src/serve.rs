@@ -1,0 +1,134 @@
+//! Serving: requests in, reports out — the high-level face of
+//! [`hsr_serve`].
+//!
+//! A server hosts named terrains and answers visibility queries over a
+//! newline-delimited JSON protocol on TCP. Requests that target the
+//! same terrain with a compatible per-view configuration are coalesced
+//! into one batched fan-out; prepared scenes are reused through a
+//! hard-capped LRU spanning both backends — the monolithic in-memory
+//! [`Scene`] and the out-of-core [`TiledScene`] (so multi-million-cell
+//! terrains serve under the tiled residency cap). Admission is bounded:
+//! when the queue is full, requests are rejected immediately with
+//! [`ErrorKind::Overloaded`] instead of buffering without bound.
+//!
+//! [`ServeBuilder`] adapts the facade vocabulary to the service: name a
+//! [`Scene`], a grid, or a materialized tile store, pick the knobs, and
+//! `bind`:
+//!
+//! ```
+//! use terrain_hsr::serve::{Client, ServeBuilder};
+//! use terrain_hsr::terrain::gen;
+//! use terrain_hsr::{SceneBuilder, View};
+//!
+//! let scene = SceneBuilder::from_grid(&gen::fbm(16, 16, 3, 7.0, 5)).build().unwrap();
+//! let server = ServeBuilder::new()
+//!     .scene("demo", &scene)
+//!     .workers(2)
+//!     .bind("127.0.0.1:0")
+//!     .unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let report = client.eval("demo", &View::orthographic(0.2)).unwrap();
+//! // The served report is bit-identical to a local evaluation.
+//! let local = scene.session().eval(&View::orthographic(0.2)).unwrap();
+//! assert_eq!(report.k, local.k);
+//! server.shutdown();
+//! ```
+//!
+//! [`Scene`]: crate::Scene
+//! [`TiledScene`]: crate::TiledScene
+
+use crate::scene::Scene;
+use hsr_serve::server::ServerBuilder;
+use hsr_terrain::GridTerrain;
+use hsr_tile::TiledSceneConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+pub use hsr_serve::{
+    Client, ClientError, ErrorKind, PreparedStats, Request, Response, ServeConfig, ServeStats,
+    Server, TerrainSource, WireError,
+};
+
+/// Builds a [`Server`] from facade-level pieces: scenes, grids, and
+/// materialized tile stores, plus the service knobs.
+#[derive(Default)]
+pub struct ServeBuilder {
+    inner: ServerBuilder,
+}
+
+impl ServeBuilder {
+    /// A builder with default service knobs and no terrains.
+    pub fn new() -> ServeBuilder {
+        ServeBuilder { inner: ServerBuilder::new() }
+    }
+
+    /// Hosts a built [`Scene`] under `name` (shares its validated TIN —
+    /// no copy, and the prepare step on first use is free).
+    ///
+    /// [`Scene`]: crate::Scene
+    pub fn scene(mut self, name: impl Into<String>, scene: &Scene) -> ServeBuilder {
+        self.inner = self
+            .inner
+            .terrain(name, TerrainSource::Tin(scene.shared_tin()));
+        self
+    }
+
+    /// Hosts a heightfield grid under `name`; it is validated into a
+    /// TIN when first queried (and re-prepared after eviction).
+    pub fn grid(mut self, name: impl Into<String>, grid: &GridTerrain) -> ServeBuilder {
+        self.inner = self.inner.terrain(name, TerrainSource::Grid(grid.clone()));
+        self
+    }
+
+    /// Hosts a materialized tile store under `name`, served out of core
+    /// through a [`TiledScene`](crate::TiledScene) with `config`.
+    pub fn tiled_store(
+        mut self,
+        name: impl Into<String>,
+        dir: impl Into<PathBuf>,
+        config: TiledSceneConfig,
+    ) -> ServeBuilder {
+        self.inner = self
+            .inner
+            .terrain(name, TerrainSource::TiledStore { dir: dir.into(), config });
+        self
+    }
+
+    /// Worker threads evaluating coalesced batches (≥ 1).
+    pub fn workers(mut self, workers: usize) -> ServeBuilder {
+        self.inner = self.inner.workers(workers);
+        self
+    }
+
+    /// Admission-queue depth (requests beyond it are rejected with
+    /// [`ErrorKind::Overloaded`]).
+    pub fn queue_depth(mut self, depth: usize) -> ServeBuilder {
+        self.inner = self.inner.queue_depth(depth);
+        self
+    }
+
+    /// Most requests coalesced into one dispatch round (≥ 1).
+    pub fn max_batch(mut self, n: usize) -> ServeBuilder {
+        self.inner = self.inner.max_batch(n);
+        self
+    }
+
+    /// How long the dispatcher waits for coalescing companions after
+    /// the first request of a round.
+    pub fn batch_window(mut self, window: Duration) -> ServeBuilder {
+        self.inner = self.inner.batch_window(window);
+        self
+    }
+
+    /// Prepared scenes retained by the LRU (≥ 1).
+    pub fn scene_capacity(mut self, scenes: usize) -> ServeBuilder {
+        self.inner = self.inner.scene_capacity(scenes);
+        self
+    }
+
+    /// Binds the listener and starts the service threads.
+    pub fn bind(self, addr: impl std::net::ToSocketAddrs) -> std::io::Result<Server> {
+        self.inner.bind(addr)
+    }
+}

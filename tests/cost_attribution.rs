@@ -131,3 +131,45 @@ fn uninstrumented_callers_still_get_per_view_counters() {
     let c = CostCollector::new();
     assert_eq!(c.report().total_work(), 0);
 }
+
+/// The serving layer inherits the guarantee: a request evaluated inside
+/// a server-coalesced batch reports cost counters bit-identical to a
+/// solo evaluation of the same view — over the wire, across worker
+/// threads, whatever the dispatcher grouped it with (ISSUE 5).
+#[cfg(feature = "serve")]
+#[test]
+fn served_coalesced_requests_report_solo_cost_counters() {
+    use terrain_hsr::serve::{Client, ServeBuilder};
+
+    let scene = scene();
+    let views = mixed_views(&scene);
+    let session = scene.session();
+    let solo: Vec<Report> = views.iter().map(|v| session.eval(v).unwrap()).collect();
+
+    let server = ServeBuilder::new()
+        .scene("t", &scene)
+        .workers(2)
+        .max_batch(8)
+        .batch_window(std::time::Duration::from_millis(100))
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Pipelined: the dispatcher groups compatible requests into batched
+    // fan-outs (the naive and sequential views land in groups of their
+    // own — different CompatKey).
+    let results = client.eval_pipelined("t", &views).unwrap();
+
+    for (i, (s, b)) in solo.iter().zip(&results).enumerate() {
+        let b = b.as_ref().unwrap();
+        assert_eq!(
+            b.cost.work, s.cost.work,
+            "view {i}: served work counters diverged from solo evaluation"
+        );
+        assert_eq!(
+            b.cost.depth, s.cost.depth,
+            "view {i}: served depth counters diverged from solo evaluation"
+        );
+    }
+    assert!(server.stats().max_batch_observed >= 2, "{:?}", server.stats());
+    server.shutdown();
+}

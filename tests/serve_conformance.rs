@@ -1,0 +1,163 @@
+//! ISSUE 5 acceptance: server responses are **bit-identical** — the
+//! visibility map, the verdicts, and `n`/`k` — to calling
+//! `Scene::session()` (or `TiledScene::eval`) directly, under ≥ 8
+//! concurrent clients, on both the monolithic and the tiled backend.
+//!
+//! The wire format makes this possible: the JSON float codec emits the
+//! shortest round-trippable decimal, so every finite `f64` in a report
+//! survives the TCP hop with its exact bits.
+
+#![cfg(feature = "serve")]
+
+use std::sync::Arc;
+
+use terrain_hsr::core::view::Report;
+use terrain_hsr::geometry::Point3;
+use terrain_hsr::serve::ServeBuilder;
+use terrain_hsr::terrain::gen;
+use terrain_hsr::tiled::{TileStore, TilingConfig};
+use terrain_hsr::{SceneBuilder, TiledScene, TiledSceneConfig, View};
+
+/// Every bit of a report that evaluation determines (timings are
+/// wall-clock and cache counters are load-dependent, so those are out).
+fn bits(r: &Report) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.vis
+            .pieces
+            .iter()
+            .map(|p| (p.edge, p.x0.to_bits(), p.x1.to_bits(), p.z0.to_bits(), p.z1.to_bits()))
+            .collect::<Vec<_>>(),
+        r.vis
+            .crossings
+            .iter()
+            .map(|c| (c.x.to_bits(), c.z.to_bits(), c.upper_left, c.upper_right))
+            .collect::<Vec<_>>(),
+        r.vis.vertical_visible.clone(),
+        (r.n, r.k, r.vis.n_edges),
+        r.verdicts.clone(),
+        r.cost.work.clone(),
+        r.resolution,
+    )
+}
+
+fn fractional_targets(grid: &hsr_terrain::GridTerrain) -> Vec<Point3> {
+    let mut targets = Vec::new();
+    for i in (1..grid.nx - 1).step_by(4) {
+        for j in (1..grid.ny - 1).step_by(4) {
+            let (x, y) = (i as f64 + 0.37, j as f64 + 0.53);
+            targets.push(Point3::new(x, y, grid.sample(x, y) + 1.7));
+        }
+    }
+    targets
+}
+
+#[test]
+fn racing_clients_get_bit_identical_reports_on_both_backends() {
+    let grid = gen::diamond_square(5, 0.6, 9.0, 77); // 33×33
+    let scene = SceneBuilder::from_grid(&grid).build().unwrap();
+    let (lo, hi) = scene.tin().ground_bounds();
+    let mid_y = 0.5 * (lo.y + hi.y);
+    let observer = Point3::new(hi.x + 60.0, mid_y, 14.0);
+    let eye = Point3::new(hi.x + 25.0, mid_y, 20.0);
+    let look = Point3::new(lo.x, mid_y, 0.0);
+    let targets = fractional_targets(&grid);
+
+    // The tiled twin of the same terrain, at full resolution so its
+    // verdicts are bit-identical to the monolithic classification.
+    let dir = std::env::temp_dir().join(format!("thsr-serve-conf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let tiled_cfg =
+        TiledSceneConfig { cache_capacity: 4, fixed_level: Some(0), ..Default::default() };
+    let tiled = TiledScene::build(
+        &grid,
+        TilingConfig { tile_size: 8, levels: 2 },
+        TileStore::create(&dir).unwrap(),
+        tiled_cfg,
+    )
+    .unwrap();
+
+    // The per-client work list: (terrain, view) pairs spanning all
+    // three projections; expectations computed by direct evaluation
+    // before the server sees anything.
+    let mono_views = vec![
+        View::orthographic(0.0),
+        View::orthographic(0.45),
+        View::perspective(eye, look, 1.1, 512),
+        View::viewshed(observer, targets.clone()),
+    ];
+    let tiled_view = View::viewshed(observer, targets.clone());
+    let session = scene.session();
+    let mono_expected: Vec<Report> = mono_views
+        .iter()
+        .map(|v| session.eval(v).unwrap())
+        .collect();
+    let tiled_expected = tiled.eval(&tiled_view).unwrap().report;
+    // Full-resolution tiled verdicts agree with the monolithic ones.
+    assert_eq!(tiled_expected.verdicts, mono_expected[3].verdicts);
+    drop(tiled);
+
+    let server = ServeBuilder::new()
+        .scene("mono", &scene)
+        .tiled_store("tiled", &dir, tiled_cfg)
+        .workers(3)
+        .queue_depth(128)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = server.local_addr();
+
+    let mono_views = Arc::new(mono_views);
+    let mono_expected = Arc::new(mono_expected);
+    let tiled_view = Arc::new(tiled_view);
+    let tiled_expected = Arc::new(tiled_expected);
+
+    let clients: Vec<_> = (0..8)
+        .map(|c| {
+            let mono_views = Arc::clone(&mono_views);
+            let mono_expected = Arc::clone(&mono_expected);
+            let tiled_view = Arc::clone(&tiled_view);
+            let tiled_expected = Arc::clone(&tiled_expected);
+            std::thread::spawn(move || {
+                let mut client = terrain_hsr::serve::Client::connect(addr).expect("connect");
+                // Interleave mono and tiled requests differently per
+                // client so the batches the dispatcher forms vary.
+                for round in 0..2 {
+                    let i = (c + round) % mono_views.len();
+                    let got = client.eval("mono", &mono_views[i]).expect("mono eval");
+                    assert_eq!(
+                        bits(&got),
+                        bits(&mono_expected[i]),
+                        "client {c} round {round}: mono view {i} diverged over the wire"
+                    );
+                    if (c + round) % 2 == 0 {
+                        let got = client.eval("tiled", &tiled_view).expect("tiled eval");
+                        assert_eq!(
+                            bits(&got),
+                            bits(&tiled_expected),
+                            "client {c} round {round}: tiled view diverged over the wire"
+                        );
+                    }
+                }
+                // A pipelined burst exercises the coalescing path too.
+                let burst = client
+                    .eval_pipelined("mono", &mono_views)
+                    .expect("pipelined");
+                for (i, result) in burst.into_iter().enumerate() {
+                    let got = result.expect("pipelined eval");
+                    assert_eq!(bits(&got), bits(&mono_expected[i]), "client {c} burst view {i}");
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.rejected, 0, "queue depth 128 must absorb this load: {stats:?}");
+    assert_eq!(stats.malformed, 0);
+    assert!(stats.completed >= 8 * (2 + 4));
+    let prepared = server.prepared_stats();
+    assert_eq!(prepared.hits + prepared.prepares + prepared.errors, prepared.lookups);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
