@@ -9,13 +9,19 @@
 //! * `mono-pipelined` — each client pipelines bursts of compatible
 //!   requests (the coalescing *ceiling*),
 //! * `tiled-viewshed` — viewshed bursts against the tiled backend
-//!   (prepared-scene reuse + the resident-tile cache under the cap).
+//!   (prepared-scene reuse + the resident-tile cache under the cap),
+//! * `open-loop-idle` — ≥ 1024 idle connections held open while active
+//!   clients send on a **fixed schedule**; latency is measured from the
+//!   *scheduled* send instant (no coordinated omission), and the
+//!   process thread count is recorded before and after the idle herd
+//!   connects — the event-driven layer (ISSUE 6) must not grow it.
 //!
 //! Reports throughput, wall-clock latency percentiles, and the
 //! per-request cost counters the responses carry (the output-size
 //! sensitive bound is what makes per-request cost predictable enough to
 //! schedule). `--json` writes `BENCH_serve.json` — the artifact the CI
-//! serve-smoke job uploads; `--quick` shrinks the run.
+//! serve-smoke job uploads — as `{"closed_loop": [...], "open_loop":
+//! {...}}`; `--quick` shrinks the run.
 //!
 //! ```sh
 //! cargo run --release -p hsr-bench --bin serve_load -- [--quick] [--json]
@@ -27,7 +33,8 @@ use hsr_geometry::Point3;
 use hsr_serve::{Client, PreparedStats, ServeStats, Server, ServerBuilder, TerrainSource};
 use hsr_terrain::gen;
 use hsr_tile::{TilePyramid, TileStore, TiledSceneConfig, TilingConfig};
-use std::time::Instant;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// One scenario's measurements, serialized into `BENCH_serve.json`.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -54,6 +61,155 @@ struct ScenarioReport {
     /// Prepared-scene counters scoped to this scenario (deltas), with
     /// `resident`/`peak_resident` as end-of-scenario snapshots.
     prepared: PreparedStats,
+}
+
+/// The open-loop scenario's measurements (`open_loop` in the JSON).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+struct OpenLoopReport {
+    scenario: String,
+    /// Idle connections held open for the whole measurement (half of
+    /// them parked mid-request-line, exercising per-connection carry
+    /// state).
+    idle_connections: usize,
+    active_clients: usize,
+    requests: u64,
+    errors: u64,
+    /// The fixed send schedule: one request per client per interval.
+    send_interval_ms: f64,
+    elapsed_s: f64,
+    throughput_rps: f64,
+    /// Latency from the **scheduled** send instant, not the actual one
+    /// — a server that falls behind the schedule cannot hide it
+    /// (coordinated omission).
+    latency_ms_p50: f64,
+    latency_ms_p90: f64,
+    latency_ms_p99: f64,
+    latency_ms_max: f64,
+    /// Process thread count (`/proc/self/status`) before the idle herd
+    /// connected…
+    threads_before_idle: usize,
+    /// …and with all idle connections up: the event-driven connection
+    /// layer must hold this **equal** — connections are multiplexed,
+    /// never given threads.
+    threads_with_idle: usize,
+    /// Service counters scoped to this scenario (deltas, as above).
+    server: ServeStats,
+}
+
+/// Current thread count of this process (0 where `/proc` is absent —
+/// the fixed-thread assertion is skipped there).
+fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("Threads:")
+                    .and_then(|rest| rest.trim().parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Holds `idle` connections open while `clients` threads each send
+/// `requests_per_client` ping-pong requests on a fixed `interval`
+/// schedule, measuring latency from each request's *scheduled* send
+/// time.
+fn run_open_loop(
+    server: &Server,
+    terrain: &str,
+    view: &View,
+    idle: usize,
+    clients: usize,
+    requests_per_client: usize,
+    interval: Duration,
+) -> OpenLoopReport {
+    let before = server.stats();
+    let threads_before_idle = process_threads();
+
+    // The idle herd. Half park a partial request line so shards carry
+    // read state per connection; connects are lightly paced so the
+    // accept queue never overflows.
+    let parked_fragment = b"{\"id\":1,";
+    let idle_conns: Vec<TcpStream> = (0..idle)
+        .map(|i| {
+            if i % 128 == 127 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let stream = TcpStream::connect(server.local_addr()).expect("idle connect");
+            if i % 2 == 0 {
+                use std::io::Write as _;
+                (&stream).write_all(parked_fragment).expect("park fragment");
+            }
+            stream
+        })
+        .collect();
+    let threads_with_idle = process_threads();
+
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<f64>, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = Client::connect(server.local_addr()).expect("connect");
+                    let mut latencies = Vec::new();
+                    let mut errors = 0u64;
+                    let start = Instant::now();
+                    for i in 0..requests_per_client {
+                        let scheduled = start + interval * i as u32;
+                        let now = Instant::now();
+                        if now < scheduled {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        if client.eval(terrain, view).is_err() {
+                            errors += 1;
+                        }
+                        latencies.push(scheduled.elapsed().as_secs_f64() * 1e3);
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop client"))
+            .collect()
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    drop(idle_conns);
+
+    let mut latencies: Vec<f64> = per_client.iter().flat_map(|(l, _)| l.clone()).collect();
+    latencies.sort_by(f64::total_cmp);
+    let errors: u64 = per_client.iter().map(|&(_, e)| e).sum();
+    let requests = latencies.len() as u64;
+    let after = server.stats();
+    OpenLoopReport {
+        scenario: "open-loop-idle".into(),
+        idle_connections: idle,
+        active_clients: clients,
+        requests,
+        errors,
+        send_interval_ms: interval.as_secs_f64() * 1e3,
+        elapsed_s,
+        throughput_rps: requests as f64 / elapsed_s,
+        latency_ms_p50: percentile(&latencies, 0.50),
+        latency_ms_p90: percentile(&latencies, 0.90),
+        latency_ms_p99: percentile(&latencies, 0.99),
+        latency_ms_max: latencies.last().copied().unwrap_or(0.0),
+        threads_before_idle,
+        threads_with_idle,
+        server: ServeStats {
+            connections: after.connections - before.connections,
+            admitted: after.admitted - before.admitted,
+            rejected: after.rejected - before.rejected,
+            malformed: after.malformed - before.malformed,
+            completed: after.completed - before.completed,
+            failed: after.failed - before.failed,
+            dropped_slow: after.dropped_slow - before.dropped_slow,
+            batches: after.batches - before.batches,
+            batched_requests: after.batched_requests - before.batched_requests,
+            max_batch_observed: after.max_batch_observed,
+        },
+    }
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -159,6 +315,7 @@ fn run_scenario(
             malformed: after.malformed - before.malformed,
             completed: after.completed - before.completed,
             failed: after.failed - before.failed,
+            dropped_slow: after.dropped_slow - before.dropped_slow,
             batches: after.batches - before.batches,
             batched_requests: after.batched_requests - before.batched_requests,
             max_batch_observed: after.max_batch_observed,
@@ -225,6 +382,22 @@ fn main() {
         run_scenario("mono-pipelined", &server, "t", &sweep, clients, rounds, true),
         run_scenario("tiled-viewshed", &server, "t-tiled", &viewsheds, clients, rounds, true),
     ];
+
+    // The ISSUE 6 acceptance scenario: the event-driven connection layer
+    // carries ≥ 1024 idle connections on the same fixed thread set that
+    // serves the active schedule. The viewshed view keeps one request
+    // cheap enough that the schedule is *sustainable* — the recorded
+    // tail is queueing, not hopeless overload.
+    let (idle, active, per_client) = if quick { (256, 4, 20) } else { (1024, 8, 40) };
+    let open_loop = run_open_loop(
+        &server,
+        "t-tiled",
+        &View::viewshed(observer, targets.clone()),
+        idle,
+        active,
+        per_client,
+        Duration::from_millis(100),
+    );
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -250,6 +423,19 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
+    println!(
+        "\nopen-loop: {} idle conns + {} active clients @ {:.0} ms schedule — \
+         p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms; threads {} -> {}",
+        open_loop.idle_connections,
+        open_loop.active_clients,
+        open_loop.send_interval_ms,
+        open_loop.latency_ms_p50,
+        open_loop.latency_ms_p99,
+        open_loop.latency_ms_max,
+        open_loop.threads_before_idle,
+        open_loop.threads_with_idle,
+    );
+
     for r in &reports {
         assert_eq!(r.errors, 0, "{}: unexpected request errors", r.scenario);
         assert_eq!(r.server.rejected, 0, "{}: queue depth 256 must absorb this load", r.scenario);
@@ -262,10 +448,31 @@ fn main() {
         "pipelined traffic formed no batches: {:?}",
         pipelined.server
     );
+    // Open-loop acceptance: everything answered, nobody dropped, and —
+    // where /proc exists — not one thread added for the idle herd.
+    assert_eq!(open_loop.errors, 0, "open-loop: unexpected request errors");
+    assert_eq!(open_loop.server.dropped_slow, 0, "idle connections are not slow consumers");
+    assert_eq!(
+        open_loop.server.connections,
+        (open_loop.idle_connections + open_loop.active_clients) as u64,
+        "every connection accepted"
+    );
+    if open_loop.threads_before_idle > 0 {
+        assert_eq!(
+            open_loop.threads_with_idle, open_loop.threads_before_idle,
+            "the connection layer must not grow threads with connection count"
+        );
+    }
 
     if std::env::args().any(|a| a == "--json") {
+        #[derive(serde::Serialize)]
+        struct Artifact {
+            closed_loop: Vec<ScenarioReport>,
+            open_loop: OpenLoopReport,
+        }
         let path = "BENCH_serve.json";
-        std::fs::write(path, serde_json::to_string(&reports).expect("reports serialize"))
+        let artifact = Artifact { closed_loop: reports.clone(), open_loop: open_loop.clone() };
+        std::fs::write(path, serde_json::to_string(&artifact).expect("reports serialize"))
             .expect("write bench json");
         println!("(wrote {path})");
     }

@@ -1,4 +1,4 @@
-//! Hosted terrains and the prepared-scene LRU.
+//! Hosted terrains and the sharded prepared-scene LRU.
 //!
 //! The server is configured with a catalog of named [`TerrainSource`]s.
 //! A source is cheap to hold (a heightfield grid, a shared TIN, or just
@@ -10,14 +10,24 @@
 //! discipline as the tile cache underneath: an eviction only commits
 //! alongside a successful prepare, so a transient failure never shrinks
 //! what is resident.
+//!
+//! The cache is **sharded by terrain name** so independent terrains
+//! never contend: hits take exactly one per-shard bookkeeping lock, and
+//! prepares serialize only per terrain (one slow tiled-store open no
+//! longer stalls preparing an unrelated grid). The LRU capacity stays
+//! *global* — the rare evict+insert commit briefly takes every shard
+//! lock in index order, which is what keeps `peak_resident ≤ capacity`
+//! an exact invariant rather than a per-shard approximation.
 
 use hsr_core::error::HsrError;
 use hsr_core::view::{evaluate_batch, Report, View};
 use hsr_terrain::{GridTerrain, Tin};
 use hsr_tile::{CacheStats, TileStore, TiledScene, TiledSceneConfig};
 use std::collections::HashMap;
+use std::hash::{Hash as _, Hasher as _};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::protocol::{ErrorKind, WireError};
 
@@ -131,13 +141,28 @@ struct PreparedEntry {
     last_use: u64,
 }
 
-struct CacheInner {
-    map: HashMap<String, PreparedEntry>,
-    tick: u64,
-    stats: PreparedStats,
+/// Lock-free counter cells behind [`PreparedStats`] snapshots. Each
+/// `get_or_prepare` increments `lookups` once and exactly one of
+/// `hits`/`prepares`/`errors`, so the partition invariant holds exactly
+/// at quiescence (a snapshot taken mid-call may be one step ahead on
+/// one side, as with any monotonic counter set).
+#[derive(Default)]
+struct StatCells {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    prepares: AtomicU64,
+    errors: AtomicU64,
+    evictions: AtomicU64,
+    resident: AtomicUsize,
+    peak_resident: AtomicUsize,
 }
 
-/// A hard-capped LRU of prepared scenes keyed by terrain name.
+/// How many bookkeeping shards the cache spreads terrain names over.
+/// Small and fixed: the point is that *distinct hot terrains* land on
+/// distinct locks with high probability, not a per-core partition.
+const CACHE_SHARDS: usize = 8;
+
+/// A hard-capped, sharded LRU of prepared scenes keyed by terrain name.
 ///
 /// Unlike the tile cache there is no pinning: an in-flight evaluation
 /// holds its own `Arc` to the scene it is using, so eviction never
@@ -145,15 +170,28 @@ struct CacheInner {
 /// *retains* for reuse. With capacity 1 and two hot terrains the service
 /// still answers correctly; it just re-prepares on each alternation
 /// (the concurrency tests pin this behavior down).
+///
+/// Concurrency structure (ISSUE 6):
+/// * **hits** lock exactly one shard (terrains on different shards never
+///   contend);
+/// * **prepares** serialize per terrain — one `Mutex` per registered
+///   name — so a slow tiled-store open does not stall preparing an
+///   unrelated grid (two callers racing for the *same* terrain still
+///   dedupe: the loser re-checks and hits);
+/// * the **evict+insert commit** takes all shard locks in index order,
+///   keeping the global `peak_resident ≤ capacity` invariant exact.
+///   Commits are rare (successful misses only) and brief (map ops, no
+///   I/O).
 pub struct PreparedCache {
     capacity: usize,
     sources: HashMap<String, TerrainSource>,
-    inner: Mutex<CacheInner>,
-    /// Serializes the prepare step only: concurrent prepares of big
-    /// terrains would multiply peak memory, but a prepare must not hold
-    /// the bookkeeping lock — hits on already-resident terrains stay
-    /// wait-free while one slow prepare runs.
-    prepare_lock: Mutex<()>,
+    shards: Vec<Mutex<HashMap<String, PreparedEntry>>>,
+    /// One prepare lock per registered terrain (sources are fixed at
+    /// construction, so this map is never mutated — no lock around it).
+    prepare_locks: HashMap<String, Mutex<()>>,
+    /// Global recency clock for the cross-shard LRU ordering.
+    tick: AtomicU64,
+    stats: StatCells,
 }
 
 impl PreparedCache {
@@ -161,15 +199,19 @@ impl PreparedCache {
     /// scenes (≥ 1).
     pub fn new(capacity: usize, sources: HashMap<String, TerrainSource>) -> PreparedCache {
         assert!(capacity >= 1, "prepared-scene capacity must be ≥ 1");
+        let prepare_locks = sources
+            .keys()
+            .map(|k| (k.clone(), Mutex::new(())))
+            .collect();
         PreparedCache {
             capacity,
             sources,
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                tick: 0,
-                stats: PreparedStats::default(),
-            }),
-            prepare_lock: Mutex::new(()),
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            prepare_locks,
+            tick: AtomicU64::new(0),
+            stats: StatCells::default(),
         }
     }
 
@@ -180,93 +222,116 @@ impl PreparedCache {
         names
     }
 
-    /// Current counters.
+    /// Current counters (a consistent snapshot at quiescence).
     pub fn stats(&self) -> PreparedStats {
-        self.inner.lock().expect("prepared cache lock").stats
+        PreparedStats {
+            lookups: self.stats.lookups.load(Ordering::Relaxed),
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            prepares: self.stats.prepares.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            resident: self.stats.resident.load(Ordering::Relaxed),
+            peak_resident: self.stats.peak_resident.load(Ordering::Relaxed),
+        }
     }
 
     /// The resident-tile cache counters of `name`, if that terrain is
     /// currently resident on the tiled backend. A pure peek: touches
     /// neither the LRU recency nor the lookup counters.
     pub fn tile_cache_stats(&self, name: &str) -> Option<CacheStats> {
-        let inner = self.inner.lock().expect("prepared cache lock");
-        inner
-            .map
+        let shard = self.shards[self.shard_of(name)]
+            .lock()
+            .expect("prepared cache shard");
+        shard
             .get(name)
             .and_then(|entry| entry.scene.tile_cache_stats())
     }
 
+    fn shard_of(&self, name: &str) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
     /// Returns the prepared scene for `name`, preparing it from its
-    /// source on a miss. Prepares are serialized with each other (one
-    /// big terrain materializing at a time bounds peak memory) but do
-    /// **not** hold the bookkeeping lock, so hits on already-resident
-    /// terrains proceed while a prepare runs. The eviction only commits
-    /// together with the successful insert, under one lock acquisition:
-    /// a failed prepare changes nothing but the `errors` counter, and
+    /// source on a miss. The eviction only commits together with the
+    /// successful insert, under one all-shard lock acquisition: a
+    /// failed prepare changes nothing but the `errors` counter, and
     /// `resident` never exceeds the capacity (the freshly prepared
-    /// scene coexists with its victim only outside the map, briefly).
+    /// scene coexists with its victim only outside the maps, briefly).
     pub fn get_or_prepare(&self, name: &str) -> Result<PreparedScene, WireError> {
         if let Some(hit) = self.lookup(name, true) {
             return Ok(hit);
         }
-        let Some(source) = self.sources.get(name) else {
-            self.inner.lock().expect("prepared cache lock").stats.errors += 1;
+        if !self.sources.contains_key(name) {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
             return Err(WireError::new(
                 ErrorKind::UnknownTerrain,
                 format!("no terrain named `{name}` is registered"),
             ));
         };
-        let _preparing = self.prepare_lock.lock().expect("prepare lock");
+        let _preparing = self.prepare_locks[name].lock().expect("prepare lock");
         // Someone else may have prepared `name` while we waited.
         if let Some(hit) = self.lookup(name, false) {
             return Ok(hit);
         }
-        let scene = match prepare(source) {
+        let scene = match prepare(&self.sources[name]) {
             Ok(scene) => scene,
             Err(e) => {
-                self.inner.lock().expect("prepared cache lock").stats.errors += 1;
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
                 return Err(e);
             }
         };
-        // Commit: evict and insert atomically.
-        let mut inner = self.inner.lock().expect("prepared cache lock");
-        inner.tick += 1;
-        let tick = inner.tick;
-        while inner.map.len() >= self.capacity {
-            let victim = inner
-                .map
+        // Commit: evict and insert atomically under every shard lock
+        // (acquired in index order; no other path holds two at once, so
+        // the ordering is trivially deadlock-free).
+        let mut guards: Vec<MutexGuard<'_, HashMap<String, PreparedEntry>>> = self
+            .shards
+            .iter()
+            .map(|m| m.lock().expect("prepared cache shard"))
+            .collect();
+        let mut resident: usize = guards.iter().map(|g| g.len()).sum();
+        while resident >= self.capacity {
+            let victim = guards
                 .iter()
-                .min_by_key(|(_, e)| e.last_use)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty map above capacity");
-            inner.map.remove(&victim).expect("victim came from the map");
-            inner.stats.evictions += 1;
+                .enumerate()
+                .flat_map(|(s, g)| g.iter().map(move |(k, e)| (e.last_use, s, k.clone())))
+                .min()
+                .expect("non-empty maps above capacity");
+            guards[victim.1]
+                .remove(&victim.2)
+                .expect("victim came from its shard");
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            resident -= 1;
         }
-        inner
-            .map
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        guards[self.shard_of(name)]
             .insert(name.to_string(), PreparedEntry { scene: scene.clone(), last_use: tick });
-        inner.stats.prepares += 1;
-        inner.stats.resident = inner.map.len();
-        inner.stats.peak_resident = inner.stats.peak_resident.max(inner.map.len());
+        resident += 1;
+        self.stats.prepares.fetch_add(1, Ordering::Relaxed);
+        self.stats.resident.store(resident, Ordering::Relaxed);
+        self.stats
+            .peak_resident
+            .fetch_max(resident, Ordering::Relaxed);
         Ok(scene)
     }
 
-    /// One locked hit-check. `first` marks the initial lookup of a
+    /// One shard-locked hit-check. `first` marks the initial lookup of a
     /// `get_or_prepare` call (counted in `lookups`); the re-check after
     /// waiting on the prepare lock is not a new lookup, but a hit there
     /// still counts as a hit so `hits + prepares + errors == lookups`
     /// stays exact.
     fn lookup(&self, name: &str, first: bool) -> Option<PreparedScene> {
-        let mut inner = self.inner.lock().expect("prepared cache lock");
-        inner.tick += 1;
+        let mut shard = self.shards[self.shard_of(name)]
+            .lock()
+            .expect("prepared cache shard");
         if first {
-            inner.stats.lookups += 1;
+            self.stats.lookups.fetch_add(1, Ordering::Relaxed);
         }
-        let tick = inner.tick;
-        let entry = inner.map.get_mut(name)?;
-        entry.last_use = tick;
+        let entry = shard.get_mut(name)?;
+        entry.last_use = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let scene = entry.scene.clone();
-        inner.stats.hits += 1;
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
         Some(scene)
     }
 }
@@ -337,6 +402,45 @@ mod tests {
         // `a` is still resident.
         cache.get_or_prepare("a").unwrap();
         assert_eq!(cache.stats().hits, before.hits + 1);
+    }
+
+    #[test]
+    fn racing_lookups_of_one_terrain_prepare_it_exactly_once() {
+        let cache = std::sync::Arc::new(PreparedCache::new(2, sources()));
+        let threads: Vec<_> = (0..6)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || cache.get_or_prepare("a").unwrap())
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = cache.stats();
+        // The per-terrain prepare lock dedupes: one prepare, the rest
+        // hit either on first lookup or on the post-lock re-check.
+        assert_eq!(s.prepares, 1, "{s:?}");
+        assert_eq!(s.hits + s.prepares + s.errors, s.lookups);
+        assert_eq!((s.resident, s.peak_resident), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_prepares_of_independent_terrains_both_commit() {
+        let cache = std::sync::Arc::new(PreparedCache::new(2, sources()));
+        let threads: Vec<_> = ["a", "b"]
+            .into_iter()
+            .map(|name| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || cache.get_or_prepare(name).unwrap())
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!((s.prepares, s.resident), (2, 2), "{s:?}");
+        assert!(s.peak_resident <= 2, "commit must stay under the cap: {s:?}");
+        assert_eq!(s.hits + s.prepares + s.errors, s.lookups);
     }
 
     #[test]

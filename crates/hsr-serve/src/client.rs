@@ -98,7 +98,14 @@ impl Client {
             std::collections::HashMap::new();
         for _ in views {
             let response = self.recv()?;
-            by_id.insert(response.id, response.into_result());
+            let id = response.id;
+            if by_id.insert(id, response.into_result()).is_some() {
+                // A silent overwrite here would drop a report on the
+                // floor and surface later as a confusing "no response
+                // for request N"; a duplicate id is a protocol breach
+                // and is reported as exactly that.
+                return Err(ClientError::Protocol(format!("duplicate response id {id}")));
+            }
         }
         ids.iter()
             .map(|id| {
@@ -111,7 +118,30 @@ impl Client {
 
     fn fresh_id(&mut self) -> u64 {
         let id = self.next_id;
-        self.next_id += 1;
+        // Skip the reserved 0 on wraparound so it can never collide
+        // with the server's answers to unparseable lines.
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        assert_ne!(id, 0, "id 0 is reserved for the wire protocol");
         id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fresh_ids_never_emit_the_reserved_zero() {
+        let stream = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap()
+        };
+        let mut client = super::Client {
+            reader: std::io::BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+            next_id: u64::MAX,
+        };
+        assert_eq!(client.fresh_id(), u64::MAX);
+        // Wraparound lands on 1, not the reserved 0.
+        assert_eq!(client.fresh_id(), 1);
+        assert_eq!(client.fresh_id(), 2);
     }
 }

@@ -1,0 +1,501 @@
+//! The sharded, readiness-driven connection layer (ISSUE 6 tentpole).
+//!
+//! PR 5 gave every connection a blocking reader thread and let workers
+//! write responses directly to client sockets. Both ends of that design
+//! fail under adversarial or merely slow traffic: a thread per
+//! connection caps concurrency at the thread ceiling, and a client that
+//! stops reading wedges whichever worker is mid-`write_all` to it. This
+//! module replaces both with event-driven I/O:
+//!
+//! * Connections are **sharded** round-robin across a fixed number of
+//!   event-loop threads. Each shard owns a [`polling::Poller`] and the
+//!   full state of its connections — nothing per-connection is spawned,
+//!   so thousands of mostly-idle viewers cost one registered fd each.
+//! * **Reads are nonblocking** into a per-connection line buffer capped
+//!   at [`ServeConfig::max_line_bytes`]. A line that exceeds the cap is
+//!   answered with [`ErrorKind::BadRequest`] immediately (no newline
+//!   required), counted in `malformed`, and the connection resumes at
+//!   the next newline — memory stays bounded no matter what a client
+//!   streams.
+//! * **Writes are queued, never blocking**: workers serialize a
+//!   response into the connection's bounded outgoing queue
+//!   ([`Reply::send`]) and wake the owning shard, which drains the
+//!   queue as the socket reports writable. A queue that would exceed
+//!   [`ServeConfig::outgoing_cap_bytes`] condemns the connection
+//!   instead of growing — the slow client is disconnected, counted in
+//!   [`ServeStats::dropped_slow`], and every worker stays available to
+//!   everyone else.
+//!
+//! Readiness is oneshot (the `polling` contract): after servicing a
+//! connection the shard re-arms it with read interest plus write
+//! interest iff bytes are pending. Cross-thread handoffs — new
+//! connections from the acceptor, fresh outgoing bytes from workers —
+//! go through small locked queues plus [`polling::Poller::notify`], so
+//! a shard blocked in `wait` always learns about them immediately.
+//!
+//! [`ServeConfig::max_line_bytes`]: crate::server::ServeConfig::max_line_bytes
+//! [`ServeConfig::outgoing_cap_bytes`]: crate::server::ServeConfig::outgoing_cap_bytes
+//! [`ServeStats::dropped_slow`]: crate::server::ServeStats::dropped_slow
+//! [`ErrorKind::BadRequest`]: crate::protocol::ErrorKind::BadRequest
+
+use crate::protocol::{salvage_id, ErrorKind, Request, Response, WireError};
+use crate::server::{Counters, Job, Msg, ServeConfig, Shared};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Safety-net wait timeout: shards are woken by `notify` for every
+/// cross-thread handoff, so this only bounds how long a lost wakeup
+/// (which should be impossible) could delay shutdown.
+const WAIT_TICK: Duration = Duration::from_millis(500);
+
+/// Bytes read per `read` call while draining a readable socket.
+const READ_CHUNK: usize = 8 * 1024;
+
+/// Most `READ_CHUNK`s drained from one connection per wake. A firehose
+/// client cannot monopolize its shard: past the budget the connection is
+/// simply re-armed, and the still-full kernel buffer makes the next
+/// `wait` return it immediately — other connections get served in
+/// between.
+const READ_BUDGET: usize = 16;
+
+/// How long a stopping shard keeps flushing pending outgoing bytes
+/// (shutdown answers already enqueued) before closing everything.
+const FLUSH_GRACE: Duration = Duration::from_millis(250);
+
+/// One connection's bounded outgoing queue plus the handle a worker
+/// needs to wake the owning shard. Shared: the shard drains it, any
+/// worker answering one of its requests fills it.
+pub(crate) struct Reply {
+    out: Mutex<OutBuf>,
+    /// Outgoing-queue capacity in bytes; exceeding it condemns the
+    /// connection (slow-consumer policy).
+    cap: usize,
+    /// The connection's key in its shard.
+    key: usize,
+    shard: Arc<ShardHandle>,
+    counters: Arc<Counters>,
+}
+
+#[derive(Default)]
+struct OutBuf {
+    queue: VecDeque<u8>,
+    /// Set when the queue overflowed: the connection is condemned, no
+    /// further bytes are accepted, and the shard closes it on its next
+    /// wake.
+    dropped: bool,
+}
+
+impl Reply {
+    /// Serializes `response` into the outgoing queue and wakes the
+    /// owning shard. Never blocks: a queue past its cap condemns the
+    /// connection instead (counted once in `dropped_slow`).
+    ///
+    /// The cap bounds *backlog*, not a single answer: an empty queue
+    /// accepts any one response even when it alone exceeds the cap
+    /// (otherwise a well-behaved ping-pong client could be condemned by
+    /// one large report). Per-connection memory stays bounded by
+    /// `max(cap, largest single response)`.
+    pub(crate) fn send(&self, response: &Response) {
+        let mut line = serde_json::to_string(response).expect("responses serialize");
+        line.push('\n');
+        {
+            let mut out = self.out.lock().expect("reply out lock");
+            if out.dropped {
+                return;
+            }
+            if !out.queue.is_empty() && out.queue.len() + line.len() > self.cap {
+                out.dropped = true;
+                self.counters.dropped_slow.fetch_add(1, Ordering::Relaxed);
+            } else {
+                out.queue.extend(line.as_bytes());
+            }
+        }
+        self.shard.mark_dirty(self.key);
+    }
+
+    fn is_dropped(&self) -> bool {
+        self.out.lock().expect("reply out lock").dropped
+    }
+
+    /// A reply wired to a throwaway shard, for unit tests that need a
+    /// `Job` but never read what was sent.
+    #[cfg(test)]
+    pub(crate) fn detached_for_tests() -> Arc<Reply> {
+        Arc::new(Reply {
+            out: Mutex::new(OutBuf::default()),
+            cap: usize::MAX,
+            key: 0,
+            shard: Arc::new(ShardHandle::new().expect("test shard")),
+            counters: Arc::new(Counters::default()),
+        })
+    }
+}
+
+/// The cross-thread face of one event-loop shard: the poller to wake,
+/// plus the handoff queues the acceptor and the workers push into.
+pub(crate) struct ShardHandle {
+    poller: polling::Poller,
+    /// Keys with fresh outgoing bytes or a condemned connection.
+    dirty: Mutex<Vec<usize>>,
+    /// Newly accepted connections awaiting adoption.
+    incoming: Mutex<Vec<TcpStream>>,
+    stop: AtomicBool,
+}
+
+impl ShardHandle {
+    pub(crate) fn new() -> std::io::Result<ShardHandle> {
+        Ok(ShardHandle {
+            poller: polling::Poller::new()?,
+            dirty: Mutex::new(Vec::new()),
+            incoming: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Hands a freshly accepted connection to this shard.
+    pub(crate) fn adopt(&self, stream: TcpStream) {
+        self.incoming.lock().expect("incoming lock").push(stream);
+        let _ = self.poller.notify();
+    }
+
+    /// Asks the shard loop to flush and exit.
+    pub(crate) fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.poller.notify();
+    }
+
+    fn mark_dirty(&self, key: usize) {
+        self.dirty.lock().expect("dirty lock").push(key);
+        let _ = self.poller.notify();
+    }
+}
+
+/// Everything a shard knows about one connection.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes of the current (incomplete) request line.
+    inbuf: Vec<u8>,
+    /// Oversized-line recovery: drop bytes until the next newline.
+    discarding: bool,
+    reply: Arc<Reply>,
+}
+
+enum IoOutcome {
+    /// Connection healthy; `true` iff outgoing bytes are pending.
+    Open(bool),
+    /// Connection finished (EOF, error, or condemned): close it.
+    Closed,
+}
+
+/// The body of one event-loop thread.
+pub(crate) fn shard_loop(
+    shard: &Arc<ShardHandle>,
+    shared: &Arc<Shared>,
+    admission: &mpsc::SyncSender<Msg>,
+    config: &ServeConfig,
+) {
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_key: usize = 0;
+    let mut events: Vec<polling::Event> = Vec::new();
+    loop {
+        events.clear();
+        let _ = shard.poller.wait(&mut events, Some(WAIT_TICK));
+        if shard.stop.load(Ordering::SeqCst) {
+            final_flush(&shard.poller, &mut conns);
+            return;
+        }
+
+        // Adopt connections the acceptor handed over.
+        let adopted: Vec<TcpStream> = shard
+            .incoming
+            .lock()
+            .expect("incoming lock")
+            .drain(..)
+            .collect();
+        for stream in adopted {
+            if stream.set_nonblocking(true).is_err() {
+                continue; // dead on arrival
+            }
+            let key = next_key;
+            next_key += 1;
+            let reply = Arc::new(Reply {
+                out: Mutex::new(OutBuf::default()),
+                cap: config.outgoing_cap_bytes.max(1024),
+                key,
+                shard: Arc::clone(shard),
+                counters: Arc::clone(&shared.counters),
+            });
+            if shard
+                .poller
+                .add(&stream, polling::Event::readable(key))
+                .is_err()
+            {
+                continue;
+            }
+            conns.insert(key, Conn { stream, inbuf: Vec::new(), discarding: false, reply });
+        }
+
+        // Dirty connections (fresh outgoing bytes / condemnations), then
+        // readiness events. Servicing is idempotent, so a key appearing
+        // in both lists just gets a cheap second pass.
+        let dirty: Vec<usize> = shard.dirty.lock().expect("dirty lock").drain(..).collect();
+        for key in dirty {
+            service(&mut conns, key, false, shard, shared, admission, config);
+        }
+        for event in &events {
+            service(&mut conns, event.key, event.readable, shard, shared, admission, config);
+        }
+    }
+}
+
+/// Services one connection: drains readable bytes (when `readable`),
+/// always attempts a write drain, then either closes or re-arms it.
+fn service(
+    conns: &mut HashMap<usize, Conn>,
+    key: usize,
+    readable: bool,
+    shard: &Arc<ShardHandle>,
+    shared: &Arc<Shared>,
+    admission: &mpsc::SyncSender<Msg>,
+    config: &ServeConfig,
+) {
+    let Some(conn) = conns.get_mut(&key) else {
+        return; // already closed; stale dirty entry or event
+    };
+    let mut outcome = if conn.reply.is_dropped() {
+        IoOutcome::Closed
+    } else if readable {
+        service_read(conn, shared, admission, config)
+    } else {
+        IoOutcome::Open(false)
+    };
+    if let IoOutcome::Open(_) = outcome {
+        // Replies may have been enqueued by the read above (or by the
+        // worker that marked us dirty): push what the socket will take.
+        outcome = service_write(conn);
+    }
+    match outcome {
+        IoOutcome::Closed => {
+            let conn = conns.remove(&key).expect("serviced connection exists");
+            let _ = shard.poller.delete(&conn.stream);
+            // Dropping the stream closes the socket.
+        }
+        IoOutcome::Open(write_pending) => {
+            let interest = polling::Event { key, readable: true, writable: write_pending };
+            if shard.poller.modify(&conn.stream, interest).is_err() {
+                let conn = conns.remove(&key).expect("serviced connection exists");
+                let _ = shard.poller.delete(&conn.stream);
+            }
+        }
+    }
+}
+
+/// Nonblocking read drain: pulls up to `READ_BUDGET` chunks, slicing
+/// complete lines out and enforcing the line-length cap as bytes arrive.
+fn service_read(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    admission: &mpsc::SyncSender<Msg>,
+    config: &ServeConfig,
+) -> IoOutcome {
+    let mut chunk = [0u8; READ_CHUNK];
+    for _ in 0..READ_BUDGET {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return IoOutcome::Closed, // client hung up
+            Ok(n) => ingest(conn, &chunk[..n], shared, admission, config),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return IoOutcome::Closed,
+        }
+    }
+    IoOutcome::Open(false)
+}
+
+/// Splits `bytes` into request lines against the connection's carry
+/// buffer, handling each complete line and enforcing the cap on the
+/// incomplete remainder.
+fn ingest(
+    conn: &mut Conn,
+    bytes: &[u8],
+    shared: &Arc<Shared>,
+    admission: &mpsc::SyncSender<Msg>,
+    config: &ServeConfig,
+) {
+    let cap = config.max_line_bytes.max(1);
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        if conn.discarding {
+            // Tail of an already-rejected oversized line.
+            match rest.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    conn.discarding = false;
+                    rest = &rest[nl + 1..];
+                }
+                None => return, // still mid-line: drop the whole chunk
+            }
+            continue;
+        }
+        match rest.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                let line_len = conn.inbuf.len() + nl;
+                if line_len > cap {
+                    reject_oversized(conn, line_len, cap, shared);
+                    conn.discarding = false; // newline already consumed
+                } else if conn.inbuf.is_empty() {
+                    handle_line(&rest[..nl], &conn.reply, shared, admission);
+                } else {
+                    conn.inbuf.extend_from_slice(&rest[..nl]);
+                    let line = std::mem::take(&mut conn.inbuf);
+                    handle_line(&line, &conn.reply, shared, admission);
+                }
+                conn.inbuf.clear();
+                rest = &rest[nl + 1..];
+            }
+            None => {
+                if conn.inbuf.len() + rest.len() > cap {
+                    reject_oversized(conn, conn.inbuf.len() + rest.len(), cap, shared);
+                    conn.discarding = true;
+                    return; // rest of chunk is the oversized line's body
+                }
+                conn.inbuf.extend_from_slice(rest);
+                return;
+            }
+        }
+    }
+}
+
+/// Answers an oversized line with `BadRequest` (reserved id 0 — the
+/// line was never parsed) and resets the carry buffer. The module
+/// contract this enforces: nothing allocates proportionally to what a
+/// client streams, newline or not.
+fn reject_oversized(conn: &mut Conn, got: usize, cap: usize, shared: &Arc<Shared>) {
+    shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+    conn.inbuf = Vec::new(); // release the carry allocation too
+    conn.reply.send(&Response::err(
+        0,
+        WireError::new(
+            ErrorKind::BadRequest,
+            format!("request line exceeds the {cap}-byte cap (≥ {got} bytes)"),
+        ),
+    ));
+}
+
+/// One complete request line: parse, validate the id, and admit —
+/// exactly the PR-5 per-line path, minus the thread it used to run on.
+fn handle_line(
+    raw: &[u8],
+    reply: &Arc<Reply>,
+    shared: &Arc<Shared>,
+    admission: &mpsc::SyncSender<Msg>,
+) {
+    let text = String::from_utf8_lossy(raw);
+    let text = text.trim();
+    if text.is_empty() {
+        return;
+    }
+    let request: Request = match serde_json::from_str(text) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+            reply.send(&Response::err(
+                salvage_id(text),
+                WireError::new(ErrorKind::BadRequest, format!("unparseable request: {e}")),
+            ));
+            return;
+        }
+    };
+    if request.id == 0 {
+        shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+        reply.send(&Response::err(
+            0,
+            WireError::new(
+                ErrorKind::BadRequest,
+                "id 0 is reserved for answers to unparseable lines",
+            ),
+        ));
+        return;
+    }
+    let id = request.id;
+    if shared.stop.load(Ordering::SeqCst) {
+        reply.send(&Response::err(
+            id,
+            WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
+        ));
+        return;
+    }
+    let job = Box::new(Job { request, reply: Arc::clone(reply) });
+    match admission.try_send(Msg::Job(job)) {
+        Ok(()) => {
+            shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(mpsc::TrySendError::Full(_)) => {
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            reply.send(&Response::err(
+                id,
+                WireError::new(ErrorKind::Overloaded, "admission queue full; retry later"),
+            ));
+        }
+        Err(mpsc::TrySendError::Disconnected(_)) => {
+            reply.send(&Response::err(
+                id,
+                WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
+            ));
+        }
+    }
+}
+
+/// Nonblocking write drain of the outgoing queue.
+fn service_write(conn: &mut Conn) -> IoOutcome {
+    let mut out = conn.reply.out.lock().expect("reply out lock");
+    if out.dropped {
+        return IoOutcome::Closed;
+    }
+    while !out.queue.is_empty() {
+        let (front, back) = out.queue.as_slices();
+        let chunk = if front.is_empty() { back } else { front };
+        match conn.stream.write(chunk) {
+            Ok(0) => return IoOutcome::Closed,
+            Ok(n) => {
+                out.queue.drain(..n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                return IoOutcome::Open(true);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return IoOutcome::Closed,
+        }
+    }
+    IoOutcome::Open(false)
+}
+
+/// Shutdown: keep draining pending outgoing bytes (the workers have
+/// already enqueued every answer they will ever produce) for a short
+/// grace period, then close all connections.
+fn final_flush(poller: &polling::Poller, conns: &mut HashMap<usize, Conn>) {
+    let deadline = Instant::now() + FLUSH_GRACE;
+    loop {
+        let mut pending = false;
+        conns.retain(|_, conn| match service_write(conn) {
+            IoOutcome::Open(p) => {
+                pending |= p;
+                true
+            }
+            IoOutcome::Closed => {
+                let _ = poller.delete(&conn.stream);
+                false
+            }
+        });
+        if !pending || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for conn in conns.values() {
+        let _ = poller.delete(&conn.stream);
+    }
+    conns.clear();
+}

@@ -12,16 +12,22 @@
 //! * [`protocol`] — newline-delimited JSON over TCP; [`Request`] wraps
 //!   an [`hsr_core::view::View`], [`Response`] carries the full
 //!   [`hsr_core::view::Report`], bit-identical to a local evaluation.
-//! * [`server`] — bounded admission queue with immediate
-//!   [`ErrorKind::Overloaded`] rejection (backpressure, not unbounded
-//!   buffering), a dispatcher that **coalesces** requests targeting the
-//!   same terrain and compatible config
-//!   ([`hsr_core::view::CompatKey`]) into one
-//!   `evaluate_batch`/`eval_many` fan-out, and a bounded worker pool.
+//!   Request id 0 is reserved for answers to unparseable lines.
+//! * [`server`] + the event-driven connection layer (ISSUE 6) — a
+//!   fixed-size set of event-loop shards multiplexes every connection
+//!   with nonblocking I/O: capped request-line buffers, bounded
+//!   per-connection outgoing queues (a slow reader is disconnected,
+//!   never buffered without bound), a bounded admission queue with
+//!   immediate [`ErrorKind::Overloaded`] rejection, a dispatcher that
+//!   **coalesces** requests targeting the same terrain and compatible
+//!   config ([`hsr_core::view::CompatKey`]) into one
+//!   `evaluate_batch`/`eval_many` fan-out, and a bounded worker pool
+//!   that *enqueues* responses instead of blocking on client sockets.
 //! * [`catalog`] — named terrains behind a hard-capped prepared-scene
-//!   LRU with two backends: a monolithic in-memory TIN, or an
-//!   out-of-core [`hsr_tile::TiledScene`] so multi-million-cell
-//!   terrains serve under the tiled residency cap.
+//!   LRU, **sharded by terrain name** (per-shard bookkeeping locks,
+//!   per-terrain prepare locks), with two backends: a monolithic
+//!   in-memory TIN, or an out-of-core [`hsr_tile::TiledScene`] so
+//!   multi-million-cell terrains serve under the tiled residency cap.
 //! * [`client`] — a small blocking client (single-shot and pipelined).
 //!
 //! The scoped cost collectors of PR 3 are what make coalescing safe:
@@ -50,6 +56,7 @@
 
 pub mod catalog;
 pub mod client;
+mod event_loop;
 pub mod protocol;
 pub mod server;
 

@@ -11,6 +11,19 @@
 //! bit-identical to what a local `Scene::session().eval(view)` of the
 //! same terrain returns (the JSON float codec is round-trip exact for
 //! finite values).
+//!
+//! # Reserved id 0
+//!
+//! Request id **0 is reserved for the server**: it is the id echoed on
+//! error responses to lines so malformed that no client id could be
+//! recovered (see [`salvage_id`]). A pipelined client that used id 0
+//! itself could not tell such an error apart from the answer to its own
+//! request, so the server rejects id-0 requests with
+//! [`ErrorKind::BadRequest`] and well-behaved clients
+//! ([`Client`](crate::client::Client)) never emit it. When a line *is*
+//! valid JSON but fails to decode as a [`Request`] (for example a
+//! malformed `view`), the server salvages the client's id from the text
+//! so the error lands on the request that caused it.
 
 use hsr_core::view::{Report, View};
 
@@ -19,8 +32,10 @@ use hsr_core::view::{Report, View};
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Request {
     /// Client-chosen correlation id, echoed in the [`Response`]. Ids are
-    /// opaque to the server; clients pipelining requests on one
-    /// connection should keep them distinct.
+    /// opaque to the server apart from one rule: **id 0 is reserved**
+    /// for error responses to unrecoverable lines, and requests using it
+    /// are rejected with [`ErrorKind::BadRequest`]. Clients pipelining
+    /// requests on one connection should keep their ids distinct.
     pub id: u64,
     /// Name of a terrain registered with the server.
     pub terrain: String,
@@ -36,8 +51,10 @@ pub enum ErrorKind {
     /// behavior: the server rejects immediately instead of buffering
     /// without bound. Retry later (ideally with jitter).
     Overloaded,
-    /// The request line was not a valid [`Request`] document. The echoed
-    /// id is 0 because none could be parsed.
+    /// The request line was not a valid [`Request`] document (or used
+    /// the reserved id 0, or exceeded the server's line-length cap).
+    /// The echoed id is the client's where one could be salvaged from
+    /// the line ([`salvage_id`]), otherwise the reserved 0.
     BadRequest,
     /// No terrain with the requested name is registered.
     UnknownTerrain,
@@ -73,11 +90,68 @@ impl std::fmt::Display for WireError {
     }
 }
 
+/// Best-effort recovery of the client id from a line that failed to
+/// decode as a [`Request`].
+///
+/// Scans for a top-level `"id"` key with an unsigned-integer value,
+/// respecting strings and nesting (an `"id"` inside the `view` object —
+/// or a *value* `"id"` — is never matched). Returns the reserved 0 when
+/// nothing can be salvaged, which is exactly what the server then echoes
+/// in its [`ErrorKind::BadRequest`] response: an id the client
+/// provably did not use for any well-formed request.
+pub fn salvage_id(line: &str) -> u64 {
+    let bytes = line.as_bytes();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth = depth.saturating_sub(1),
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return 0; // unterminated string
+                }
+                let key_depth = depth;
+                let key = &bytes[start..j];
+                i = j + 1;
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                // Only keys are followed by ':'; values never are.
+                if key_depth == 1 && key == b"id" && bytes.get(i) == Some(&b':') {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    let digits_start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    return line[digits_start..i].parse().unwrap_or(0);
+                }
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    0
+}
+
 /// The answer to one [`Request`]: the echoed id plus exactly one of
 /// `report` (success) or `error`.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Response {
-    /// The id of the request this answers (0 for unparseable requests).
+    /// The id of the request this answers (the reserved 0 for lines no
+    /// client id could be salvaged from).
     pub id: u64,
     /// The evaluation result on success.
     pub report: Option<Report>,
@@ -125,6 +199,24 @@ mod tests {
         assert!(!line.contains('\n'), "wire documents must be single lines");
         let back: Request = serde_json::from_str(&line).unwrap();
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn salvage_id_recovers_top_level_ids_only() {
+        // A view that fails to decode, with a recoverable client id.
+        assert_eq!(salvage_id(r#"{"id":42,"terrain":"t","view":"broken"}"#), 42);
+        assert_eq!(salvage_id(r#"{ "terrain" : "t" , "id" : 7 }"#), 7);
+        // Nested "id" keys belong to the view, not the request.
+        assert_eq!(salvage_id(r#"{"view":{"id":9},"terrain":"t"}"#), 0);
+        // A string *value* "id" is not a key, even at depth 1.
+        assert_eq!(salvage_id(r#"{"terrain":"id","view":{"id":3}}"#), 0);
+        // Escapes inside strings do not desynchronize the scan.
+        assert_eq!(salvage_id(r#"{"terrain":"a\"id\":5,","id":11}"#), 11);
+        // Garbage, non-integer ids, and unterminated strings salvage 0.
+        assert_eq!(salvage_id("this is not json"), 0);
+        assert_eq!(salvage_id(r#"{"id":"seven"}"#), 0);
+        assert_eq!(salvage_id(r#"{"id":-3}"#), 0);
+        assert_eq!(salvage_id(r#"{"id"#), 0);
     }
 
     #[test]

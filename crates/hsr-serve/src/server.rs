@@ -1,32 +1,44 @@
 //! The service: admission, coalescing, workers, backpressure.
 //!
 //! ```text
-//! clients ──TCP──▶ reader threads ──try_send──▶ admission queue (bounded)
-//!                       │ full? reject with `Overloaded`
-//!                       ▼
-//!                  dispatcher ── groups by (terrain, CompatKey) ──▶
-//!                  rendezvous channel ──▶ worker pool (bounded)
-//!                       │                     │ prepared-scene LRU
-//!                       ▼                     ▼ one evaluate_batch /
-//!                  (blocks while all          eval_many fan-out per
-//!                   workers busy — the        group; replies written
-//!                   queue fills and           per request
-//!                   admission rejects)
+//!                        ┌── event-loop shard 0 ──────────────┐
+//! clients ──TCP──▶ accept│  poll: nonblocking reads, capped   │
+//!   (round-robin) ──────▶│  line buffers ── parse ──try_send──┼──▶ admission
+//!                        │  bounded outgoing queues drained   │    queue
+//!                        │  on writability ◀─── enqueue ──────┼─┐  (bounded)
+//!                        └────────────────────────────────────┘ │    │ full?
+//!                        ┌── event-loop shard 1 … N ─────────┐  │    │ reject
+//!                        │  (identical; connections sharded) │  │    ▼
+//!                        └──────────────────────────────────-┘  │  dispatcher
+//!                                                               │    │ groups by
+//!                                                               │    ▼ (terrain,
+//!                                                               │  rendezvous
+//!                                                               │  channel
+//!                                                               │    │ CompatKey)
+//!                                                               │    ▼
+//!                                                               └─ worker pool
+//!                                                                  (bounded,
+//!                                                                   sharded
+//!                                                                   PreparedCache)
 //! ```
 //!
 //! Backpressure is a chain, not a single knob: workers pull coalesced
 //! batches from a zero-capacity rendezvous channel, so a busy pool
 //! blocks the dispatcher; the dispatcher stops draining the bounded
-//! admission queue; and once that queue is full, reader threads reject
+//! admission queue; and once that queue is full, the event loops reject
 //! new requests immediately with [`ErrorKind::Overloaded`] instead of
-//! buffering without bound. Nothing in the path allocates proportionally
-//! to offered load.
+//! buffering without bound. Nothing in the path allocates
+//! proportionally to offered load — request lines are capped at
+//! [`ServeConfig::max_line_bytes`], per-connection response queues at
+//! [`ServeConfig::outgoing_cap_bytes`] (overflow disconnects the slow
+//! client, counted in [`ServeStats::dropped_slow`]), and workers *never
+//! block on a client socket*: they enqueue and move on.
 
 use crate::catalog::{PreparedCache, PreparedStats, TerrainSource};
-use crate::protocol::{ErrorKind, Request, Response, WireError};
+use crate::event_loop::{shard_loop, Reply, ShardHandle};
+use crate::protocol::ErrorKind;
 use hsr_core::view::CompatKey;
 use std::collections::HashMap;
-use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -36,6 +48,10 @@ use std::time::{Duration, Instant};
 /// Service tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
+    /// Event-loop shards multiplexing the connections (≥ 1). Each is
+    /// one thread owning a `poll` set; connections are assigned
+    /// round-robin at accept time.
+    pub shards: usize,
     /// Worker threads evaluating coalesced batches (≥ 1).
     pub workers: usize,
     /// Admission-queue depth: requests accepted but not yet dispatched.
@@ -50,16 +66,27 @@ pub struct ServeConfig {
     pub batch_window: Duration,
     /// Prepared scenes retained by the LRU (≥ 1).
     pub scene_capacity: usize,
+    /// Longest accepted request line in bytes; longer lines are
+    /// answered with [`ErrorKind::BadRequest`] (before any newline
+    /// arrives) and skipped.
+    pub max_line_bytes: usize,
+    /// Per-connection outgoing-queue cap in bytes. A connection whose
+    /// client reads too slowly for its responses to fit is dropped and
+    /// counted in [`ServeStats::dropped_slow`].
+    pub outgoing_cap_bytes: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            shards: 2,
             workers: 2,
             queue_depth: 64,
             max_batch: 16,
             batch_window: Duration::from_millis(1),
             scene_capacity: 4,
+            max_line_bytes: 1 << 20,     // 1 MiB
+            outgoing_cap_bytes: 2 << 20, // 2 MiB
         }
     }
 }
@@ -73,12 +100,16 @@ pub struct ServeStats {
     pub admitted: u64,
     /// Requests rejected because the admission queue was full.
     pub rejected: u64,
-    /// Request lines that did not parse.
+    /// Request lines that did not parse, used the reserved id 0, or
+    /// exceeded the line-length cap.
     pub malformed: u64,
     /// Responses written with a report.
     pub completed: u64,
     /// Responses written with an error (excluding rejections).
     pub failed: u64,
+    /// Connections dropped because their outgoing queue overflowed (the
+    /// slow-consumer policy: disconnect, don't buffer without bound).
+    pub dropped_slow: u64,
     /// Dispatch groups evaluated (each is one batched fan-out).
     pub batches: u64,
     /// Requests carried by those groups.
@@ -88,16 +119,17 @@ pub struct ServeStats {
 }
 
 #[derive(Default)]
-struct Counters {
-    connections: AtomicU64,
-    admitted: AtomicU64,
-    rejected: AtomicU64,
-    malformed: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
-    max_batch_observed: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) admitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) malformed: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) dropped_slow: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    pub(crate) max_batch_observed: AtomicU64,
 }
 
 impl Counters {
@@ -109,6 +141,7 @@ impl Counters {
             malformed: self.malformed.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            dropped_slow: self.dropped_slow.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             max_batch_observed: self.max_batch_observed.load(Ordering::Relaxed),
@@ -116,29 +149,12 @@ impl Counters {
     }
 }
 
-/// One client connection's write half, shared by the workers answering
-/// its requests. Each response is one serialized line written under the
-/// lock, so lines from concurrent workers never interleave.
-struct Reply {
-    stream: Mutex<TcpStream>,
+pub(crate) struct Job {
+    pub(crate) request: crate::protocol::Request,
+    pub(crate) reply: Arc<Reply>,
 }
 
-impl Reply {
-    fn send(&self, response: &Response) {
-        let mut line = serde_json::to_string(response).expect("responses serialize");
-        line.push('\n');
-        let mut stream = self.stream.lock().expect("reply lock");
-        // A vanished client is not a server error; drop the response.
-        let _ = stream.write_all(line.as_bytes());
-    }
-}
-
-struct Job {
-    request: Request,
-    reply: Arc<Reply>,
-}
-
-enum Msg {
+pub(crate) enum Msg {
     Job(Box<Job>),
     Stop,
 }
@@ -149,10 +165,10 @@ enum WorkerMsg {
     Stop,
 }
 
-struct Shared {
-    cache: PreparedCache,
-    counters: Counters,
-    stop: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) cache: PreparedCache,
+    pub(crate) counters: Arc<Counters>,
+    pub(crate) stop: AtomicBool,
 }
 
 /// A running visibility-query service.
@@ -168,6 +184,8 @@ pub struct Server {
     accept_handle: Option<std::thread::JoinHandle<()>>,
     dispatch_handle: Option<std::thread::JoinHandle<()>>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
+    shards: Vec<Arc<ShardHandle>>,
+    shard_handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -192,10 +210,10 @@ impl Server {
         self.shared.cache.tile_cache_stats(terrain)
     }
 
-    /// Stops accepting, drains nothing further, and joins the service
-    /// threads. Requests still queued when shutdown starts are answered
-    /// with [`ErrorKind::ShuttingDown`]. Reader threads of connections
-    /// that clients keep open exit when those clients disconnect.
+    /// Stops accepting, answers whatever is still queued with
+    /// [`ErrorKind::ShuttingDown`], flushes pending responses for a
+    /// short grace period, and joins every service thread. Connections
+    /// still open afterwards are closed (clients observe EOF).
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a no-op connection.
@@ -203,12 +221,20 @@ impl Server {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
-        // Stop the dispatcher; it forwards one Stop per worker.
+        // Stop the dispatcher; it answers the queue's stragglers and
+        // forwards one Stop per worker. The shards outlive the workers
+        // so every answer a worker enqueues still reaches its client.
         let _ = self.admission.send(Msg::Stop);
         if let Some(h) = self.dispatch_handle.take() {
             let _ = h.join();
         }
         for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        for shard in &self.shards {
+            shard.request_stop();
+        }
+        for h in self.shard_handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -252,6 +278,12 @@ impl ServerBuilder {
         self
     }
 
+    /// Event-loop shards multiplexing the connections (≥ 1).
+    pub fn shards(mut self, shards: usize) -> ServerBuilder {
+        self.config.shards = shards.max(1);
+        self
+    }
+
     /// Worker threads (≥ 1).
     pub fn workers(mut self, workers: usize) -> ServerBuilder {
         self.config.workers = workers.max(1);
@@ -282,14 +314,30 @@ impl ServerBuilder {
         self
     }
 
-    /// Binds the listener and starts the service threads.
+    /// Longest accepted request line in bytes (≥ 1; default 1 MiB).
+    pub fn max_line_bytes(mut self, bytes: usize) -> ServerBuilder {
+        self.config.max_line_bytes = bytes.max(1);
+        self
+    }
+
+    /// Per-connection outgoing-queue cap in bytes (≥ 1 KiB; default
+    /// 2 MiB). Overflow drops the connection — the slow-client policy.
+    pub fn outgoing_cap_bytes(mut self, bytes: usize) -> ServerBuilder {
+        self.config.outgoing_cap_bytes = bytes.max(1024);
+        self
+    }
+
+    /// Binds the listener and starts the service threads: `shards`
+    /// event loops, one dispatcher, `workers` evaluators, one acceptor
+    /// — a **fixed-size** set, independent of how many connections are
+    /// held open.
     pub fn bind(self, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let config = self.config;
         let shared = Arc::new(Shared {
             cache: PreparedCache::new(config.scene_capacity, self.terrains),
-            counters: Counters::default(),
+            counters: Arc::new(Counters::default()),
             stop: AtomicBool::new(false),
         });
 
@@ -320,12 +368,29 @@ impl ServerBuilder {
                 .expect("spawn dispatcher")
         };
 
+        let shards: Vec<Arc<ShardHandle>> = (0..config.shards.max(1))
+            .map(|_| ShardHandle::new().map(Arc::new))
+            .collect::<std::io::Result<_>>()?;
+        let shard_handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let shard = Arc::clone(shard);
+                let shared = Arc::clone(&shared);
+                let admission = admission_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("hsr-serve-shard-{i}"))
+                    .spawn(move || shard_loop(&shard, &shared, &admission, &config))
+                    .expect("spawn shard")
+            })
+            .collect();
+
         let accept_handle = {
             let shared = Arc::clone(&shared);
-            let admission = admission_tx.clone();
+            let shards = shards.clone();
             std::thread::Builder::new()
                 .name("hsr-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &admission, &shared))
+                .spawn(move || accept_loop(&listener, &shards, &shared))
                 .expect("spawn acceptor")
         };
 
@@ -336,11 +401,14 @@ impl ServerBuilder {
             accept_handle: Some(accept_handle),
             dispatch_handle: Some(dispatch_handle),
             worker_handles,
+            shards,
+            shard_handles,
         })
     }
 }
 
-fn accept_loop(listener: &TcpListener, admission: &mpsc::SyncSender<Msg>, shared: &Arc<Shared>) {
+fn accept_loop(listener: &TcpListener, shards: &[Arc<ShardHandle>], shared: &Arc<Shared>) {
+    let mut next_shard = 0usize;
     for stream in listener.incoming() {
         if shared.stop.load(Ordering::SeqCst) {
             // Whatever woke us — the shutdown's no-op connection or a
@@ -351,74 +419,8 @@ fn accept_loop(listener: &TcpListener, admission: &mpsc::SyncSender<Msg>, shared
         }
         let Ok(stream) = stream else { continue };
         shared.counters.connections.fetch_add(1, Ordering::Relaxed);
-        let admission = admission.clone();
-        let shared = Arc::clone(shared);
-        // Reader threads are not joined: they exit when their client
-        // disconnects (read_line returns 0/Err).
-        let _ = std::thread::Builder::new()
-            .name("hsr-serve-conn".into())
-            .spawn(move || connection_loop(stream, &admission, &shared));
-    }
-}
-
-fn connection_loop(stream: TcpStream, admission: &mpsc::SyncSender<Msg>, shared: &Arc<Shared>) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let reply = Arc::new(Reply { stream: Mutex::new(write_half) });
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // client hung up
-            Ok(_) => {}
-        }
-        let text = line.trim();
-        if text.is_empty() {
-            continue;
-        }
-        let request: Request = match serde_json::from_str(text) {
-            Ok(request) => request,
-            Err(e) => {
-                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
-                reply.send(&Response::err(
-                    0,
-                    WireError::new(ErrorKind::BadRequest, format!("unparseable request: {e}")),
-                ));
-                continue;
-            }
-        };
-        let id = request.id;
-        if shared.stop.load(Ordering::SeqCst) {
-            // Don't enqueue into a dispatcher that is (or is about to
-            // be) draining; answer directly.
-            reply.send(&Response::err(
-                id,
-                WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
-            ));
-            return;
-        }
-        let job = Box::new(Job { request, reply: Arc::clone(&reply) });
-        match admission.try_send(Msg::Job(job)) {
-            Ok(()) => {
-                shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(mpsc::TrySendError::Full(_)) => {
-                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                reply.send(&Response::err(
-                    id,
-                    WireError::new(ErrorKind::Overloaded, "admission queue full; retry later"),
-                ));
-            }
-            Err(mpsc::TrySendError::Disconnected(_)) => {
-                reply.send(&Response::err(
-                    id,
-                    WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
-                ));
-                return;
-            }
-        }
+        shards[next_shard % shards.len()].adopt(stream);
+        next_shard = next_shard.wrapping_add(1);
     }
 }
 
@@ -483,15 +485,15 @@ fn dispatch_loop(
         }
     }
     // Answer whatever is still queued with a shutdown error, then stop
-    // the workers. The short grace timeout covers readers that passed
-    // their stop-flag check just before shutdown flipped it and whose
-    // send lands after the queue looked empty — their jobs still get a
-    // response instead of vanishing with the receiver.
+    // the workers. The short grace timeout covers event loops that
+    // passed their stop-flag check just before shutdown flipped it and
+    // whose send lands after the queue looked empty — their jobs still
+    // get a response instead of vanishing with the receiver.
     while let Ok(msg) = admission.recv_timeout(Duration::from_millis(50)) {
         if let Msg::Job(job) = msg {
-            job.reply.send(&Response::err(
+            job.reply.send(&crate::protocol::Response::err(
                 job.request.id,
-                WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
+                crate::protocol::WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
             ));
         }
     }
@@ -541,7 +543,8 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<WorkerMsg>>>, shared: &Arc<Shared>)
             Err(e) => {
                 for job in &group {
                     shared.counters.failed.fetch_add(1, Ordering::Relaxed);
-                    job.reply.send(&Response::err(job.request.id, e.clone()));
+                    job.reply
+                        .send(&crate::protocol::Response::err(job.request.id, e.clone()));
                 }
                 continue;
             }
@@ -553,11 +556,11 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<WorkerMsg>>>, shared: &Arc<Shared>)
             let response = match result {
                 Ok(report) => {
                     shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-                    Response::ok(job.request.id, report)
+                    crate::protocol::Response::ok(job.request.id, report)
                 }
                 Err(e) => {
                     shared.counters.failed.fetch_add(1, Ordering::Relaxed);
-                    Response::err(job.request.id, e)
+                    crate::protocol::Response::err(job.request.id, e)
                 }
             };
             job.reply.send(&response);
@@ -568,19 +571,15 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<WorkerMsg>>>, shared: &Arc<Shared>)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::Request;
     use hsr_core::pipeline::Algorithm;
     use hsr_core::view::View;
     use hsr_geometry::Point3;
 
     fn job(id: u64, terrain: &str, view: View) -> Job {
-        // A pair of connected streams so Reply has somewhere to write;
-        // the listener side is dropped immediately and writes are
-        // ignored.
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
         Job {
             request: Request { id, terrain: terrain.into(), view },
-            reply: Arc::new(Reply { stream: Mutex::new(stream) }),
+            reply: Reply::detached_for_tests(),
         }
     }
 
@@ -588,12 +587,12 @@ mod tests {
     fn coalesce_groups_by_terrain_and_compat_key() {
         let obs = Point3::new(50.0, 2.0, 8.0);
         let round = vec![
-            job(0, "a", View::orthographic(0.0)),
-            job(1, "b", View::orthographic(0.1)),
-            job(2, "a", View::viewshed(obs, vec![Point3::new(1.0, 1.0, 1.0)])),
-            job(3, "a", View::orthographic(0.2).algorithm(Algorithm::Sequential)),
-            job(4, "b", View::orthographic(0.3)),
-            job(5, "a", View::orthographic(0.4)),
+            job(1, "a", View::orthographic(0.0)),
+            job(2, "b", View::orthographic(0.1)),
+            job(3, "a", View::viewshed(obs, vec![Point3::new(1.0, 1.0, 1.0)])),
+            job(4, "a", View::orthographic(0.2).algorithm(Algorithm::Sequential)),
+            job(5, "b", View::orthographic(0.3)),
+            job(6, "a", View::orthographic(0.4)),
         ];
         let groups = coalesce(round);
         let shape: Vec<(String, Vec<u64>)> = groups
@@ -601,14 +600,14 @@ mod tests {
             .map(|(t, g)| (t.clone(), g.iter().map(|j| j.request.id).collect()))
             .collect();
         // Same terrain + same config coalesce across projection kinds
-        // (0, 2, 5); the sequential-algorithm request gets its own
-        // group; terrain b's defaults coalesce (1, 4). First-seen order.
+        // (1, 3, 6); the sequential-algorithm request gets its own
+        // group; terrain b's defaults coalesce (2, 5). First-seen order.
         assert_eq!(
             shape,
             vec![
-                ("a".into(), vec![0, 2, 5]),
-                ("b".into(), vec![1, 4]),
-                ("a".into(), vec![3]),
+                ("a".into(), vec![1, 3, 6]),
+                ("b".into(), vec![2, 5]),
+                ("a".into(), vec![4]),
             ]
         );
     }

@@ -1,0 +1,379 @@
+//! Offline stand-in for the `polling` crate: portable readiness events
+//! for sockets, the substrate of the `hsr-serve` event loop.
+//!
+//! Exactly the API surface the workspace uses, with the real crate's
+//! semantics where they matter:
+//!
+//! * **Oneshot delivery** — once an event for a source is returned from
+//!   [`Poller::wait`], that source's interest is disarmed until the next
+//!   [`Poller::modify`]. Event loops re-arm after handling, which makes
+//!   lost-wakeup races structurally impossible.
+//! * **Cross-thread wakeup** — [`Poller::notify`] forces a concurrent
+//!   (or the next) [`Poller::wait`] to return early. Threads that
+//!   mutate shared state a waiting loop must observe call `notify`
+//!   afterwards; registry changes made between waits are picked up on
+//!   the next wait.
+//! * **Error readiness** — `POLLERR`/`POLLHUP`/`POLLNVAL` surface as
+//!   readable+writable (whichever was armed), so owners discover the
+//!   condition from the I/O call's error, exactly as with the real
+//!   crate.
+//!
+//! On Linux this is a direct FFI binding to `poll(2)` — no external
+//! crates, snapshotting the registry into a `pollfd` array per wait.
+//! That is O(fds) per wake where epoll would be O(ready), but with the
+//! shim's target of thousands (not millions) of connections the scan is
+//! cheap and the semantics are identical. On other platforms a degraded
+//! fallback reports every armed source as ready after a short sleep;
+//! combined with nonblocking I/O (spurious readiness just yields
+//! `WouldBlock`) it is correct, merely slower.
+//!
+//! The wakeup channel is a self-connected nonblocking UDP socket rather
+//! than a pipe: pure `std`, no extra FFI, and `poll` treats it like any
+//! other fd.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::io;
+use std::net::UdpSocket;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Interest in (or occurrence of) readiness on one registered source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source (echoed in delivered
+    /// events; keys need not be unique, though event loops usually keep
+    /// them so).
+    pub key: usize,
+    /// Interest in / occurrence of read readiness.
+    pub readable: bool,
+    /// Interest in / occurrence of write readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event { key, readable: true, writable: false }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event { key, readable: false, writable: true }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Event {
+        Event { key, readable: true, writable: true }
+    }
+
+    /// No interest (parks the source until the next `modify`).
+    pub fn none(key: usize) -> Event {
+        Event { key, readable: false, writable: false }
+    }
+}
+
+struct Slot {
+    key: usize,
+    readable: bool,
+    writable: bool,
+}
+
+/// Waits for readiness events on a set of registered sources.
+pub struct Poller {
+    registry: Mutex<HashMap<RawFd, Slot>>,
+    /// Self-connected nonblocking UDP socket: `notify` sends a byte to
+    /// it, which makes its fd readable and wakes `poll`.
+    waker: UdpSocket,
+}
+
+impl Poller {
+    /// A new poller with an armed wakeup channel and no sources.
+    pub fn new() -> io::Result<Poller> {
+        let waker = UdpSocket::bind("127.0.0.1:0")?;
+        waker.connect(waker.local_addr()?)?;
+        waker.set_nonblocking(true)?;
+        Ok(Poller { registry: Mutex::new(HashMap::new()), waker })
+    }
+
+    /// Registers `source` with an initial `interest`. The caller must
+    /// keep `source` alive (and its fd unchanged) until [`delete`]; the
+    /// source should be in nonblocking mode, since oneshot delivery plus
+    /// spurious wakeups mean readiness is a hint, not a guarantee.
+    ///
+    /// [`delete`]: Poller::delete
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let mut registry = self.registry.lock().expect("poller registry");
+        registry.insert(
+            source.as_raw_fd(),
+            Slot { key: interest.key, readable: interest.readable, writable: interest.writable },
+        );
+        Ok(())
+    }
+
+    /// Re-arms (or changes) the interest of a registered source —
+    /// required after every delivered event (oneshot semantics).
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let mut registry = self.registry.lock().expect("poller registry");
+        match registry.get_mut(&source.as_raw_fd()) {
+            Some(slot) => {
+                slot.key = interest.key;
+                slot.readable = interest.readable;
+                slot.writable = interest.writable;
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "source is not registered")),
+        }
+    }
+
+    /// Unregisters a source. Call before closing the fd.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let mut registry = self.registry.lock().expect("poller registry");
+        registry.remove(&source.as_raw_fd());
+        Ok(())
+    }
+
+    /// Wakes a concurrent (or the next) [`Poller::wait`] early. Wakeups
+    /// coalesce; one `notify` is enough no matter how many events the
+    /// waiter has to process.
+    pub fn notify(&self) -> io::Result<()> {
+        // A full socket buffer means wakeups are already pending —
+        // coalescing, not an error.
+        match self.waker.send(&[1]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Blocks until at least one registered source is ready, `notify`
+    /// is called, or `timeout` elapses (`None` blocks indefinitely).
+    /// Delivered events are appended to `events` (which is **not**
+    /// cleared) and their sources disarmed; returns the number
+    /// delivered, which is 0 for a pure timeout or wakeup.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let ready = sys_wait(self, timeout)?;
+        // Drain coalesced wakeups so the next wait blocks again.
+        let mut buf = [0u8; 64];
+        while self.waker.recv(&mut buf).is_ok() {}
+        // Oneshot: disarm what we deliver. The registry may have
+        // changed during the syscall (a racing delete); skip vanished
+        // entries rather than resurrecting them.
+        let mut registry = self.registry.lock().expect("poller registry");
+        let mut delivered = 0;
+        for (fd, readable, writable) in ready {
+            let Some(slot) = registry.get_mut(&fd) else {
+                continue;
+            };
+            // Deliver only armed directions; error conditions surfaced
+            // both directions and are masked the same way.
+            let event = Event {
+                key: slot.key,
+                readable: readable && slot.readable,
+                writable: writable && slot.writable,
+            };
+            if !event.readable && !event.writable {
+                continue;
+            }
+            slot.readable &= !event.readable;
+            slot.writable &= !event.writable;
+            events.push(event);
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+}
+
+/// Readiness as `(fd, readable, writable)` triples, waker excluded.
+#[cfg(target_os = "linux")]
+fn sys_wait(poller: &Poller, timeout: Option<Duration>) -> io::Result<Vec<(RawFd, bool, bool)>> {
+    use std::os::raw::{c_int, c_short, c_ulong};
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const POLLNVAL: c_short = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    // Snapshot the registry; the syscall runs without the lock so
+    // `notify` (and registry edits followed by `notify`) never block on
+    // a waiter.
+    let mut fds: Vec<PollFd> = {
+        let registry = poller.registry.lock().expect("poller registry");
+        let mut fds = Vec::with_capacity(registry.len() + 1);
+        fds.push(PollFd { fd: poller.waker.as_raw_fd(), events: POLLIN, revents: 0 });
+        for (&fd, slot) in registry.iter() {
+            let mut events = 0;
+            if slot.readable {
+                events |= POLLIN;
+            }
+            if slot.writable {
+                events |= POLLOUT;
+            }
+            if events != 0 {
+                fds.push(PollFd { fd, events, revents: 0 });
+            }
+        }
+        fds
+    };
+
+    // Sub-millisecond timeouts round *up*: rounding to zero would turn
+    // short waits into a busy spin.
+    let timeout_ms: c_int = match timeout {
+        None => -1,
+        Some(t) => c_int::try_from(
+            t.as_millis()
+                .max(u128::from(t.subsec_nanos() % 1_000_000 != 0)),
+        )
+        .unwrap_or(c_int::MAX),
+    };
+
+    loop {
+        // SAFETY: `fds` is a live, correctly sized array of `#[repr(C)]`
+        // pollfd-layout structs for the duration of the call; poll(2)
+        // only writes `revents` within the array. The fds snapshotted
+        // above may have been closed concurrently, which poll reports
+        // as POLLNVAL rather than UB.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            break;
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+        // EINTR: retry. (The remaining timeout is not recomputed; the
+        // worst case is a late spurious wake, which oneshot re-arming
+        // already tolerates.)
+    }
+
+    Ok(fds
+        .iter()
+        .skip(1) // the waker
+        .filter(|p| p.revents != 0)
+        .map(|p| {
+            let error = p.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+            (p.fd, p.revents & POLLIN != 0 || error, p.revents & POLLOUT != 0 || error)
+        })
+        .collect())
+}
+
+/// Degraded portable fallback: sleep briefly, then report every armed
+/// source as ready in both armed directions. Spurious readiness is
+/// harmless against nonblocking I/O (`WouldBlock`), so this is correct
+/// — just O(fds) work per tick instead of per actual event.
+#[cfg(not(target_os = "linux"))]
+fn sys_wait(poller: &Poller, timeout: Option<Duration>) -> io::Result<Vec<(RawFd, bool, bool)>> {
+    let nap = timeout
+        .unwrap_or(Duration::from_millis(2))
+        .min(Duration::from_millis(2));
+    std::thread::sleep(nap);
+    let registry = poller.registry.lock().expect("poller registry");
+    Ok(registry
+        .iter()
+        .filter(|(_, slot)| slot.readable || slot.writable)
+        .map(|(&fd, slot)| (fd, slot.readable, slot.writable))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_event_is_oneshot_until_rearmed() {
+        let poller = Poller::new().unwrap();
+        let (a, mut b) = pair();
+        poller.add(&a, Event::readable(7)).unwrap();
+
+        b.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events, vec![Event { key: 7, readable: true, writable: false }]);
+
+        // Disarmed now: unread data does not re-report until modify.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        #[cfg(target_os = "linux")]
+        assert!(events.is_empty(), "oneshot source reported again: {events:?}");
+
+        let mut buf = [0u8; 8];
+        let _ = a.try_clone().unwrap().read(&mut buf);
+        poller.modify(&a, Event::readable(7)).unwrap();
+        b.write_all(b"y").unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        poller.delete(&a).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let waited = std::thread::spawn(move || {
+            let mut events = Vec::new();
+            let t0 = std::time::Instant::now();
+            waker
+                .wait(&mut events, Some(Duration::from_secs(30)))
+                .unwrap();
+            t0.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        poller.notify().unwrap();
+        let elapsed = waited.join().unwrap();
+        assert!(elapsed < Duration::from_secs(10), "notify did not wake wait ({elapsed:?})");
+    }
+
+    #[test]
+    fn writable_when_buffer_has_room_and_hup_surfaces() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = pair();
+        poller.add(&a, Event::writable(3)).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 3 && e.writable));
+
+        // Peer hangup reports readable (EOF) on an armed reader.
+        poller.modify(&a, Event::readable(3)).unwrap();
+        drop(b);
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 3 && e.readable));
+        poller.delete(&a).unwrap();
+    }
+}

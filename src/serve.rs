@@ -7,9 +7,15 @@
 //! into one batched fan-out; prepared scenes are reused through a
 //! hard-capped LRU spanning both backends — the monolithic in-memory
 //! [`Scene`] and the out-of-core [`TiledScene`] (so multi-million-cell
-//! terrains serve under the tiled residency cap). Admission is bounded:
-//! when the queue is full, requests are rejected immediately with
-//! [`ErrorKind::Overloaded`] instead of buffering without bound.
+//! terrains serve under the tiled residency cap). Connections are
+//! multiplexed by a fixed-size set of event-loop shards, so thousands
+//! of mostly-idle clients cost one registered descriptor each, and
+//! every resource in the request path is bounded: admission is a
+//! bounded queue (overflow is rejected immediately with
+//! [`ErrorKind::Overloaded`]), request lines are capped
+//! ([`ServeBuilder::max_line_bytes`]), and per-connection response
+//! queues are capped too — a client that stops reading is disconnected
+//! ([`ServeBuilder::outgoing_cap_bytes`]) instead of wedging a worker.
 //!
 //! [`ServeBuilder`] adapts the facade vocabulary to the service: name a
 //! [`Scene`], a grid, or a materialized tile store, pick the knobs, and
@@ -95,6 +101,12 @@ impl ServeBuilder {
         self
     }
 
+    /// Event-loop shards multiplexing the connections (≥ 1).
+    pub fn shards(mut self, shards: usize) -> ServeBuilder {
+        self.inner = self.inner.shards(shards);
+        self
+    }
+
     /// Worker threads evaluating coalesced batches (≥ 1).
     pub fn workers(mut self, workers: usize) -> ServeBuilder {
         self.inner = self.inner.workers(workers);
@@ -124,6 +136,22 @@ impl ServeBuilder {
     /// Prepared scenes retained by the LRU (≥ 1).
     pub fn scene_capacity(mut self, scenes: usize) -> ServeBuilder {
         self.inner = self.inner.scene_capacity(scenes);
+        self
+    }
+
+    /// Longest accepted request line in bytes (≥ 1; default 1 MiB).
+    /// Longer lines are answered with [`ErrorKind::BadRequest`] the
+    /// moment they exceed the cap — no newline required.
+    pub fn max_line_bytes(mut self, bytes: usize) -> ServeBuilder {
+        self.inner = self.inner.max_line_bytes(bytes);
+        self
+    }
+
+    /// Per-connection outgoing-queue cap in bytes (≥ 1 KiB; default
+    /// 2 MiB). A client that reads too slowly for its responses to fit
+    /// is dropped and counted in [`ServeStats::dropped_slow`].
+    pub fn outgoing_cap_bytes(mut self, bytes: usize) -> ServeBuilder {
+        self.inner = self.inner.outgoing_cap_bytes(bytes);
         self
     }
 

@@ -51,6 +51,115 @@ fn fractional_targets(grid: &hsr_terrain::GridTerrain) -> Vec<Point3> {
     targets
 }
 
+/// ISSUE 6 acceptance: the event-driven connection layer multiplexes
+/// hundreds of idle connections on a fixed-size thread set without
+/// perturbing active clients — their reports stay bit-identical to solo
+/// evaluation while ≥ 512 idle connections are held open.
+#[test]
+fn active_clients_stay_bit_identical_under_hundreds_of_idle_connections() {
+    let grid = gen::diamond_square(5, 0.6, 9.0, 77); // 33×33
+    let scene = SceneBuilder::from_grid(&grid).build().unwrap();
+    let (lo, hi) = scene.tin().ground_bounds();
+    let mid_y = 0.5 * (lo.y + hi.y);
+    let observer = Point3::new(hi.x + 60.0, mid_y, 14.0);
+    let targets = fractional_targets(&grid);
+
+    let views = vec![
+        View::orthographic(0.0),
+        View::orthographic(0.45),
+        View::viewshed(observer, targets),
+    ];
+    let session = scene.session();
+    let expected: Vec<Report> = views.iter().map(|v| session.eval(v).unwrap()).collect();
+
+    let server = ServeBuilder::new()
+        .scene("mono", &scene)
+        .shards(2)
+        .workers(2)
+        .queue_depth(128)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = server.local_addr();
+
+    // Hold ≥ 512 connections open. Half stay completely silent; half
+    // park the *front half* of a valid request line (no newline) so
+    // their shards carry per-connection read state the whole time. None
+    // may ever be answered or dropped.
+    let parked_line = serde_json::to_string(&terrain_hsr::serve::Request {
+        id: 1,
+        terrain: "mono".into(),
+        view: views[0].clone(),
+    })
+    .unwrap();
+    let (parked_front, parked_back) = parked_line.split_at(parked_line.len() / 2);
+    let idle: Vec<std::net::TcpStream> = (0..512)
+        .map(|i| {
+            let stream = std::net::TcpStream::connect(addr).expect("idle connect");
+            if i % 2 == 0 {
+                use std::io::Write as _;
+                (&stream)
+                    .write_all(parked_front.as_bytes())
+                    .expect("park partial line");
+            }
+            stream
+        })
+        .collect();
+
+    let views = Arc::new(views);
+    let expected = Arc::new(expected);
+    let actives: Vec<_> = (0..8)
+        .map(|c| {
+            let views = Arc::clone(&views);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = terrain_hsr::serve::Client::connect(addr).expect("connect");
+                for round in 0..2 {
+                    let i = (c + round) % views.len();
+                    let got = client.eval("mono", &views[i]).expect("eval amid idle herd");
+                    assert_eq!(
+                        bits(&got),
+                        bits(&expected[i]),
+                        "client {c} round {round}: view {i} diverged under idle load"
+                    );
+                }
+            })
+        })
+        .collect();
+    for active in actives {
+        active.join().expect("active client thread");
+    }
+
+    let stats = server.stats();
+    assert!(stats.connections >= 512 + 8, "all connections accepted: {stats:?}");
+    assert_eq!(stats.dropped_slow, 0, "idle is not slow: nobody owed them bytes: {stats:?}");
+    assert_eq!(stats.malformed, 0, "a parked partial line is not (yet) malformed: {stats:?}");
+    assert_eq!(stats.completed, 8 * 2);
+
+    // The idle connections are still alive: complete one parked line
+    // into a valid request and get a real answer on it.
+    {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let mut parked = idle.into_iter().next().expect("kept the idle herd");
+        parked
+            .write_all(parked_back.as_bytes())
+            .expect("complete the parked line");
+        parked.write_all(b"\n").expect("terminate the parked line");
+        parked
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        let mut line = String::new();
+        BufReader::new(parked)
+            .read_line(&mut line)
+            .expect("parked connection answered");
+        let response: terrain_hsr::serve::Response = serde_json::from_str(line.trim()).unwrap();
+        assert_eq!(response.id, 1);
+        let got = response.into_result().expect("parked request evaluates");
+        assert_eq!(bits(&got), bits(&expected[0]), "parked request diverged");
+    }
+
+    server.shutdown();
+}
+
 #[test]
 fn racing_clients_get_bit_identical_reports_on_both_backends() {
     let grid = gen::diamond_square(5, 0.6, 9.0, 77); // 33×33
