@@ -1,0 +1,168 @@
+//! catalog_smoke — durability smoke test for the persistent terrain
+//! catalog (ISSUE 7), run by the CI `catalog-smoke` job.
+//!
+//! Uploads a batch of terrains over the wire into a catalog-backed
+//! server (half of them byte-identical re-uploads, so dedup is
+//! exercised), times the cold and warm first query, then **shuts the
+//! server down and starts a fresh one on the same catalog directory**.
+//! The restarted server must replay its manifest and answer the same
+//! query bit-identically — same visible pieces, same interval
+//! endpoints, same (n, k) — or the binary aborts.
+//!
+//! `--json` writes `BENCH_catalog.json`, the artifact the CI job
+//! uploads: ingest throughput, dedup counts, cold/warm/post-restart
+//! query latency, and the catalog counters off the wire from both
+//! server generations.
+//!
+//! ```sh
+//! cargo run --release -p hsr-bench --bin catalog_smoke -- [--quick] [--json]
+//! ```
+
+use hsr_core::view::View;
+use hsr_serve::{CatalogStats, Client, Server, ServerBuilder, TerrainFormat};
+use hsr_terrain::{gen, io};
+use std::path::Path;
+use std::time::Instant;
+
+/// Everything the smoke run measured, serialized to `BENCH_catalog.json`.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+struct CatalogReport {
+    scenario: String,
+    /// Wire uploads performed (each payload pushed twice → half dedup).
+    uploads: u64,
+    /// Uploads answered `deduped: true` (zero new blob bytes).
+    deduped: u64,
+    /// Raw payload bytes pushed over the wire (pre-base64).
+    payload_bytes: u64,
+    ingest_elapsed_s: f64,
+    /// Ingest throughput in raw payload MiB/s.
+    ingest_mib_s: f64,
+    /// First query of a freshly uploaded terrain (prepare included).
+    cold_query_ms: f64,
+    /// The same query against the warm prepared-scene cache.
+    warm_query_ms: f64,
+    /// The same query against the **restarted** server (replay + cold
+    /// prepare on the second process generation).
+    restart_query_ms: f64,
+    /// Catalog counters from the first server generation.
+    catalog_before_restart: CatalogStats,
+    /// Catalog counters after restart: `replayed_records` must cover
+    /// every registration the first generation logged.
+    catalog_after_restart: CatalogStats,
+}
+
+fn serve(dir: &Path) -> Server {
+    ServerBuilder::new()
+        .catalog_dir(dir)
+        .expect("catalog dir")
+        .workers(2)
+        .bind("127.0.0.1:0")
+        .expect("bind")
+}
+
+fn bits(report: &hsr_core::view::Report) -> (Vec<(u32, u64, u64)>, u64, u64) {
+    let pieces = report
+        .vis
+        .pieces
+        .iter()
+        .map(|p| (p.edge, p.x0.to_bits(), p.x1.to_bits()))
+        .collect();
+    (pieces, report.n as u64, report.k as u64)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let uploads = if quick { 8 } else { 24 };
+    let dir = std::env::temp_dir().join(format!("catalog-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let view = View::orthographic(0.3);
+
+    let server = serve(&dir);
+    println!("## catalog_smoke — {uploads} uploads on {}", server.local_addr());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Ingest: every payload is pushed under two names, so exactly half
+    // the uploads must dedup into metadata-only records.
+    let (mut payload_bytes, mut deduped) = (0u64, 0u64);
+    let t0 = Instant::now();
+    for i in 0..uploads {
+        let grid = gen::diamond_square(5, 0.65, 11.0, (i / 2) as u64);
+        let bytes = io::grid_to_bytes(&grid);
+        let ack = client
+            .upload_terrain(&format!("smoke-{i}"), TerrainFormat::GridBin, "catalog_smoke", &bytes)
+            .expect("wire upload");
+        payload_bytes += ack.bytes;
+        deduped += u64::from(ack.deduped);
+    }
+    let ingest_elapsed_s = t0.elapsed().as_secs_f64();
+    assert_eq!(deduped, uploads as u64 / 2, "identical re-uploads must dedup");
+
+    let t = Instant::now();
+    let first = client.eval("smoke-0", &view).expect("cold query");
+    let cold_query_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let warm = client.eval("smoke-0", &view).expect("warm query");
+    let warm_query_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(bits(&warm), bits(&first), "warm answer diverged from cold");
+
+    let catalog_before_restart = client
+        .stats()
+        .expect("stats")
+        .catalog
+        .expect("catalog configured");
+    assert_eq!(catalog_before_restart.blobs_written, uploads as u64 - deduped);
+
+    // Kill the first generation; a fresh server on the same directory
+    // must replay the manifest and serve the same bytes.
+    drop(client);
+    server.shutdown();
+    let server = serve(&dir);
+    let mut client = Client::connect(server.local_addr()).expect("reconnect");
+
+    let t = Instant::now();
+    let replayed = client.eval("smoke-0", &view).expect("query after restart");
+    let restart_query_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(bits(&replayed), bits(&first), "catalog answer diverged across restart");
+
+    let catalog_after_restart = client
+        .stats()
+        .expect("stats")
+        .catalog
+        .expect("catalog configured");
+    assert_eq!(catalog_after_restart.entries, uploads, "a registration was lost");
+    assert_eq!(catalog_after_restart.replayed_records, uploads as u64);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let report = CatalogReport {
+        scenario: "catalog-smoke".into(),
+        uploads: uploads as u64,
+        deduped,
+        payload_bytes,
+        ingest_elapsed_s,
+        ingest_mib_s: payload_bytes as f64 / (1u64 << 20) as f64 / ingest_elapsed_s,
+        cold_query_ms,
+        warm_query_ms,
+        restart_query_ms,
+        catalog_before_restart,
+        catalog_after_restart,
+    };
+    println!(
+        "ingest {:.1} MiB/s ({} uploads, {} deduped); query cold {:.2} ms, warm {:.2} ms, \
+         after restart {:.2} ms — bit-identical",
+        report.ingest_mib_s,
+        report.uploads,
+        report.deduped,
+        report.cold_query_ms,
+        report.warm_query_ms,
+        report.restart_query_ms,
+    );
+
+    if std::env::args().any(|a| a == "--json") {
+        let path = "BENCH_catalog.json";
+        std::fs::write(path, serde_json::to_string(&report).expect("report serialize"))
+            .expect("write bench json");
+        println!("(wrote {path})");
+    }
+}

@@ -16,12 +16,23 @@
 //!   process thread count is recorded before and after the idle herd
 //!   connects — the event-driven layer (ISSUE 6) must not grow it.
 //!
+//! * `catalog-ingest` — terrains uploaded over the wire into the
+//!   attached persistent catalog (half of them duplicate payloads, so
+//!   dedup shows up in the numbers), then queried cold and warm.
+//!
 //! Reports throughput, wall-clock latency percentiles, and the
 //! per-request cost counters the responses carry (the output-size
 //! sensitive bound is what makes per-request cost predictable enough to
-//! schedule). `--json` writes `BENCH_serve.json` — the artifact the CI
-//! serve-smoke job uploads — as `{"closed_loop": [...], "open_loop":
-//! {...}}`; `--quick` shrinks the run.
+//! schedule). Every server-side counter is read over the wire with
+//! [`Request::Stats`] (ISSUE 7) — the bench observes the server exactly
+//! like an operator would; `/proc` is consulted only for the
+//! fixed-thread-count assertion, which no wire counter can answer.
+//! `--json` writes `BENCH_serve.json` — the artifact the CI serve-smoke
+//! job uploads — as `{"closed_loop": [...], "open_loop": {...},
+//! "ingest": {...}}` (the first two keys keep their PR-6 shape);
+//! `--quick` shrinks the run.
+//!
+//! [`Request::Stats`]: hsr_serve::Request::Stats
 //!
 //! ```sh
 //! cargo run --release -p hsr-bench --bin serve_load -- [--quick] [--json]
@@ -30,8 +41,11 @@
 use hsr_bench::harness::md_table;
 use hsr_core::view::View;
 use hsr_geometry::Point3;
-use hsr_serve::{Client, PreparedStats, ServeStats, Server, ServerBuilder, TerrainSource};
-use hsr_terrain::gen;
+use hsr_serve::{
+    CatalogStats, Client, PreparedStats, ServeStats, Server, ServerBuilder, StatsSnapshot,
+    TerrainFormat, TerrainSource,
+};
+use hsr_terrain::{gen, io};
 use hsr_tile::{TilePyramid, TileStore, TiledSceneConfig, TilingConfig};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -96,8 +110,64 @@ struct OpenLoopReport {
     server: ServeStats,
 }
 
+/// The `catalog-ingest` scenario's measurements (`ingest` in the JSON —
+/// a backward-compatible addition next to `closed_loop`/`open_loop`).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+struct IngestReport {
+    scenario: String,
+    /// Wire uploads performed (each payload pushed twice → half dedup).
+    uploads: u64,
+    /// Uploads answered `deduped: true` (zero new blob bytes).
+    deduped: u64,
+    /// Raw payload bytes pushed over the wire (pre-base64).
+    payload_bytes: u64,
+    elapsed_s: f64,
+    /// Ingest throughput in raw payload MiB/s.
+    ingest_mib_s: f64,
+    /// First query against a freshly ingested terrain: prepare included.
+    cold_query_ms: f64,
+    /// The same query once prepared (LRU hit).
+    warm_query_ms: f64,
+    /// End-of-scenario catalog counters, straight off the wire.
+    catalog: CatalogStats,
+}
+
+/// One wire stats delta: `after - before` for the serve counters,
+/// likewise for the prepared counters (gauges stay end-of-scenario).
+fn serve_delta(before: &StatsSnapshot, after: &StatsSnapshot) -> ServeStats {
+    let (b, a) = (&before.serve, &after.serve);
+    ServeStats {
+        connections: a.connections - b.connections,
+        admitted: a.admitted - b.admitted,
+        rejected: a.rejected - b.rejected,
+        malformed: a.malformed - b.malformed,
+        completed: a.completed - b.completed,
+        failed: a.failed - b.failed,
+        dropped_slow: a.dropped_slow - b.dropped_slow,
+        batches: a.batches - b.batches,
+        batched_requests: a.batched_requests - b.batched_requests,
+        max_batch_observed: a.max_batch_observed,
+    }
+}
+
+fn prepared_delta(before: &StatsSnapshot, after: &StatsSnapshot) -> PreparedStats {
+    let (b, a) = (&before.prepared, &after.prepared);
+    PreparedStats {
+        lookups: a.lookups - b.lookups,
+        hits: a.hits - b.hits,
+        prepares: a.prepares - b.prepares,
+        errors: a.errors - b.errors,
+        evictions: a.evictions - b.evictions,
+        invalidations: a.invalidations - b.invalidations,
+        resident: a.resident,
+        peak_resident: a.peak_resident,
+    }
+}
+
 /// Current thread count of this process (0 where `/proc` is absent —
-/// the fixed-thread assertion is skipped there).
+/// the fixed-thread assertion is skipped there). The one number the
+/// wire stats cannot carry; everything else comes from
+/// [`Request::Stats`](hsr_serve::Request::Stats).
 fn process_threads() -> usize {
     std::fs::read_to_string("/proc/self/status")
         .ok()
@@ -110,12 +180,19 @@ fn process_threads() -> usize {
         .unwrap_or(0)
 }
 
+/// The server under test plus the persistent admin connection that
+/// snapshots its counters over the wire around each scenario.
+struct Wire<'a> {
+    server: &'a Server,
+    admin: &'a mut Client,
+}
+
 /// Holds `idle` connections open while `clients` threads each send
 /// `requests_per_client` ping-pong requests on a fixed `interval`
 /// schedule, measuring latency from each request's *scheduled* send
 /// time.
 fn run_open_loop(
-    server: &Server,
+    wire: &mut Wire<'_>,
     terrain: &str,
     view: &View,
     idle: usize,
@@ -123,7 +200,8 @@ fn run_open_loop(
     requests_per_client: usize,
     interval: Duration,
 ) -> OpenLoopReport {
-    let before = server.stats();
+    let server = wire.server;
+    let before = wire.admin.stats().expect("wire stats");
     let threads_before_idle = process_threads();
 
     // The idle herd. Half park a partial request line so shards carry
@@ -181,7 +259,7 @@ fn run_open_loop(
     latencies.sort_by(f64::total_cmp);
     let errors: u64 = per_client.iter().map(|&(_, e)| e).sum();
     let requests = latencies.len() as u64;
-    let after = server.stats();
+    let after = wire.admin.stats().expect("wire stats");
     OpenLoopReport {
         scenario: "open-loop-idle".into(),
         idle_connections: idle,
@@ -197,18 +275,7 @@ fn run_open_loop(
         latency_ms_max: latencies.last().copied().unwrap_or(0.0),
         threads_before_idle,
         threads_with_idle,
-        server: ServeStats {
-            connections: after.connections - before.connections,
-            admitted: after.admitted - before.admitted,
-            rejected: after.rejected - before.rejected,
-            malformed: after.malformed - before.malformed,
-            completed: after.completed - before.completed,
-            failed: after.failed - before.failed,
-            dropped_slow: after.dropped_slow - before.dropped_slow,
-            batches: after.batches - before.batches,
-            batched_requests: after.batched_requests - before.batched_requests,
-            max_batch_observed: after.max_batch_observed,
-        },
+        server: serve_delta(&before, &after),
     }
 }
 
@@ -224,15 +291,15 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// against `terrain` (burst size 1 = ping-pong), and summarizes.
 fn run_scenario(
     name: &str,
-    server: &Server,
+    wire: &mut Wire<'_>,
     terrain: &str,
     views: &[View],
     clients: usize,
     rounds: usize,
     pipelined: bool,
 ) -> ScenarioReport {
-    let before = server.stats();
-    let prepared_before = server.prepared_stats();
+    let server = wire.server;
+    let before = wire.admin.stats().expect("wire stats");
     let t0 = Instant::now();
     let per_client: Vec<(Vec<f64>, u64, u64, u64)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
@@ -290,7 +357,7 @@ fn run_scenario(
     let errors: u64 = per_client.iter().map(|&(.., e)| e).sum();
     let requests = latencies.len() as u64;
     let ok = requests - errors;
-    let after = server.stats();
+    let after = wire.admin.stats().expect("wire stats");
     ScenarioReport {
         scenario: name.into(),
         clients,
@@ -308,30 +375,55 @@ fn run_scenario(
         } else {
             0.0
         },
-        server: ServeStats {
-            connections: after.connections - before.connections,
-            admitted: after.admitted - before.admitted,
-            rejected: after.rejected - before.rejected,
-            malformed: after.malformed - before.malformed,
-            completed: after.completed - before.completed,
-            failed: after.failed - before.failed,
-            dropped_slow: after.dropped_slow - before.dropped_slow,
-            batches: after.batches - before.batches,
-            batched_requests: after.batched_requests - before.batched_requests,
-            max_batch_observed: after.max_batch_observed,
-        },
-        prepared: {
-            let after = server.prepared_stats();
-            PreparedStats {
-                lookups: after.lookups - prepared_before.lookups,
-                hits: after.hits - prepared_before.hits,
-                prepares: after.prepares - prepared_before.prepares,
-                errors: after.errors - prepared_before.errors,
-                evictions: after.evictions - prepared_before.evictions,
-                resident: after.resident,
-                peak_resident: after.peak_resident,
-            }
-        },
+        server: serve_delta(&before, &after),
+        prepared: prepared_delta(&before, &after),
+    }
+}
+
+/// Uploads `uploads` terrains over the wire (each distinct payload
+/// pushed under two names, so half the uploads dedup), then measures
+/// the cold and warm first-query latency of a fresh entry.
+fn run_ingest(wire: &mut Wire<'_>, uploads: usize) -> IngestReport {
+    let mut client = Client::connect(wire.server.local_addr()).expect("connect");
+    let (mut payload_bytes, mut deduped) = (0u64, 0u64);
+    let t0 = Instant::now();
+    for i in 0..uploads {
+        // Two names per payload: `ingest-2k` uploads fresh content,
+        // `ingest-2k+1` re-uploads it byte-identically.
+        let grid = gen::fbm(48, 48, 3, 9.0, (i / 2) as u64);
+        let bytes = io::grid_to_bytes(&grid);
+        let ack = client
+            .upload_terrain(&format!("ingest-{i}"), TerrainFormat::GridBin, "serve_load", &bytes)
+            .expect("wire upload");
+        payload_bytes += ack.bytes;
+        deduped += u64::from(ack.deduped);
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let view = View::orthographic(0.1);
+    let t = Instant::now();
+    client.eval("ingest-0", &view).expect("cold query");
+    let cold_query_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    client.eval("ingest-0", &view).expect("warm query");
+    let warm_query_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let catalog = wire
+        .admin
+        .stats()
+        .expect("wire stats")
+        .catalog
+        .expect("catalog configured");
+    IngestReport {
+        scenario: "catalog-ingest".into(),
+        uploads: uploads as u64,
+        deduped,
+        payload_bytes,
+        elapsed_s,
+        ingest_mib_s: payload_bytes as f64 / (1u64 << 20) as f64 / elapsed_s,
+        cold_query_ms,
+        warm_query_ms,
+        catalog,
     }
 }
 
@@ -345,7 +437,9 @@ fn main() {
     let (lo_x, hi_x) = (0.0, (grid.nx - 1) as f64);
     let mid_y = 0.5 * (grid.ny - 1) as f64;
     let dir = std::env::temp_dir().join(format!("serve-load-{}", std::process::id()));
+    let cat_dir = std::env::temp_dir().join(format!("serve-load-catalog-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cat_dir);
     let tiled_cfg = TiledSceneConfig { cache_capacity: 4, ..Default::default() };
     TilePyramid::build(
         &grid,
@@ -357,11 +451,19 @@ fn main() {
     let server = ServerBuilder::new()
         .terrain("t", TerrainSource::Grid(grid.clone()))
         .terrain("t-tiled", TerrainSource::TiledStore { dir: dir.clone(), config: tiled_cfg })
+        .catalog_dir(&cat_dir)
+        .expect("catalog dir")
         .workers(3)
         .queue_depth(256)
         .bind("127.0.0.1:0")
         .expect("bind");
     println!("## serve_load — {clients} clients × {rounds} rounds on {}", server.local_addr());
+
+    // One persistent admin connection reads every server counter over
+    // the wire; connecting it *before* the scenarios keeps it out of
+    // their per-scenario connection deltas.
+    let mut admin = Client::connect(server.local_addr()).expect("admin connect");
+    let mut wire = Wire { server: &server, admin: &mut admin };
 
     let sweep: Vec<View> = (0..6)
         .map(|i| View::orthographic(0.12 * i as f64))
@@ -378,9 +480,9 @@ fn main() {
         .collect();
 
     let reports = vec![
-        run_scenario("mono-pingpong", &server, "t", &sweep, clients, rounds, false),
-        run_scenario("mono-pipelined", &server, "t", &sweep, clients, rounds, true),
-        run_scenario("tiled-viewshed", &server, "t-tiled", &viewsheds, clients, rounds, true),
+        run_scenario("mono-pingpong", &mut wire, "t", &sweep, clients, rounds, false),
+        run_scenario("mono-pipelined", &mut wire, "t", &sweep, clients, rounds, true),
+        run_scenario("tiled-viewshed", &mut wire, "t-tiled", &viewsheds, clients, rounds, true),
     ];
 
     // The ISSUE 6 acceptance scenario: the event-driven connection layer
@@ -390,7 +492,7 @@ fn main() {
     // tail is queueing, not hopeless overload.
     let (idle, active, per_client) = if quick { (256, 4, 20) } else { (1024, 8, 40) };
     let open_loop = run_open_loop(
-        &server,
+        &mut wire,
         "t-tiled",
         &View::viewshed(observer, targets.clone()),
         idle,
@@ -398,8 +500,15 @@ fn main() {
         per_client,
         Duration::from_millis(100),
     );
+
+    // ISSUE 7: push terrains into the attached catalog over the wire
+    // (half of them byte-identical re-uploads → dedup), then time the
+    // cold and warm first query of a fresh entry.
+    let ingest = run_ingest(&mut wire, if quick { 8 } else { 32 });
+    drop(admin);
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cat_dir);
 
     md_table(
         &[
@@ -464,14 +573,34 @@ fn main() {
         );
     }
 
+    println!(
+        "\ningest: {} uploads ({} deduped) — {:.1} MiB/s; first query cold {:.2} ms, \
+         warm {:.2} ms; catalog blobs written: {}",
+        ingest.uploads,
+        ingest.deduped,
+        ingest.ingest_mib_s,
+        ingest.cold_query_ms,
+        ingest.warm_query_ms,
+        ingest.catalog.blobs_written,
+    );
+    // Half the uploads repeat a prior payload byte-for-byte; every one
+    // of those must dedup (metadata record only, no second blob).
+    assert_eq!(ingest.deduped, ingest.uploads / 2, "identical re-uploads must dedup");
+    assert_eq!(ingest.catalog.blobs_written, ingest.uploads - ingest.deduped);
+
     if std::env::args().any(|a| a == "--json") {
         #[derive(serde::Serialize)]
         struct Artifact {
             closed_loop: Vec<ScenarioReport>,
             open_loop: OpenLoopReport,
+            ingest: IngestReport,
         }
         let path = "BENCH_serve.json";
-        let artifact = Artifact { closed_loop: reports.clone(), open_loop: open_loop.clone() };
+        let artifact = Artifact {
+            closed_loop: reports.clone(),
+            open_loop: open_loop.clone(),
+            ingest: ingest.clone(),
+        };
         std::fs::write(path, serde_json::to_string(&artifact).expect("reports serialize"))
             .expect("write bench json");
         println!("(wrote {path})");

@@ -1,0 +1,787 @@
+//! The catalog proper: names → content-addressed blobs + provenance.
+//!
+//! On disk a catalog is a directory:
+//!
+//! ```text
+//! <dir>/
+//!   manifest.log            append-only metadata log (see `manifest`)
+//!   blobs/<sha256-hex>.blob terrain payloads, content-addressed
+//!   tmp/                    in-flight blob staging (write-temp-then-rename)
+//!   pyramids/<hex>-t<ts>-l<lv>/  lazily materialized tile stores
+//! ```
+//!
+//! Two rules give the crash-safety story:
+//!
+//! * **Blobs commit by rename.** An upload streams into a unique file
+//!   under `tmp/`, is fsynced, and only then renamed to its
+//!   content-hash name — readers never observe a partial blob, and a
+//!   crash leaves at worst an orphaned temp file (cleaned on the next
+//!   open). Identical content renames onto the same target, so a
+//!   re-upload of existing bytes writes **zero** new blob bytes
+//!   (`CatalogStats::dedup_hits`).
+//! * **Metadata commits by append.** Register/delete append one framed,
+//!   checksummed record to `manifest.log` (fsynced) and only then
+//!   mutate the in-memory map. Replay on open applies the valid prefix
+//!   and truncates any torn tail — a crash mid-append loses only the
+//!   un-acknowledged record.
+
+use crate::hash::{is_hex_digest, Sha256};
+use crate::manifest;
+use hsr_terrain::io::{from_obj, grid_from_bytes};
+use hsr_tile::{TilePyramid, TileStore, TilingConfig};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// How a cataloged blob's bytes are interpreted when the terrain is
+/// prepared for evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TerrainFormat {
+    /// The binary heightfield-grid codec of [`hsr_terrain::io`]
+    /// (`HSRG`); prepared by triangulating into a TIN.
+    GridBin,
+    /// A Wavefront OBJ TIN as written by [`hsr_terrain::io::to_obj`];
+    /// prepared by parsing and validating.
+    TinObj,
+    /// A binary heightfield grid served **out of core**: on first
+    /// prepare the grid is cut into a tile pyramid materialized under
+    /// the catalog's `pyramids/` directory (keyed by content hash, so
+    /// deduped content shares one pyramid) and opened as a tiled scene.
+    TiledGrid {
+        /// Tile edge length in cells (≥ 2).
+        tile_size: usize,
+        /// Pyramid levels including full resolution (≥ 1).
+        levels: u32,
+    },
+}
+
+impl std::fmt::Display for TerrainFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TerrainFormat::GridBin => write!(f, "grid-bin"),
+            TerrainFormat::TinObj => write!(f, "tin-obj"),
+            TerrainFormat::TiledGrid { tile_size, levels } => {
+                write!(f, "tiled-grid(tile_size={tile_size}, levels={levels})")
+            }
+        }
+    }
+}
+
+/// One catalog entry: a name bound to a content-addressed blob, plus
+/// the provenance the wire protocol reports.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TerrainInfo {
+    /// The terrain's registered name.
+    pub name: String,
+    /// Lowercase-hex SHA-256 of the blob's bytes — the content address.
+    pub content: String,
+    /// How the blob decodes into a servable terrain.
+    pub format: TerrainFormat,
+    /// Who registered it (free-form provenance).
+    pub uploader: String,
+    /// Registration time, milliseconds since the Unix epoch.
+    pub registered_unix_ms: u64,
+    /// Blob size in bytes.
+    pub bytes: u64,
+}
+
+/// Catalog counters. Gauges (`entries`) reflect the current state;
+/// everything else is monotonic for the process lifetime, with the
+/// `replayed_records` / `truncated_tail_bytes` pair describing what the
+/// open-time replay found.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CatalogStats {
+    /// Names currently registered.
+    pub entries: usize,
+    /// Register operations applied (replayed + live).
+    pub registers: u64,
+    /// Delete operations applied (replayed + live).
+    pub deletes: u64,
+    /// Blob files actually written by this process (dedup writes none).
+    pub blobs_written: u64,
+    /// Bytes of those blob files — the counter the dedup acceptance
+    /// test asserts stays flat across a re-upload of identical content.
+    pub blob_bytes_written: u64,
+    /// Uploads whose content already existed as a blob.
+    pub dedup_hits: u64,
+    /// Manifest records applied during the open-time replay.
+    pub replayed_records: u64,
+    /// Torn/garbage manifest tail bytes truncated at open (0 = clean).
+    pub truncated_tail_bytes: u64,
+}
+
+/// Errors from catalog operations.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// No entry with this name.
+    UnknownName(String),
+    /// No blob with this content hash (register of an address that was
+    /// never uploaded, or a malformed hash string).
+    UnknownContent(String),
+    /// The uploaded bytes do not decode as the declared format.
+    InvalidTerrain {
+        /// The declared format.
+        format: TerrainFormat,
+        /// Why the bytes were rejected.
+        what: String,
+    },
+    /// The upload did not match its declaration (size mismatch).
+    BadUpload(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Io { path, source } => {
+                write!(f, "catalog I/O on {}: {source}", path.display())
+            }
+            CatalogError::UnknownName(name) => {
+                write!(f, "no terrain named `{name}` in the catalog")
+            }
+            CatalogError::UnknownContent(hex) => {
+                write!(f, "no blob with content hash `{hex}`")
+            }
+            CatalogError::InvalidTerrain { format, what } => {
+                write!(f, "payload does not decode as {format}: {what}")
+            }
+            CatalogError::BadUpload(what) => write!(f, "bad upload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path) -> impl FnOnce(std::io::Error) -> CatalogError + '_ {
+    move |source| CatalogError::Io { path: path.to_path_buf(), source }
+}
+
+/// One manifest record. Serialized as JSON inside the framed log.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+enum Record {
+    /// Bind (or rebind) a name to a blob.
+    Register(TerrainInfo),
+    /// Unbind a name.
+    Delete {
+        /// The name removed.
+        name: String,
+        /// When, milliseconds since the Unix epoch.
+        unix_ms: u64,
+    },
+}
+
+struct Inner {
+    entries: BTreeMap<String, TerrainInfo>,
+    log: File,
+    stats: CatalogStats,
+}
+
+/// A persistent, content-addressed terrain catalog rooted at a
+/// directory. Cheap to share (`Arc<Catalog>`); every operation takes
+/// one internal lock, and writes fsync before acknowledging.
+pub struct Catalog {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("catalog lock");
+        write!(f, "Catalog({}, {} entries)", self.dir.display(), inner.entries.len())
+    }
+}
+
+impl Catalog {
+    /// Opens (creating if necessary) the catalog at `dir`: creates the
+    /// layout, sweeps orphaned staging files, replays the manifest
+    /// (truncating any torn tail), and is then ready to serve.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Catalog, CatalogError> {
+        let dir = dir.into();
+        for sub in ["blobs", "tmp", "pyramids"] {
+            let p = dir.join(sub);
+            std::fs::create_dir_all(&p).map_err(io_err(&p))?;
+        }
+        // Orphaned staging files are crash debris: unreferenced by any
+        // manifest record, safe to sweep. Pyramid build temps too.
+        let tmp = dir.join("tmp");
+        if let Ok(entries) = std::fs::read_dir(&tmp) {
+            for entry in entries.flatten() {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+
+        let manifest_path = dir.join("manifest.log");
+        let replayed = manifest::replay(&manifest_path).map_err(io_err(&manifest_path))?;
+        let mut stats = CatalogStats {
+            replayed_records: replayed.records.len() as u64,
+            truncated_tail_bytes: replayed.truncated_bytes,
+            ..CatalogStats::default()
+        };
+        let mut entries = BTreeMap::new();
+        for payload in &replayed.records {
+            let text = String::from_utf8_lossy(payload);
+            // A record that framed+checksummed correctly but does not
+            // decode would mean a version skew, not corruption; skip it
+            // rather than refuse the whole catalog.
+            let Ok(record) = serde_json::from_str::<Record>(&text) else {
+                continue;
+            };
+            match record {
+                Record::Register(info) => {
+                    stats.registers += 1;
+                    entries.insert(info.name.clone(), info);
+                }
+                Record::Delete { name, .. } => {
+                    stats.deletes += 1;
+                    entries.remove(&name);
+                }
+            }
+        }
+        stats.entries = entries.len();
+        Ok(Catalog { dir, inner: Mutex::new(Inner { entries, log: replayed.log, stats }) })
+    }
+
+    /// The catalog's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CatalogStats {
+        self.inner.lock().expect("catalog lock").stats
+    }
+
+    /// The entry bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<TerrainInfo> {
+        self.inner
+            .lock()
+            .expect("catalog lock")
+            .entries
+            .get(name)
+            .cloned()
+    }
+
+    /// Every entry, sorted by name.
+    pub fn list(&self) -> Vec<TerrainInfo> {
+        self.inner
+            .lock()
+            .expect("catalog lock")
+            .entries
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// The file a blob lives in (whether or not it exists yet).
+    pub fn blob_path(&self, content: &str) -> PathBuf {
+        self.dir.join("blobs").join(format!("{content}.blob"))
+    }
+
+    /// Reads a blob's bytes by content hash.
+    pub fn read_blob(&self, content: &str) -> Result<Vec<u8>, CatalogError> {
+        if !is_hex_digest(content) {
+            return Err(CatalogError::UnknownContent(content.to_string()));
+        }
+        let path = self.blob_path(content);
+        std::fs::read(&path).map_err(|source| match source.kind() {
+            std::io::ErrorKind::NotFound => CatalogError::UnknownContent(content.to_string()),
+            _ => CatalogError::Io { path, source },
+        })
+    }
+
+    /// Starts staging a blob for a (possibly chunked) upload. Bytes
+    /// stream to a unique temp file while the hash accumulates;
+    /// [`Catalog::commit_upload`] validates, commits, and registers.
+    /// Dropping the writer without committing removes the temp file.
+    pub fn begin_blob(&self) -> Result<BlobWriter, CatalogError> {
+        BlobWriter::new(&self.dir)
+    }
+
+    /// Validates the staged bytes as `format`, commits the blob
+    /// (dedup-aware: identical content never writes a second blob), and
+    /// registers it under `name`, replacing any previous binding.
+    /// Returns the new entry plus whether the content already existed.
+    pub fn commit_upload(
+        &self,
+        writer: BlobWriter,
+        name: impl Into<String>,
+        format: TerrainFormat,
+        uploader: impl Into<String>,
+    ) -> Result<(TerrainInfo, bool), CatalogError> {
+        let bytes = std::fs::read(&writer.tmp).map_err(io_err(&writer.tmp))?;
+        validate(format, &bytes)?;
+        let (content, size, existed) = self.commit_blob(writer)?;
+        let info = self.register_unchecked(name.into(), content, format, uploader.into(), size)?;
+        Ok((info, existed))
+    }
+
+    /// One-shot upload: stage `bytes`, validate, commit, register.
+    pub fn upload(
+        &self,
+        name: impl Into<String>,
+        format: TerrainFormat,
+        uploader: impl Into<String>,
+        bytes: &[u8],
+    ) -> Result<(TerrainInfo, bool), CatalogError> {
+        let mut writer = self.begin_blob()?;
+        writer.write(bytes)?;
+        self.commit_upload(writer, name, format, uploader)
+    }
+
+    /// Binds `name` to an **existing** blob by content hash — the
+    /// alias/rename path that moves no payload bytes. Fails with
+    /// [`CatalogError::UnknownContent`] if no such blob exists.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        content: &str,
+        format: TerrainFormat,
+        uploader: impl Into<String>,
+    ) -> Result<TerrainInfo, CatalogError> {
+        if !is_hex_digest(content) {
+            return Err(CatalogError::UnknownContent(content.to_string()));
+        }
+        let path = self.blob_path(content);
+        let meta =
+            std::fs::metadata(&path).map_err(|_| CatalogError::UnknownContent(content.into()))?;
+        self.register_unchecked(
+            name.into(),
+            content.to_string(),
+            format,
+            uploader.into(),
+            meta.len(),
+        )
+    }
+
+    /// Unbinds `name`. The blob stays (other names may share it; a
+    /// garbage-collection pass is future work, see ROADMAP).
+    pub fn delete(&self, name: &str) -> Result<TerrainInfo, CatalogError> {
+        let mut inner = self.inner.lock().expect("catalog lock");
+        if !inner.entries.contains_key(name) {
+            return Err(CatalogError::UnknownName(name.to_string()));
+        }
+        let record = Record::Delete { name: name.to_string(), unix_ms: unix_ms() };
+        append(&mut inner, &record, &self.dir)?;
+        let info = inner.entries.remove(name).expect("checked above");
+        inner.stats.deletes += 1;
+        inner.stats.entries = inner.entries.len();
+        Ok(info)
+    }
+
+    /// The materialized tile-pyramid directory for a `TiledGrid` entry,
+    /// building it on first use (atomically: built in a temp directory,
+    /// renamed into place — concurrent builders of the same content
+    /// race harmlessly, first rename wins). Keyed by content hash and
+    /// tiling parameters, so deduped blobs share one pyramid.
+    pub fn ensure_pyramid(&self, info: &TerrainInfo) -> Result<PathBuf, CatalogError> {
+        let TerrainFormat::TiledGrid { tile_size, levels } = info.format else {
+            return Err(CatalogError::BadUpload(format!(
+                "`{}` is {}, not a tiled grid",
+                info.name, info.format
+            )));
+        };
+        let target = self
+            .dir
+            .join("pyramids")
+            .join(format!("{}-t{tile_size}-l{levels}", info.content));
+        if target.join("meta.hsrp").is_file() {
+            return Ok(target);
+        }
+        let grid = grid_from_bytes(&self.read_blob(&info.content)?).map_err(|e| {
+            CatalogError::InvalidTerrain { format: info.format, what: e.to_string() }
+        })?;
+        let staging = self.dir.join("pyramids").join(format!(
+            ".build-{}-t{tile_size}-l{levels}-{}",
+            info.content,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&staging);
+        let store = TileStore::create(&staging)
+            .map_err(|e| CatalogError::BadUpload(format!("pyramid staging: {e}")))?;
+        TilePyramid::build(&grid, TilingConfig { tile_size, levels }, &store)
+            .map_err(|e| CatalogError::BadUpload(format!("pyramid build: {e}")))?;
+        match std::fs::rename(&staging, &target) {
+            Ok(()) => Ok(target),
+            Err(e) => {
+                // Lost the race to a concurrent builder of the same
+                // content: their pyramid is as good as ours.
+                let _ = std::fs::remove_dir_all(&staging);
+                if target.join("meta.hsrp").is_file() {
+                    Ok(target)
+                } else {
+                    Err(CatalogError::Io { path: target, source: e })
+                }
+            }
+        }
+    }
+
+    /// Commits a staged blob: fsync, then rename to its content-hash
+    /// name (or discard the temp when the content already exists).
+    fn commit_blob(&self, mut writer: BlobWriter) -> Result<(String, u64, bool), CatalogError> {
+        let file = writer.file.take().expect("uncommitted writer has a file");
+        file.sync_all().map_err(io_err(&writer.tmp))?;
+        drop(file);
+        let content = crate::hash::to_hex(&writer.hasher.clone().finalize());
+        let size = writer.bytes;
+        let target = self.blob_path(&content);
+        let mut inner = self.inner.lock().expect("catalog lock");
+        let existed = target.is_file();
+        if existed {
+            inner.stats.dedup_hits += 1;
+            // `writer` drops below and removes the temp file.
+        } else {
+            std::fs::rename(&writer.tmp, &target).map_err(io_err(&target))?;
+            writer.committed = true;
+            inner.stats.blobs_written += 1;
+            inner.stats.blob_bytes_written += size;
+        }
+        Ok((content, size, existed))
+    }
+
+    /// Appends a register record and applies it. `content` must already
+    /// be a committed blob.
+    fn register_unchecked(
+        &self,
+        name: String,
+        content: String,
+        format: TerrainFormat,
+        uploader: String,
+        bytes: u64,
+    ) -> Result<TerrainInfo, CatalogError> {
+        let info =
+            TerrainInfo { name, content, format, uploader, registered_unix_ms: unix_ms(), bytes };
+        let mut inner = self.inner.lock().expect("catalog lock");
+        append(&mut inner, &Record::Register(info.clone()), &self.dir)?;
+        inner.entries.insert(info.name.clone(), info.clone());
+        inner.stats.registers += 1;
+        inner.stats.entries = inner.entries.len();
+        Ok(info)
+    }
+}
+
+fn append(inner: &mut Inner, record: &Record, dir: &Path) -> Result<(), CatalogError> {
+    let payload = serde_json::to_string(record).expect("manifest records serialize");
+    let path = dir.join("manifest.log");
+    manifest::append_record(&mut inner.log, payload.as_bytes()).map_err(io_err(&path))
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Decodes enough of the payload to reject garbage at upload time, so a
+/// registered terrain is always *servable* (modulo validation that
+/// needs the full prepare, e.g. TIN topology checks on a grid).
+fn validate(format: TerrainFormat, bytes: &[u8]) -> Result<(), CatalogError> {
+    let invalid = |what: String| CatalogError::InvalidTerrain { format, what };
+    match format {
+        TerrainFormat::GridBin => {
+            let g = grid_from_bytes(bytes).map_err(|e| invalid(e.to_string()))?;
+            if g.nx < 2 || g.ny < 2 {
+                return Err(invalid(format!("grid must be at least 2×2, got {}×{}", g.nx, g.ny)));
+            }
+        }
+        TerrainFormat::TinObj => {
+            let text =
+                std::str::from_utf8(bytes).map_err(|_| invalid("not UTF-8 text".to_string()))?;
+            from_obj(text).map_err(|e| invalid(e.to_string()))?;
+        }
+        TerrainFormat::TiledGrid { tile_size, levels } => {
+            if tile_size < 2 || !(1..=32).contains(&levels) {
+                return Err(invalid(format!(
+                    "tiling parameters out of range: tile_size={tile_size}, levels={levels}"
+                )));
+            }
+            let g = grid_from_bytes(bytes).map_err(|e| invalid(e.to_string()))?;
+            if g.nx < 2 || g.ny < 2 {
+                return Err(invalid(format!("grid must be at least 2×2, got {}×{}", g.nx, g.ny)));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Streams one blob into the catalog's staging area while hashing it.
+/// Created by [`Catalog::begin_blob`]; consumed by
+/// [`Catalog::commit_upload`]. Dropped uncommitted (client vanished
+/// mid-upload, validation failed), the temp file is removed.
+pub struct BlobWriter {
+    tmp: PathBuf,
+    file: Option<File>,
+    hasher: Sha256,
+    bytes: u64,
+    committed: bool,
+}
+
+impl BlobWriter {
+    fn new(dir: &Path) -> Result<BlobWriter, CatalogError> {
+        // Unique per process + writer: concurrent uploads never share a
+        // staging file.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = dir.join("tmp").join(format!(
+            "upload-{}-{}.part",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = File::create(&tmp).map_err(io_err(&tmp))?;
+        Ok(BlobWriter { tmp, file: Some(file), hasher: Sha256::new(), bytes: 0, committed: false })
+    }
+
+    /// Appends a chunk.
+    pub fn write(&mut self, chunk: &[u8]) -> Result<(), CatalogError> {
+        let file = self.file.as_mut().expect("write after commit");
+        file.write_all(chunk).map_err(io_err(&self.tmp))?;
+        self.hasher.update(chunk);
+        self.bytes += chunk.len() as u64;
+        Ok(())
+    }
+
+    /// Bytes staged so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for BlobWriter {
+    fn drop(&mut self) {
+        drop(self.file.take());
+        if !self.committed {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256_hex;
+    use hsr_terrain::gen;
+    use hsr_terrain::io::{grid_to_bytes, to_obj};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hsr-catalog-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn grid_bytes(seed: u64) -> Vec<u8> {
+        grid_to_bytes(&gen::fbm(9, 9, 2, 5.0, seed))
+    }
+
+    #[test]
+    fn upload_register_read_round_trip() {
+        let dir = scratch("roundtrip");
+        let cat = Catalog::open(&dir).unwrap();
+        let bytes = grid_bytes(1);
+        let (info, existed) = cat
+            .upload("alps", TerrainFormat::GridBin, "tester", &bytes)
+            .unwrap();
+        assert!(!existed);
+        assert_eq!(info.content, sha256_hex(&bytes));
+        assert_eq!(info.bytes, bytes.len() as u64);
+        assert_eq!(cat.read_blob(&info.content).unwrap(), bytes);
+        assert_eq!(cat.get("alps").unwrap(), info);
+        assert_eq!(cat.list().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_content_dedups_to_zero_new_blob_bytes() {
+        let dir = scratch("dedup");
+        let cat = Catalog::open(&dir).unwrap();
+        let bytes = grid_bytes(2);
+        cat.upload("first", TerrainFormat::GridBin, "a", &bytes)
+            .unwrap();
+        let before = cat.stats();
+        let (info, existed) = cat
+            .upload("second", TerrainFormat::GridBin, "b", &bytes)
+            .unwrap();
+        assert!(existed, "identical bytes must dedup");
+        let after = cat.stats();
+        assert_eq!(after.blob_bytes_written, before.blob_bytes_written, "zero new blob bytes");
+        assert_eq!(after.blobs_written, before.blobs_written);
+        assert_eq!(after.dedup_hits, before.dedup_hits + 1);
+        assert_eq!(after.entries, 2);
+        // Both names resolve to the same blob.
+        assert_eq!(cat.get("first").unwrap().content, info.content);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn register_aliases_an_existing_blob_and_rejects_unknown_content() {
+        let dir = scratch("alias");
+        let cat = Catalog::open(&dir).unwrap();
+        let bytes = grid_bytes(3);
+        let (info, _) = cat
+            .upload("orig", TerrainFormat::GridBin, "a", &bytes)
+            .unwrap();
+        let alias = cat
+            .register("alias", &info.content, TerrainFormat::GridBin, "b")
+            .unwrap();
+        assert_eq!(alias.content, info.content);
+        assert_eq!(alias.bytes, info.bytes);
+        assert!(matches!(
+            cat.register("nope", &"0".repeat(64), TerrainFormat::GridBin, "b"),
+            Err(CatalogError::UnknownContent(_))
+        ));
+        assert!(matches!(
+            cat.register("nope", "../../etc/passwd", TerrainFormat::GridBin, "b"),
+            Err(CatalogError::UnknownContent(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_preserves_entries_and_survives_a_torn_tail() {
+        let dir = scratch("reopen");
+        let bytes = grid_bytes(4);
+        let obj = to_obj(&gen::fbm(7, 7, 2, 4.0, 9).to_tin().unwrap());
+        {
+            let cat = Catalog::open(&dir).unwrap();
+            cat.upload("grid", TerrainFormat::GridBin, "a", &bytes)
+                .unwrap();
+            cat.upload("tin", TerrainFormat::TinObj, "a", obj.as_bytes())
+                .unwrap();
+            cat.upload("gone", TerrainFormat::GridBin, "a", &grid_bytes(5))
+                .unwrap();
+            cat.delete("gone").unwrap();
+        }
+        // Crash simulation: garbage appended mid-record.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("manifest.log"))
+                .unwrap();
+            f.write_all(&[0x99, 0x12, 0x00]).unwrap();
+        }
+        let cat = Catalog::open(&dir).unwrap();
+        let stats = cat.stats();
+        assert_eq!(stats.truncated_tail_bytes, 3);
+        assert_eq!(stats.replayed_records, 4);
+        assert_eq!((stats.registers, stats.deletes), (3, 1));
+        assert_eq!(cat.get("grid").unwrap().bytes, bytes.len() as u64);
+        assert_eq!(cat.read_blob(&cat.get("grid").unwrap().content).unwrap(), bytes);
+        assert!(cat.get("gone").is_none());
+        assert_eq!(cat.list().len(), 2);
+        // The truncated log accepts further writes.
+        cat.upload("more", TerrainFormat::TinObj, "b", obj.as_bytes())
+            .unwrap();
+        drop(cat);
+        assert_eq!(Catalog::open(&dir).unwrap().list().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_rebinds_and_delete_unbinds() {
+        let dir = scratch("overwrite");
+        let cat = Catalog::open(&dir).unwrap();
+        let (a, _) = cat
+            .upload("x", TerrainFormat::GridBin, "a", &grid_bytes(6))
+            .unwrap();
+        let (b, _) = cat
+            .upload("x", TerrainFormat::GridBin, "a", &grid_bytes(7))
+            .unwrap();
+        assert_ne!(a.content, b.content);
+        assert_eq!(cat.get("x").unwrap().content, b.content);
+        assert_eq!(cat.stats().entries, 1);
+        let deleted = cat.delete("x").unwrap();
+        assert_eq!(deleted.content, b.content);
+        assert!(cat.get("x").is_none());
+        assert!(matches!(cat.delete("x"), Err(CatalogError::UnknownName(_))));
+        // The old blob is still content-addressable (no GC yet).
+        assert!(cat.read_blob(&a.content).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_payloads_are_rejected_and_leave_no_debris() {
+        let dir = scratch("invalid");
+        let cat = Catalog::open(&dir).unwrap();
+        assert!(matches!(
+            cat.upload("bad", TerrainFormat::GridBin, "a", b"not a grid"),
+            Err(CatalogError::InvalidTerrain { .. })
+        ));
+        assert!(matches!(
+            cat.upload("bad", TerrainFormat::TinObj, "a", &[0xff, 0xfe]),
+            Err(CatalogError::InvalidTerrain { .. })
+        ));
+        assert!(matches!(
+            cat.upload(
+                "bad",
+                TerrainFormat::TiledGrid { tile_size: 1, levels: 1 },
+                "a",
+                &grid_bytes(8)
+            ),
+            Err(CatalogError::InvalidTerrain { .. })
+        ));
+        assert_eq!(cat.stats().entries, 0);
+        assert_eq!(cat.stats().blobs_written, 0);
+        // Staging directory is clean: failed uploads removed their temp.
+        assert_eq!(std::fs::read_dir(dir.join("tmp")).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunked_staging_matches_one_shot_upload() {
+        let dir = scratch("chunked");
+        let cat = Catalog::open(&dir).unwrap();
+        let bytes = grid_bytes(10);
+        let mut w = cat.begin_blob().unwrap();
+        for chunk in bytes.chunks(13) {
+            w.write(chunk).unwrap();
+        }
+        assert_eq!(w.bytes_written(), bytes.len() as u64);
+        let (info, existed) = cat
+            .commit_upload(w, "chunked", TerrainFormat::GridBin, "c")
+            .unwrap();
+        assert!(!existed);
+        assert_eq!(info.content, sha256_hex(&bytes));
+        assert_eq!(cat.read_blob(&info.content).unwrap(), bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiled_entries_materialize_one_shared_pyramid() {
+        let dir = scratch("pyramid");
+        let cat = Catalog::open(&dir).unwrap();
+        let grid = gen::fbm(21, 17, 3, 6.0, 12);
+        let bytes = grid_to_bytes(&grid);
+        let fmt = TerrainFormat::TiledGrid { tile_size: 8, levels: 2 };
+        let (info, _) = cat.upload("tiled-a", fmt, "a", &bytes).unwrap();
+        let (info2, existed) = cat.upload("tiled-b", fmt, "b", &bytes).unwrap();
+        assert!(existed);
+        let p1 = cat.ensure_pyramid(&info).unwrap();
+        let p2 = cat.ensure_pyramid(&info2).unwrap();
+        assert_eq!(p1, p2, "deduped content shares one pyramid");
+        let store = TileStore::open(&p1).unwrap();
+        let meta = store.read_meta().unwrap();
+        assert_eq!((meta.nx, meta.ny), (21, 17));
+        // Non-tiled entries refuse pyramid materialization.
+        let (g, _) = cat
+            .upload("plain", TerrainFormat::GridBin, "a", &grid_bytes(13))
+            .unwrap();
+        assert!(cat.ensure_pyramid(&g).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,46 @@
+//! Persistent, content-addressed terrain catalog.
+//!
+//! Everything upstream of the visibility pipeline (Gupta & Sen, IPPS
+//! 1998) assumes terrains exist as durable artifacts: ingested once,
+//! evaluated many times. This crate is that store — a crash-safe
+//! on-disk catalog mapping **names** to **content-addressed blobs**
+//! (SHA-256) plus provenance metadata, with
+//!
+//! * **dedup on identical content** — re-uploading the same bytes under
+//!   a new name appends one metadata record and writes zero blob bytes;
+//! * **atomic commits** — blobs land by write-temp-then-rename,
+//!   metadata by fsynced appends to a checksummed manifest log;
+//! * **torn-tail recovery** — a crash mid-append loses only the
+//!   unacknowledged record; replay on open truncates the tail instead
+//!   of refusing the catalog.
+//!
+//! Three payload formats are understood ([`TerrainFormat`]): the binary
+//! grid codec, OBJ TINs, and grids served out of core via a lazily
+//! materialized tile pyramid (shared per content hash). The serving
+//! layer (`hsr-serve`) exposes the catalog over the wire and prepares
+//! scenes from it on demand.
+//!
+//! ```
+//! use hsr_catalog::{Catalog, TerrainFormat};
+//! use hsr_terrain::{gen, io::grid_to_bytes};
+//!
+//! let dir = std::env::temp_dir().join(format!("cat-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let catalog = Catalog::open(&dir)?;
+//! let bytes = grid_to_bytes(&gen::fbm(9, 9, 2, 5.0, 7));
+//! let (info, deduped) = catalog.upload("demo", TerrainFormat::GridBin, "docs", &bytes)?;
+//! assert!(!deduped);
+//! assert_eq!(catalog.read_blob(&info.content)?, bytes);
+//! // A second upload of the same bytes stores nothing new.
+//! let (_, deduped) = catalog.upload("demo-copy", TerrainFormat::GridBin, "docs", &bytes)?;
+//! assert!(deduped);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! # Ok::<(), hsr_catalog::CatalogError>(())
+//! ```
+
+mod catalog;
+mod hash;
+mod manifest;
+
+pub use catalog::{BlobWriter, Catalog, CatalogError, CatalogStats, TerrainFormat, TerrainInfo};
+pub use hash::{is_hex_digest, sha256_hex, to_hex, Sha256};

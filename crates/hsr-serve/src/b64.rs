@@ -1,0 +1,104 @@
+//! Base64 (RFC 4648 standard alphabet, padded) for chunked uploads.
+//!
+//! Terrain payloads are binary; the wire is newline-delimited JSON
+//! text. Upload chunks therefore carry base64 — the standard alphabet
+//! with `=` padding, strict decoding (no whitespace, no alphabet
+//! mixing, padding required), so an encoded chunk is exactly
+//! `4 * ceil(n/3)` characters and the server can budget line length
+//! precisely.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `bytes` as padded standard-alphabet base64.
+pub(crate) fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        let sextets = [(n >> 18) & 63, (n >> 12) & 63, (n >> 6) & 63, n & 63];
+        for (i, &s) in sextets.iter().enumerate() {
+            if i <= chunk.len() {
+                out.push(ALPHABET[s as usize] as char);
+            } else {
+                out.push('=');
+            }
+        }
+    }
+    out
+}
+
+/// Decodes padded standard-alphabet base64, strictly.
+pub(crate) fn decode(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!("base64 length {} is not a multiple of 4", bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (at, quad) in bytes.chunks_exact(4).enumerate() {
+        let last = (at + 1) * 4 == bytes.len();
+        let pad = quad.iter().rev().take_while(|&&b| b == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return Err("misplaced base64 padding".to_string());
+        }
+        let mut n = 0u32;
+        for &b in &quad[..4 - pad] {
+            let v = match b {
+                b'A'..=b'Z' => b - b'A',
+                b'a'..=b'z' => b - b'a' + 26,
+                b'0'..=b'9' => b - b'0' + 52,
+                b'+' => 62,
+                b'/' => 63,
+                _ => return Err(format!("invalid base64 byte 0x{b:02x}")),
+            };
+            n = (n << 6) | u32::from(v);
+        }
+        n <<= 6 * pad as u32;
+        let emit = 3 - pad;
+        let octets = [(n >> 16) as u8, (n >> 8) as u8, n as u8];
+        out.extend_from_slice(&octets[..emit]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let vectors: [(&[u8], &str); 7] = [
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (raw, enc) in vectors {
+            assert_eq!(encode(raw), enc);
+            assert_eq!(decode(enc).unwrap(), raw);
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_at_every_length() {
+        for len in 0..100usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn strict_decoding_rejects_garbage() {
+        assert!(decode("Zg=").is_err(), "bad length");
+        assert!(decode("Zg==Zm8=").is_err(), "padding mid-stream");
+        assert!(decode("Z===").is_err(), "triple padding");
+        assert!(decode("Zm 8=").is_err(), "whitespace");
+        assert!(decode("Zm9\n").is_err(), "newline");
+    }
+}

@@ -19,8 +19,10 @@
 //! lock in index order, which is what keeps `peak_resident ≤ capacity`
 //! an exact invariant rather than a per-shard approximation.
 
+use hsr_catalog::{Catalog, TerrainFormat, TerrainInfo};
 use hsr_core::error::HsrError;
 use hsr_core::view::{evaluate_batch, Report, View};
+use hsr_terrain::io::from_obj;
 use hsr_terrain::{GridTerrain, Tin};
 use hsr_tile::{CacheStats, TileStore, TiledScene, TiledSceneConfig};
 use std::collections::HashMap;
@@ -49,6 +51,18 @@ pub enum TerrainSource {
         dir: PathBuf,
         /// Evaluation config: resident-tile cap, LOD knobs.
         config: TiledSceneConfig,
+    },
+    /// A terrain resolved through a persistent [`Catalog`] **at prepare
+    /// time**: the entry's current content hash decides what gets
+    /// prepared, so an overwrite followed by
+    /// [`PreparedCache::invalidate`] makes the next lookup serve the new
+    /// content. This is how every cataloged terrain is served; the
+    /// variant also lets a specific name be pinned as a static source.
+    Catalog {
+        /// The catalog holding the entry.
+        catalog: Arc<Catalog>,
+        /// The entry's name.
+        name: String,
     },
 }
 
@@ -130,6 +144,10 @@ pub struct PreparedStats {
     pub errors: u64,
     /// Prepared scenes dropped to make room.
     pub evictions: u64,
+    /// Prepared scenes dropped because their terrain was overwritten or
+    /// deleted ([`PreparedCache::invalidate`]) — counted separately from
+    /// capacity `evictions`.
+    pub invalidations: u64,
     /// Prepared scenes resident right now.
     pub resident: usize,
     /// High-water mark of `resident` — proves the cap held.
@@ -153,6 +171,7 @@ struct StatCells {
     prepares: AtomicU64,
     errors: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
     resident: AtomicUsize,
     peak_resident: AtomicUsize,
 }
@@ -185,10 +204,15 @@ const CACHE_SHARDS: usize = 8;
 pub struct PreparedCache {
     capacity: usize,
     sources: HashMap<String, TerrainSource>,
+    /// Catalog fallback: names not in `sources` resolve here, so newly
+    /// uploaded terrains become servable without reconfiguration.
+    catalog: Option<Arc<Catalog>>,
     shards: Vec<Mutex<HashMap<String, PreparedEntry>>>,
-    /// One prepare lock per registered terrain (sources are fixed at
-    /// construction, so this map is never mutated — no lock around it).
-    prepare_locks: HashMap<String, Mutex<()>>,
+    /// One prepare lock per terrain name, created on first use (catalog
+    /// entries appear at runtime, so the map itself is locked; the
+    /// per-name locks are `Arc`ed out so the map lock is never held
+    /// across a prepare).
+    prepare_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     /// Global recency clock for the cross-shard LRU ordering.
     tick: AtomicU64,
     stats: StatCells,
@@ -199,26 +223,40 @@ impl PreparedCache {
     /// scenes (≥ 1).
     pub fn new(capacity: usize, sources: HashMap<String, TerrainSource>) -> PreparedCache {
         assert!(capacity >= 1, "prepared-scene capacity must be ≥ 1");
-        let prepare_locks = sources
-            .keys()
-            .map(|k| (k.clone(), Mutex::new(())))
-            .collect();
         PreparedCache {
             capacity,
             sources,
+            catalog: None,
             shards: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
-            prepare_locks,
+            prepare_locks: Mutex::new(HashMap::new()),
             tick: AtomicU64::new(0),
             stats: StatCells::default(),
         }
     }
 
-    /// The registered terrain names, sorted.
+    /// Attaches a catalog: names not among the static sources resolve
+    /// through it at prepare time (static sources win name clashes).
+    pub fn with_catalog(mut self, catalog: Arc<Catalog>) -> PreparedCache {
+        self.catalog = Some(catalog);
+        self
+    }
+
+    /// The catalog this cache falls back to, if any.
+    pub fn catalog(&self) -> Option<&Arc<Catalog>> {
+        self.catalog.as_ref()
+    }
+
+    /// Every servable terrain name, sorted: the static sources plus the
+    /// catalog's current entries.
     pub fn terrain_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.sources.keys().cloned().collect();
+        if let Some(catalog) = &self.catalog {
+            names.extend(catalog.list().into_iter().map(|info| info.name));
+        }
         names.sort();
+        names.dedup();
         names
     }
 
@@ -230,6 +268,7 @@ impl PreparedCache {
             prepares: self.stats.prepares.load(Ordering::Relaxed),
             errors: self.stats.errors.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
+            invalidations: self.stats.invalidations.load(Ordering::Relaxed),
             resident: self.stats.resident.load(Ordering::Relaxed),
             peak_resident: self.stats.peak_resident.load(Ordering::Relaxed),
         }
@@ -263,19 +302,41 @@ impl PreparedCache {
         if let Some(hit) = self.lookup(name, true) {
             return Ok(hit);
         }
-        if !self.sources.contains_key(name) {
+        let from_catalog = !self.sources.contains_key(name);
+        if from_catalog && self.catalog.as_ref().and_then(|c| c.get(name)).is_none() {
             self.stats.errors.fetch_add(1, Ordering::Relaxed);
             return Err(WireError::new(
                 ErrorKind::UnknownTerrain,
                 format!("no terrain named `{name}` is registered"),
             ));
         };
-        let _preparing = self.prepare_locks[name].lock().expect("prepare lock");
+        let preparing = {
+            let mut locks = self.prepare_locks.lock().expect("prepare lock map");
+            Arc::clone(locks.entry(name.to_string()).or_default())
+        };
+        let _preparing = preparing.lock().expect("prepare lock");
         // Someone else may have prepared `name` while we waited.
         if let Some(hit) = self.lookup(name, false) {
             return Ok(hit);
         }
-        let scene = match prepare(&self.sources[name]) {
+        let prepared = if from_catalog {
+            let catalog = self.catalog.as_ref().expect("checked above");
+            // Re-read under the prepare lock: the entry decides *which
+            // content* this prepare serves. (A concurrent overwrite can
+            // still land between this read and the commit below; its
+            // invalidation may then evict a just-stale scene one lookup
+            // late — benign, the next lookup re-prepares fresh.)
+            match catalog.get(name) {
+                Some(info) => prepare_from_catalog(catalog, &info),
+                None => Err(WireError::new(
+                    ErrorKind::UnknownTerrain,
+                    format!("no terrain named `{name}` is registered"),
+                )),
+            }
+        } else {
+            prepare(&self.sources[name])
+        };
+        let scene = match prepared {
             Ok(scene) => scene,
             Err(e) => {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -316,6 +377,31 @@ impl PreparedCache {
         Ok(scene)
     }
 
+    /// Drops exactly `name`'s prepared scene (if resident), so the next
+    /// lookup re-prepares from the terrain's current source — the hook
+    /// the server calls when a cataloged terrain is overwritten or
+    /// deleted. Other residents are untouched. For a tiled terrain the
+    /// dropped [`TiledScene`] takes its resident-tile `SceneCache` with
+    /// it (in-flight evaluations holding the `Arc` finish against the
+    /// old content, then the memory goes). Returns whether anything was
+    /// resident.
+    pub fn invalidate(&self, name: &str) -> bool {
+        // All shard locks, like the commit path: keeps the `resident`
+        // gauge exact against a racing evict+insert.
+        let mut guards: Vec<MutexGuard<'_, HashMap<String, PreparedEntry>>> = self
+            .shards
+            .iter()
+            .map(|m| m.lock().expect("prepared cache shard"))
+            .collect();
+        let dropped = guards[self.shard_of(name)].remove(name).is_some();
+        if dropped {
+            let resident: usize = guards.iter().map(|g| g.len()).sum();
+            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.stats.resident.store(resident, Ordering::Relaxed);
+        }
+        dropped
+    }
+
     /// One shard-locked hit-check. `first` marks the initial lookup of a
     /// `get_or_prepare` call (counted in `lookups`); the re-check after
     /// waiting on the prepare lock is not a new lookup, but a hit there
@@ -343,13 +429,60 @@ fn prepare(source: &TerrainSource) -> Result<PreparedScene, WireError> {
             .map(|tin| PreparedScene::Monolithic(Arc::new(tin)))
             .map_err(|e| WireError::new(ErrorKind::Prepare, e.to_string())),
         TerrainSource::Tin(tin) => Ok(PreparedScene::Monolithic(Arc::clone(tin))),
-        TerrainSource::TiledStore { dir, config } => TileStore::open(dir)
-            .map_err(|e| WireError::new(ErrorKind::Prepare, e.to_string()))
-            .and_then(|store| {
-                TiledScene::open(store, *config)
-                    .map_err(|e| WireError::new(ErrorKind::Prepare, e.to_string()))
-            })
-            .map(|scene| PreparedScene::Tiled(Arc::new(scene))),
+        TerrainSource::TiledStore { dir, config } => open_tiled(dir, *config),
+        TerrainSource::Catalog { catalog, name } => match catalog.get(name) {
+            Some(info) => prepare_from_catalog(catalog, &info),
+            None => Err(WireError::new(
+                ErrorKind::UnknownTerrain,
+                format!("no terrain named `{name}` is registered"),
+            )),
+        },
+    }
+}
+
+fn open_tiled(dir: &std::path::Path, config: TiledSceneConfig) -> Result<PreparedScene, WireError> {
+    TileStore::open(dir)
+        .map_err(|e| WireError::new(ErrorKind::Prepare, e.to_string()))
+        .and_then(|store| {
+            TiledScene::open(store, config)
+                .map_err(|e| WireError::new(ErrorKind::Prepare, e.to_string()))
+        })
+        .map(|scene| PreparedScene::Tiled(Arc::new(scene)))
+}
+
+/// Materializes a catalog entry into a prepared scene: decode the blob
+/// per its registered format (lazily building the tile pyramid for
+/// `TiledGrid` entries — one pyramid per content hash, shared by deduped
+/// uploads).
+fn prepare_from_catalog(catalog: &Catalog, info: &TerrainInfo) -> Result<PreparedScene, WireError> {
+    let prep = |what: String| WireError::new(ErrorKind::Prepare, what);
+    match info.format {
+        TerrainFormat::GridBin => {
+            let bytes = catalog
+                .read_blob(&info.content)
+                .map_err(|e| prep(e.to_string()))?;
+            hsr_terrain::io::grid_from_bytes(&bytes)
+                .map_err(|e| prep(e.to_string()))?
+                .to_tin()
+                .map(|tin| PreparedScene::Monolithic(Arc::new(tin)))
+                .map_err(|e| prep(e.to_string()))
+        }
+        TerrainFormat::TinObj => {
+            let bytes = catalog
+                .read_blob(&info.content)
+                .map_err(|e| prep(e.to_string()))?;
+            let text = std::str::from_utf8(&bytes)
+                .map_err(|_| prep("cataloged OBJ blob is not UTF-8".to_string()))?;
+            from_obj(text)
+                .map(|tin| PreparedScene::Monolithic(Arc::new(tin)))
+                .map_err(|e| prep(e.to_string()))
+        }
+        TerrainFormat::TiledGrid { .. } => {
+            let dir = catalog
+                .ensure_pyramid(info)
+                .map_err(|e| prep(e.to_string()))?;
+            open_tiled(&dir, TiledSceneConfig::default())
+        }
     }
 }
 
@@ -450,5 +583,46 @@ mod tests {
         assert_eq!(err.kind, ErrorKind::UnknownTerrain);
         let s = cache.stats();
         assert_eq!((s.lookups, s.errors, s.resident), (1, 1, 0));
+    }
+
+    #[test]
+    fn catalog_fallback_prepares_and_invalidation_evicts_exactly_one() {
+        use hsr_terrain::io::grid_to_bytes;
+        let dir =
+            std::env::temp_dir().join(format!("hsr-serve-cat-fallback-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = Arc::new(Catalog::open(&dir).unwrap());
+        catalog
+            .upload(
+                "cat",
+                TerrainFormat::GridBin,
+                "test",
+                &grid_to_bytes(&gen::fbm(6, 6, 2, 4.0, 3)),
+            )
+            .unwrap();
+        let cache = PreparedCache::new(2, sources()).with_catalog(Arc::clone(&catalog));
+        // Static sources and catalog entries are both servable.
+        cache.get_or_prepare("a").unwrap();
+        cache.get_or_prepare("cat").unwrap();
+        cache.get_or_prepare("cat").unwrap(); // hit
+        assert!(cache.terrain_names().contains(&"cat".to_string()));
+        let before = cache.stats();
+        assert_eq!((before.prepares, before.hits, before.resident), (2, 1, 2));
+        // Invalidation drops exactly the named entry; `a` stays hot.
+        assert!(cache.invalidate("cat"));
+        assert!(!cache.invalidate("cat"), "second invalidate finds nothing");
+        let mid = cache.stats();
+        assert_eq!((mid.invalidations, mid.resident, mid.evictions), (1, 1, 0));
+        cache.get_or_prepare("a").unwrap(); // still a hit
+        assert_eq!(cache.stats().hits, before.hits + 1);
+        // The next lookup of the invalidated name re-prepares.
+        cache.get_or_prepare("cat").unwrap();
+        assert_eq!(cache.stats().prepares, before.prepares + 1);
+        // A deleted catalog entry stops resolving.
+        catalog.delete("cat").unwrap();
+        cache.invalidate("cat");
+        let err = cache.get_or_prepare("cat").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownTerrain);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

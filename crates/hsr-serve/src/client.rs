@@ -1,10 +1,18 @@
 //! A small blocking client for the wire protocol — what the tests, the
 //! load generator, and the examples drive the server with.
 
-use crate::protocol::{Request, Response, WireError};
+use crate::protocol::{
+    IdRequest, NameRequest, Payload, RegisterRequest, Request, Response, StatsSnapshot, UploadAck,
+    UploadBegin, UploadChunk, WireError,
+};
+use hsr_catalog::{TerrainFormat, TerrainInfo};
 use hsr_core::view::{Report, View};
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// Raw bytes per upload chunk, sized so the base64-encoded line stays
+/// well under the server's default `max_line_bytes`.
+const UPLOAD_CHUNK_BYTES: usize = 48 * 1024;
 
 /// Errors a client call can produce.
 #[derive(Debug)]
@@ -70,7 +78,7 @@ impl Client {
     /// terrain `terrain` and waits for the report.
     pub fn eval(&mut self, terrain: &str, view: &View) -> Result<Report, ClientError> {
         let id = self.fresh_id();
-        self.send(&Request { id, terrain: terrain.into(), view: view.clone() })?;
+        self.send(&Request::eval(id, terrain, view.clone()))?;
         let response = self.recv()?;
         if response.id != id {
             return Err(ClientError::Protocol(format!(
@@ -92,7 +100,7 @@ impl Client {
     ) -> Result<Vec<Result<Report, WireError>>, ClientError> {
         let ids: Vec<u64> = views.iter().map(|_| self.fresh_id()).collect();
         for (id, view) in ids.iter().zip(views) {
-            self.send(&Request { id: *id, terrain: terrain.into(), view: view.clone() })?;
+            self.send(&Request::eval(*id, terrain, view.clone()))?;
         }
         let mut by_id: std::collections::HashMap<u64, Result<Report, WireError>> =
             std::collections::HashMap::new();
@@ -114,6 +122,128 @@ impl Client {
                     .ok_or_else(|| ClientError::Protocol(format!("no response for request {id}")))
             })
             .collect()
+    }
+
+    /// Reads the answer to `id`, surfacing server errors.
+    fn expect_reply(&mut self, id: u64) -> Result<Response, ClientError> {
+        let response = self.recv()?;
+        if response.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not answer request {id}",
+                response.id
+            )));
+        }
+        if let Some(error) = response.error {
+            return Err(ClientError::Server(error));
+        }
+        Ok(response)
+    }
+
+    /// Snapshots the server's counters ([`Request::Stats`]).
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Stats(IdRequest { id }))?;
+        match self.expect_reply(id)?.payload {
+            Some(Payload::Stats(snapshot)) => Ok(snapshot),
+            other => Err(ClientError::Protocol(format!("expected stats payload, got {other:?}"))),
+        }
+    }
+
+    /// Uploads `bytes` to the server's catalog as terrain `name`,
+    /// chunked so every line respects the server's line-length cap.
+    /// Ping-pong: each chunk is acknowledged before the next is sent.
+    pub fn upload_terrain(
+        &mut self,
+        name: &str,
+        format: TerrainFormat,
+        uploader: &str,
+        bytes: &[u8],
+    ) -> Result<UploadAck, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::UploadTerrain(UploadBegin {
+            id,
+            name: name.into(),
+            format,
+            uploader: uploader.into(),
+            bytes: bytes.len() as u64,
+        }))?;
+        self.expect_reply(id)?;
+        let mut sent = 0usize;
+        loop {
+            let end = (sent + UPLOAD_CHUNK_BYTES).min(bytes.len());
+            let last = end == bytes.len();
+            let id = self.fresh_id();
+            self.send(&Request::UploadChunk(UploadChunk {
+                id,
+                data: crate::b64::encode(&bytes[sent..end]),
+                last,
+            }))?;
+            let response = self.expect_reply(id)?;
+            sent = end;
+            if last {
+                return match response.payload {
+                    Some(Payload::Upload(ack)) => Ok(ack),
+                    other => Err(ClientError::Protocol(format!(
+                        "expected upload payload, got {other:?}"
+                    ))),
+                };
+            }
+        }
+    }
+
+    /// Binds `name` to content already in the server's catalog.
+    pub fn register_terrain(
+        &mut self,
+        name: &str,
+        content: &str,
+        format: TerrainFormat,
+        uploader: &str,
+    ) -> Result<TerrainInfo, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::RegisterTerrain(RegisterRequest {
+            id,
+            name: name.into(),
+            content: content.into(),
+            format,
+            uploader: uploader.into(),
+        }))?;
+        match self.expect_reply(id)?.payload {
+            Some(Payload::Terrain(info)) => Ok(info),
+            other => Err(ClientError::Protocol(format!("expected terrain payload, got {other:?}"))),
+        }
+    }
+
+    /// Lists every cataloged terrain.
+    pub fn list_terrains(&mut self) -> Result<Vec<TerrainInfo>, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::ListTerrains(IdRequest { id }))?;
+        match self.expect_reply(id)?.payload {
+            Some(Payload::Terrains(list)) => Ok(list),
+            other => {
+                Err(ClientError::Protocol(format!("expected terrains payload, got {other:?}")))
+            }
+        }
+    }
+
+    /// Looks up one cataloged terrain.
+    pub fn terrain_info(&mut self, name: &str) -> Result<TerrainInfo, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::TerrainInfo(NameRequest { id, name: name.into() }))?;
+        match self.expect_reply(id)?.payload {
+            Some(Payload::Terrain(info)) => Ok(info),
+            other => Err(ClientError::Protocol(format!("expected terrain payload, got {other:?}"))),
+        }
+    }
+
+    /// Unbinds `name` from the server's catalog; returns the removed
+    /// entry.
+    pub fn delete_terrain(&mut self, name: &str) -> Result<TerrainInfo, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::DeleteTerrain(NameRequest { id, name: name.into() }))?;
+        match self.expect_reply(id)?.payload {
+            Some(Payload::Deleted(info)) => Ok(info),
+            other => Err(ClientError::Protocol(format!("expected deleted payload, got {other:?}"))),
+        }
     }
 
     fn fresh_id(&mut self) -> u64 {

@@ -38,8 +38,12 @@
 //! [`ServeStats::dropped_slow`]: crate::server::ServeStats::dropped_slow
 //! [`ErrorKind::BadRequest`]: crate::protocol::ErrorKind::BadRequest
 
-use crate::protocol::{salvage_id, ErrorKind, Request, Response, WireError};
+use crate::protocol::{
+    salvage_id, ErrorKind, Payload, Request, Response, UploadAck, UploadBegin, UploadChunk,
+    WireError,
+};
 use crate::server::{Counters, Job, Msg, ServeConfig, Shared};
+use hsr_catalog::{BlobWriter, Catalog, CatalogError, TerrainFormat};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
@@ -181,7 +185,22 @@ struct Conn {
     inbuf: Vec<u8>,
     /// Oversized-line recovery: drop bytes until the next newline.
     discarding: bool,
+    /// The connection's in-flight chunked upload, if any. Dropped with
+    /// the connection, which removes the catalog-side staging file.
+    upload: Option<UploadSession>,
     reply: Arc<Reply>,
+}
+
+/// An in-flight chunked upload: the catalog staging writer plus what the
+/// opening [`Request::UploadTerrain`] declared.
+struct UploadSession {
+    name: String,
+    format: TerrainFormat,
+    uploader: String,
+    /// Total payload size the client declared; chunks past it (or a
+    /// final chunk short of it) abort the upload.
+    declared: u64,
+    writer: BlobWriter,
 }
 
 enum IoOutcome {
@@ -236,7 +255,10 @@ pub(crate) fn shard_loop(
             {
                 continue;
             }
-            conns.insert(key, Conn { stream, inbuf: Vec::new(), discarding: false, reply });
+            conns.insert(
+                key,
+                Conn { stream, inbuf: Vec::new(), discarding: false, upload: None, reply },
+            );
         }
 
         // Dirty connections (fresh outgoing bytes / condemnations), then
@@ -346,11 +368,11 @@ fn ingest(
                     reject_oversized(conn, line_len, cap, shared);
                     conn.discarding = false; // newline already consumed
                 } else if conn.inbuf.is_empty() {
-                    handle_line(&rest[..nl], &conn.reply, shared, admission);
+                    handle_line(conn, &rest[..nl], shared, admission, config);
                 } else {
                     conn.inbuf.extend_from_slice(&rest[..nl]);
                     let line = std::mem::take(&mut conn.inbuf);
-                    handle_line(&line, &conn.reply, shared, admission);
+                    handle_line(conn, &line, shared, admission, config);
                 }
                 conn.inbuf.clear();
                 rest = &rest[nl + 1..];
@@ -384,13 +406,15 @@ fn reject_oversized(conn: &mut Conn, got: usize, cap: usize, shared: &Arc<Shared
     ));
 }
 
-/// One complete request line: parse, validate the id, and admit —
-/// exactly the PR-5 per-line path, minus the thread it used to run on.
+/// One complete request line: parse, validate the id, then either admit
+/// (eval — exactly the PR-5 per-line path, minus the thread it used to
+/// run on) or handle inline (admin).
 fn handle_line(
+    conn: &mut Conn,
     raw: &[u8],
-    reply: &Arc<Reply>,
     shared: &Arc<Shared>,
     admission: &mpsc::SyncSender<Msg>,
+    config: &ServeConfig,
 ) {
     let text = String::from_utf8_lossy(raw);
     let text = text.trim();
@@ -401,16 +425,17 @@ fn handle_line(
         Ok(request) => request,
         Err(e) => {
             shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
-            reply.send(&Response::err(
+            conn.reply.send(&Response::err(
                 salvage_id(text),
                 WireError::new(ErrorKind::BadRequest, format!("unparseable request: {e}")),
             ));
             return;
         }
     };
-    if request.id == 0 {
+    let id = request.id();
+    if id == 0 {
         shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
-        reply.send(&Response::err(
+        conn.reply.send(&Response::err(
             0,
             WireError::new(
                 ErrorKind::BadRequest,
@@ -419,32 +444,227 @@ fn handle_line(
         ));
         return;
     }
-    let id = request.id;
     if shared.stop.load(Ordering::SeqCst) {
-        reply.send(&Response::err(
+        conn.reply.send(&Response::err(
             id,
             WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
         ));
         return;
     }
-    let job = Box::new(Job { request, reply: Arc::clone(reply) });
+    let request = match request {
+        Request::Eval(eval) => eval,
+        admin => return handle_admin(conn, admin, shared, config),
+    };
+    let job = Box::new(Job { request, reply: Arc::clone(&conn.reply) });
     match admission.try_send(Msg::Job(job)) {
         Ok(()) => {
             shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
         }
         Err(mpsc::TrySendError::Full(_)) => {
             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            reply.send(&Response::err(
+            conn.reply.send(&Response::err(
                 id,
                 WireError::new(ErrorKind::Overloaded, "admission queue full; retry later"),
             ));
         }
         Err(mpsc::TrySendError::Disconnected(_)) => {
-            reply.send(&Response::err(
+            conn.reply.send(&Response::err(
                 id,
                 WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
             ));
         }
+    }
+}
+
+/// Maps a catalog failure onto the wire: a missing name is the same
+/// "unknown terrain" the eval path reports; everything else is
+/// [`ErrorKind::Catalog`].
+fn catalog_err(e: &CatalogError) -> WireError {
+    let kind = match e {
+        CatalogError::UnknownName(_) => ErrorKind::UnknownTerrain,
+        _ => ErrorKind::Catalog,
+    };
+    WireError::new(kind, e.to_string())
+}
+
+/// Handles one admin request inline on the shard thread. Admin work is
+/// metadata-sized — the largest piece, one upload chunk, is bounded by
+/// `max_line_bytes` — so it never enters the admission queue and cannot
+/// be starved by eval backpressure; the `completed`/`failed` counters
+/// stay eval-only.
+fn handle_admin(conn: &mut Conn, request: Request, shared: &Arc<Shared>, config: &ServeConfig) {
+    let id = request.id();
+    if let Request::Stats(_) = request {
+        conn.reply
+            .send(&Response::with_payload(id, Payload::Stats(shared.stats_snapshot())));
+        return;
+    }
+    let Some(catalog) = shared.catalog.as_ref() else {
+        conn.reply.send(&Response::err(
+            id,
+            WireError::new(ErrorKind::Catalog, "no catalog is configured on this server"),
+        ));
+        return;
+    };
+    match request {
+        Request::UploadTerrain(begin) => upload_begin(conn, catalog, begin, config),
+        Request::UploadChunk(chunk) => upload_chunk(conn, catalog, shared, chunk, config),
+        Request::RegisterTerrain(req) => {
+            match catalog.register(&req.name, &req.content, req.format, &req.uploader) {
+                Ok(info) => {
+                    shared.cache.invalidate(&req.name);
+                    conn.reply
+                        .send(&Response::with_payload(id, Payload::Terrain(info)));
+                }
+                Err(e) => conn.reply.send(&Response::err(id, catalog_err(&e))),
+            }
+        }
+        Request::ListTerrains(_) => {
+            conn.reply
+                .send(&Response::with_payload(id, Payload::Terrains(catalog.list())));
+        }
+        Request::TerrainInfo(req) => match catalog.get(&req.name) {
+            Some(info) => conn
+                .reply
+                .send(&Response::with_payload(id, Payload::Terrain(info))),
+            None => conn.reply.send(&Response::err(
+                id,
+                WireError::new(
+                    ErrorKind::UnknownTerrain,
+                    format!("no terrain named `{}` in the catalog", req.name),
+                ),
+            )),
+        },
+        Request::DeleteTerrain(req) => match catalog.delete(&req.name) {
+            Ok(info) => {
+                shared.cache.invalidate(&req.name);
+                conn.reply
+                    .send(&Response::with_payload(id, Payload::Deleted(info)));
+            }
+            Err(e) => conn.reply.send(&Response::err(id, catalog_err(&e))),
+        },
+        Request::Eval(_) | Request::Stats(_) => unreachable!("handled by callers"),
+    }
+}
+
+/// Opens a chunked upload on this connection.
+fn upload_begin(conn: &mut Conn, catalog: &Arc<Catalog>, begin: UploadBegin, config: &ServeConfig) {
+    let id = begin.id;
+    if conn.upload.is_some() {
+        // The existing session stays live: the offending begin may be a
+        // different client thread's mistake, not the uploader's.
+        conn.reply.send(&Response::err(
+            id,
+            WireError::new(
+                ErrorKind::BadRequest,
+                "an upload is already in progress on this connection",
+            ),
+        ));
+        return;
+    }
+    if begin.bytes > config.max_upload_bytes {
+        conn.reply.send(&Response::err(
+            id,
+            WireError::new(
+                ErrorKind::Catalog,
+                format!(
+                    "declared size {} exceeds the {}-byte upload cap",
+                    begin.bytes, config.max_upload_bytes
+                ),
+            ),
+        ));
+        return;
+    }
+    match catalog.begin_blob() {
+        Ok(writer) => {
+            conn.upload = Some(UploadSession {
+                name: begin.name,
+                format: begin.format,
+                uploader: begin.uploader,
+                declared: begin.bytes,
+                writer,
+            });
+            conn.reply.send(&Response::ack(id));
+        }
+        Err(e) => conn.reply.send(&Response::err(id, catalog_err(&e))),
+    }
+}
+
+/// Stages one chunk of the connection's upload; the final chunk commits
+/// and registers. Any failure aborts the whole upload (the session is
+/// dropped, which removes the staging file) — chunk acknowledgements are
+/// ping-pong, so the client sees the abort before sending more.
+fn upload_chunk(
+    conn: &mut Conn,
+    catalog: &Arc<Catalog>,
+    shared: &Arc<Shared>,
+    chunk: UploadChunk,
+    config: &ServeConfig,
+) {
+    let id = chunk.id;
+    let Some(mut session) = conn.upload.take() else {
+        conn.reply.send(&Response::err(
+            id,
+            WireError::new(ErrorKind::BadRequest, "no upload in progress on this connection"),
+        ));
+        return;
+    };
+    let data = match crate::b64::decode(&chunk.data) {
+        Ok(data) => data,
+        Err(e) => {
+            conn.reply
+                .send(&Response::err(id, WireError::new(ErrorKind::BadRequest, e)));
+            return;
+        }
+    };
+    if let Err(e) = session.writer.write(&data) {
+        conn.reply.send(&Response::err(id, catalog_err(&e)));
+        return;
+    }
+    let written = session.writer.bytes_written();
+    if written > session.declared || written > config.max_upload_bytes {
+        conn.reply.send(&Response::err(
+            id,
+            WireError::new(
+                ErrorKind::BadRequest,
+                format!(
+                    "upload exceeds its declared size ({written} > {} bytes)",
+                    session.declared
+                ),
+            ),
+        ));
+        return;
+    }
+    if !chunk.last {
+        conn.upload = Some(session);
+        conn.reply.send(&Response::ack(id));
+        return;
+    }
+    if written != session.declared {
+        conn.reply.send(&Response::err(
+            id,
+            WireError::new(
+                ErrorKind::BadRequest,
+                format!("final chunk leaves {written} of {} declared bytes", session.declared),
+            ),
+        ));
+        return;
+    }
+    let UploadSession { name, format, uploader, writer, .. } = session;
+    match catalog.commit_upload(writer, name.clone(), format, uploader) {
+        Ok((info, deduped)) => {
+            shared.cache.invalidate(&name);
+            conn.reply.send(&Response::with_payload(
+                id,
+                Payload::Upload(UploadAck {
+                    name: info.name,
+                    content: info.content,
+                    bytes: info.bytes,
+                    deduped,
+                }),
+            ));
+        }
+        Err(e) => conn.reply.send(&Response::err(id, catalog_err(&e))),
     }
 }
 

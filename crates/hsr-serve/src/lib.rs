@@ -28,7 +28,14 @@
 //!   per-terrain prepare locks), with two backends: a monolithic
 //!   in-memory TIN, or an out-of-core [`hsr_tile::TiledScene`] so
 //!   multi-million-cell terrains serve under the tiled residency cap.
-//! * [`client`] — a small blocking client (single-shot and pipelined).
+//! * [`client`] — a small blocking client (single-shot and pipelined),
+//!   including the admin verbs: chunked uploads, register/list/info/
+//!   delete, and a [`StatsSnapshot`] of every server counter family.
+//! * Persistence (ISSUE 7) — attach an [`hsr_catalog::Catalog`] via
+//!   [`ServerBuilder::catalog_dir`] and terrains uploaded over the wire
+//!   survive process restarts: content-addressed blobs plus an
+//!   append-only manifest, served through the same prepared-scene LRU
+//!   with exact invalidation on overwrite/delete.
 //!
 //! The scoped cost collectors of PR 3 are what make coalescing safe:
 //! a view evaluated inside a coalesced batch reports counters
@@ -54,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod b64;
 pub mod catalog;
 pub mod client;
 mod event_loop;
@@ -62,5 +70,6 @@ pub mod server;
 
 pub use catalog::{PreparedCache, PreparedScene, PreparedStats, TerrainSource};
 pub use client::{Client, ClientError};
-pub use protocol::{ErrorKind, Request, Response, WireError};
+pub use hsr_catalog::{Catalog, CatalogError, CatalogStats, TerrainFormat, TerrainInfo};
+pub use protocol::{ErrorKind, Payload, Request, Response, StatsSnapshot, UploadAck, WireError};
 pub use server::{ServeConfig, ServeStats, Server, ServerBuilder};

@@ -36,10 +36,12 @@
 
 use crate::catalog::{PreparedCache, PreparedStats, TerrainSource};
 use crate::event_loop::{shard_loop, Reply, ShardHandle};
-use crate::protocol::ErrorKind;
+use crate::protocol::{ErrorKind, StatsSnapshot};
+use hsr_catalog::Catalog;
 use hsr_core::view::CompatKey;
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -74,6 +76,9 @@ pub struct ServeConfig {
     /// client reads too slowly for its responses to fit is dropped and
     /// counted in [`ServeStats::dropped_slow`].
     pub outgoing_cap_bytes: usize,
+    /// Largest terrain payload one upload may carry (declared *and*
+    /// actual; chunked uploads past the cap are aborted mid-stream).
+    pub max_upload_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +92,7 @@ impl Default for ServeConfig {
             scene_capacity: 4,
             max_line_bytes: 1 << 20,     // 1 MiB
             outgoing_cap_bytes: 2 << 20, // 2 MiB
+            max_upload_bytes: 64 << 20,  // 64 MiB
         }
     }
 }
@@ -150,7 +156,9 @@ impl Counters {
 }
 
 pub(crate) struct Job {
-    pub(crate) request: crate::protocol::Request,
+    /// Always an eval: admin requests are answered on the shard thread
+    /// and never enter the admission queue.
+    pub(crate) request: crate::protocol::EvalRequest,
     pub(crate) reply: Arc<Reply>,
 }
 
@@ -167,8 +175,22 @@ enum WorkerMsg {
 
 pub(crate) struct Shared {
     pub(crate) cache: PreparedCache,
+    pub(crate) catalog: Option<Arc<Catalog>>,
     pub(crate) counters: Arc<Counters>,
     pub(crate) stop: AtomicBool,
+}
+
+impl Shared {
+    /// The full counter snapshot a [`Request::Stats`] answers with.
+    ///
+    /// [`Request::Stats`]: crate::protocol::Request::Stats
+    pub(crate) fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            serve: self.counters.snapshot(),
+            prepared: self.cache.stats(),
+            catalog: self.catalog.as_ref().map(|c| c.stats()),
+        }
+    }
 }
 
 /// A running visibility-query service.
@@ -208,6 +230,11 @@ impl Server {
     /// terrain (None for monolithic or non-resident terrains).
     pub fn tile_cache_stats(&self, terrain: &str) -> Option<hsr_tile::CacheStats> {
         self.shared.cache.tile_cache_stats(terrain)
+    }
+
+    /// The terrain catalog this server serves from, if one is attached.
+    pub fn catalog(&self) -> Option<&Arc<Catalog>> {
+        self.shared.catalog.as_ref()
     }
 
     /// Stops accepting, answers whatever is still queued with
@@ -257,6 +284,7 @@ impl Server {
 pub struct ServerBuilder {
     config: ServeConfig,
     terrains: HashMap<String, TerrainSource>,
+    catalog: Option<Arc<Catalog>>,
 }
 
 impl Default for ServerBuilder {
@@ -268,13 +296,37 @@ impl Default for ServerBuilder {
 impl ServerBuilder {
     /// A builder with [`ServeConfig::default`] and no terrains.
     pub fn new() -> ServerBuilder {
-        ServerBuilder { config: ServeConfig::default(), terrains: HashMap::new() }
+        ServerBuilder { config: ServeConfig::default(), terrains: HashMap::new(), catalog: None }
     }
 
     /// Registers a hosted terrain under `name` (replacing any previous
     /// source with that name).
     pub fn terrain(mut self, name: impl Into<String>, source: TerrainSource) -> ServerBuilder {
         self.terrains.insert(name.into(), source);
+        self
+    }
+
+    /// Attaches a persistent terrain catalog: its entries become
+    /// servable alongside the static terrains (static names win
+    /// clashes), and the admin wire messages (upload, register, list,
+    /// info, delete) operate on it. Without a catalog those messages
+    /// answer [`ErrorKind::Catalog`].
+    pub fn catalog(mut self, catalog: Arc<Catalog>) -> ServerBuilder {
+        self.catalog = Some(catalog);
+        self
+    }
+
+    /// Opens (creating if necessary) the catalog at `dir` and attaches
+    /// it — the one-stop way to make a server durable.
+    pub fn catalog_dir(self, dir: impl AsRef<Path>) -> std::io::Result<ServerBuilder> {
+        let catalog = Catalog::open(dir.as_ref())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(self.catalog(Arc::new(catalog)))
+    }
+
+    /// Largest terrain payload one upload may carry (default 64 MiB).
+    pub fn max_upload_bytes(mut self, bytes: u64) -> ServerBuilder {
+        self.config.max_upload_bytes = bytes.max(1);
         self
     }
 
@@ -335,8 +387,13 @@ impl ServerBuilder {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let config = self.config;
+        let mut cache = PreparedCache::new(config.scene_capacity, self.terrains);
+        if let Some(catalog) = &self.catalog {
+            cache = cache.with_catalog(Arc::clone(catalog));
+        }
         let shared = Arc::new(Shared {
-            cache: PreparedCache::new(config.scene_capacity, self.terrains),
+            cache,
+            catalog: self.catalog,
             counters: Arc::new(Counters::default()),
             stop: AtomicBool::new(false),
         });
@@ -571,14 +628,14 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<WorkerMsg>>>, shared: &Arc<Shared>)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::Request;
+    use crate::protocol::EvalRequest;
     use hsr_core::pipeline::Algorithm;
     use hsr_core::view::View;
     use hsr_geometry::Point3;
 
     fn job(id: u64, terrain: &str, view: View) -> Job {
         Job {
-            request: Request { id, terrain: terrain.into(), view },
+            request: EvalRequest { id, terrain: terrain.into(), view },
             reply: Reply::detached_for_tests(),
         }
     }

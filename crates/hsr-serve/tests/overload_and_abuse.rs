@@ -72,17 +72,32 @@ fn oversized_line_is_rejected_before_any_newline_and_the_connection_resyncs() {
     assert_eq!(err.kind, ErrorKind::BadRequest);
     assert!(err.message.contains("256-byte cap"), "cap named in: {}", err.message);
 
-    // More of the same line, its terminating newline, then a valid
-    // request: the connection resyncs at the newline and serves it.
+    // More of the same line, its terminating newline, then a *batch* of
+    // valid pipelined requests in one write: the connection resyncs at
+    // the newline and every subsequent id is answered correctly — the
+    // mid-stream rejection must not desynchronize the line framing.
     stream.write_all(&[b'y'; 1024]).unwrap();
     stream.write_all(b"\n").unwrap();
-    let request = Request { id: 9, terrain: "t".into(), view: View::orthographic(0.0) };
-    let mut line = serde_json::to_string(&request).unwrap();
-    line.push('\n');
-    stream.write_all(line.as_bytes()).unwrap();
-    let response = read_response(&mut reader);
-    assert_eq!(response.id, 9);
-    assert!(response.into_result().is_ok(), "the connection must survive the oversized line");
+    let mut batch = String::new();
+    for id in 9..=13u64 {
+        let request = Request::eval(id, "t", View::orthographic(0.02 * id as f64));
+        batch.push_str(&serde_json::to_string(&request).unwrap());
+        batch.push('\n');
+    }
+    stream.write_all(batch.as_bytes()).unwrap();
+    let mut answered: Vec<u64> = (0..5)
+        .map(|_| {
+            let response = read_response(&mut reader);
+            let id = response.id;
+            assert!(
+                response.into_result().is_ok(),
+                "the connection must survive the oversized line"
+            );
+            id
+        })
+        .collect();
+    answered.sort_unstable();
+    assert_eq!(answered, vec![9, 10, 11, 12, 13], "every pipelined id answered exactly once");
 
     assert_eq!(server.stats().malformed, 1, "one oversized line, counted once");
     server.shutdown();
@@ -99,7 +114,7 @@ fn reserved_id_zero_is_rejected_and_salvageable_ids_are_echoed() {
 
     // A well-formed request using the reserved id: rejected, not
     // evaluated (pre-fix served it a report).
-    let request = Request { id: 0, terrain: "t".into(), view: View::orthographic(0.0) };
+    let request = Request::eval(0, "t", View::orthographic(0.0));
     let mut line = serde_json::to_string(&request).unwrap();
     line.push('\n');
     stream.write_all(line.as_bytes()).unwrap();
@@ -145,7 +160,7 @@ fn slow_consumer_is_dropped_while_other_clients_stay_served() {
     // and `dropped_slow` stays 0 forever.
     let mut slow = TcpStream::connect(addr).unwrap();
     for id in 1..=200u64 {
-        let request = Request { id, terrain: "t".into(), view: View::orthographic(0.0) };
+        let request = Request::eval(id, "t", View::orthographic(0.0));
         let mut line = serde_json::to_string(&request).unwrap();
         line.push('\n');
         slow.write_all(line.as_bytes()).unwrap();
@@ -209,7 +224,7 @@ fn duplicate_response_ids_are_reported_as_a_protocol_breach() {
             let mut line = String::new();
             reader.read_line(&mut line).unwrap();
             let request: Request = serde_json::from_str(line.trim()).unwrap();
-            let id = *first_id.get_or_insert(request.id);
+            let id = *first_id.get_or_insert(request.id());
             let mut out = serde_json::to_string(&Response::err(
                 id,
                 hsr_serve::WireError::new(ErrorKind::Eval, "same id twice"),

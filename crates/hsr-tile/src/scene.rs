@@ -64,6 +64,14 @@ impl Default for TiledSceneConfig {
 pub enum TiledError {
     /// The tile store failed (I/O, codec, missing meta).
     Store(TileStoreError),
+    /// The store exists but its pyramid meta is invalid — truncated,
+    /// bit-flipped, or internally inconsistent. Distinct from
+    /// [`TiledError::Store`] so callers can tell "this store is damaged,
+    /// rebuild it" apart from transient I/O.
+    CorruptStore {
+        /// The meta file that was rejected.
+        path: std::path::PathBuf,
+    },
     /// A materialized tile failed TIN validation.
     Terrain(TinError),
     /// A per-tile evaluation failed.
@@ -87,6 +95,9 @@ impl std::fmt::Display for TiledError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TiledError::Store(e) => write!(f, "tile store: {e}"),
+            TiledError::CorruptStore { path } => {
+                write!(f, "corrupt tile store: {} is not a valid pyramid meta", path.display())
+            }
             TiledError::Terrain(e) => write!(f, "tile terrain invalid: {e}"),
             TiledError::Hsr(e) => write!(f, "tile evaluation: {e}"),
             TiledError::UnsupportedView(what) => write!(f, "unsupported view: {what}"),
@@ -180,8 +191,15 @@ impl TiledScene {
     }
 
     /// Opens an already materialized store (reads its pyramid meta).
+    ///
+    /// A store whose meta file is damaged — truncated, bit-flipped, or
+    /// internally inconsistent — fails with
+    /// [`TiledError::CorruptStore`], never a panic downstream.
     pub fn open(store: TileStore, cfg: TiledSceneConfig) -> Result<TiledScene, TiledError> {
-        let meta = store.read_meta()?;
+        let meta = store.read_meta().map_err(|e| match e {
+            TileStoreError::BadMeta { path } => TiledError::CorruptStore { path },
+            other => TiledError::Store(other),
+        })?;
         Ok(TiledScene {
             cache: SceneCache::new(cfg.cache_capacity),
             meta,

@@ -192,6 +192,27 @@ impl TileStore {
         if meta.nx < 2 || meta.ny < 2 || meta.tile_size < 2 || meta.levels < 1 {
             return Err(bad());
         }
+        // Internal consistency, not just field ranges: a truncated or
+        // bit-flipped file that still passes the magic/version check
+        // must surface as `BadMeta` here, never as a panic (or a silent
+        // out-of-bounds tile grid) later in the tiled pipeline.
+        if meta.levels > 32 {
+            return Err(bad());
+        }
+        if meta.tiles_i != (meta.nx - 1).div_ceil(meta.tile_size)
+            || meta.tiles_j != (meta.ny - 1).div_ceil(meta.tile_size)
+        {
+            return Err(bad());
+        }
+        let scalars_ok = meta.dx.is_finite()
+            && meta.dx > 0.0
+            && meta.dy.is_finite()
+            && meta.dy > 0.0
+            && meta.origin.0.is_finite()
+            && meta.origin.1.is_finite();
+        if !scalars_ok {
+            return Err(bad());
+        }
         Ok(meta)
     }
 }

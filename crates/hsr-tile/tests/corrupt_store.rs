@@ -1,0 +1,99 @@
+//! Regression tests for damaged on-disk stores (ISSUE 7 satellite):
+//! truncated, bit-flipped, or internally inconsistent pyramid meta must
+//! surface as typed errors from `TiledScene::open` — never a panic or a
+//! silently wrong tile grid downstream.
+
+use hsr_terrain::gen;
+use hsr_tile::{
+    TilePyramid, TileStore, TileStoreError, TiledError, TiledScene, TiledSceneConfig, TilingConfig,
+};
+use std::path::PathBuf;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hsr-tile-corrupt-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds a valid pyramid store and returns its directory.
+fn built_store(name: &str) -> PathBuf {
+    let dir = scratch_dir(name);
+    let store = TileStore::create(&dir).unwrap();
+    let grid = gen::fbm(33, 29, 3, 7.0, 17);
+    TilePyramid::build(&grid, TilingConfig { tile_size: 8, levels: 2 }, &store).unwrap();
+    dir
+}
+
+fn open_scene(dir: &PathBuf) -> Result<TiledScene, TiledError> {
+    TiledScene::open(TileStore::open(dir).unwrap(), TiledSceneConfig::default())
+}
+
+#[test]
+fn bit_flipped_tile_count_is_corrupt_not_a_panic() {
+    let dir = built_store("bitflip");
+    assert!(open_scene(&dir).is_ok(), "pristine store opens");
+    // Flip a bit in `tiles_i` (u64 at offset 40): magic and version
+    // still check out, but the tile grid no longer matches nx/tile_size.
+    let meta_path = dir.join("meta.hsrp");
+    let mut bytes = std::fs::read(&meta_path).unwrap();
+    bytes[40] ^= 0x04;
+    std::fs::write(&meta_path, &bytes).unwrap();
+    match open_scene(&dir) {
+        Err(TiledError::CorruptStore { path }) => assert_eq!(path, meta_path),
+        Err(other) => panic!("expected CorruptStore, got {other:?}"),
+        Ok(_) => panic!("expected CorruptStore, store opened"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_meta_is_corrupt() {
+    let dir = built_store("truncated");
+    let meta_path = dir.join("meta.hsrp");
+    let bytes = std::fs::read(&meta_path).unwrap();
+    for keep in [0, 4, 8, 40, bytes.len() - 1] {
+        std::fs::write(&meta_path, &bytes[..keep]).unwrap();
+        assert!(
+            matches!(open_scene(&dir), Err(TiledError::CorruptStore { .. })),
+            "kept {keep} of {} meta bytes",
+            bytes.len()
+        );
+    }
+    // Restoring the full meta recovers the store.
+    std::fs::write(&meta_path, &bytes).unwrap();
+    assert!(open_scene(&dir).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_and_bad_scalars_are_corrupt() {
+    let dir = built_store("garbage");
+    let meta_path = dir.join("meta.hsrp");
+    let pristine = std::fs::read(&meta_path).unwrap();
+
+    // Outright garbage of plausible length.
+    std::fs::write(&meta_path, vec![0xabu8; pristine.len()]).unwrap();
+    assert!(matches!(open_scene(&dir), Err(TiledError::CorruptStore { .. })));
+
+    // Valid frame, non-finite cell size.
+    let mut bytes = pristine.clone();
+    bytes[56..64].copy_from_slice(&f64::NAN.to_le_bytes());
+    std::fs::write(&meta_path, &bytes).unwrap();
+    assert!(matches!(open_scene(&dir), Err(TiledError::CorruptStore { .. })));
+
+    // Valid frame, absurd level count.
+    let mut bytes = pristine.clone();
+    bytes[32..40].copy_from_slice(&10_000u64.to_le_bytes());
+    std::fs::write(&meta_path, &bytes).unwrap();
+    assert!(matches!(open_scene(&dir), Err(TiledError::CorruptStore { .. })));
+
+    // `read_meta` itself reports the same rejections as `BadMeta`.
+    let store = TileStore::open(&dir).unwrap();
+    assert!(matches!(store.read_meta(), Err(TileStoreError::BadMeta { .. })));
+
+    // A missing meta file stays an I/O error (the store is absent, not
+    // damaged).
+    std::fs::remove_file(&meta_path).unwrap();
+    assert!(matches!(open_scene(&dir), Err(TiledError::Store(TileStoreError::Io { .. }))));
+    let _ = std::fs::remove_dir_all(&dir);
+}

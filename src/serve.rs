@@ -52,8 +52,9 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 pub use hsr_serve::{
-    Client, ClientError, ErrorKind, PreparedStats, Request, Response, ServeConfig, ServeStats,
-    Server, TerrainSource, WireError,
+    Catalog, CatalogError, CatalogStats, Client, ClientError, ErrorKind, Payload, PreparedStats,
+    Request, Response, ServeConfig, ServeStats, Server, StatsSnapshot, TerrainFormat, TerrainInfo,
+    TerrainSource, UploadAck, WireError,
 };
 
 /// Builds a [`Server`] from facade-level pieces: scenes, grids, and
@@ -152,6 +153,25 @@ impl ServeBuilder {
     /// is dropped and counted in [`ServeStats::dropped_slow`].
     pub fn outgoing_cap_bytes(mut self, bytes: usize) -> ServeBuilder {
         self.inner = self.inner.outgoing_cap_bytes(bytes);
+        self
+    }
+
+    /// Attaches a persistent terrain catalog rooted at `dir` (created if
+    /// absent, replayed if present). Cataloged terrains are servable by
+    /// name alongside statically hosted ones, and the admin protocol —
+    /// upload, register, list, info, delete — operates on it. Terrains
+    /// uploaded here survive process restarts bit-identically.
+    pub fn catalog(mut self, dir: impl AsRef<std::path::Path>) -> std::io::Result<ServeBuilder> {
+        self.inner = self.inner.catalog_dir(dir)?;
+        Ok(self)
+    }
+
+    /// Largest accepted upload in raw payload bytes (≥ 1; default
+    /// 64 MiB). Declared sizes past the cap are rejected at
+    /// `UploadTerrain`; lying clients are cut off at the first chunk
+    /// that exceeds it.
+    pub fn max_upload_bytes(mut self, bytes: u64) -> ServeBuilder {
+        self.inner = self.inner.max_upload_bytes(bytes);
         self
     }
 

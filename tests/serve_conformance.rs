@@ -85,12 +85,9 @@ fn active_clients_stay_bit_identical_under_hundreds_of_idle_connections() {
     // park the *front half* of a valid request line (no newline) so
     // their shards carry per-connection read state the whole time. None
     // may ever be answered or dropped.
-    let parked_line = serde_json::to_string(&terrain_hsr::serve::Request {
-        id: 1,
-        terrain: "mono".into(),
-        view: views[0].clone(),
-    })
-    .unwrap();
+    let parked_line =
+        serde_json::to_string(&terrain_hsr::serve::Request::eval(1, "mono", views[0].clone()))
+            .unwrap();
     let (parked_front, parked_back) = parked_line.split_at(parked_line.len() / 2);
     let idle: Vec<std::net::TcpStream> = (0..512)
         .map(|i| {
