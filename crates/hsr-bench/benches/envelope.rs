@@ -53,11 +53,11 @@ fn bench_persistent_merge(c: &mut Criterion) {
     let mut g = c.benchmark_group("envelope/persistent_merge");
     for n in [1 << 10, 1 << 14] {
         let base = Envelope::from_pieces(&pseudo_pieces(n, 4));
-        let sigma = Envelope::from_pieces(&pseudo_pieces(n / 4, 5));
+        let sigma = Envelope::from_pieces(&pseudo_pieces(n / 4, 5)).to_pieces();
         let pe = PEnvelope::from_envelope(&base);
-        g.throughput(Throughput::Elements(sigma.size() as u64));
+        g.throughput(Throughput::Elements(sigma.len() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &(pe, sigma), |bench, (pe, sigma)| {
-            bench.iter(|| pe.merge(black_box(sigma.pieces())).env.size())
+            bench.iter(|| pe.merge(black_box(sigma)).env.size())
         });
     }
     g.finish();

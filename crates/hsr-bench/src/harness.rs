@@ -43,6 +43,14 @@ pub fn maybe_write_reports(name: &str, labelled: &[(String, Report)]) {
     if !std::env::args().any(|a| a == "--json") {
         return;
     }
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, reports_json(labelled)).expect("write bench json");
+    println!("(wrote {path})");
+}
+
+/// Serialises labelled reports as the JSON array [`maybe_write_reports`]
+/// writes, for binaries that embed it in a larger document.
+pub fn reports_json(labelled: &[(String, Report)]) -> String {
     let mut out = String::from("[");
     for (i, (label, report)) in labelled.iter().enumerate() {
         if i > 0 {
@@ -54,9 +62,7 @@ pub fn maybe_write_reports(name: &str, labelled: &[(String, Report)]) {
         out.push_str(&format!("{{\"label\":{key},\"report\":{body}}}"));
     }
     out.push(']');
-    let path = format!("BENCH_{name}.json");
-    std::fs::write(&path, out).expect("write bench json");
-    println!("(wrote {path})");
+    out
 }
 
 /// `log2(n)` as f64, safe for n >= 1.

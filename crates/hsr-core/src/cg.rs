@@ -66,7 +66,7 @@ impl HullTree {
     /// Builds the structure over a profile in `O(m log m)` (Lemma 3.3 +
     /// Lemma 3.4 augmentation).
     pub fn build(env: &Envelope) -> Option<HullTree> {
-        let pieces: Vec<Piece> = env.pieces().to_vec();
+        let pieces: Vec<Piece> = env.to_pieces();
         if pieces.is_empty() {
             return None;
         }
@@ -563,8 +563,8 @@ mod tests {
             let got = t.all_crossings(&s);
             // Brute force: relate against every piece.
             let mut expect = 0;
-            for p in env.pieces() {
-                if let Some(r) = relate_clipped(p, &s, s.x0, s.x1) {
+            for p in env.iter() {
+                if let Some(r) = relate_clipped(&p, &s, s.x0, s.x1) {
                     if matches!(r, Relation::CrossAtoB { .. } | Relation::CrossBtoA { .. }) {
                         expect += 1;
                     }

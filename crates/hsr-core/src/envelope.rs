@@ -4,13 +4,31 @@
 //! of a set of segments projected on the image plane — a piecewise-linear
 //! partial function of the abscissa, monotone as a polygonal chain. This
 //! module provides the static representation used by phase 1 of the
-//! algorithm: [`Envelope`] as a sorted vector of disjoint [`Piece`]s (gaps
-//! allowed), linear-time pairwise [`Envelope::merge`], and the
-//! divide-and-conquer [`Envelope::from_pieces`] construction of Lemma 3.1
-//! (`O(m log m)` work, `O(log² m)` depth, parallelised with rayon joins).
+//! algorithm: [`Envelope`] as a struct-of-arrays over sorted disjoint
+//! [`Piece`]s (gaps allowed), linear-time pairwise [`Envelope::merge`], and
+//! the divide-and-conquer [`Envelope::from_pieces`] construction of Lemma
+//! 3.1 (`O(m log m)` work, `O(log² m)` depth, parallelised with rayon
+//! joins).
+//!
+//! # Data layout
+//!
+//! An envelope stores its pieces **columnar**: `x0/x1/z0/z1/edge` live in
+//! parallel vectors, plus two derived columns `z_lo/z_hi` holding each
+//! piece's computed-evaluation bracket (see
+//! [`hsr_geometry::predicates::batch`]). The merge kernels sweep whole
+//! boundary runs over these columns — a two-pointer merge of the already
+//! sorted boundary streams replaces the per-merge `sort`, and piece-pair
+//! windows are classified in one batched, interval-filtered call instead
+//! of piece-at-a-time [`relate`] — while [`Piece`] remains the public
+//! element type via [`Envelope::piece`] / [`Envelope::iter`] /
+//! [`Envelope::to_pieces`]. Every verdict is bit-identical to the scalar
+//! path; the retained [`merge_pieces_legacy`] / [`from_pieces_legacy`]
+//! kernels are the differential reference for tests and `exp_hotpath`.
 
+use hsr_geometry::predicates::batch::{self, PairRelation};
 use hsr_geometry::Segment2;
 use hsr_pram::cost::{add_work, Category};
+use std::cmp::Ordering;
 
 /// One linear piece of an envelope: the graph of a linear function over
 /// `[x0, x1]`, contributed by terrain edge `edge`.
@@ -49,17 +67,11 @@ impl Piece {
         Some(Piece { x0: seg.a.x, x1: seg.b.x, z0: seg.a.y, z1: seg.b.y, edge })
     }
 
-    /// Value at `x` (exact at the stored endpoints).
+    /// Value at `x` (exact at the stored endpoints). Delegates to the
+    /// shared [`batch::eval_line`] so every layer evaluates identically.
     #[inline]
     pub fn eval(&self, x: f64) -> f64 {
-        if x <= self.x0 {
-            return self.z0;
-        }
-        if x >= self.x1 {
-            return self.z1;
-        }
-        let t = (x - self.x0) / (self.x1 - self.x0);
-        self.z0 + t * (self.z1 - self.z0)
+        batch::eval_line(self.x0, self.x1, self.z0, self.z1, x)
     }
 
     /// Slope of the supporting line.
@@ -96,6 +108,12 @@ impl Piece {
     #[inline]
     pub fn z_max(&self) -> f64 {
         self.z0.max(self.z1)
+    }
+
+    /// The piece as a prepared filter line (bracket precomputed).
+    #[inline]
+    fn as_line(&self) -> batch::Line {
+        batch::Line::new(self.x0, self.x1, self.z0, self.z1)
     }
 }
 
@@ -164,8 +182,24 @@ pub fn relate(a: &Piece, b: &Piece, u: f64, v: f64) -> Relation {
     }
 }
 
+/// Borrowed parallel column slices of an envelope — the raw
+/// struct-of-arrays view for batch kernels and diagnostics.
+#[derive(Clone, Copy, Debug)]
+pub struct Columns<'a> {
+    /// Left abscissas.
+    pub x0: &'a [f64],
+    /// Right abscissas.
+    pub x1: &'a [f64],
+    /// Ordinates at `x0`.
+    pub z0: &'a [f64],
+    /// Ordinates at `x1`.
+    pub z1: &'a [f64],
+    /// Terrain edge ids.
+    pub edge: &'a [u32],
+}
+
 /// An upper envelope: sorted pieces with pairwise-disjoint interiors
-/// (gaps allowed where no segment spans).
+/// (gaps allowed where no segment spans), stored as parallel columns.
 ///
 /// ```
 /// use hsr_core::envelope::{Envelope, Piece};
@@ -179,78 +213,177 @@ pub fn relate(a: &Piece, b: &Piece, u: f64, v: f64) -> Relation {
 /// assert_eq!(env.eval(0.5), Some(1.5)); // falling piece on top
 /// assert_eq!(env.eval(1.5), Some(1.5)); // rising piece on top
 /// assert_eq!(env.eval(5.0), None);      // outside: a gap
+/// assert_eq!(env.piece(0).edge, 1);     // element access stays piece-wise
 /// ```
 #[derive(Clone, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Envelope {
-    pieces: Vec<Piece>,
+    x0: Vec<f64>,
+    x1: Vec<f64>,
+    z0: Vec<f64>,
+    z1: Vec<f64>,
+    edge: Vec<u32>,
+    // Derived computed-evaluation brackets (batch filter input); never
+    // serialized — rebuilt from z0/z1 on construction.
+    z_lo: Vec<f64>,
+    z_hi: Vec<f64>,
 }
 
 impl Envelope {
     /// The empty envelope.
     pub fn new() -> Self {
-        Envelope { pieces: Vec::new() }
+        Envelope::default()
     }
 
     /// An envelope of a single piece.
     pub fn from_piece(p: Piece) -> Self {
-        Envelope { pieces: vec![p] }
+        let mut e = Envelope::default();
+        e.push_raw(p);
+        e
     }
 
-    /// Wraps a sorted, disjoint piece vector (debug-checked).
+    /// Wraps a sorted, disjoint piece sequence (debug-checked).
     pub fn from_sorted_pieces(pieces: Vec<Piece>) -> Self {
-        let e = Envelope { pieces };
+        let e = Self::from_piece_seq(&pieces);
         debug_assert!(e.check_invariants().is_ok(), "{:?}", e.check_invariants());
         e
     }
 
-    /// The pieces, sorted by abscissa.
+    /// Columnar copy of a piece slice, without invariant checks.
+    fn from_piece_seq(pieces: &[Piece]) -> Self {
+        let mut e = Envelope::default();
+        e.reserve(pieces.len());
+        for p in pieces {
+            e.push_raw(*p);
+        }
+        e
+    }
+
+    fn reserve(&mut self, n: usize) {
+        self.x0.reserve(n);
+        self.x1.reserve(n);
+        self.z0.reserve(n);
+        self.z1.reserve(n);
+        self.edge.reserve(n);
+        self.z_lo.reserve(n);
+        self.z_hi.reserve(n);
+    }
+
+    /// Appends a piece to every column, deriving its bracket.
+    fn push_raw(&mut self, p: Piece) {
+        let (lo, hi) = batch::computed_range(p.z0, p.z1);
+        self.x0.push(p.x0);
+        self.x1.push(p.x1);
+        self.z0.push(p.z0);
+        self.z1.push(p.z1);
+        self.edge.push(p.edge);
+        self.z_lo.push(lo);
+        self.z_hi.push(hi);
+    }
+
+    /// Appends with the builder coalescing rule: touching fragments of
+    /// one edge extend the previous piece instead of starting a new one.
+    fn push_coalesced(&mut self, c: Piece) {
+        if let Some(last) = self.size().checked_sub(1) {
+            if self.edge[last] == c.edge && self.x1[last] == c.x0 && self.z1[last] == c.z0 {
+                self.x1[last] = c.x1;
+                self.z1[last] = c.z1;
+                let (lo, hi) = batch::computed_range(self.z0[last], c.z1);
+                self.z_lo[last] = lo;
+                self.z_hi[last] = hi;
+                return;
+            }
+        }
+        self.push_raw(c);
+    }
+
+    /// Clips `p` to `[u, v]` and appends (coalescing), dropping empty clips.
+    fn push_clip(&mut self, p: &Piece, u: f64, v: f64) {
+        if let Some(c) = p.clip(u, v) {
+            self.push_coalesced(c);
+        }
+    }
+
+    /// The `i`-th piece, assembled from the columns.
     #[inline]
-    pub fn pieces(&self) -> &[Piece] {
-        &self.pieces
+    pub fn piece(&self, i: usize) -> Piece {
+        Piece {
+            x0: self.x0[i],
+            x1: self.x1[i],
+            z0: self.z0[i],
+            z1: self.z1[i],
+            edge: self.edge[i],
+        }
+    }
+
+    /// Iterates the pieces in abscissa order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Piece> + '_ {
+        (0..self.size()).map(move |i| self.piece(i))
+    }
+
+    /// The pieces as an owned vector (row-major copy of the columns).
+    pub fn to_pieces(&self) -> Vec<Piece> {
+        self.iter().collect()
+    }
+
+    /// The raw parallel column slices.
+    #[inline]
+    pub fn columns(&self) -> Columns<'_> {
+        Columns { x0: &self.x0, x1: &self.x1, z0: &self.z0, z1: &self.z1, edge: &self.edge }
+    }
+
+    /// The `i`-th piece as a prepared filter line (bracket from the
+    /// derived columns, no recomputation).
+    #[inline]
+    fn line(&self, i: usize) -> batch::Line {
+        batch::Line {
+            x0: self.x0[i],
+            x1: self.x1[i],
+            z0: self.z0[i],
+            z1: self.z1[i],
+            z_lo: self.z_lo[i],
+            z_hi: self.z_hi[i],
+        }
     }
 
     /// Number of pieces (the profile size `m` of the paper's lemmas).
     #[inline]
     pub fn size(&self) -> usize {
-        self.pieces.len()
+        self.x0.len()
     }
 
     /// True when the envelope has no pieces.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.pieces.is_empty()
+        self.x0.is_empty()
     }
 
     /// Envelope value at `x`, `None` over gaps.
     pub fn eval(&self, x: f64) -> Option<f64> {
-        let i = self.pieces.partition_point(|p| p.x1 < x);
-        let p = self.pieces.get(i)?;
-        (p.x0 <= x).then(|| p.eval(x))
+        let i = self.x1.partition_point(|&e| e < x);
+        if i >= self.size() {
+            return None;
+        }
+        (self.x0[i] <= x)
+            .then(|| batch::eval_line(self.x0[i], self.x1[i], self.z0[i], self.z1[i], x))
     }
 
     /// Builds the upper envelope of a set of pieces by parallel divide and
     /// conquer (Lemma 3.1).
+    ///
+    /// The recursion runs over plain piece slices (one scratch vector per
+    /// node) and columnarises exactly once at the root: intermediate
+    /// envelopes are tiny, so paying the multi-column allocation per node
+    /// would dominate the merge arithmetic.
     pub fn from_pieces(pieces: &[Piece]) -> Envelope {
-        match pieces.len() {
-            0 => Envelope::new(),
-            1 => Envelope::from_piece(pieces[0]),
-            n => {
-                let (l, r) = pieces.split_at(n / 2);
-                let (el, er) = if n > 256 {
-                    // Collector-propagating join: envelope-build work on
-                    // the stolen branch charges the spawning evaluation.
-                    hsr_pram::join(|| Envelope::from_pieces(l), || Envelope::from_pieces(r))
-                } else {
-                    (Envelope::from_pieces(l), Envelope::from_pieces(r))
-                };
-                Envelope::merge(&el, &er)
-            }
-        }
+        Envelope::from_sorted_pieces(from_pieces_rec(pieces))
     }
 
     /// Merges two envelopes into their pointwise maximum in linear time.
-    /// Ties go to `a`'s pieces.
+    /// Ties go to `a`'s pieces. Bit-identical to [`merge_pieces_legacy`]
+    /// for finite inputs, but columnar: the boundary sweep is a
+    /// two-pointer merge of the sorted boundary streams (no sort), and
+    /// all piece-pair windows go through one batched, interval-filtered
+    /// classification.
     pub fn merge(a: &Envelope, b: &Envelope) -> Envelope {
         if a.is_empty() {
             return b.clone();
@@ -260,112 +393,165 @@ impl Envelope {
         }
         add_work(Category::EnvelopeBuild, (a.size() + b.size()) as u64);
 
-        // Sweep over the union of piece boundaries.
-        let mut xs: Vec<f64> = Vec::with_capacity(2 * (a.size() + b.size()));
-        for p in a.pieces().iter().chain(b.pieces()) {
-            xs.push(p.x0);
-            xs.push(p.x1);
+        // Sweep over the union of piece boundaries. Each envelope's
+        // boundary stream x0[0], x1[0], x0[1], … is numerically
+        // non-decreasing (disjointness invariant), so a two-pointer merge
+        // with numeric dedup reproduces the legacy
+        // `sort_by(total_cmp) + dedup` exactly: within one numeric class
+        // only the zero signs can differ, and keeping the total_cmp-least
+        // representative is precisely what stable sort + first-of-run
+        // dedup kept.
+        let (na2, nb2) = (2 * a.size(), 2 * b.size());
+        let bnd_a = |k: usize| {
+            if k & 1 == 0 {
+                a.x0[k >> 1]
+            } else {
+                a.x1[k >> 1]
+            }
+        };
+        let bnd_b = |k: usize| {
+            if k & 1 == 0 {
+                b.x0[k >> 1]
+            } else {
+                b.x1[k >> 1]
+            }
+        };
+        let mut xs: Vec<f64> = Vec::with_capacity(na2 + nb2);
+        let (mut ka, mut kb) = (0usize, 0usize);
+        while ka < na2 || kb < nb2 {
+            let take_a = if ka == na2 {
+                false
+            } else if kb == nb2 {
+                true
+            } else {
+                bnd_a(ka).total_cmp(&bnd_b(kb)) != Ordering::Greater
+            };
+            let x = if take_a {
+                ka += 1;
+                bnd_a(ka - 1)
+            } else {
+                kb += 1;
+                bnd_b(kb - 1)
+            };
+            match xs.last_mut() {
+                Some(last) if *last == x => {
+                    if x.total_cmp(last) == Ordering::Less {
+                        *last = x;
+                    }
+                }
+                _ => xs.push(x),
+            }
         }
-        xs.sort_by(f64::total_cmp);
-        xs.dedup();
 
-        let mut out = EnvelopeBuilder::with_capacity(a.size() + b.size());
+        // Single pass: walk the windows, classifying each two-sided
+        // window through the interval filter and emitting clips
+        // immediately. The fast tier reads only the prepared `z_lo`/`z_hi`
+        // bracket columns.
+        let mut out = Envelope::default();
+        out.reserve(a.size() + b.size());
+        let mut stats = batch::FilterStats::default();
         let (mut i, mut j) = (0usize, 0usize);
         for w in xs.windows(2) {
             let (u, v) = (w[0], w[1]);
             if u >= v {
                 continue;
             }
-            while i < a.pieces.len() && a.pieces[i].x1 <= u {
+            while i < a.size() && a.x1[i] <= u {
                 i += 1;
             }
-            while j < b.pieces.len() && b.pieces[j].x1 <= u {
+            while j < b.size() && b.x1[j] <= u {
                 j += 1;
             }
-            let pa = a.pieces.get(i).filter(|p| p.x0 <= u && v <= p.x1);
-            let pb = b.pieces.get(j).filter(|p| p.x0 <= u && v <= p.x1);
+            let pa = i < a.size() && a.x0[i] <= u && v <= a.x1[i];
+            let pb = j < b.size() && b.x0[j] <= u && v <= b.x1[j];
             match (pa, pb) {
-                (None, None) => {}
-                (Some(p), None) | (None, Some(p)) => out.push_clip(p, u, v),
-                (Some(pa), Some(pb)) => match relate(pa, pb, u, v) {
-                    Relation::AAbove => out.push_clip(pa, u, v),
-                    Relation::BAbove => out.push_clip(pb, u, v),
-                    Relation::CrossAtoB { x, .. } => {
-                        out.push_clip(pa, u, x);
-                        out.push_clip(pb, x, v);
+                (false, false) => {}
+                (true, false) => out.push_clip(&a.piece(i), u, v),
+                (false, true) => out.push_clip(&b.piece(j), u, v),
+                (true, true) => match batch::classify(&a.line(i), &b.line(j), u, v, &mut stats) {
+                    PairRelation::AAbove => out.push_clip(&a.piece(i), u, v),
+                    PairRelation::BAbove => out.push_clip(&b.piece(j), u, v),
+                    PairRelation::CrossAtoB { x, .. } => {
+                        out.push_clip(&a.piece(i), u, x);
+                        out.push_clip(&b.piece(j), x, v);
                     }
-                    Relation::CrossBtoA { x, .. } => {
-                        out.push_clip(pb, u, x);
-                        out.push_clip(pa, x, v);
+                    PairRelation::CrossBtoA { x, .. } => {
+                        out.push_clip(&b.piece(j), u, x);
+                        out.push_clip(&a.piece(i), x, v);
                     }
                 },
             }
         }
-        Envelope { pieces: out.finish() }
+        add_work(Category::PredicateFilter, stats.filtered);
+        add_work(Category::PredicateExact, stats.exact + stats.scalar);
+        out
     }
 
     /// Splits piece `s` against this envelope: returns the sub-pieces of
     /// `s` strictly above the envelope (its *visible* parts when the
     /// envelope is the profile of everything in front) and the crossings.
-    /// Linear in the number of envelope pieces overlapping `s`'s span.
+    /// Linear in the number of envelope pieces overlapping `s`'s span;
+    /// each overlap window goes through the interval filter first.
     pub fn visible_parts(&self, s: &Piece) -> (Vec<Piece>, Vec<CrossEvent>) {
         let mut vis = EnvelopeBuilder::with_capacity(2);
         let mut crossings = Vec::new();
+        let ls = s.as_line();
+        let mut stats = batch::FilterStats::default();
         let mut x = s.x0;
-        let mut i = self.pieces.partition_point(|p| p.x1 <= s.x0);
+        let mut i = self.x1.partition_point(|&e| e <= s.x0);
         while x < s.x1 {
-            match self.pieces.get(i) {
-                Some(p) if p.x0 <= x => {
-                    // Overlap region [x, v].
-                    let v = p.x1.min(s.x1);
-                    if v > x {
-                        match relate(p, s, x, v) {
-                            Relation::AAbove => {}
-                            Relation::BAbove => vis.push_clip(s, x, v),
-                            Relation::CrossAtoB { x: cx, z } => {
-                                crossings.push(CrossEvent {
-                                    x: cx,
-                                    z,
-                                    upper_left: p.edge,
-                                    upper_right: s.edge,
-                                });
-                                vis.push_clip(s, cx, v);
-                            }
-                            Relation::CrossBtoA { x: cx, z } => {
-                                crossings.push(CrossEvent {
-                                    x: cx,
-                                    z,
-                                    upper_left: s.edge,
-                                    upper_right: p.edge,
-                                });
-                                vis.push_clip(s, x, cx);
-                            }
+            if i < self.size() && self.x0[i] <= x {
+                // Overlap region [x, v].
+                let p = self.piece(i);
+                let v = p.x1.min(s.x1);
+                if v > x {
+                    match batch::classify(&self.line(i), &ls, x, v, &mut stats) {
+                        PairRelation::AAbove => {}
+                        PairRelation::BAbove => vis.push_clip(s, x, v),
+                        PairRelation::CrossAtoB { x: cx, z } => {
+                            crossings.push(CrossEvent {
+                                x: cx,
+                                z,
+                                upper_left: p.edge,
+                                upper_right: s.edge,
+                            });
+                            vis.push_clip(s, cx, v);
+                        }
+                        PairRelation::CrossBtoA { x: cx, z } => {
+                            crossings.push(CrossEvent {
+                                x: cx,
+                                z,
+                                upper_left: s.edge,
+                                upper_right: p.edge,
+                            });
+                            vis.push_clip(s, x, cx);
                         }
                     }
-                    x = v;
-                    if p.x1 <= x {
-                        i += 1;
-                    }
                 }
-                Some(p) => {
-                    // Gap until the next piece starts: s is visible there.
-                    let v = p.x0.min(s.x1);
-                    vis.push_clip(s, x, v);
-                    x = v;
+                x = v;
+                if p.x1 <= x {
+                    i += 1;
                 }
-                None => {
-                    // Gap to the end.
-                    vis.push_clip(s, x, s.x1);
-                    x = s.x1;
-                }
+            } else if i < self.size() {
+                // Gap until the next piece starts: s is visible there.
+                let v = self.x0[i].min(s.x1);
+                vis.push_clip(s, x, v);
+                x = v;
+            } else {
+                // Gap to the end.
+                vis.push_clip(s, x, s.x1);
+                x = s.x1;
             }
         }
+        add_work(Category::PredicateFilter, stats.filtered);
+        add_work(Category::PredicateExact, stats.exact + stats.scalar);
         (vis.finish(), crossings)
     }
 
     /// Structural sanity check (used by tests and debug assertions).
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (i, p) in self.pieces.iter().enumerate() {
+        for i in 0..self.size() {
+            let p = self.piece(i);
             if p.x0 >= p.x1 || p.x0.is_nan() || p.x1.is_nan() {
                 return Err(format!("piece {i} degenerate: [{}, {}]", p.x0, p.x1));
             }
@@ -373,11 +559,14 @@ impl Envelope {
                 return Err(format!("piece {i} non-finite"));
             }
         }
-        for w in self.pieces.windows(2) {
-            if w[0].x1 > w[1].x0 {
+        for w in 1..self.size() {
+            if self.x1[w - 1] > self.x0[w] {
                 return Err(format!(
                     "pieces overlap: [{}, {}] then [{}, {}]",
-                    w[0].x0, w[0].x1, w[1].x0, w[1].x1
+                    self.x0[w - 1],
+                    self.x1[w - 1],
+                    self.x0[w],
+                    self.x1[w]
                 ));
             }
         }
@@ -386,7 +575,224 @@ impl Envelope {
 
     /// The abscissa range covered (hull of all pieces), `None` when empty.
     pub fn span(&self) -> Option<(f64, f64)> {
-        Some((self.pieces.first()?.x0, self.pieces.last()?.x1))
+        Some((*self.x0.first()?, *self.x1.last()?))
+    }
+}
+
+/// The pre-columnar pairwise merge, kept verbatim as the differential
+/// reference: `exp_hotpath` and the proptests assert the columnar
+/// [`Envelope::merge`] reproduces its output piece sequence bit-for-bit.
+pub fn merge_pieces_legacy(a: &[Piece], b: &[Piece]) -> Vec<Piece> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    add_work(Category::EnvelopeBuild, (a.len() + b.len()) as u64);
+
+    // Sweep over the union of piece boundaries.
+    let mut xs: Vec<f64> = Vec::with_capacity(2 * (a.len() + b.len()));
+    for p in a.iter().chain(b) {
+        xs.push(p.x0);
+        xs.push(p.x1);
+    }
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+
+    let mut out = EnvelopeBuilder::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    for w in xs.windows(2) {
+        let (u, v) = (w[0], w[1]);
+        if u >= v {
+            continue;
+        }
+        while i < a.len() && a[i].x1 <= u {
+            i += 1;
+        }
+        while j < b.len() && b[j].x1 <= u {
+            j += 1;
+        }
+        let pa = a.get(i).filter(|p| p.x0 <= u && v <= p.x1);
+        let pb = b.get(j).filter(|p| p.x0 <= u && v <= p.x1);
+        match (pa, pb) {
+            (None, None) => {}
+            (Some(p), None) | (None, Some(p)) => out.push_clip(p, u, v),
+            (Some(pa), Some(pb)) => match relate(pa, pb, u, v) {
+                Relation::AAbove => out.push_clip(pa, u, v),
+                Relation::BAbove => out.push_clip(pb, u, v),
+                Relation::CrossAtoB { x, .. } => {
+                    out.push_clip(pa, u, x);
+                    out.push_clip(pb, x, v);
+                }
+                Relation::CrossBtoA { x, .. } => {
+                    out.push_clip(pb, u, x);
+                    out.push_clip(pa, x, v);
+                }
+            },
+        }
+    }
+    out.finish()
+}
+
+/// The pre-columnar divide-and-conquer build (same recursion shape as
+/// [`Envelope::from_pieces`], scalar kernels throughout) — the
+/// differential reference for the columnar path.
+pub fn from_pieces_legacy(pieces: &[Piece]) -> Vec<Piece> {
+    match pieces.len() {
+        0 => Vec::new(),
+        1 => vec![pieces[0]],
+        n => {
+            let (l, r) = pieces.split_at(n / 2);
+            let (el, er) = if n > 256 {
+                hsr_pram::join(|| from_pieces_legacy(l), || from_pieces_legacy(r))
+            } else {
+                (from_pieces_legacy(l), from_pieces_legacy(r))
+            };
+            merge_pieces_legacy(&el, &er)
+        }
+    }
+}
+
+/// The divide-and-conquer recursion behind [`Envelope::from_pieces`]:
+/// identical tree shape to [`from_pieces_legacy`], data-oriented merge
+/// kernel ([`merge_slices`]) at every node.
+fn from_pieces_rec(pieces: &[Piece]) -> Vec<Piece> {
+    match pieces.len() {
+        0 => Vec::new(),
+        1 => vec![pieces[0]],
+        n => {
+            let (l, r) = pieces.split_at(n / 2);
+            let (el, er) = if n > 256 {
+                // Collector-propagating join: envelope-build work on the
+                // stolen branch charges the spawning evaluation.
+                hsr_pram::join(|| from_pieces_rec(l), || from_pieces_rec(r))
+            } else {
+                (from_pieces_rec(l), from_pieces_rec(r))
+            };
+            merge_slices(&el, &er)
+        }
+    }
+}
+
+/// Slice-level pairwise merge with the data-oriented kernels: boundary
+/// union by two-pointer merge (no sort), windows classified through the
+/// interval filter. Bit-identical to [`merge_pieces_legacy`]; used by the
+/// build recursion and the PCT phase-1 tree, where allocating column
+/// storage per (tiny, transient) intermediate node would cost more than
+/// the merge itself.
+pub(crate) fn merge_slices(a: &[Piece], b: &[Piece]) -> Vec<Piece> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    add_work(Category::EnvelopeBuild, (a.len() + b.len()) as u64);
+
+    // Boundary streams x0[0], x1[0], x0[1], … are numerically
+    // non-decreasing (disjointness invariant), so a two-pointer merge with
+    // numeric dedup reproduces the legacy `sort_by(total_cmp) + dedup`:
+    // within one numeric class only zero signs differ, and keeping the
+    // total_cmp-least representative is what stable sort + first-of-run
+    // dedup kept.
+    let bnd = |s: &[Piece], k: usize| {
+        if k & 1 == 0 {
+            s[k >> 1].x0
+        } else {
+            s[k >> 1].x1
+        }
+    };
+    let (na2, nb2) = (2 * a.len(), 2 * b.len());
+    let mut xs: Vec<f64> = Vec::with_capacity(na2 + nb2);
+    let (mut ka, mut kb) = (0usize, 0usize);
+    while ka < na2 || kb < nb2 {
+        let take_a = if ka == na2 {
+            false
+        } else if kb == nb2 {
+            true
+        } else {
+            bnd(a, ka).total_cmp(&bnd(b, kb)) != Ordering::Greater
+        };
+        let x = if take_a {
+            ka += 1;
+            bnd(a, ka - 1)
+        } else {
+            kb += 1;
+            bnd(b, kb - 1)
+        };
+        match xs.last_mut() {
+            Some(last) if *last == x => {
+                if x.total_cmp(last) == Ordering::Less {
+                    *last = x;
+                }
+            }
+            _ => xs.push(x),
+        }
+    }
+
+    let mut out = EnvelopeBuilder::with_capacity(a.len() + b.len());
+    let mut stats = batch::FilterStats::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    for w in xs.windows(2) {
+        let (u, v) = (w[0], w[1]);
+        if u >= v {
+            continue;
+        }
+        while i < a.len() && a[i].x1 <= u {
+            i += 1;
+        }
+        while j < b.len() && b[j].x1 <= u {
+            j += 1;
+        }
+        let pa = a.get(i).filter(|p| p.x0 <= u && v <= p.x1);
+        let pb = b.get(j).filter(|p| p.x0 <= u && v <= p.x1);
+        match (pa, pb) {
+            (None, None) => {}
+            (Some(p), None) | (None, Some(p)) => out.push_clip(p, u, v),
+            (Some(pa), Some(pb)) => {
+                match batch::classify(&pa.as_line(), &pb.as_line(), u, v, &mut stats) {
+                    PairRelation::AAbove => out.push_clip(pa, u, v),
+                    PairRelation::BAbove => out.push_clip(pb, u, v),
+                    PairRelation::CrossAtoB { x, .. } => {
+                        out.push_clip(pa, u, x);
+                        out.push_clip(pb, x, v);
+                    }
+                    PairRelation::CrossBtoA { x, .. } => {
+                        out.push_clip(pb, u, x);
+                        out.push_clip(pa, x, v);
+                    }
+                }
+            }
+        }
+    }
+    add_work(Category::PredicateFilter, stats.filtered);
+    add_work(Category::PredicateExact, stats.exact + stats.scalar);
+    out.finish()
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    //! Wire compatibility: the columnar refactor must not change the
+    //! serialized shape, so envelopes still read/write `{"pieces":[…]}`
+    //! (the derived bracket columns are rebuilt on deserialization).
+    use super::{Envelope, Piece};
+
+    #[derive(serde::Serialize, serde::Deserialize)]
+    struct EnvelopeWire {
+        pieces: Vec<Piece>,
+    }
+
+    impl serde::Serialize for Envelope {
+        fn serialize(&self, s: &mut serde::ser::Serializer) {
+            EnvelopeWire { pieces: self.to_pieces() }.serialize(s);
+        }
+    }
+
+    impl serde::Deserialize for Envelope {
+        fn deserialize(d: &mut serde::de::Deserializer<'_>) -> Result<Self, serde::de::Error> {
+            Ok(Envelope::from_piece_seq(&EnvelopeWire::deserialize(d)?.pieces))
+        }
     }
 }
 
@@ -472,8 +878,8 @@ mod tests {
         assert_eq!(m.eval(0.0), Some(2.0));
         assert_eq!(m.eval(2.0), Some(2.0));
         assert_eq!(m.eval(1.0), Some(1.0));
-        assert_eq!(m.pieces()[0].edge, 1);
-        assert_eq!(m.pieces()[1].edge, 0);
+        assert_eq!(m.piece(0).edge, 1);
+        assert_eq!(m.piece(1).edge, 0);
         m.check_invariants().unwrap();
     }
 
@@ -496,27 +902,32 @@ mod tests {
         let b = Envelope::from_piece(piece(0.0, 1.0, 2.0, 1.0, 1));
         let m = Envelope::merge(&a, &b);
         assert_eq!(m.size(), 1);
-        assert_eq!(m.pieces()[0].edge, 0);
+        assert_eq!(m.piece(0).edge, 0);
     }
 
-    #[test]
-    fn from_pieces_matches_bruteforce() {
-        // Pseudo-random pieces; envelope must equal pointwise max at many
-        // sample abscissae.
+    fn pseudo_random_pieces(n: u32, seed: u64) -> Vec<Piece> {
         let mut pieces = Vec::new();
-        let mut state = 12345u64;
+        let mut state = seed;
         let mut next = || {
             state = state
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
-        for e in 0..60u32 {
+        for e in 0..n {
             let x0 = next() * 90.0;
             let w = next() * 10.0 + 0.5;
             let (z0, z1) = (next() * 20.0, next() * 20.0);
             pieces.push(piece(x0, z0, x0 + w, z1, e));
         }
+        pieces
+    }
+
+    #[test]
+    fn from_pieces_matches_bruteforce() {
+        // Pseudo-random pieces; envelope must equal pointwise max at many
+        // sample abscissae.
+        let pieces = pseudo_random_pieces(60, 12345);
         let env = Envelope::from_pieces(&pieces);
         env.check_invariants().unwrap();
         for s in 0..1000 {
@@ -533,6 +944,39 @@ mod tests {
                     "mismatch at x={x}: brute={expect}, env={got}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn columnar_build_matches_legacy_bit_for_bit() {
+        for seed in [1u64, 7, 12345, 0xdead_beef] {
+            let pieces = pseudo_random_pieces(120, seed);
+            let legacy = from_pieces_legacy(&pieces);
+            let cols = Envelope::from_pieces(&pieces);
+            assert_eq!(cols.size(), legacy.len(), "seed {seed}: size differs");
+            for (i, (c, l)) in cols.iter().zip(&legacy).enumerate() {
+                assert_eq!(c.edge, l.edge, "seed {seed} piece {i}");
+                for (cv, lv) in [(c.x0, l.x0), (c.x1, l.x1), (c.z0, l.z0), (c.z1, l.z1)] {
+                    assert_eq!(cv.to_bits(), lv.to_bits(), "seed {seed} piece {i}: {cv} vs {lv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_merge_keeps_negative_zero_representative() {
+        // Legacy sort+dedup kept -0.0 as the representative of the zero
+        // class; the two-pointer merge must too, or clip endpoints change
+        // bit patterns.
+        let a = vec![piece(-1.0, 1.0, -0.0, 1.0, 0), piece(0.0, 1.0, 2.0, 1.0, 0)];
+        let b = vec![piece(-0.5, 0.5, 1.5, 0.5, 1)];
+        let legacy = merge_pieces_legacy(&a, &b);
+        let cols =
+            Envelope::merge(&Envelope::from_sorted_pieces(a.clone()), &Envelope::from_pieces(&b));
+        assert_eq!(cols.size(), legacy.len());
+        for (c, l) in cols.iter().zip(&legacy) {
+            assert_eq!(c.x0.to_bits(), l.x0.to_bits());
+            assert_eq!(c.x1.to_bits(), l.x1.to_bits());
         }
     }
 
@@ -603,5 +1047,20 @@ mod tests {
         let (vis, cross) = env.visible_parts(&s);
         assert!(vis.is_empty());
         assert!(cross.is_empty());
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_wire_shape_is_unchanged() {
+        let env = Envelope::from_sorted_pieces(vec![piece(0.0, 1.0, 2.0, 3.0, 7)]);
+        let json = serde_json::to_string(&env).unwrap();
+        assert!(
+            json.starts_with("{\"pieces\":["),
+            "columnar refactor changed the wire shape: {json}"
+        );
+        let back: Envelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.size(), 1);
+        let p = back.piece(0);
+        assert_eq!((p.x0, p.x1, p.z0, p.z1, p.edge), (0.0, 2.0, 1.0, 3.0, 7));
     }
 }

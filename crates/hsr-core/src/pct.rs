@@ -21,7 +21,7 @@
 //! rebuild-per-layer ACG ablation).
 
 use crate::edges::SceneEdge;
-use crate::envelope::{Envelope, Piece};
+use crate::envelope::{merge_slices, Envelope, Piece};
 use crate::ptenv::{MergeStats, PEnvelope};
 use crate::visibility::VisibilityMap;
 use hsr_pram::cost::{add_work, record_depth, Category};
@@ -82,8 +82,14 @@ pub struct Pct {
     nodes: Vec<Node>,
     /// Node ids grouped by layer, layer 0 = root.
     layers: Vec<Vec<u32>>,
-    /// Phase-1 intermediate profile per node.
-    phase1: Vec<Envelope>,
+    /// Phase-1 intermediate profile per node, stored as a sorted disjoint
+    /// piece run: these profiles are small, transient merge inputs, so
+    /// row-major runs beat per-node column storage (the columnar
+    /// [`Envelope`] is built exactly once, for the root).
+    phase1: Vec<Vec<Piece>>,
+    /// The root profile, columnarised for query-heavy consumers
+    /// ([`Pct::root_profile`], the silhouette layer).
+    root: Envelope,
 }
 
 impl Pct {
@@ -120,19 +126,19 @@ impl Pct {
         record_depth(Category::EnvelopeBuild, layers.len() as u64);
 
         // Phase 1: bottom-up envelope computation, parallel within a layer.
-        let mut phase1: Vec<Envelope> = vec![Envelope::new(); nodes.len()];
+        let mut phase1: Vec<Vec<Piece>> = vec![Vec::new(); nodes.len()];
         for layer in layers.iter().rev() {
-            let computed: Vec<(u32, Envelope)> = layer
+            let computed: Vec<(u32, Vec<Piece>)> = layer
                 .par_iter()
                 .map(|&id| {
                     let node = nodes[id as usize];
                     let env = if node.is_leaf() {
                         match edges[node.lo as usize].piece() {
-                            Some(p) => Envelope::from_piece(p),
-                            None => Envelope::new(), // vertical projection
+                            Some(p) => vec![p],
+                            None => Vec::new(), // vertical projection
                         }
                     } else {
-                        Envelope::merge(&phase1[node.left as usize], &phase1[node.right as usize])
+                        merge_slices(&phase1[node.left as usize], &phase1[node.right as usize])
                     };
                     (id, env)
                 })
@@ -141,7 +147,8 @@ impl Pct {
                 phase1[id as usize] = env;
             }
         }
-        Pct { edges, nodes, layers, phase1 }
+        let root = Envelope::from_sorted_pieces(phase1[0].clone());
+        Pct { edges, nodes, layers, phase1, root }
     }
 
     /// The ordered scene edges.
@@ -157,7 +164,7 @@ impl Pct {
     /// The intermediate profile of the root (the profile of the whole
     /// scene — its silhouette).
     pub fn root_profile(&self) -> &Envelope {
-        &self.phase1[0]
+        &self.root
     }
 
     /// Sizes of the phase-1 envelopes per layer (Figure 1 statistics).
@@ -167,7 +174,7 @@ impl Pct {
             .map(|layer| {
                 layer
                     .iter()
-                    .map(|&id| self.phase1[id as usize].size() as u64)
+                    .map(|&id| self.phase1[id as usize].len() as u64)
                     .sum()
             })
             .collect()
@@ -209,7 +216,7 @@ impl Pct {
                         let edge = &self.edges[node.lo as usize];
                         match edge.piece() {
                             Some(p) => {
-                                let out = prefix.merge(&[p]);
+                                let out = prefix.classify_one(p);
                                 (None, None, out.inserted, out.crossings, None, out.stats, 0)
                             }
                             None => {
@@ -231,7 +238,7 @@ impl Pct {
                         }
                     } else {
                         let sigma = &self.phase1[node.left as usize];
-                        let out = prefix.merge(sigma.pieces());
+                        let out = prefix.merge(sigma);
                         let crossings = out.crossings.len() as u64;
                         (
                             Some((node.left, prefix.clone())),
@@ -280,7 +287,7 @@ impl Pct {
                         if node.is_leaf() {
                             1
                         } else {
-                            self.phase1[node.left as usize].size() as u64
+                            self.phase1[node.left as usize].len() as u64
                         }
                     })
                     .sum();
@@ -336,8 +343,9 @@ impl Pct {
                         }
                     } else {
                         let sigma = &self.phase1[node.left as usize];
-                        add_work(Category::EnvelopeMerge, (prefix.size() + sigma.size()) as u64);
-                        let merged = Envelope::merge(prefix, sigma);
+                        add_work(Category::EnvelopeMerge, (prefix.size() + sigma.len()) as u64);
+                        let merged =
+                            Envelope::from_sorted_pieces(merge_slices(&prefix.to_pieces(), sigma));
                         (
                             Some((node.left, prefix.clone())),
                             Some((node.right, merged)),

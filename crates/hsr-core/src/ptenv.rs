@@ -21,7 +21,7 @@
 use crate::envelope::{relate, CrossEvent, Envelope, EnvelopeBuilder, Piece, Relation};
 use hsr_geometry::TotalF64;
 use hsr_pram::cost::{add_work, Category};
-use hsr_pstruct::{Aggregate, PTreap};
+use hsr_pstruct::{det_prio, Aggregate, PTreap};
 
 /// Subtree aggregate of a piece treap: extent, ordinate range, and whether
 /// the subtree's pieces tile their extent without interior gaps.
@@ -104,6 +104,18 @@ pub struct MergeOutcome {
     pub stats: MergeStats,
 }
 
+/// Result of a read-only classification of one piece against a profile —
+/// everything [`PEnvelope::merge_one`] reports except the merged profile
+/// version itself.
+pub struct ClassifyOutcome {
+    /// Interior crossings discovered (vertices of the visible image).
+    pub crossings: Vec<CrossEvent>,
+    /// The portions of the piece that surfaced (visible pieces).
+    pub inserted: Vec<Piece>,
+    /// Merge counters.
+    pub stats: MergeStats,
+}
+
 /// A persistent upper envelope (prefix profile). Cloning is `O(1)` and the
 /// clone shares all structure.
 #[derive(Clone, Default)]
@@ -119,8 +131,7 @@ impl PEnvelope {
 
     /// Builds from a static envelope in `O(m)`.
     pub fn from_envelope(e: &Envelope) -> Self {
-        let items: Vec<(TotalF64, Piece)> =
-            e.pieces().iter().map(|p| (TotalF64(p.x0), *p)).collect();
+        let items: Vec<(TotalF64, Piece)> = e.iter().map(|p| (TotalF64(p.x0), p)).collect();
         PEnvelope { t: Tree::from_sorted(items) }
     }
 
@@ -162,9 +173,12 @@ impl PEnvelope {
         if let Some((_, p)) = l.last() {
             let p = *p;
             if p.x1 > x {
-                l = l.remove(&TotalF64(p.x0));
-                if let Some(pl) = p.clip(p.x0, x) {
-                    l = l.insert(TotalF64(pl.x0), pl);
+                // The left part keeps the straddler's key (`p.x0`), so a
+                // single insert replaces it in place — no separate remove
+                // pass. `clip(p.x0, x)` is non-empty since p straddles x.
+                match p.clip(p.x0, x) {
+                    Some(pl) => l = l.insert(TotalF64(pl.x0), pl),
+                    None => l = l.remove(&TotalF64(p.x0)),
                 }
                 if let Some(pr) = p.clip(x, p.x1) {
                     r = r.insert(TotalF64(pr.x0), pr);
@@ -174,11 +188,12 @@ impl PEnvelope {
         (PEnvelope { t: l }, PEnvelope { t: r })
     }
 
-    /// Merges the pieces of an intermediate profile (sorted, disjoint) into
-    /// this prefix profile, returning the new version plus the crossings
-    /// and surfaced pieces. `self` is untouched (persistence).
+    /// Merges an intermediate profile (a sorted, disjoint piece run —
+    /// the form PCT phase 1 stores) into this prefix profile, returning
+    /// the new version plus the crossings and surfaced pieces. `self` is
+    /// untouched (persistence).
     pub fn merge(&self, sigma: &[Piece]) -> MergeOutcome {
-        let (t, crossings, inserted_raw, stats) = rec(self.t.clone(), sigma);
+        let (t, crossings, inserted_raw, stats) = rec(self.t.clone(), sigma, 0, sigma.len());
         add_work(Category::EnvelopeMerge, stats.visits + sigma.len() as u64);
         add_work(Category::Crossings, crossings.len() as u64);
         // Coalesce surfaced fragments of the same edge.
@@ -188,29 +203,249 @@ impl PEnvelope {
         }
         MergeOutcome { env: PEnvelope { t }, crossings, inserted: b.finish(), stats }
     }
+
+    /// Merges a single piece — the leaf case of phase 2, without building
+    /// a one-piece envelope first.
+    pub fn merge_one(&self, s: Piece) -> MergeOutcome {
+        let mut stats = MergeStats::default();
+        let mut crossings = Vec::new();
+        let mut inserted_raw = Vec::new();
+        let t = merge_piece(self.t.clone(), s, &mut crossings, &mut inserted_raw, &mut stats);
+        add_work(Category::EnvelopeMerge, stats.visits + 1);
+        add_work(Category::Crossings, crossings.len() as u64);
+        let mut b = EnvelopeBuilder::with_capacity(inserted_raw.len());
+        for p in inserted_raw {
+            b.push(p);
+        }
+        MergeOutcome { env: PEnvelope { t }, crossings, inserted: b.finish(), stats }
+    }
+
+    /// Classifies a single piece against the profile *without producing a
+    /// new profile version* — the leaf case of phase 2, where the merged
+    /// treap is discarded and only the surfaced pieces and crossings are
+    /// consumed.
+    ///
+    /// Bit-identical to [`PEnvelope::merge_one`]'s `inserted`/`crossings`:
+    /// the same boundary cuts `split_clip` would apply are applied to the
+    /// overlapping pieces, and the overlay recursion is mirrored on the
+    /// resulting sorted run. Because priorities are deterministic, the
+    /// treap shape over any key set is the unique (BST + heap) shape, so
+    /// the shape — and with it the exact clip cascade applied to `s` on
+    /// the way down — is recoverable from the run by recursive
+    /// maximum-priority selection. No treap node is copied or allocated.
+    pub fn classify_one(&self, s: Piece) -> ClassifyOutcome {
+        let mut stats = MergeStats::default();
+        let mut crossings = Vec::new();
+        let mut inserted_raw = Vec::new();
+
+        // The pieces the two `split_clip`s would leave in the middle tree:
+        // keys in [s.x0, s.x1), the left straddler cut at s.x0 first, then
+        // the (possibly same) right straddler cut at s.x1 — same clip
+        // order, hence the same endpoint arithmetic.
+        let mut mid: Vec<Piece> = Vec::new();
+        if let Some(p) = floor_strict(&self.t, TotalF64(s.x0)) {
+            if p.x1 > s.x0 {
+                if let Some(pr) = p.clip(s.x0, p.x1) {
+                    mid.push(pr);
+                }
+            }
+        }
+        collect_range(&self.t, TotalF64(s.x0), TotalF64(s.x1), &mut mid);
+        if let Some(last) = mid.last_mut() {
+            if last.x1 > s.x1 {
+                match last.clip(last.x0, s.x1) {
+                    Some(ql) => *last = ql,
+                    None => {
+                        mid.pop();
+                    }
+                }
+            }
+        }
+        let prios: Vec<u64> = mid.iter().map(|p| det_prio(&TotalF64(p.x0))).collect();
+
+        ghost_overlay(&mid, &prios, 0, mid.len(), s, &mut crossings, &mut inserted_raw, &mut stats);
+
+        add_work(Category::EnvelopeMerge, stats.visits + 1);
+        add_work(Category::Crossings, crossings.len() as u64);
+        let mut b = EnvelopeBuilder::with_capacity(inserted_raw.len());
+        for p in inserted_raw {
+            b.push(p);
+        }
+        ClassifyOutcome { crossings, inserted: b.finish(), stats }
+    }
 }
 
-/// Fan-out over sigma with treap splitting; parallel above a cutoff.
-fn rec(t: Tree, sigma: &[Piece]) -> (Tree, Vec<CrossEvent>, Vec<Piece>, MergeStats) {
-    match sigma.len() {
+/// Largest piece keyed strictly below `key` (the left-straddler candidate).
+fn floor_strict(t: &Tree, key: TotalF64) -> Option<Piece> {
+    let mut cur = t.root();
+    let mut best = None;
+    while let Some(n) = cur {
+        if *n.key() < key {
+            best = Some(*n.value());
+            cur = n.right().root();
+        } else {
+            cur = n.left().root();
+        }
+    }
+    best
+}
+
+/// In-order pieces keyed in `[lo, hi)`.
+fn collect_range(t: &Tree, lo: TotalF64, hi: TotalF64, out: &mut Vec<Piece>) {
+    let Some(n) = t.root() else {
+        return;
+    };
+    let k = *n.key();
+    if lo < k {
+        collect_range(&n.left(), lo, hi, out);
+    }
+    if lo <= k && k < hi {
+        out.push(*n.value());
+    }
+    if k < hi {
+        collect_range(&n.right(), lo, hi, out);
+    }
+}
+
+/// Read-only mirror of [`overlay`] on the sorted run `pieces[lo..hi]`,
+/// whose canonical treap root is the (leftmost) maximum-priority index.
+/// Pushes the same `ins`/`cross` sequence and counts the same stats, but
+/// builds nothing.
+#[allow(clippy::too_many_arguments)]
+fn ghost_overlay(
+    pieces: &[Piece],
+    prios: &[u64],
+    lo: usize,
+    hi: usize,
+    s: Piece,
+    cross: &mut Vec<CrossEvent>,
+    ins: &mut Vec<Piece>,
+    stats: &mut MergeStats,
+) {
+    if s.width() <= 0.0 {
+        return;
+    }
+    stats.visits += 1;
+    if lo == hi {
+        ins.push(s);
+        return;
+    }
+    // The aggregate the real subtree would carry. Pieces are disjoint and
+    // sorted, so extent is the range's outer corners; min/max are exact
+    // and order-independent.
+    let (x_min, x_max) = (pieces[lo].x0, pieces[hi - 1].x1);
+    let mut z_min = f64::INFINITY;
+    let mut z_max = f64::NEG_INFINITY;
+    let mut covered = true;
+    for i in lo..hi {
+        let p = &pieces[i];
+        z_min = z_min.min(p.z_min());
+        z_max = z_max.max(p.z_max());
+        if i > lo && pieces[i - 1].x1 != p.x0 {
+            covered = false;
+        }
+    }
+    let s_lo = s.eval(x_min);
+    let s_hi = s.eval(x_max);
+    let (s_min, s_max) = (s_lo.min(s_hi), s_lo.max(s_hi));
+
+    if covered && z_min >= s_max {
+        stats.subtrees_shared += 1;
+        if let Some(lg) = s.clip(s.x0, x_min) {
+            ins.push(lg);
+        }
+        if let Some(rg) = s.clip(x_max, s.x1) {
+            ins.push(rg);
+        }
+        return;
+    }
+
+    if s_min > z_max {
+        stats.subtrees_dropped += 1;
+        stats.pieces_buried += (hi - lo) as u64;
+        ins.push(s);
+        return;
+    }
+
+    let mut root = lo;
+    for i in lo + 1..hi {
+        if prios[i] > prios[root] {
+            root = i;
+        }
+    }
+    let r = pieces[root];
+    if let Some(sl) = s.clip(s.x0, r.x0) {
+        ghost_overlay(pieces, prios, lo, root, sl, cross, ins, stats);
+    }
+    ghost_pair(r, s.clip(r.x0, r.x1), cross, ins, stats);
+    if let Some(sr) = s.clip(r.x1, s.x1) {
+        ghost_overlay(pieces, prios, root + 1, hi, sr, cross, ins, stats);
+    }
+}
+
+/// Read-only mirror of [`piece_pair`]: same `ins`/`cross` pushes, no tree.
+fn ghost_pair(
+    r: Piece,
+    s_m: Option<Piece>,
+    cross: &mut Vec<CrossEvent>,
+    ins: &mut Vec<Piece>,
+    stats: &mut MergeStats,
+) {
+    let Some(s) = s_m else {
+        return;
+    };
+    stats.pairs += 1;
+    let (u, v) = (s.x0, s.x1);
+    match relate(&r, &s, u, v) {
+        Relation::AAbove => {}
+        Relation::BAbove => {
+            if r.clip(r.x0, u).is_none() {
+                stats.pieces_buried += 1;
+            }
+            ins.push(s);
+        }
+        Relation::CrossAtoB { x, z } => {
+            cross.push(CrossEvent { x, z, upper_left: r.edge, upper_right: s.edge });
+            if let Some(sv) = s.clip(x, v) {
+                ins.push(sv);
+            }
+        }
+        Relation::CrossBtoA { x, z } => {
+            cross.push(CrossEvent { x, z, upper_left: s.edge, upper_right: r.edge });
+            if let Some(su) = s.clip(u, x) {
+                ins.push(su);
+            }
+        }
+    }
+}
+
+/// Fan-out over the sigma range `[lo, hi)` with treap splitting; parallel
+/// above a cutoff.
+fn rec(
+    t: Tree,
+    sigma: &[Piece],
+    lo: usize,
+    hi: usize,
+) -> (Tree, Vec<CrossEvent>, Vec<Piece>, MergeStats) {
+    match hi - lo {
         0 => (t, Vec::new(), Vec::new(), MergeStats::default()),
         1 => {
             let mut stats = MergeStats::default();
             let mut cross = Vec::new();
             let mut ins = Vec::new();
-            let t = merge_piece(t, sigma[0], &mut cross, &mut ins, &mut stats);
+            let t = merge_piece(t, sigma[lo], &mut cross, &mut ins, &mut stats);
             (t, cross, ins, stats)
         }
         n => {
-            let mid = n / 2;
+            let mid = lo + n / 2;
             let xs = sigma[mid].x0;
             let (pe_l, pe_r) = PEnvelope { t }.split_clip(xs);
             let ((tl, mut cl, mut il, mut sl), (tr, cr, ir, sr)) = if n >= 64 {
                 // Collector-propagating join (merge work and treap copies
                 // on the stolen branch must charge this evaluation).
-                hsr_pram::join(|| rec(pe_l.t, &sigma[..mid]), || rec(pe_r.t, &sigma[mid..]))
+                hsr_pram::join(|| rec(pe_l.t, sigma, lo, mid), || rec(pe_r.t, sigma, mid, hi))
             } else {
-                (rec(pe_l.t, &sigma[..mid]), rec(pe_r.t, &sigma[mid..]))
+                (rec(pe_l.t, sigma, lo, mid), rec(pe_r.t, sigma, mid, hi))
             };
             cl.extend(cr);
             il.extend(ir);
@@ -229,9 +464,26 @@ fn merge_piece(
     ins: &mut Vec<Piece>,
     stats: &mut MergeStats,
 ) -> Tree {
+    // The fan-out in `rec` has usually already clipped the treap to s's
+    // span, making one or both flanking splits no-ops that would still
+    // path-copy the whole spine. The subtree aggregate detects that in
+    // O(1); skipping the split leaves the same (key, priority) content,
+    // so the canonical treap shape — and every verdict — is unchanged.
+    let (x_min, x_max) = match t.root() {
+        Some(r) => (r.agg().x_min, r.agg().x_max),
+        None => return overlay(t, s, cross, ins, stats),
+    };
     let pe = PEnvelope { t };
-    let (before, rest) = pe.split_clip(s.x0);
-    let (mid, after) = rest.split_clip(s.x1);
+    let (before, rest) = if x_min >= s.x0 {
+        (PEnvelope::new(), pe)
+    } else {
+        pe.split_clip(s.x0)
+    };
+    let (mid, after) = if x_max <= s.x1 {
+        (rest, PEnvelope::new())
+    } else {
+        rest.split_clip(s.x1)
+    };
     let mid = overlay(mid.t, s, cross, ins, stats);
     before.t.join_with(&mid).join_with(&after.t)
 }
@@ -467,7 +719,7 @@ mod tests {
             let expect = Envelope::merge(&ea, &eb);
 
             let pe = PEnvelope::from_envelope(&ea);
-            let got = pe.merge(eb.pieces());
+            let got = pe.merge(&eb.to_pieces());
             envelopes_agree(&got.env.to_envelope(), &expect);
             // Persistence: the original is untouched.
             envelopes_agree(&pe.to_envelope(), &ea);
@@ -479,8 +731,11 @@ mod tests {
         // Flat profile at z=1; a tent pokes above it in the middle.
         let base = Envelope::from_piece(piece(0.0, 1.0, 10.0, 1.0, 0));
         let pe = PEnvelope::from_envelope(&base);
-        let tent = [piece(4.0, 0.0, 6.0, 4.0, 7), piece(6.0, 4.0, 8.0, 0.0, 8)];
-        let out = pe.merge(&tent);
+        let tent = Envelope::from_sorted_pieces(vec![
+            piece(4.0, 0.0, 6.0, 4.0, 7),
+            piece(6.0, 4.0, 8.0, 0.0, 8),
+        ]);
+        let out = pe.merge(&tent.to_pieces());
         assert_eq!(out.crossings.len(), 2);
         assert_eq!(out.inserted.len(), 2);
         let e = out.env.to_envelope();
@@ -493,14 +748,13 @@ mod tests {
         let base = Envelope::from_pieces(&pseudo_pieces(64, 9));
         // Shift up to guarantee domination.
         let raised: Vec<Piece> = base
-            .pieces()
             .iter()
             .map(|p| piece(p.x0, p.z0 + 100.0, p.x1, p.z1 + 100.0, p.edge))
             .collect();
         let high = Envelope::from_sorted_pieces(raised);
         let pe = PEnvelope::from_envelope(&high);
-        let low = [piece(20.0, 0.5, 60.0, 0.7, 999)];
-        let out = pe.merge(&low);
+        let low = Envelope::from_piece(piece(20.0, 0.5, 60.0, 0.7, 999));
+        let out = pe.merge(&low.to_pieces());
         assert!(out.crossings.is_empty());
         // Either fully buried or surfacing only in gaps of the profile.
         for p in &out.inserted {
@@ -517,12 +771,44 @@ mod tests {
     }
 
     #[test]
+    fn classify_one_matches_merge_one_bitwise() {
+        for seed in [1u64, 5, 11, 23] {
+            let base = Envelope::from_pieces(&pseudo_pieces(80, seed));
+            let pe = PEnvelope::from_envelope(&base);
+            for s in pseudo_pieces(40, seed + 900) {
+                let s = Piece { edge: s.edge + 10_000, ..s };
+                let a = pe.merge_one(s);
+                let b = pe.classify_one(s);
+                assert_eq!(a.inserted.len(), b.inserted.len(), "seed {seed} piece {s:?}");
+                for (x, y) in a.inserted.iter().zip(&b.inserted) {
+                    assert_eq!(
+                        (x.x0.to_bits(), x.x1.to_bits(), x.z0.to_bits(), x.z1.to_bits(), x.edge),
+                        (y.x0.to_bits(), y.x1.to_bits(), y.z0.to_bits(), y.z1.to_bits(), y.edge),
+                    );
+                }
+                assert_eq!(a.crossings.len(), b.crossings.len());
+                for (x, y) in a.crossings.iter().zip(&b.crossings) {
+                    assert_eq!(
+                        (x.x.to_bits(), x.z.to_bits(), x.upper_left, x.upper_right),
+                        (y.x.to_bits(), y.z.to_bits(), y.upper_left, y.upper_right),
+                    );
+                }
+                assert_eq!(a.stats.visits, b.stats.visits);
+                assert_eq!(a.stats.pairs, b.stats.pairs);
+                assert_eq!(a.stats.subtrees_shared, b.stats.subtrees_shared);
+                assert_eq!(a.stats.subtrees_dropped, b.stats.subtrees_dropped);
+                assert_eq!(a.stats.pieces_buried, b.stats.pieces_buried);
+            }
+        }
+    }
+
+    #[test]
     fn dominating_merge_drops_subtrees() {
         let base = Envelope::from_pieces(&pseudo_pieces(64, 21));
         let pe = PEnvelope::from_envelope(&base);
         let (lo, hi) = base.span().unwrap();
-        let cover = [piece(lo - 1.0, 500.0, hi + 1.0, 500.0, 777)];
-        let out = pe.merge(&cover);
+        let cover = Envelope::from_piece(piece(lo - 1.0, 500.0, hi + 1.0, 500.0, 777));
+        let out = pe.merge(&cover.to_pieces());
         assert_eq!(out.env.size(), 1);
         assert!(out.stats.subtrees_dropped + out.stats.pieces_buried > 0);
         assert_eq!(out.env.eval(0.5 * (lo + hi)), Some(500.0));

@@ -2,8 +2,11 @@
 //! (paper §2, "In the sequential algorithm, the edges are processed one by
 //! one sequentially in order").
 //!
-//! The profile is a mutable ordered map of envelope pieces. For each edge
-//! in front-to-back order, the pieces overlapping its span are walked, the
+//! The profile is a mutable ordered map of envelope pieces — an
+//! [`ArenaTreap`], since this working set never exploits persistence:
+//! nodes live in one contiguous arena, splices mutate in place, and
+//! removed slots are recycled instead of path-copied. For each edge in
+//! front-to-back order, the pieces overlapping its span are walked, the
 //! visible sub-intervals and crossings are extracted, and the profile is
 //! spliced. The cost per edge is `O(log m + overlapped + changed)` — the
 //! practical analogue of the `O((n + k) log² n)` bound the paper's Remark
@@ -14,12 +17,12 @@ use crate::envelope::{relate, CrossEvent, Envelope, EnvelopeBuilder, Piece, Rela
 use crate::visibility::VisibilityMap;
 use hsr_geometry::TotalF64;
 use hsr_pram::cost::{add_work, record_depth, Category};
-use std::collections::BTreeMap;
+use hsr_pstruct::ArenaTreap;
 
 /// Runs the sequential algorithm over edges already in front-to-back
 /// order; returns the visible image.
 pub fn run_sequential(edges: &[SceneEdge]) -> VisibilityMap {
-    let mut profile: BTreeMap<TotalF64, Piece> = BTreeMap::new();
+    let mut profile: ArenaTreap<TotalF64, Piece> = ArenaTreap::new();
     let mut vis = VisibilityMap { n_edges: edges.len(), ..Default::default() };
     record_depth(Category::EnvelopeMerge, edges.len() as u64);
 
@@ -43,27 +46,26 @@ pub fn run_sequential(edges: &[SceneEdge]) -> VisibilityMap {
     vis
 }
 
-fn eval(profile: &BTreeMap<TotalF64, Piece>, x: f64) -> Option<f64> {
-    let (_, p) = profile.range(..=TotalF64(x)).next_back()?;
+fn eval(profile: &ArenaTreap<TotalF64, Piece>, x: f64) -> Option<f64> {
+    let (_, p) = profile.floor(&TotalF64(x))?;
     (x <= p.x1).then(|| p.eval(x))
 }
 
 /// Splices piece `s` into the profile; returns the surfaced (visible)
 /// sub-pieces of `s` and the crossings found.
-fn insert_edge(profile: &mut BTreeMap<TotalF64, Piece>, s: Piece) -> (Vec<Piece>, Vec<CrossEvent>) {
+fn insert_edge(
+    profile: &mut ArenaTreap<TotalF64, Piece>,
+    s: Piece,
+) -> (Vec<Piece>, Vec<CrossEvent>) {
     // Collect the pieces overlapping [s.x0, s.x1] (including a straddler
     // that starts before s.x0).
     let mut affected: Vec<Piece> = Vec::new();
-    if let Some((_, p)) = profile.range(..TotalF64(s.x0)).next_back() {
+    if let Some((_, p)) = profile.floor_strict(&TotalF64(s.x0)) {
         if p.x1 > s.x0 {
             affected.push(*p);
         }
     }
-    affected.extend(
-        profile
-            .range(TotalF64(s.x0)..TotalF64(s.x1))
-            .map(|(_, p)| *p),
-    );
+    profile.for_range(&TotalF64(s.x0), &TotalF64(s.x1), &mut |_, p| affected.push(*p));
     add_work(Category::EnvelopeMerge, 1 + affected.len() as u64);
 
     // Rebuild the affected span: visible parts of s plus surviving parts
@@ -125,9 +127,14 @@ fn insert_edge(profile: &mut BTreeMap<TotalF64, Piece>, s: Piece) -> (Vec<Piece>
         push_s(&mut out, &mut vis, x, s.x1);
     }
 
-    // Splice: remove the affected pieces, insert the rebuilt ones.
-    for p in &affected {
-        profile.remove(&TotalF64(p.x0));
+    // Splice: remove the affected pieces (the in-span run in one
+    // split/join, plus the straddler key sitting before the span), insert
+    // the rebuilt ones.
+    profile.remove_range(&TotalF64(s.x0), &TotalF64(s.x1));
+    if let Some(p) = affected.first() {
+        if p.x0 < s.x0 {
+            profile.remove(&TotalF64(p.x0));
+        }
     }
     for p in out.finish() {
         profile.insert(TotalF64(p.x0), p);
@@ -137,13 +144,13 @@ fn insert_edge(profile: &mut BTreeMap<TotalF64, Piece>, s: Piece) -> (Vec<Piece>
 
 /// Materialises the final profile (for tests).
 pub fn final_profile(edges: &[SceneEdge]) -> Envelope {
-    let mut profile: BTreeMap<TotalF64, Piece> = BTreeMap::new();
+    let mut profile: ArenaTreap<TotalF64, Piece> = ArenaTreap::new();
     for edge in edges {
         if let Some(s) = edge.piece() {
             insert_edge(&mut profile, s);
         }
     }
-    Envelope::from_sorted_pieces(profile.into_values().collect())
+    Envelope::from_sorted_pieces(profile.into_values())
 }
 
 #[cfg(test)]

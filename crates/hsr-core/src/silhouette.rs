@@ -52,7 +52,7 @@ impl Silhouette {
     /// The ridgeline as a polyline: the vertices of the silhouette.
     pub fn ridgeline(&self) -> Vec<Point2> {
         let mut out = Vec::with_capacity(self.env.size() + 1);
-        for p in self.env.pieces() {
+        for p in self.env.iter() {
             let a = Point2::new(p.x0, p.z0);
             if out.last() != Some(&a) {
                 out.push(a);

@@ -20,6 +20,7 @@
 use crate::edges::SceneEdge;
 use crate::envelope::Piece;
 use hsr_geometry::{Point3, TotalF64};
+use hsr_pstruct::ArenaTreap;
 use hsr_terrain::Tin;
 use std::collections::BTreeMap;
 
@@ -37,6 +38,12 @@ pub enum Verdict {
 ///
 /// `order` is the front-to-back edge order (from [`crate::order`]);
 /// `edges` the projected scene edges indexed by edge id.
+///
+/// Data-oriented: the `O(Q·n)` rank scan runs over flat per-edge
+/// coefficient columns (no vertex-index chasing per query), and the
+/// profile sweep splices an [`ArenaTreap`] in place. Both changes are
+/// layout-only — every coefficient is computed by the same subtractions
+/// as [`classify_points_legacy`], so verdicts are bit-identical.
 pub fn classify_points(
     tin: &Tin,
     edges: &[SceneEdge],
@@ -47,24 +54,37 @@ pub fn classify_points(
     // crossing at the query's ordinate lies strictly in front (larger
     // ground x). Edges not crossing the ordinate are irrelevant at that
     // ordinate, so any consistent position among them is fine.
+    //
+    // Columnar precompute: per order entry, the ordinate window and the
+    // crossing-line coefficients. `dy`/`dx` hold the very differences the
+    // scalar code formed inside the loop, so `t` and `x_cross` below are
+    // the identical computations.
     let verts = tin.vertices();
-    let ground = |e: u32| {
+    let n = order.len();
+    let (mut ylo, mut yhi) = (vec![0.0f64; n], vec![0.0f64; n]);
+    let (mut pay, mut dy) = (vec![0.0f64; n], vec![0.0f64; n]);
+    let (mut pax, mut dx) = (vec![0.0f64; n], vec![0.0f64; n]);
+    for (k, &e) in order.iter().enumerate() {
         let [a, b] = tin.edges()[e as usize];
-        (verts[a as usize], verts[b as usize])
-    };
+        let (pa, pb) = (verts[a as usize], verts[b as usize]);
+        ylo[k] = pa.y.min(pb.y);
+        yhi[k] = pa.y.max(pb.y);
+        pay[k] = pa.y;
+        dy[k] = pb.y - pa.y;
+        pax[k] = pa.x;
+        dx[k] = pb.x - pa.x;
+    }
     // For each query, find its insertion rank: after the last in-front
     // crossing edge.
     let mut insertions: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (qi, q) in queries.iter().enumerate() {
         let mut last_front = 0usize;
-        for (pos, &e) in order.iter().enumerate() {
-            let (pa, pb) = ground(e);
-            let (ylo, yhi) = (pa.y.min(pb.y), pa.y.max(pb.y));
-            if !(ylo < q.y && q.y < yhi) {
+        for pos in 0..n {
+            if !(ylo[pos] < q.y && q.y < yhi[pos]) {
                 continue;
             }
-            let t = (q.y - pa.y) / (pb.y - pa.y);
-            let x_cross = pa.x + t * (pb.x - pa.x);
+            let t = (q.y - pay[pos]) / dy[pos];
+            let x_cross = pax[pos] + t * dx[pos];
             if x_cross > q.x {
                 last_front = pos + 1;
             }
@@ -73,13 +93,13 @@ pub fn classify_points(
     }
 
     // One sequential profile sweep with queries answered at their depth.
-    let mut profile: BTreeMap<TotalF64, Piece> = BTreeMap::new();
+    let mut profile: ArenaTreap<TotalF64, Piece> = ArenaTreap::new();
     let mut verdicts = vec![Verdict::Visible; queries.len()];
-    let eval = |profile: &BTreeMap<TotalF64, Piece>, x: f64| -> Option<f64> {
-        let (_, p) = profile.range(..=TotalF64(x)).next_back()?;
+    let eval = |profile: &ArenaTreap<TotalF64, Piece>, x: f64| -> Option<f64> {
+        let (_, p) = profile.floor(&TotalF64(x))?;
         (x <= p.x1).then(|| p.eval(x))
     };
-    let mut answer = |profile: &BTreeMap<TotalF64, Piece>, qi: usize| {
+    let mut answer = |profile: &ArenaTreap<TotalF64, Piece>, qi: usize| {
         let q = queries[qi];
         let img_x = q.y; // image abscissa = world y
         let img_z = q.z;
@@ -106,9 +126,137 @@ pub fn classify_points(
     verdicts
 }
 
+/// The pre-columnar classification (vertex chasing per query, `BTreeMap`
+/// profile), kept verbatim as the differential reference: `exp_hotpath`
+/// asserts [`classify_points`] returns identical verdicts.
+pub fn classify_points_legacy(
+    tin: &Tin,
+    edges: &[SceneEdge],
+    order: &[u32],
+    queries: &[Point3],
+) -> Vec<Verdict> {
+    let verts = tin.vertices();
+    let ground = |e: u32| {
+        let [a, b] = tin.edges()[e as usize];
+        (verts[a as usize], verts[b as usize])
+    };
+    let mut insertions: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (qi, q) in queries.iter().enumerate() {
+        let mut last_front = 0usize;
+        for (pos, &e) in order.iter().enumerate() {
+            let (pa, pb) = ground(e);
+            let (ylo, yhi) = (pa.y.min(pb.y), pa.y.max(pb.y));
+            if !(ylo < q.y && q.y < yhi) {
+                continue;
+            }
+            let t = (q.y - pa.y) / (pb.y - pa.y);
+            let x_cross = pa.x + t * (pb.x - pa.x);
+            if x_cross > q.x {
+                last_front = pos + 1;
+            }
+        }
+        insertions.entry(last_front).or_default().push(qi);
+    }
+
+    let mut profile: BTreeMap<TotalF64, Piece> = BTreeMap::new();
+    let mut verdicts = vec![Verdict::Visible; queries.len()];
+    let eval = |profile: &BTreeMap<TotalF64, Piece>, x: f64| -> Option<f64> {
+        let (_, p) = profile.range(..=TotalF64(x)).next_back()?;
+        (x <= p.x1).then(|| p.eval(x))
+    };
+    let mut answer = |profile: &BTreeMap<TotalF64, Piece>, qi: usize| {
+        let q = queries[qi];
+        let img_x = q.y;
+        let img_z = q.z;
+        verdicts[qi] = match eval(profile, img_x) {
+            Some(env) if env >= img_z => Verdict::Hidden,
+            _ => Verdict::Visible,
+        };
+    };
+    if let Some(qs) = insertions.get(&0) {
+        for &qi in qs {
+            answer(&profile, qi);
+        }
+    }
+    for (pos, &e) in order.iter().enumerate() {
+        if let Some(piece) = edges[e as usize].piece() {
+            splice_legacy(&mut profile, piece);
+        }
+        if let Some(qs) = insertions.get(&(pos + 1)) {
+            for &qi in qs {
+                answer(&profile, qi);
+            }
+        }
+    }
+    verdicts
+}
+
 /// Minimal envelope splice (pointwise max) used by the sweep; mirrors the
 /// sequential algorithm's update but without visibility bookkeeping.
-fn splice(profile: &mut BTreeMap<TotalF64, Piece>, s: Piece) {
+fn splice(profile: &mut ArenaTreap<TotalF64, Piece>, s: Piece) {
+    use crate::envelope::{relate, Relation};
+    let mut affected: Vec<Piece> = Vec::new();
+    if let Some((_, p)) = profile.floor_strict(&TotalF64(s.x0)) {
+        if p.x1 > s.x0 {
+            affected.push(*p);
+        }
+    }
+    profile.for_range(&TotalF64(s.x0), &TotalF64(s.x1), &mut |_, p| affected.push(*p));
+
+    let mut out: Vec<Piece> = Vec::with_capacity(affected.len() + 2);
+    let mut push = |p: Option<Piece>| {
+        if let Some(p) = p {
+            if p.width() > 0.0 {
+                out.push(p);
+            }
+        }
+    };
+    let mut x = s.x0;
+    for p in &affected {
+        if p.x0 < s.x0 {
+            push(p.clip(p.x0, s.x0));
+        }
+        if p.x0 > x {
+            push(s.clip(x, p.x0));
+            x = p.x0;
+        }
+        let v = p.x1.min(s.x1);
+        if v > x {
+            match relate(p, &s, x, v) {
+                Relation::AAbove => push(p.clip(x, v)),
+                Relation::BAbove => push(s.clip(x, v)),
+                Relation::CrossAtoB { x: cx, .. } => {
+                    push(p.clip(x, cx));
+                    push(s.clip(cx, v));
+                }
+                Relation::CrossBtoA { x: cx, .. } => {
+                    push(s.clip(x, cx));
+                    push(p.clip(cx, v));
+                }
+            }
+            x = v;
+        }
+        if p.x1 > s.x1 {
+            push(p.clip(s.x1, p.x1));
+        }
+    }
+    if x < s.x1 {
+        push(s.clip(x, s.x1));
+    }
+    profile.remove_range(&TotalF64(s.x0), &TotalF64(s.x1));
+    if let Some(p) = affected.first() {
+        if p.x0 < s.x0 {
+            profile.remove(&TotalF64(p.x0));
+        }
+    }
+    for p in out {
+        profile.insert(TotalF64(p.x0), p);
+    }
+}
+
+/// The `BTreeMap` splice used by [`classify_points_legacy`]; identical
+/// piece arithmetic to [`splice`], differing only in the container.
+fn splice_legacy(profile: &mut BTreeMap<TotalF64, Piece>, s: Piece) {
     use crate::envelope::{relate, Relation};
     let mut affected: Vec<Piece> = Vec::new();
     if let Some((_, p)) = profile.range(..TotalF64(s.x0)).next_back() {
@@ -265,5 +413,28 @@ mod tests {
         let tin = gen::fbm(6, 6, 2, 4.0, 1).to_tin().unwrap();
         let (edges, order) = setup(&tin);
         assert!(classify_points(&tin, &edges, &order, &[]).is_empty());
+    }
+
+    #[test]
+    fn columnar_matches_legacy_verdicts() {
+        for seed in [1u64, 9, 42] {
+            let tin = gen::fbm(10, 10, 3, 9.0, seed).to_tin().unwrap();
+            let (edges, order) = setup(&tin);
+            let (lo, hi) = tin.ground_bounds();
+            let (zlo, zhi) = tin.height_range();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xc0ff_ee00);
+            let queries: Vec<Point3> = std::iter::repeat_with(|| {
+                Point3::new(
+                    rng.random_range(lo.x..hi.x),
+                    rng.random_range(lo.y..hi.y),
+                    rng.random_range(zlo - 1.0..zhi + 3.0),
+                )
+            })
+            .take(300)
+            .collect();
+            let fast = classify_points(&tin, &edges, &order, &queries);
+            let slow = classify_points_legacy(&tin, &edges, &order, &queries);
+            assert_eq!(fast, slow, "verdict drift at seed {seed}");
+        }
     }
 }

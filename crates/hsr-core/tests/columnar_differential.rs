@@ -1,0 +1,83 @@
+//! Differential property tests for the data-oriented envelope kernels:
+//! the columnar merge/build paths must reproduce the legacy scalar
+//! kernels **bit for bit** — exact `f64::to_bits` equality on every
+//! coordinate, not epsilon closeness. The interval filter and the exact
+//! endpoint tier are only admissible because they never change a verdict,
+//! and these tests are the standing proof.
+
+use hsr_core::envelope::{from_pieces_legacy, merge_pieces_legacy, Envelope, Piece};
+use proptest::prelude::*;
+
+/// Random pieces with unique edge ids (the `Piece::edge` contract).
+fn arb_pieces(max: usize) -> impl Strategy<Value = Vec<Piece>> {
+    prop::collection::vec((-50.0f64..150.0, 1e-3f64..40.0, -30.0f64..30.0, -30.0f64..30.0), 1..max)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (x0, w, z0, z1))| Piece { x0, x1: x0 + w, z0, z1, edge: i as u32 })
+                .collect()
+        })
+}
+
+fn assert_bit_identical(got: &[Piece], want: &[Piece], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: piece count");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.edge, w.edge, "{what}: edge id at piece {i}");
+        for (gc, wc, name) in [
+            (g.x0, w.x0, "x0"),
+            (g.x1, w.x1, "x1"),
+            (g.z0, w.z0, "z0"),
+            (g.z1, w.z1, "z1"),
+        ] {
+            assert_eq!(gc.to_bits(), wc.to_bits(), "{what}: {name} at piece {i}: {gc} vs {wc}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn columnar_build_is_bit_identical_to_legacy(pieces in arb_pieces(96)) {
+        let legacy = from_pieces_legacy(&pieces);
+        let columnar = Envelope::from_pieces(&pieces).to_pieces();
+        assert_bit_identical(&columnar, &legacy, "from_pieces");
+    }
+
+    #[test]
+    fn columnar_merge_is_bit_identical_to_legacy(
+        a in arb_pieces(64),
+        b in arb_pieces(64),
+    ) {
+        // Distinct id spaces for the two operands.
+        let b: Vec<Piece> = b
+            .into_iter()
+            .map(|mut p| {
+                p.edge += 100_000;
+                p
+            })
+            .collect();
+        let ea = Envelope::from_pieces(&a);
+        let eb = Envelope::from_pieces(&b);
+        let legacy = merge_pieces_legacy(&ea.to_pieces(), &eb.to_pieces());
+        let columnar = Envelope::merge(&ea, &eb).to_pieces();
+        assert_bit_identical(&columnar, &legacy, "merge");
+    }
+
+    #[test]
+    fn negative_zero_boundaries_survive_round_trips(pieces in arb_pieces(32)) {
+        // Shift a prefix of boundaries onto ±0.0 so the dedup-representative
+        // rule is exercised, then compare paths again.
+        let mut ps = pieces;
+        for (i, p) in ps.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                let w = p.x1 - p.x0;
+                p.x0 = if i % 2 == 0 { -0.0 } else { 0.0 };
+                p.x1 = p.x0 + w;
+            }
+        }
+        let legacy = from_pieces_legacy(&ps);
+        let columnar = Envelope::from_pieces(&ps).to_pieces();
+        assert_bit_identical(&columnar, &legacy, "neg-zero build");
+    }
+}

@@ -24,10 +24,24 @@ impl Interval {
         self.hi - self.lo
     }
 
-    /// True for zero-width intervals.
+    /// True when the interval contains no point at all, i.e. the bounds
+    /// are out of order (possible only when the debug-build check in
+    /// [`Interval::new`] was compiled out or bypassed).
+    ///
+    /// A zero-width interval `[x, x]` is **not** empty: `new(x, x)` is
+    /// legal, `contains(x)` holds, and [`Interval::intersect`] promises
+    /// that touching intervals yield a zero-width intersection rather
+    /// than `None`. Use [`Interval::is_degenerate`] to test for zero
+    /// width.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.lo >= self.hi
+        self.lo > self.hi
+    }
+
+    /// True for zero-width (single-point) intervals.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.lo == self.hi
     }
 
     /// True if `x` lies in the closed interval.
@@ -75,8 +89,35 @@ mod tests {
         let a = Interval::new(0.0, 1.0);
         let b = Interval::new(1.0, 2.0);
         let i = a.intersect(&b).unwrap();
-        assert!(i.is_empty());
+        assert!(i.is_degenerate());
+        assert!(!i.is_empty(), "a zero-width interval is a point, not the empty set");
         assert!(!a.overlaps_interior(&b));
+    }
+
+    #[test]
+    fn degenerate_interval_is_a_point() {
+        let p = Interval::new(2.5, 2.5);
+        assert!(!p.is_empty());
+        assert!(p.is_degenerate());
+        assert!(p.contains(2.5));
+        assert!(!p.contains(2.5 + f64::EPSILON * 8.0));
+        assert_eq!(p.len(), 0.0);
+        // Intersecting a point with an interval containing it returns the
+        // point itself.
+        let a = Interval::new(0.0, 5.0);
+        assert_eq!(a.intersect(&p), Some(p));
+        assert_eq!(a.hull(&p), a);
+        assert!(!a.overlaps_interior(&p));
+    }
+
+    #[test]
+    fn degenerate_endpoints_stay_consistent() {
+        // Touching at a shared endpoint from either side.
+        let a = Interval::new(-1.0, 0.0);
+        let b = Interval::new(0.0, 0.0);
+        let i = a.intersect(&b).unwrap();
+        assert!(i.is_degenerate() && !i.is_empty());
+        assert!(i.contains(0.0));
     }
 
     #[test]

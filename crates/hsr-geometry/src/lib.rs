@@ -9,6 +9,11 @@
 //! * [`predicates`] — robust orientation (`orient2d`) and in-circle
 //!   (`incircle`) predicates with a fast floating-point filter and an exact
 //!   expansion fallback.
+//! * [`predicates::batch`] — interval-filtered classification of *runs* of
+//!   linear piece pairs for the envelope hot path: a computed-value bracket
+//!   filter settles the common case in two subtractions, exact expansion
+//!   signs decide endpoint-aligned windows, and everything else takes the
+//!   scalar reference path — always returning bit-identical relations.
 //! * [`point`] / [`segment`] — plain `f64` geometric types for the image
 //!   plane and for 3-D terrain vertices.
 //! * [`interval`] — closed 1-D interval helpers used by envelope code.

@@ -11,6 +11,9 @@ use crate::expansion::Expansion;
 use crate::point::{Point2, Point3};
 use std::cmp::Ordering;
 
+#[path = "batch.rs"]
+pub mod batch;
+
 /// Relative orientation of an ordered point triple.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Orientation {

@@ -78,10 +78,25 @@ pub enum Category {
     TinBuild,
     /// Everything else.
     Other,
+    // New categories append at the end: the `repr` discriminant indexes
+    // serialized counter arrays, so existing indices must stay stable.
+    /// Arena-treap slot writes (allocations and cross-epoch copies of the
+    /// non-persistent, index-linked treap representation). Kept separate
+    /// from [`Category::TreapOps`] so the experiments can attribute cost
+    /// to the `Arc` path-copying representation vs. the arena one.
+    TreapArena,
+    /// Piece-pair relations settled by the interval filter alone (the
+    /// batched-predicate fast path; one unit per filtered pair). The
+    /// fast-path hit rate is `PredicateFilter / (PredicateFilter +
+    /// PredicateExact)`.
+    PredicateFilter,
+    /// Piece-pair relations where the interval filter was inconclusive
+    /// and the exact (expansion-sign or scalar) fallback ran.
+    PredicateExact,
 }
 
 /// Number of categories (length of the counter arrays).
-pub const N_CATEGORIES: usize = 10;
+pub const N_CATEGORIES: usize = 13;
 
 /// All categories in `repr` order.
 pub const ALL_CATEGORIES: [Category; N_CATEGORIES] = [
@@ -95,6 +110,9 @@ pub const ALL_CATEGORIES: [Category; N_CATEGORIES] = [
     Category::Primitive,
     Category::TinBuild,
     Category::Other,
+    Category::TreapArena,
+    Category::PredicateFilter,
+    Category::PredicateExact,
 ];
 
 /// The atomic counter arrays of one collector, plus the parent link that

@@ -11,6 +11,13 @@
 //!   aggregates** used by the pruned envelope merge in `hsr-core`. Every
 //!   path-copied node charges `Category::TreapOps` in the `hsr-pram` cost
 //!   model (a no-op unless the caller installed a `CostCollector`).
+//! * [`arena::ArenaTreap`] — the mutable, arena-backed sibling for
+//!   single-version working sets (phase-1 builds, profile sweeps): nodes in
+//!   a contiguous `Vec` addressed by `u32` indices, in-place mutation, a
+//!   free list, and epoch-based version tagging so snapshots can still pin
+//!   old versions via copy-on-write. Slot writes charge
+//!   `Category::TreapArena`, keeping the two representations separable in
+//!   cost reports.
 //! * [`stats`] — version-sharing statistics: how many distinct nodes back a
 //!   set of versions vs. the sum of their logical sizes (the quantity
 //!   Figure 3 of the paper illustrates).
@@ -18,8 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod ptreap;
 pub mod stats;
 
-pub use ptreap::{Aggregate, CountAgg, NoAgg, NodeHandle, PTreap};
+pub use arena::{ArenaTreap, Snapshot};
+pub use ptreap::{det_prio, Aggregate, CountAgg, NoAgg, NodeHandle, PTreap};
 pub use stats::SharingStats;

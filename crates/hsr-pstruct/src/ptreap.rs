@@ -70,7 +70,13 @@ struct Node<K, V, A> {
 type Link<K, V, A> = Option<Arc<Node<K, V, A>>>;
 
 /// Deterministic FNV-1a based priority with a splitmix64 finaliser.
-fn det_prio<K: Hash>(key: &K) -> u64 {
+///
+/// Shared with the arena representation ([`crate::arena::ArenaTreap`]) so
+/// both treaps give the *same key set the same canonical shape*. Public so
+/// read-only mirrors of treap recursions (e.g. the allocation-free leaf
+/// classification in `hsr-core`) can reproduce that canonical shape from a
+/// sorted key run without building nodes.
+pub fn det_prio<K: Hash>(key: &K) -> u64 {
     struct Fnv1a(u64);
     impl Hasher for Fnv1a {
         #[inline]
@@ -230,8 +236,13 @@ where
             left: Option<usize>,
             right: Option<usize>,
         }
-        if items.is_empty() {
-            return Self::new();
+        // Tiny inputs (the per-pair rebuilds in hsr-core's persistent
+        // merge) skip the spine machinery: repeated insert produces the
+        // same canonical shape with a handful of node allocations.
+        if items.len() <= 3 {
+            return items
+                .into_iter()
+                .fold(Self::new(), |t, (k, v)| t.insert(k, v));
         }
         debug_assert!(
             items.windows(2).all(|w| w[0].0 < w[1].0),
@@ -379,18 +390,19 @@ where
 
     /// Returns a version with `key` mapped to `value` (replacing any
     /// previous mapping).
+    ///
+    /// Single descent with path copying: the new node takes the first
+    /// position where its priority dominates, splitting only the subtree
+    /// below that point — far fewer node copies than the classic
+    /// split/split/join/join formulation, same canonical shape.
     pub fn insert(&self, key: K, value: V) -> Self {
-        let (lt, geq) = split(&self.root, &key, false);
-        let (_eq, gt) = split(&geq, &key, true);
-        let mid = Some(mk_node(key, value, None, None));
-        PTreap { root: join(&join(&lt, &mid), &gt) }
+        let prio = det_prio(&key);
+        PTreap { root: ins(&self.root, key, value, prio) }
     }
 
-    /// Returns a version without `key`.
+    /// Returns a version without `key` (single descent, path copying).
     pub fn remove(&self, key: &K) -> Self {
-        let (lt, geq) = split(&self.root, key, false);
-        let (_eq, gt) = split(&geq, key, true);
-        PTreap { root: join(&lt, &gt) }
+        PTreap { root: rem(&self.root, key) }
     }
 
     /// Splits into `(keys <= key, keys > key)` when `inclusive`, else
@@ -482,6 +494,67 @@ where
     // the paper charges to `TreapOps`. No-op unless a collector is active.
     add_work(Category::TreapOps, 1);
     Arc::new(Node { key, value, prio, size, agg, left, right })
+}
+
+fn ins<K, V, A>(link: &Link<K, V, A>, key: K, value: V, prio: u64) -> Link<K, V, A>
+where
+    K: Clone + Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    A: Aggregate<K, V>,
+{
+    let Some(n) = link else {
+        return Some(mk_node_prio(key, value, prio, None, None));
+    };
+    if prio > n.prio {
+        // The new node takes this position. The key cannot already exist
+        // in this subtree: it would carry this same priority, and the
+        // heap property caps every descendant at `n.prio < prio`.
+        let (l, r) = split(link, &key, false);
+        return Some(mk_node_prio(key, value, prio, l, r));
+    }
+    match key.cmp(&n.key) {
+        Ordering::Equal => Some(mk_node_prio(key, value, prio, n.left.clone(), n.right.clone())),
+        Ordering::Less => Some(mk_node_prio(
+            n.key.clone(),
+            n.value.clone(),
+            n.prio,
+            ins(&n.left, key, value, prio),
+            n.right.clone(),
+        )),
+        Ordering::Greater => Some(mk_node_prio(
+            n.key.clone(),
+            n.value.clone(),
+            n.prio,
+            n.left.clone(),
+            ins(&n.right, key, value, prio),
+        )),
+    }
+}
+
+fn rem<K, V, A>(link: &Link<K, V, A>, key: &K) -> Link<K, V, A>
+where
+    K: Clone + Ord + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    A: Aggregate<K, V>,
+{
+    let n = link.as_ref()?;
+    match key.cmp(&n.key) {
+        Ordering::Equal => join(&n.left, &n.right),
+        Ordering::Less => Some(mk_node_prio(
+            n.key.clone(),
+            n.value.clone(),
+            n.prio,
+            rem(&n.left, key),
+            n.right.clone(),
+        )),
+        Ordering::Greater => Some(mk_node_prio(
+            n.key.clone(),
+            n.value.clone(),
+            n.prio,
+            n.left.clone(),
+            rem(&n.right, key),
+        )),
+    }
 }
 
 fn split<K, V, A>(link: &Link<K, V, A>, key: &K, inclusive: bool) -> (Link<K, V, A>, Link<K, V, A>)

@@ -56,11 +56,11 @@ fn persistent_merge_finds_the_same_events_as_hull_tree() {
 
         // Hull-tree reference: crossings of each sigma-envelope piece.
         let mut expect = 0usize;
-        for p in sigma_env.pieces() {
-            expect += tree.all_crossings(p).len();
+        for p in sigma_env.iter() {
+            expect += tree.all_crossings(&p).len();
         }
         // Persistent merge.
-        let out = PEnvelope::from_envelope(&base).merge(sigma_env.pieces());
+        let out = PEnvelope::from_envelope(&base).merge(&sigma_env.to_pieces());
         assert_eq!(
             out.crossings.len(),
             expect,

@@ -120,6 +120,49 @@ fn concurrent_solo_evaluations_on_plain_threads_stay_isolated() {
 }
 
 #[test]
+fn interval_filter_counters_are_reported_and_batch_stable() {
+    // The batched predicate kernel (ISSUE 8) attributes every pair
+    // classification to either the interval-filter fast tier
+    // (`PredicateFilter`) or the exact/scalar fallback (`PredicateExact`).
+    // Both must surface in `Report::cost`, the filter must actually fire
+    // on a real terrain, and — like every other counter — the totals must
+    // be bit-identical whether the view runs solo or inside a parallel
+    // `eval_batch` alongside dissimilar workloads.
+    let scene = scene();
+    let views = mixed_views(&scene);
+    let session = scene.session();
+
+    let solo: Vec<Report> = views.iter().map(|v| session.eval(v).unwrap()).collect();
+    assert!(
+        solo[0].cost.work_of(Category::PredicateFilter) > 0,
+        "interval filter never fired on the parallel orthographic view"
+    );
+    let filtered: u64 = solo
+        .iter()
+        .map(|r| r.cost.work_of(Category::PredicateFilter))
+        .sum();
+    let exact: u64 = solo
+        .iter()
+        .map(|r| r.cost.work_of(Category::PredicateExact))
+        .sum();
+    // On TIN terrains adjacent pieces share endpoints, so the exact
+    // endpoint tier legitimately fires often; both tiers must show up.
+    assert!(filtered > 0 && exact > 0, "{filtered} filtered vs {exact} exact");
+
+    let batch = session.eval_batch(&views);
+    for (i, (s, b)) in solo.iter().zip(&batch).enumerate() {
+        let b = b.as_ref().unwrap();
+        for cat in [Category::PredicateFilter, Category::PredicateExact] {
+            assert_eq!(
+                b.cost.work_of(cat),
+                s.cost.work_of(cat),
+                "view {i}: {cat:?} diverged between solo and batched evaluation"
+            );
+        }
+    }
+}
+
+#[test]
 fn uninstrumented_callers_still_get_per_view_counters() {
     // No collector anywhere in the caller: Report::cost is still filled
     // (each evaluation installs its own), and nothing leaks to a

@@ -62,7 +62,7 @@ proptest! {
         let ea = Envelope::from_pieces(&a);
         let eb = Envelope::from_pieces(&b);
         let expect = Envelope::merge(&ea, &eb);
-        let got = PEnvelope::from_envelope(&ea).merge(eb.pieces()).env.to_envelope();
+        let got = PEnvelope::from_envelope(&ea).merge(&eb.to_pieces()).env.to_envelope();
         for i in 0..120 {
             let x = i as f64 * 1.1;
             let (ve, vg) = (expect.eval(x), got.eval(x));
