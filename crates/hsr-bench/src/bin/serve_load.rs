@@ -27,10 +27,17 @@
 //! [`Request::Stats`] (ISSUE 7) — the bench observes the server exactly
 //! like an operator would; `/proc` is consulted only for the
 //! fixed-thread-count assertion, which no wire counter can answer.
+//! The server runs with an observability recorder installed (ISSUE 9):
+//! latency percentiles are computed through the same log-linear
+//! histogram the server records into, a mid-run scraper polls
+//! `Request::Metrics` while the scenarios execute, and after the run
+//! the server-side request histogram must hold exactly one sample per
+//! eval request, with the ping-pong server percentiles within one
+//! bucket's relative error of the bench-observed ones.
 //! `--json` writes `BENCH_serve.json` — the artifact the CI serve-smoke
 //! job uploads — as `{"closed_loop": [...], "open_loop": {...},
-//! "ingest": {...}}` (the first two keys keep their PR-6 shape);
-//! `--quick` shrinks the run.
+//! "ingest": {...}, "obs": {...}}` (the first two keys keep their PR-6
+//! shape); `--quick` shrinks the run.
 //!
 //! [`Request::Stats`]: hsr_serve::Request::Stats
 //!
@@ -41,6 +48,7 @@
 use hsr_bench::harness::md_table;
 use hsr_core::view::View;
 use hsr_geometry::Point3;
+use hsr_obs::{HistSnapshot, Histogram, MetricsSnapshot, RecorderConfig, RELATIVE_ERROR};
 use hsr_serve::{
     CatalogStats, Client, PreparedStats, ServeStats, Server, ServerBuilder, StatsSnapshot,
     TerrainFormat, TerrainSource,
@@ -75,6 +83,11 @@ struct ScenarioReport {
     /// Prepared-scene counters scoped to this scenario (deltas), with
     /// `resident`/`peak_resident` as end-of-scenario snapshots.
     prepared: PreparedStats,
+    /// Bench-side latency histogram (same log-linear layout the server
+    /// records into, so the percentiles above are comparable to the
+    /// server's `Request::Metrics` histograms within one bucket's
+    /// relative error).
+    latency_hist: HistSnapshot,
 }
 
 /// The open-loop scenario's measurements (`open_loop` in the JSON).
@@ -187,6 +200,24 @@ struct Wire<'a> {
     admin: &'a mut Client,
 }
 
+/// Scrapes `Request::Metrics` until the end-to-end histogram holds at
+/// least `expect` samples. A request's samples land just *after* its
+/// response is enqueued (the respond stage must be timed), so a scrape
+/// racing the final response can trail by the in-flight finalizes; the
+/// short deadline bounds the wait, and the caller's count assertion
+/// still catches real losses.
+fn settled_metrics(admin: &mut Client, expect: u64) -> MetricsSnapshot {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        let snap = admin.metrics().expect("wire metrics");
+        let total = snap.hist("request").map(|h| h.total).unwrap_or(0);
+        if total >= expect || Instant::now() > deadline {
+            return snap;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
 /// Holds `idle` connections open while `clients` threads each send
 /// `requests_per_client` ping-pong requests on a fixed `interval`
 /// schedule, measuring latency from each request's *scheduled* send
@@ -260,6 +291,7 @@ fn run_open_loop(
     let errors: u64 = per_client.iter().map(|&(_, e)| e).sum();
     let requests = latencies.len() as u64;
     let after = wire.admin.stats().expect("wire stats");
+    let (_, p50, p90, p99) = hist_percentiles_ms(&latencies);
     OpenLoopReport {
         scenario: "open-loop-idle".into(),
         idle_connections: idle,
@@ -269,9 +301,9 @@ fn run_open_loop(
         send_interval_ms: interval.as_secs_f64() * 1e3,
         elapsed_s,
         throughput_rps: requests as f64 / elapsed_s,
-        latency_ms_p50: percentile(&latencies, 0.50),
-        latency_ms_p90: percentile(&latencies, 0.90),
-        latency_ms_p99: percentile(&latencies, 0.99),
+        latency_ms_p50: p50,
+        latency_ms_p90: p90,
+        latency_ms_p99: p99,
         latency_ms_max: latencies.last().copied().unwrap_or(0.0),
         threads_before_idle,
         threads_with_idle,
@@ -279,12 +311,21 @@ fn run_open_loop(
     }
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+/// Folds millisecond latencies through the shared log-linear histogram
+/// ([`hsr_obs::Histogram`]) and reads the percentiles back from its
+/// snapshot — the ISSUE 9 change that makes bench-side and server-side
+/// percentiles directly comparable: both carry the same ≤
+/// [`RELATIVE_ERROR`] per-bucket rounding.
+fn hist_percentiles_ms(latencies_ms: &[f64]) -> (HistSnapshot, f64, f64, f64) {
+    let hist = Histogram::new();
+    for &ms in latencies_ms {
+        hist.record((ms * 1e6) as u64);
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    let snap = hist.snapshot();
+    let p50 = snap.quantile(0.50) as f64 / 1e6;
+    let p90 = snap.quantile(0.90) as f64 / 1e6;
+    let p99 = snap.quantile(0.99) as f64 / 1e6;
+    (snap, p50, p90, p99)
 }
 
 /// Runs `clients` threads, each evaluating `rounds` bursts of `views`
@@ -358,6 +399,7 @@ fn run_scenario(
     let requests = latencies.len() as u64;
     let ok = requests - errors;
     let after = wire.admin.stats().expect("wire stats");
+    let (latency_hist, p50, p90, p99) = hist_percentiles_ms(&latencies);
     ScenarioReport {
         scenario: name.into(),
         clients,
@@ -365,9 +407,9 @@ fn run_scenario(
         errors,
         elapsed_s,
         throughput_rps: requests as f64 / elapsed_s,
-        latency_ms_p50: percentile(&latencies, 0.50),
-        latency_ms_p90: percentile(&latencies, 0.90),
-        latency_ms_p99: percentile(&latencies, 0.99),
+        latency_ms_p50: p50,
+        latency_ms_p90: p90,
+        latency_ms_p99: p99,
         latency_ms_max: latencies.last().copied().unwrap_or(0.0),
         total_work,
         mean_k: if ok > 0 {
@@ -377,6 +419,7 @@ fn run_scenario(
         },
         server: serve_delta(&before, &after),
         prepared: prepared_delta(&before, &after),
+        latency_hist,
     }
 }
 
@@ -453,6 +496,7 @@ fn main() {
         .terrain("t-tiled", TerrainSource::TiledStore { dir: dir.clone(), config: tiled_cfg })
         .catalog_dir(&cat_dir)
         .expect("catalog dir")
+        .observe(RecorderConfig::default())
         .workers(3)
         .queue_depth(256)
         .bind("127.0.0.1:0")
@@ -464,6 +508,35 @@ fn main() {
     // their per-scenario connection deltas.
     let mut admin = Client::connect(server.local_addr()).expect("admin connect");
     let mut wire = Wire { server: &server, admin: &mut admin };
+
+    // Mid-run metrics scraper (ISSUE 9 obs-smoke): a separate
+    // connection polls `Request::Metrics` *while* the scenarios run,
+    // checking the one invariant that holds mid-flight — histogram
+    // samples never precede their outcome counters (the sample lands
+    // after `completed`/`failed` is bumped).
+    let scrape_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let addr = server.local_addr();
+        let stop = std::sync::Arc::clone(&scrape_stop);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("scraper connect");
+            let mut scrapes = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let metrics = client.metrics().expect("mid-run metrics");
+                assert!(metrics.enabled, "recorder is installed for the whole run");
+                let stats = client.stats().expect("mid-run stats");
+                let served = stats.serve.completed + stats.serve.failed;
+                let sampled = metrics.hist("request").map(|h| h.total).unwrap_or(0);
+                assert!(
+                    sampled <= served,
+                    "histogram samples precede their outcomes: {sampled} > {served}"
+                );
+                scrapes += 1;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            scrapes
+        })
+    };
 
     let sweep: Vec<View> = (0..6)
         .map(|i| View::orthographic(0.12 * i as f64))
@@ -479,11 +552,49 @@ fn main() {
         .map(|_| View::viewshed(observer, targets.clone()))
         .collect();
 
+    // Bracket mono-pingpong with Metrics scrapes: the server-side
+    // request histogram delta for exactly this scenario's traffic
+    // (ping-pong client intervals strictly contain the server-measured
+    // ones, which is what makes the percentile comparison one-sided).
+    let metrics_before = wire.admin.metrics().expect("wire metrics");
+    let pingpong = run_scenario("mono-pingpong", &mut wire, "t", &sweep, clients, rounds, false);
+    let metrics_after = settled_metrics(
+        wire.admin,
+        metrics_before.hist("request").map(|h| h.total).unwrap_or(0) + pingpong.requests,
+    );
     let reports = vec![
-        run_scenario("mono-pingpong", &mut wire, "t", &sweep, clients, rounds, false),
+        pingpong,
         run_scenario("mono-pipelined", &mut wire, "t", &sweep, clients, rounds, true),
         run_scenario("tiled-viewshed", &mut wire, "t-tiled", &viewsheds, clients, rounds, true),
     ];
+
+    // Satellite 2 (ISSUE 9): the server-side percentiles must agree
+    // with the bench-observed ones. Both sides round quantiles up to a
+    // bucket boundary (≤ RELATIVE_ERROR), and every server interval is
+    // nested in its client interval, so the bound is deterministic:
+    // server_p ≤ bench_p × (1 + ε).
+    let pingpong = &reports[0];
+    let server_hist = metrics_after
+        .hist("request")
+        .expect("request histogram")
+        .since(metrics_before.hist("request").expect("request histogram"));
+    assert_eq!(
+        server_hist.total, pingpong.requests,
+        "every ping-pong request is exactly one server-side histogram sample"
+    );
+    let server_p50_ms = server_hist.quantile(0.50) as f64 / 1e6;
+    let server_p99_ms = server_hist.quantile(0.99) as f64 / 1e6;
+    let bound = 1.0 + RELATIVE_ERROR + 1e-9;
+    assert!(
+        server_p50_ms <= pingpong.latency_ms_p50 * bound,
+        "server p50 {server_p50_ms:.3} ms exceeds bench p50 {:.3} ms × (1+ε)",
+        pingpong.latency_ms_p50
+    );
+    assert!(
+        server_p99_ms <= pingpong.latency_ms_p99 * bound,
+        "server p99 {server_p99_ms:.3} ms exceeds bench p99 {:.3} ms × (1+ε)",
+        pingpong.latency_ms_p99
+    );
 
     // The ISSUE 6 acceptance scenario: the event-driven connection layer
     // carries ≥ 1024 idle connections on the same fixed thread set that
@@ -505,6 +616,45 @@ fn main() {
     // (half of them byte-identical re-uploads → dedup), then time the
     // cold and warm first query of a fresh entry.
     let ingest = run_ingest(&mut wire, if quick { 8 } else { 32 });
+
+    // Post-run accounting: every eval request of the whole run — the
+    // closed-loop scenarios, the open-loop schedule, and the ingest
+    // scenario's cold+warm queries — is exactly one sample in the
+    // server's end-to-end histogram.
+    let total_evals: u64 = reports.iter().map(|r| r.requests).sum::<u64>() + open_loop.requests + 2;
+    let metrics_final = settled_metrics(wire.admin, total_evals);
+    assert_eq!(
+        metrics_final.hist("request").map(|h| h.total),
+        Some(total_evals),
+        "histogram samples must match the requests served"
+    );
+    assert_eq!(
+        metrics_final.traces_recorded + metrics_final.traces_dropped,
+        total_evals,
+        "every request files exactly one trace (recorded or counted dropped)"
+    );
+    // Span trees: stages are disjoint sub-intervals of the request, and
+    // on average they account for most of it (the tight ≤5% bound is
+    // asserted on deterministic ping-pong traffic in hsr-serve's
+    // obs_service test; pipelined groups leave a serialization gap per
+    // preceding group member).
+    let coverages: Vec<f64> = metrics_final
+        .recent
+        .iter()
+        .map(|t| t.root.stage_sum_ns() as f64 / t.root.dur_ns.max(1) as f64)
+        .collect();
+    let coverage_min = coverages.iter().copied().fold(f64::INFINITY, f64::min);
+    let coverage_mean = coverages.iter().sum::<f64>() / coverages.len().max(1) as f64;
+    assert!(!coverages.is_empty(), "the recent ring holds traces after the run");
+    assert!(coverages.iter().all(|&c| c <= 1.0), "stages are disjoint sub-intervals");
+    assert!(
+        coverage_mean >= 0.5,
+        "stages account for the bulk of latency: {coverage_mean:.3}"
+    );
+
+    scrape_stop.store(true, std::sync::atomic::Ordering::Release);
+    let scrapes = scraper.join().expect("scraper");
+    assert!(scrapes > 0, "the mid-run scraper must have observed the server");
     drop(admin);
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
@@ -588,18 +738,54 @@ fn main() {
     assert_eq!(ingest.deduped, ingest.uploads / 2, "identical re-uploads must dedup");
     assert_eq!(ingest.catalog.blobs_written, ingest.uploads - ingest.deduped);
 
+    println!(
+        "\nobs: {} spans recorded ({} dropped), {} mid-run scrapes; ping-pong p50 \
+         server {:.2} ms vs bench {:.2} ms; stage coverage mean {:.2} (min {:.2})",
+        metrics_final.traces_recorded,
+        metrics_final.traces_dropped,
+        scrapes,
+        server_p50_ms,
+        reports[0].latency_ms_p50,
+        coverage_mean,
+        coverage_min,
+    );
+
     if std::env::args().any(|a| a == "--json") {
+        #[derive(serde::Serialize)]
+        struct ObsSummary {
+            traces_recorded: u64,
+            traces_dropped: u64,
+            mid_run_scrapes: u64,
+            pingpong_server_p50_ms: f64,
+            pingpong_server_p99_ms: f64,
+            pingpong_bench_p50_ms: f64,
+            pingpong_bench_p99_ms: f64,
+            stage_coverage_mean: f64,
+            stage_coverage_min: f64,
+        }
         #[derive(serde::Serialize)]
         struct Artifact {
             closed_loop: Vec<ScenarioReport>,
             open_loop: OpenLoopReport,
             ingest: IngestReport,
+            obs: ObsSummary,
         }
         let path = "BENCH_serve.json";
         let artifact = Artifact {
             closed_loop: reports.clone(),
             open_loop: open_loop.clone(),
             ingest: ingest.clone(),
+            obs: ObsSummary {
+                traces_recorded: metrics_final.traces_recorded,
+                traces_dropped: metrics_final.traces_dropped,
+                mid_run_scrapes: scrapes,
+                pingpong_server_p50_ms: server_p50_ms,
+                pingpong_server_p99_ms: server_p99_ms,
+                pingpong_bench_p50_ms: reports[0].latency_ms_p50,
+                pingpong_bench_p99_ms: reports[0].latency_ms_p99,
+                stage_coverage_mean: coverage_mean,
+                stage_coverage_min: coverage_min,
+            },
         };
         std::fs::write(path, serde_json::to_string(&artifact).expect("reports serialize"))
             .expect("write bench json");

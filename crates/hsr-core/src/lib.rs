@@ -46,5 +46,5 @@ pub use envelope::{CrossEvent, Envelope, Piece};
 pub use error::HsrError;
 pub use pipeline::{run, Algorithm, HsrConfig, HsrResult, Phase2Mode, Timings};
 pub use ptenv::PEnvelope;
-pub use view::{evaluate, evaluate_batch, Projection, Report, View};
+pub use view::{evaluate, evaluate_batch, evaluate_span, Projection, Report, View};
 pub use visibility::VisibilityMap;

@@ -30,7 +30,7 @@ use crate::pipeline::{self, Algorithm, HsrConfig, HsrResult, Phase2Mode, Timings
 use crate::viewshed::{classify_points, Verdict};
 use crate::visibility::VisibilityMap;
 use hsr_geometry::Point3;
-use hsr_pram::cost::{CostCollector, CostReport};
+use hsr_pram::cost::{Category, CostCollector, CostReport};
 use hsr_terrain::Tin;
 
 /// Where the viewer stands.
@@ -305,8 +305,44 @@ pub fn evaluate(tin: &Tin, view: &View) -> Result<Report, HsrError> {
     drop(guard);
     result.map(|mut report| {
         report.cost = collector.report();
+        // Observability is a runtime opt-in, same pattern as the cost
+        // collector: without an installed span sink this is one
+        // thread-local read and the span tree is never built. Like the
+        // cost thread-local, the sink does not cross rayon task
+        // boundaries — batched callers derive spans from each report
+        // via [`evaluate_span`] instead.
+        hsr_obs::trace::record_span(|| evaluate_span(&report));
         report
     })
+}
+
+/// The span tree of one evaluation, derived from measurements the
+/// [`Report`] already carries: a root `"evaluate"` span with the
+/// end-to-end duration, Brent work/depth totals, and the
+/// `PredicateFilter`/`PredicateExact` counters of [`Report::cost`], and
+/// one child per pipeline stage (`"order"`, `"phase1"`, `"phase2"`)
+/// from [`Report::timings`]. Building it reads the finished report
+/// only, so it costs nothing on the evaluation hot path; both the
+/// thread-local sink emission in [`evaluate`] and the server's
+/// per-request traces use this one constructor.
+pub fn evaluate_span(report: &Report) -> hsr_obs::SpanRecord {
+    let ns = |s: f64| if s > 0.0 { (s * 1e9) as u64 } else { 0 };
+    let t = &report.timings;
+    let mut root = hsr_obs::SpanRecord::new("evaluate", 0, ns(t.total_s));
+    root.work = report.cost.total_work();
+    root.depth = report.cost.total_depth();
+    root.pred_filter = report.cost.work_of(Category::PredicateFilter);
+    root.pred_exact = report.cost.work_of(Category::PredicateExact);
+    let mut at = 0u64;
+    for (name, dur) in [
+        ("order", ns(t.order_s)),
+        ("phase1", ns(t.phase1_s)),
+        ("phase2", ns(t.phase2_s)),
+    ] {
+        root.children.push(hsr_obs::SpanRecord::new(name, at, dur));
+        at += dur;
+    }
+    root
 }
 
 /// The body of [`evaluate`]; runs with the evaluation's collector
@@ -490,6 +526,43 @@ mod tests {
         let b = pipeline::run(&tin, &HsrConfig::default()).unwrap();
         assert_eq!(fingerprint(&a.vis), fingerprint(&b.vis));
         assert_eq!((a.n, a.k), (b.n, b.k));
+    }
+
+    #[test]
+    fn evaluate_emits_span_tree_only_under_a_sink() {
+        let tin = gen::fbm(8, 8, 3, 8.0, 7).to_tin().unwrap();
+        // No sink installed: evaluation must not emit anywhere.
+        let silent = hsr_obs::SpanSink::new();
+        evaluate(&tin, &View::orthographic(0.0)).unwrap();
+        assert!(silent.take().is_empty());
+
+        let sink = hsr_obs::SpanSink::new();
+        let guard = sink.install();
+        let report = evaluate(&tin, &View::orthographic(0.0)).unwrap();
+        drop(guard);
+        let spans = sink.take();
+        assert_eq!(spans.len(), 1);
+        let root = &spans[0];
+        assert_eq!(root.name, "evaluate");
+        // The emitted tree is exactly the report-derived constructor.
+        assert_eq!(*root, evaluate_span(&report));
+        let names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["order", "phase1", "phase2"]);
+        // Wall-clock and cost attribution both ride on the span.
+        assert_eq!(root.dur_ns, (report.timings.total_s * 1e9) as u64);
+        assert_eq!(root.work, report.cost.total_work());
+        assert_eq!(root.pred_filter, report.cost.work_of(Category::PredicateFilter));
+        // The pipeline stages tile the evaluation: children are
+        // contiguous and their sum is within 5% of the root (the
+        // remainder is projection/bookkeeping outside the three stages).
+        let sum = root.stage_sum_ns();
+        assert!(sum <= root.dur_ns);
+        assert!(
+            sum as f64 >= root.dur_ns as f64 * 0.5,
+            "stages {} vs total {}",
+            sum,
+            root.dur_ns
+        );
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Thread-local span sink — the runtime off-switch.
+//!
+//! This mirrors the `CostCollector` pattern from `hsr-pram`: code that
+//! *can* emit spans (like `hsr_core::view::evaluate`) asks the
+//! thread-local slot whether a sink is installed and does **nothing**
+//! when none is — one `thread_local` read on the fast path, no
+//! allocation, no atomics. Installing a [`SpanSink`] returns a guard
+//! that restores the previous sink on drop, so scopes nest.
+//!
+//! Like cost collection, the slot is thread-local and is *not*
+//! propagated across rayon task boundaries: install a sink around a
+//! direct `evaluate` call, or derive spans from the returned `Report`
+//! (which is what the server does for batched, work-stolen
+//! evaluations).
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+
+use crate::span::SpanRecord;
+
+struct SinkInner {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Arc<SinkInner>>> = const { RefCell::new(None) };
+}
+
+/// A collection point for spans emitted on the installing thread.
+///
+/// Clones share the same buffer, so a sink can be handed to a reader
+/// while the guard keeps it installed.
+#[derive(Clone)]
+pub struct SpanSink {
+    inner: Arc<SinkInner>,
+}
+
+impl Default for SpanSink {
+    fn default() -> Self {
+        SpanSink::new()
+    }
+}
+
+impl SpanSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        SpanSink { inner: Arc::new(SinkInner { spans: Mutex::new(Vec::new()) }) }
+    }
+
+    /// Install this sink on the current thread; emitted spans accumulate
+    /// here until the returned guard drops (the previous sink, if any,
+    /// is restored — scopes nest like `CollectorGuard`).
+    pub fn install(&self) -> SinkGuard {
+        let prev = ACTIVE.with(|a| a.replace(Some(self.inner.clone())));
+        SinkGuard { prev, _not_send: PhantomData }
+    }
+
+    /// Drain everything emitted so far.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.inner.spans.lock().expect("sink lock never poisons"))
+    }
+}
+
+/// Restores the previously installed sink on drop. `!Send`: the guard
+/// must drop on the thread that installed it.
+pub struct SinkGuard {
+    prev: Option<Arc<SinkInner>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| *a.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Whether a sink is installed on the current thread — the fast-path
+/// check emitters gate on.
+pub fn is_active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Emit a span to the installed sink, if any. The closure only runs
+/// when a sink is installed, so the disabled path costs exactly one
+/// thread-local read.
+pub fn record_span(build: impl FnOnce() -> SpanRecord) {
+    let sink = ACTIVE.with(|a| a.borrow().clone());
+    if let Some(sink) = sink {
+        sink.spans
+            .lock()
+            .expect("sink lock never poisons")
+            .push(build());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_sink_means_no_work() {
+        assert!(!is_active());
+        let mut built = false;
+        record_span(|| {
+            built = true;
+            SpanRecord::new("x", 0, 1)
+        });
+        assert!(!built, "builder must not run without a sink");
+    }
+
+    #[test]
+    fn install_take_and_nesting() {
+        let outer = SpanSink::new();
+        let _g = outer.install();
+        assert!(is_active());
+        record_span(|| SpanRecord::new("a", 0, 1));
+        {
+            let inner = SpanSink::new();
+            let _g2 = inner.install();
+            record_span(|| SpanRecord::new("b", 0, 2));
+            assert_eq!(inner.take().len(), 1);
+        }
+        record_span(|| SpanRecord::new("c", 0, 3));
+        let got = outer.take();
+        let names: Vec<&str> = got.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a", "c"]);
+        assert!(outer.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn guard_restores_on_drop() {
+        assert!(!is_active());
+        {
+            let s = SpanSink::new();
+            let _g = s.install();
+            assert!(is_active());
+        }
+        assert!(!is_active());
+    }
+}

@@ -160,10 +160,14 @@ struct PreparedEntry {
 }
 
 /// Lock-free counter cells behind [`PreparedStats`] snapshots. Each
-/// `get_or_prepare` increments `lookups` once and exactly one of
-/// `hits`/`prepares`/`errors`, so the partition invariant holds exactly
-/// at quiescence (a snapshot taken mid-call may be one step ahead on
-/// one side, as with any monotonic counter set).
+/// `get_or_prepare` increments `lookups` once (first, program order) and
+/// exactly one of `hits`/`prepares`/`errors` afterwards, with the
+/// outcome increments using `Release`. [`PreparedCache::stats`] reads
+/// the outcome counters (`Acquire`) *before* `lookups`, so the ISSUE-9
+/// snapshot contract holds in **every** snapshot, not just at
+/// quiescence: all counters are monotonic, and
+/// `hits + prepares + errors ≤ lookups` — observing an outcome implies
+/// observing its lookup (equality once calls in flight finish).
 #[derive(Default)]
 struct StatCells {
     lookups: AtomicU64,
@@ -174,6 +178,19 @@ struct StatCells {
     invalidations: AtomicU64,
     resident: AtomicUsize,
     peak_resident: AtomicUsize,
+}
+
+/// Event counters in an attached [`hsr_obs::Recorder`], resolved once at
+/// attach time so the hot path pays plain atomic adds (no registry
+/// lookup). Mirrors the cache's own [`StatCells`] into the shared
+/// observability snapshot.
+struct PrepObs {
+    recorder: Arc<hsr_obs::Recorder>,
+    hit: Arc<AtomicU64>,
+    prepare: Arc<AtomicU64>,
+    error: Arc<AtomicU64>,
+    evict: Arc<AtomicU64>,
+    invalidate: Arc<AtomicU64>,
 }
 
 /// How many bookkeeping shards the cache spreads terrain names over.
@@ -216,6 +233,9 @@ pub struct PreparedCache {
     /// Global recency clock for the cross-shard LRU ordering.
     tick: AtomicU64,
     stats: StatCells,
+    /// Observability mirror (`scene_*` events), when a recorder is
+    /// attached. `None` means lookups pay nothing — the off-switch.
+    obs: Option<PrepObs>,
 }
 
 impl PreparedCache {
@@ -233,6 +253,7 @@ impl PreparedCache {
             prepare_locks: Mutex::new(HashMap::new()),
             tick: AtomicU64::new(0),
             stats: StatCells::default(),
+            obs: None,
         }
     }
 
@@ -240,6 +261,22 @@ impl PreparedCache {
     /// through it at prepare time (static sources win name clashes).
     pub fn with_catalog(mut self, catalog: Arc<Catalog>) -> PreparedCache {
         self.catalog = Some(catalog);
+        self
+    }
+
+    /// Mirrors this cache's activity into `recorder` as `scene_*` event
+    /// counters (hit/prepare/error/evict/invalidate), and attaches the
+    /// recorder to every tiled scene it prepares so their resident-tile
+    /// caches report `tile_*` events into the same snapshot.
+    pub fn with_recorder(mut self, recorder: Arc<hsr_obs::Recorder>) -> PreparedCache {
+        self.obs = Some(PrepObs {
+            hit: recorder.counter("scene_hit"),
+            prepare: recorder.counter("scene_prepare"),
+            error: recorder.counter("scene_error"),
+            evict: recorder.counter("scene_evict"),
+            invalidate: recorder.counter("scene_invalidate"),
+            recorder,
+        });
         self
     }
 
@@ -260,13 +297,21 @@ impl PreparedCache {
         names
     }
 
-    /// Current counters (a consistent snapshot at quiescence).
+    /// Current counters. Read order matters (ISSUE 9): the outcome
+    /// counters are read (`Acquire`) **before** `lookups`, and writers
+    /// publish each outcome (`Release`) *after* its lookup, so every
+    /// snapshot — even one racing live traffic — satisfies
+    /// `hits + prepares + errors ≤ lookups`, with equality at
+    /// quiescence. All counters are monotonic.
     pub fn stats(&self) -> PreparedStats {
+        let hits = self.stats.hits.load(Ordering::Acquire);
+        let prepares = self.stats.prepares.load(Ordering::Acquire);
+        let errors = self.stats.errors.load(Ordering::Acquire);
         PreparedStats {
-            lookups: self.stats.lookups.load(Ordering::Relaxed),
-            hits: self.stats.hits.load(Ordering::Relaxed),
-            prepares: self.stats.prepares.load(Ordering::Relaxed),
-            errors: self.stats.errors.load(Ordering::Relaxed),
+            lookups: self.stats.lookups.load(Ordering::Acquire),
+            hits,
+            prepares,
+            errors,
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             invalidations: self.stats.invalidations.load(Ordering::Relaxed),
             resident: self.stats.resident.load(Ordering::Relaxed),
@@ -299,12 +344,29 @@ impl PreparedCache {
     /// `resident` never exceeds the capacity (the freshly prepared
     /// scene coexists with its victim only outside the maps, briefly).
     pub fn get_or_prepare(&self, name: &str) -> Result<PreparedScene, WireError> {
+        self.get_or_prepare_traced(name).0
+    }
+
+    /// [`PreparedCache::get_or_prepare`] plus the lookup's outcome —
+    /// whether the scene was served resident (`true`) or had to be
+    /// prepared (`false`; also `false` on error). The serving layer uses
+    /// this to land the lookup latency in the right stage histogram.
+    pub fn get_or_prepare_traced(&self, name: &str) -> (Result<PreparedScene, WireError>, bool) {
         if let Some(hit) = self.lookup(name, true) {
-            return Ok(hit);
+            return (Ok(hit), true);
         }
+        (self.prepare_missing(name), false)
+    }
+
+    /// The miss path of [`PreparedCache::get_or_prepare_traced`]: the
+    /// first shard-locked lookup already failed and was counted.
+    fn prepare_missing(&self, name: &str) -> Result<PreparedScene, WireError> {
         let from_catalog = !self.sources.contains_key(name);
         if from_catalog && self.catalog.as_ref().and_then(|c| c.get(name)).is_none() {
-            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            self.stats.errors.fetch_add(1, Ordering::Release);
+            if let Some(obs) = &self.obs {
+                obs.error.fetch_add(1, Ordering::Release);
+            }
             return Err(WireError::new(
                 ErrorKind::UnknownTerrain,
                 format!("no terrain named `{name}` is registered"),
@@ -339,10 +401,16 @@ impl PreparedCache {
         let scene = match prepared {
             Ok(scene) => scene,
             Err(e) => {
-                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                self.stats.errors.fetch_add(1, Ordering::Release);
+                if let Some(obs) = &self.obs {
+                    obs.error.fetch_add(1, Ordering::Release);
+                }
                 return Err(e);
             }
         };
+        if let (PreparedScene::Tiled(tiled), Some(obs)) = (&scene, &self.obs) {
+            tiled.attach_recorder(&obs.recorder);
+        }
         // Commit: evict and insert atomically under every shard lock
         // (acquired in index order; no other path holds two at once, so
         // the ordering is trivially deadlock-free).
@@ -363,13 +431,19 @@ impl PreparedCache {
                 .remove(&victim.2)
                 .expect("victim came from its shard");
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                obs.evict.fetch_add(1, Ordering::Release);
+            }
             resident -= 1;
         }
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         guards[self.shard_of(name)]
             .insert(name.to_string(), PreparedEntry { scene: scene.clone(), last_use: tick });
         resident += 1;
-        self.stats.prepares.fetch_add(1, Ordering::Relaxed);
+        self.stats.prepares.fetch_add(1, Ordering::Release);
+        if let Some(obs) = &self.obs {
+            obs.prepare.fetch_add(1, Ordering::Release);
+        }
         self.stats.resident.store(resident, Ordering::Relaxed);
         self.stats
             .peak_resident
@@ -397,6 +471,9 @@ impl PreparedCache {
         if dropped {
             let resident: usize = guards.iter().map(|g| g.len()).sum();
             self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                obs.invalidate.fetch_add(1, Ordering::Release);
+            }
             self.stats.resident.store(resident, Ordering::Relaxed);
         }
         dropped
@@ -417,7 +494,12 @@ impl PreparedCache {
         let entry = shard.get_mut(name)?;
         entry.last_use = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let scene = entry.scene.clone();
-        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        // Release so a `stats()` snapshot that observes this hit also
+        // observes the lookup increment above (see `StatCells`).
+        self.stats.hits.fetch_add(1, Ordering::Release);
+        if let Some(obs) = &self.obs {
+            obs.hit.fetch_add(1, Ordering::Release);
+        }
         Some(scene)
     }
 }
@@ -574,6 +656,79 @@ mod tests {
         assert_eq!((s.prepares, s.resident), (2, 2), "{s:?}");
         assert!(s.peak_resident <= 2, "commit must stay under the cap: {s:?}");
         assert_eq!(s.hits + s.prepares + s.errors, s.lookups);
+    }
+
+    /// ISSUE-9 satellite regression: snapshots used to read each atomic
+    /// independently, so a scrape racing live traffic could observe an
+    /// outcome before its lookup and report
+    /// `hits + prepares + errors > lookups` over the wire. The
+    /// Release-outcomes / outcomes-before-lookups read order makes the
+    /// ≤ invariant hold in every snapshot; this hammers it.
+    #[test]
+    fn stats_invariant_holds_in_every_snapshot_under_hammering() {
+        let cache = std::sync::Arc::new(PreparedCache::new(1, sources()));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    // Capacity 1 with two names forces constant
+                    // re-prepares; the unknown name exercises the error
+                    // counter on every fourth call.
+                    for i in 0..400u64 {
+                        let name = match (i + w) % 4 {
+                            0 | 2 => "a",
+                            1 => "b",
+                            _ => "nope",
+                        };
+                        let _ = cache.get_or_prepare(name);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let (cache, stop) = (std::sync::Arc::clone(&cache), std::sync::Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut samples = 0u64;
+                let mut prev = PreparedStats::default();
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let s = cache.stats();
+                    assert!(s.hits + s.prepares + s.errors <= s.lookups, "torn snapshot: {s:?}");
+                    // Monotonic counter semantics across snapshots.
+                    assert!(s.lookups >= prev.lookups && s.hits >= prev.hits);
+                    assert!(s.prepares >= prev.prepares && s.errors >= prev.errors);
+                    prev = s;
+                    samples += 1;
+                }
+                samples
+            })
+        };
+        for t in writers {
+            t.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        assert!(reader.join().unwrap() > 0);
+        let s = cache.stats();
+        assert_eq!(s.hits + s.prepares + s.errors, s.lookups, "equality at quiescence: {s:?}");
+    }
+
+    #[test]
+    fn recorder_mirrors_scene_events() {
+        let recorder = Arc::new(hsr_obs::Recorder::default());
+        let cache = PreparedCache::new(1, sources()).with_recorder(Arc::clone(&recorder));
+        cache.get_or_prepare("a").unwrap();
+        cache.get_or_prepare("a").unwrap(); // hit
+        cache.get_or_prepare("b").unwrap(); // evicts a
+        assert!(cache.get_or_prepare("nope").is_err());
+        assert!(cache.invalidate("b"));
+        let s = cache.stats();
+        let snap = recorder.snapshot();
+        assert_eq!(snap.event("scene_hit"), s.hits);
+        assert_eq!(snap.event("scene_prepare"), s.prepares);
+        assert_eq!(snap.event("scene_error"), s.errors);
+        assert_eq!(snap.event("scene_evict"), s.evictions);
+        assert_eq!(snap.event("scene_invalidate"), s.invalidations);
+        assert_eq!(snap.event("scene_evict"), 1);
     }
 
     #[test]

@@ -149,6 +149,19 @@ impl Client {
         }
     }
 
+    /// Fetches the server's observability snapshot — latency
+    /// histograms, event counters, recent and slow span trees. A server
+    /// without a recorder answers with `enabled: false` rather than an
+    /// error.
+    pub fn metrics(&mut self) -> Result<hsr_obs::MetricsSnapshot, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Metrics(IdRequest { id }))?;
+        match self.expect_reply(id)?.payload {
+            Some(Payload::Metrics(snapshot)) => Ok(*snapshot),
+            other => Err(ClientError::Protocol(format!("expected metrics payload, got {other:?}"))),
+        }
+    }
+
     /// Uploads `bytes` to the server's catalog as terrain `name`,
     /// chunked so every line respects the server's line-length cap.
     /// Ping-pong: each chunk is acknowledged before the next is sent.

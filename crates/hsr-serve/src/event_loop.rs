@@ -42,7 +42,7 @@ use crate::protocol::{
     salvage_id, ErrorKind, Payload, Request, Response, UploadAck, UploadBegin, UploadChunk,
     WireError,
 };
-use crate::server::{Counters, Job, Msg, ServeConfig, Shared};
+use crate::server::{Counters, Job, JobTrace, Msg, ServeConfig, Shared};
 use hsr_catalog::{BlobWriter, Catalog, CatalogError, TerrainFormat};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read as _, Write as _};
@@ -416,6 +416,9 @@ fn handle_line(
     admission: &mpsc::SyncSender<Msg>,
     config: &ServeConfig,
 ) {
+    // Tracing clock zero: only read when a recorder is installed — the
+    // recorder-less fast path takes no timestamps at all.
+    let t_start = shared.obs.is_some().then(Instant::now);
     let text = String::from_utf8_lossy(raw);
     let text = text.trim();
     if text.is_empty() {
@@ -432,6 +435,7 @@ fn handle_line(
             return;
         }
     };
+    let parse_ns = t_start.map(|t0| t0.elapsed().as_nanos() as u64);
     let id = request.id();
     if id == 0 {
         shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
@@ -455,11 +459,19 @@ fn handle_line(
         Request::Eval(eval) => eval,
         admin => return handle_admin(conn, admin, shared, config),
     };
-    let job = Box::new(Job { request, reply: Arc::clone(&conn.reply) });
+    let trace = t_start.map(|t0| {
+        Box::new(JobTrace {
+            t_start: t0,
+            parse_ns: parse_ns.unwrap_or(0),
+            t_admitted: Instant::now(),
+            t_dispatched: None,
+        })
+    });
+    let job = Box::new(Job { request, reply: Arc::clone(&conn.reply), trace });
+    // `admitted` is counted by the dispatcher at receipt, not here —
+    // see the `ServeStats` snapshot-consistency contract.
     match admission.try_send(Msg::Job(job)) {
-        Ok(()) => {
-            shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
-        }
+        Ok(()) => {}
         Err(mpsc::TrySendError::Full(_)) => {
             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
             conn.reply.send(&Response::err(
@@ -497,6 +509,17 @@ fn handle_admin(conn: &mut Conn, request: Request, shared: &Arc<Shared>, config:
     if let Request::Stats(_) = request {
         conn.reply
             .send(&Response::with_payload(id, Payload::Stats(shared.stats_snapshot())));
+        return;
+    }
+    if let Request::Metrics(_) = request {
+        // Answered even without a recorder (as `enabled: false`), so
+        // operators can probe whether tracing is on.
+        let snapshot = match shared.obs.as_ref() {
+            Some(obs) => obs.recorder.snapshot(),
+            None => hsr_obs::MetricsSnapshot::disabled(),
+        };
+        conn.reply
+            .send(&Response::with_payload(id, Payload::Metrics(Box::new(snapshot))));
         return;
     }
     let Some(catalog) = shared.catalog.as_ref() else {
@@ -543,7 +566,9 @@ fn handle_admin(conn: &mut Conn, request: Request, shared: &Arc<Shared>, config:
             }
             Err(e) => conn.reply.send(&Response::err(id, catalog_err(&e))),
         },
-        Request::Eval(_) | Request::Stats(_) => unreachable!("handled by callers"),
+        Request::Eval(_) | Request::Stats(_) | Request::Metrics(_) => {
+            unreachable!("handled by callers")
+        }
     }
 }
 

@@ -36,6 +36,14 @@
 //!   survive process restarts: content-addressed blobs plus an
 //!   append-only manifest, served through the same prepared-scene LRU
 //!   with exact invalidation on overwrite/delete.
+//! * Observability (ISSUE 9) — install an [`hsr_obs::Recorder`] via
+//!   [`ServerBuilder::observe`] and every served request records a span
+//!   tree (parse → queue wait → coalesce → scene lookup → evaluate →
+//!   respond, with the pipeline's phase children and cost counters
+//!   grafted under `evaluate`) plus per-stage latency histograms;
+//!   requests slower than the configured threshold are captured in a
+//!   separate bounded ring. [`Request::Metrics`] snapshots all of it
+//!   over the wire; without a recorder every touchpoint is one branch.
 //!
 //! The scoped cost collectors of PR 3 are what make coalescing safe:
 //! a view evaluated inside a coalesced batch reports counters
@@ -71,5 +79,8 @@ pub mod server;
 pub use catalog::{PreparedCache, PreparedScene, PreparedStats, TerrainSource};
 pub use client::{Client, ClientError};
 pub use hsr_catalog::{Catalog, CatalogError, CatalogStats, TerrainFormat, TerrainInfo};
+pub use hsr_obs::{
+    HistSnapshot, MetricsSnapshot, Recorder, RecorderConfig, SpanRecord, TraceRecord,
+};
 pub use protocol::{ErrorKind, Payload, Request, Response, StatsSnapshot, UploadAck, WireError};
 pub use server::{ServeConfig, ServeStats, Server, ServerBuilder};

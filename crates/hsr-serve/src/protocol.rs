@@ -47,6 +47,7 @@ use crate::catalog::PreparedStats;
 use crate::server::ServeStats;
 use hsr_catalog::{CatalogStats, TerrainFormat, TerrainInfo};
 use hsr_core::view::{Report, View};
+use hsr_obs::MetricsSnapshot;
 
 /// One visibility query: evaluate `view` against the hosted terrain
 /// named `terrain`. On the wire this is the bare legacy object
@@ -150,6 +151,12 @@ pub enum Request {
     DeleteTerrain(NameRequest),
     /// Snapshot the server's counters ([`Payload::Stats`]).
     Stats(IdRequest),
+    /// Snapshot the observability recorder — latency histograms, event
+    /// counters, and recent/slow span trees ([`Payload::Metrics`]).
+    /// Servers built without a recorder answer a snapshot with
+    /// `enabled: false` rather than an error, so operators can probe
+    /// whether tracing is on.
+    Metrics(IdRequest),
 }
 
 impl Request {
@@ -169,6 +176,7 @@ impl Request {
             Request::TerrainInfo(r) => r.id,
             Request::DeleteTerrain(r) => r.id,
             Request::Stats(r) => r.id,
+            Request::Metrics(r) => r.id,
         }
     }
 }
@@ -180,7 +188,7 @@ impl From<EvalRequest> for Request {
 }
 
 /// The admin tag names — any other first key means the bare eval shape.
-const TAGS: [&str; 7] = [
+const TAGS: [&str; 8] = [
     "UploadTerrain",
     "UploadChunk",
     "RegisterTerrain",
@@ -188,6 +196,7 @@ const TAGS: [&str; 7] = [
     "TerrainInfo",
     "DeleteTerrain",
     "Stats",
+    "Metrics",
 ];
 
 impl serde::Serialize for Request {
@@ -209,6 +218,7 @@ impl serde::Serialize for Request {
             Request::TerrainInfo(r) => tagged(s, "TerrainInfo", r),
             Request::DeleteTerrain(r) => tagged(s, "DeleteTerrain", r),
             Request::Stats(r) => tagged(s, "Stats", r),
+            Request::Metrics(r) => tagged(s, "Metrics", r),
         }
     }
 }
@@ -231,7 +241,8 @@ impl serde::Deserialize for Request {
                 "ListTerrains" => Request::ListTerrains(IdRequest::deserialize(d)?),
                 "TerrainInfo" => Request::TerrainInfo(NameRequest::deserialize(d)?),
                 "DeleteTerrain" => Request::DeleteTerrain(NameRequest::deserialize(d)?),
-                _ => Request::Stats(IdRequest::deserialize(d)?),
+                "Stats" => Request::Stats(IdRequest::deserialize(d)?),
+                _ => Request::Metrics(IdRequest::deserialize(d)?),
             };
             d.expect(b'}')?;
             return Ok(req);
@@ -416,6 +427,10 @@ pub enum Payload {
     Deleted(TerrainInfo),
     /// The counter snapshot ([`Request::Stats`]).
     Stats(StatsSnapshot),
+    /// The observability snapshot ([`Request::Metrics`]): histograms,
+    /// event counters, recent and slow span trees. Boxed — it is by far
+    /// the largest payload variant.
+    Metrics(Box<MetricsSnapshot>),
 }
 
 /// The answer to one [`Request`]: the echoed id plus exactly one of
@@ -503,6 +518,7 @@ mod tests {
             Request::TerrainInfo(NameRequest { id: 12, name: "alps".into() }),
             Request::DeleteTerrain(NameRequest { id: 13, name: "alps".into() }),
             Request::Stats(IdRequest { id: 14 }),
+            Request::Metrics(IdRequest { id: 15 }),
         ];
         for (want_id, req) in (7u64..).zip(&requests) {
             let line = serde_json::to_string(req).unwrap();
@@ -587,5 +603,18 @@ mod tests {
         let ack = Response::ack(6);
         let back: Response = serde_json::from_str(&serde_json::to_string(&ack).unwrap()).unwrap();
         assert!(back.report.is_none() && back.payload.is_none() && back.error.is_none());
+    }
+
+    #[test]
+    fn metrics_payloads_roundtrip() {
+        // A recorder-less server answers the disabled snapshot; it must
+        // survive the wire like any other payload.
+        let resp =
+            Response::with_payload(8, Payload::Metrics(Box::new(MetricsSnapshot::disabled())));
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        match back.payload {
+            Some(Payload::Metrics(snap)) => assert!(!snap.enabled),
+            other => panic!("wrong payload: {other:?}"),
+        }
     }
 }

@@ -39,6 +39,7 @@ use crate::event_loop::{shard_loop, Reply, ShardHandle};
 use crate::protocol::{ErrorKind, StatsSnapshot};
 use hsr_catalog::Catalog;
 use hsr_core::view::CompatKey;
+use hsr_obs::{Histogram, Recorder, RecorderConfig, SpanRecord, TraceRecord};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
@@ -98,11 +99,28 @@ impl Default for ServeConfig {
 }
 
 /// Live service counters (monotonic unless noted).
+///
+/// # Snapshot consistency
+///
+/// A snapshot is not a single atomic read of all ten counters, but it
+/// is never *torn against causality*: counters are incremented in
+/// pipeline order with `Release` and read in **reverse** pipeline order
+/// with `Acquire`, so every snapshot satisfies
+///
+/// `completed + failed ≤ batched_requests ≤ admitted`.
+///
+/// A request is `admitted` when the dispatcher receives it (not when
+/// the shard enqueues it), so an outcome can never be visible before
+/// its admission is. At quiescence (no requests in flight) the
+/// inequalities close to `completed + failed + unanswerable = admitted`
+/// where `unanswerable` counts jobs answered `ShuttingDown` from the
+/// drain path.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ServeStats {
     /// Connections accepted.
     pub connections: u64,
-    /// Well-formed requests admitted to the queue.
+    /// Well-formed requests admitted to the queue (counted at dispatch
+    /// receipt — see the snapshot-consistency contract above).
     pub admitted: u64,
     /// Requests rejected because the admission queue was full.
     pub rejected: u64,
@@ -139,17 +157,30 @@ pub(crate) struct Counters {
 }
 
 impl Counters {
+    /// Reads the counters in **reverse pipeline order** (outcomes before
+    /// dispatch counters before `admitted`). Writers increment in
+    /// pipeline order with `Release` — `admitted` happens-before the
+    /// batch counters (same dispatcher thread), which happen-before the
+    /// worker outcomes (rendezvous-channel handoff) — so an `Acquire`
+    /// load that observes an outcome also observes the admission that
+    /// caused it. That is what makes the [`ServeStats`] inequalities
+    /// hold in *every* snapshot, not just at quiescence.
     fn snapshot(&self) -> ServeStats {
+        let completed = self.completed.load(Ordering::Acquire);
+        let failed = self.failed.load(Ordering::Acquire);
+        let batched_requests = self.batched_requests.load(Ordering::Acquire);
+        let batches = self.batches.load(Ordering::Acquire);
+        let admitted = self.admitted.load(Ordering::Acquire);
         ServeStats {
             connections: self.connections.load(Ordering::Relaxed),
-            admitted: self.admitted.load(Ordering::Relaxed),
+            admitted,
             rejected: self.rejected.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
+            completed,
+            failed,
             dropped_slow: self.dropped_slow.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            batches,
+            batched_requests,
             max_batch_observed: self.max_batch_observed.load(Ordering::Relaxed),
         }
     }
@@ -160,6 +191,26 @@ pub(crate) struct Job {
     /// and never enter the admission queue.
     pub(crate) request: crate::protocol::EvalRequest,
     pub(crate) reply: Arc<Reply>,
+    /// Timestamps gathered along the request's path, allocated only
+    /// when a recorder is installed (`None` is the off-switch: the
+    /// shard takes no timestamps and span assembly is skipped).
+    pub(crate) trace: Option<Box<JobTrace>>,
+}
+
+/// The cross-thread timing baggage of one traced request: the shard
+/// stamps arrival and admission, the dispatcher stamps receipt, and the
+/// worker folds the stamps into the finished span tree at reply time.
+pub(crate) struct JobTrace {
+    /// When the shard started handling the request line (the root
+    /// span's clock zero).
+    pub(crate) t_start: Instant,
+    /// How long parsing the line took, from `t_start`.
+    pub(crate) parse_ns: u64,
+    /// When the shard handed the job to the admission queue.
+    pub(crate) t_admitted: Instant,
+    /// When the dispatcher received the job (set by the dispatcher;
+    /// `None` only if the job never reached it).
+    pub(crate) t_dispatched: Option<Instant>,
 }
 
 pub(crate) enum Msg {
@@ -178,6 +229,41 @@ pub(crate) struct Shared {
     pub(crate) catalog: Option<Arc<Catalog>>,
     pub(crate) counters: Arc<Counters>,
     pub(crate) stop: AtomicBool,
+    /// The observability recorder plus its cached stage histograms.
+    /// `None` means tracing is off and every obs touchpoint reduces to
+    /// one branch (the same pattern as `CostCollector`).
+    pub(crate) obs: Option<Obs>,
+}
+
+/// The installed recorder with one pre-resolved [`Histogram`] handle
+/// per pipeline stage, so the hot path never takes the recorder's
+/// registry lock.
+pub(crate) struct Obs {
+    pub(crate) recorder: Arc<Recorder>,
+    hist_request: Arc<Histogram>,
+    hist_parse: Arc<Histogram>,
+    hist_queue_wait: Arc<Histogram>,
+    hist_coalesce: Arc<Histogram>,
+    hist_lookup_hit: Arc<Histogram>,
+    hist_lookup_prepare: Arc<Histogram>,
+    hist_evaluate: Arc<Histogram>,
+    hist_respond: Arc<Histogram>,
+}
+
+impl Obs {
+    fn new(recorder: Arc<Recorder>) -> Obs {
+        Obs {
+            hist_request: recorder.hist("request"),
+            hist_parse: recorder.hist("parse"),
+            hist_queue_wait: recorder.hist("queue_wait"),
+            hist_coalesce: recorder.hist("coalesce"),
+            hist_lookup_hit: recorder.hist("lookup_hit"),
+            hist_lookup_prepare: recorder.hist("lookup_prepare"),
+            hist_evaluate: recorder.hist("evaluate"),
+            hist_respond: recorder.hist("respond"),
+            recorder,
+        }
+    }
 }
 
 impl Shared {
@@ -237,6 +323,14 @@ impl Server {
         self.shared.catalog.as_ref()
     }
 
+    /// The observability recorder, if one was installed at build time
+    /// ([`ServerBuilder::recorder`] / [`ServerBuilder::observe`]).
+    /// `Recorder::snapshot` on it returns the same data a wire
+    /// [`Request::Metrics`](crate::protocol::Request::Metrics) does.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.shared.obs.as_ref().map(|obs| &obs.recorder)
+    }
+
     /// Stops accepting, answers whatever is still queued with
     /// [`ErrorKind::ShuttingDown`], flushes pending responses for a
     /// short grace period, and joins every service thread. Connections
@@ -285,6 +379,7 @@ pub struct ServerBuilder {
     config: ServeConfig,
     terrains: HashMap<String, TerrainSource>,
     catalog: Option<Arc<Catalog>>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for ServerBuilder {
@@ -296,7 +391,12 @@ impl Default for ServerBuilder {
 impl ServerBuilder {
     /// A builder with [`ServeConfig::default`] and no terrains.
     pub fn new() -> ServerBuilder {
-        ServerBuilder { config: ServeConfig::default(), terrains: HashMap::new(), catalog: None }
+        ServerBuilder {
+            config: ServeConfig::default(),
+            terrains: HashMap::new(),
+            catalog: None,
+            recorder: None,
+        }
     }
 
     /// Registers a hosted terrain under `name` (replacing any previous
@@ -322,6 +422,24 @@ impl ServerBuilder {
         let catalog = Catalog::open(dir.as_ref())
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         Ok(self.catalog(Arc::new(catalog)))
+    }
+
+    /// Installs an observability recorder: every served request records
+    /// a span tree and per-stage latency histograms into it, the
+    /// prepared-scene cache and resident tile caches mirror their
+    /// events, and the wire answers
+    /// [`Request::Metrics`](crate::protocol::Request::Metrics) with its
+    /// snapshot. Without a recorder all of that is compiled down to one
+    /// branch per touchpoint and `Metrics` answers `enabled: false`.
+    pub fn recorder(mut self, recorder: Arc<Recorder>) -> ServerBuilder {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Convenience: build and install a fresh recorder from `config`
+    /// (retrieve it later with [`Server::recorder`]).
+    pub fn observe(self, config: RecorderConfig) -> ServerBuilder {
+        self.recorder(Arc::new(Recorder::new(config)))
     }
 
     /// Largest terrain payload one upload may carry (default 64 MiB).
@@ -391,11 +509,15 @@ impl ServerBuilder {
         if let Some(catalog) = &self.catalog {
             cache = cache.with_catalog(Arc::clone(catalog));
         }
+        if let Some(recorder) = &self.recorder {
+            cache = cache.with_recorder(Arc::clone(recorder));
+        }
         let shared = Arc::new(Shared {
             cache,
             catalog: self.catalog,
             counters: Arc::new(Counters::default()),
             stop: AtomicBool::new(false),
+            obs: self.recorder.map(Obs::new),
         });
 
         let (admission_tx, admission_rx) = mpsc::sync_channel::<Msg>(config.queue_depth.max(1));
@@ -488,12 +610,25 @@ fn dispatch_loop(
     config: ServeConfig,
     workers: usize,
 ) {
+    // Admission is counted here, at receipt, not at the shard's
+    // `try_send`: the increment then happens-before every downstream
+    // batch counter and worker outcome (same thread, then channel
+    // handoff), which is what the [`ServeStats`] snapshot-consistency
+    // contract relies on. At quiescence the total is identical to
+    // enqueue-time counting — every sent job is received.
+    let receive = |job: &mut Job| {
+        shared.counters.admitted.fetch_add(1, Ordering::Release);
+        if let Some(trace) = job.trace.as_deref_mut() {
+            trace.t_dispatched = Some(Instant::now());
+        }
+    };
     'rounds: loop {
         // Block for the first request of a round.
-        let first = match admission.recv() {
+        let mut first = match admission.recv() {
             Ok(Msg::Job(job)) => job,
             Ok(Msg::Stop) | Err(_) => break 'rounds,
         };
+        receive(&mut first);
         let mut round: Vec<Job> = vec![*first];
         let mut stopping = false;
         // Gather companions until the window closes or the round fills.
@@ -512,7 +647,10 @@ fn dispatch_loop(
                 }
             };
             match msg {
-                Msg::Job(job) => round.push(*job),
+                Msg::Job(mut job) => {
+                    receive(&mut job);
+                    round.push(*job);
+                }
                 Msg::Stop => {
                     stopping = true;
                     break;
@@ -524,11 +662,11 @@ fn dispatch_loop(
         // groups.
         for (terrain, group) in coalesce(round) {
             let len = group.len() as u64;
-            shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+            shared.counters.batches.fetch_add(1, Ordering::Release);
             shared
                 .counters
                 .batched_requests
-                .fetch_add(len, Ordering::Relaxed);
+                .fetch_add(len, Ordering::Release);
             shared
                 .counters
                 .max_batch_observed
@@ -547,7 +685,8 @@ fn dispatch_loop(
     // whose send lands after the queue looked empty — their jobs still
     // get a response instead of vanishing with the receiver.
     while let Ok(msg) = admission.recv_timeout(Duration::from_millis(50)) {
-        if let Msg::Job(job) = msg {
+        if let Msg::Job(mut job) = msg {
+            receive(&mut job);
             job.reply.send(&crate::protocol::Response::err(
                 job.request.id,
                 crate::protocol::WireError::new(ErrorKind::ShuttingDown, "server is shutting down"),
@@ -595,34 +734,164 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<WorkerMsg>>>, shared: &Arc<Shared>)
             Ok(WorkerMsg::Group(terrain, group)) => (terrain, group),
             Ok(WorkerMsg::Stop) | Err(_) => return,
         };
-        let scene = match shared.cache.get_or_prepare(&terrain) {
-            Ok(scene) => scene,
-            Err(e) => {
+        let t_group = Instant::now();
+        let (scene, hit) = match shared.cache.get_or_prepare_traced(&terrain) {
+            (Ok(scene), hit) => (scene, hit),
+            (Err(e), hit) => {
+                let t_lookup = Instant::now();
                 for job in &group {
-                    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.failed.fetch_add(1, Ordering::Release);
+                    let t_send0 = Instant::now();
                     job.reply
                         .send(&crate::protocol::Response::err(job.request.id, e.clone()));
+                    let stamps = Stamps {
+                        t_group,
+                        t_lookup,
+                        hit,
+                        t_eval: t_lookup,
+                        t_send0,
+                        t_send1: Instant::now(),
+                    };
+                    finalize_trace(shared, job, &terrain, &stamps, None);
                 }
                 continue;
             }
         };
+        let t_lookup = Instant::now();
         let views: Vec<_> = group.iter().map(|job| job.request.view.clone()).collect();
         let results = scene.eval_group(&views);
+        let t_eval = Instant::now();
         debug_assert_eq!(results.len(), group.len());
         for (job, result) in group.iter().zip(results) {
-            let response = match result {
+            let (response, eval_detail) = match result {
                 Ok(report) => {
-                    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-                    crate::protocol::Response::ok(job.request.id, report)
+                    shared.counters.completed.fetch_add(1, Ordering::Release);
+                    let detail = shared
+                        .obs
+                        .as_ref()
+                        .map(|_| hsr_core::view::evaluate_span(&report));
+                    (crate::protocol::Response::ok(job.request.id, report), detail)
                 }
                 Err(e) => {
-                    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
-                    crate::protocol::Response::err(job.request.id, e)
+                    shared.counters.failed.fetch_add(1, Ordering::Release);
+                    (crate::protocol::Response::err(job.request.id, e), None)
                 }
             };
+            let t_send0 = Instant::now();
             job.reply.send(&response);
+            let stamps =
+                Stamps { t_group, t_lookup, hit, t_eval, t_send0, t_send1: Instant::now() };
+            finalize_trace(shared, job, &terrain, &stamps, eval_detail);
         }
     }
+}
+
+/// The worker-side timestamps of one request's tail: group receipt,
+/// scene lookup, group evaluation, and this job's reply enqueue.
+struct Stamps {
+    t_group: Instant,
+    t_lookup: Instant,
+    /// Whether the scene lookup was served resident (`lookup_hit`) or
+    /// had to prepare (`lookup_prepare`).
+    hit: bool,
+    t_eval: Instant,
+    t_send0: Instant,
+    t_send1: Instant,
+}
+
+/// Folds one finished request into the recorder: per-stage histogram
+/// samples plus the span tree. No-op (one branch) without a recorder.
+///
+/// The stages tile the root interval: `parse` from the line's arrival,
+/// `queue_wait` from admission to dispatch receipt, `coalesce` from
+/// receipt to the worker picking the group up, then `lookup_*`,
+/// `evaluate` (the *group's* evaluation wall — the job's answer waits
+/// for the whole group either way), and `respond`. The only uncovered
+/// gaps are sub-microsecond bookkeeping between stamps, which is what
+/// keeps `stage_sum_ns` within a few percent of the root duration.
+fn finalize_trace(
+    shared: &Arc<Shared>,
+    job: &Job,
+    terrain: &str,
+    stamps: &Stamps,
+    eval_detail: Option<SpanRecord>,
+) {
+    let (Some(obs), Some(trace)) = (shared.obs.as_ref(), job.trace.as_deref()) else {
+        return;
+    };
+    let base = trace.t_start;
+    let off = |at: Instant| at.saturating_duration_since(base).as_nanos() as u64;
+    let total = off(stamps.t_send1);
+
+    let mut root = SpanRecord::new("request", 0, total);
+    root.children
+        .push(SpanRecord::new("parse", 0, trace.parse_ns));
+    let t_dispatched = trace.t_dispatched.unwrap_or(trace.t_admitted);
+    let queue_wait = t_dispatched
+        .saturating_duration_since(trace.t_admitted)
+        .as_nanos() as u64;
+    root.children
+        .push(SpanRecord::new("queue_wait", off(trace.t_admitted), queue_wait));
+    let coalesce_ns = stamps
+        .t_group
+        .saturating_duration_since(t_dispatched)
+        .as_nanos() as u64;
+    root.children
+        .push(SpanRecord::new("coalesce", off(t_dispatched), coalesce_ns));
+    let lookup_ns = stamps
+        .t_lookup
+        .saturating_duration_since(stamps.t_group)
+        .as_nanos() as u64;
+    let lookup_name = if stamps.hit {
+        "lookup_hit"
+    } else {
+        "lookup_prepare"
+    };
+    root.children
+        .push(SpanRecord::new(lookup_name, off(stamps.t_group), lookup_ns));
+    let eval_ns = stamps
+        .t_eval
+        .saturating_duration_since(stamps.t_lookup)
+        .as_nanos() as u64;
+    let mut eval_stage = SpanRecord::new("evaluate", off(stamps.t_lookup), eval_ns);
+    if let Some(detail) = eval_detail {
+        // Graft the pipeline-phase children (order/phase1/phase2) and
+        // the cost attribution under the stage span, re-anchored to the
+        // request clock.
+        eval_stage.work = detail.work;
+        eval_stage.depth = detail.depth;
+        eval_stage.pred_filter = detail.pred_filter;
+        eval_stage.pred_exact = detail.pred_exact;
+        eval_stage.children = detail.children;
+        for child in &mut eval_stage.children {
+            child.shift(off(stamps.t_lookup));
+        }
+    }
+    root.children.push(eval_stage);
+    let respond_ns = stamps
+        .t_send1
+        .saturating_duration_since(stamps.t_send0)
+        .as_nanos() as u64;
+    root.children
+        .push(SpanRecord::new("respond", off(stamps.t_send0), respond_ns));
+
+    obs.hist_request.record(total);
+    obs.hist_parse.record(trace.parse_ns);
+    obs.hist_queue_wait.record(queue_wait);
+    obs.hist_coalesce.record(coalesce_ns);
+    let lookup_hist = if stamps.hit {
+        &obs.hist_lookup_hit
+    } else {
+        &obs.hist_lookup_prepare
+    };
+    lookup_hist.record(lookup_ns);
+    obs.hist_evaluate.record(eval_ns);
+    obs.hist_respond.record(respond_ns);
+    obs.recorder.record_trace(TraceRecord {
+        id: job.request.id,
+        terrain: terrain.to_string(),
+        root,
+    });
 }
 
 #[cfg(test)]
@@ -637,6 +906,7 @@ mod tests {
         Job {
             request: EvalRequest { id, terrain: terrain.into(), view },
             reply: Reply::detached_for_tests(),
+            trace: None,
         }
     }
 

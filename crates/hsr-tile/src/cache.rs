@@ -12,7 +12,19 @@
 use crate::pyramid::TileId;
 use hsr_terrain::Tin;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Event counters in an attached [`hsr_obs::Recorder`], resolved once so
+/// the per-lookup cost is plain atomic adds. No recorder attached means
+/// the `OnceLock` stays empty and lookups pay one load — the same
+/// runtime off-switch as the rest of the observability layer.
+struct ObsEvents {
+    hit: Arc<AtomicU64>,
+    load: Arc<AtomicU64>,
+    error: Arc<AtomicU64>,
+    evict: Arc<AtomicU64>,
+}
 
 /// Cache observability counters.
 ///
@@ -57,6 +69,7 @@ struct Inner {
 pub struct SceneCache {
     capacity: usize,
     inner: Mutex<Inner>,
+    obs: OnceLock<ObsEvents>,
 }
 
 impl SceneCache {
@@ -66,7 +79,21 @@ impl SceneCache {
         SceneCache {
             capacity,
             inner: Mutex::new(Inner { map: HashMap::new(), tick: 0, stats: CacheStats::default() }),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Mirror this cache's hit/load/error/evict activity into the
+    /// recorder's `tile_*` event counters (first attachment wins; the
+    /// serving layer attaches when a tiled scene is prepared). Counters
+    /// reflect activity from the attachment onward.
+    pub fn attach_recorder(&self, recorder: &hsr_obs::Recorder) {
+        let _ = self.obs.set(ObsEvents {
+            hit: recorder.counter("tile_hit"),
+            load: recorder.counter("tile_load"),
+            error: recorder.counter("tile_error"),
+            evict: recorder.counter("tile_evict"),
+        });
     }
 
     /// The hard residency cap.
@@ -107,6 +134,9 @@ impl SceneCache {
             e.last_use = tick;
             let tin = Arc::clone(&e.tin);
             inner.stats.hits += 1;
+            if let Some(obs) = self.obs.get() {
+                obs.hit.fetch_add(1, Ordering::Release);
+            }
             return Some(Ok(tin));
         }
         // Stage the eviction *before* building, so `resident` (the map
@@ -134,6 +164,9 @@ impl SceneCache {
                     // staged and refuse.
                     inner.map.extend(staged);
                     inner.stats.errors += 1;
+                    if let Some(obs) = self.obs.get() {
+                        obs.error.fetch_add(1, Ordering::Release);
+                    }
                     return None;
                 }
             }
@@ -143,10 +176,17 @@ impl SceneCache {
             Err(e) => {
                 inner.map.extend(staged);
                 inner.stats.errors += 1;
+                if let Some(obs) = self.obs.get() {
+                    obs.error.fetch_add(1, Ordering::Release);
+                }
                 return Some(Err(e));
             }
         };
         inner.stats.evictions += staged.len() as u64;
+        if let Some(obs) = self.obs.get() {
+            obs.load.fetch_add(1, Ordering::Release);
+            obs.evict.fetch_add(staged.len() as u64, Ordering::Release);
+        }
         drop(staged);
         inner
             .map
@@ -270,6 +310,33 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.resident, s.evictions, s.loads), (1, 1, 2));
         assert_eq!(s.hits + s.loads + s.errors, s.lookups);
+    }
+
+    #[test]
+    fn attached_recorder_mirrors_cache_events() {
+        let recorder = hsr_obs::Recorder::default();
+        let cache = SceneCache::new(1);
+        cache.attach_recorder(&recorder);
+        cache
+            .get_or_load(id(0), || -> Result<Tin, ()> { Ok(tile(0)) })
+            .unwrap()
+            .unwrap();
+        cache
+            .get_or_load(id(0), || -> Result<Tin, ()> { panic!("resident") })
+            .unwrap()
+            .unwrap();
+        assert!(cache.get_or_load(id(1), || Err("boom")).unwrap().is_err());
+        cache
+            .get_or_load(id(1), || -> Result<Tin, ()> { Ok(tile(1)) })
+            .unwrap()
+            .unwrap();
+        let snap = recorder.snapshot();
+        let s = cache.stats();
+        assert_eq!(snap.event("tile_hit"), s.hits);
+        assert_eq!(snap.event("tile_load"), s.loads);
+        assert_eq!(snap.event("tile_error"), s.errors);
+        assert_eq!(snap.event("tile_evict"), s.evictions);
+        assert_eq!(snap.event("tile_evict"), 1);
     }
 
     #[test]

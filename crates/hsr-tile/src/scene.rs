@@ -219,6 +219,12 @@ impl TiledScene {
         self.cache.stats()
     }
 
+    /// Mirror this scene's tile-cache activity into `recorder`'s
+    /// `tile_*` event counters (see [`SceneCache::attach_recorder`]).
+    pub fn attach_recorder(&self, recorder: &hsr_obs::Recorder) {
+        self.cache.attach_recorder(recorder);
+    }
+
     /// Evaluates one view against the tiled terrain. See the module docs
     /// for the select → LOD → chunked-evaluate → stitch sequence and the
     /// merge semantics.

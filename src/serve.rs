@@ -16,6 +16,9 @@
 //! ([`ServeBuilder::max_line_bytes`]), and per-connection response
 //! queues are capped too — a client that stops reading is disconnected
 //! ([`ServeBuilder::outgoing_cap_bytes`]) instead of wedging a worker.
+//! With [`ServeBuilder::observe`] the service traces itself: per-request
+//! span trees, per-stage latency histograms, and slow-request capture,
+//! all scrapeable over the wire via [`Client::metrics`].
 //!
 //! [`ServeBuilder`] adapts the facade vocabulary to the service: name a
 //! [`Scene`], a grid, or a materialized tile store, pick the knobs, and
@@ -52,9 +55,10 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 pub use hsr_serve::{
-    Catalog, CatalogError, CatalogStats, Client, ClientError, ErrorKind, Payload, PreparedStats,
-    Request, Response, ServeConfig, ServeStats, Server, StatsSnapshot, TerrainFormat, TerrainInfo,
-    TerrainSource, UploadAck, WireError,
+    Catalog, CatalogError, CatalogStats, Client, ClientError, ErrorKind, HistSnapshot,
+    MetricsSnapshot, Payload, PreparedStats, Recorder, RecorderConfig, Request, Response,
+    ServeConfig, ServeStats, Server, SpanRecord, StatsSnapshot, TerrainFormat, TerrainInfo,
+    TerrainSource, TraceRecord, UploadAck, WireError,
 };
 
 /// Builds a [`Server`] from facade-level pieces: scenes, grids, and
@@ -172,6 +176,29 @@ impl ServeBuilder {
     /// that exceeds it.
     pub fn max_upload_bytes(mut self, bytes: u64) -> ServeBuilder {
         self.inner = self.inner.max_upload_bytes(bytes);
+        self
+    }
+
+    /// Installs an observability [`Recorder`] with `config`: every
+    /// served request files a span tree (parse → queue wait → coalesce
+    /// → scene lookup → evaluate → respond, with the pipeline's phase
+    /// spans and cost counters grafted under `evaluate`) and one sample
+    /// per stage into named latency histograms; requests at least
+    /// `config.slow_threshold` slow are also captured in a bounded slow
+    /// ring. [`Client::metrics`] ([`Request::Metrics`]) snapshots all of
+    /// it over the wire. Without this call every instrumentation point
+    /// is a single branch, and `Metrics` answers `enabled: false`.
+    pub fn observe(mut self, config: RecorderConfig) -> ServeBuilder {
+        self.inner = self.inner.observe(config);
+        self
+    }
+
+    /// Installs a shared, pre-built [`Recorder`] — the
+    /// [`ServeBuilder::observe`] variant for callers that want to hold
+    /// the recorder themselves (e.g. to snapshot it without a wire
+    /// round-trip).
+    pub fn recorder(mut self, recorder: std::sync::Arc<Recorder>) -> ServeBuilder {
+        self.inner = self.inner.recorder(recorder);
         self
     }
 
