@@ -521,6 +521,7 @@ fn main() {
         std::thread::spawn(move || {
             let mut client = Client::connect(addr).expect("scraper connect");
             let mut scrapes = 0u64;
+            // ordering: Acquire pairs with the Release store at shutdown.
             while !stop.load(std::sync::atomic::Ordering::Acquire) {
                 let metrics = client.metrics().expect("mid-run metrics");
                 assert!(metrics.enabled, "recorder is installed for the whole run");
@@ -652,6 +653,7 @@ fn main() {
         "stages account for the bulk of latency: {coverage_mean:.3}"
     );
 
+    // ordering: Release pairs with the scraper's Acquire poll.
     scrape_stop.store(true, std::sync::atomic::Ordering::Release);
     let scrapes = scraper.join().expect("scraper");
     assert!(scrapes > 0, "the mid-run scraper must have observed the server");

@@ -541,6 +541,7 @@ impl BlobWriter {
         let tmp = dir.join("tmp").join(format!(
             "upload-{}-{}.part",
             std::process::id(),
+            // ordering: uniqueness-only counter for temp file names.
             SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let file = File::create(&tmp).map_err(io_err(&tmp))?;

@@ -38,6 +38,8 @@
 //! # Ok::<(), hsr_catalog::CatalogError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod catalog;
 mod hash;
 mod manifest;

@@ -134,6 +134,8 @@ pub fn depth_order_parallel(tin: &Tin) -> Result<Vec<u32>, CyclicOcclusion> {
         .collect();
 
     let mut frontier: Vec<u32> = (0..n as u32)
+        // ordering: single-threaded here — the counters were just built
+        // and no helper threads run until `par_iter` below.
         .filter(|&e| indeg[e as usize].load(std::sync::atomic::Ordering::Relaxed) == 0)
         .collect();
     let mut order = Vec::with_capacity(n);
@@ -146,6 +148,9 @@ pub fn depth_order_parallel(tin: &Tin) -> Result<Vec<u32>, CyclicOcclusion> {
             .par_iter()
             .flat_map_iter(|&e| {
                 succ[e as usize].iter().filter_map(|&b| {
+                    // ordering: AcqRel makes the decrements to one node
+                    // totally ordered across helpers, so exactly one
+                    // caller observes prev == 1 and emits the node.
                     let prev = indeg[b as usize].fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
                     (prev == 1).then_some(b)
                 })

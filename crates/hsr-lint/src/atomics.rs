@@ -1,0 +1,206 @@
+//! Atomics-ordering lint.
+//!
+//! Three rules, all anchored on calls to the atomic access methods
+//! (`load`, `store`, `fetch_*`, `compare_exchange*`, `fetch_update`):
+//!
+//! * `ATOMIC-EXPLICIT` — the call must spell its ordering(s) as literal
+//!   `Ordering::*` paths; an ordering smuggled through a variable defeats
+//!   review.
+//! * `ATOMIC-JUSTIFY` — each site needs an adjacent `// ordering:`
+//!   comment saying *why* that ordering is sufficient, unless the file's
+//!   module-level policy (see [`crate::config::Config`]) already covers
+//!   the ordering used.
+//! * `ATOMIC-PAIR` — cross-site: a `Relaxed` write to a named counter
+//!   that some other site reads with `Acquire`/`SeqCst` is flagged at the
+//!   write (the PR-9 torn-snapshot bug class: the Acquire read promises a
+//!   happens-before edge the write never publishes). Suppress with
+//!   `// lint: allow(atomic-pair): <reason>` at the write site when the
+//!   pairing is intentional because another write publishes the value.
+
+use crate::config::Config;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Atomic access methods and how many `Ordering` arguments each takes.
+const METHODS: &[(&str, usize)] = &[
+    ("load", 1),
+    ("store", 1),
+    ("fetch_add", 1),
+    ("fetch_sub", 1),
+    ("fetch_and", 1),
+    ("fetch_nand", 1),
+    ("fetch_or", 1),
+    ("fetch_xor", 1),
+    ("fetch_max", 1),
+    ("fetch_min", 1),
+    ("fetch_update", 2),
+    ("compare_exchange", 2),
+    ("compare_exchange_weak", 2),
+];
+
+/// One atomic access, kept for the cross-site pairing pass.
+pub struct Site {
+    pub file: String,
+    pub line: u32,
+    /// Trailing identifier of the receiver (`self.stats.lookups` →
+    /// `lookups`): the "counter name" pairing groups by.
+    pub name: String,
+    pub is_write: bool,
+    pub orderings: Vec<String>,
+    pub pair_allowed: bool,
+}
+
+/// Per-crate pairing scope: `crates/hsr-serve/...` → `crates/hsr-serve`.
+fn crate_key(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.len() >= 2 {
+        format!("{}/{}", parts[0], parts[1])
+    } else {
+        rel.to_string()
+    }
+}
+
+pub fn scan_file(sf: &SourceFile, cfg: &Config, sites: &mut Vec<Site>, out: &mut Vec<Finding>) {
+    if cfg.is_test_exempt(&sf.rel) {
+        return;
+    }
+    let toks = &sf.tokens;
+    for i in 0..toks.len() {
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        let Some(&(_, want)) = METHODS.iter().find(|(m, _)| *m == name) else {
+            continue;
+        };
+        if i == 0 || !toks[i - 1].is_punct('.') {
+            continue;
+        }
+        if i + 1 >= toks.len() || !toks[i + 1].is_punct('(') {
+            continue;
+        }
+        if sf.in_test(i) {
+            continue;
+        }
+        let Some(close) = sf.matching_close(i + 1, '(', ')') else {
+            continue;
+        };
+        // Collect literal `Ordering::X` names in the argument list.
+        let mut orderings = Vec::new();
+        let mut k = i + 2;
+        while k + 3 <= close {
+            if toks[k].is_ident("Ordering")
+                && toks[k + 1].is_punct(':')
+                && toks[k + 2].is_punct(':')
+            {
+                if let Some(o) = toks[k + 3].ident() {
+                    orderings.push(o.to_string());
+                }
+                k += 4;
+            } else {
+                k += 1;
+            }
+        }
+        if orderings.is_empty() {
+            // Either a non-atomic method that happens to share a name, or
+            // an atomic call routing its ordering through a variable. The
+            // workspace has no non-atomic `.load(`/`.store(`/`.fetch_*(`
+            // callees, so report it; a false positive here means a method
+            // name collision worth renaming anyway.
+            out.push(Finding::new(
+                &sf.rel,
+                toks[i].line,
+                "ATOMIC-EXPLICIT",
+                format!("`.{name}(...)` names no literal `Ordering::*`; atomic orderings must be spelled at the call site"),
+            ));
+            continue;
+        }
+        if orderings.len() < want {
+            out.push(Finding::new(
+                &sf.rel,
+                toks[i].line,
+                "ATOMIC-EXPLICIT",
+                format!(
+                    "`.{name}(...)` spells {} of its {} orderings as literal `Ordering::*`",
+                    orderings.len(),
+                    want
+                ),
+            ));
+        }
+        // Justification: module policy or an adjacent `// ordering:`.
+        let policy_covers = cfg
+            .policy_orderings(&sf.rel)
+            .is_some_and(|allowed| orderings.iter().all(|o| allowed.iter().any(|a| a == o)));
+        if !policy_covers && !sf.annotation_near(i, "ordering:") {
+            out.push(Finding::new(
+                &sf.rel,
+                toks[i].line,
+                "ATOMIC-JUSTIFY",
+                format!(
+                    "atomic `.{name}({})` has no adjacent `// ordering:` justification and no module policy covers it",
+                    orderings.join(", ")
+                ),
+            ));
+        }
+        sites.push(Site {
+            file: sf.rel.clone(),
+            line: toks[i].line,
+            name: receiver_name(sf, i - 1),
+            is_write: name != "load",
+            orderings,
+            pair_allowed: sf.annotation_with_reason(i, "lint: allow(atomic-pair)"),
+        });
+    }
+}
+
+/// Trailing identifier of the receiver chain ending at the `.` at `dot`.
+fn receiver_name(sf: &SourceFile, dot: usize) -> String {
+    if dot == 0 {
+        return String::from("?");
+    }
+    let prev = dot - 1;
+    match &sf.tokens[prev].tok {
+        crate::lexer::Tok::Ident(i) => i.clone(),
+        crate::lexer::Tok::Punct(']') => sf
+            .matching_open(prev, '[', ']')
+            .and_then(|open| open.checked_sub(1))
+            .and_then(|k| sf.tokens[k].ident().map(str::to_string))
+            .unwrap_or_else(|| String::from("?")),
+        crate::lexer::Tok::Punct(')') => sf
+            .matching_open(prev, '(', ')')
+            .and_then(|open| open.checked_sub(1))
+            .and_then(|k| sf.tokens[k].ident().map(|s| format!("{s}()")))
+            .unwrap_or_else(|| String::from("?")),
+        _ => String::from("?"),
+    }
+}
+
+/// Cross-site pass: flag Relaxed writes to names that any same-crate site
+/// reads with Acquire (or stronger).
+pub fn pair_findings(sites: &[Site], out: &mut Vec<Finding>) {
+    for w in sites {
+        if !w.is_write || w.name == "?" || w.pair_allowed {
+            continue;
+        }
+        if !w.orderings.iter().any(|o| o == "Relaxed") {
+            continue;
+        }
+        let wkey = crate_key(&w.file);
+        let reader = sites.iter().find(|r| {
+            !r.is_write
+                && r.name == w.name
+                && crate_key(&r.file) == wkey
+                && r.orderings.iter().any(|o| o == "Acquire" || o == "SeqCst")
+        });
+        if let Some(r) = reader {
+            out.push(Finding::new(
+                &w.file,
+                w.line,
+                "ATOMIC-PAIR",
+                format!(
+                    "`{}` is written with Relaxed here but read with Acquire at {}:{}; Release the write or annotate `// lint: allow(atomic-pair): <reason>`",
+                    w.name, r.file, r.line
+                ),
+            ));
+        }
+    }
+}

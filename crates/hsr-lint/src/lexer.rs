@@ -1,0 +1,342 @@
+//! A minimal Rust lexer: just enough structure for line-accurate,
+//! comment-aware scanning of the workspace's own source.
+//!
+//! This is deliberately *not* a parser. In the spirit of the hand-rolled
+//! `shims/serde_derive` proc macro, it tokenizes identifiers, punctuation,
+//! and literals while tracking line numbers and comment text, and leaves
+//! all higher-level structure (statements, functions, `#[cfg(test)]`
+//! regions) to cheap token-pattern scans in the analyses. The hard part a
+//! lexer must get right — and the part regex-based scanning gets wrong —
+//! is knowing what is code and what is not: nested block comments, string
+//! and raw-string bodies, char literals vs. lifetimes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lexical token. Literal *contents* are never needed by the
+/// analyses, so all literal kinds collapse into [`Tok::Lit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `unsafe`, `fetch_add`, ...).
+    Ident(String),
+    /// Single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct(char),
+    /// String / raw string / byte string / char / numeric literal.
+    Lit,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self.tok, Tok::Punct(p) if p == c)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// Lexed output: the token stream plus per-line comment text (used to
+/// find `// ordering:` / `// SAFETY:` / `// lint: allow(...)` markers).
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// Comment text by line; a line's entry concatenates every comment
+    /// (or block-comment fragment) that appears on it.
+    pub comments: BTreeMap<u32, String>,
+    /// Lines that carry at least one token (i.e. real code).
+    pub token_lines: BTreeSet<u32>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut tokens = Vec::new();
+    let mut comments: BTreeMap<u32, String> = BTreeMap::new();
+
+    fn record(comments: &mut BTreeMap<u32, String>, line: u32, text: &str) {
+        let slot = comments.entry(line).or_default();
+        if !slot.is_empty() {
+            slot.push(' ');
+        }
+        slot.push_str(text);
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (covers `//`, `///`, `//!`).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            record(&mut comments, line, &text);
+            continue;
+        }
+        // Block comment, possibly nested, possibly multi-line.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1usize;
+            i += 2;
+            let mut seg = String::new();
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    seg.push_str("/*");
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else if chars[i] == '\n' {
+                    if !seg.trim().is_empty() {
+                        record(&mut comments, line, seg.trim());
+                    }
+                    seg.clear();
+                    line += 1;
+                    i += 1;
+                } else {
+                    seg.push(chars[i]);
+                    i += 1;
+                }
+            }
+            if !seg.trim().is_empty() {
+                record(&mut comments, line, seg.trim());
+            }
+            continue;
+        }
+        // String literal with escapes (`"..."`).
+        if c == '"' {
+            let start_line = line;
+            i = scan_escaped_string(&chars, i + 1, &mut line);
+            tokens.push(Token { tok: Tok::Lit, line: start_line });
+            continue;
+        }
+        // `r"..."` / `r#"..."#` raw strings, `r#ident` raw identifiers,
+        // `b"..."`, `br#"..."#`, `b'x'` — all start with `r` or `b`.
+        if c == 'r' || c == 'b' {
+            let is_b = c == 'b';
+            let mut j = i + 1;
+            let raw = c == 'r' || (is_b && j < n && chars[j] == 'r');
+            if is_b && raw {
+                j += 1;
+            }
+            if raw {
+                let mut hashes = 0usize;
+                let mut k = j;
+                while k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' {
+                    // Raw (byte) string: scan to `"` followed by `hashes` #s.
+                    let start_line = line;
+                    i = k + 1;
+                    'raw: while i < n {
+                        if chars[i] == '\n' {
+                            line += 1;
+                            i += 1;
+                            continue;
+                        }
+                        if chars[i] == '"' {
+                            let mut m = i + 1;
+                            let mut seen = 0usize;
+                            while m < n && chars[m] == '#' && seen < hashes {
+                                seen += 1;
+                                m += 1;
+                            }
+                            if seen == hashes {
+                                i = m;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    tokens.push(Token { tok: Tok::Lit, line: start_line });
+                    continue;
+                }
+                if !is_b && hashes == 1 && k < n && is_ident_start(chars[k]) {
+                    // Raw identifier `r#type`.
+                    let start = k;
+                    while k < n && is_ident_continue(chars[k]) {
+                        k += 1;
+                    }
+                    let name: String = chars[start..k].iter().collect();
+                    tokens.push(Token { tok: Tok::Ident(name), line });
+                    i = k;
+                    continue;
+                }
+                // Not a raw literal after all — plain ident, fall through.
+            } else if is_b && j < n && chars[j] == '"' {
+                // Byte string: escaped like a normal string.
+                let start_line = line;
+                i = scan_escaped_string(&chars, j + 1, &mut line);
+                tokens.push(Token { tok: Tok::Lit, line: start_line });
+                continue;
+            } else if is_b && j < n && chars[j] == '\'' {
+                // Byte char `b'x'` / `b'\n'`.
+                i = j + 1;
+                if i < n && chars[i] == '\\' {
+                    i += 2;
+                }
+                while i < n && chars[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                tokens.push(Token { tok: Tok::Lit, line });
+                continue;
+            }
+            // Plain identifier starting with r/b: fall through.
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let name: String = chars[start..i].iter().collect();
+            tokens.push(Token { tok: Tok::Ident(name), line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            // Numeric literal, swallowing suffixes; `1..x` must not eat `..`.
+            while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+            tokens.push(Token { tok: Tok::Lit, line });
+            continue;
+        }
+        if c == '\'' {
+            // Char literal vs lifetime. `'a'` is a char; `'a` (no closing
+            // quote right after one ident-ish char) is a lifetime.
+            if i + 1 < n && chars[i + 1] == '\\' {
+                i += 2;
+                if i < n {
+                    i += 1; // the escaped char
+                }
+                while i < n && chars[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                tokens.push(Token { tok: Tok::Lit, line });
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' {
+                i += 3;
+                tokens.push(Token { tok: Tok::Lit, line });
+                continue;
+            }
+            // Lifetime: consume `'ident`.
+            i += 1;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            tokens.push(Token { tok: Tok::Lifetime, line });
+            continue;
+        }
+        tokens.push(Token { tok: Tok::Punct(c), line });
+        i += 1;
+    }
+
+    let token_lines = tokens.iter().map(|t| t.line).collect();
+    Lexed { tokens, comments, token_lines }
+}
+
+/// Scan the body of an escaped string starting just past the opening
+/// quote; returns the index just past the closing quote.
+fn scan_escaped_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    while i < n {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => {
+                i += 1;
+                break;
+            }
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_not_code() {
+        let l = lex("let x = 1; // ordering: fine\n/* block */ let y = 2;\n");
+        assert!(l.comments.get(&1).unwrap().contains("ordering:"));
+        assert!(l.comments.get(&2).unwrap().contains("block"));
+        assert!(l.tokens.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let l = lex(r###"let s = r#"unsafe { panic!() }"#; let t = 3;"###);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}\n");
+        assert!(l.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("outer")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::Lit));
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let l = lex("let s = \"line one\nline two\";\nlet z = 9;");
+        let z = l.tokens.iter().find(|t| t.is_ident("z")).unwrap();
+        assert_eq!(z.line, 3);
+    }
+}

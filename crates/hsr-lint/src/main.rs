@@ -1,0 +1,72 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p hsr-lint -- check [--root <path>]
+//! ```
+//!
+//! Prints findings one per line as `file:line: LINT-ID message` and
+//! exits 0 when clean, 1 when any finding fired, 2 on usage or I/O
+//! errors. The CI `lint-smoke` job runs exactly this.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut cmd = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" => cmd = Some("check"),
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = PathBuf::from(p),
+                    None => {
+                        eprintln!("hsr-lint: --root requires a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("hsr-lint: unknown argument `{other}`");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    if cmd != Some("check") {
+        return usage();
+    }
+    // When invoked via `cargo run -p hsr-lint`, the cwd is already the
+    // workspace root; from elsewhere, walk up to the workspace manifest.
+    if root.as_os_str() == "." && !root.join("Cargo.toml").exists() {
+        eprintln!("hsr-lint: no Cargo.toml under `.`; pass --root <workspace>");
+        return ExitCode::from(2);
+    }
+    let cfg = hsr_lint::Config::workspace();
+    match hsr_lint::run_check(&root, &cfg) {
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                eprintln!("hsr-lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("hsr-lint: {} finding(s)", findings.len());
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("hsr-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: hsr-lint check [--root <path>]");
+    ExitCode::from(2)
+}

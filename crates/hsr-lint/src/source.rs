@@ -1,0 +1,271 @@
+//! Per-file view shared by all analyses: the token stream, comment map,
+//! `#[cfg(test)]` regions, and adjacency-based annotation lookup.
+
+use crate::lexer::{lex, Lexed, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    pub tokens: Vec<Token>,
+    pub comments: BTreeMap<u32, String>,
+    pub token_lines: BTreeSet<u32>,
+    /// Token-index ranges (inclusive) covered by `#[cfg(test)]` items.
+    cfg_test: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    pub fn parse(rel: &str, src: &str) -> SourceFile {
+        let Lexed { tokens, comments, token_lines } = lex(src);
+        let cfg_test = find_cfg_test_ranges(&tokens);
+        SourceFile { rel: rel.to_string(), tokens, comments, token_lines, cfg_test }
+    }
+
+    /// True if the token at `idx` falls inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.cfg_test.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    /// Look for `pat` in comments adjacent to the statement containing
+    /// token `idx`: trailing comments on any line of the statement up to
+    /// the site, or a contiguous comment block immediately above the
+    /// statement's first line.
+    pub fn annotation_near(&self, idx: usize, pat: &str) -> bool {
+        let site_line = self.tokens[idx].line;
+        let stmt_line = self.stmt_start_line(idx);
+        for l in stmt_line..=site_line {
+            if let Some(text) = self.comments.get(&l) {
+                if text.contains(pat) {
+                    return true;
+                }
+            }
+        }
+        // Walk the contiguous comment-only block above the statement.
+        let mut l = stmt_line;
+        while l > 1 {
+            l -= 1;
+            if self.token_lines.contains(&l) {
+                break;
+            }
+            match self.comments.get(&l) {
+                Some(text) => {
+                    if text.contains(pat) {
+                        return true;
+                    }
+                }
+                None => break, // blank line: annotation must be adjacent
+            }
+        }
+        false
+    }
+
+    /// Like [`Self::annotation_near`], but also demands a non-empty free-text
+    /// reason after the marker (e.g. `// lint: allow(panic): held briefly`).
+    pub fn annotation_with_reason(&self, idx: usize, pat: &str) -> bool {
+        let site_line = self.tokens[idx].line;
+        let stmt_line = self.stmt_start_line(idx);
+        let check = |text: &str| {
+            text.split(pat)
+                .nth(1)
+                .is_some_and(|rest| !rest.trim().trim_start_matches(':').trim().is_empty())
+        };
+        for l in stmt_line..=site_line {
+            if let Some(text) = self.comments.get(&l) {
+                if check(text) {
+                    return true;
+                }
+            }
+        }
+        let mut l = stmt_line;
+        while l > 1 {
+            l -= 1;
+            if self.token_lines.contains(&l) {
+                break;
+            }
+            match self.comments.get(&l) {
+                Some(text) => {
+                    if check(text) {
+                        return true;
+                    }
+                }
+                None => break,
+            }
+        }
+        false
+    }
+
+    /// First line of the statement containing token `idx` (walks back to
+    /// the nearest `;`, `{`, or `}`).
+    fn stmt_start_line(&self, idx: usize) -> u32 {
+        let mut j = idx;
+        let mut line = self.tokens[idx].line;
+        while j > 0 {
+            j -= 1;
+            match &self.tokens[j].tok {
+                crate::lexer::Tok::Punct(';' | '{' | '}') => {
+                    return self.tokens.get(j + 1).map_or(line, |t| t.line);
+                }
+                _ => line = self.tokens[j].line,
+            }
+        }
+        line
+    }
+
+    /// Index of the matching close delimiter for the open delimiter at
+    /// `open` (`(`/`)` or `{`/`}` or `[`/`]`), if balanced.
+    pub fn matching_close(&self, open: usize, oc: char, cc: char) -> Option<usize> {
+        let mut depth = 0usize;
+        for (k, t) in self.tokens.iter().enumerate().skip(open) {
+            if t.is_punct(oc) {
+                depth += 1;
+            } else if t.is_punct(cc) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+        None
+    }
+
+    /// Index of the matching open delimiter scanning backwards from the
+    /// close delimiter at `close`.
+    pub fn matching_open(&self, close: usize, oc: char, cc: char) -> Option<usize> {
+        let mut depth = 0usize;
+        let mut k = close + 1;
+        while k > 0 {
+            k -= 1;
+            let t = &self.tokens[k];
+            if t.is_punct(cc) {
+                depth += 1;
+            } else if t.is_punct(oc) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Find token ranges of items gated behind `#[cfg(test)]`: the attribute
+/// pattern `# [ cfg ( test ) ]` followed (past any further attributes)
+/// by an item with a braced body.
+fn find_cfg_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let hit = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !hit {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        // Skip any further attributes between the cfg and the item.
+        while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+            let mut depth = 0usize;
+            let mut k = j + 1;
+            while k < tokens.len() {
+                if tokens[k].is_punct('[') {
+                    depth += 1;
+                } else if tokens[k].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        // Find the item's body: first `{` before any `;` ends the item
+        // header (a `;` first means no body, e.g. `mod tests;`).
+        let mut body_open = None;
+        let mut k = j;
+        while k < tokens.len() {
+            if tokens[k].is_punct('{') {
+                body_open = Some(k);
+                break;
+            }
+            if tokens[k].is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        if let Some(open) = body_open {
+            let mut depth = 0usize;
+            let mut close = open;
+            while close < tokens.len() {
+                if tokens[close].is_punct('{') {
+                    depth += 1;
+                } else if tokens[close].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                close += 1;
+            }
+            ranges.push((i, close.min(tokens.len() - 1)));
+            i = close;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_ranged() {
+        let sf = SourceFile::parse(
+            "x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n",
+        );
+        let unwrap_idx = sf.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(sf.in_test(unwrap_idx));
+        let live_idx = sf.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(!sf.in_test(live_idx));
+    }
+
+    #[test]
+    fn annotation_found_above_and_trailing() {
+        let sf = SourceFile::parse(
+            "x.rs",
+            "// ordering: counters join before read\nlet a = c.load(Ordering::Relaxed);\nlet b = c.load(Ordering::Relaxed); // ordering: same\nlet d = c.load(Ordering::Relaxed);\n",
+        );
+        let sites: Vec<usize> = sf
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("load"))
+            .map(|(k, _)| k)
+            .collect();
+        assert!(sf.annotation_near(sites[0], "ordering:"));
+        assert!(sf.annotation_near(sites[1], "ordering:"));
+        assert!(!sf.annotation_near(sites[2], "ordering:"));
+    }
+
+    #[test]
+    fn reason_is_required() {
+        let sf = SourceFile::parse("x.rs", "// lint: allow(panic):\nx.unwrap();\nx.unwrap(); // lint: allow(panic): test harness only\n");
+        let sites: Vec<usize> = sf
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(k, _)| k)
+            .collect();
+        assert!(!sf.annotation_with_reason(sites[0], "lint: allow(panic)"));
+        assert!(sf.annotation_with_reason(sites[1], "lint: allow(panic)"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Unsafe audit (`UNSAFE-FILE`, `UNSAFE-SAFETY`).
+//!
+//! Every `unsafe` token in code position must (a) live in a file on the
+//! config's allowlist and (b) carry an adjacent `// SAFETY:` comment
+//! discharging the obligation. Unlike the other lints this one also
+//! covers test code: an unchecked `unsafe` in a test is still UB waiting
+//! to happen.
+
+use crate::config::Config;
+use crate::source::SourceFile;
+use crate::Finding;
+
+pub fn scan_file(sf: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    let allowed = cfg.is_unsafe_allowed(&sf.rel);
+    for (i, t) in sf.tokens.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if !allowed {
+            out.push(Finding::new(
+                &sf.rel,
+                t.line,
+                "UNSAFE-FILE",
+                "`unsafe` outside the allowlisted files; extend the allowlist in hsr-lint's config only with review".to_string(),
+            ));
+        }
+        if !sf.annotation_near(i, "SAFETY:") {
+            out.push(Finding::new(
+                &sf.rel,
+                t.line,
+                "UNSAFE-SAFETY",
+                "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Fixture-driven engine tests. Every seeded violation under
+//! `tests/fixtures/` is marked on its own line with a trailing
+//! `//~ LINT-ID [LINT-ID ...]` comment; the engine must report exactly
+//! the marked set — each marker fires at its file and line, and the
+//! clean twins stay silent. The marker text never contains an
+//! annotation pattern (`ordering:`, `lock-order:`, `SAFETY:`), so the
+//! markers themselves cannot suppress findings.
+
+use hsr_lint::{run_check, Config, Finding};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The policy the fixture tree is linted under: `panics_*.rs` are
+/// designated request-path files, `unsafe_clean.rs` is the allowlist.
+fn fixture_config() -> Config {
+    let mut cfg = Config::bare();
+    cfg.panic_paths = vec!["panics_bad.rs".into(), "panics_clean.rs".into()];
+    cfg.unsafe_allow = vec!["unsafe_clean.rs".into()];
+    cfg
+}
+
+fn fixture_files() -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    for entry in fs::read_dir(fixtures_root()).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if name.ends_with(".rs") {
+            files.push((name, fs::read_to_string(&path).unwrap()));
+        }
+    }
+    files.sort();
+    files
+}
+
+/// `(file, line, lint)` triples harvested from the `//~` markers.
+fn expected() -> BTreeSet<(String, u32, String)> {
+    let mut want = BTreeSet::new();
+    for (name, src) in fixture_files() {
+        for (idx, line) in src.lines().enumerate() {
+            let Some((_, marks)) = line.split_once("//~") else {
+                continue;
+            };
+            for id in marks.split_whitespace() {
+                want.insert((name.clone(), idx as u32 + 1, id.to_string()));
+            }
+        }
+    }
+    want
+}
+
+fn reported() -> Vec<Finding> {
+    run_check(&fixtures_root(), &fixture_config()).unwrap()
+}
+
+#[test]
+fn every_seeded_violation_fires_and_nothing_else() {
+    let want = expected();
+    assert!(!want.is_empty(), "fixture tree should contain `//~` markers");
+    let got: BTreeSet<(String, u32, String)> = reported()
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.lint.to_string()))
+        .collect();
+    let missing: Vec<_> = want.difference(&got).collect();
+    let extra: Vec<_> = got.difference(&want).collect();
+    assert!(
+        missing.is_empty() && extra.is_empty(),
+        "markers without findings: {missing:?}\nfindings without markers: {extra:?}"
+    );
+}
+
+#[test]
+fn bad_fixtures_fail_the_gate_and_clean_twins_pass_it() {
+    let findings = reported();
+    let fired: BTreeSet<&str> = findings.iter().map(|f| f.file.as_str()).collect();
+    for (name, _) in fixture_files() {
+        if name.contains("_bad") {
+            // A nonempty finding list is exactly what makes the CLI
+            // exit nonzero on this fixture.
+            assert!(fired.contains(name.as_str()), "`{name}` should produce findings");
+        } else {
+            assert!(!fired.contains(name.as_str()), "`{name}` should lint clean");
+        }
+    }
+}
+
+#[test]
+fn findings_render_greppably() {
+    let findings = reported();
+    let pair = findings
+        .iter()
+        .find(|f| f.lint == "ATOMIC-PAIR")
+        .expect("the pair fixture should fire");
+    let line = pair.to_string();
+    // `file:line: LINT-ID message` — the format the CI job greps.
+    assert!(
+        line.starts_with("atomics_pair_bad.rs:17: ATOMIC-PAIR "),
+        "unexpected rendering: {line}"
+    );
+    assert!(line.contains("read with Acquire at atomics_pair_bad.rs:22"), "{line}");
+}

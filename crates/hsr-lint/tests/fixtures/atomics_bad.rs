@@ -1,0 +1,32 @@
+//! Seeded atomics violations: an unjustified ordering, an ordering
+//! smuggled through a variable, and a `compare_exchange` that spells
+//! only one of its two orderings. Each violating line carries a marker
+//! comment naming the lint; `tests/engine.rs` asserts the engine
+//! reports exactly the marked set.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub struct Gauges {
+    depth: AtomicUsize,
+    high_water: AtomicU64,
+}
+
+impl Gauges {
+    pub fn current_depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire) //~ ATOMIC-JUSTIFY
+    }
+
+    pub fn bump(&self, order: Ordering) {
+        self.high_water.fetch_add(1, order); //~ ATOMIC-EXPLICIT
+    }
+
+    pub fn try_claim(&self) -> bool {
+        self.depth
+            .compare_exchange(0, 1, Ordering::AcqRel, relaxed()) //~ ATOMIC-EXPLICIT ATOMIC-JUSTIFY
+            .is_ok()
+    }
+}
+
+fn relaxed() -> Ordering {
+    Ordering::Relaxed
+}

@@ -1,0 +1,29 @@
+//! Clean twin of `atomics_bad.rs`: every site spells literal
+//! `Ordering::*` arguments and carries an adjacent `// ordering:`
+//! justification, so the engine must stay silent here.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Claim {
+    depth: AtomicUsize,
+}
+
+impl Claim {
+    pub fn current_depth(&self) -> usize {
+        // ordering: Acquire pairs with the Release in `release`.
+        self.depth.load(Ordering::Acquire)
+    }
+
+    pub fn release(&self) {
+        // ordering: Release publishes the work done at this depth.
+        self.depth.fetch_sub(1, Ordering::Release);
+    }
+
+    pub fn try_claim(&self) -> bool {
+        // ordering: AcqRel on success pairs with `release`; Acquire on
+        // failure still observes the released state.
+        self.depth
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded cross-site pairing violation: `accepted` is bumped with
+//! Relaxed but snapshotted with Acquire — the Acquire promises a
+//! happens-before edge no write ever publishes (the torn-snapshot bug
+//! class). Both sites are `// ordering:`-annotated so the only finding
+//! is the pairing itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Tally {
+    accepted: AtomicU64,
+}
+
+impl Tally {
+    pub fn bump(&self) {
+        // ordering: Relaxed — standalone tally (seeded violation: the
+        // snapshot below reads it with Acquire).
+        self.accepted.fetch_add(1, Ordering::Relaxed); //~ ATOMIC-PAIR
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        // ordering: Acquire — expects a Release write that never comes.
+        self.accepted.load(Ordering::Acquire)
+    }
+}

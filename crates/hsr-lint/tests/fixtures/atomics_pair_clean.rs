@@ -1,0 +1,28 @@
+//! Clean twin of `atomics_pair_bad.rs`: the Relaxed `lookups` bump is
+//! published by the `hits` Release that follows it, stated with a
+//! `// lint: allow(atomic-pair):` annotation at the write site — the
+//! same piggyback-Release shape the serving cache uses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Tally {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl Tally {
+    pub fn record_hit(&self) {
+        // ordering: Relaxed — the `hits` Release below publishes it.
+        // lint: allow(atomic-pair): the snapshot's Acquire pairs with
+        // the `hits` Release that follows every lookup.
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        // ordering: Release publishes the lookup increment above.
+        self.hits.fetch_add(1, Ordering::Release);
+    }
+
+    pub fn snapshot(&self) -> (u64, u64) {
+        // ordering: Acquire pairs with the Release on `hits`; `lookups`
+        // is then no older than the outcomes it covers.
+        (self.hits.load(Ordering::Acquire), self.lookups.load(Ordering::Acquire))
+    }
+}

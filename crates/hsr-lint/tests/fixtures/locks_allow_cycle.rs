@@ -1,0 +1,26 @@
+//! Suppression twin: both acquisition orders exist, but the reversed
+//! edge carries a `// lint: allow(lock-cycle):` annotation with its
+//! reason, so the cycle pass must not report it.
+
+use std::sync::Mutex;
+
+pub struct Swap {
+    left: Mutex<u32>,
+    right: Mutex<u32>,
+}
+
+impl Swap {
+    pub fn left_then_right(&self) -> u32 {
+        let l = self.left.lock().unwrap();
+        let r = self.right.lock().unwrap();
+        *l + *r
+    }
+
+    pub fn right_then_left(&self) -> u32 {
+        let r = self.right.lock().unwrap();
+        // lint: allow(lock-cycle): both orders run only under the
+        // fixture's global rebalance mutex, so they never interleave.
+        let l = self.left.lock().unwrap();
+        *l + *r
+    }
+}

@@ -1,0 +1,29 @@
+//! Seeded lock-order cycle: `post` acquires `accounts` then `journal`,
+//! `replay` acquires them in the opposite order — two threads can
+//! deadlock holding one each. The cycle is reported at the edge that
+//! closes it (the `accounts` acquisition in `replay`).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+pub struct Ledger {
+    accounts: Mutex<HashMap<u32, i64>>,
+    journal: Mutex<Vec<(u32, i64)>>,
+}
+
+impl Ledger {
+    pub fn post(&self, id: u32, delta: i64) {
+        let mut accounts = self.accounts.lock().unwrap();
+        let mut journal = self.journal.lock().unwrap();
+        journal.push((id, delta));
+        *accounts.entry(id).or_default() += delta;
+    }
+
+    pub fn replay(&self) {
+        let journal = self.journal.lock().unwrap();
+        let mut accounts = self.accounts.lock().unwrap(); //~ LOCK-CYCLE
+        for (id, delta) in journal.iter() {
+            *accounts.entry(*id).or_default() += *delta;
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Clean twin of `locks_cycle_bad.rs`: every function acquires `head`
+//! before `tail`, so the global lock-order graph stays acyclic.
+
+use std::sync::Mutex;
+
+pub struct Pipeline {
+    head: Mutex<Vec<u64>>,
+    tail: Mutex<Vec<u64>>,
+}
+
+impl Pipeline {
+    pub fn shift(&self) {
+        let mut head = self.head.lock().unwrap();
+        let mut tail = self.tail.lock().unwrap();
+        if let Some(v) = head.pop() {
+            tail.push(v);
+        }
+    }
+
+    pub fn drain(&self) -> Vec<u64> {
+        let mut head = self.head.lock().unwrap();
+        let mut tail = self.tail.lock().unwrap();
+        let mut out = std::mem::take(&mut *head);
+        out.append(&mut tail);
+        out
+    }
+}

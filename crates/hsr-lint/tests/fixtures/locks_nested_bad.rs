@@ -1,0 +1,17 @@
+//! Seeded same-class nesting violation: two `cells` locks held at once
+//! with nothing stating which index is acquired first.
+
+use std::sync::Mutex;
+
+pub struct Buckets {
+    cells: Vec<Mutex<u64>>,
+}
+
+impl Buckets {
+    pub fn transfer(&self, a: usize, b: usize, amount: u64) {
+        let mut from = self.cells[a].lock().unwrap();
+        let mut to = self.cells[b].lock().unwrap(); //~ LOCK-ORDER
+        *from -= amount;
+        *to += amount;
+    }
+}

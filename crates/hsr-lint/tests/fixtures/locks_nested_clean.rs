@@ -1,0 +1,19 @@
+//! Clean twin of `locks_nested_bad.rs`: the same-class nesting carries
+//! a `// lock-order:` comment stating the canonical order.
+
+use std::sync::Mutex;
+
+pub struct Buckets {
+    cells: Vec<Mutex<u64>>,
+}
+
+impl Buckets {
+    pub fn transfer(&self, a: usize, b: usize, amount: u64) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let mut from = self.cells[lo].lock().unwrap();
+        // lock-order: cells by ascending index; `lo < hi` above.
+        let mut to = self.cells[hi].lock().unwrap();
+        *from -= amount;
+        *to += amount;
+    }
+}

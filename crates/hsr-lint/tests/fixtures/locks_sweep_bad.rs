@@ -1,0 +1,27 @@
+//! Seeded sweep violations: collecting every shard guard at once —
+//! closure form and the point-free `lock_unpoisoned` form — without a
+//! `// lock-order:` comment stating the canonical acquisition order.
+
+use std::sync::{Mutex, MutexGuard};
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+pub struct Sharded {
+    shards: Vec<Mutex<Vec<u64>>>,
+}
+
+impl Sharded {
+    pub fn total_closure(&self) -> usize {
+        let guards: Vec<MutexGuard<'_, Vec<u64>>> =
+            self.shards.iter().map(|m| m.lock().unwrap()).collect(); //~ LOCK-ORDER
+        guards.iter().map(|g| g.len()).sum()
+    }
+
+    pub fn total_point_free(&self) -> usize {
+        let guards: Vec<MutexGuard<'_, Vec<u64>>> =
+            self.shards.iter().map(lock_unpoisoned).collect(); //~ LOCK-ORDER
+        guards.iter().map(|g| g.len()).sum()
+    }
+}

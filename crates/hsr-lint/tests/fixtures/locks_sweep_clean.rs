@@ -1,0 +1,34 @@
+//! Clean twin of `locks_sweep_bad.rs`: both sweep forms state their
+//! canonical order, and the transient per-element form needs nothing.
+
+use std::sync::{Mutex, MutexGuard};
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+pub struct Sharded {
+    shards: Vec<Mutex<Vec<u64>>>,
+}
+
+impl Sharded {
+    pub fn total_closure(&self) -> usize {
+        // lock-order: every shard, ascending index.
+        let guards: Vec<MutexGuard<'_, Vec<u64>>> =
+            self.shards.iter().map(|m| m.lock().unwrap()).collect();
+        guards.iter().map(|g| g.len()).sum()
+    }
+
+    pub fn total_point_free(&self) -> usize {
+        // lock-order: every shard, ascending index.
+        let guards: Vec<MutexGuard<'_, Vec<u64>>> =
+            self.shards.iter().map(lock_unpoisoned).collect();
+        guards.iter().map(|g| g.len()).sum()
+    }
+
+    pub fn per_shard_lengths(&self) -> Vec<usize> {
+        // Transient per-element guards: each is dropped before the next
+        // shard is locked, so no sweep and no annotation needed.
+        self.shards.iter().map(|m| m.lock().unwrap().len()).collect()
+    }
+}

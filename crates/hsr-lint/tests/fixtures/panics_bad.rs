@@ -1,0 +1,29 @@
+//! Seeded panic-path violations (this file is designated a request-path
+//! module by the fixture config): every panicking construct the lint
+//! denies, one per line.
+
+use std::collections::HashMap;
+
+pub fn resolve(table: &HashMap<String, u32>, name: &str) -> u32 {
+    *table.get(name).unwrap() //~ PANIC-PATH
+}
+
+pub fn parse(raw: &str) -> u32 {
+    raw.parse().expect("caller validated") //~ PANIC-PATH
+}
+
+pub fn dispatch(kind: u8) -> &'static str {
+    match kind {
+        0 => "eval",
+        1 => "metrics",
+        _ => unreachable!("filtered by the wire layer"), //~ PANIC-PATH
+    }
+}
+
+pub fn refuse() {
+    panic!("refusing"); //~ PANIC-PATH
+}
+
+pub fn not_yet() {
+    todo!() //~ PANIC-PATH
+}

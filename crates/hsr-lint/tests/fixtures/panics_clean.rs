@@ -1,0 +1,55 @@
+//! Clean twin of `panics_bad.rs` (also designated request-path): typed
+//! error propagation, an annotated `unreachable!`, the `.expect(...)?`
+//! Result-propagation shape, and an `unwrap` confined to `#[cfg(test)]`.
+
+use std::collections::HashMap;
+use std::num::ParseIntError;
+
+pub fn resolve(table: &HashMap<String, u32>, name: &str) -> Option<u32> {
+    table.get(name).copied()
+}
+
+pub fn parse(raw: &str) -> Result<u32, ParseIntError> {
+    raw.parse()
+}
+
+pub fn dispatch(kind: u8) -> &'static str {
+    match kind {
+        0 => "eval",
+        // lint: allow(panic): the wire layer filters every other kind
+        // first; a new call site that forgets is a logic bug worth
+        // failing loudly in tests.
+        _ => unreachable!("filtered by the wire layer"),
+    }
+}
+
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl Reader<'_> {
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.bytes.split_first() {
+            Some((first, rest)) if *first == b => {
+                self.bytes = rest;
+                Ok(())
+            }
+            _ => Err(format!("expected {b}")),
+        }
+    }
+
+    pub fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.expect(b'}')?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Result<u32, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

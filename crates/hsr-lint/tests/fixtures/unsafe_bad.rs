@@ -1,0 +1,7 @@
+//! Seeded unsafe-audit violation: an `unsafe` block in a file that is
+//! not on the allowlist and has no `// SAFETY:` comment — both audit
+//! rules fire on the same line.
+
+pub fn peek_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() } //~ UNSAFE-FILE UNSAFE-SAFETY
+}

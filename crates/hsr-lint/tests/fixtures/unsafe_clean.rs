@@ -1,0 +1,12 @@
+//! Clean twin of `unsafe_bad.rs`: this file is on the fixture config's
+//! allowlist and the block discharges its obligation with an adjacent
+//! `// SAFETY:` comment.
+
+pub fn first_or_zero(v: &[u8]) -> u8 {
+    if v.is_empty() {
+        return 0;
+    }
+    // SAFETY: the emptiness check above guarantees at least one
+    // element, so the pointer read is in bounds.
+    unsafe { *v.as_ptr() }
+}

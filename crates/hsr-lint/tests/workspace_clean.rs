@@ -1,0 +1,21 @@
+//! The workspace must pass its own lint gate — the same invariants the
+//! CI `lint-smoke` job enforces with `cargo run -p hsr-lint -- check`.
+//! Any new unjustified atomic, unordered lock sweep, request-path
+//! panic, or stray `unsafe` fails this test before it reaches CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_its_own_lint_gate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = hsr_lint::run_check(&root, &hsr_lint::Config::workspace()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean; findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -85,8 +85,13 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&self, v: u64) {
+        // ordering: Release pairs with the Acquire bucket reads in
+        // `snapshot`, publishing the sample to the reader.
         self.counts[bucket_of(v)].fetch_add(1, Ordering::Release);
+        // ordering: sum/max are advisory aggregates; snapshot documents
+        // that they may run slightly ahead of the captured buckets.
         self.sum.fetch_add(v, Ordering::Relaxed);
+        // ordering: see `sum` above.
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -104,6 +109,7 @@ impl Histogram {
         let mut n = Vec::new();
         let mut total = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
+            // ordering: Acquire pairs with the Release add in `record`.
             let v = c.load(Ordering::Acquire);
             if v != 0 {
                 bucket.push(i as u32);
@@ -115,7 +121,9 @@ impl Histogram {
             bucket,
             n,
             total,
+            // ordering: advisory aggregates, documented as unsynchronized.
             sum_ns: self.sum.load(Ordering::Relaxed),
+            // ordering: see `sum_ns` above.
             max_ns: self.max.load(Ordering::Relaxed),
         }
     }

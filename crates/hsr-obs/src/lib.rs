@@ -32,12 +32,16 @@
 //! assert!(p99_ns >= 350_000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod hist;
 pub mod span;
+pub mod sync;
 pub mod trace;
 
 pub use hist::{HistSnapshot, Histogram, RELATIVE_ERROR};
 pub use span::{
     MetricsSnapshot, NamedCount, NamedHist, Recorder, RecorderConfig, SpanRecord, TraceRecord,
 };
+pub use sync::lock_unpoisoned;
 pub use trace::{is_active, record_span, SinkGuard, SpanSink};

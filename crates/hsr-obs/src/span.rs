@@ -25,6 +25,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::hist::{HistSnapshot, Histogram};
+use crate::sync::lock_unpoisoned;
 
 /// One named interval of work inside a request, with cost attribution.
 ///
@@ -116,13 +117,16 @@ impl Ring {
     }
 
     fn push(&self, t: TraceRecord) {
+        // ordering: slot claim is load-balancing only; no data rides on it.
         let claim = self.head.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
         match self.slots[claim].try_lock() {
             Ok(mut slot) => {
                 *slot = Some(t);
+                // ordering: Release publishes the slot write to Acquire readers.
                 self.recorded.fetch_add(1, Ordering::Release);
             }
             Err(_) => {
+                // ordering: Release pairs with the Acquire snapshot reads.
                 self.dropped.fetch_add(1, Ordering::Release);
             }
         }
@@ -133,7 +137,7 @@ impl Ring {
     fn snapshot(&self) -> Vec<TraceRecord> {
         self.slots
             .iter()
-            .filter_map(|s| s.lock().expect("ring slot lock never poisons").clone())
+            .filter_map(|s| lock_unpoisoned(s).clone())
             .collect()
     }
 }
@@ -197,7 +201,7 @@ impl Recorder {
     /// paths should fetch the `Arc` once and record through it; the
     /// registry lock is only for lookup.
     pub fn hist(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.hists.lock().expect("hist registry lock never poisons");
+        let mut map = lock_unpoisoned(&self.hists);
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(Histogram::new()))
             .clone()
@@ -206,10 +210,7 @@ impl Recorder {
     /// The named event counter, created at zero on first use. As with
     /// [`Recorder::hist`], hot paths should cache the `Arc`.
     pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
-        let mut map = self
-            .events
-            .lock()
-            .expect("event registry lock never poisons");
+        let mut map = lock_unpoisoned(&self.events);
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(AtomicU64::new(0)))
             .clone()
@@ -218,6 +219,8 @@ impl Recorder {
     /// Bump a named event counter (registry lookup per call — use
     /// [`Recorder::counter`] on hot paths).
     pub fn add_event(&self, name: &str, n: u64) {
+        // ordering: Release so a snapshot that sees the count also sees
+        // whatever work the caller did before bumping it.
         self.counter(name).fetch_add(n, Ordering::Release);
     }
 
@@ -242,31 +245,31 @@ impl Recorder {
     /// exactly, regardless of how many traces *also* entered the slow
     /// ring.
     pub fn traces_recorded(&self) -> u64 {
+        // ordering: Acquire pairs with the Release bump in `Ring::push`.
         self.recent.recorded.load(Ordering::Acquire)
     }
 
     /// Traces discarded on slot collision (exact; see
     /// [`Recorder::traces_recorded`] for the call-count identity).
     pub fn traces_dropped(&self) -> u64 {
+        // ordering: Acquire pairs with the Release bump in `Ring::push`.
         self.recent.dropped.load(Ordering::Acquire)
     }
 
     /// Freeze everything into a wire-ready [`MetricsSnapshot`].
     pub fn snapshot(&self) -> MetricsSnapshot {
         let hists = {
-            let map = self.hists.lock().expect("hist registry lock never poisons");
+            let map = lock_unpoisoned(&self.hists);
             map.iter()
                 .map(|(name, h)| NamedHist { name: name.clone(), hist: h.snapshot() })
                 .collect()
         };
         let events = {
-            let map = self
-                .events
-                .lock()
-                .expect("event registry lock never poisons");
+            let map = lock_unpoisoned(&self.events);
             map.iter()
                 .map(|(name, c)| NamedCount {
                     name: name.clone(),
+                    // ordering: Acquire pairs with the Release adds.
                     value: c.load(Ordering::Acquire),
                 })
                 .collect()

@@ -1,0 +1,42 @@
+//! Poison-tolerant locking for request-path code.
+//!
+//! `Mutex` poisoning only records that some holder panicked while the
+//! guard was live; it does not mean the data is corrupt. Every structure
+//! guarded this way in the workspace (histogram registries, trace rings,
+//! cache shards) maintains its invariants at each unlock point, so the
+//! right request-path response to poison is to recover the data and keep
+//! serving rather than propagate the panic into a shard or worker thread
+//! and take every connection mapped to it down too.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+///
+/// Use this instead of `.lock().unwrap()`/`.expect(...)` anywhere a
+/// panic must not cascade across threads — the panic-freedom lint
+/// (`PANIC-PATH`) enforces exactly that on the designated request-path
+/// modules.
+pub fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_after_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        assert_eq!(*lock_unpoisoned(&m), 7);
+        *lock_unpoisoned(&m) = 9;
+        assert_eq!(*lock_unpoisoned(&m), 9);
+    }
+}

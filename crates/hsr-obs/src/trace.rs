@@ -13,6 +13,7 @@
 //! (which is what the server does for batched, work-stolen
 //! evaluations).
 
+use crate::sync::lock_unpoisoned;
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::sync::{Arc, Mutex};
@@ -58,7 +59,7 @@ impl SpanSink {
 
     /// Drain everything emitted so far.
     pub fn take(&self) -> Vec<SpanRecord> {
-        std::mem::take(&mut self.inner.spans.lock().expect("sink lock never poisons"))
+        std::mem::take(&mut *lock_unpoisoned(&self.inner.spans))
     }
 }
 
@@ -87,10 +88,7 @@ pub fn is_active() -> bool {
 pub fn record_span(build: impl FnOnce() -> SpanRecord) {
     let sink = ACTIVE.with(|a| a.borrow().clone());
     if let Some(sink) = sink {
-        sink.spans
-            .lock()
-            .expect("sink lock never poisons")
-            .push(build());
+        lock_unpoisoned(&sink.spans).push(build());
     }
 }
 

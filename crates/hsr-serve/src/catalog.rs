@@ -22,6 +22,7 @@
 use hsr_catalog::{Catalog, TerrainFormat, TerrainInfo};
 use hsr_core::error::HsrError;
 use hsr_core::view::{evaluate_batch, Report, View};
+use hsr_obs::lock_unpoisoned;
 use hsr_terrain::io::from_obj;
 use hsr_terrain::{GridTerrain, Tin};
 use hsr_tile::{CacheStats, TileStore, TiledScene, TiledSceneConfig};
@@ -304,14 +305,24 @@ impl PreparedCache {
     /// `hits + prepares + errors ≤ lookups`, with equality at
     /// quiescence. All counters are monotonic.
     pub fn stats(&self) -> PreparedStats {
+        // ordering: Acquire — outcome counters are read before
+        // `lookups` and pair with each writer's Release-after-lookup,
+        // keeping `hits + prepares + errors <= lookups` in every
+        // snapshot.
         let hits = self.stats.hits.load(Ordering::Acquire);
+        // ordering: Acquire, as `hits` above.
         let prepares = self.stats.prepares.load(Ordering::Acquire);
+        // ordering: Acquire, as `hits` above.
         let errors = self.stats.errors.load(Ordering::Acquire);
         PreparedStats {
+            // ordering: Acquire keeps `lookups` no older than the
+            // outcome counters read above.
             lookups: self.stats.lookups.load(Ordering::Acquire),
             hits,
             prepares,
             errors,
+            // ordering: Relaxed — advisory gauges and tallies, each
+            // read in isolation; nothing is ordered against them.
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             invalidations: self.stats.invalidations.load(Ordering::Relaxed),
             resident: self.stats.resident.load(Ordering::Relaxed),
@@ -323,9 +334,7 @@ impl PreparedCache {
     /// currently resident on the tiled backend. A pure peek: touches
     /// neither the LRU recency nor the lookup counters.
     pub fn tile_cache_stats(&self, name: &str) -> Option<CacheStats> {
-        let shard = self.shards[self.shard_of(name)]
-            .lock()
-            .expect("prepared cache shard");
+        let shard = lock_unpoisoned(&self.shards[self.shard_of(name)]);
         shard
             .get(name)
             .and_then(|entry| entry.scene.tile_cache_stats())
@@ -363,8 +372,12 @@ impl PreparedCache {
     fn prepare_missing(&self, name: &str) -> Result<PreparedScene, WireError> {
         let from_catalog = !self.sources.contains_key(name);
         if from_catalog && self.catalog.as_ref().and_then(|c| c.get(name)).is_none() {
+            // ordering: Release publishes the outcome after its lookup
+            // so `stats()` keeps `hits + prepares + errors <= lookups`.
             self.stats.errors.fetch_add(1, Ordering::Release);
             if let Some(obs) = &self.obs {
+                // ordering: Release pairs with the Acquire reads of the
+                // Metrics endpoint snapshot.
                 obs.error.fetch_add(1, Ordering::Release);
             }
             return Err(WireError::new(
@@ -373,36 +386,47 @@ impl PreparedCache {
             ));
         };
         let preparing = {
-            let mut locks = self.prepare_locks.lock().expect("prepare lock map");
+            let mut locks = lock_unpoisoned(&self.prepare_locks);
             Arc::clone(locks.entry(name.to_string()).or_default())
         };
-        let _preparing = preparing.lock().expect("prepare lock");
+        let _preparing = lock_unpoisoned(&preparing);
         // Someone else may have prepared `name` while we waited.
         if let Some(hit) = self.lookup(name, false) {
             return Ok(hit);
         }
-        let prepared = if from_catalog {
-            let catalog = self.catalog.as_ref().expect("checked above");
+        let prepared = match self.catalog.as_ref().filter(|_| from_catalog) {
             // Re-read under the prepare lock: the entry decides *which
             // content* this prepare serves. (A concurrent overwrite can
             // still land between this read and the commit below; its
             // invalidation may then evict a just-stale scene one lookup
             // late — benign, the next lookup re-prepares fresh.)
-            match catalog.get(name) {
+            Some(catalog) => match catalog.get(name) {
                 Some(info) => prepare_from_catalog(catalog, &info),
                 None => Err(WireError::new(
                     ErrorKind::UnknownTerrain,
                     format!("no terrain named `{name}` is registered"),
                 )),
-            }
-        } else {
-            prepare(&self.sources[name])
+            },
+            // `!from_catalog` means the first lookup saw `name` in the
+            // static sources; `get` instead of indexing keeps the path
+            // panic-free regardless.
+            None => match self.sources.get(name) {
+                Some(source) => prepare(source),
+                None => Err(WireError::new(
+                    ErrorKind::UnknownTerrain,
+                    format!("no terrain named `{name}` is registered"),
+                )),
+            },
         };
         let scene = match prepared {
             Ok(scene) => scene,
             Err(e) => {
+                // ordering: Release publishes the outcome after its
+                // lookup (see `stats`).
                 self.stats.errors.fetch_add(1, Ordering::Release);
                 if let Some(obs) = &self.obs {
+                    // ordering: Release pairs with the Acquire reads of
+                    // the Metrics endpoint snapshot.
                     obs.error.fetch_add(1, Ordering::Release);
                 }
                 return Err(e);
@@ -411,40 +435,55 @@ impl PreparedCache {
         if let (PreparedScene::Tiled(tiled), Some(obs)) = (&scene, &self.obs) {
             tiled.attach_recorder(&obs.recorder);
         }
-        // Commit: evict and insert atomically under every shard lock
-        // (acquired in index order; no other path holds two at once, so
-        // the ordering is trivially deadlock-free).
-        let mut guards: Vec<MutexGuard<'_, HashMap<String, PreparedEntry>>> = self
-            .shards
-            .iter()
-            .map(|m| m.lock().expect("prepared cache shard"))
-            .collect();
+        // Commit: evict and insert atomically under every shard lock.
+        // lock-order: all `shards` guards, ascending shard index; no
+        // other path holds two shard locks at once, so the ordering is
+        // trivially deadlock-free.
+        let mut guards: Vec<MutexGuard<'_, HashMap<String, PreparedEntry>>> =
+            self.shards.iter().map(lock_unpoisoned).collect();
         let mut resident: usize = guards.iter().map(|g| g.len()).sum();
         while resident >= self.capacity {
+            // `resident > 0` here, so some map is non-empty and a
+            // victim exists; `None` could only mean the count and the
+            // maps disagree, in which case stop evicting rather than
+            // panic a worker thread mid-commit.
             let victim = guards
                 .iter()
                 .enumerate()
                 .flat_map(|(s, g)| g.iter().map(move |(k, e)| (e.last_use, s, k.clone())))
-                .min()
-                .expect("non-empty maps above capacity");
-            guards[victim.1]
-                .remove(&victim.2)
-                .expect("victim came from its shard");
-            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-            if let Some(obs) = &self.obs {
-                obs.evict.fetch_add(1, Ordering::Release);
+                .min();
+            let Some((_, shard, key)) = victim else { break };
+            if guards[shard].remove(&key).is_none() {
+                break;
             }
             resident -= 1;
+            // ordering: Relaxed — advisory eviction tally, read in
+            // isolation by `stats()`.
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                // ordering: Release pairs with the Acquire reads of the
+                // Metrics endpoint snapshot.
+                obs.evict.fetch_add(1, Ordering::Release);
+            }
         }
+        // ordering: Relaxed — `tick` needs only uniqueness and
+        // monotonicity, which the atomic RMW provides by itself.
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         guards[self.shard_of(name)]
             .insert(name.to_string(), PreparedEntry { scene: scene.clone(), last_use: tick });
         resident += 1;
+        // ordering: Release publishes the outcome after its lookup so
+        // `stats()` keeps `hits + prepares + errors <= lookups`.
         self.stats.prepares.fetch_add(1, Ordering::Release);
         if let Some(obs) = &self.obs {
+            // ordering: Release pairs with the Acquire reads of the
+            // Metrics endpoint snapshot.
             obs.prepare.fetch_add(1, Ordering::Release);
         }
+        // ordering: Relaxed — advisory gauge, read in isolation.
         self.stats.resident.store(resident, Ordering::Relaxed);
+        // ordering: Relaxed — advisory high-water mark; the RMW keeps
+        // it exact without ordering anything else.
         self.stats
             .peak_resident
             .fetch_max(resident, Ordering::Relaxed);
@@ -462,18 +501,21 @@ impl PreparedCache {
     pub fn invalidate(&self, name: &str) -> bool {
         // All shard locks, like the commit path: keeps the `resident`
         // gauge exact against a racing evict+insert.
-        let mut guards: Vec<MutexGuard<'_, HashMap<String, PreparedEntry>>> = self
-            .shards
-            .iter()
-            .map(|m| m.lock().expect("prepared cache shard"))
-            .collect();
+        // lock-order: all `shards` guards, ascending shard index — the
+        // same canonical order as the commit path.
+        let mut guards: Vec<MutexGuard<'_, HashMap<String, PreparedEntry>>> =
+            self.shards.iter().map(lock_unpoisoned).collect();
         let dropped = guards[self.shard_of(name)].remove(name).is_some();
         if dropped {
             let resident: usize = guards.iter().map(|g| g.len()).sum();
+            // ordering: Relaxed — advisory tally, read in isolation.
             self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
             if let Some(obs) = &self.obs {
+                // ordering: Release pairs with the Acquire reads of the
+                // Metrics endpoint snapshot.
                 obs.invalidate.fetch_add(1, Ordering::Release);
             }
+            // ordering: Relaxed — advisory gauge, read in isolation.
             self.stats.resident.store(resident, Ordering::Relaxed);
         }
         dropped
@@ -485,19 +527,27 @@ impl PreparedCache {
     /// still counts as a hit so `hits + prepares + errors == lookups`
     /// stays exact.
     fn lookup(&self, name: &str, first: bool) -> Option<PreparedScene> {
-        let mut shard = self.shards[self.shard_of(name)]
-            .lock()
-            .expect("prepared cache shard");
+        let mut shard = lock_unpoisoned(&self.shards[self.shard_of(name)]);
         if first {
+            // ordering: Relaxed — the Release on whichever outcome
+            // counter ends this lookup publishes the increment before a
+            // `stats()` Acquire can observe that outcome.
+            // lint: allow(atomic-pair): the `stats()` Acquire read
+            // pairs with that trailing outcome-counter Release, not
+            // with this increment directly.
             self.stats.lookups.fetch_add(1, Ordering::Relaxed);
         }
         let entry = shard.get_mut(name)?;
+        // ordering: Relaxed — `tick` needs only uniqueness and
+        // monotonicity, which the atomic RMW provides by itself.
         entry.last_use = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let scene = entry.scene.clone();
-        // Release so a `stats()` snapshot that observes this hit also
-        // observes the lookup increment above (see `StatCells`).
+        // ordering: Release so a `stats()` snapshot that observes this
+        // hit also observes the lookup increment above (see `stats`).
         self.stats.hits.fetch_add(1, Ordering::Release);
         if let Some(obs) = &self.obs {
+            // ordering: Release pairs with the Acquire reads of the
+            // Metrics endpoint snapshot.
             obs.hit.fetch_add(1, Ordering::Release);
         }
         Some(scene)

@@ -44,6 +44,7 @@ use crate::protocol::{
 };
 use crate::server::{Counters, Job, JobTrace, Msg, ServeConfig, Shared};
 use hsr_catalog::{BlobWriter, Catalog, CatalogError, TerrainFormat};
+use hsr_obs::lock_unpoisoned;
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
@@ -104,15 +105,26 @@ impl Reply {
     /// one large report). Per-connection memory stays bounded by
     /// `max(cap, largest single response)`.
     pub(crate) fn send(&self, response: &Response) {
-        let mut line = serde_json::to_string(response).expect("responses serialize");
+        // A response that cannot serialize still owes this id an answer:
+        // degrade to a hand-built error line in the exact shape
+        // `Response` serializes to, instead of panicking the worker.
+        let mut line = serde_json::to_string(response).unwrap_or_else(|_| {
+            format!(
+                "{{\"id\":{},\"report\":null,\"payload\":null,\
+                 \"error\":{{\"kind\":\"Eval\",\"message\":\
+                 \"response failed to serialize\"}}}}",
+                response.id
+            )
+        });
         line.push('\n');
         {
-            let mut out = self.out.lock().expect("reply out lock");
+            let mut out = lock_unpoisoned(&self.out);
             if out.dropped {
                 return;
             }
             if !out.queue.is_empty() && out.queue.len() + line.len() > self.cap {
                 out.dropped = true;
+                // ordering: standalone tally; no data rides on it.
                 self.counters.dropped_slow.fetch_add(1, Ordering::Relaxed);
             } else {
                 out.queue.extend(line.as_bytes());
@@ -122,7 +134,7 @@ impl Reply {
     }
 
     fn is_dropped(&self) -> bool {
-        self.out.lock().expect("reply out lock").dropped
+        lock_unpoisoned(&self.out).dropped
     }
 
     /// A reply wired to a throwaway shard, for unit tests that need a
@@ -162,18 +174,19 @@ impl ShardHandle {
 
     /// Hands a freshly accepted connection to this shard.
     pub(crate) fn adopt(&self, stream: TcpStream) {
-        self.incoming.lock().expect("incoming lock").push(stream);
+        lock_unpoisoned(&self.incoming).push(stream);
         let _ = self.poller.notify();
     }
 
     /// Asks the shard loop to flush and exit.
     pub(crate) fn request_stop(&self) {
+        // ordering: SeqCst stop flag; see `Server::shutdown`.
         self.stop.store(true, Ordering::SeqCst);
         let _ = self.poller.notify();
     }
 
     fn mark_dirty(&self, key: usize) {
-        self.dirty.lock().expect("dirty lock").push(key);
+        lock_unpoisoned(&self.dirty).push(key);
         let _ = self.poller.notify();
     }
 }
@@ -223,18 +236,14 @@ pub(crate) fn shard_loop(
     loop {
         events.clear();
         let _ = shard.poller.wait(&mut events, Some(WAIT_TICK));
+        // ordering: SeqCst stop flag; see `Server::shutdown`.
         if shard.stop.load(Ordering::SeqCst) {
             final_flush(&shard.poller, &mut conns);
             return;
         }
 
         // Adopt connections the acceptor handed over.
-        let adopted: Vec<TcpStream> = shard
-            .incoming
-            .lock()
-            .expect("incoming lock")
-            .drain(..)
-            .collect();
+        let adopted: Vec<TcpStream> = lock_unpoisoned(&shard.incoming).drain(..).collect();
         for stream in adopted {
             if stream.set_nonblocking(true).is_err() {
                 continue; // dead on arrival
@@ -264,7 +273,7 @@ pub(crate) fn shard_loop(
         // Dirty connections (fresh outgoing bytes / condemnations), then
         // readiness events. Servicing is idempotent, so a key appearing
         // in both lists just gets a cheap second pass.
-        let dirty: Vec<usize> = shard.dirty.lock().expect("dirty lock").drain(..).collect();
+        let dirty: Vec<usize> = lock_unpoisoned(&shard.dirty).drain(..).collect();
         for key in dirty {
             service(&mut conns, key, false, shard, shared, admission, config);
         }
@@ -302,15 +311,17 @@ fn service(
     }
     match outcome {
         IoOutcome::Closed => {
-            let conn = conns.remove(&key).expect("serviced connection exists");
-            let _ = shard.poller.delete(&conn.stream);
-            // Dropping the stream closes the socket.
+            if let Some(conn) = conns.remove(&key) {
+                let _ = shard.poller.delete(&conn.stream);
+                // Dropping the stream closes the socket.
+            }
         }
         IoOutcome::Open(write_pending) => {
             let interest = polling::Event { key, readable: true, writable: write_pending };
             if shard.poller.modify(&conn.stream, interest).is_err() {
-                let conn = conns.remove(&key).expect("serviced connection exists");
-                let _ = shard.poller.delete(&conn.stream);
+                if let Some(conn) = conns.remove(&key) {
+                    let _ = shard.poller.delete(&conn.stream);
+                }
             }
         }
     }
@@ -395,6 +406,7 @@ fn ingest(
 /// contract this enforces: nothing allocates proportionally to what a
 /// client streams, newline or not.
 fn reject_oversized(conn: &mut Conn, got: usize, cap: usize, shared: &Arc<Shared>) {
+    // ordering: standalone tally; no data rides on it.
     shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
     conn.inbuf = Vec::new(); // release the carry allocation too
     conn.reply.send(&Response::err(
@@ -427,6 +439,7 @@ fn handle_line(
     let request: Request = match serde_json::from_str(text) {
         Ok(request) => request,
         Err(e) => {
+            // ordering: standalone tally; no data rides on it.
             shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
             conn.reply.send(&Response::err(
                 salvage_id(text),
@@ -438,6 +451,7 @@ fn handle_line(
     let parse_ns = t_start.map(|t0| t0.elapsed().as_nanos() as u64);
     let id = request.id();
     if id == 0 {
+        // ordering: standalone tally; no data rides on it.
         shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
         conn.reply.send(&Response::err(
             0,
@@ -448,6 +462,7 @@ fn handle_line(
         ));
         return;
     }
+    // ordering: SeqCst stop flag; see `Server::shutdown`.
     if shared.stop.load(Ordering::SeqCst) {
         conn.reply.send(&Response::err(
             id,
@@ -473,6 +488,7 @@ fn handle_line(
     match admission.try_send(Msg::Job(job)) {
         Ok(()) => {}
         Err(mpsc::TrySendError::Full(_)) => {
+            // ordering: standalone tally; no data rides on it.
             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
             conn.reply.send(&Response::err(
                 id,
@@ -567,6 +583,10 @@ fn handle_admin(conn: &mut Conn, request: Request, shared: &Arc<Shared>, config:
             Err(e) => conn.reply.send(&Response::err(id, catalog_err(&e))),
         },
         Request::Eval(_) | Request::Stats(_) | Request::Metrics(_) => {
+            // lint: allow(panic): handle_admin is only called from
+            // handle_line, which filters these variants out first; a new
+            // call site that forgets is a logic bug worth failing loudly
+            // in tests.
             unreachable!("handled by callers")
         }
     }
@@ -695,7 +715,7 @@ fn upload_chunk(
 
 /// Nonblocking write drain of the outgoing queue.
 fn service_write(conn: &mut Conn) -> IoOutcome {
-    let mut out = conn.reply.out.lock().expect("reply out lock");
+    let mut out = lock_unpoisoned(&conn.reply.out);
     if out.dropped {
         return IoOutcome::Closed;
     }

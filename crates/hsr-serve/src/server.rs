@@ -39,7 +39,7 @@ use crate::event_loop::{shard_loop, Reply, ShardHandle};
 use crate::protocol::{ErrorKind, StatsSnapshot};
 use hsr_catalog::Catalog;
 use hsr_core::view::CompatKey;
-use hsr_obs::{Histogram, Recorder, RecorderConfig, SpanRecord, TraceRecord};
+use hsr_obs::{lock_unpoisoned, Histogram, Recorder, RecorderConfig, SpanRecord, TraceRecord};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
@@ -166,21 +166,34 @@ impl Counters {
     /// caused it. That is what makes the [`ServeStats`] inequalities
     /// hold in *every* snapshot, not just at quiescence.
     fn snapshot(&self) -> ServeStats {
+        // ordering: Acquire on the pipeline counters pairs with their
+        // Release increments; reading outcomes first means any outcome
+        // seen here has its admission visible below.
         let completed = self.completed.load(Ordering::Acquire);
+        // ordering: Acquire; see `completed`.
         let failed = self.failed.load(Ordering::Acquire);
+        // ordering: Acquire; see `completed`.
         let batched_requests = self.batched_requests.load(Ordering::Acquire);
+        // ordering: Acquire; see `completed`.
         let batches = self.batches.load(Ordering::Acquire);
+        // ordering: Acquire; see `completed`.
         let admitted = self.admitted.load(Ordering::Acquire);
         ServeStats {
+            // ordering: gauges outside the pipeline inequalities; no
+            // cross-counter promise, Relaxed suffices.
             connections: self.connections.load(Ordering::Relaxed),
             admitted,
+            // ordering: Relaxed; see `connections`.
             rejected: self.rejected.load(Ordering::Relaxed),
+            // ordering: Relaxed; see `connections`.
             malformed: self.malformed.load(Ordering::Relaxed),
             completed,
             failed,
+            // ordering: Relaxed; see `connections`.
             dropped_slow: self.dropped_slow.load(Ordering::Relaxed),
             batches,
             batched_requests,
+            // ordering: Relaxed; see `connections`.
             max_batch_observed: self.max_batch_observed.load(Ordering::Relaxed),
         }
     }
@@ -336,6 +349,9 @@ impl Server {
     /// short grace period, and joins every service thread. Connections
     /// still open afterwards are closed (clients observe EOF).
     pub fn shutdown(mut self) {
+        // ordering: SeqCst stop flag — set once at shutdown; the total
+        // order keeps the accept/dispatch/shard exit checks trivial to
+        // reason about and costs nothing off the steady-state path.
         self.shared.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a no-op connection.
         let _ = TcpStream::connect(self.addr);
@@ -534,17 +550,15 @@ impl ServerBuilder {
                 std::thread::Builder::new()
                     .name(format!("hsr-serve-worker-{i}"))
                     .spawn(move || worker_loop(&rx, &shared))
-                    .expect("spawn worker")
             })
-            .collect();
+            .collect::<std::io::Result<_>>()?;
 
         let dispatch_handle = {
             let shared = Arc::clone(&shared);
             let workers = config.workers.max(1);
             std::thread::Builder::new()
                 .name("hsr-serve-dispatch".into())
-                .spawn(move || dispatch_loop(&admission_rx, &worker_tx, &shared, config, workers))
-                .expect("spawn dispatcher")
+                .spawn(move || dispatch_loop(&admission_rx, &worker_tx, &shared, config, workers))?
         };
 
         let shards: Vec<Arc<ShardHandle>> = (0..config.shards.max(1))
@@ -560,17 +574,15 @@ impl ServerBuilder {
                 std::thread::Builder::new()
                     .name(format!("hsr-serve-shard-{i}"))
                     .spawn(move || shard_loop(&shard, &shared, &admission, &config))
-                    .expect("spawn shard")
             })
-            .collect();
+            .collect::<std::io::Result<_>>()?;
 
         let accept_handle = {
             let shared = Arc::clone(&shared);
             let shards = shards.clone();
             std::thread::Builder::new()
                 .name("hsr-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &shards, &shared))
-                .expect("spawn acceptor")
+                .spawn(move || accept_loop(&listener, &shards, &shared))?
         };
 
         Ok(Server {
@@ -589,6 +601,7 @@ impl ServerBuilder {
 fn accept_loop(listener: &TcpListener, shards: &[Arc<ShardHandle>], shared: &Arc<Shared>) {
     let mut next_shard = 0usize;
     for stream in listener.incoming() {
+        // ordering: SeqCst; see `Server::shutdown`.
         if shared.stop.load(Ordering::SeqCst) {
             // Whatever woke us — the shutdown's no-op connection or a
             // real client racing it — is dropped here, and the listener
@@ -597,6 +610,7 @@ fn accept_loop(listener: &TcpListener, shards: &[Arc<ShardHandle>], shared: &Arc
             return;
         }
         let Ok(stream) = stream else { continue };
+        // ordering: standalone gauge, no data published through it.
         shared.counters.connections.fetch_add(1, Ordering::Relaxed);
         shards[next_shard % shards.len()].adopt(stream);
         next_shard = next_shard.wrapping_add(1);
@@ -617,6 +631,8 @@ fn dispatch_loop(
     // contract relies on. At quiescence the total is identical to
     // enqueue-time counting — every sent job is received.
     let receive = |job: &mut Job| {
+        // ordering: Release starts the pipeline happens-before chain the
+        // Acquire reads in `Counters::snapshot` rely on.
         shared.counters.admitted.fetch_add(1, Ordering::Release);
         if let Some(trace) = job.trace.as_deref_mut() {
             trace.t_dispatched = Some(Instant::now());
@@ -662,11 +678,16 @@ fn dispatch_loop(
         // groups.
         for (terrain, group) in coalesce(round) {
             let len = group.len() as u64;
+            // ordering: Release; pipeline counter read with Acquire by
+            // `Counters::snapshot`.
             shared.counters.batches.fetch_add(1, Ordering::Release);
+            // ordering: Release; see `batches` above.
             shared
                 .counters
                 .batched_requests
                 .fetch_add(len, Ordering::Release);
+            // ordering: high-water gauge outside the pipeline
+            // inequalities; Relaxed suffices.
             shared
                 .counters
                 .max_batch_observed
@@ -717,17 +738,14 @@ fn coalesce(round: Vec<Job>) -> Vec<(String, Vec<Job>)> {
     }
     order
         .into_iter()
-        .map(|key| {
-            let group = groups.remove(&key).expect("every ordered key has a group");
-            (key.0, group)
-        })
+        .filter_map(|key| groups.remove(&key).map(|group| (key.0, group)))
         .collect()
 }
 
 fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<WorkerMsg>>>, shared: &Arc<Shared>) {
     loop {
         let msg = {
-            let rx = rx.lock().expect("worker rx lock");
+            let rx = lock_unpoisoned(rx);
             rx.recv()
         };
         let (terrain, group) = match msg {
@@ -740,6 +758,8 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<WorkerMsg>>>, shared: &Arc<Shared>)
             (Err(e), hit) => {
                 let t_lookup = Instant::now();
                 for job in &group {
+                    // ordering: Release; outcome counter read with
+                    // Acquire by `Counters::snapshot`.
                     shared.counters.failed.fetch_add(1, Ordering::Release);
                     let t_send0 = Instant::now();
                     job.reply
@@ -765,6 +785,7 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<WorkerMsg>>>, shared: &Arc<Shared>)
         for (job, result) in group.iter().zip(results) {
             let (response, eval_detail) = match result {
                 Ok(report) => {
+                    // ordering: Release; see the `failed` bump above.
                     shared.counters.completed.fetch_add(1, Ordering::Release);
                     let detail = shared
                         .obs
@@ -773,6 +794,7 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<WorkerMsg>>>, shared: &Arc<Shared>)
                     (crate::protocol::Response::ok(job.request.id, report), detail)
                 }
                 Err(e) => {
+                    // ordering: Release; see the `failed` bump above.
                     shared.counters.failed.fetch_add(1, Ordering::Release);
                     (crate::protocol::Response::err(job.request.id, e), None)
                 }

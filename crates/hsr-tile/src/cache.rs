@@ -10,6 +10,7 @@
 //! tiles at once (the tiled evaluator chunks its work accordingly).
 
 use crate::pyramid::TileId;
+use hsr_obs::lock_unpoisoned;
 use hsr_terrain::Tin;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -103,7 +104,7 @@ impl SceneCache {
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("cache lock").stats
+        lock_unpoisoned(&self.inner).stats
     }
 
     /// Returns the tile's scene, building it with `load` on a miss. The
@@ -126,7 +127,7 @@ impl SceneCache {
         id: TileId,
         load: impl FnOnce() -> Result<Tin, E>,
     ) -> Option<Result<Arc<Tin>, E>> {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.tick += 1;
         inner.stats.lookups += 1;
         let tick = inner.tick;
@@ -135,6 +136,8 @@ impl SceneCache {
             let tin = Arc::clone(&e.tin);
             inner.stats.hits += 1;
             if let Some(obs) = self.obs.get() {
+                // ordering: Release so an obs scrape that sees the count
+                // also sees the cache state it describes.
                 obs.hit.fetch_add(1, Ordering::Release);
             }
             return Some(Ok(tin));
@@ -154,9 +157,8 @@ impl SceneCache {
                 .filter(|(_, e)| Arc::strong_count(&e.tin) == 1)
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(k, _)| *k);
-            match victim {
-                Some(k) => {
-                    let entry = inner.map.remove(&k).expect("victim came from the map");
+            match victim.and_then(|k| inner.map.remove(&k).map(|entry| (k, entry))) {
+                Some((k, entry)) => {
                     staged.push((k, entry));
                 }
                 None => {
@@ -165,6 +167,7 @@ impl SceneCache {
                     inner.map.extend(staged);
                     inner.stats.errors += 1;
                     if let Some(obs) = self.obs.get() {
+                        // ordering: Release, as for the hit counter.
                         obs.error.fetch_add(1, Ordering::Release);
                     }
                     return None;
@@ -177,6 +180,7 @@ impl SceneCache {
                 inner.map.extend(staged);
                 inner.stats.errors += 1;
                 if let Some(obs) = self.obs.get() {
+                    // ordering: Release, as for the hit counter.
                     obs.error.fetch_add(1, Ordering::Release);
                 }
                 return Some(Err(e));
@@ -184,7 +188,9 @@ impl SceneCache {
         };
         inner.stats.evictions += staged.len() as u64;
         if let Some(obs) = self.obs.get() {
+            // ordering: Release, as for the hit counter.
             obs.load.fetch_add(1, Ordering::Release);
+            // ordering: Release, as for the hit counter.
             obs.evict.fetch_add(staged.len() as u64, Ordering::Release);
         }
         drop(staged);

@@ -9,6 +9,7 @@
 //! samples whose median per-iteration time (and derived throughput) is
 //! printed to stdout. No statistics, plots, or baseline comparison.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};

@@ -22,6 +22,7 @@
 //! [`ThreadPool::install`] so code written against this shim stays honest
 //! and swaps cleanly for real rayon when a registry is available.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -12,6 +12,8 @@
 //! JSON representation. `#[serde(...)]` attributes and generics are
 //! rejected with a compile error rather than silently mishandled.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
